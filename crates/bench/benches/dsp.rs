@@ -1,0 +1,78 @@
+//! Microbenchmarks of the DSP substrate: FFT, STFT, peak extraction.
+//!
+//! These bound EDDIE's monitoring cost per window — the paper argues
+//! STS comparison is cheap because only a few peaks are checked; the
+//! numbers here quantify the whole front end.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use eddie_dsp::{find_peaks, Complex, Fft, PeakConfig, Stft, StftConfig, WindowKind};
+
+fn tone(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            ((i as f64 * 0.1).sin() + 0.3 * (i as f64 * 0.031).sin()) as f32
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let fft = Fft::new(n).unwrap();
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        g.bench_function(format!("forward_{n}"), |b| {
+            b.iter_batched(
+                || input.clone(),
+                |mut buf| {
+                    fft.forward(&mut buf);
+                    black_box(buf)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_stft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stft");
+    let signal = tone(1 << 18);
+    for &(win, label) in &[(512usize, "win512"), (1024, "win1024")] {
+        let stft = Stft::new(StftConfig {
+            window_len: win,
+            hop: win / 2,
+            window: WindowKind::Hann,
+            sample_rate_hz: 1e9,
+        })
+        .unwrap();
+        g.bench_function(format!("process_real_256k_{label}"), |b| {
+            b.iter(|| black_box(stft.process_real(black_box(&signal))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    let stft = Stft::new(StftConfig {
+        window_len: 1024,
+        hop: 512,
+        window: WindowKind::Hann,
+        sample_rate_hz: 1e9,
+    })
+    .unwrap();
+    let spectra = stft.process_real(&tone(1 << 15));
+    let cfg = PeakConfig::default();
+    c.bench_function("peaks/find_peaks_1024bin", |b| {
+        b.iter(|| {
+            for s in &spectra {
+                black_box(find_peaks(s, &cfg));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_stft, bench_peaks);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! One bench target per paper table/figure: each runs a reduced-size
+//! version of the corresponding experiment's core computation, so
+//! `cargo bench` exercises every artifact-regeneration path and tracks
+//! its cost over time. The full-size experiments live in the
+//! `eddie-experiments` binary (`cargo run --release -p
+//! eddie-experiments -- <id>`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eddie_core::{label_windows, raw_rejection_rate, EddieConfig, Pipeline, SignalSource};
+use eddie_em::{EmChannel, EmChannelConfig};
+use eddie_inject::{BurstInjector, LoopInjector, OpPattern};
+use eddie_sim::{SimConfig, Simulator};
+use eddie_stats::anova::{anova, Observation};
+use eddie_stats::mixture::Mixture2;
+use eddie_workloads::{loop_shapes, prepare_shapes, Benchmark, WorkloadParams};
+
+fn pipeline() -> Pipeline {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 2;
+    let mut cfg = EddieConfig::default();
+    cfg.window_len = 256;
+    cfg.hop = 128;
+    cfg.candidate_group_sizes = vec![8, 16];
+    cfg.min_region_windows = 6;
+    Pipeline::new(sim, cfg, SignalSource::Power)
+}
+
+/// Figure 1: EM spectrum of one loop (simulate + modulate + STFT).
+fn bench_fig1(c: &mut Criterion) {
+    let program = loop_shapes(2);
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig1_em_spectrum", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::iot_inorder(), program.clone());
+            prepare_shapes(sim.machine_mut(), 7, 2);
+            let r = sim.run();
+            let channel = EmChannel::new(EmChannelConfig::oscilloscope(3));
+            black_box(channel.receive(&r.power).len())
+        })
+    });
+    g.finish();
+}
+
+/// Figure 2: bi-normal mixture fit on a trained region's peaks.
+fn bench_fig2(c: &mut Criterion) {
+    let p = pipeline();
+    let w = Benchmark::Susan.workload(&WorkloadParams { scale: 2 });
+    let model = p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap();
+    let rm = model.regions.values().max_by_key(|r| r.training_windows).unwrap();
+    let sample = rm.reference[0].clone();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig2_binormal_fit", |b| {
+        b.iter(|| black_box(Mixture2::fit(black_box(&sample), 40)))
+    });
+    g.finish();
+}
+
+/// Figure 3: raw K-S rejection-rate sweep over group sizes.
+fn bench_fig3(c: &mut Criterion) {
+    let p = pipeline();
+    let program = loop_shapes(2);
+    let model = p.train(&program, |m, s| prepare_shapes(m, s, 2), &[1, 2]).unwrap();
+    let result = p.simulate(&program, |m| prepare_shapes(m, 9, 2), None);
+    let (stss, mapping) = p.stss(&result, 9);
+    let labels = label_windows(&result, &model.graph, &mapping, stss.len());
+    let region = *model.regions.keys().next().unwrap();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig3_frr_sweep", |b| {
+        b.iter(|| {
+            for &n in &[4usize, 8, 16] {
+                black_box(raw_rejection_rate(&model, region, &stss, &labels, n));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Tables 1/2 and Figures 4-10 share one kernel: train a benchmark,
+/// then monitor a clean run, an in-loop-injected run, and a burst run.
+/// The parameter sweeps in the experiment binary only repeat this
+/// kernel, so one bench per signal path tracks all of their costs.
+fn table_kernel(p: &Pipeline, b: Benchmark) -> usize {
+    let w = b.workload(&WorkloadParams { scale: 2 });
+    let model = p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap();
+    let region = *model.regions.keys().next().unwrap();
+    let mut windows = p.monitor(&model, w.program(), |m| w.prepare(m, 9), None).metrics.total_groups;
+    if let Some(pc) = w.loop_branch_pc(region) {
+        let hook = LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 4);
+        windows += p
+            .monitor(&model, w.program(), |m| w.prepare(m, 10), Some(Box::new(hook)))
+            .metrics
+            .total_groups;
+    }
+    if let Some(pc) = w.region_exit_pc(region) {
+        let hook = BurstInjector::new(pc, 10_000, OpPattern::shell_like(), 4);
+        windows += p
+            .monitor(&model, w.program(), |m| w.prepare(m, 11), Some(Box::new(hook)))
+            .metrics
+            .total_groups;
+    }
+    windows
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    let power = pipeline();
+    g.bench_function("tab2_fig4to10_kernel_power", |b| {
+        b.iter(|| black_box(table_kernel(&power, Benchmark::Bitcount)))
+    });
+    let mut em = pipeline();
+    em = Pipeline::new(
+        em.sim_config().clone(),
+        em.eddie_config().clone(),
+        SignalSource::Em(EmChannelConfig::oscilloscope(1)),
+    );
+    g.bench_function("tab1_kernel_em", |b| {
+        b.iter(|| black_box(table_kernel(&em, Benchmark::Bitcount)))
+    });
+    g.finish();
+}
+
+/// §5.3 ANOVA on synthetic observations (the statistical step itself).
+fn bench_anova(c: &mut Criterion) {
+    let mut obs = Vec::new();
+    for w in 0..3u32 {
+        for d in 0..3u32 {
+            for r in 0..5u32 {
+                obs.push(Observation {
+                    response: w as f64 + (r % 2) as f64 * 0.5,
+                    levels: vec![w, d, r],
+                });
+            }
+        }
+    }
+    let mut g = c.benchmark_group("experiments");
+    g.bench_function("anova_3factor", |b| {
+        b.iter(|| black_box(anova(black_box(&obs), &["w", "d", "r"]).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3, bench_tables, bench_anova);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end pipeline benchmarks: training and monitoring cost for one
+//! benchmark kernel, plus the monitor's per-window decision throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eddie_core::{EddieConfig, Monitor, Pipeline, SignalSource};
+use eddie_sim::SimConfig;
+use eddie_workloads::{Benchmark, WorkloadParams};
+
+fn pipeline() -> Pipeline {
+    let mut sim = SimConfig::sesc_ooo();
+    sim.sample_interval = 2;
+    let mut cfg = EddieConfig::default();
+    cfg.window_len = 512;
+    cfg.hop = 256;
+    cfg.candidate_group_sizes = vec![8, 16];
+    Pipeline::new(sim, cfg, SignalSource::Power)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let p = pipeline();
+    let w = Benchmark::Stringsearch.workload(&WorkloadParams { scale: 2 });
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("train_stringsearch_2runs", |b| {
+        b.iter(|| {
+            black_box(
+                p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let p = pipeline();
+    let w = Benchmark::Stringsearch.workload(&WorkloadParams { scale: 2 });
+    let model = p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap();
+    let result = p.simulate(w.program(), |m| w.prepare(m, 9), None);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("monitor_stringsearch_run", |b| {
+        b.iter(|| black_box(p.monitor_result(&model, &result, 0)))
+    });
+    g.finish();
+
+    // Pure decision throughput: windows/second through Monitor::observe.
+    let (stss, _) = p.stss(&result, 0);
+    let mut g = c.benchmark_group("monitor");
+    g.throughput(Throughput::Elements(stss.len() as u64));
+    g.bench_function("observe_per_window", |b| {
+        b.iter(|| {
+            let mut mon = Monitor::new(&model);
+            for s in &stss {
+                black_box(mon.observe(s.clone()));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_training, bench_monitoring);
+criterion_main!(benches);

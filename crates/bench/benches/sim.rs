@@ -1,0 +1,78 @@
+//! Microbenchmarks of the simulator substrate: instruction throughput
+//! per core model, plus cache and branch-predictor primitives. These
+//! bound how much simulated execution one experiment second buys.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use eddie_isa::{ProgramBuilder, Reg};
+use eddie_sim::{BranchPredictor, Cache, CacheLevelConfig, SimConfig, Simulator};
+
+fn mixed_loop(iters: i64) -> eddie_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n, acc, base) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.li(n, iters).li(i, 0).li(base, 4096);
+    let top = b.label_here("top");
+    b.add(acc, acc, i)
+        .mul(acc, acc, i)
+        .load(Reg::R5, base, 0)
+        .xor(acc, acc, Reg::R5)
+        .store(acc, base, 1)
+        .addi(base, base, 7)
+        .andi(base, base, 0xffff)
+        .addi(i, i, 1)
+        .blt_label(i, n, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let iters = 20_000i64;
+    let program = mixed_loop(iters);
+    let instrs = (iters as u64) * 9;
+    g.throughput(Throughput::Elements(instrs));
+    g.bench_function("inorder_mixed_loop", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::iot_inorder(), program.clone());
+            black_box(sim.run().stats.cycles)
+        })
+    });
+    g.bench_function("ooo_mixed_loop", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(SimConfig::sesc_ooo(), program.clone());
+            black_box(sim.run().stats.cycles)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheLevelConfig {
+        size_bytes: 32 << 10,
+        assoc: 4,
+        line_bytes: 64,
+        hit_latency: 1,
+    });
+    let mut addr = 0u64;
+    c.bench_function("cache/access_stream", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(cache.access(addr & 0xf_ffff))
+        })
+    });
+}
+
+fn bench_branch(c: &mut Criterion) {
+    let mut bp = BranchPredictor::new(4096);
+    let mut k = 0u64;
+    c.bench_function("branch/predict_update", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(0x9e3779b97f4a7c15);
+            black_box(bp.predict_and_update((k & 0xfff) as usize, k & 0x10 != 0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cores, bench_cache, bench_branch);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the statistical tests: the per-window K-S cost is
+//! EDDIE's hot loop at monitoring time (one test per peak rank per
+//! window), so the sorted-reference fast path matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eddie_stats::anova::{anova, Observation};
+use eddie_stats::ks::{ks_test, ks_test_sorted_ref};
+use eddie_stats::mixture::Mixture2;
+use eddie_stats::utest::u_test;
+
+fn reference(n: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|i| ((i * 37) % 997) as f64).collect();
+    v.sort_by(|a, b| a.total_cmp(b));
+    v
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ks");
+    let refs = reference(2000);
+    let mon: Vec<f64> = (0..16).map(|i| ((i * 53) % 997) as f64).collect();
+    g.bench_function("unsorted_ref_2000x16", |b| {
+        b.iter(|| black_box(ks_test(black_box(&refs), black_box(&mon), 0.99)))
+    });
+    g.bench_function("sorted_ref_2000x16", |b| {
+        b.iter(|| black_box(ks_test_sorted_ref(black_box(&refs), black_box(&mon), 0.99)))
+    });
+    g.finish();
+}
+
+fn bench_utest(c: &mut Criterion) {
+    let a = reference(500);
+    let b2: Vec<f64> = (0..100).map(|i| ((i * 11) % 997) as f64 + 5.0).collect();
+    c.bench_function("utest/500x100", |b| {
+        b.iter(|| black_box(u_test(black_box(&a), black_box(&b2), 0.99)))
+    });
+}
+
+fn bench_mixture(c: &mut Criterion) {
+    let sample: Vec<f64> = (0..400)
+        .map(|i| if i % 2 == 0 { 10.0 + (i % 7) as f64 } else { 40.0 + (i % 5) as f64 })
+        .collect();
+    c.bench_function("mixture/fit_400x30iters", |b| {
+        b.iter(|| black_box(Mixture2::fit(black_box(&sample), 30)))
+    });
+}
+
+fn bench_anova(c: &mut Criterion) {
+    let mut obs = Vec::new();
+    for a in 0..3u32 {
+        for bl in 0..3u32 {
+            for r in 0..10 {
+                obs.push(Observation {
+                    response: a as f64 + (r % 4) as f64 * 0.3,
+                    levels: vec![a, bl],
+                });
+            }
+        }
+    }
+    c.bench_function("anova/2factor_90obs", |b| {
+        b.iter(|| black_box(anova(black_box(&obs), &["a", "b"]).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_ks, bench_utest, bench_mixture, bench_anova);
+criterion_main!(benches);

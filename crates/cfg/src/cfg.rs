@@ -1,0 +1,280 @@
+use std::fmt;
+
+use eddie_isa::{Instr, Program};
+use serde::{Deserialize, Serialize};
+
+/// Index of a basic block inside a [`Cfg`].
+pub type BlockId = usize;
+
+/// Error produced while building a [`Cfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// The program contains an indirect jump (`jr`), whose target cannot
+    /// be resolved statically. The workloads shipped with this
+    /// reproduction are call-free, matching the paper's loop-level
+    /// analysis granularity.
+    IndirectJump {
+        /// Location of the `jr` instruction.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::IndirectJump { pc } => {
+                write!(f, "indirect jump at {pc} prevents static CFG construction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// A maximal straight-line instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// Last instruction index (exclusive).
+    pub end: usize,
+    /// Successor blocks in the control-flow graph.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks in the control-flow graph.
+    pub preds: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the block covers no instructions (never the case
+    /// for blocks produced by [`Cfg::from_program`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` if `pc` lies inside this block.
+    pub fn contains(&self, pc: usize) -> bool {
+        (self.start..self.end).contains(&pc)
+    }
+}
+
+/// A control-flow graph over basic blocks of a program.
+///
+/// Block 0 is always the entry block (it starts at instruction 0).
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::{Instr, Program, Reg, BranchCond};
+/// use eddie_cfg::Cfg;
+///
+/// // 0: addi r1, r0, 0   1: addi r1, r1, 1   2: blt r1, r2, @1   3: halt
+/// let p = Program::new(vec![
+///     Instr::Addi(Reg::R1, Reg::R0, 0),
+///     Instr::Addi(Reg::R1, Reg::R1, 1),
+///     Instr::Branch(BranchCond::Lt, Reg::R1, Reg::R2, 1),
+///     Instr::Halt,
+/// ])?;
+/// let cfg = Cfg::from_program(&p)?;
+/// assert_eq!(cfg.blocks().len(), 3); // [0..1), [1..3), [3..4)
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// Builds the control-flow graph of `program`.
+    ///
+    /// Leaders are: instruction 0, every static branch/jump target, and
+    /// every instruction following a control-flow instruction. `Halt`
+    /// terminates a block with no successors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::IndirectJump`] if the program contains `jr`.
+    pub fn from_program(program: &Program) -> Result<Cfg, CfgError> {
+        let n = program.len();
+        // Reject indirect jumps up front.
+        for (pc, i) in program.iter() {
+            if matches!(i, Instr::Jr(_)) {
+                return Err(CfgError::IndirectJump { pc });
+            }
+        }
+
+        // Mark leaders.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, i) in program.iter() {
+            if let Some(t) = i.target() {
+                leader[t] = true;
+            }
+            if i.is_control() && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+
+        // Cut blocks at leaders.
+        let mut starts: Vec<usize> = (0..n).filter(|&pc| leader[pc]).collect();
+        starts.push(n);
+        let mut blocks: Vec<BasicBlock> = starts
+            .windows(2)
+            .map(|w| BasicBlock { start: w[0], end: w[1], succs: Vec::new(), preds: Vec::new() })
+            .collect();
+
+        // Map pc -> block id for edge construction.
+        let mut block_of = vec![0usize; n];
+        for (id, b) in blocks.iter().enumerate() {
+            for pc in b.start..b.end {
+                block_of[pc] = id;
+            }
+        }
+
+        // Edges from the last instruction of each block.
+        let mut edges: Vec<(BlockId, BlockId)> = Vec::new();
+        for (id, b) in blocks.iter().enumerate() {
+            let last_pc = b.end - 1;
+            let last = &program[last_pc];
+            match last {
+                Instr::Halt => {}
+                Instr::Jump(t) | Instr::Jal(_, t) => edges.push((id, block_of[*t])),
+                Instr::Branch(_, _, _, t) => {
+                    edges.push((id, block_of[*t]));
+                    if b.end < n {
+                        edges.push((id, block_of[b.end]));
+                    }
+                }
+                _ => {
+                    if b.end < n {
+                        edges.push((id, block_of[b.end]));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+
+        Ok(Cfg { blocks })
+    }
+
+    /// Returns the basic blocks, indexed by [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Returns the block containing instruction `pc`, or `None` when out
+    /// of range.
+    pub fn block_at(&self, pc: usize) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.contains(pc))
+    }
+
+    /// Returns the entry block id (always 0).
+    pub fn entry(&self) -> BlockId {
+        0
+    }
+
+    /// Blocks reachable from the entry, as a boolean mask.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![self.entry()];
+        seen[self.entry()] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{BranchCond, ProgramBuilder, Reg};
+
+    fn loop_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, 4);
+        let top = b.label_here("top");
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt_label(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn blocks_cover_program_exactly_once() {
+        let p = loop_program();
+        let cfg = Cfg::from_program(&p).unwrap();
+        let total: usize = cfg.blocks().iter().map(BasicBlock::len).sum();
+        assert_eq!(total, p.len());
+        // Blocks are contiguous and ordered.
+        let mut pos = 0;
+        for b in cfg.blocks() {
+            assert_eq!(b.start, pos);
+            assert!(!b.is_empty());
+            pos = b.end;
+        }
+    }
+
+    #[test]
+    fn loop_produces_back_edge_shape() {
+        let p = loop_program();
+        let cfg = Cfg::from_program(&p).unwrap();
+        // Entry block falls through to the loop body; the body branches to
+        // itself and to the exit.
+        let body = cfg.block_at(2).unwrap();
+        assert!(cfg.blocks()[body].succs.contains(&body));
+    }
+
+    #[test]
+    fn halt_block_has_no_successors() {
+        let p = loop_program();
+        let cfg = Cfg::from_program(&p).unwrap();
+        let last = cfg.blocks().len() - 1;
+        assert!(cfg.blocks()[last].succs.is_empty());
+    }
+
+    #[test]
+    fn indirect_jump_is_rejected() {
+        let p = Program::new(vec![Instr::Jr(Reg::R1), Instr::Halt]).unwrap();
+        assert_eq!(Cfg::from_program(&p), Err(CfgError::IndirectJump { pc: 0 }));
+    }
+
+    #[test]
+    fn branch_fallthrough_and_target_edges_exist() {
+        let p = Program::new(vec![
+            Instr::Branch(BranchCond::Eq, Reg::R1, Reg::R0, 2),
+            Instr::Nop,
+            Instr::Halt,
+        ])
+        .unwrap();
+        let cfg = Cfg::from_program(&p).unwrap();
+        let b0 = &cfg.blocks()[0];
+        assert_eq!(b0.succs.len(), 2);
+    }
+
+    #[test]
+    fn reachability_marks_dead_code() {
+        // Block after an unconditional jump that is never targeted.
+        let p = Program::new(vec![Instr::Jump(2), Instr::Nop, Instr::Halt]).unwrap();
+        let cfg = Cfg::from_program(&p).unwrap();
+        let reach = cfg.reachable();
+        let dead = cfg.block_at(1).unwrap();
+        assert!(!reach[dead]);
+    }
+}

@@ -1,0 +1,196 @@
+use crate::{BlockId, Cfg};
+
+/// Dominator relation over the blocks of a [`Cfg`].
+///
+/// Block `a` dominates block `b` when every path from the entry to `b`
+/// passes through `a`. Computed with the classic iterative data-flow
+/// algorithm, which is more than fast enough for the kernel-sized
+/// programs this reproduction analyses.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::{ProgramBuilder, Reg};
+/// use eddie_cfg::{Cfg, Dominators};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 0);
+/// let top = b.label_here("top");
+/// b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top).halt();
+/// let p = b.build()?;
+/// let cfg = Cfg::from_program(&p)?;
+/// let dom = Dominators::compute(&cfg);
+/// assert!(dom.dominates(cfg.entry(), cfg.blocks().len() - 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator of each block; `idom[entry] == entry`,
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.blocks().len();
+        let entry = cfg.entry();
+        let reachable = cfg.reachable();
+
+        // Reverse postorder for fast convergence.
+        let rpo = reverse_postorder(cfg);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                if !reachable[b] {
+                    continue;
+                }
+                // Pick the first processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.blocks()[b].preds {
+                    if idom[p].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Returns the immediate dominator of `block` (`None` for the entry
+    /// and for unreachable blocks).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        match self.idom[block] {
+            Some(d) if d != block => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed block has idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+fn reverse_postorder(cfg: &Cfg) -> Vec<BlockId> {
+    let n = cfg.blocks().len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry(), 0)];
+    visited[cfg.entry()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        if *i < cfg.blocks()[b].succs.len() {
+            let s = cfg.blocks()[b].succs[*i];
+            *i += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{BranchCond, Instr, Program, Reg};
+
+    /// Diamond: 0 -> {1, 2} -> 3.
+    fn diamond() -> Cfg {
+        let p = Program::new(vec![
+            Instr::Branch(BranchCond::Eq, Reg::R1, Reg::R0, 3), // blk0 -> blk2(@3), blk1(@1)
+            Instr::Nop,                                         // blk1
+            Instr::Jump(4),                                     // blk1 -> blk3
+            Instr::Nop,                                         // blk2 -> blk3
+            Instr::Halt,                                        // blk3
+        ])
+        .unwrap();
+        Cfg::from_program(&p).unwrap()
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let cfg = diamond();
+        let dom = Dominators::compute(&cfg);
+        for (b, _) in cfg.blocks().iter().enumerate() {
+            assert!(dom.dominates(cfg.entry(), b), "entry should dominate block {b}");
+        }
+    }
+
+    #[test]
+    fn merge_point_not_dominated_by_either_arm() {
+        let cfg = diamond();
+        let dom = Dominators::compute(&cfg);
+        let merge = cfg.blocks().len() - 1;
+        let arm1 = 1;
+        let arm2 = 2;
+        assert!(!dom.dominates(arm1, merge));
+        assert!(!dom.dominates(arm2, merge));
+        assert_eq!(dom.idom(merge), Some(cfg.entry()));
+    }
+
+    #[test]
+    fn idom_of_entry_is_none() {
+        let cfg = diamond();
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(cfg.entry()), None);
+    }
+
+    #[test]
+    fn linear_chain_dominates_transitively() {
+        let p = Program::new(vec![Instr::Jump(1), Instr::Jump(2), Instr::Halt]).unwrap();
+        let cfg = Cfg::from_program(&p).unwrap();
+        let dom = Dominators::compute(&cfg);
+        assert!(dom.dominates(0, 2));
+        assert_eq!(dom.idom(2), Some(1));
+    }
+}

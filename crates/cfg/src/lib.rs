@@ -1,0 +1,52 @@
+//! Control-flow analysis for EDDIE's training phase.
+//!
+//! Section 4.1 of the paper derives a *region-level state machine* from
+//! the program's control-flow graph: every loop nest is collapsed into a
+//! single state, remaining (non-loop) code is folded into edges, and the
+//! result constrains which region may follow which during any valid
+//! execution. This crate reproduces that analysis for programs written in
+//! the `eddie-isa` instruction set:
+//!
+//! * [`Cfg`] — basic blocks and edges recovered from a
+//!   [`Program`](eddie_isa::Program);
+//! * [`Dominators`] — iterative dominator analysis;
+//! * [`NaturalLoop`] / [`LoopForest`] — back-edge driven loop discovery
+//!   and loop-nest construction;
+//! * [`RegionGraph`] — the region-level state machine over the program's
+//!   instrumented loop regions, with synthesised inter-loop (transition)
+//!   regions, used by the monitor to know the legal successors of the
+//!   currently executing region.
+//!
+//! # Examples
+//!
+//! ```
+//! use eddie_isa::{ProgramBuilder, Reg, RegionId};
+//! use eddie_cfg::RegionGraph;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::R1, 0).li(Reg::R2, 8);
+//! b.region_enter(RegionId::new(0));
+//! let top = b.label_here("top");
+//! b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top);
+//! b.region_exit(RegionId::new(0));
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let graph = RegionGraph::from_program(&program)?;
+//! // One loop region plus prologue and epilogue transitions.
+//! assert_eq!(graph.loop_regions().count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod dom;
+mod loops;
+mod region_graph;
+
+pub use cfg::{BasicBlock, BlockId, Cfg, CfgError};
+pub use dom::Dominators;
+pub use loops::{LoopForest, NaturalLoop};
+pub use region_graph::{RegionGraph, RegionGraphError, RegionKind, RegionNode};

@@ -1,0 +1,207 @@
+use std::collections::BTreeSet;
+
+use crate::{BlockId, Cfg, Dominators};
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header block (target of the back edge, dominates the body).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Returns `true` if `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.contains(&block)
+    }
+}
+
+/// The set of natural loops of a program, merged into top-level loop
+/// nests.
+///
+/// The paper's region analysis (§4.1) merges "all the nodes in the CFG
+/// that belong to that loop nest into a single loop-region node".
+/// [`LoopForest::nests`] returns exactly those maximal nests: loops
+/// sharing a header are unioned, and loops whose bodies are contained in
+/// another loop's body are folded into the outer loop.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::{ProgramBuilder, Reg};
+/// use eddie_cfg::{Cfg, LoopForest};
+///
+/// // Two-level nest: outer loop over r1, inner loop over r2.
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 0);
+/// let outer = b.label_here("outer");
+/// b.li(Reg::R2, 0);
+/// let inner = b.label_here("inner");
+/// b.addi(Reg::R2, Reg::R2, 1).blt_label(Reg::R2, Reg::R4, inner);
+/// b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R3, outer);
+/// b.halt();
+/// let p = b.build()?;
+/// let cfg = Cfg::from_program(&p)?;
+/// let forest = LoopForest::compute(&cfg);
+/// assert_eq!(forest.loops().len(), 2);  // inner + outer
+/// assert_eq!(forest.nests().len(), 1);  // one top-level nest
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    nests: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Discovers the natural loops of `cfg` and merges them into
+    /// top-level nests.
+    pub fn compute(cfg: &Cfg) -> LoopForest {
+        let dom = Dominators::compute(cfg);
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+
+        // Find back edges: u -> v where v dominates u.
+        for (u, block) in cfg.blocks().iter().enumerate() {
+            for &v in &block.succs {
+                if dom.dominates(v, u) {
+                    loops.push(natural_loop(cfg, v, u));
+                }
+            }
+        }
+
+        // Merge loops with the same header.
+        loops.sort_by_key(|l| l.header);
+        let mut merged: Vec<NaturalLoop> = Vec::new();
+        for l in loops {
+            match merged.last_mut() {
+                Some(prev) if prev.header == l.header => {
+                    prev.body.extend(l.body);
+                }
+                _ => merged.push(l),
+            }
+        }
+
+        // Top-level nests: drop loops contained in another loop's body.
+        let mut nests: Vec<NaturalLoop> = Vec::new();
+        for (i, l) in merged.iter().enumerate() {
+            let nested = merged
+                .iter()
+                .enumerate()
+                .any(|(j, outer)| j != i && outer.body.is_superset(&l.body) && outer.body.len() > l.body.len());
+            if !nested {
+                nests.push(l.clone());
+            }
+        }
+
+        LoopForest { loops: merged, nests }
+    }
+
+    /// Every natural loop (one per distinct header), innermost included.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// Top-level loop nests — the paper's loop-region nodes.
+    pub fn nests(&self) -> &[NaturalLoop] {
+        &self.nests
+    }
+
+    /// Returns the top-level nest containing `block`, if any.
+    pub fn nest_of(&self, block: BlockId) -> Option<&NaturalLoop> {
+        self.nests.iter().find(|n| n.contains(block))
+    }
+}
+
+/// Classic natural-loop body computation: header plus every block that
+/// reaches `latch` without passing through `header`.
+fn natural_loop(cfg: &Cfg, header: BlockId, latch: BlockId) -> NaturalLoop {
+    let mut body = BTreeSet::new();
+    body.insert(header);
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if body.insert(b) {
+            for &p in &cfg.blocks()[b].preds {
+                stack.push(p);
+            }
+        }
+    }
+    NaturalLoop { header, body }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    fn single_loop_cfg() -> Cfg {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0);
+        let top = b.label_here("top");
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top);
+        b.halt();
+        Cfg::from_program(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn finds_single_loop() {
+        let cfg = single_loop_cfg();
+        let f = LoopForest::compute(&cfg);
+        assert_eq!(f.loops().len(), 1);
+        assert_eq!(f.nests().len(), 1);
+        let l = &f.loops()[0];
+        assert!(l.contains(l.header));
+    }
+
+    #[test]
+    fn sequential_loops_stay_separate() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0);
+        let t1 = b.label_here("l1");
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, t1);
+        b.li(Reg::R1, 0);
+        let t2 = b.label_here("l2");
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, t2);
+        b.halt();
+        let cfg = Cfg::from_program(&b.build().unwrap()).unwrap();
+        let f = LoopForest::compute(&cfg);
+        assert_eq!(f.nests().len(), 2);
+    }
+
+    #[test]
+    fn nested_loops_merge_into_one_nest() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0);
+        let outer = b.label_here("outer");
+        b.li(Reg::R2, 0);
+        let inner = b.label_here("inner");
+        b.addi(Reg::R2, Reg::R2, 1).blt_label(Reg::R2, Reg::R4, inner);
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R3, outer);
+        b.halt();
+        let cfg = Cfg::from_program(&b.build().unwrap()).unwrap();
+        let f = LoopForest::compute(&cfg);
+        assert_eq!(f.loops().len(), 2);
+        assert_eq!(f.nests().len(), 1);
+        // The nest is the outer loop, which contains the inner header.
+        let inner_header = f
+            .loops()
+            .iter()
+            .map(|l| l.header)
+            .max()
+            .unwrap();
+        assert!(f.nests()[0].contains(inner_header));
+        assert!(f.nest_of(inner_header).is_some());
+    }
+
+    #[test]
+    fn loop_free_program_has_no_loops() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1).halt();
+        let cfg = Cfg::from_program(&b.build().unwrap()).unwrap();
+        let f = LoopForest::compute(&cfg);
+        assert!(f.loops().is_empty());
+        assert!(f.nests().is_empty());
+        assert!(f.nest_of(0).is_none());
+    }
+}

@@ -1,0 +1,489 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use eddie_isa::{Instr, Program, RegionId};
+use serde::{Deserialize, Serialize};
+
+use crate::{Cfg, CfgError, LoopForest};
+
+/// Error produced while deriving a [`RegionGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionGraphError {
+    /// The CFG could not be built.
+    Cfg(CfgError),
+    /// The program declares no loop regions (no `RegionEnter` markers),
+    /// so there is nothing for EDDIE to train on.
+    NoRegions,
+    /// A `RegionEnter` marker for `region` is not immediately followed by
+    /// code that reaches a loop: the instrumentation does not bracket a
+    /// loop nest.
+    MarkerWithoutLoop {
+        /// The offending region id.
+        region: RegionId,
+    },
+}
+
+impl fmt::Display for RegionGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionGraphError::Cfg(e) => write!(f, "control-flow graph construction failed: {e}"),
+            RegionGraphError::NoRegions => f.write_str("program declares no loop regions"),
+            RegionGraphError::MarkerWithoutLoop { region } => {
+                write!(f, "{region} marker does not bracket any loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegionGraphError::Cfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CfgError> for RegionGraphError {
+    fn from(e: CfgError) -> RegionGraphError {
+        RegionGraphError::Cfg(e)
+    }
+}
+
+/// What a region in the state machine represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// A loop nest bracketed by `RegionEnter`/`RegionExit` markers —
+    /// a *state* of the paper's region-level state machine.
+    Loop,
+    /// Inter-loop code — an *edge* of the paper's state machine, given
+    /// its own synthesised region id so that its spectra can be trained
+    /// and monitored too. `from == None` marks the program prologue;
+    /// `to == None` marks the epilogue.
+    Transition {
+        /// The loop region this transition leaves (or `None` at program
+        /// start).
+        from: Option<RegionId>,
+        /// The loop region this transition enters (or `None` at program
+        /// end).
+        to: Option<RegionId>,
+    },
+}
+
+/// A node of the region-level state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionNode {
+    /// The node's region id (declared for loops, synthesised for
+    /// transitions).
+    pub id: RegionId,
+    /// Whether this node is a loop state or an inter-loop transition.
+    pub kind: RegionKind,
+    /// Regions that may legally execute immediately after this one.
+    pub succs: Vec<RegionId>,
+}
+
+/// The region-level state machine of §4.1.
+///
+/// Nodes are loop regions (declared by `RegionEnter` markers, which
+/// mirror the paper's compiler instrumentation) and synthesised
+/// inter-loop transition regions. The graph answers the monitor's
+/// question: *given the region believed to be executing, which regions
+/// may come next?*
+///
+/// A loop region's successors are the transition regions leaving it; a
+/// transition's successor is the loop it enters (or nothing at program
+/// end). Self-transitions `A -> A` appear when a loop nest can be
+/// re-entered.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::{ProgramBuilder, Reg, RegionId};
+/// use eddie_cfg::{RegionGraph, RegionKind};
+///
+/// // Two sequential instrumented loops.
+/// let mut b = ProgramBuilder::new();
+/// let (i, n) = (Reg::R1, Reg::R2);
+/// b.li(n, 16);
+/// for r in 0..2u32 {
+///     b.li(i, 0);
+///     b.region_enter(RegionId::new(r));
+///     let top = b.label_here("top");
+///     b.addi(i, i, 1).blt_label(i, n, top);
+///     b.region_exit(RegionId::new(r));
+/// }
+/// b.halt();
+/// let graph = RegionGraph::from_program(&b.build()?)?;
+///
+/// // loop0 -> transition(0,1) -> loop1
+/// let t = graph.transition_between(Some(RegionId::new(0)), Some(RegionId::new(1)))
+///     .expect("transition exists");
+/// assert_eq!(graph.successors(RegionId::new(0)), &[t]);
+/// assert_eq!(graph.successors(t), &[RegionId::new(1)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionGraph {
+    nodes: Vec<RegionNode>,
+    index: BTreeMap<RegionId, usize>,
+}
+
+impl RegionGraph {
+    /// Derives the region-level state machine of `program`.
+    ///
+    /// The analysis walks the instruction-level CFG from the program
+    /// entry and from every `RegionExit`, recording which `RegionEnter`
+    /// markers are reachable without crossing another `RegionEnter`.
+    /// Each such (from, to) pair becomes a transition region. Marker
+    /// placement is validated against the natural loops of the CFG.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the CFG cannot be built, if no regions are
+    /// declared, or if a marker does not bracket a loop.
+    pub fn from_program(program: &Program) -> Result<RegionGraph, RegionGraphError> {
+        let cfg = Cfg::from_program(program)?;
+        let forest = LoopForest::compute(&cfg);
+
+        let declared: Vec<RegionId> = program.declared_regions().collect();
+        if declared.is_empty() {
+            return Err(RegionGraphError::NoRegions);
+        }
+
+        // Validate: each RegionEnter must reach a loop header before the
+        // matching RegionExit.
+        for &r in &declared {
+            let enter_pc = program.region_entry(r).expect("declared region has entry");
+            if !marker_brackets_loop(program, &cfg, &forest, enter_pc, r) {
+                return Err(RegionGraphError::MarkerWithoutLoop { region: r });
+            }
+        }
+
+        // Transition discovery: BFS over instructions.
+        let mut transitions: BTreeSet<(Option<RegionId>, Option<RegionId>)> = BTreeSet::new();
+        // Prologue: from program start.
+        for to in reachable_enters(program, 0) {
+            transitions.insert((None, to));
+        }
+        // From every RegionExit.
+        for (pc, i) in program.iter() {
+            if let Instr::RegionExit(from) = i {
+                if pc + 1 < program.len() {
+                    for to in reachable_enters(program, pc + 1) {
+                        transitions.insert((Some(*from), to));
+                    }
+                }
+            }
+        }
+
+        // Build nodes: loops first, then transitions with fresh ids.
+        let mut next_id = declared.iter().map(|r| r.index()).max().unwrap_or(0) + 1;
+        let mut nodes: Vec<RegionNode> = declared
+            .iter()
+            .map(|&id| RegionNode { id, kind: RegionKind::Loop, succs: Vec::new() })
+            .collect();
+        let mut trans_ids: BTreeMap<(Option<RegionId>, Option<RegionId>), RegionId> =
+            BTreeMap::new();
+        for &(from, to) in &transitions {
+            let id = RegionId::new(next_id);
+            next_id += 1;
+            trans_ids.insert((from, to), id);
+            nodes.push(RegionNode {
+                id,
+                kind: RegionKind::Transition { from, to },
+                succs: match to {
+                    Some(t) => vec![t],
+                    None => Vec::new(),
+                },
+            });
+        }
+        // Loop successors: the transitions leaving them.
+        for node in nodes.iter_mut() {
+            if node.kind == RegionKind::Loop {
+                let id = node.id;
+                node.succs = trans_ids
+                    .iter()
+                    .filter(|((from, _), _)| *from == Some(id))
+                    .map(|(_, &tid)| tid)
+                    .collect();
+            }
+        }
+
+        let index = nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+        Ok(RegionGraph { nodes, index })
+    }
+
+    /// All nodes of the state machine.
+    pub fn nodes(&self) -> &[RegionNode] {
+        &self.nodes
+    }
+
+    /// Looks up a node by region id.
+    pub fn node(&self, id: RegionId) -> Option<&RegionNode> {
+        self.index.get(&id).map(|&i| &self.nodes[i])
+    }
+
+    /// Returns the kind of `id`, or `None` for unknown regions.
+    pub fn kind(&self, id: RegionId) -> Option<RegionKind> {
+        self.node(id).map(|n| n.kind)
+    }
+
+    /// Legal successor regions of `id` (empty for unknown regions).
+    pub fn successors(&self, id: RegionId) -> &[RegionId] {
+        self.node(id).map(|n| n.succs.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterates over the loop-region ids (the state-machine states).
+    pub fn loop_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == RegionKind::Loop)
+            .map(|n| n.id)
+    }
+
+    /// Iterates over the synthesised transition-region ids.
+    pub fn transition_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, RegionKind::Transition { .. }))
+            .map(|n| n.id)
+    }
+
+    /// Returns the transition region connecting `from` to `to`, if the
+    /// state machine contains that edge. `None` endpoints address the
+    /// program prologue / epilogue.
+    pub fn transition_between(
+        &self,
+        from: Option<RegionId>,
+        to: Option<RegionId>,
+    ) -> Option<RegionId> {
+        self.nodes
+            .iter()
+            .find(|n| n.kind == RegionKind::Transition { from, to })
+            .map(|n| n.id)
+    }
+
+    /// Total number of regions (loops + transitions).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no regions (never the case for graphs
+    /// produced by [`RegionGraph::from_program`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Instruction-level successor pcs.
+fn instr_succs(program: &Program, pc: usize) -> Vec<usize> {
+    match program[pc] {
+        Instr::Halt => Vec::new(),
+        Instr::Jump(t) | Instr::Jal(_, t) => vec![t],
+        Instr::Branch(_, _, _, t) => {
+            if pc + 1 < program.len() {
+                vec![t, pc + 1]
+            } else {
+                vec![t]
+            }
+        }
+        _ => {
+            if pc + 1 < program.len() {
+                vec![pc + 1]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// BFS from `start`, collecting the region ids of `RegionEnter` markers
+/// reachable without crossing another `RegionEnter`. If a `Halt` is
+/// reachable the epilogue marker `None` is included.
+fn reachable_enters(program: &Program, start: usize) -> BTreeSet<Option<RegionId>> {
+    let mut out = BTreeSet::new();
+    let mut seen = vec![false; program.len()];
+    let mut queue = vec![start];
+    while let Some(pc) = queue.pop() {
+        if seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        match program[pc] {
+            Instr::RegionEnter(r) => {
+                out.insert(Some(r));
+            }
+            Instr::Halt => {
+                out.insert(None);
+            }
+            _ => queue.extend(instr_succs(program, pc)),
+        }
+    }
+    out
+}
+
+/// Checks that execution from `enter_pc` reaches a natural-loop header
+/// before the matching `RegionExit` — i.e. the marker really brackets a
+/// loop nest.
+fn marker_brackets_loop(
+    program: &Program,
+    cfg: &Cfg,
+    forest: &LoopForest,
+    enter_pc: usize,
+    region: RegionId,
+) -> bool {
+    let mut seen = vec![false; program.len()];
+    let mut queue = vec![enter_pc + 1];
+    while let Some(pc) = queue.pop() {
+        if pc >= program.len() || seen[pc] {
+            continue;
+        }
+        seen[pc] = true;
+        if program[pc] == Instr::RegionExit(region) {
+            continue;
+        }
+        if let Some(b) = cfg.block_at(pc) {
+            if forest.nest_of(b).is_some() {
+                return true;
+            }
+        }
+        queue.extend(instr_succs(program, pc));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    /// `count` sequential instrumented loops.
+    fn sequential_loops(count: u32) -> Program {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 16);
+        for r in 0..count {
+            b.li(i, 0);
+            b.region_enter(RegionId::new(r));
+            let top = b.label_here("top");
+            b.addi(i, i, 1).blt_label(i, n, top);
+            b.region_exit(RegionId::new(r));
+        }
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_loops_chain_through_transitions() {
+        let g = RegionGraph::from_program(&sequential_loops(3)).unwrap();
+        assert_eq!(g.loop_regions().count(), 3);
+        // prologue + 2 inter-loop + epilogue
+        assert_eq!(g.transition_regions().count(), 4);
+        let t01 = g
+            .transition_between(Some(RegionId::new(0)), Some(RegionId::new(1)))
+            .unwrap();
+        assert_eq!(g.successors(RegionId::new(0)), &[t01]);
+        assert_eq!(g.successors(t01), &[RegionId::new(1)]);
+        // Epilogue has no successors.
+        let epi = g.transition_between(Some(RegionId::new(2)), None).unwrap();
+        assert!(g.successors(epi).is_empty());
+    }
+
+    #[test]
+    fn prologue_points_to_first_loop() {
+        let g = RegionGraph::from_program(&sequential_loops(2)).unwrap();
+        let pro = g.transition_between(None, Some(RegionId::new(0))).unwrap();
+        assert_eq!(g.successors(pro), &[RegionId::new(0)]);
+        assert_eq!(
+            g.kind(pro),
+            Some(RegionKind::Transition { from: None, to: Some(RegionId::new(0)) })
+        );
+    }
+
+    #[test]
+    fn branching_region_sequence_yields_multiple_successors() {
+        // loop0 then either loop1 or loop2 depending on a flag.
+        let mut b = ProgramBuilder::new();
+        let (i, n, flag) = (Reg::R1, Reg::R2, Reg::R3);
+        b.li(n, 8);
+        b.region_enter(RegionId::new(0));
+        let t0 = b.label_here("t0");
+        b.addi(i, i, 1).blt_label(i, n, t0);
+        b.region_exit(RegionId::new(0));
+        let l2 = b.label("l2");
+        let done = b.label("done");
+        b.beq_label(flag, Reg::R0, l2);
+        b.li(i, 0);
+        b.region_enter(RegionId::new(1));
+        let t1 = b.label_here("t1");
+        b.addi(i, i, 1).blt_label(i, n, t1);
+        b.region_exit(RegionId::new(1));
+        b.jump_label(done);
+        b.bind(l2);
+        b.li(i, 0);
+        b.region_enter(RegionId::new(2));
+        let t2 = b.label_here("t2");
+        b.addi(i, i, 1).blt_label(i, n, t2);
+        b.region_exit(RegionId::new(2));
+        b.bind(done);
+        b.halt();
+        let g = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        assert_eq!(g.successors(RegionId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn re_entered_loop_gets_self_transition() {
+        // Outer repeat: loop0 executes twice via an outer counter, giving
+        // transition loop0 -> loop0.
+        let mut b = ProgramBuilder::new();
+        let (i, n, rep) = (Reg::R1, Reg::R2, Reg::R3);
+        b.li(n, 8).li(rep, 0);
+        let again = b.label_here("again");
+        b.li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.addi(rep, rep, 1);
+        b.blt_label(rep, n, again);
+        b.halt();
+        let g = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        assert!(g
+            .transition_between(Some(RegionId::new(0)), Some(RegionId::new(0)))
+            .is_some());
+    }
+
+    #[test]
+    fn no_regions_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1).halt();
+        assert_eq!(
+            RegionGraph::from_program(&b.build().unwrap()),
+            Err(RegionGraphError::NoRegions)
+        );
+    }
+
+    #[test]
+    fn marker_without_loop_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.region_enter(RegionId::new(0));
+        b.li(Reg::R1, 1);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        assert_eq!(
+            RegionGraph::from_program(&b.build().unwrap()),
+            Err(RegionGraphError::MarkerWithoutLoop { region: RegionId::new(0) })
+        );
+    }
+
+    #[test]
+    fn node_lookup_and_len_agree() {
+        let g = RegionGraph::from_program(&sequential_loops(2)).unwrap();
+        assert_eq!(g.len(), g.nodes().len());
+        assert!(!g.is_empty());
+        for n in g.nodes() {
+            assert_eq!(g.node(n.id).unwrap().id, n.id);
+        }
+        assert!(g.node(RegionId::new(999)).is_none());
+    }
+}

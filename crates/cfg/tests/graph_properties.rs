@@ -1,0 +1,89 @@
+//! Property tests on the control-flow analysis: CFG partitioning,
+//! dominator soundness, and region-graph invariants over randomly
+//! structured (but well-formed) instrumented programs.
+
+use eddie_cfg::{Cfg, Dominators, LoopForest, RegionGraph, RegionKind};
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use proptest::prelude::*;
+
+/// Builds a program with `loops` sequential instrumented loops, each
+/// with `body` filler instructions.
+fn sequential(loops: u32, body: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n) = (Reg::R1, Reg::R2);
+    b.li(n, 8);
+    for r in 0..loops {
+        b.li(i, 0);
+        b.region_enter(RegionId::new(r));
+        let top = b.label_here("top");
+        for _ in 0..body {
+            b.add(Reg::R3, Reg::R3, i);
+        }
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(r));
+    }
+    b.halt();
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Dominators: the entry dominates every reachable block, and
+    /// every loop header dominates its whole body.
+    #[test]
+    fn dominator_soundness(loops in 1u32..5, body in 0usize..10) {
+        let p = sequential(loops, body);
+        let cfg = Cfg::from_program(&p).unwrap();
+        let dom = Dominators::compute(&cfg);
+        let reach = cfg.reachable();
+        for (b, _) in cfg.blocks().iter().enumerate() {
+            if reach[b] {
+                prop_assert!(dom.dominates(cfg.entry(), b));
+            }
+        }
+        let forest = LoopForest::compute(&cfg);
+        prop_assert_eq!(forest.nests().len(), loops as usize);
+        for l in forest.loops() {
+            for &blk in &l.body {
+                prop_assert!(dom.dominates(l.header, blk), "header must dominate body");
+            }
+        }
+    }
+
+    /// Region graph invariants: one loop node per instrumented loop,
+    /// a prologue and an epilogue transition, and every loop's
+    /// successors are transitions that in turn lead to loops (or end).
+    #[test]
+    fn region_graph_shape(loops in 1u32..6) {
+        let p = sequential(loops, 2);
+        let g = RegionGraph::from_program(&p).unwrap();
+        prop_assert_eq!(g.loop_regions().count(), loops as usize);
+        // Chain: prologue + (loops-1) inter-loop + epilogue transitions.
+        prop_assert_eq!(g.transition_regions().count(), loops as usize + 1);
+        prop_assert!(g.transition_between(None, Some(RegionId::new(0))).is_some());
+        prop_assert!(g
+            .transition_between(Some(RegionId::new(loops - 1)), None)
+            .is_some());
+        for id in g.loop_regions() {
+            for &succ in g.successors(id) {
+                match g.kind(succ) {
+                    Some(RegionKind::Transition { from, .. }) => {
+                        prop_assert_eq!(from, Some(id));
+                    }
+                    other => prop_assert!(false, "loop successor must be a transition, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Region ids are unique across the graph.
+    #[test]
+    fn region_ids_are_unique(loops in 1u32..6) {
+        let p = sequential(loops, 1);
+        let g = RegionGraph::from_program(&p).unwrap();
+        let mut ids: Vec<_> = g.nodes().iter().map(|n| n.id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,153 @@
+use eddie_dsp::{PeakConfig, WindowKind};
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the EDDIE detector.
+///
+/// The defaults follow the paper: 50 %-overlap STFT windows (§3), the
+/// 1 %-energy peak rule (§4.1), a 99 % K-S confidence level (§5.6), and
+/// `reportThreshold = 3` — an anomaly is only reported on the fourth
+/// consecutive unexplained K-S rejection (§5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EddieConfig {
+    /// STFT window length in signal samples (power of two).
+    pub window_len: usize,
+    /// STFT hop in samples; `window_len / 2` gives the paper's 50 %
+    /// overlap.
+    pub hop: usize,
+    /// Analysis window shape.
+    pub window: WindowKind,
+    /// Spectral-peak extraction rule.
+    pub peaks: PeakConfig,
+    /// Number of peak ranks tested per region (each rank is one
+    /// dimension of the per-dimension K-S tests, §4.2).
+    pub num_peak_dims: usize,
+    /// K-S confidence level (e.g. `0.99`).
+    pub confidence: f64,
+    /// Consecutive unexplained rejections tolerated before an anomaly is
+    /// reported (the paper's `reportThreshold`).
+    pub report_threshold: usize,
+    /// Number of peak-rank K-S rejections that constitute a region-level
+    /// rejection. Algorithm 1 reacts to every per-peak rejection; we
+    /// default to 2 concurring ranks, which keeps that sensitivity while
+    /// damping single-rank noise (a lone active rank rejecting also
+    /// triggers).
+    pub reject_rank_threshold: usize,
+    /// Fraction of peak ranks a successor region must accept for a
+    /// region change (the paper's `changeThreshold`).
+    pub change_fraction: f64,
+    /// Candidate K-S group sizes evaluated during the per-region
+    /// group-size selection of §4.3, in ascending order.
+    pub candidate_group_sizes: Vec<usize>,
+    /// Minimum training windows a region needs to be modelled; regions
+    /// below this are "pass-through" (brief transitions).
+    pub min_region_windows: usize,
+    /// Enables the diffuse-feature extension (§5.2's suggested
+    /// improvement): spectral centroid and spread join the peak ranks as
+    /// two extra K-S dimensions. These moments exist even in windows
+    /// with no qualifying peaks, which is what regions like GSM's
+    /// peak-less loop need.
+    pub use_spectral_moments: bool,
+}
+
+impl Default for EddieConfig {
+    fn default() -> EddieConfig {
+        EddieConfig {
+            window_len: 1024,
+            hop: 512,
+            window: WindowKind::Hann,
+            peaks: PeakConfig::default(),
+            num_peak_dims: 5,
+            confidence: 0.99,
+            report_threshold: 3,
+            reject_rank_threshold: 2,
+            change_fraction: 0.5,
+            candidate_group_sizes: vec![4, 6, 8, 12, 16, 24, 32, 48],
+            min_region_windows: 8,
+            use_spectral_moments: false,
+        }
+    }
+}
+
+impl EddieConfig {
+    /// A configuration with shorter windows for quick tests (lower
+    /// frequency resolution, much less signal needed).
+    pub fn quick() -> EddieConfig {
+        EddieConfig {
+            window_len: 256,
+            hop: 128,
+            candidate_group_sizes: vec![3, 4, 6, 8, 12, 16],
+            min_region_windows: 6,
+            ..EddieConfig::default()
+        }
+    }
+
+    /// Total number of K-S test dimensions: the peak ranks plus, when
+    /// the spectral-moment extension is on, centroid and spread.
+    pub fn num_dims(&self) -> usize {
+        self.num_peak_dims + if self.use_spectral_moments { 2 } else { 0 }
+    }
+
+    /// Validates internal consistency (window/hop relationship,
+    /// confidence range, non-empty candidate list).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.window_len.is_power_of_two() || self.window_len < 4 {
+            return Err(format!("window_len {} must be a power of two >= 4", self.window_len));
+        }
+        if self.hop == 0 || self.hop > self.window_len {
+            return Err(format!("hop {} invalid for window {}", self.hop, self.window_len));
+        }
+        if !(0.5..1.0).contains(&self.confidence) {
+            return Err(format!("confidence {} out of range", self.confidence));
+        }
+        if self.candidate_group_sizes.is_empty() {
+            return Err("candidate_group_sizes must not be empty".into());
+        }
+        if self.num_peak_dims == 0 {
+            return Err("num_peak_dims must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_faithful() {
+        let c = EddieConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.hop * 2, c.window_len, "50% overlap");
+        assert_eq!(c.report_threshold, 3);
+        assert!((c.confidence - 0.99).abs() < 1e-12);
+        assert!((c.peaks.energy_fraction - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_is_valid() {
+        EddieConfig::quick().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_settings() {
+        let mut c = EddieConfig::default();
+        c.window_len = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = EddieConfig::default();
+        c.hop = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = EddieConfig::default();
+        c.confidence = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = EddieConfig::default();
+        c.candidate_group_sizes.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = EddieConfig::default();
+        c.num_peak_dims = 0;
+        assert!(c.validate().is_err());
+    }
+}

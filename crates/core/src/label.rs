@@ -1,0 +1,144 @@
+use eddie_cfg::RegionGraph;
+use eddie_isa::RegionId;
+use eddie_sim::SimResult;
+
+use crate::WindowMapping;
+
+/// Labels each STS window with the region that produced it, using the
+/// instrumentation trace of a training run (§4.1 of the paper).
+///
+/// A window is labelled with the loop region that occupies the majority
+/// of its cycles. Windows dominated by inter-loop code get the
+/// synthesised transition region between the preceding and following
+/// loop occurrences (program prologue/epilogue transitions at the run's
+/// edges). Windows extending past the end of the run are labelled with
+/// the epilogue transition if the graph has one, else the last label.
+pub fn label_windows(
+    result: &SimResult,
+    graph: &RegionGraph,
+    mapping: &WindowMapping,
+    num_windows: usize,
+) -> Vec<RegionId> {
+    let spans = &result.regions;
+    let mut labels = Vec::with_capacity(num_windows);
+    for w in 0..num_windows {
+        let (ws, we) = (mapping.window_start_cycle(w), mapping.window_end_cycle(w));
+        let len = we - ws;
+
+        // Majority loop region.
+        let mut best: Option<(RegionId, u64)> = None;
+        for s in spans {
+            let overlap = s.end_cycle.min(we).saturating_sub(s.start_cycle.max(ws));
+            if overlap > 0 && best.map_or(true, |(_, b)| overlap > b) {
+                best = Some((s.region, overlap));
+            }
+        }
+        if let Some((r, overlap)) = best {
+            if overlap * 2 >= len {
+                labels.push(r);
+                continue;
+            }
+        }
+
+        // Transition window: find the loops around the window midpoint.
+        let mid = ws + len / 2;
+        let prev = spans.iter().rev().find(|s| s.end_cycle <= mid).map(|s| s.region);
+        let next = spans.iter().find(|s| s.start_cycle >= mid).map(|s| s.region);
+        let label = graph
+            .transition_between(prev, next)
+            .or_else(|| best.map(|(r, _)| r))
+            .or_else(|| graph.transition_between(prev, None))
+            .unwrap_or_else(|| RegionId::new(u32::MAX));
+        labels.push(label);
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{ProgramBuilder, Reg};
+    use eddie_sim::{PowerTrace, RegionSpan, SimResult, SimStats};
+
+    fn two_loop_graph() -> RegionGraph {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 16);
+        for r in 0..2u32 {
+            b.li(i, 0);
+            b.region_enter(RegionId::new(r));
+            let top = b.label_here("top");
+            b.addi(i, i, 1).blt_label(i, n, top);
+            b.region_exit(RegionId::new(r));
+        }
+        b.halt();
+        RegionGraph::from_program(&b.build().unwrap()).unwrap()
+    }
+
+    fn result_with_spans(spans: Vec<RegionSpan>, cycles: u64) -> SimResult {
+        SimResult {
+            stats: SimStats { cycles, ..SimStats::default() },
+            power: PowerTrace {
+                samples: vec![0.0; (cycles / 20) as usize],
+                sample_interval: 20,
+                clock_hz: 1e9,
+            },
+            regions: spans,
+            injected_spans: vec![],
+        }
+    }
+
+    fn mapping() -> WindowMapping {
+        WindowMapping { window_len: 100, hop: 50, sample_interval: 20, clock_hz: 1e9 }
+    }
+
+    #[test]
+    fn loop_dominated_windows_get_loop_labels() {
+        let graph = two_loop_graph();
+        // Loop 0 runs cycles 0..10000, loop 1 runs 10400..20000.
+        let r = result_with_spans(
+            vec![
+                RegionSpan { region: RegionId::new(0), start_cycle: 0, end_cycle: 10_000 },
+                RegionSpan { region: RegionId::new(1), start_cycle: 10_400, end_cycle: 20_000 },
+            ],
+            20_000,
+        );
+        let labels = label_windows(&r, &graph, &mapping(), 13);
+        // Window 0 covers cycles 0..2000 -> loop 0.
+        assert_eq!(labels[0], RegionId::new(0));
+        // Window 12 covers cycles 12000..14000 -> fully inside loop 1.
+        assert_eq!(labels[12], RegionId::new(1));
+    }
+
+    #[test]
+    fn transition_window_gets_transition_label() {
+        let graph = two_loop_graph();
+        let t01 = graph
+            .transition_between(Some(RegionId::new(0)), Some(RegionId::new(1)))
+            .unwrap();
+        // A long gap between the loops so some window is mostly gap:
+        // loop0 0..4000, gap 4000..8000, loop1 8000..12000.
+        let r = result_with_spans(
+            vec![
+                RegionSpan { region: RegionId::new(0), start_cycle: 0, end_cycle: 4_000 },
+                RegionSpan { region: RegionId::new(1), start_cycle: 8_000, end_cycle: 12_000 },
+            ],
+            12_000,
+        );
+        // Window 5 covers 5000..7000: fully inside the gap.
+        let labels = label_windows(&r, &graph, &mapping(), 6);
+        assert_eq!(labels[5], t01);
+    }
+
+    #[test]
+    fn prologue_before_first_loop() {
+        let graph = two_loop_graph();
+        let pro = graph.transition_between(None, Some(RegionId::new(0))).unwrap();
+        let r = result_with_spans(
+            vec![RegionSpan { region: RegionId::new(0), start_cycle: 9_000, end_cycle: 20_000 }],
+            20_000,
+        );
+        let labels = label_windows(&r, &graph, &mapping(), 3);
+        assert_eq!(labels[0], pro);
+    }
+}

@@ -1,0 +1,71 @@
+//! EDDIE — EM-Based Detection of Deviations in Program Execution.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Nazari et al., ISCA 2017): an anomaly detector that monitors a
+//! device purely through the spectral content of its (simulated) EM
+//! side channel.
+//!
+//! The pipeline, following §3–§4 of the paper:
+//!
+//! 1. **Signal → STS stream.** A monitored run produces either the
+//!    simulator's power trace (§5.3 setup) or the EM receiver's
+//!    baseband IQ stream (§5.1 setup). An overlapping STFT converts it
+//!    into Short-Term Spectra, and each STS is reduced to its spectral
+//!    peaks (≥1 % of window energy) — see [`Sts`].
+//! 2. **Training.** Instrumented runs label every STS with the region
+//!    (loop nest or inter-loop transition) that produced it. Each
+//!    region gets a reference set of peak frequencies per peak rank and
+//!    a K-S group size `n` chosen as the smallest value reaching the
+//!    minimum false-rejection rate on training data (§4.3) — see
+//!    [`train_from_labeled`] and [`TrainedModel`].
+//! 3. **Monitoring.** Algorithm 1: per-peak-rank two-sample K-S tests
+//!    against the current region's references; on rejection the legal
+//!    successor regions are tested; an anomaly is reported after
+//!    `reportThreshold` consecutive unexplained rejections — see
+//!    [`Monitor`].
+//! 4. **Metrics.** Detection latency, false positives, accuracy and
+//!    coverage exactly as defined in §5.2 — see [`metrics`].
+//!
+//! # Examples
+//!
+//! End-to-end on a synthetic three-loop workload (see `examples/` in
+//! the repository root for complete programs):
+//!
+//! ```no_run
+//! use eddie_core::{EddieConfig, Pipeline, SignalSource};
+//! use eddie_sim::SimConfig;
+//! use eddie_workloads::{loop_shapes, prepare_shapes};
+//!
+//! let pipeline = Pipeline::new(SimConfig::sesc_ooo(), EddieConfig::default(), SignalSource::Power);
+//! let program = loop_shapes(8);
+//! let model = pipeline
+//!     .train(&program, |m, seed| prepare_shapes(m, seed, 8), &[1, 2, 3, 4, 5])
+//!     .unwrap();
+//! let outcome = pipeline.monitor(&model, &program, |m| prepare_shapes(m, 99, 8), None);
+//! assert!(outcome.metrics.false_positive_pct < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod label;
+pub mod metrics;
+mod monitor;
+mod parametric;
+mod pipeline;
+mod signal;
+mod sts;
+mod training;
+
+pub use config::EddieConfig;
+pub use label::label_windows;
+pub use metrics::{MonitorOutcome, RunMetrics};
+pub use monitor::{Monitor, MonitorEvent};
+pub use parametric::ParametricDetector;
+pub use pipeline::{Pipeline, SignalSource};
+pub use signal::WindowMapping;
+pub use sts::Sts;
+pub use training::{
+    raw_rejection_rate, train_from_labeled, LabeledRun, RegionModel, TrainError, TrainedModel,
+};

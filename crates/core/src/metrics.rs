@@ -1,0 +1,365 @@
+//! Detection-quality metrics, defined as in §5.2 of the paper.
+//!
+//! * **Detection latency** — averaged over reported injections, the time
+//!   from the start of injected execution to the anomaly report.
+//! * **False positives** — STS groups reported anomalous that contain no
+//!   injected execution, as a percentage of all groups.
+//! * **Accuracy** — groups with a correct reporting outcome (injected ∧
+//!   flagged, or clean ∧ unflagged) as a percentage of all groups.
+//! * **Coverage** — fraction of time the monitor attributes the STS to
+//!   the region that actually produced it.
+
+use eddie_isa::RegionId;
+use serde::{Deserialize, Serialize};
+
+use crate::{MonitorEvent, WindowMapping};
+
+/// Aggregate metrics of one monitored run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Mean detection latency in milliseconds over reported injections
+    /// (`NaN`-free: zero when nothing was injected or detected).
+    pub detection_latency_ms: f64,
+    /// False-positive percentage over all STS groups.
+    pub false_positive_pct: f64,
+    /// Accuracy percentage over all STS groups.
+    pub accuracy_pct: f64,
+    /// Coverage percentage over all windows with ground-truth labels.
+    pub coverage_pct: f64,
+    /// True-positive percentage over injection-containing groups.
+    pub true_positive_pct: f64,
+    /// False-negative percentage over injection-containing groups
+    /// (`100 - true_positive_pct`).
+    pub false_negative_pct: f64,
+    /// Number of injections (ground-truth spans) that were reported.
+    pub detected_injections: usize,
+    /// Number of ground-truth injection spans.
+    pub total_injections: usize,
+    /// Total STS groups (windows) evaluated.
+    pub total_groups: usize,
+}
+
+/// Everything produced by monitoring one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorOutcome {
+    /// Per-window monitor decisions.
+    pub events: Vec<MonitorEvent>,
+    /// Per-window latched alarm state (anomaly active).
+    pub alarms: Vec<bool>,
+    /// Per-window region tracked by the monitor.
+    pub tracked: Vec<RegionId>,
+    /// Per-window ground-truth region labels.
+    pub truth: Vec<RegionId>,
+    /// Per-window ground truth: does the window overlap injected cycles?
+    pub injected: Vec<bool>,
+    /// The window/cycle mapping of the run.
+    pub mapping: WindowMapping,
+    /// Ground-truth injection spans in cycles.
+    pub injected_spans: Vec<(u64, u64)>,
+    /// Aggregate metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Computes [`RunMetrics`] from per-window observations.
+///
+/// `alarms[w]` is the latched anomaly state after window `w`;
+/// `injected[w]` marks windows overlapping injected cycles; `tracked` /
+/// `truth` give per-window region attributions; `injected_spans` are the
+/// ground-truth cycle ranges.
+pub fn compute_metrics(
+    events: &[MonitorEvent],
+    alarms: &[bool],
+    tracked: &[RegionId],
+    truth: &[RegionId],
+    injected: &[bool],
+    injected_spans: &[(u64, u64)],
+    mapping: &WindowMapping,
+) -> RunMetrics {
+    let total = events.len();
+    assert_eq!(alarms.len(), total);
+    assert_eq!(injected.len(), total);
+    assert_eq!(tracked.len(), total);
+    assert_eq!(truth.len(), total);
+
+    // A logical attack (e.g. per-iteration loop injection) is recorded
+    // as many micro-spans; merge spans whose gaps are below one STFT
+    // window so latency is measured from when the *attack* begins, as
+    // in the paper.
+    let merge_gap = mapping.window_len as u64 * mapping.sample_interval;
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for &(s, e) in injected_spans {
+        match merged.last_mut() {
+            Some(last) if s <= last.1.saturating_add(merge_gap) => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+
+    // Detection latency per merged injection: first anomaly report at or
+    // after the injection's start.
+    let mut latencies = Vec::new();
+    let mut detected = 0usize;
+    let mut report_window: Vec<Option<usize>> = Vec::with_capacity(merged.len());
+    for &(start, _end) in &merged {
+        let report = (0..total).find(|&w| {
+            events[w] == MonitorEvent::Anomaly && mapping.window_end_cycle(w) >= start
+        });
+        report_window.push(report);
+        if let Some(w) = report {
+            detected += 1;
+            let report_cycle = mapping.window_end_cycle(w);
+            let lat = mapping.cycle_to_s(report_cycle.saturating_sub(start)) * 1e3;
+            latencies.push(lat);
+        }
+    }
+
+    // Outcome counting. An injection-containing group counts as
+    // correctly reported once its injection has been reported (the
+    // report stands while the attack continues); a clean group is
+    // correct when unflagged.
+    let span_of_window = |w: usize| -> Option<usize> {
+        let (ws, we) = (mapping.window_start_cycle(w), mapping.window_end_cycle(w));
+        merged.iter().position(|&(s, e)| s < we && ws <= e)
+    };
+    let mut fp = 0usize;
+    let mut tp = 0usize;
+    let mut correct = 0usize;
+    let mut dirty = 0usize;
+    for w in 0..total {
+        let flagged = alarms[w];
+        if injected[w] {
+            dirty += 1;
+            let reported = flagged
+                || span_of_window(w)
+                    .and_then(|sidx| report_window[sidx])
+                    .map_or(false, |rw| rw <= w);
+            if reported {
+                tp += 1;
+                correct += 1;
+            }
+        } else if flagged {
+            fp += 1;
+        } else {
+            correct += 1;
+        }
+    }
+
+    // Coverage is attribution quality, measured over windows the
+    // attacker has not distorted.
+    let (mut coverage_hits, mut coverage_total) = (0usize, 0usize);
+    for w in 0..total {
+        if !injected[w] {
+            coverage_total += 1;
+            if tracked[w] == truth[w] {
+                coverage_hits += 1;
+            }
+        }
+    }
+
+    let pct = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64 * 100.0
+        }
+    };
+    let tp_pct = pct(tp, dirty);
+    RunMetrics {
+        detection_latency_ms: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        false_positive_pct: pct(fp, total),
+        accuracy_pct: pct(correct, total),
+        coverage_pct: pct(coverage_hits, coverage_total),
+        true_positive_pct: tp_pct,
+        false_negative_pct: if dirty == 0 { 0.0 } else { 100.0 - tp_pct },
+        detected_injections: detected,
+        total_injections: merged.len(),
+        total_groups: total,
+    }
+}
+
+/// Averages a set of run metrics (used to aggregate the 25-run
+/// monitoring sets of Table 1/2).
+pub fn average(metrics: &[RunMetrics]) -> RunMetrics {
+    if metrics.is_empty() {
+        return RunMetrics::default();
+    }
+    let n = metrics.len() as f64;
+    // Latency averages only over runs that actually detected something.
+    let lat: Vec<f64> = metrics
+        .iter()
+        .filter(|m| m.detected_injections > 0)
+        .map(|m| m.detection_latency_ms)
+        .collect();
+    RunMetrics {
+        detection_latency_ms: if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        },
+        false_positive_pct: metrics.iter().map(|m| m.false_positive_pct).sum::<f64>() / n,
+        accuracy_pct: metrics.iter().map(|m| m.accuracy_pct).sum::<f64>() / n,
+        coverage_pct: metrics.iter().map(|m| m.coverage_pct).sum::<f64>() / n,
+        true_positive_pct: metrics.iter().map(|m| m.true_positive_pct).sum::<f64>() / n,
+        false_negative_pct: metrics.iter().map(|m| m.false_negative_pct).sum::<f64>() / n,
+        detected_injections: metrics.iter().map(|m| m.detected_injections).sum(),
+        total_injections: metrics.iter().map(|m| m.total_injections).sum(),
+        total_groups: metrics.iter().map(|m| m.total_groups).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> WindowMapping {
+        WindowMapping { window_len: 100, hop: 50, sample_interval: 10, clock_hz: 1e6 }
+    }
+
+    #[test]
+    fn clean_run_is_perfect() {
+        let n = 20;
+        let events = vec![MonitorEvent::Normal; n];
+        let alarms = vec![false; n];
+        let regions = vec![RegionId::new(0); n];
+        let injected = vec![false; n];
+        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &[], &mapping());
+        assert_eq!(m.false_positive_pct, 0.0);
+        assert_eq!(m.accuracy_pct, 100.0);
+        assert_eq!(m.coverage_pct, 100.0);
+        assert_eq!(m.total_injections, 0);
+    }
+
+    #[test]
+    fn latency_measured_from_injection_start() {
+        let n = 10;
+        let mut events = vec![MonitorEvent::Normal; n];
+        let mut alarms = vec![false; n];
+        // Injection runs cycles 2000..3500, so the reporting window 6
+        // (cycles 3000..4000) still overlaps it.
+        let spans = vec![(2000u64, 3500u64)];
+        // Report at window 6.
+        events[6] = MonitorEvent::Anomaly;
+        for a in alarms.iter_mut().skip(6) {
+            *a = true;
+        }
+        let injected: Vec<bool> = (0..n)
+            .map(|w| {
+                let (s, e) = (mapping().window_start_cycle(w), mapping().window_end_cycle(w));
+                s < 3500 && 2000 < e
+            })
+            .collect();
+        let regions = vec![RegionId::new(0); n];
+        let m =
+            compute_metrics(&events, &alarms, &regions, &regions, &injected, &spans, &mapping());
+        assert_eq!(m.detected_injections, 1);
+        // Report cycle = end of window 6 = (6*50+100)*10 = 4000; latency
+        // = (4000 - 2000) cycles at 1 MHz = 2 ms.
+        assert!((m.detection_latency_ms - 2.0).abs() < 1e-9);
+        assert!(m.true_positive_pct > 0.0);
+    }
+
+    #[test]
+    fn false_positives_counted_on_clean_windows() {
+        let n = 10;
+        let events = vec![MonitorEvent::Normal; n];
+        let mut alarms = vec![false; n];
+        alarms[3] = true;
+        let regions = vec![RegionId::new(0); n];
+        let injected = vec![false; n];
+        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &[], &mapping());
+        assert!((m.false_positive_pct - 10.0).abs() < 1e-9);
+        assert!((m.accuracy_pct - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_pools_runs() {
+        let a = RunMetrics {
+            detection_latency_ms: 2.0,
+            detected_injections: 1,
+            total_injections: 1,
+            accuracy_pct: 90.0,
+            ..RunMetrics::default()
+        };
+        let b = RunMetrics {
+            detection_latency_ms: 0.0,
+            detected_injections: 0,
+            total_injections: 1,
+            accuracy_pct: 100.0,
+            ..RunMetrics::default()
+        };
+        let avg = average(&[a, b]);
+        assert!((avg.detection_latency_ms - 2.0).abs() < 1e-9, "only detecting runs count");
+        assert!((avg.accuracy_pct - 95.0).abs() < 1e-9);
+        assert_eq!(avg.total_injections, 2);
+    }
+
+    #[test]
+    fn empty_average_is_default() {
+        assert_eq!(average(&[]), RunMetrics::default());
+    }
+}
+
+#[cfg(test)]
+mod semantics_tests {
+    use super::*;
+
+    fn mapping() -> WindowMapping {
+        WindowMapping { window_len: 100, hop: 50, sample_interval: 10, clock_hz: 1e6 }
+    }
+
+    #[test]
+    fn micro_spans_merge_into_one_injection() {
+        // Per-iteration injection ground truth: many tiny spans with
+        // sub-window gaps must count as a single logical attack.
+        let spans: Vec<(u64, u64)> = (0..50).map(|k| (2000 + k * 40, 2000 + k * 40 + 10)).collect();
+        let n = 40;
+        let events = vec![MonitorEvent::Normal; n];
+        let alarms = vec![false; n];
+        let regions = vec![RegionId::new(0); n];
+        let injected = vec![false; n];
+        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &spans, &mapping());
+        assert_eq!(m.total_injections, 1, "micro-spans must merge");
+    }
+
+    #[test]
+    fn coverage_ignores_injected_windows() {
+        let n = 10;
+        let events = vec![MonitorEvent::Normal; n];
+        let alarms = vec![false; n];
+        let tracked = vec![RegionId::new(0); n];
+        // Truth disagrees everywhere, but half the windows are injected:
+        // coverage should be 0% over the *clean* half only.
+        let truth = vec![RegionId::new(1); n];
+        let injected: Vec<bool> = (0..n).map(|w| w % 2 == 0).collect();
+        let m = compute_metrics(&events, &alarms, &tracked, &truth, &injected, &[], &mapping());
+        assert_eq!(m.coverage_pct, 0.0);
+        // And matching truth on clean windows gives 100% even when the
+        // injected windows disagree.
+        let tracked2: Vec<RegionId> =
+            (0..n).map(|w| if w % 2 == 0 { RegionId::new(9) } else { RegionId::new(1) }).collect();
+        let m2 = compute_metrics(&events, &alarms, &tracked2, &truth, &injected, &[], &mapping());
+        assert_eq!(m2.coverage_pct, 100.0);
+    }
+
+    #[test]
+    fn report_persists_for_ongoing_injection() {
+        // One long injection; a single anomaly report mid-way marks all
+        // later windows of that injection as correctly handled.
+        let n = 20;
+        let mut events = vec![MonitorEvent::Normal; n];
+        events[10] = MonitorEvent::Anomaly;
+        let alarms = vec![false; n]; // alarm not latched, only the event
+        let regions = vec![RegionId::new(0); n];
+        let span_start = mapping().window_start_cycle(5);
+        let span_end = mapping().window_end_cycle(18);
+        let spans = vec![(span_start, span_end)];
+        let injected: Vec<bool> = (0..n).map(|w| (5..=18).contains(&w)).collect();
+        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &spans, &mapping());
+        // Windows 10..=18 count as reported (9 of 14 dirty windows).
+        assert!((m.true_positive_pct - 9.0 / 14.0 * 100.0).abs() < 1e-9);
+        assert_eq!(m.detected_injections, 1);
+    }
+}

@@ -1,0 +1,367 @@
+use eddie_isa::RegionId;
+use eddie_stats::ks::{ks_test_sorted_ref, KsOutcome};
+
+use crate::sts::rank_sample;
+use crate::{Sts, TrainedModel};
+
+/// What the monitor concluded after one new STS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// The window matched the current region's reference distribution.
+    Normal,
+    /// The window sequence matched a legal successor; tracking moved on.
+    RegionChange(RegionId),
+    /// A rejection was observed but is still within the tolerance
+    /// (`anomalyCnt <= reportThreshold`).
+    Suspicious,
+    /// `reportThreshold` was exceeded: anomaly reported to the user.
+    Anomaly,
+}
+
+/// EDDIE's runtime monitor — the reproduction of the paper's
+/// Algorithm 1 (§4.4).
+///
+/// Feed STSs in order with [`observe`](Monitor::observe); the monitor
+/// tracks the region it believes is executing, switches regions through
+/// the state machine when a legal successor's references explain the
+/// recent windows, and reports an anomaly after more than
+/// `reportThreshold` consecutive unexplained K-S rejections.
+///
+/// # Examples
+///
+/// See the crate-level example; `Monitor` is normally driven by
+/// [`Pipeline::monitor`](crate::Pipeline::monitor).
+#[derive(Debug)]
+pub struct Monitor<'m> {
+    model: &'m TrainedModel,
+    current: RegionId,
+    history: Vec<Sts>,
+    anomaly_cnt: usize,
+    /// Windows flagged while `anomaly_cnt` exceeded the threshold.
+    alarm: bool,
+}
+
+impl<'m> Monitor<'m> {
+    /// Creates a monitor starting at the model's initial region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no trained regions (cannot happen for
+    /// models produced by [`train_from_labeled`](crate::train_from_labeled)).
+    pub fn new(model: &'m TrainedModel) -> Monitor<'m> {
+        let current = model.initial_region().expect("trained model has regions");
+        Monitor { model, current, history: Vec::new(), anomaly_cnt: 0, alarm: false }
+    }
+
+    /// The region the monitor currently believes is executing.
+    pub fn current_region(&self) -> RegionId {
+        self.current
+    }
+
+    /// Whether the alarm is currently latched (anomaly reported and the
+    /// K-S tests still rejecting).
+    pub fn alarm(&self) -> bool {
+        self.alarm
+    }
+
+    /// Consumes the next STS and returns the monitoring decision.
+    pub fn observe(&mut self, sts: Sts) -> MonitorEvent {
+        self.history.push(sts);
+        let end = self.history.len() - 1;
+        let cfg = &self.model.config;
+
+        let current_model = match self.model.region(self.current) {
+            Some(m) => m,
+            None => return MonitorEvent::Normal, // untracked region: pass
+        };
+
+        // Not enough windows yet for the current region's group size.
+        if self.history.len() < current_model.group_size {
+            return MonitorEvent::Normal;
+        }
+
+        // Per-rank K-S tests against the current region (Line 8-10).
+        let rejected = region_rejects(
+            &current_model.reference,
+            &self.history,
+            end,
+            current_model.group_size,
+            cfg.confidence,
+            cfg.reject_rank_threshold,
+            cfg.num_peak_dims,
+        );
+
+        if !rejected {
+            self.anomaly_cnt = 0;
+            self.alarm = false;
+            return MonitorEvent::Normal;
+        }
+
+        // Candidate successor check (Line 11-18).
+        let mut best: Option<(RegionId, usize, usize)> = None; // (region, accepted, active)
+        for succ in self.model.effective_successors(self.current) {
+            let sm = match self.model.region(succ) {
+                Some(m) => m,
+                None => continue,
+            };
+            if self.history.len() < sm.group_size {
+                continue;
+            }
+            let (accepted, active) = rank_acceptances(
+                &sm.reference,
+                &self.history,
+                end,
+                sm.group_size,
+                cfg.confidence,
+                cfg.num_peak_dims,
+            );
+            if active == 0 {
+                continue;
+            }
+            if best.map_or(true, |(_, a, act)| {
+                accepted as f64 / active as f64 > a as f64 / act.max(1) as f64
+            }) {
+                best = Some((succ, accepted, active));
+            }
+        }
+
+        if let Some((succ, accepted, active)) = best {
+            if accepted as f64 >= cfg.change_fraction * active as f64 {
+                // Region change (Line 22-25).
+                self.current = succ;
+                self.anomaly_cnt = 0;
+                self.alarm = false;
+                return MonitorEvent::RegionChange(succ);
+            }
+        }
+
+        // Unexplained rejection (Line 14, 26-28).
+        self.anomaly_cnt += 1;
+        if self.anomaly_cnt > cfg.report_threshold {
+            self.alarm = true;
+            // Re-synchronisation: after a long unexplained streak (e.g.
+            // the injected burst has ended and execution moved on), try
+            // to re-acquire tracking against *all* trained regions so
+            // the monitor does not stay lost for the rest of the run.
+            // This is an implementation addition over Algorithm 1, which
+            // has no recovery path out of a terminal region.
+            if self.anomaly_cnt > cfg.report_threshold * 4 {
+                if let Some(region) = self.best_global_match(end) {
+                    self.current = region;
+                    self.anomaly_cnt = 0;
+                }
+            }
+            MonitorEvent::Anomaly
+        } else {
+            MonitorEvent::Suspicious
+        }
+    }
+
+    /// The trained region whose references best accept the trailing
+    /// windows, if any accepts at the change threshold.
+    fn best_global_match(&self, end: usize) -> Option<RegionId> {
+        let cfg = &self.model.config;
+        let mut best: Option<(RegionId, f64)> = None;
+        for (&id, rm) in &self.model.regions {
+            if self.history.len() < rm.group_size {
+                continue;
+            }
+            let (accepted, active) = rank_acceptances(
+                &rm.reference,
+                &self.history,
+                end,
+                rm.group_size,
+                cfg.confidence,
+                cfg.num_peak_dims,
+            );
+            if active == 0 {
+                continue;
+            }
+            let frac = accepted as f64 / active as f64;
+            if frac >= cfg.change_fraction && best.map_or(true, |(_, b)| frac > b) {
+                best = Some((id, frac));
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+}
+
+/// Region-level rejection: at least `rank_threshold` active ranks
+/// reject (or the only active rank does). Algorithm 1 reacts per peak;
+/// this is the damped form described in [`EddieConfig`](crate::EddieConfig).
+fn region_rejects(
+    reference: &[Vec<f64>],
+    history: &[Sts],
+    end: usize,
+    n: usize,
+    confidence: f64,
+    rank_threshold: usize,
+    num_peak_dims: usize,
+) -> bool {
+    let (accepted, active) =
+        rank_acceptances(reference, history, end, n, confidence, num_peak_dims);
+    let rejects = active - accepted;
+    active > 0 && (rejects >= rank_threshold || rejects == active)
+}
+
+/// Counts `(accepted, active)` per-rank K-S outcomes for the trailing
+/// group of size `n` ending at `end`.
+fn rank_acceptances(
+    reference: &[Vec<f64>],
+    history: &[Sts],
+    end: usize,
+    n: usize,
+    confidence: f64,
+    num_peak_dims: usize,
+) -> (usize, usize) {
+    let mut active = 0usize;
+    let mut accepted = 0usize;
+    for (dim, refs) in reference.iter().enumerate() {
+        if refs.is_empty() {
+            continue;
+        }
+        let mon = rank_sample(history, end, n, dim, num_peak_dims);
+        if mon.len() < (n / 2).max(2) {
+            // The monitored windows mostly lack a rank the reference
+            // has: treat as an active, rejecting rank when the rank is
+            // common in training.
+            if refs.len() * 2 > reference[0].len().max(1) {
+                active += 1;
+            }
+            continue;
+        }
+        active += 1;
+        if ks_test_sorted_ref(refs, &mon, confidence).outcome == KsOutcome::Accept {
+            accepted += 1;
+        }
+    }
+    (accepted, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train_from_labeled, EddieConfig, LabeledRun};
+    use eddie_cfg::RegionGraph;
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    fn sts(index: usize, freq: f64) -> Sts {
+        Sts {
+            index,
+            start_sample: index,
+            peaks: vec![Peak { bin: 1, freq_hz: freq, power: 1.0, fraction: 0.5 }],
+            centroid_hz: freq,
+            spread_hz: 1.0,
+        }
+    }
+
+    /// Graph with loops 0 -> 1 in sequence.
+    fn two_loop_graph() -> RegionGraph {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8);
+        for r in 0..2u32 {
+            b.li(i, 0);
+            b.region_enter(RegionId::new(r));
+            let top = b.label_here("t");
+            b.addi(i, i, 1).blt_label(i, n, top);
+            b.region_exit(RegionId::new(r));
+        }
+        b.halt();
+        RegionGraph::from_program(&b.build().unwrap()).unwrap()
+    }
+
+    /// A model with region 0 around 100 Hz and region 1 around 300 Hz.
+    fn model() -> crate::TrainedModel {
+        let graph = two_loop_graph();
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        let run0 = LabeledRun {
+            stss: (0..80).map(|i| sts(i, 100.0 + jitter(i))).collect(),
+            labels: vec![RegionId::new(0); 80],
+        };
+        let run1 = LabeledRun {
+            stss: (0..80).map(|i| sts(i, 300.0 + jitter(i))).collect(),
+            labels: vec![RegionId::new(1); 80],
+        };
+        train_from_labeled(&[run0, run1], &graph, &EddieConfig::quick()).unwrap()
+    }
+
+    #[test]
+    fn normal_stream_raises_no_alarm() {
+        let m = model();
+        let mut mon = Monitor::new(&m);
+        for i in 0..60 {
+            let ev = mon.observe(sts(i, 100.0 + ((i * 7) % 5) as f64 * 0.5));
+            assert_ne!(ev, MonitorEvent::Anomaly, "window {i}");
+        }
+        assert!(!mon.alarm());
+        assert_eq!(mon.current_region(), RegionId::new(0));
+    }
+
+    #[test]
+    fn legal_region_transition_is_followed() {
+        let m = model();
+        let mut mon = Monitor::new(&m);
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        for i in 0..40 {
+            mon.observe(sts(i, 100.0 + jitter(i)));
+        }
+        let mut changed = false;
+        let mut anomalies = 0;
+        for i in 40..90 {
+            match mon.observe(sts(i, 300.0 + jitter(i))) {
+                MonitorEvent::RegionChange(r) => {
+                    assert_eq!(r, RegionId::new(1));
+                    changed = true;
+                }
+                MonitorEvent::Anomaly => anomalies += 1,
+                _ => {}
+            }
+        }
+        assert!(changed, "monitor must follow the loop 0 -> loop 1 transition");
+        assert_eq!(mon.current_region(), RegionId::new(1));
+        assert_eq!(anomalies, 0, "legal transition must not raise anomalies");
+    }
+
+    #[test]
+    fn injected_spectrum_raises_anomaly_after_threshold() {
+        let m = model();
+        let mut mon = Monitor::new(&m);
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        for i in 0..40 {
+            mon.observe(sts(i, 100.0 + jitter(i)));
+        }
+        // Frequencies matching neither region 0 nor region 1.
+        let mut first_anomaly = None;
+        for i in 40..80 {
+            if mon.observe(sts(i, 777.0 + jitter(i))) == MonitorEvent::Anomaly {
+                first_anomaly = Some(i);
+                break;
+            }
+        }
+        let at = first_anomaly.expect("anomaly must be reported");
+        assert!(mon.alarm());
+        // Tolerates reportThreshold rejections first.
+        assert!(at >= 40 + m.config.report_threshold);
+    }
+
+    #[test]
+    fn alarm_clears_when_execution_returns_to_normal() {
+        let m = model();
+        let mut mon = Monitor::new(&m);
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        for i in 0..40 {
+            mon.observe(sts(i, 100.0 + jitter(i)));
+        }
+        for i in 40..60 {
+            mon.observe(sts(i, 777.0));
+        }
+        assert!(mon.alarm());
+        // Return to normal long enough to flush the group window.
+        for i in 60..120 {
+            mon.observe(sts(i, 100.0 + jitter(i)));
+        }
+        assert!(!mon.alarm(), "alarm must clear after recovery");
+    }
+}

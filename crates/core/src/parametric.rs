@@ -1,0 +1,149 @@
+use eddie_isa::RegionId;
+use eddie_stats::mixture::Mixture2;
+use serde::{Deserialize, Serialize};
+
+use crate::{Sts, TrainedModel};
+
+/// The parametric baseline detector the paper argues *against* in
+/// Figure 2 / §4.2.
+///
+/// Instead of the nonparametric K-S test, it fits a two-component
+/// Gaussian mixture to each region's strongest-peak frequency
+/// distribution and flags a window group as anomalous when the mean
+/// two-sided tail probability of the group's strongest peaks falls
+/// below `1 - confidence`. Because real per-region distributions are a
+/// poor match for the bi-normal family, this detector suffers the
+/// "inevitable false positives and false negatives" of Figure 2 — the
+/// `ablate-parametric` experiment quantifies the gap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParametricDetector {
+    fits: std::collections::BTreeMap<RegionId, Mixture2>,
+    /// Tail probability below which a group is flagged.
+    alpha: f64,
+    group_size: usize,
+}
+
+impl ParametricDetector {
+    /// Fits the baseline to the same reference data as a trained EDDIE
+    /// model (rank-0 frequencies only, like the figure).
+    pub fn from_model(model: &TrainedModel, em_iters: usize) -> ParametricDetector {
+        let fits = model
+            .regions
+            .iter()
+            .filter(|(_, rm)| !rm.reference.is_empty() && !rm.reference[0].is_empty())
+            .map(|(&id, rm)| (id, Mixture2::fit(&rm.reference[0], em_iters)))
+            .collect();
+        ParametricDetector {
+            fits,
+            alpha: 1.0 - model.config.confidence,
+            group_size: 8,
+        }
+    }
+
+    /// Returns this detector with a different tail threshold — the
+    /// parametric analogue of the K-S confidence level, used by the
+    /// threshold-sweep ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn with_alpha(mut self, alpha: f64) -> ParametricDetector {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        self.alpha = alpha;
+        self
+    }
+
+    /// The fitted mixture for a region, if available.
+    pub fn fit(&self, region: RegionId) -> Option<&Mixture2> {
+        self.fits.get(&region)
+    }
+
+    /// Decides whether the trailing group of STSs (strongest peaks) is
+    /// anomalous for `region`: `true` means flagged.
+    pub fn flags(&self, region: RegionId, group: &[Sts]) -> bool {
+        let Some(mix) = self.fits.get(&region) else {
+            return false;
+        };
+        let ps: Vec<f64> = group
+            .iter()
+            .rev()
+            .take(self.group_size)
+            .filter_map(|s| s.peak_freq(0))
+            .map(|f| mix.two_sided_p(f))
+            .collect();
+        if ps.len() < 2 {
+            return false;
+        }
+        let mean_p = ps.iter().sum::<f64>() / ps.len() as f64;
+        mean_p < self.alpha
+    }
+
+    /// Group size used by the detector (fixed; the parametric test has
+    /// no principled per-region selection procedure).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train_from_labeled, EddieConfig, LabeledRun};
+    use eddie_cfg::RegionGraph;
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    fn sts(index: usize, freq: f64) -> Sts {
+        Sts {
+            index,
+            start_sample: index,
+            peaks: vec![Peak { bin: 1, freq_hz: freq, power: 1.0, fraction: 0.5 }],
+            centroid_hz: freq,
+            spread_hz: 1.0,
+        }
+    }
+
+    fn bimodal_model() -> TrainedModel {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        // Bimodal reference: peaks near 100 or 200 alternating.
+        let stss: Vec<Sts> = (0..120)
+            .map(|i| sts(i, if i % 2 == 0 { 100.0 } else { 200.0 } + ((i * 3) % 4) as f64))
+            .collect();
+        let labels = vec![RegionId::new(0); 120];
+        train_from_labeled(&[LabeledRun { stss, labels }], &graph, &EddieConfig::quick()).unwrap()
+    }
+
+    #[test]
+    fn fits_each_trained_region() {
+        let model = bimodal_model();
+        let det = ParametricDetector::from_model(&model, 30);
+        assert!(det.fit(RegionId::new(0)).is_some());
+        assert!(det.fit(RegionId::new(99)).is_none());
+    }
+
+    #[test]
+    fn flags_far_away_groups() {
+        let model = bimodal_model();
+        let det = ParametricDetector::from_model(&model, 30);
+        let anomalous: Vec<Sts> = (0..10).map(|i| sts(i, 900.0)).collect();
+        assert!(det.flags(RegionId::new(0), &anomalous));
+        let normal: Vec<Sts> =
+            (0..10).map(|i| sts(i, if i % 2 == 0 { 100.0 } else { 200.0 })).collect();
+        assert!(!det.flags(RegionId::new(0), &normal));
+    }
+
+    #[test]
+    fn tiny_groups_are_not_flagged() {
+        let model = bimodal_model();
+        let det = ParametricDetector::from_model(&model, 10);
+        assert!(!det.flags(RegionId::new(0), &[sts(0, 900.0)]));
+    }
+}

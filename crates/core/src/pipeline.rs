@@ -1,0 +1,233 @@
+use eddie_em::{EmChannel, EmChannelConfig};
+use eddie_isa::Program;
+use eddie_sim::{InjectionHook, Machine, SimConfig, SimResult, Simulator};
+
+use crate::label::label_windows;
+use crate::metrics::{compute_metrics, MonitorOutcome};
+use crate::signal::{stss_from_em, stss_from_power};
+use crate::training::{train_from_labeled, LabeledRun, TrainError, TrainedModel};
+use crate::{EddieConfig, Monitor, MonitorEvent, Sts, WindowMapping};
+
+/// Which signal EDDIE observes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SignalSource {
+    /// The simulator's power trace directly — the paper's §5.3 setup
+    /// ("EDDIE's analysis of the simulator-generated power signal").
+    Power,
+    /// Through the equivalent-baseband EM channel — the paper's §5.1
+    /// device setup. Each run derives its own noise seed from the
+    /// template config's seed and the run seed.
+    Em(EmChannelConfig),
+}
+
+/// The end-to-end EDDIE harness: simulate → signal → STS → train /
+/// monitor, mirroring the paper's experimental flow.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    sim_config: SimConfig,
+    eddie: EddieConfig,
+    source: SignalSource,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from a simulator configuration, detector
+    /// configuration and signal source.
+    pub fn new(sim_config: SimConfig, eddie: EddieConfig, source: SignalSource) -> Pipeline {
+        Pipeline { sim_config, eddie, source }
+    }
+
+    /// The detector configuration.
+    pub fn eddie_config(&self) -> &EddieConfig {
+        &self.eddie
+    }
+
+    /// The simulator configuration.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.sim_config
+    }
+
+    /// Runs the program once (optionally with an injection hook) and
+    /// returns the raw simulation result.
+    pub fn simulate(
+        &self,
+        program: &Program,
+        prepare: impl FnOnce(&mut Machine),
+        injection: Option<Box<dyn InjectionHook>>,
+    ) -> SimResult {
+        let mut sim = Simulator::new(self.sim_config.clone(), program.clone());
+        prepare(sim.machine_mut());
+        if let Some(h) = injection {
+            sim.set_injection(h);
+        }
+        sim.run()
+    }
+
+    /// Converts a simulation result into the STS stream EDDIE analyses.
+    /// `run_seed` decorrelates EM channel noise across runs.
+    pub fn stss(&self, result: &SimResult, run_seed: u64) -> (Vec<Sts>, WindowMapping) {
+        match &self.source {
+            SignalSource::Power => stss_from_power(result, &self.eddie),
+            SignalSource::Em(template) => {
+                let mut cfg = template.clone();
+                cfg.seed = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(run_seed);
+                let channel = EmChannel::new(cfg);
+                stss_from_em(result, &channel, &self.eddie)
+            }
+        }
+    }
+
+    /// Trains EDDIE: one instrumented run per seed, windows labelled via
+    /// the region trace, then [`train_from_labeled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if the region graph cannot be derived or
+    /// training data is insufficient.
+    pub fn train(
+        &self,
+        program: &Program,
+        prepare: impl Fn(&mut Machine, u64),
+        seeds: &[u64],
+    ) -> Result<TrainedModel, TrainError> {
+        let graph = eddie_cfg::RegionGraph::from_program(program)
+            .map_err(|e| TrainError::BadConfig(e.to_string()))?;
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let result = self.simulate(program, |m| prepare(m, seed), None);
+            let (stss, mapping) = self.stss(&result, seed);
+            let labels = label_windows(&result, &graph, &mapping, stss.len());
+            runs.push(LabeledRun { stss, labels });
+        }
+        train_from_labeled(&runs, &graph, &self.eddie)
+    }
+
+    /// Monitors one run (optionally under attack) and computes all §5.2
+    /// metrics against the simulator's ground truth.
+    pub fn monitor(
+        &self,
+        model: &TrainedModel,
+        program: &Program,
+        prepare: impl FnOnce(&mut Machine),
+        injection: Option<Box<dyn InjectionHook>>,
+    ) -> MonitorOutcome {
+        let result = self.simulate(program, prepare, injection);
+        self.monitor_result(model, &result, 0)
+    }
+
+    /// Monitors an existing simulation result (lets callers reuse one
+    /// simulation across detector variants). `run_seed` decorrelates EM
+    /// noise.
+    pub fn monitor_result(
+        &self,
+        model: &TrainedModel,
+        result: &SimResult,
+        run_seed: u64,
+    ) -> MonitorOutcome {
+        let (stss, mapping) = self.stss(result, run_seed);
+        let truth = label_windows(result, &model.graph, &mapping, stss.len());
+
+        let mut monitor = Monitor::new(model);
+        let mut events = Vec::with_capacity(stss.len());
+        let mut alarms = Vec::with_capacity(stss.len());
+        let mut tracked = Vec::with_capacity(stss.len());
+        let injected: Vec<bool> = (0..stss.len())
+            .map(|w| {
+                result.overlaps_injection(mapping.window_start_cycle(w), mapping.window_end_cycle(w))
+            })
+            .collect();
+        for sts in stss {
+            let ev = monitor.observe(sts);
+            events.push(ev);
+            alarms.push(monitor.alarm());
+            tracked.push(monitor.current_region());
+        }
+
+        let metrics = compute_metrics(
+            &events,
+            &alarms,
+            &tracked,
+            &truth,
+            &injected,
+            &result.injected_spans,
+            &mapping,
+        );
+        MonitorOutcome {
+            events,
+            alarms,
+            tracked,
+            truth,
+            injected,
+            mapping,
+            injected_spans: result.injected_spans.clone(),
+            metrics,
+        }
+    }
+}
+
+impl MonitorOutcome {
+    /// Window index of the first anomaly report, if any.
+    pub fn first_anomaly(&self) -> Option<usize> {
+        self.events.iter().position(|e| *e == MonitorEvent::Anomaly)
+    }
+
+    /// Number of anomaly reports in the run.
+    pub fn anomaly_count(&self) -> usize {
+        self.events.iter().filter(|e| **e == MonitorEvent::Anomaly).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_sim::SimConfig;
+    use eddie_workloads::{loop_shapes, prepare_shapes};
+
+    fn quick_pipeline() -> Pipeline {
+        let mut sim = SimConfig::iot_inorder();
+        sim.sample_interval = 8;
+        Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+    }
+
+    #[test]
+    fn train_and_monitor_clean_run_has_low_fp() {
+        let pipeline = quick_pipeline();
+        let program = loop_shapes(4);
+        let model = pipeline
+            .train(&program, |m, s| prepare_shapes(m, s, 4), &[1, 2, 3])
+            .expect("training succeeds");
+        assert!(!model.regions.is_empty());
+        let outcome = pipeline.monitor(&model, &program, |m| prepare_shapes(m, 42, 4), None);
+        assert!(
+            outcome.metrics.false_positive_pct < 20.0,
+            "clean run FP% = {}",
+            outcome.metrics.false_positive_pct
+        );
+        assert_eq!(outcome.metrics.total_injections, 0);
+    }
+
+    #[test]
+    fn stss_and_truth_have_matching_lengths() {
+        let pipeline = quick_pipeline();
+        let program = loop_shapes(2);
+        let result = pipeline.simulate(&program, |m| prepare_shapes(m, 7, 2), None);
+        let (stss, mapping) = pipeline.stss(&result, 0);
+        assert!(!stss.is_empty());
+        assert!(mapping.hop_ms() > 0.0);
+    }
+
+    #[test]
+    fn em_source_produces_stss_too() {
+        let mut sim = SimConfig::iot_inorder();
+        sim.sample_interval = 8;
+        let pipeline = Pipeline::new(
+            sim,
+            EddieConfig::quick(),
+            SignalSource::Em(eddie_em::EmChannelConfig::oscilloscope(3)),
+        );
+        let program = loop_shapes(2);
+        let result = pipeline.simulate(&program, |m| prepare_shapes(m, 7, 2), None);
+        let (stss, _) = pipeline.stss(&result, 1);
+        assert!(!stss.is_empty());
+        assert!(stss.iter().any(|s| s.num_peaks() > 0), "EM path must surface peaks");
+    }
+}

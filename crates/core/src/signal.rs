@@ -1,0 +1,130 @@
+use eddie_dsp::{Spectrum, Stft, StftConfig};
+use eddie_em::EmChannel;
+use eddie_sim::SimResult;
+use serde::{Deserialize, Serialize};
+
+use crate::{EddieConfig, Sts};
+
+/// Converts between STS window indices and simulator cycles / seconds.
+///
+/// Window `w` covers signal samples `[w·hop, w·hop + window_len)`; each
+/// sample covers `sample_interval` cycles. Detection latencies are
+/// reported in milliseconds using the core clock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowMapping {
+    /// STFT window length in samples.
+    pub window_len: usize,
+    /// STFT hop in samples.
+    pub hop: usize,
+    /// Cycles per signal sample.
+    pub sample_interval: u64,
+    /// Core clock in hertz.
+    pub clock_hz: f64,
+}
+
+impl WindowMapping {
+    /// First cycle covered by window `w`.
+    pub fn window_start_cycle(&self, w: usize) -> u64 {
+        (w * self.hop) as u64 * self.sample_interval
+    }
+
+    /// One-past-the-last cycle covered by window `w`.
+    pub fn window_end_cycle(&self, w: usize) -> u64 {
+        (w * self.hop + self.window_len) as u64 * self.sample_interval
+    }
+
+    /// The wall-clock time of a cycle, in seconds.
+    pub fn cycle_to_s(&self, cycle: u64) -> f64 {
+        cycle as f64 / self.clock_hz
+    }
+
+    /// Duration of one hop (the STS period) in seconds.
+    pub fn hop_s(&self) -> f64 {
+        self.hop as f64 * self.sample_interval as f64 / self.clock_hz
+    }
+
+    /// Duration of one hop in milliseconds.
+    pub fn hop_ms(&self) -> f64 {
+        self.hop_s() * 1e3
+    }
+}
+
+/// Computes the STS stream of a run from its power trace (§5.3 setup).
+pub(crate) fn stss_from_power(
+    result: &SimResult,
+    config: &EddieConfig,
+) -> (Vec<Sts>, WindowMapping) {
+    let stft = make_stft(config, result.power.sample_rate_hz());
+    let spectra = stft.process_real(&result.power.samples);
+    finish(result, config, spectra)
+}
+
+/// Computes the STS stream of a run through the EM channel (§5.1 setup).
+pub(crate) fn stss_from_em(
+    result: &SimResult,
+    channel: &EmChannel,
+    config: &EddieConfig,
+) -> (Vec<Sts>, WindowMapping) {
+    let baseband = channel.receive(&result.power);
+    let stft = make_stft(config, result.power.sample_rate_hz());
+    let spectra = stft.process_complex(&baseband);
+    finish(result, config, spectra)
+}
+
+fn make_stft(config: &EddieConfig, sample_rate_hz: f64) -> Stft {
+    Stft::new(StftConfig {
+        window_len: config.window_len,
+        hop: config.hop,
+        window: config.window,
+        sample_rate_hz,
+    })
+    .expect("validated EddieConfig produces a valid STFT")
+}
+
+fn finish(
+    result: &SimResult,
+    config: &EddieConfig,
+    spectra: Vec<Spectrum>,
+) -> (Vec<Sts>, WindowMapping) {
+    let stss = crate::sts::stss_from_spectra(&spectra, &config.peaks);
+    let mapping = WindowMapping {
+        window_len: config.window_len,
+        hop: config.hop,
+        sample_interval: result.power.sample_interval,
+        clock_hz: result.power.clock_hz,
+    };
+    (stss, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> WindowMapping {
+        WindowMapping { window_len: 256, hop: 128, sample_interval: 20, clock_hz: 1e9 }
+    }
+
+    #[test]
+    fn window_cycle_bounds() {
+        let m = mapping();
+        assert_eq!(m.window_start_cycle(0), 0);
+        assert_eq!(m.window_end_cycle(0), 256 * 20);
+        assert_eq!(m.window_start_cycle(3), 3 * 128 * 20);
+    }
+
+    #[test]
+    fn time_conversions() {
+        let m = mapping();
+        assert!((m.cycle_to_s(1_000_000_000) - 1.0).abs() < 1e-12);
+        assert!((m.hop_ms() - 128.0 * 20.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consecutive_windows_overlap_half() {
+        let m = mapping();
+        let end0 = m.window_end_cycle(0);
+        let start1 = m.window_start_cycle(1);
+        assert!(start1 < end0, "50% overlap");
+        assert_eq!(end0 - start1, (m.window_len as u64 / 2) * m.sample_interval);
+    }
+}

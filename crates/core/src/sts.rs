@@ -1,0 +1,144 @@
+use eddie_dsp::{find_peaks, Peak, PeakConfig, Spectrum};
+use serde::{Deserialize, Serialize};
+
+/// One Short-Term Spectrum reduced to its peaks — the unit EDDIE's
+/// training and monitoring operate on (§3 of the paper).
+///
+/// Peaks are ordered strongest-first, which defines the "peak rank"
+/// dimensions of the per-dimension K-S tests: `peak_freq(0)` is the
+/// strongest peak's frequency, `peak_freq(1)` the second strongest, and
+/// so on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sts {
+    /// Window index within the run's STS sequence.
+    pub index: usize,
+    /// First signal-sample index of the window (for cycle mapping).
+    pub start_sample: usize,
+    /// Extracted peaks, strongest first.
+    pub peaks: Vec<Peak>,
+    /// Spectral centroid (energy-weighted mean frequency, Hz) — the
+    /// first of the diffuse features used by the §5.2 extension mode.
+    pub centroid_hz: f64,
+    /// Spectral spread (energy-weighted frequency std-dev, Hz).
+    pub spread_hz: f64,
+}
+
+impl Sts {
+    /// Reduces a spectrum to its STS under the given peak rule.
+    pub fn from_spectrum(index: usize, spectrum: &Spectrum, peaks_cfg: &PeakConfig) -> Sts {
+        Sts {
+            index,
+            start_sample: spectrum.start_sample,
+            peaks: find_peaks(spectrum, peaks_cfg),
+            centroid_hz: spectrum.centroid_hz(peaks_cfg.min_bin),
+            spread_hz: spectrum.spread_hz(peaks_cfg.min_bin),
+        }
+    }
+
+    /// Frequency of the peak at `rank`, if the window has that many
+    /// peaks.
+    pub fn peak_freq(&self, rank: usize) -> Option<f64> {
+        self.peaks.get(rank).map(|p| p.freq_hz)
+    }
+
+    /// The value of test dimension `dim`: dimensions below
+    /// `num_peak_dims` are peak-rank frequencies; with the
+    /// spectral-moment extension enabled, dimensions `num_peak_dims`
+    /// and `num_peak_dims + 1` are the centroid and spread (present in
+    /// every non-empty window, which is exactly what makes them useful
+    /// for peak-less regions).
+    pub fn dim_value(&self, dim: usize, num_peak_dims: usize) -> Option<f64> {
+        if dim < num_peak_dims {
+            self.peak_freq(dim)
+        } else if dim == num_peak_dims {
+            (self.centroid_hz > 0.0).then_some(self.centroid_hz)
+        } else {
+            (self.centroid_hz > 0.0).then_some(self.spread_hz)
+        }
+    }
+
+    /// Number of peaks in this window.
+    pub fn num_peaks(&self) -> usize {
+        self.peaks.len()
+    }
+}
+
+/// Converts a spectra sequence into an STS sequence.
+pub(crate) fn stss_from_spectra(spectra: &[Spectrum], peaks_cfg: &PeakConfig) -> Vec<Sts> {
+    spectra
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Sts::from_spectrum(i, s, peaks_cfg))
+        .collect()
+}
+
+/// Collects test-dimension `dim` of the last `n` STSs ending at `end`
+/// (inclusive), skipping windows without that dimension. This is the
+/// monitored sample handed to the K-S test.
+pub(crate) fn rank_sample(
+    stss: &[Sts],
+    end: usize,
+    n: usize,
+    dim: usize,
+    num_peak_dims: usize,
+) -> Vec<f64> {
+    let start = end.saturating_sub(n.saturating_sub(1));
+    stss[start..=end].iter().filter_map(|s| s.dim_value(dim, num_peak_dims)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sts_with_freqs(index: usize, freqs: &[f64]) -> Sts {
+        Sts {
+            index,
+            start_sample: index * 10,
+            peaks: freqs
+                .iter()
+                .enumerate()
+                .map(|(r, &f)| Peak { bin: r, freq_hz: f, power: 1.0 / (r + 1) as f64, fraction: 0.1 })
+                .collect(),
+            centroid_hz: freqs.first().copied().unwrap_or(0.0),
+            spread_hz: 1.0,
+        }
+    }
+
+    #[test]
+    fn from_spectrum_orders_peaks() {
+        let mut power = vec![0.001; 64];
+        power[10] = 5.0;
+        power[30] = 9.0;
+        let s = Spectrum { power, bin_hz: 1.0, start_sample: 7 };
+        let sts = Sts::from_spectrum(3, &s, &PeakConfig::default());
+        assert_eq!(sts.index, 3);
+        assert_eq!(sts.start_sample, 7);
+        assert_eq!(sts.peak_freq(0), Some(30.0));
+        assert_eq!(sts.peak_freq(1), Some(10.0));
+        assert_eq!(sts.peak_freq(2), None);
+        assert_eq!(sts.num_peaks(), 2);
+    }
+
+    #[test]
+    fn rank_sample_takes_trailing_windows() {
+        let stss: Vec<Sts> = (0..10).map(|i| sts_with_freqs(i, &[i as f64])).collect();
+        let s = rank_sample(&stss, 9, 3, 0, 5);
+        assert_eq!(s, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn rank_sample_skips_missing_ranks() {
+        let stss = vec![
+            sts_with_freqs(0, &[1.0, 10.0]),
+            sts_with_freqs(1, &[2.0]),
+            sts_with_freqs(2, &[3.0, 30.0]),
+        ];
+        assert_eq!(rank_sample(&stss, 2, 3, 1, 5), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn rank_sample_clamps_at_start() {
+        let stss: Vec<Sts> = (0..3).map(|i| sts_with_freqs(i, &[i as f64])).collect();
+        assert_eq!(rank_sample(&stss, 1, 10, 0, 5), vec![0.0, 1.0]);
+    }
+}

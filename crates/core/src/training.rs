@@ -1,0 +1,600 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use eddie_cfg::RegionGraph;
+use eddie_isa::RegionId;
+use eddie_stats::ks::{ks_test_sorted_ref, KsOutcome};
+use serde::{Deserialize, Serialize};
+
+use crate::sts::rank_sample;
+use crate::{EddieConfig, Sts};
+
+/// One labelled training run: the STS sequence plus the region label of
+/// every window (from [`label_windows`](crate::label_windows)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledRun {
+    /// STS sequence of the run.
+    pub stss: Vec<Sts>,
+    /// Region label per window (same length as `stss`).
+    pub labels: Vec<RegionId>,
+}
+
+/// Error from training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// No training runs were supplied.
+    NoRuns,
+    /// A run's labels and STSs disagree in length.
+    LengthMismatch {
+        /// Index of the offending run.
+        run: usize,
+    },
+    /// No region accumulated enough windows to model.
+    NothingTrainable,
+    /// The configuration failed validation.
+    BadConfig(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoRuns => f.write_str("no training runs supplied"),
+            TrainError::LengthMismatch { run } => {
+                write!(f, "run {run} has mismatched stss/labels lengths")
+            }
+            TrainError::NothingTrainable => f.write_str("no region has enough training windows"),
+            TrainError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// The trained per-region model: reference peak-frequency samples per
+/// peak rank, plus the selected K-S group size (§4.1–§4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionModel {
+    /// The region this model describes.
+    pub region: RegionId,
+    /// Reference peak frequencies, indexed `[rank][sample]`.
+    pub reference: Vec<Vec<f64>>,
+    /// Selected monitored-group size `n` for the K-S test.
+    pub group_size: usize,
+    /// Number of training windows the model was built from.
+    pub training_windows: usize,
+    /// False-rejection rate measured on training data at `group_size`.
+    pub training_frr: f64,
+}
+
+impl RegionModel {
+    /// Number of peak ranks with non-empty references.
+    pub fn active_ranks(&self) -> usize {
+        self.reference.iter().filter(|r| !r.is_empty()).count()
+    }
+}
+
+/// A complete trained EDDIE model for one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    /// Per-region models, keyed by region id.
+    pub regions: BTreeMap<RegionId, RegionModel>,
+    /// The program's region-level state machine.
+    pub graph: RegionGraph,
+    /// The configuration the model was trained under.
+    pub config: EddieConfig,
+}
+
+impl TrainedModel {
+    /// The model for `region`, if it was trainable.
+    pub fn region(&self, id: RegionId) -> Option<&RegionModel> {
+        self.regions.get(&id)
+    }
+
+    /// Effective successors of `region` for monitoring: trained direct
+    /// successors, with untrained (pass-through) transitions replaced by
+    /// *their* trained successors. See the crate docs on brief
+    /// transitions.
+    pub fn effective_successors(&self, id: RegionId) -> Vec<RegionId> {
+        let mut out = Vec::new();
+        for &s in self.graph.successors(id) {
+            if self.regions.contains_key(&s) {
+                out.push(s);
+            } else {
+                for &s2 in self.graph.successors(s) {
+                    if self.regions.contains_key(&s2) && !out.contains(&s2) {
+                        out.push(s2);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The trained region whose reference set best matches the run
+    /// start (used to initialise the monitor): the first trained region
+    /// reachable from the program prologue, falling back to the first
+    /// trained region by id.
+    pub fn initial_region(&self) -> Option<RegionId> {
+        let prologue = self
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, eddie_cfg::RegionKind::Transition { from: None, .. }))
+            .map(|n| n.id);
+        if let Some(p) = prologue {
+            if self.regions.contains_key(&p) {
+                return Some(p);
+            }
+            if let Some(&first) = self.graph.successors(p).first() {
+                if self.regions.contains_key(&first) {
+                    return Some(first);
+                }
+            }
+        }
+        self.regions.keys().next().copied()
+    }
+}
+
+/// Trains EDDIE from labelled runs (§4.1's training procedure, with the
+/// group-size selection of §4.3).
+///
+/// # Errors
+///
+/// Returns [`TrainError`] when input shapes are inconsistent, the
+/// configuration is invalid, or nothing is trainable.
+pub fn train_from_labeled(
+    runs: &[LabeledRun],
+    graph: &RegionGraph,
+    config: &EddieConfig,
+) -> Result<TrainedModel, TrainError> {
+    config.validate().map_err(TrainError::BadConfig)?;
+    if runs.is_empty() {
+        return Err(TrainError::NoRuns);
+    }
+    for (i, r) in runs.iter().enumerate() {
+        if r.stss.len() != r.labels.len() {
+            return Err(TrainError::LengthMismatch { run: i });
+        }
+    }
+
+    // Gather per-region windows, preserving per-run contiguous segments
+    // (needed for realistic sliding-group FRR measurement) and tagging
+    // each segment with its run so FRR can be measured leave-one-run-out.
+    let mut segments: BTreeMap<RegionId, Vec<(usize, Vec<&Sts>)>> = BTreeMap::new();
+    for (run_idx, run) in runs.iter().enumerate() {
+        let mut current: Option<(RegionId, Vec<&Sts>)> = None;
+        for (sts, &label) in run.stss.iter().zip(&run.labels) {
+            match &mut current {
+                Some((r, seg)) if *r == label => seg.push(sts),
+                _ => {
+                    if let Some((r, seg)) = current.take() {
+                        segments.entry(r).or_default().push((run_idx, seg));
+                    }
+                    current = Some((label, vec![sts]));
+                }
+            }
+        }
+        if let Some((r, seg)) = current.take() {
+            segments.entry(r).or_default().push((run_idx, seg));
+        }
+    }
+
+    let mut regions = BTreeMap::new();
+    for (region, segs) in &segments {
+        let total: usize = segs.iter().map(|(_, s)| s.len()).sum();
+        if total < config.min_region_windows {
+            continue; // pass-through region
+        }
+        // Reference sets per dimension (peak ranks, plus centroid and
+        // spread when the spectral-moment extension is on), sorted
+        // ascending so monitoring-time K-S tests run as a single merge
+        // pass.
+        let mut reference = vec![Vec::new(); config.num_dims()];
+        for (_, seg) in segs {
+            for sts in seg {
+                for (dim, slot) in reference.iter_mut().enumerate() {
+                    if let Some(f) = sts.dim_value(dim, config.num_peak_dims) {
+                        slot.push(f);
+                    }
+                }
+            }
+        }
+        for slot in &mut reference {
+            slot.sort_by(|a, b| a.total_cmp(b));
+        }
+
+        // Leave-one-run-out references: FRR for a segment from run `r`
+        // is measured against a reference excluding run `r`'s own
+        // windows, so the selection is not biased by self-testing.
+        let loro =
+            build_loro_references(segs, runs.len(), config.num_peak_dims, config.num_dims());
+
+        let (group_size, training_frr) = select_group_size(segs, &reference, &loro, config);
+        regions.insert(
+            *region,
+            RegionModel {
+                region: *region,
+                reference,
+                group_size,
+                training_windows: total,
+                training_frr,
+            },
+        );
+    }
+
+    if regions.is_empty() {
+        return Err(TrainError::NothingTrainable);
+    }
+    Ok(TrainedModel { regions, graph: clone_graph(graph), config: config.clone() })
+}
+
+fn clone_graph(graph: &RegionGraph) -> RegionGraph {
+    graph.clone()
+}
+
+/// Raw K-S false-rejection rate of one region at a forced group size:
+/// slides groups of `n` windows over the contiguous stretches of
+/// `stss` labelled with `region` and reports the fraction rejected
+/// against the trained reference — the quantity on the y-axis of the
+/// paper's Figure 3 (no report-threshold tolerance applied).
+pub fn raw_rejection_rate(
+    model: &TrainedModel,
+    region: RegionId,
+    stss: &[Sts],
+    labels: &[RegionId],
+    n: usize,
+) -> f64 {
+    let Some(rm) = model.region(region) else {
+        return 1.0;
+    };
+    let mut groups = 0usize;
+    let mut rejected = 0usize;
+    let mut seg: Vec<Sts> = Vec::new();
+    let flush = |seg: &mut Vec<Sts>, groups: &mut usize, rejected: &mut usize| {
+        if seg.len() >= n {
+            for end in (n - 1)..seg.len() {
+                *groups += 1;
+                if group_rejects(&rm.reference, seg, end, n, &model.config) {
+                    *rejected += 1;
+                }
+            }
+        }
+        seg.clear();
+    };
+    for (sts, &label) in stss.iter().zip(labels) {
+        if label == region {
+            seg.push(sts.clone());
+        } else {
+            flush(&mut seg, &mut groups, &mut rejected);
+        }
+    }
+    flush(&mut seg, &mut groups, &mut rejected);
+    if groups == 0 {
+        1.0
+    } else {
+        rejected as f64 / groups as f64
+    }
+}
+
+/// Builds, for every training run, the per-rank reference excluding
+/// that run's own windows (leave-one-run-out). With a single run the
+/// full reference is reused (no exclusion possible).
+fn build_loro_references(
+    segments: &[(usize, Vec<&Sts>)],
+    num_runs: usize,
+    num_peak_dims: usize,
+    num_dims: usize,
+) -> Vec<Vec<Vec<f64>>> {
+    let mut out = vec![vec![Vec::new(); num_dims]; num_runs];
+    for excluded in 0..num_runs {
+        for (run, seg) in segments {
+            if *run == excluded && num_runs > 1 {
+                continue;
+            }
+            for sts in seg {
+                for (dim, slot) in out[excluded].iter_mut().enumerate() {
+                    if let Some(f) = sts.dim_value(dim, num_peak_dims) {
+                        slot.push(f);
+                    }
+                }
+            }
+        }
+        for slot in &mut out[excluded] {
+            slot.sort_by(|a, b| a.total_cmp(b));
+        }
+    }
+    out
+}
+
+/// The §4.3 procedure: slide K-S groups of each candidate size over the
+/// region's training segments, measure the false-rejection rate
+/// (leave-one-run-out), and pick the smallest size achieving the
+/// minimum observed rate. Returns `(group_size, frr_at_that_size)`.
+pub(crate) fn select_group_size(
+    segments: &[(usize, Vec<&Sts>)],
+    reference: &[Vec<f64>],
+    loro: &[Vec<Vec<f64>>],
+    config: &EddieConfig,
+) -> (usize, f64) {
+    let _ = reference;
+    let mut best: Option<(usize, f64)> = None;
+    let mut rates = Vec::new();
+    for &n in &config.candidate_group_sizes {
+        let frr = false_rejection_rate(segments, loro, n, config);
+        rates.push((n, frr));
+    }
+    let min_rate = rates.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+    for &(n, r) in &rates {
+        // Smallest n within a hair of the minimum rate.
+        if r <= min_rate + 1e-9 {
+            best = Some((n, r));
+            break;
+        }
+    }
+    best.unwrap_or((config.candidate_group_sizes[0], 1.0))
+}
+
+/// Measures how often sliding groups of size `n` drawn from the
+/// region's training windows are rejected against the reference built
+/// from the *other* runs.
+pub(crate) fn false_rejection_rate(
+    segments: &[(usize, Vec<&Sts>)],
+    loro: &[Vec<Vec<f64>>],
+    n: usize,
+    config: &EddieConfig,
+) -> f64 {
+    let mut groups = 0usize;
+    let mut rejected = 0usize;
+    for (run, seg) in segments {
+        if seg.len() < n {
+            continue;
+        }
+        let reference = &loro[*run];
+        // Borrow the segment as an owned Vec<Sts> view for rank_sample.
+        let owned: Vec<Sts> = seg.iter().map(|s| (*s).clone()).collect();
+        for end in (n - 1)..owned.len() {
+            groups += 1;
+            if group_rejects(reference, &owned, end, n, config) {
+                rejected += 1;
+            }
+        }
+    }
+    if groups == 0 {
+        1.0
+    } else {
+        rejected as f64 / groups as f64
+    }
+}
+
+/// Region-level rejection under the same rule the monitor applies: at
+/// least `reject_rank_threshold` active peak ranks reject (or the only
+/// active rank does) in the per-rank K-S tests of §4.2. Group-size
+/// selection must measure FRR with the *same* decision rule monitoring
+/// uses, or the selected `n` would not transfer.
+pub(crate) fn group_rejects(
+    reference: &[Vec<f64>],
+    stss: &[Sts],
+    end: usize,
+    n: usize,
+    config: &EddieConfig,
+) -> bool {
+    let mut active = 0usize;
+    let mut rejects = 0usize;
+    for (dim, refs) in reference.iter().enumerate() {
+        if refs.is_empty() {
+            continue;
+        }
+        let mon = rank_sample(stss, end, n, dim, config.num_peak_dims);
+        if mon.len() < (n / 2).max(2) {
+            // Not enough monitored points carrying this dimension: its
+            // absence is itself informative — count it as a rejection
+            // when the reference says the dimension is always present.
+            if refs.len() * 2 > reference[0].len() {
+                active += 1;
+                rejects += 1;
+            }
+            continue;
+        }
+        active += 1;
+        if ks_test_sorted_ref(refs, &mon, config.confidence).outcome == KsOutcome::Reject {
+            rejects += 1;
+        }
+    }
+    active > 0 && (rejects >= config.reject_rank_threshold || rejects == active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_dsp::Peak;
+    use eddie_isa::ProgramBuilder;
+    use eddie_isa::Reg;
+
+    fn graph_one_loop() -> RegionGraph {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        RegionGraph::from_program(&b.build().unwrap()).unwrap()
+    }
+
+    fn sts(index: usize, freq: f64) -> Sts {
+        Sts {
+            index,
+            start_sample: index,
+            peaks: vec![Peak { bin: 1, freq_hz: freq, power: 1.0, fraction: 0.5 }],
+            centroid_hz: freq,
+            spread_hz: 1.0,
+        }
+    }
+
+    /// A run with `count` windows all labelled region 0, peak frequency
+    /// jittering deterministically around `base`.
+    fn uniform_run(count: usize, base: f64) -> LabeledRun {
+        let stss: Vec<Sts> =
+            (0..count).map(|i| sts(i, base + ((i * 7) % 5) as f64 * 0.5)).collect();
+        let labels = vec![RegionId::new(0); count];
+        LabeledRun { stss, labels }
+    }
+
+    #[test]
+    fn trains_a_single_region() {
+        let graph = graph_one_loop();
+        let cfg = EddieConfig::quick();
+        let runs = vec![uniform_run(60, 100.0), uniform_run(60, 100.0)];
+        let model = train_from_labeled(&runs, &graph, &cfg).unwrap();
+        let rm = model.region(RegionId::new(0)).expect("region trained");
+        assert_eq!(rm.training_windows, 120);
+        assert!(rm.group_size >= 3);
+        assert!(rm.training_frr <= 0.1, "self-FRR should be near zero: {}", rm.training_frr);
+        assert!(rm.active_ranks() >= 1);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_inputs() {
+        let graph = graph_one_loop();
+        let cfg = EddieConfig::quick();
+        assert_eq!(train_from_labeled(&[], &graph, &cfg), Err(TrainError::NoRuns));
+        let bad = LabeledRun { stss: vec![sts(0, 1.0)], labels: vec![] };
+        assert_eq!(
+            train_from_labeled(&[bad], &graph, &cfg),
+            Err(TrainError::LengthMismatch { run: 0 })
+        );
+    }
+
+    #[test]
+    fn too_few_windows_is_nothing_trainable() {
+        let graph = graph_one_loop();
+        let cfg = EddieConfig::quick();
+        let runs = vec![uniform_run(2, 100.0)];
+        assert_eq!(train_from_labeled(&runs, &graph, &cfg), Err(TrainError::NothingTrainable));
+    }
+
+    #[test]
+    fn group_rejects_detects_shifted_peaks() {
+        let mut rank0: Vec<f64> = (0..200).map(|i| 100.0 + (i % 5) as f64).collect();
+        rank0.sort_by(|a, b| a.total_cmp(b));
+        let reference = vec![rank0];
+        let cfg = EddieConfig::quick();
+        // Same distribution: accept.
+        let same: Vec<Sts> = (0..16).map(|i| sts(i, 100.0 + (i % 5) as f64)).collect();
+        assert!(!group_rejects(&reference, &same, 15, 8, &cfg));
+        // Shifted far away: reject.
+        let shifted: Vec<Sts> = (0..16).map(|i| sts(i, 500.0 + (i % 5) as f64)).collect();
+        assert!(group_rejects(&reference, &shifted, 15, 8, &cfg));
+    }
+
+    #[test]
+    fn effective_successors_skip_untrained_transitions() {
+        // Two-loop graph; only the loops are trained.
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8);
+        for r in 0..2u32 {
+            b.li(i, 0);
+            b.region_enter(RegionId::new(r));
+            let top = b.label_here("t");
+            b.addi(i, i, 1).blt_label(i, n, top);
+            b.region_exit(RegionId::new(r));
+        }
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let cfg = EddieConfig::quick();
+        let mut runs = vec![uniform_run(60, 100.0)];
+        // Add windows for region 1 too.
+        let mut r1 = uniform_run(60, 200.0);
+        r1.labels = vec![RegionId::new(1); 60];
+        runs.push(r1);
+        let model = train_from_labeled(&runs, &graph, &cfg).unwrap();
+        let succ = model.effective_successors(RegionId::new(0));
+        assert_eq!(succ, vec![RegionId::new(1)], "untrained transition skipped");
+    }
+
+    #[test]
+    fn initial_region_prefers_prologue_path() {
+        let graph = graph_one_loop();
+        let cfg = EddieConfig::quick();
+        let model = train_from_labeled(&[uniform_run(60, 100.0)], &graph, &cfg).unwrap();
+        assert_eq!(model.initial_region(), Some(RegionId::new(0)));
+    }
+}
+
+impl TrainedModel {
+    /// Serialises the model to JSON — the artifact a deployment would
+    /// flash onto the paper's envisioned custom receiver ("some flash
+    /// for storing the model from training", §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialisation fails (it does
+    /// not for models produced by [`train_from_labeled`]).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialises a model previously produced by
+    /// [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<TrainedModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::EddieConfig;
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn json_round_trips_a_trained_model() {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+
+        let stss: Vec<Sts> = (0..60)
+            .map(|i| Sts {
+                index: i,
+                start_sample: i,
+                peaks: vec![Peak {
+                    bin: 3,
+                    freq_hz: 100.0 + (i % 5) as f64,
+                    power: 1.0,
+                    fraction: 0.4,
+                }],
+                centroid_hz: 100.0,
+                spread_hz: 5.0,
+            })
+            .collect();
+        let labels = vec![RegionId::new(0); 60];
+        let model = train_from_labeled(
+            &[LabeledRun { stss, labels }],
+            &graph,
+            &EddieConfig::quick(),
+        )
+        .unwrap();
+
+        let json = model.to_json().unwrap();
+        let restored = TrainedModel::from_json(&json).unwrap();
+        assert_eq!(model, restored);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(TrainedModel::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,195 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` components.
+///
+/// Only the operations the FFT and the EM baseband model need are
+/// provided; this is deliberately not a general numerics library.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_dsp::Complex;
+///
+/// let i = Complex::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// assert!((Complex::from_polar(2.0, 0.0).re - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// Creates `magnitude * e^{i * phase}`.
+    #[inline]
+    pub fn from_polar(magnitude: f64, phase: f64) -> Complex {
+        Complex { re: magnitude * phase.cos(), im: magnitude * phase.sin() }
+    }
+
+    /// Squared magnitude `re² + im²` (cheaper than [`abs`](Self::abs)).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Complex {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.5, -2.0);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a - a, Complex::ZERO);
+        assert_eq!(-a + a, Complex::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(4.0, -1.0);
+        let p = a * b;
+        assert!((p.re - 11.0).abs() < 1e-12);
+        assert!((p.im - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(3.0, std::f64::consts::FRAC_PI_3);
+        assert!((z.abs() - 3.0).abs() < 1e-12);
+        assert!((z.im.atan2(z.re) - std::f64::consts::FRAC_PI_3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex::new(1.0, -2.0));
+        assert!((z * z.conj()).re - z.norm_sqr() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(2.0, 0.0);
+        z -= Complex::new(0.0, 1.0);
+        z *= Complex::new(0.0, 1.0);
+        assert_eq!(z, Complex::new(3.0, 0.0) * Complex::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

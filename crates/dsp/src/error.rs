@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Error type for DSP configuration problems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// FFT / window length must be a power of two and at least 2.
+    BadLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// STFT hop must be positive and no larger than the window length.
+    BadHop {
+        /// The offending hop.
+        hop: usize,
+        /// The window length it must not exceed.
+        window_len: usize,
+    },
+    /// Sample rate must be positive and finite.
+    BadSampleRate {
+        /// The offending sample rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::BadLength { len } => {
+                write!(f, "length {len} is not a power of two >= 2")
+            }
+            DspError::BadHop { hop, window_len } => {
+                write!(f, "hop {hop} invalid for window length {window_len}")
+            }
+            DspError::BadSampleRate { rate } => write!(f, "invalid sample rate {rate}"),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DspError::BadLength { len: 3 }.to_string().contains('3'));
+        assert!(DspError::BadHop { hop: 0, window_len: 8 }.to_string().contains("hop 0"));
+        assert!(DspError::BadSampleRate { rate: -1.0 }.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,207 @@
+use crate::{Complex, DspError};
+
+/// An iterative radix-2 decimation-in-time FFT.
+///
+/// Twiddle factors and the bit-reversal permutation are precomputed at
+/// construction, so one planner can be reused across the many windows of
+/// an STFT without per-call allocation.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_dsp::{Complex, Fft};
+///
+/// let fft = Fft::new(8)?;
+/// // A DC signal transforms to a single bin-0 component.
+/// let mut buf = vec![Complex::ONE; 8];
+/// fft.forward(&mut buf);
+/// assert!((buf[0].re - 8.0).abs() < 1e-9);
+/// assert!(buf[1..].iter().all(|c| c.abs() < 1e-9));
+/// # Ok::<(), eddie_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    len: usize,
+    /// Bit-reversed index for each position.
+    rev: Vec<u32>,
+    /// Forward twiddles `e^{-2πik/len}` for `k` in `0..len/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Creates a planner for transforms of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] unless `len` is a power of two
+    /// and at least 2.
+    pub fn new(len: usize) -> Result<Fft, DspError> {
+        if len < 2 || !len.is_power_of_two() {
+            return Err(DspError::BadLength { len });
+        }
+        let bits = len.trailing_zeros();
+        let rev: Vec<u32> =
+            (0..len as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let twiddles: Vec<Complex> = (0..len / 2)
+            .map(|k| {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                Complex::from_polar(1.0, angle)
+            })
+            .collect();
+        Ok(Fft { len, rev, twiddles })
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the transform length is zero (never; provided alongside
+    /// [`len`](Self::len) for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planner length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.len, "buffer length must match planner");
+        // Bit-reversal permutation.
+        for i in 0..self.len {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Butterfly stages.
+        let mut half = 1;
+        while half < self.len {
+            let stride = self.len / (2 * half);
+            for start in (0..self.len).step_by(2 * half) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            half *= 2;
+        }
+    }
+
+    /// In-place inverse transform (including the `1/len` normalisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the planner length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        for c in buf.iter_mut() {
+            *c = c.conj();
+        }
+        self.forward(buf);
+        let k = 1.0 / self.len as f64;
+        for c in buf.iter_mut() {
+            *c = c.conj().scale(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference DFT.
+    fn dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in input.iter().enumerate() {
+                    let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += x * Complex::from_polar(1.0, angle);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(Fft::new(0).is_err());
+        assert!(Fft::new(1).is_err());
+        assert!(Fft::new(12).is_err());
+        assert!(Fft::new(16).is_ok());
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        let n = 64;
+        let fft = Fft::new(n).unwrap();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, ((i * 13) % 7) as f64))
+            .collect();
+        let expected = dft(&input);
+        let mut buf = input;
+        fft.forward(&mut buf);
+        for (a, b) in buf.iter().zip(&expected) {
+            assert!((a.re - b.re).abs() < 1e-8, "{a} vs {b}");
+            assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity() {
+        let n = 128;
+        let fft = Fft::new(n).unwrap();
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+        let mut buf = input.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&input) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 256;
+        let fft = Fft::new(n).unwrap();
+        let bin = 17;
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|i| {
+                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64)
+            })
+            .collect();
+        fft.forward(&mut buf);
+        let strongest = (0..n).max_by(|&a, &b| buf[a].abs().total_cmp(&buf[b].abs())).unwrap();
+        assert_eq!(strongest, bin);
+        assert!((buf[bin].abs() - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let fft = Fft::new(n).unwrap();
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new(((i % 5) as f64) - 2.0, 0.0)).collect();
+        let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+        let mut buf = input;
+        fft.forward(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        let fft = Fft::new(8).unwrap();
+        let mut buf = vec![Complex::ZERO; 4];
+        fft.forward(&mut buf);
+    }
+}

@@ -1,0 +1,236 @@
+//! Goertzel single-bin DFT and a filter bank built from it.
+//!
+//! The paper envisions a <$100 dedicated EDDIE receiver with "an ASIC
+//! block for STFT and peak finding" (§5.1). A hardware-friendly way to
+//! build that block is a bank of Goertzel filters: each evaluates one
+//! spectral bin with two multiplies per sample and O(1) state — no FFT
+//! butterflies, no bit-reversal, no transform-sized buffers. The
+//! `ablate-asic` experiment compares a sparse Goertzel front end against
+//! the full-FFT STFT.
+
+use crate::{Complex, Spectrum};
+
+/// A single Goertzel filter: computes the DFT of one bin of an
+/// `n`-sample block.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_dsp::Goertzel;
+///
+/// // A pure tone at bin 5 of a 64-sample block.
+/// let n = 64;
+/// let samples: Vec<f64> = (0..n)
+///     .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / n as f64).cos())
+///     .collect();
+/// let mut g = Goertzel::new(5, n);
+/// for &s in &samples {
+///     g.push(s);
+/// }
+/// assert!((g.finish().abs() - n as f64 / 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Goertzel {
+    coeff: f64,
+    cos: f64,
+    sin: f64,
+    s1: f64,
+    s2: f64,
+    pushed: usize,
+    block: usize,
+}
+
+impl Goertzel {
+    /// Creates a filter for `bin` of an `block`-sample DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    pub fn new(bin: usize, block: usize) -> Goertzel {
+        assert!(block > 0, "block length must be positive");
+        let w = 2.0 * std::f64::consts::PI * bin as f64 / block as f64;
+        Goertzel { coeff: 2.0 * w.cos(), cos: w.cos(), sin: w.sin(), s1: 0.0, s2: 0.0, pushed: 0, block }
+    }
+
+    /// Feeds one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let s0 = x + self.coeff * self.s1 - self.s2;
+        self.s2 = self.s1;
+        self.s1 = s0;
+        self.pushed += 1;
+    }
+
+    /// Number of samples fed so far.
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// `true` when no samples have been fed.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// Completes the block and returns the bin's complex DFT value,
+    /// resetting the filter for the next block.
+    pub fn finish(&mut self) -> Complex {
+        let re = self.s1 * self.cos - self.s2;
+        let im = self.s1 * self.sin;
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.pushed = 0;
+        let _ = self.block;
+        Complex::new(re, im)
+    }
+}
+
+/// A bank of Goertzel filters evaluating a sparse set of bins per
+/// block — the ASIC-style replacement for a windowed FFT.
+///
+/// The produced [`Spectrum`] has power only at the watched bins (other
+/// bins are zero), so the same peak-extraction and K-S machinery runs
+/// unchanged downstream — at a fraction of the arithmetic when the set
+/// of interesting bins is known from training.
+#[derive(Debug, Clone)]
+pub struct GoertzelBank {
+    filters: Vec<(usize, Goertzel)>,
+    block: usize,
+    num_bins: usize,
+    sample_rate_hz: f64,
+}
+
+impl GoertzelBank {
+    /// Creates a bank watching `bins` of `block`-sample windows at the
+    /// given sample rate. `num_bins` is the one-sided spectrum size the
+    /// produced [`Spectrum`]s report (`block / 2 + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bin exceeds `block / 2`.
+    pub fn new(bins: &[usize], block: usize, sample_rate_hz: f64) -> GoertzelBank {
+        let num_bins = block / 2 + 1;
+        for &b in bins {
+            assert!(b < num_bins, "bin {b} out of one-sided range {num_bins}");
+        }
+        GoertzelBank {
+            filters: bins.iter().map(|&b| (b, Goertzel::new(b, block))).collect(),
+            block,
+            num_bins,
+            sample_rate_hz,
+        }
+    }
+
+    /// Processes a real signal into per-block sparse spectra
+    /// (non-overlapping blocks, rectangular window — what a minimal
+    /// ASIC would do).
+    pub fn process_real(&mut self, signal: &[f32]) -> Vec<Spectrum> {
+        let mut out = Vec::with_capacity(signal.len() / self.block);
+        for (blk_idx, chunk) in signal.chunks_exact(self.block).enumerate() {
+            let mean = chunk.iter().map(|&x| x as f64).sum::<f64>() / self.block as f64;
+            for &x in chunk {
+                for (_, g) in self.filters.iter_mut() {
+                    g.push(x as f64 - mean);
+                }
+            }
+            let mut power = vec![0.0; self.num_bins];
+            for (bin, g) in self.filters.iter_mut() {
+                let v = g.finish();
+                // One-sided fold (matches Stft::fold_one_sided).
+                let fold = if *bin == 0 || *bin == self.block / 2 { 1.0 } else { 2.0 };
+                power[*bin] = v.norm_sqr() * fold;
+            }
+            out.push(Spectrum {
+                power,
+                bin_hz: self.sample_rate_hz / self.block as f64,
+                start_sample: blk_idx * self.block,
+            });
+        }
+        out
+    }
+
+    /// Number of watched bins.
+    pub fn num_watched(&self) -> usize {
+        self.filters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fft;
+
+    fn tone(bin: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64).cos())
+            .collect()
+    }
+
+    #[test]
+    fn matches_fft_bin_value() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| tone(7, n)[i] + 0.5 * tone(19, n)[i])
+            .collect();
+        // FFT reference.
+        let fft = Fft::new(n).unwrap();
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft.forward(&mut buf);
+        // Goertzel for the same bins.
+        for &bin in &[7usize, 19, 33] {
+            let mut g = Goertzel::new(bin, n);
+            for &x in &signal {
+                g.push(x);
+            }
+            let v = g.finish();
+            assert!(
+                (v.abs() - buf[bin].abs()).abs() < 1e-6,
+                "bin {bin}: goertzel {} vs fft {}",
+                v.abs(),
+                buf[bin].abs()
+            );
+        }
+    }
+
+    #[test]
+    fn filter_resets_between_blocks() {
+        let n = 64;
+        let signal = tone(5, n);
+        let mut g = Goertzel::new(5, n);
+        for &x in &signal {
+            g.push(x);
+        }
+        let first = g.finish().abs();
+        assert!(g.is_empty());
+        for &x in &signal {
+            g.push(x);
+        }
+        assert_eq!(g.len(), n);
+        let second = g.finish().abs();
+        assert!((first - second).abs() < 1e-9, "state must reset");
+    }
+
+    #[test]
+    fn bank_finds_tone_in_watched_bin() {
+        let n = 256;
+        let fs = 1000.0;
+        let signal: Vec<f32> = (0..4 * n)
+            .map(|i| (2.0 * std::f64::consts::PI * 20.0 * i as f64 / n as f64).sin() as f32)
+            .collect();
+        let mut bank = GoertzelBank::new(&[10, 20, 30], n, fs);
+        let spectra = bank.process_real(&signal);
+        assert_eq!(spectra.len(), 4);
+        for s in &spectra {
+            let strongest = (0..s.len())
+                .max_by(|&a, &b| s.power[a].total_cmp(&s.power[b]))
+                .unwrap();
+            assert_eq!(strongest, 20);
+            assert!(s.power[15] == 0.0, "unwatched bins stay zero");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of one-sided range")]
+    fn bank_rejects_out_of_range_bins() {
+        GoertzelBank::new(&[200], 256, 1e3);
+    }
+}

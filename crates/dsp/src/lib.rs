@@ -1,0 +1,59 @@
+//! Signal processing for the EDDIE reproduction.
+//!
+//! EDDIE converts the received EM signal into a sequence of overlapping
+//! Short-Term Spectra (STSs) via the Short-Term Fourier Transform and
+//! then works exclusively on spectral *peaks*: frequencies holding at
+//! least 1 % of a window's signal energy (§3, §4.1 of the paper). This
+//! crate provides that pipeline, implemented from scratch so the
+//! reproduction has no opaque dependencies:
+//!
+//! * [`Complex`] — minimal complex arithmetic;
+//! * [`Fft`] — an iterative radix-2 FFT with precomputed twiddles;
+//! * [`WindowKind`] — rectangular/Hann/Hamming/Blackman analysis windows;
+//! * [`Stft`] — overlapping windowed transforms producing [`Spectrum`]s;
+//! * [`find_peaks`] — the 1 %-energy spectral-peak rule.
+//!
+//! # Examples
+//!
+//! Recover the frequency of a synthetic tone:
+//!
+//! ```
+//! use eddie_dsp::{find_peaks, PeakConfig, Stft, StftConfig, WindowKind};
+//!
+//! let fs = 1000.0;
+//! let tone = 125.0;
+//! let samples: Vec<f32> = (0..4096)
+//!     .map(|n| (2.0 * std::f64::consts::PI * tone * n as f64 / fs).sin() as f32)
+//!     .collect();
+//! let stft = Stft::new(StftConfig {
+//!     window_len: 1024,
+//!     hop: 512,
+//!     window: WindowKind::Hann,
+//!     sample_rate_hz: fs,
+//! })?;
+//! let spectra = stft.process_real(&samples);
+//! let peaks = find_peaks(&spectra[0], &PeakConfig::default());
+//! assert!((peaks[0].freq_hz - tone).abs() < fs / 1024.0);
+//! # Ok::<(), eddie_dsp::DspError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod error;
+mod fft;
+mod goertzel;
+mod peaks;
+mod spectrum;
+mod stft;
+mod window;
+
+pub use complex::Complex;
+pub use error::DspError;
+pub use fft::Fft;
+pub use goertzel::{Goertzel, GoertzelBank};
+pub use peaks::{find_peaks, Peak, PeakConfig};
+pub use spectrum::Spectrum;
+pub use stft::{Stft, StftConfig};
+pub use window::WindowKind;

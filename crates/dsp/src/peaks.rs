@@ -1,0 +1,172 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Spectrum;
+
+/// One spectral peak of a Short-Term Spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Bin index in the one-sided spectrum.
+    pub bin: usize,
+    /// Peak frequency in hertz.
+    pub freq_hz: f64,
+    /// Power of the peak bin.
+    pub power: f64,
+    /// Peak power as a fraction of the window's AC energy.
+    pub fraction: f64,
+}
+
+/// Parameters of the peak-extraction rule.
+///
+/// The paper defines a peak frequency as "a frequency at which at least
+/// 1 % of the entire window's signal energy is concentrated" (§4.1).
+/// The defaults implement exactly that, excluding the DC neighbourhood
+/// (where mean power / carrier leakage would otherwise always dominate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakConfig {
+    /// Minimum share of the window's AC energy a bin must hold.
+    pub energy_fraction: f64,
+    /// First bin eligible to be a peak (bins below are the DC/carrier
+    /// neighbourhood).
+    pub min_bin: usize,
+    /// Upper bound on the number of reported peaks (strongest first).
+    pub max_peaks: usize,
+}
+
+impl Default for PeakConfig {
+    fn default() -> PeakConfig {
+        PeakConfig { energy_fraction: 0.01, min_bin: 2, max_peaks: 32 }
+    }
+}
+
+/// Extracts the spectral peaks of `spectrum` under `config`.
+///
+/// A bin qualifies when it is a local maximum (strictly greater than one
+/// neighbour, at least equal to the other) and holds at least
+/// `energy_fraction` of the window's AC energy. Peaks are returned
+/// strongest-first, which fixes the "peak rank" dimension order used by
+/// EDDIE's per-dimension K-S tests (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use eddie_dsp::{find_peaks, PeakConfig, Spectrum};
+///
+/// let mut power = vec![0.01; 65];
+/// power[10] = 5.0;
+/// power[20] = 3.0;
+/// let s = Spectrum { power, bin_hz: 2.0, start_sample: 0 };
+/// let peaks = find_peaks(&s, &PeakConfig::default());
+/// assert_eq!(peaks.len(), 2);
+/// assert_eq!(peaks[0].bin, 10);
+/// assert_eq!(peaks[1].freq_hz, 40.0);
+/// ```
+pub fn find_peaks(spectrum: &Spectrum, config: &PeakConfig) -> Vec<Peak> {
+    let p = &spectrum.power;
+    if p.len() <= config.min_bin {
+        return Vec::new();
+    }
+    let total = spectrum.ac_energy(config.min_bin);
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let threshold = config.energy_fraction * total;
+
+    let mut peaks: Vec<Peak> = Vec::new();
+    for k in config.min_bin..p.len() {
+        if p[k] < threshold {
+            continue;
+        }
+        let left = if k > 0 { p[k - 1] } else { 0.0 };
+        let right = if k + 1 < p.len() { p[k + 1] } else { 0.0 };
+        // Local maximum; strict on the left so plateaus yield one peak.
+        if p[k] > left && p[k] >= right {
+            peaks.push(Peak {
+                bin: k,
+                freq_hz: spectrum.freq_of_bin(k),
+                power: p[k],
+                fraction: p[k] / total,
+            });
+        }
+    }
+    peaks.sort_by(|a, b| b.power.total_cmp(&a.power));
+    peaks.truncate(config.max_peaks);
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum(power: Vec<f64>) -> Spectrum {
+        Spectrum { power, bin_hz: 1.0, start_sample: 0 }
+    }
+
+    #[test]
+    fn flat_spectrum_has_no_peaks() {
+        let s = spectrum(vec![1.0; 64]);
+        assert!(find_peaks(&s, &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn weak_bumps_below_threshold_are_ignored() {
+        let mut power = vec![1.0; 200];
+        power[50] = 1.5; // < 1% of ~200 total energy
+        let s = spectrum(power);
+        assert!(find_peaks(&s, &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn peaks_sorted_by_power() {
+        let mut power = vec![0.001; 128];
+        power[30] = 2.0;
+        power[60] = 8.0;
+        power[90] = 4.0;
+        let s = spectrum(power);
+        let peaks = find_peaks(&s, &PeakConfig::default());
+        let bins: Vec<usize> = peaks.iter().map(|p| p.bin).collect();
+        assert_eq!(bins, vec![60, 90, 30]);
+        assert!(peaks[0].fraction > peaks[2].fraction);
+    }
+
+    #[test]
+    fn dc_neighbourhood_is_excluded() {
+        let mut power = vec![0.001; 64];
+        power[0] = 100.0;
+        power[1] = 50.0;
+        power[10] = 1.0;
+        let s = spectrum(power);
+        let peaks = find_peaks(&s, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 10);
+    }
+
+    #[test]
+    fn max_peaks_truncates() {
+        let mut power = vec![0.0001; 256];
+        for k in (10..250).step_by(10) {
+            power[k] = 1.0 + k as f64 / 1000.0;
+        }
+        let s = spectrum(power);
+        let cfg = PeakConfig { max_peaks: 5, ..PeakConfig::default() };
+        assert_eq!(find_peaks(&s, &cfg).len(), 5);
+    }
+
+    #[test]
+    fn plateau_yields_single_peak() {
+        let mut power = vec![0.001; 64];
+        power[20] = 3.0;
+        power[21] = 3.0;
+        let s = spectrum(power);
+        let peaks = find_peaks(&s, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 20);
+    }
+
+    #[test]
+    fn empty_or_tiny_spectra_are_handled() {
+        let s = spectrum(vec![]);
+        assert!(find_peaks(&s, &PeakConfig::default()).is_empty());
+        let s2 = spectrum(vec![1.0, 2.0]);
+        assert!(find_peaks(&s2, &PeakConfig::default()).is_empty());
+    }
+}

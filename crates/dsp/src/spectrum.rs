@@ -1,0 +1,173 @@
+use serde::{Deserialize, Serialize};
+
+/// A one-sided power spectrum of one STFT window — the paper's
+/// Short-Term Spectrum (STS) before peak extraction.
+///
+/// Bin `k` covers frequency `k * bin_hz`. For complex (baseband EM)
+/// input, power from the mirrored negative frequency is folded in, so AM
+/// sidebands at ±f appear as a single peak at `f`, matching how the
+/// paper reads the loop frequency off the carrier offset (Figure 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    /// Power per bin (`|X[k]|²`, folded one-sided).
+    pub power: Vec<f64>,
+    /// Frequency resolution in hertz.
+    pub bin_hz: f64,
+    /// Index of the first sample of the window in the source signal.
+    pub start_sample: usize,
+}
+
+impl Spectrum {
+    /// Number of bins (window length / 2 + 1).
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// `true` when the spectrum has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Frequency of bin `k` in hertz.
+    pub fn freq_of_bin(&self, k: usize) -> f64 {
+        k as f64 * self.bin_hz
+    }
+
+    /// Nearest bin for a frequency in hertz.
+    pub fn bin_of_freq(&self, hz: f64) -> usize {
+        ((hz / self.bin_hz).round() as usize).min(self.power.len().saturating_sub(1))
+    }
+
+    /// Total power in bins `min_bin..`, used as the denominator for the
+    /// 1 %-energy peak rule (the DC neighbourhood is excluded because the
+    /// carrier / mean power would otherwise dominate every window).
+    pub fn ac_energy(&self, min_bin: usize) -> f64 {
+        self.power.iter().skip(min_bin).sum()
+    }
+
+    /// The spectrum in decibels relative to 1.0 (floored at -200 dB), for
+    /// rendering figures.
+    pub fn to_db(&self) -> Vec<f64> {
+        self.power.iter().map(|&p| 10.0 * p.max(1e-20).log10()).collect()
+    }
+
+    /// Energy-weighted mean frequency of bins `min_bin..` — a *diffuse*
+    /// spectral feature that stays informative when no individual bin
+    /// qualifies as a peak. Returns 0.0 for an energy-free spectrum.
+    ///
+    /// The paper suggests "better consideration of diffuse spectral
+    /// features" as an accuracy improvement (§5.2); the centroid and
+    /// [`spread_hz`](Self::spread_hz) are the two moments EDDIE's
+    /// extension mode adds as extra K-S dimensions.
+    pub fn centroid_hz(&self, min_bin: usize) -> f64 {
+        let total = self.ac_energy(min_bin);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.power
+            .iter()
+            .enumerate()
+            .skip(min_bin)
+            .map(|(k, &p)| self.freq_of_bin(k) * p)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Energy-weighted frequency standard deviation around the centroid
+    /// (bins `min_bin..`). Returns 0.0 for an energy-free spectrum.
+    pub fn spread_hz(&self, min_bin: usize) -> f64 {
+        let total = self.ac_energy(min_bin);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let c = self.centroid_hz(min_bin);
+        (self
+            .power
+            .iter()
+            .enumerate()
+            .skip(min_bin)
+            .map(|(k, &p)| {
+                let d = self.freq_of_bin(k) - c;
+                d * d * p
+            })
+            .sum::<f64>()
+            / total)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum() -> Spectrum {
+        Spectrum { power: vec![100.0, 1.0, 2.0, 4.0], bin_hz: 10.0, start_sample: 0 }
+    }
+
+    #[test]
+    fn bin_frequency_round_trip() {
+        let s = spectrum();
+        assert_eq!(s.freq_of_bin(2), 20.0);
+        assert_eq!(s.bin_of_freq(21.0), 2);
+        assert_eq!(s.bin_of_freq(1e9), 3, "clamps to last bin");
+    }
+
+    #[test]
+    fn ac_energy_skips_dc() {
+        let s = spectrum();
+        assert_eq!(s.ac_energy(1), 7.0);
+        assert_eq!(s.ac_energy(0), 107.0);
+    }
+
+    #[test]
+    fn db_conversion_is_monotone() {
+        let s = spectrum();
+        let db = s.to_db();
+        assert!(db[0] > db[3]);
+        assert!((db[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        assert_eq!(spectrum().len(), 4);
+        assert!(!spectrum().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod moment_tests {
+    use super::*;
+
+    #[test]
+    fn centroid_tracks_energy_location() {
+        let mut power = vec![0.0; 64];
+        power[20] = 4.0;
+        let s = Spectrum { power, bin_hz: 10.0, start_sample: 0 };
+        assert!((s.centroid_hz(2) - 200.0).abs() < 1e-9);
+        assert!(s.spread_hz(2).abs() < 1e-9, "single line has zero spread");
+    }
+
+    #[test]
+    fn spread_grows_with_bandwidth() {
+        let narrow = {
+            let mut p = vec![0.0; 64];
+            p[20] = 1.0;
+            p[21] = 1.0;
+            Spectrum { power: p, bin_hz: 1.0, start_sample: 0 }
+        };
+        let wide = {
+            let mut p = vec![0.0; 64];
+            p[10] = 1.0;
+            p[50] = 1.0;
+            Spectrum { power: p, bin_hz: 1.0, start_sample: 0 }
+        };
+        assert!(wide.spread_hz(2) > narrow.spread_hz(2) * 5.0);
+    }
+
+    #[test]
+    fn empty_spectrum_moments_are_zero() {
+        let s = Spectrum { power: vec![0.0; 16], bin_hz: 1.0, start_sample: 0 };
+        assert_eq!(s.centroid_hz(2), 0.0);
+        assert_eq!(s.spread_hz(2), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+use crate::{Complex, DspError, Fft, Spectrum, WindowKind};
+
+/// Configuration of a short-term Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StftConfig {
+    /// Samples per window; must be a power of two.
+    pub window_len: usize,
+    /// Samples between consecutive window starts (the paper uses 50 %
+    /// overlap, i.e. `hop = window_len / 2`).
+    pub hop: usize,
+    /// Analysis window shape.
+    pub window: WindowKind,
+    /// Sample rate of the input signal in hertz.
+    pub sample_rate_hz: f64,
+}
+
+impl StftConfig {
+    /// Convenience constructor with Hann window and 50 % overlap.
+    pub fn with_overlap_50(window_len: usize, sample_rate_hz: f64) -> StftConfig {
+        StftConfig { window_len, hop: window_len / 2, window: WindowKind::Hann, sample_rate_hz }
+    }
+}
+
+/// The short-term Fourier transform: overlapping windowed FFTs turning a
+/// signal into a sequence of [`Spectrum`]s (the paper's STS stream).
+///
+/// # Examples
+///
+/// ```
+/// use eddie_dsp::{Stft, StftConfig};
+///
+/// let stft = Stft::new(StftConfig::with_overlap_50(256, 1000.0))?;
+/// let spectra = stft.process_real(&vec![0.5f32; 1024]);
+/// assert_eq!(spectra.len(), 1 + (1024 - 256) / 128);
+/// assert_eq!(spectra[0].len(), 129); // one-sided bins
+/// # Ok::<(), eddie_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stft {
+    config: StftConfig,
+    fft: Fft,
+    coeffs: Vec<f64>,
+}
+
+impl Stft {
+    /// Creates an STFT processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError`] when the window length is not a power of
+    /// two, the hop is zero or larger than the window, or the sample
+    /// rate is not positive and finite.
+    pub fn new(config: StftConfig) -> Result<Stft, DspError> {
+        let fft = Fft::new(config.window_len)?;
+        if config.hop == 0 || config.hop > config.window_len {
+            return Err(DspError::BadHop { hop: config.hop, window_len: config.window_len });
+        }
+        if !(config.sample_rate_hz.is_finite() && config.sample_rate_hz > 0.0) {
+            return Err(DspError::BadSampleRate { rate: config.sample_rate_hz });
+        }
+        let coeffs = config.window.coefficients(config.window_len);
+        Ok(Stft { config, fft, coeffs })
+    }
+
+    /// The configuration this processor was built with.
+    pub fn config(&self) -> &StftConfig {
+        &self.config
+    }
+
+    /// Frequency resolution of each produced spectrum, in hertz.
+    pub fn bin_hz(&self) -> f64 {
+        self.config.sample_rate_hz / self.config.window_len as f64
+    }
+
+    /// Duration of one window in seconds.
+    pub fn window_duration_s(&self) -> f64 {
+        self.config.window_len as f64 / self.config.sample_rate_hz
+    }
+
+    /// Duration of one hop in seconds — the time distance between
+    /// consecutive STSs, which converts "number of STSs" into the
+    /// detection latencies reported by the paper.
+    pub fn hop_duration_s(&self) -> f64 {
+        self.config.hop as f64 / self.config.sample_rate_hz
+    }
+
+    /// Number of windows produced for an input of `n` samples.
+    pub fn num_windows(&self, n: usize) -> usize {
+        if n < self.config.window_len {
+            0
+        } else {
+            1 + (n - self.config.window_len) / self.config.hop
+        }
+    }
+
+    /// Transforms a real-valued signal (e.g. a power trace) into its STS
+    /// sequence. The signal mean is removed per window so the DC bin
+    /// reflects only the window's share of slow drift.
+    pub fn process_real(&self, signal: &[f32]) -> Vec<Spectrum> {
+        let mut out = Vec::with_capacity(self.num_windows(signal.len()));
+        let mut buf = vec![Complex::ZERO; self.config.window_len];
+        let mut start = 0;
+        while start + self.config.window_len <= signal.len() {
+            let frame = &signal[start..start + self.config.window_len];
+            let mean =
+                frame.iter().map(|&x| x as f64).sum::<f64>() / self.config.window_len as f64;
+            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(&self.coeffs)) {
+                *b = Complex::new((x as f64 - mean) * w, 0.0);
+            }
+            self.fft.forward(&mut buf);
+            out.push(self.fold_one_sided(&buf, start));
+            start += self.config.hop;
+        }
+        out
+    }
+
+    /// Transforms a complex baseband signal (e.g. the EM receiver
+    /// output) into its STS sequence. Positive and negative frequencies
+    /// are folded, so AM sidebands at ±f merge into one peak at `f`.
+    pub fn process_complex(&self, signal: &[Complex]) -> Vec<Spectrum> {
+        let mut out = Vec::with_capacity(self.num_windows(signal.len()));
+        let mut buf = vec![Complex::ZERO; self.config.window_len];
+        let mut start = 0;
+        while start + self.config.window_len <= signal.len() {
+            let frame = &signal[start..start + self.config.window_len];
+            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(&self.coeffs)) {
+                *b = x.scale(w);
+            }
+            self.fft.forward(&mut buf);
+            out.push(self.fold_one_sided(&buf, start));
+            start += self.config.hop;
+        }
+        out
+    }
+
+    fn fold_one_sided(&self, bins: &[Complex], start_sample: usize) -> Spectrum {
+        let n = self.config.window_len;
+        let half = n / 2;
+        let mut power = Vec::with_capacity(half + 1);
+        power.push(bins[0].norm_sqr());
+        for k in 1..half {
+            power.push(bins[k].norm_sqr() + bins[n - k].norm_sqr());
+        }
+        power.push(bins[half].norm_sqr());
+        Spectrum { power, bin_hz: self.bin_hz(), start_sample }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f64, hz: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * hz * i as f64 / fs).sin() as f32)
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Stft::new(StftConfig {
+            window_len: 100,
+            hop: 50,
+            window: WindowKind::Hann,
+            sample_rate_hz: 1e3
+        })
+        .is_err());
+        assert!(Stft::new(StftConfig {
+            window_len: 128,
+            hop: 0,
+            window: WindowKind::Hann,
+            sample_rate_hz: 1e3
+        })
+        .is_err());
+        assert!(Stft::new(StftConfig {
+            window_len: 128,
+            hop: 64,
+            window: WindowKind::Hann,
+            sample_rate_hz: f64::NAN
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn window_count_matches_formula() {
+        let stft = Stft::new(StftConfig::with_overlap_50(256, 1e3)).unwrap();
+        assert_eq!(stft.num_windows(255), 0);
+        assert_eq!(stft.num_windows(256), 1);
+        assert_eq!(stft.num_windows(256 + 128), 2);
+        assert_eq!(stft.process_real(&vec![0.0; 512]).len(), stft.num_windows(512));
+    }
+
+    #[test]
+    fn tone_frequency_recovered_in_every_window() {
+        let fs = 2000.0;
+        let hz = 250.0;
+        let stft = Stft::new(StftConfig::with_overlap_50(512, fs)).unwrap();
+        let spectra = stft.process_real(&tone(fs, hz, 4096));
+        for s in &spectra {
+            let strongest = (1..s.len())
+                .max_by(|&a, &b| s.power[a].total_cmp(&s.power[b]))
+                .unwrap();
+            assert!((s.freq_of_bin(strongest) - hz).abs() <= s.bin_hz);
+        }
+    }
+
+    #[test]
+    fn dc_removed_from_real_windows() {
+        let stft = Stft::new(StftConfig::with_overlap_50(256, 1e3)).unwrap();
+        let spectra = stft.process_real(&vec![5.0f32; 512]);
+        for s in &spectra {
+            assert!(s.power[0] < 1e-12, "constant signal should have no residual DC");
+        }
+    }
+
+    #[test]
+    fn complex_sidebands_fold_to_positive_frequency() {
+        // AM at baseband: 1 + m*cos(2π f t) has components at ±f.
+        let fs = 1000.0;
+        let f = 125.0;
+        let n = 1024;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                Complex::new(1.0 + 0.5 * (2.0 * std::f64::consts::PI * f * t).cos(), 0.0)
+            })
+            .collect();
+        let stft = Stft::new(StftConfig::with_overlap_50(512, fs)).unwrap();
+        let spectra = stft.process_complex(&sig);
+        let s = &spectra[0];
+        let strongest_ac = (2..s.len())
+            .max_by(|&a, &b| s.power[a].total_cmp(&s.power[b]))
+            .unwrap();
+        assert!((s.freq_of_bin(strongest_ac) - f).abs() <= s.bin_hz);
+    }
+
+    #[test]
+    fn start_samples_advance_by_hop() {
+        let stft = Stft::new(StftConfig::with_overlap_50(256, 1e3)).unwrap();
+        let spectra = stft.process_real(&vec![0.0; 1024]);
+        for (i, s) in spectra.iter().enumerate() {
+            assert_eq!(s.start_sample, i * 128);
+        }
+    }
+
+    #[test]
+    fn durations_are_consistent() {
+        let stft = Stft::new(StftConfig::with_overlap_50(512, 1e6)).unwrap();
+        assert!((stft.window_duration_s() - 512e-6).abs() < 1e-12);
+        assert!((stft.hop_duration_s() - 256e-6).abs() < 1e-12);
+        assert!((stft.bin_hz() - 1e6 / 512.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+use serde::{Deserialize, Serialize};
+
+/// Analysis window applied before each short-term transform.
+///
+/// Windowing controls spectral leakage: the paper's loop "peaks" are
+/// narrow-band features riding near a strong carrier, so a window with
+/// low side lobes (Hann by default) keeps neighbouring peaks separable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// No shaping (boxcar).
+    Rect,
+    /// Hann (raised cosine) — the crate default.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Returns the window coefficients for length `len`.
+    ///
+    /// ```
+    /// use eddie_dsp::WindowKind;
+    ///
+    /// let w = WindowKind::Hann.coefficients(8);
+    /// assert_eq!(w.len(), 8);
+    /// assert!(w[0] < 1e-12);             // Hann tapers to zero
+    /// assert!(w.iter().all(|&c| (0.0..=1.0).contains(&c)));
+    /// ```
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        use std::f64::consts::PI;
+        let n = len.max(1) as f64;
+        (0..len)
+            .map(|i| {
+                let x = i as f64 / (n - 1.0).max(1.0);
+                match self {
+                    WindowKind::Rect => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_all_ones() {
+        assert!(WindowKind::Rect.coefficients(16).iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn tapered_windows_are_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(33);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hann_peaks_at_center() {
+        let w = WindowKind::Hann.coefficients(65);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+        assert!(w[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_has_nonzero_edges() {
+        let w = WindowKind::Hamming.coefficients(32);
+        assert!((w[0] - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lengths_do_not_panic() {
+        assert_eq!(WindowKind::Hann.coefficients(0).len(), 0);
+        assert_eq!(WindowKind::Blackman.coefficients(1).len(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+use eddie_dsp::Complex;
+use eddie_sim::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::GaussianNoise;
+
+/// A narrow-band interferer (broadcast radio, another board clock)
+/// visible inside the receiver's bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interferer {
+    /// Offset from the monitored carrier, in hertz (may be negative).
+    pub offset_hz: f64,
+    /// Amplitude relative to the carrier amplitude.
+    pub relative_amplitude: f64,
+    /// Initial phase in radians.
+    pub phase: f64,
+}
+
+/// Configuration of the equivalent-baseband EM channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmChannelConfig {
+    /// Carrier (processor clock) amplitude at the receiver.
+    pub carrier_amplitude: f64,
+    /// AM modulation index applied to the normalised power trace.
+    pub modulation_index: f64,
+    /// Signal-to-noise ratio of the *modulated sideband* component in
+    /// decibels (the carrier itself is far above the noise).
+    pub snr_db: f64,
+    /// Narrow-band interferers mixed into the band.
+    pub interferers: Vec<Interferer>,
+    /// ADC resolution in bits; `None` models an ideal (unquantised)
+    /// front end. Real receivers digitise: the paper's oscilloscope has
+    /// a high-resolution ADC, an SDR typically 12 bits, a cheap ASIC
+    /// front end fewer.
+    pub adc_bits: Option<u8>,
+    /// Seed for the noise source.
+    pub seed: u64,
+}
+
+impl EmChannelConfig {
+    /// Receiver grade matching the paper's Keysight oscilloscope setup:
+    /// clean band, high SNR (§5.1).
+    pub fn oscilloscope(seed: u64) -> EmChannelConfig {
+        EmChannelConfig {
+            carrier_amplitude: 1.0,
+            modulation_index: 0.4,
+            snr_db: 30.0,
+            interferers: vec![],
+            adc_bits: None,
+            seed,
+        }
+    }
+
+    /// Receiver grade matching the <$800 USRP B200-mini SDR the paper
+    /// validated as sufficient: lower SNR, some in-band interference.
+    pub fn sdr(seed: u64) -> EmChannelConfig {
+        EmChannelConfig {
+            carrier_amplitude: 1.0,
+            modulation_index: 0.4,
+            snr_db: 18.0,
+            interferers: vec![Interferer { offset_hz: 1.7e6, relative_amplitude: 0.02, phase: 0.4 }],
+            adc_bits: Some(12),
+            seed,
+        }
+    }
+
+    /// The hypothetical <$100 custom ASIC receiver of §5.1: cheapest
+    /// front end, lowest SNR.
+    pub fn custom_asic(seed: u64) -> EmChannelConfig {
+        EmChannelConfig {
+            carrier_amplitude: 1.0,
+            modulation_index: 0.4,
+            snr_db: 12.0,
+            interferers: vec![
+                Interferer { offset_hz: 1.7e6, relative_amplitude: 0.03, phase: 0.4 },
+                Interferer { offset_hz: -0.9e6, relative_amplitude: 0.02, phase: 2.1 },
+            ],
+            adc_bits: Some(8),
+            seed,
+        }
+    }
+}
+
+/// The equivalent-baseband EM channel: turns a simulated power trace
+/// into the complex IQ stream an ideal receiver centred on the clock
+/// carrier would output. See the [crate docs](crate) for the model.
+#[derive(Debug, Clone)]
+pub struct EmChannel {
+    config: EmChannelConfig,
+}
+
+impl EmChannel {
+    /// Creates a channel with the given configuration.
+    pub fn new(config: EmChannelConfig) -> EmChannel {
+        EmChannel { config }
+    }
+
+    /// The channel's configuration.
+    pub fn config(&self) -> &EmChannelConfig {
+        &self.config
+    }
+
+    /// Modulates `trace` onto the carrier and adds noise and
+    /// interference, returning the baseband IQ samples (same sample
+    /// rate as the power trace).
+    pub fn receive(&self, trace: &PowerTrace) -> Vec<Complex> {
+        let cfg = &self.config;
+        let n = trace.samples.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Normalise activity to zero mean, unit peak, so the modulation
+        // index has its conventional meaning.
+        let mean = trace.samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let peak = trace
+            .samples
+            .iter()
+            .map(|&x| (x as f64 - mean).abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+
+        // Sideband RMS amplitude sets the noise floor via the SNR.
+        let activity_rms = (trace
+            .samples
+            .iter()
+            .map(|&x| {
+                let a = (x as f64 - mean) / peak;
+                a * a
+            })
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        let signal_rms = cfg.carrier_amplitude * cfg.modulation_index * activity_rms;
+        let noise_sigma = if cfg.snr_db.is_finite() {
+            // Complex noise: variance split across I and Q.
+            signal_rms / 10f64.powf(cfg.snr_db / 20.0) / std::f64::consts::SQRT_2
+        } else {
+            0.0
+        };
+
+        let fs = trace.sample_rate_hz();
+        let mut noise = GaussianNoise::new(cfg.seed);
+        let mut out = Vec::with_capacity(n);
+        for (k, &p) in trace.samples.iter().enumerate() {
+            let activity = (p as f64 - mean) / peak;
+            let mut y = Complex::new(
+                cfg.carrier_amplitude * (1.0 + cfg.modulation_index * activity),
+                0.0,
+            );
+            let t = k as f64 / fs;
+            for i in &cfg.interferers {
+                y += Complex::from_polar(
+                    cfg.carrier_amplitude * i.relative_amplitude,
+                    2.0 * std::f64::consts::PI * i.offset_hz * t + i.phase,
+                );
+            }
+            if noise_sigma > 0.0 {
+                y += Complex::new(
+                    noise.sample_scaled(noise_sigma),
+                    noise.sample_scaled(noise_sigma),
+                );
+            }
+            out.push(y);
+        }
+        if let Some(bits) = cfg.adc_bits {
+            quantise(&mut out, bits);
+        }
+        out
+    }
+}
+
+/// Quantises the IQ stream to a `bits`-bit ADC whose full scale covers
+/// the observed signal range (an AGC that sets the range per capture,
+/// as receivers do).
+fn quantise(samples: &mut [Complex], bits: u8) {
+    let full_scale = samples
+        .iter()
+        .map(|c| c.re.abs().max(c.im.abs()))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let levels = (1u64 << bits.min(63)) as f64 / 2.0;
+    let step = full_scale / levels;
+    for c in samples.iter_mut() {
+        c.re = (c.re / step).round() * step;
+        c.im = (c.im / step).round() * step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_dsp::{find_peaks, PeakConfig, Stft, StftConfig};
+
+    /// Square-wave activity with period `period` samples.
+    fn trace_with_period(period: usize, n: usize) -> PowerTrace {
+        let samples: Vec<f32> =
+            (0..n).map(|i| if (i / (period / 2)) % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        PowerTrace { samples, sample_interval: 20, clock_hz: 1e9 }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = trace_with_period(64, 4096);
+        let a = EmChannel::new(EmChannelConfig::oscilloscope(5)).receive(&t);
+        let b = EmChannel::new(EmChannelConfig::oscilloscope(5)).receive(&t);
+        assert_eq!(a, b);
+        let c = EmChannel::new(EmChannelConfig::oscilloscope(6)).receive(&t);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn loop_frequency_appears_as_sideband_peak() {
+        let period = 64; // samples per activity cycle
+        let t = trace_with_period(period, 1 << 15);
+        let fs = t.sample_rate_hz();
+        let baseband = EmChannel::new(EmChannelConfig::oscilloscope(1)).receive(&t);
+
+        let stft = Stft::new(StftConfig::with_overlap_50(4096, fs)).unwrap();
+        let spectra = stft.process_complex(&baseband);
+        let s = &spectra[0];
+        let peaks = find_peaks(s, &PeakConfig::default());
+        assert!(!peaks.is_empty(), "modulation must produce sidebands");
+        let expected = fs / period as f64;
+        assert!(
+            (peaks[0].freq_hz - expected).abs() <= 2.0 * s.bin_hz,
+            "strongest peak {} vs expected {}",
+            peaks[0].freq_hz,
+            expected
+        );
+    }
+
+    #[test]
+    fn interferers_add_their_own_lines() {
+        let t = trace_with_period(64, 1 << 14);
+        let fs = t.sample_rate_hz();
+        let mut cfg = EmChannelConfig::oscilloscope(2);
+        let int_freq = fs / 10.0;
+        cfg.interferers = vec![Interferer { offset_hz: int_freq, relative_amplitude: 0.5, phase: 0.0 }];
+        let baseband = EmChannel::new(cfg).receive(&t);
+        let stft = Stft::new(StftConfig::with_overlap_50(4096, fs)).unwrap();
+        let s = &stft.process_complex(&baseband)[0];
+        let int_bin = s.bin_of_freq(int_freq);
+        let neighbourhood_max = (int_bin - 1..=int_bin + 1)
+            .map(|k| s.power[k])
+            .fold(0.0f64, f64::max);
+        let background = s.power[int_bin + 20];
+        assert!(neighbourhood_max > background * 100.0, "interferer line missing");
+    }
+
+    #[test]
+    fn lower_snr_means_higher_noise_floor() {
+        let t = trace_with_period(64, 1 << 14);
+        let fs = t.sample_rate_hz();
+        let hi = EmChannel::new(EmChannelConfig::oscilloscope(3)).receive(&t);
+        let lo = EmChannel::new(EmChannelConfig::custom_asic(3)).receive(&t);
+        let stft = Stft::new(StftConfig::with_overlap_50(4096, fs)).unwrap();
+        let s_hi = &stft.process_complex(&hi)[0];
+        let s_lo = &stft.process_complex(&lo)[0];
+        // Compare median bin power away from the sidebands as a noise floor.
+        let floor = |s: &eddie_dsp::Spectrum| {
+            let mut p: Vec<f64> = s.power[100..].to_vec();
+            p.sort_by(|a, b| a.total_cmp(b));
+            p[p.len() / 2]
+        };
+        assert!(floor(s_lo) > floor(s_hi) * 3.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_baseband() {
+        let t = PowerTrace { samples: vec![], sample_interval: 20, clock_hz: 1e9 };
+        assert!(EmChannel::new(EmChannelConfig::oscilloscope(0)).receive(&t).is_empty());
+    }
+
+    #[test]
+    fn constant_trace_is_carrier_plus_noise_only() {
+        let t = PowerTrace { samples: vec![2.0; 4096], sample_interval: 20, clock_hz: 1e9 };
+        let mut cfg = EmChannelConfig::oscilloscope(0);
+        cfg.snr_db = f64::INFINITY;
+        let y = EmChannel::new(cfg).receive(&t);
+        for s in y {
+            assert!((s.re - 1.0).abs() < 1e-9, "pure carrier expected");
+            assert!(s.im.abs() < 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod adc_tests {
+    use super::*;
+
+    #[test]
+    fn quantisation_limits_distinct_levels() {
+        let t = trace_with_levels();
+        let mut cfg = EmChannelConfig::oscilloscope(1);
+        cfg.snr_db = f64::INFINITY;
+        cfg.adc_bits = Some(4);
+        let y = EmChannel::new(cfg).receive(&t);
+        let mut res: Vec<i64> = y.iter().map(|c| (c.re * 1e9).round() as i64).collect();
+        res.sort_unstable();
+        res.dedup();
+        assert!(res.len() <= 17, "4-bit ADC allows at most 2^4+1 levels, got {}", res.len());
+    }
+
+    #[test]
+    fn high_resolution_adc_is_nearly_transparent() {
+        let t = trace_with_levels();
+        let mut ideal_cfg = EmChannelConfig::oscilloscope(1);
+        ideal_cfg.snr_db = f64::INFINITY;
+        let mut adc_cfg = ideal_cfg.clone();
+        adc_cfg.adc_bits = Some(16);
+        let ideal = EmChannel::new(ideal_cfg).receive(&t);
+        let digitised = EmChannel::new(adc_cfg).receive(&t);
+        for (a, b) in ideal.iter().zip(&digitised) {
+            assert!((a.re - b.re).abs() < 1e-3);
+        }
+    }
+
+    fn trace_with_levels() -> PowerTrace {
+        let samples: Vec<f32> = (0..1024).map(|i| ((i * 37) % 101) as f32 / 100.0).collect();
+        PowerTrace { samples, sample_interval: 20, clock_hz: 1e9 }
+    }
+}

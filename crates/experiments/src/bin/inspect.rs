@@ -1,0 +1,79 @@
+//! `inspect` — dump per-region training state and the monitoring event
+//! timeline for one benchmark:
+//!
+//! ```text
+//! cargo run --release -p eddie-experiments --bin inspect -- Susan
+//! ```
+//!
+//! Shows what training learned (windows, K-S group sizes, peak-frequency
+//! ranges, state-machine successors) and how the monitor tracks a clean,
+//! an in-loop-injected, and a burst-injected run.
+
+use eddie_core::MonitorEvent;
+use eddie_experiments::harness::{make_hook, sim_pipeline, train_benchmark, InjectPlan};
+use eddie_workloads::Benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Bitcount".into());
+    let b = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .expect("benchmark name");
+    let pipeline = sim_pipeline();
+    let (w, model) = train_benchmark(&pipeline, b, 6, 3);
+
+    println!("== trained regions for {b} ==");
+    for (id, rm) in &model.regions {
+        println!(
+            "  {id}: windows={} group={} frr={:.3} ranks={} ref0_len={} kind={:?} succ={:?}",
+            rm.training_windows,
+            rm.group_size,
+            rm.training_frr,
+            rm.active_ranks(),
+            rm.reference.first().map(|r| r.len()).unwrap_or(0),
+            model.graph.kind(*id),
+            model.effective_successors(*id),
+        );
+        if let Some(r0) = rm.reference.first() {
+            if !r0.is_empty() {
+                let lo = r0.first().unwrap();
+                let hi = r0.last().unwrap();
+                println!("      rank0 freq range: {:.0}..{:.0} Hz", lo, hi);
+            }
+        }
+    }
+    println!("  initial region: {:?}", model.initial_region());
+
+    for (label, k) in [("clean", usize::MAX), ("loop-inject", 0), ("burst", 1)] {
+        let hook = if k == usize::MAX {
+            None
+        } else {
+            make_hook(&InjectPlan::Alternating, &w, &eddie_experiments::harness::injection_targets(&w, &model), k, 42)
+        };
+        let outcome = pipeline.monitor(&model, w.program(), |m| w.prepare(m, 777), hook);
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &outcome.events {
+            *counts
+                .entry(match e {
+                    MonitorEvent::Normal => "normal",
+                    MonitorEvent::RegionChange(_) => "change",
+                    MonitorEvent::Suspicious => "suspicious",
+                    MonitorEvent::Anomaly => "anomaly",
+                })
+                .or_insert(0usize) += 1;
+        }
+        println!(
+            "== {label}: windows={} events={counts:?} metrics={:?}",
+            outcome.events.len(),
+            outcome.metrics
+        );
+        // Timeline sample: show tracked vs truth every ~20 windows.
+        let step = (outcome.events.len() / 25).max(1);
+        for wdx in (0..outcome.events.len()).step_by(step) {
+            println!(
+                "   w{wdx:4} tracked={:?} truth={:?} inj={} ev={:?}",
+                outcome.tracked[wdx], outcome.truth[wdx], outcome.injected[wdx], outcome.events[wdx]
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation: receiver quality (EM SNR) sweep.
+//!
+//! §5.1 of the paper notes EDDIE works on a high-end oscilloscope, on a
+//! <$800 SDR, and is envisioned on a <$100 custom receiver. This
+//! ablation sweeps the EM channel's SNR across those receiver grades
+//! (plus a very poor one) and reports how detection quality degrades.
+
+use std::fmt::Write as _;
+
+use eddie_core::{Pipeline, SignalSource};
+use eddie_em::EmChannelConfig;
+use eddie_workloads::{Benchmark, WorkloadParams};
+
+use crate::harness::{eddie_config, iot_sim_config, make_hook, InjectPlan};
+use crate::{f1, f2, format_table, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let grades: [(&str, EmChannelConfig); 4] = [
+        ("oscilloscope (30 dB)", EmChannelConfig::oscilloscope(1)),
+        ("SDR (18 dB)", EmChannelConfig::sdr(1)),
+        ("custom ASIC (12 dB)", EmChannelConfig::custom_asic(1)),
+        ("very poor (3 dB)", {
+            let mut c = EmChannelConfig::custom_asic(1);
+            c.snr_db = 3.0;
+            c
+        }),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, channel) in grades {
+        let pipeline = Pipeline::new(iot_sim_config(), eddie_config(), SignalSource::Em(channel));
+        let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: scale.workload_scale() });
+        let seeds: Vec<u64> = (1..=scale.train_runs_iot() as u64).collect();
+        let model = pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &seeds)
+            .expect("training succeeds at all grades");
+        let clean = pipeline.monitor(&model, w.program(), |m| w.prepare(m, 5001), None);
+        let targets = crate::harness::injection_targets(&w, &model);
+        let hook = make_hook(&InjectPlan::Alternating, &w, &targets, 0, 93);
+        let attacked = pipeline.monitor(&model, w.program(), |m| w.prepare(m, 5002), hook);
+        rows.push(vec![
+            label.to_string(),
+            f2(clean.metrics.false_positive_pct),
+            f1(clean.metrics.coverage_pct),
+            f1(attacked.metrics.true_positive_pct),
+            f2(attacked.metrics.detection_latency_ms),
+        ]);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Ablation: receiver grade / EM SNR sweep (bitcount)");
+    out.push_str(&format_table(
+        &["receiver", "clean_fp_pct", "coverage_pct", "tpr_pct", "latency_ms"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow; run via the binary"]
+    fn sweeps_receiver_grades() {
+        let out = super::run(crate::Scale::Quick);
+        assert!(out.contains("oscilloscope"));
+        assert!(out.contains("ASIC"));
+    }
+}

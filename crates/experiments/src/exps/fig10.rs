@@ -1,0 +1,72 @@
+//! Figure 10: effect of the injected-instruction type.
+//!
+//! §5.7 contrasts injecting eight ADDs ("on-chip") against four ADDs
+//! plus four stores that randomly access a large array and miss the
+//! caches ("off-chip and on-chip"). Off-chip activity is far more
+//! visible in the spectrum, so it is detected at lower latency; purely
+//! on-chip injections are still detectable with larger K-S groups.
+
+use std::fmt::Write as _;
+
+use eddie_inject::OpPattern;
+use eddie_workloads::Benchmark;
+
+use crate::harness::{monitor_many, sim_pipeline, train_benchmark, InjectPlan};
+use crate::sweep::with_group_size;
+use crate::{f1, f2, format_table, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let pipeline = sim_pipeline();
+    let (w, model) = train_benchmark(
+        &pipeline,
+        Benchmark::Bitcount,
+        scale.workload_scale(),
+        scale.train_runs_sim(),
+    );
+
+    let mixes: [(&str, OpPattern); 2] = [
+        ("off-chip+on-chip", OpPattern::off_chip(8)),
+        ("on-chip", OpPattern::on_chip(8)),
+    ];
+    let group_sizes = [4usize, 6, 8, 12, 16, 24, 32];
+    let runs = match scale {
+        Scale::Quick => 1,
+        Scale::Full => 3,
+    };
+
+    let mut rows = Vec::new();
+    for (label, pattern) in &mixes {
+        for &n in &group_sizes {
+            let forced = with_group_size(&model, n);
+            let plan = InjectPlan::Loop { pattern: pattern.clone(), contamination: 1.0 };
+            let outcomes = monitor_many(&pipeline, &w, &forced, runs, &plan);
+            let avg = eddie_core::metrics::average(
+                &outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>(),
+            );
+            let hop_ms = outcomes.first().map(|o| o.mapping.hop_ms()).unwrap_or(0.0);
+            rows.push(vec![
+                label.to_string(),
+                n.to_string(),
+                f2(n as f64 * hop_ms * 1e3),
+                f1(avg.true_positive_pct),
+            ]);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 10: TPR vs latency for on-chip vs off-chip injected instructions");
+    out.push_str(&format_table(&["mix", "n", "latency_us", "tpr_pct"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow; run via the binary"]
+    fn covers_both_mixes() {
+        let out = super::run(crate::Scale::Quick);
+        assert!(out.contains("on-chip"));
+        assert!(out.contains("off-chip+on-chip"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 5: false-negative rate vs contamination rate.
+//!
+//! The attacker spreads an 8-instruction (4 memory + 4 integer) in-loop
+//! injection over only a fraction of iterations. The paper finds most
+//! benchmarks still detect well at low contamination (bitcount keeps
+//! >90 % of injected STSs detected at 10 %), while GSM degrades badly
+//! because its target loop has weak spectral features.
+
+use std::fmt::Write as _;
+
+use eddie_inject::OpPattern;
+use eddie_workloads::Benchmark;
+
+use crate::harness::{monitor_many, sim_pipeline, train_benchmark, InjectPlan};
+use crate::{f1, format_table, Scale};
+
+const BENCHMARKS: [Benchmark; 5] = [
+    Benchmark::Basicmath,
+    Benchmark::Bitcount,
+    Benchmark::Gsm,
+    Benchmark::Patricia,
+    Benchmark::Susan,
+];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let pipeline = sim_pipeline();
+    let rates: Vec<f64> = (1..=10).map(|k| k as f64 / 10.0).collect();
+    let runs = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 5,
+    };
+
+    let mut rows = Vec::new();
+    for b in BENCHMARKS {
+        let (w, model) =
+            train_benchmark(&pipeline, b, scale.workload_scale(), scale.train_runs_sim());
+        let mut row = vec![b.name().to_string()];
+        for &rate in &rates {
+            let plan = InjectPlan::Loop {
+                pattern: OpPattern::loop_payload(16),
+                contamination: rate,
+            };
+            let outcomes = monitor_many(&pipeline, &w, &model, runs, &plan);
+            let avg = eddie_core::metrics::average(
+                &outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>(),
+            );
+            row.push(f1(avg.false_negative_pct));
+        }
+        rows.push(row);
+    }
+
+    let mut header: Vec<String> = vec!["Benchmark".into()];
+    header.extend(rates.iter().map(|r| format!("{}%", (r * 100.0) as u32)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 5: false-negative rate (%) vs contamination rate of iterations");
+    out.push_str(&format_table(&header_refs, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow; run via the binary"]
+    fn has_five_benchmarks() {
+        let out = super::run(crate::Scale::Quick);
+        assert!(out.contains("GSM"));
+        assert!(out.contains("Bitcount"));
+    }
+}

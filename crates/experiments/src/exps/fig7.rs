@@ -1,0 +1,93 @@
+//! Figure 7: detection latency vs contamination rate.
+//!
+//! The companion to Figure 5: low-contamination injections are still
+//! detectable, but at the cost of larger K-S groups — detection latency
+//! rises as the contamination rate falls.
+
+use std::fmt::Write as _;
+
+use eddie_inject::OpPattern;
+use eddie_workloads::Benchmark;
+
+use crate::harness::{monitor_many, sim_pipeline, train_benchmark, InjectPlan};
+use crate::sweep::with_group_size;
+use crate::{f2, format_table, Scale};
+
+const BENCHMARKS: [Benchmark; 5] = [
+    Benchmark::Basicmath,
+    Benchmark::Bitcount,
+    Benchmark::Gsm,
+    Benchmark::Patricia,
+    Benchmark::Susan,
+];
+
+/// The smallest group size that keeps TPR above 60 % for the given
+/// contamination rate, expressed as latency; infinite when no group
+/// size in the sweep reaches it.
+fn latency_to_maintain_accuracy(
+    pipeline: &eddie_core::Pipeline,
+    w: &eddie_workloads::Workload,
+    model: &eddie_core::TrainedModel,
+    rate: f64,
+    runs: usize,
+) -> Option<f64> {
+    let plan = InjectPlan::Loop { pattern: OpPattern::loop_payload(16), contamination: rate };
+    for &n in &[4usize, 6, 8, 12, 16, 24, 32, 48] {
+        let forced = with_group_size(model, n);
+        let outcomes = monitor_many(pipeline, w, &forced, runs, &plan);
+        let avg =
+            eddie_core::metrics::average(&outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>());
+        if avg.true_positive_pct >= 60.0 {
+            let hop_ms = outcomes.first().map(|o| o.mapping.hop_ms()).unwrap_or(0.0);
+            return Some(n as f64 * hop_ms * 1e3);
+        }
+    }
+    None
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let pipeline = sim_pipeline();
+    let rates = [0.1f64, 0.25, 0.5, 0.75, 1.0];
+    let runs = match scale {
+        Scale::Quick => 1,
+        Scale::Full => 3,
+    };
+
+    let mut rows = Vec::new();
+    for b in BENCHMARKS {
+        let (w, model) =
+            train_benchmark(&pipeline, b, scale.workload_scale(), scale.train_runs_sim());
+        let mut row = vec![b.name().to_string()];
+        for &rate in &rates {
+            match latency_to_maintain_accuracy(&pipeline, &w, &model, rate, runs) {
+                Some(lat) => row.push(f2(lat)),
+                None => row.push("-".into()),
+            }
+        }
+        rows.push(row);
+    }
+
+    let mut header: Vec<String> = vec!["Benchmark".into()];
+    header.extend(rates.iter().map(|r| format!("{}%", (r * 100.0) as u32)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Figure 7: detection latency (us) needed to maintain accuracy, vs contamination rate"
+    );
+    let _ = writeln!(out, "# ('-' = not detectable within the sweep's group sizes)");
+    out.push_str(&format_table(&header_refs, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow; run via the binary"]
+    fn produces_latency_rows() {
+        let out = super::run(crate::Scale::Quick);
+        assert!(out.contains("Patricia"));
+    }
+}

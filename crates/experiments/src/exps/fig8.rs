@@ -1,0 +1,84 @@
+//! Figure 8: TPR vs latency for injection bursts outside loops.
+//!
+//! The paper places an "empty loop" between bitcount's loops 2 and 3
+//! and varies its dynamic size from 100 k to 500 k instructions. Larger
+//! bursts are detected with smaller K-S groups (shorter latency).
+
+use std::fmt::Write as _;
+
+use eddie_isa::RegionId;
+use eddie_workloads::Benchmark;
+
+use crate::harness::{iot_pipeline, train_benchmark};
+use crate::sweep::with_group_size;
+use crate::{f1, f2, format_table, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let pipeline = iot_pipeline();
+    let (w, model) = train_benchmark(
+        &pipeline,
+        Benchmark::Bitcount,
+        scale.workload_scale(),
+        scale.train_runs_iot(),
+    );
+    // "Between loops 2 and 3": trigger at the exit of region 2.
+    let pc = w.region_exit_pc(RegionId::new(2)).expect("bitcount region 2 exit");
+
+    let bursts: &[u64] = &[100_000, 187_000, 218_000, 315_000, 400_000, 500_000];
+    let group_sizes = [4usize, 6, 8, 12, 16, 24];
+    let runs = match scale {
+        Scale::Quick => 1,
+        Scale::Full => 3,
+    };
+
+    let mut rows = Vec::new();
+    for &ops in bursts {
+        for &n in &group_sizes {
+            let forced = with_group_size(&model, n);
+            let mut detected = 0usize;
+            let mut total = 0usize;
+            let mut hop_ms = 0.0;
+            for k in 0..runs {
+                let hook = Box::new(eddie_inject::BurstInjector::new(
+                    pc,
+                    ops,
+                    eddie_inject::OpPattern::shell_like(),
+                    60 + k as u64,
+                ));
+                let outcome = pipeline.monitor(
+                    &forced,
+                    w.program(),
+                    |m| w.prepare(m, 1200 + k as u64),
+                    Some(hook),
+                );
+                detected += outcome.metrics.detected_injections;
+                total += outcome.metrics.total_injections;
+                hop_ms = outcome.mapping.hop_ms();
+            }
+            let tpr = if total == 0 { 0.0 } else { detected as f64 * 100.0 / total as f64 };
+            rows.push(vec![
+                format!("{}k", ops / 1000),
+                n.to_string(),
+                f2(n as f64 * hop_ms * 1e3),
+                f1(tpr),
+            ]);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 8: TPR vs latency for bursts outside loops (bitcount, between loops 2 and 3)");
+    out.push_str(&format_table(&["burst_instrs", "n", "latency_us", "tpr_pct"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow; run via the binary"]
+    fn sweeps_all_burst_sizes() {
+        let out = super::run(crate::Scale::Quick);
+        assert!(out.contains("100k"));
+        assert!(out.contains("500k"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 9: false positives vs latency for K-S confidence levels.
+//!
+//! The paper sweeps 95 / 97 / 99 % confidence: 99 % practically
+//! eliminates false positives at reasonable latency, while lower levels
+//! keep producing false positives even at high latency.
+
+use std::fmt::Write as _;
+
+use eddie_workloads::Benchmark;
+
+use crate::harness::{monitor_many, iot_pipeline, train_benchmark, InjectPlan};
+use crate::sweep::{with_confidence, with_group_size};
+use crate::{f2, format_table, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> String {
+    let pipeline = iot_pipeline();
+    let (w, model) = train_benchmark(
+        &pipeline,
+        Benchmark::Susan,
+        scale.workload_scale(),
+        scale.train_runs_iot(),
+    );
+
+    let confidences = [0.95f64, 0.97, 0.99];
+    let group_sizes = [4usize, 6, 8, 12, 16, 24, 32];
+    let runs = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 5,
+    };
+
+    let mut rows = Vec::new();
+    for &c in &confidences {
+        let model_c = with_confidence(&model, c);
+        for &n in &group_sizes {
+            let forced = with_group_size(&model_c, n);
+            let outcomes = monitor_many(&pipeline, &w, &forced, runs, &InjectPlan::None);
+            let avg = eddie_core::metrics::average(
+                &outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>(),
+            );
+            let hop_ms = outcomes.first().map(|o| o.mapping.hop_ms()).unwrap_or(0.0);
+            rows.push(vec![
+                format!("{}%", (c * 100.0) as u32),
+                n.to_string(),
+                f2(n as f64 * hop_ms * 1e3),
+                f2(avg.false_positive_pct),
+            ]);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# Figure 9: false positives vs latency at K-S confidence 95/97/99%");
+    out.push_str(&format_table(&["confidence", "n", "latency_us", "false_pos_pct"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow; run via the binary"]
+    fn sweeps_three_confidences() {
+        let out = super::run(crate::Scale::Quick);
+        assert!(out.contains("95%"));
+        assert!(out.contains("99%"));
+    }
+}

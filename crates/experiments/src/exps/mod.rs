@@ -1,0 +1,68 @@
+//! One module per paper artifact. Every module exposes
+//! `run(scale) -> String`; the returned text is the regenerated
+//! table/figure data.
+
+pub mod ablate_asic;
+pub mod ablate_moments;
+pub mod ablate_noise;
+pub mod ablate_parametric;
+pub mod ablate_prefetch;
+pub mod ablate_test;
+pub mod ablate_window;
+pub mod anova;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tab1;
+pub mod tab2;
+
+use crate::Scale;
+
+/// All experiment ids in presentation order.
+pub const ALL: &[&str] = &[
+    "fig1", "fig2", "fig3", "tab1", "tab2", "fig4", "anova", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "ablate-test", "ablate-parametric", "ablate-window", "ablate-noise", "ablate-moments", "ablate-asic", "ablate-prefetch",
+];
+
+/// Dispatches an experiment by id. Returns `None` for unknown ids.
+pub fn run(id: &str, scale: Scale) -> Option<String> {
+    let out = match id {
+        "fig1" => fig1::run(scale),
+        "fig2" => fig2::run(scale),
+        "fig3" => fig3::run(scale),
+        "tab1" => tab1::run(scale),
+        "tab2" => tab2::run(scale),
+        "fig4" => fig4::run(scale),
+        "anova" => anova::run(scale),
+        "fig5" => fig5::run(scale),
+        "fig6" => fig6::run(scale),
+        "fig7" => fig7::run(scale),
+        "fig8" => fig8::run(scale),
+        "fig9" => fig9::run(scale),
+        "fig10" => fig10::run(scale),
+        "ablate-asic" => ablate_asic::run(scale),
+        "ablate-prefetch" => ablate_prefetch::run(scale),
+        "ablate-moments" => ablate_moments::run(scale),
+        "ablate-test" => ablate_test::run(scale),
+        "ablate-parametric" => ablate_parametric::run(scale),
+        "ablate-window" => ablate_window::run(scale),
+        "ablate-noise" => ablate_noise::run(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(super::run("nope", crate::Scale::Quick).is_none());
+    }
+}

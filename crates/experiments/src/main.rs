@@ -1,0 +1,67 @@
+//! CLI entry point: regenerate any table/figure of the paper.
+//!
+//! ```text
+//! eddie-experiments <id>... [--scale quick|full]
+//! eddie-experiments all [--scale quick|full]
+//! eddie-experiments --list
+//! ```
+
+use std::process::ExitCode;
+
+use eddie_experiments::{exps, Scale};
+
+fn usage() -> String {
+    format!(
+        "usage: eddie-experiments <id>... [--scale quick|full]\n\
+         ids: {} | all\n\
+         default scale: quick",
+        exps::ALL.join(" | ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in exps::ALL {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut scale = Scale::Quick;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().as_deref() {
+                Some("quick") => scale = Scale::Quick,
+                Some("full") => scale = Scale::Full,
+                other => {
+                    eprintln!("unknown scale {other:?}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => ids.extend(exps::ALL.iter().map(|s| s.to_string())),
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match exps::run(id, scale) {
+            Some(output) => {
+                println!("{output}");
+                eprintln!("[{id} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id `{id}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

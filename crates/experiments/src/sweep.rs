@@ -1,0 +1,98 @@
+//! Group-size sweeps: the paper's "TPR / FP-rate vs detection latency"
+//! curves (Figures 3, 6, 8, 9, 10) vary the number of monitored STSs
+//! `n` used per K-S test; latency grows with `n`, so each curve point is
+//! one forced group size.
+
+use eddie_core::{Pipeline, RunMetrics, TrainedModel};
+use eddie_workloads::Workload;
+
+use crate::harness::{monitor_many, InjectPlan};
+
+/// One point on a latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The forced K-S group size.
+    pub group_size: usize,
+    /// Latency implied by the group size, in milliseconds
+    /// (`n · hop duration`).
+    pub latency_ms: f64,
+    /// Averaged metrics at this group size.
+    pub metrics: RunMetrics,
+}
+
+/// Returns a copy of `model` with every region's group size forced to
+/// `n` (the paper's per-region selection is bypassed for sweeps).
+pub fn with_group_size(model: &TrainedModel, n: usize) -> TrainedModel {
+    let mut m = model.clone();
+    for rm in m.regions.values_mut() {
+        rm.group_size = n;
+    }
+    m
+}
+
+/// Returns a copy of `model` with a different K-S confidence level
+/// (Figure 9's 95/97/99 % sweep).
+pub fn with_confidence(model: &TrainedModel, confidence: f64) -> TrainedModel {
+    let mut m = model.clone();
+    m.config.confidence = confidence;
+    m
+}
+
+/// Sweeps group sizes, monitoring `runs` seeded runs per point.
+pub fn group_size_sweep(
+    pipeline: &Pipeline,
+    workload: &Workload,
+    model: &TrainedModel,
+    group_sizes: &[usize],
+    runs: usize,
+    plan: &InjectPlan,
+) -> Vec<SweepPoint> {
+    group_sizes
+        .iter()
+        .map(|&n| {
+            let forced = with_group_size(model, n);
+            let outcomes = monitor_many(pipeline, workload, &forced, runs, plan);
+            let metrics = eddie_core::metrics::average(
+                &outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>(),
+            );
+            let hop_ms = outcomes
+                .first()
+                .map(|o| o.mapping.hop_ms())
+                .unwrap_or(0.0);
+            SweepPoint { group_size: n, latency_ms: n as f64 * hop_ms, metrics }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{sim_pipeline, train_benchmark};
+    use eddie_workloads::Benchmark;
+
+    #[test]
+    fn forced_group_size_applies_everywhere() {
+        let pipeline = sim_pipeline();
+        let (_w, model) = train_benchmark(&pipeline, Benchmark::Stringsearch, 2, 2);
+        let forced = with_group_size(&model, 13);
+        assert!(forced.regions.values().all(|r| r.group_size == 13));
+    }
+
+    #[test]
+    fn confidence_override_applies() {
+        let pipeline = sim_pipeline();
+        let (_w, model) = train_benchmark(&pipeline, Benchmark::Stringsearch, 2, 2);
+        let m95 = with_confidence(&model, 0.95);
+        assert!((m95.config.confidence - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_latency_grows_with_group_size() {
+        let pipeline = sim_pipeline();
+        let (w, model) = train_benchmark(&pipeline, Benchmark::Stringsearch, 2, 2);
+        let points =
+            group_size_sweep(&pipeline, &w, &model, &[4, 8], 1, &InjectPlan::None);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].latency_ms > points[0].latency_ms);
+    }
+}

@@ -1,0 +1,122 @@
+use eddie_sim::{InjectedOp, InjectionHook};
+use rand::rngs::StdRng;
+
+use crate::pattern::injection_rng;
+use crate::OpPattern;
+
+/// One-shot burst injection outside loops.
+///
+/// Models the paper's §5.2 attack: hijacked control flow runs a large
+/// block of attacker code once (an empty `system()` shell invocation is
+/// ≈476 k dynamic instructions, ≈3 ms), then returns to the victim.
+/// Figure 8 places an "empty loop" of 100 k–500 k instructions between
+/// two bitcount loops; [`BurstInjector`] reproduces both by firing the
+/// pattern repeatedly at one trigger point until `total_ops` have run.
+#[derive(Debug)]
+pub struct BurstInjector {
+    trigger_pc: usize,
+    total_ops: u64,
+    pattern: OpPattern,
+    rng: StdRng,
+    seq: u64,
+    fired: bool,
+}
+
+impl BurstInjector {
+    /// Creates a burst of `total_ops` dynamic instructions (rounded up
+    /// to whole pattern repetitions) fired the first time the victim
+    /// retires the instruction at `trigger_pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty and `total_ops > 0`.
+    pub fn new(trigger_pc: usize, total_ops: u64, pattern: OpPattern, seed: u64) -> BurstInjector {
+        assert!(
+            total_ops == 0 || !pattern.is_empty(),
+            "a non-zero burst needs a non-empty pattern"
+        );
+        BurstInjector { trigger_pc, total_ops, pattern, rng: injection_rng(seed), seq: 0, fired: false }
+    }
+
+    /// The paper's empty-shell invocation: ≈476 k injected instructions.
+    pub fn shell(trigger_pc: usize, seed: u64) -> BurstInjector {
+        BurstInjector::new(trigger_pc, 476_000, OpPattern::shell_like(), seed)
+    }
+
+    /// Whether the burst has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl InjectionHook for BurstInjector {
+    fn on_instruction(&mut self, retired_pc: usize, _next_pc: usize, queue: &mut Vec<InjectedOp>) {
+        if self.fired || retired_pc != self.trigger_pc || self.total_ops == 0 {
+            return;
+        }
+        self.fired = true;
+        let mut emitted = 0u64;
+        while emitted < self.total_ops {
+            self.pattern.emit(&mut self.rng, &mut self.seq, queue);
+            emitted += self.pattern.len() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::RegionId;
+    use eddie_sim::{SimConfig, Simulator};
+    use eddie_workloads::{Benchmark, WorkloadParams};
+
+    fn bitcount_between_2_and_3() -> (eddie_workloads::Workload, usize) {
+        let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 });
+        let pc = w.region_exit_pc(RegionId::new(2)).expect("region 2 exit exists");
+        (w, pc)
+    }
+
+    #[test]
+    fn burst_fires_exactly_once() {
+        let (w, pc) = bitcount_between_2_and_3();
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
+        w.prepare(sim.machine_mut(), 1);
+        sim.set_injection(Box::new(BurstInjector::new(pc, 10_000, OpPattern::shell_like(), 2)));
+        let r = sim.run();
+        assert!(r.stats.injected_ops >= 10_000);
+        assert!(r.stats.injected_ops < 10_000 + 16);
+        assert_eq!(r.injected_spans.len(), 1, "a burst is one contiguous span");
+    }
+
+    #[test]
+    fn burst_lands_between_the_two_regions() {
+        let (w, pc) = bitcount_between_2_and_3();
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
+        w.prepare(sim.machine_mut(), 1);
+        sim.set_injection(Box::new(BurstInjector::new(pc, 50_000, OpPattern::shell_like(), 2)));
+        let r = sim.run();
+        let (start, end) = r.injected_spans[0];
+        let r2 = r.regions.iter().find(|s| s.region == RegionId::new(2)).unwrap();
+        let r3 = r.regions.iter().find(|s| s.region == RegionId::new(3)).unwrap();
+        assert!(start >= r2.end_cycle, "burst begins after region 2 ends");
+        assert!(end <= r3.start_cycle, "burst finishes before region 3 starts");
+    }
+
+    #[test]
+    fn zero_burst_is_inert() {
+        let (w, pc) = bitcount_between_2_and_3();
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
+        w.prepare(sim.machine_mut(), 1);
+        sim.set_injection(Box::new(BurstInjector::new(pc, 0, OpPattern::shell_like(), 2)));
+        let r = sim.run();
+        assert_eq!(r.stats.injected_ops, 0);
+        assert!(r.injected_spans.is_empty());
+    }
+
+    #[test]
+    fn shell_preset_is_paper_sized() {
+        let b = BurstInjector::shell(0, 0);
+        assert_eq!(b.total_ops, 476_000);
+        assert!(!b.fired());
+    }
+}

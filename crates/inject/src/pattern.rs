@@ -1,0 +1,208 @@
+use eddie_sim::{InjectedOp, InjectedOpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How injected memory operations pick their addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// Uniform random byte addresses over a large region — most accesses
+    /// miss the caches and go off chip (the paper's §5.7 "off-chip"
+    /// injections use stores into "a relatively large array so they
+    /// often experience cache misses").
+    RandomLarge {
+        /// Base byte address of the attacker's region.
+        base: u64,
+        /// Region size in bytes (should far exceed the L2 capacity).
+        len: u64,
+    },
+    /// A handful of hot lines — accesses hit the L1 after warm-up,
+    /// keeping all injected activity on chip.
+    Hot {
+        /// Base byte address of the hot region.
+        base: u64,
+    },
+    /// Sequential with a fixed stride (one miss per line crossing).
+    Sequential {
+        /// Base byte address.
+        base: u64,
+        /// Stride in bytes between consecutive accesses.
+        stride: u64,
+    },
+}
+
+impl AddrPattern {
+    /// A default off-chip region: 8 MiB starting at the 8 MiB boundary
+    /// (far above the workloads' arrays).
+    pub fn default_large() -> AddrPattern {
+        AddrPattern::RandomLarge { base: 8 << 20, len: 8 << 20 }
+    }
+}
+
+/// The per-event instruction template of an injection: which operations
+/// execute each time the attack fires, and where their memory accesses
+/// go.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpPattern {
+    kinds: Vec<InjectedOpKind>,
+    addr: AddrPattern,
+}
+
+impl OpPattern {
+    /// Builds a pattern from an explicit kind sequence.
+    pub fn new(kinds: Vec<InjectedOpKind>, addr: AddrPattern) -> OpPattern {
+        OpPattern { kinds, addr }
+    }
+
+    /// The paper's §5.2 loop payload scaled to `n` instructions:
+    /// alternating integer adds and stores (equal counts), with
+    /// cache-missing store addresses. `n = 8` gives the canonical
+    /// "4 integer operations and 4 memory accesses".
+    pub fn loop_payload(n: usize) -> OpPattern {
+        let kinds = (0..n)
+            .map(|i| if i % 2 == 0 { InjectedOpKind::IntAlu } else { InjectedOpKind::Store })
+            .collect();
+        OpPattern { kinds, addr: AddrPattern::default_large() }
+    }
+
+    /// §5.7 "on-chip" mix: `n` integer adds, no memory traffic.
+    pub fn on_chip(n: usize) -> OpPattern {
+        OpPattern { kinds: vec![InjectedOpKind::IntAlu; n], addr: AddrPattern::Hot { base: 8 << 20 } }
+    }
+
+    /// §5.7 "off-chip and on-chip" mix: half adds, half stores that
+    /// randomly access a large array (frequent cache misses).
+    pub fn off_chip(n: usize) -> OpPattern {
+        Self::loop_payload(n)
+    }
+
+    /// A multiply-heavy on-chip mix (the paper notes MUL/DIV behave like
+    /// ADD for detectability; used by the ablation experiments).
+    pub fn mul_heavy(n: usize) -> OpPattern {
+        let kinds = (0..n)
+            .map(|i| if i % 2 == 0 { InjectedOpKind::Mul } else { InjectedOpKind::IntAlu })
+            .collect();
+        OpPattern { kinds, addr: AddrPattern::Hot { base: 8 << 20 } }
+    }
+
+    /// A shell-invocation-like burst template: the same mix the paper's
+    /// empty shellcode executes — dominated by ALU work with scattered
+    /// loads/stores touching fresh memory.
+    pub fn shell_like() -> OpPattern {
+        let mut kinds = Vec::with_capacity(16);
+        for i in 0..16 {
+            kinds.push(match i % 8 {
+                0 => InjectedOpKind::Load,
+                4 => InjectedOpKind::Store,
+                _ => InjectedOpKind::IntAlu,
+            });
+        }
+        OpPattern { kinds, addr: AddrPattern::Sequential { base: 8 << 20, stride: 32 } }
+    }
+
+    /// Number of operations per event.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` when the pattern injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The pattern's address behaviour.
+    pub fn addr_pattern(&self) -> AddrPattern {
+        self.addr
+    }
+
+    /// Materialises one event's ops, advancing the address state.
+    pub(crate) fn emit(&self, rng: &mut StdRng, seq: &mut u64, out: &mut Vec<InjectedOp>) {
+        for &kind in &self.kinds {
+            let byte_addr = match kind {
+                InjectedOpKind::Load | InjectedOpKind::Store => match self.addr {
+                    AddrPattern::RandomLarge { base, len } => {
+                        base + (rng.random_range(0..len) & !7)
+                    }
+                    AddrPattern::Hot { base } => base + (*seq % 8) * 8,
+                    AddrPattern::Sequential { base, stride } => {
+                        let a = base + *seq * stride;
+                        a
+                    }
+                },
+                _ => 0,
+            };
+            *seq += 1;
+            out.push(InjectedOp { kind, byte_addr });
+        }
+    }
+}
+
+/// Creates the deterministic RNG used by the injectors.
+pub(crate) fn injection_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x1713)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_payload_has_equal_mix() {
+        let p = OpPattern::loop_payload(8);
+        assert_eq!(p.len(), 8);
+        let stores = (0..8).filter(|&i| i % 2 == 1).count();
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn on_chip_has_no_memory_ops() {
+        let p = OpPattern::on_chip(6);
+        let mut rng = injection_rng(1);
+        let mut seq = 0;
+        let mut out = Vec::new();
+        p.emit(&mut rng, &mut seq, &mut out);
+        assert!(out.iter().all(|op| op.kind == InjectedOpKind::IntAlu));
+    }
+
+    #[test]
+    fn off_chip_addresses_span_the_region() {
+        let p = OpPattern::off_chip(8);
+        let mut rng = injection_rng(2);
+        let mut seq = 0;
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            p.emit(&mut rng, &mut seq, &mut out);
+        }
+        let addrs: Vec<u64> = out
+            .iter()
+            .filter(|o| o.kind == InjectedOpKind::Store)
+            .map(|o| o.byte_addr)
+            .collect();
+        let min = *addrs.iter().min().unwrap();
+        let max = *addrs.iter().max().unwrap();
+        assert!(max - min > 4 << 20, "addresses should span megabytes");
+        assert!(addrs.iter().all(|a| *a >= 8 << 20));
+    }
+
+    #[test]
+    fn hot_addresses_stay_within_a_line_set() {
+        let p = OpPattern::new(
+            vec![InjectedOpKind::Load; 4],
+            AddrPattern::Hot { base: 1 << 20 },
+        );
+        let mut rng = injection_rng(3);
+        let mut seq = 0;
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            p.emit(&mut rng, &mut seq, &mut out);
+        }
+        assert!(out.iter().all(|o| o.byte_addr < (1 << 20) + 64));
+    }
+
+    #[test]
+    fn shell_like_is_mostly_alu() {
+        let p = OpPattern::shell_like();
+        let alu = p.kinds.iter().filter(|k| **k == InjectedOpKind::IntAlu).count();
+        assert!(alu * 2 > p.len());
+    }
+}

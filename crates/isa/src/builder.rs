@@ -1,0 +1,383 @@
+use std::fmt;
+
+use crate::{BranchCond, Instr, Program, ProgramError, Reg, RegionId};
+
+/// A forward- or backward-referenced code location used while building a
+/// program.
+///
+/// Labels are created by [`ProgramBuilder::label`] (unbound, bind later
+/// with [`ProgramBuilder::bind`]) or [`ProgramBuilder::label_here`]
+/// (bound to the current position immediately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error returned by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced by a branch or jump but never bound to a
+    /// position.
+    UnboundLabel {
+        /// Debug name given at label creation.
+        name: String,
+    },
+    /// The assembled instruction sequence failed [`Program::new`]
+    /// validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            BuildError::Invalid(e) => write!(f, "assembled program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for BuildError {
+    fn from(e: ProgramError) -> BuildError {
+        BuildError::Invalid(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LabelState {
+    name: String,
+    pos: Option<usize>,
+}
+
+/// Incremental assembler for [`Program`]s.
+///
+/// The builder offers one method per instruction plus label management.
+/// All emit methods return `&mut self` so straight-line sequences chain
+/// naturally. Branch targets may be labels bound before *or after* the
+/// branch is emitted; they are patched at [`build`](Self::build) time.
+///
+/// # Examples
+///
+/// A counted loop using a backward label reference:
+///
+/// ```
+/// use eddie_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 0).li(Reg::R2, 10);
+/// let top = b.label_here("top");
+/// b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 5);
+/// # Ok::<(), eddie_isa::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: Vec<LabelState>,
+    /// `(instr_index, label)` pairs to patch at build time.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Returns the index the next emitted instruction will occupy.
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Creates an unbound label with a debug `name`.
+    ///
+    /// Bind it later with [`bind`](Self::bind). Unbound labels that are
+    /// referenced cause [`build`](Self::build) to fail.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelState { name: name.to_owned(), pos: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn label_here(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound — rebinding would silently
+    /// change already-emitted branches.
+    pub fn bind(&mut self, label: Label) {
+        let pos = self.instrs.len();
+        let state = &mut self.labels[label.0];
+        assert!(state.pos.is_none(), "label `{}` bound twice", state.name);
+        state.pos = Some(pos);
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Emits a raw instruction (escape hatch for generated code).
+    pub fn raw(&mut self, i: Instr) -> &mut Self {
+        self.push(i)
+    }
+
+    /// Emits `rd = imm` (encoded as `addi rd, r0, imm`).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Addi(rd, Reg::R0, imm))
+    }
+
+    /// Emits `rd = rs` (encoded as `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Instr::Addi(rd, rs, 0))
+    }
+
+    /// Emits `add rd, rs, rt`.
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Add(rd, rs, rt))
+    }
+
+    /// Emits `sub rd, rs, rt`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Sub(rd, rs, rt))
+    }
+
+    /// Emits `mul rd, rs, rt`.
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Mul(rd, rs, rt))
+    }
+
+    /// Emits `div rd, rs, rt`.
+    pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Div(rd, rs, rt))
+    }
+
+    /// Emits `rem rd, rs, rt`.
+    pub fn rem(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Rem(rd, rs, rt))
+    }
+
+    /// Emits `and rd, rs, rt`.
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::And(rd, rs, rt))
+    }
+
+    /// Emits `or rd, rs, rt`.
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Or(rd, rs, rt))
+    }
+
+    /// Emits `xor rd, rs, rt`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Xor(rd, rs, rt))
+    }
+
+    /// Emits `sll rd, rs, rt`.
+    pub fn sll(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Sll(rd, rs, rt))
+    }
+
+    /// Emits `srl rd, rs, rt`.
+    pub fn srl(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Srl(rd, rs, rt))
+    }
+
+    /// Emits `sra rd, rs, rt`.
+    pub fn sra(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Sra(rd, rs, rt))
+    }
+
+    /// Emits `slt rd, rs, rt`.
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+        self.push(Instr::Slt(rd, rs, rt))
+    }
+
+    /// Emits `addi rd, rs, imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Addi(rd, rs, imm))
+    }
+
+    /// Emits `andi rd, rs, imm`.
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Andi(rd, rs, imm))
+    }
+
+    /// Emits `ori rd, rs, imm`.
+    pub fn ori(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Ori(rd, rs, imm))
+    }
+
+    /// Emits `xori rd, rs, imm`.
+    pub fn xori(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Xori(rd, rs, imm))
+    }
+
+    /// Emits `slli rd, rs, imm`.
+    pub fn slli(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Slli(rd, rs, imm))
+    }
+
+    /// Emits `srli rd, rs, imm`.
+    pub fn srli(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Srli(rd, rs, imm))
+    }
+
+    /// Emits `slti rd, rs, imm`.
+    pub fn slti(&mut self, rd: Reg, rs: Reg, imm: i64) -> &mut Self {
+        self.push(Instr::Slti(rd, rs, imm))
+    }
+
+    /// Emits `ld rd, off(base)`.
+    pub fn load(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Load(rd, base, off))
+    }
+
+    /// Emits `st value, off(base)`.
+    pub fn store(&mut self, value: Reg, base: Reg, off: i64) -> &mut Self {
+        self.push(Instr::Store(value, base, off))
+    }
+
+    /// Emits a conditional branch to a label.
+    pub fn branch_label(&mut self, cond: BranchCond, a: Reg, b: Reg, target: Label) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, target));
+        self.push(Instr::Branch(cond, a, b, usize::MAX))
+    }
+
+    /// Emits `beq a, b, target`.
+    pub fn beq_label(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.branch_label(BranchCond::Eq, a, b, target)
+    }
+
+    /// Emits `bne a, b, target`.
+    pub fn bne_label(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.branch_label(BranchCond::Ne, a, b, target)
+    }
+
+    /// Emits `blt a, b, target`.
+    pub fn blt_label(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.branch_label(BranchCond::Lt, a, b, target)
+    }
+
+    /// Emits `bge a, b, target`.
+    pub fn bge_label(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.branch_label(BranchCond::Ge, a, b, target)
+    }
+
+    /// Emits an unconditional jump to a label.
+    pub fn jump_label(&mut self, target: Label) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, target));
+        self.push(Instr::Jump(usize::MAX))
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Emits the timing-neutral `RegionEnter` marker.
+    pub fn region_enter(&mut self, region: RegionId) -> &mut Self {
+        self.push(Instr::RegionEnter(region))
+    }
+
+    /// Emits the timing-neutral `RegionExit` marker.
+    pub fn region_exit(&mut self, region: RegionId) -> &mut Self {
+        self.push(Instr::RegionExit(region))
+    }
+
+    /// Resolves all label references and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnboundLabel`] if any referenced label was
+    /// never bound, or [`BuildError::Invalid`] if the assembled sequence
+    /// fails [`Program::new`] validation.
+    pub fn build(mut self) -> Result<Program, BuildError> {
+        for &(at, label) in &self.fixups {
+            let state = &self.labels[label.0];
+            let pos = state
+                .pos
+                .ok_or_else(|| BuildError::UnboundLabel { name: state.name.clone() })?;
+            match &mut self.instrs[at] {
+                Instr::Branch(_, _, _, t) | Instr::Jump(t) | Instr::Jal(_, t) => *t = pos,
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        Ok(Program::new(self.instrs)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label("end");
+        b.li(Reg::R1, 0);
+        let top = b.label_here("top");
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.beq_label(Reg::R1, Reg::R0, end);
+        b.blt_label(Reg::R1, Reg::R2, top);
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        // beq targets the halt at index 4; blt targets `top` at index 1.
+        assert_eq!(p[2], Instr::Branch(BranchCond::Eq, Reg::R1, Reg::R0, 4));
+        assert_eq!(p[3], Instr::Branch(BranchCond::Lt, Reg::R1, Reg::R2, 1));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let nowhere = b.label("nowhere");
+        b.jump_label(nowhere).halt();
+        let err = b.build().unwrap_err();
+        assert_eq!(err, BuildError::UnboundLabel { name: "nowhere".into() });
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label_here("l");
+        b.bind(l);
+    }
+
+    #[test]
+    fn missing_halt_propagates() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        assert!(matches!(b.build(), Err(BuildError::Invalid(ProgramError::MissingHalt))));
+    }
+
+    #[test]
+    fn chaining_emits_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 5).mv(Reg::R2, Reg::R1).halt();
+        let p = b.build().unwrap();
+        assert_eq!(p[0], Instr::Addi(Reg::R1, Reg::R0, 5));
+        assert_eq!(p[1], Instr::Addi(Reg::R2, Reg::R1, 0));
+    }
+}

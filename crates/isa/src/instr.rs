@@ -1,0 +1,345 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Reg, RegionId};
+
+/// Condition evaluated by a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Branch when the two operands are equal.
+    Eq,
+    /// Branch when the two operands differ.
+    Ne,
+    /// Branch when the first operand is strictly less than the second
+    /// (signed comparison).
+    Lt,
+    /// Branch when the first operand is greater than or equal to the
+    /// second (signed comparison).
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluates the condition against the two operand values.
+    ///
+    /// ```
+    /// use eddie_isa::BranchCond;
+    /// assert!(BranchCond::Lt.eval(-1, 0));
+    /// assert!(!BranchCond::Eq.eval(1, 2));
+    /// ```
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Broad functional-unit class of an instruction.
+///
+/// The simulator's timing and power models key off this classification:
+/// integer ALU operations are single-cycle, multiplies and divides have
+/// longer latencies, and memory operations go through the cache hierarchy.
+/// The paper's injection experiments (§5.7) distinguish "on-chip"
+/// (ALU-only) from "off-chip" (cache-missing memory) injections using the
+/// same split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Single-cycle integer ALU operation (also branches and jumps).
+    IntAlu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide / remainder.
+    Div,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// No functional unit: `Nop`, `Halt` and region markers.
+    Other,
+}
+
+/// A single machine instruction.
+///
+/// Three-register ALU forms are `op(rd, rs, rt)` (destination first);
+/// immediate forms are `op(rd, rs, imm)`. Memory operands are
+/// word-addressed: `Load(rd, base, off)` reads `mem[reg[base] + off]`.
+/// Branch and jump targets are absolute instruction indices, resolved
+/// from labels by [`ProgramBuilder`](crate::ProgramBuilder).
+///
+/// `RegionEnter`/`RegionExit` are the training-time instrumentation from
+/// §4.1 of the paper: the simulator logs them with cycle timestamps but
+/// they consume no pipeline resources and no energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd = rs + rt`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs - rt`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs * rt` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs / rt` (0 when `rt == 0`, mirroring a trapping-free embedded core)
+    Div(Reg, Reg, Reg),
+    /// `rd = rs % rt` (0 when `rt == 0`)
+    Rem(Reg, Reg, Reg),
+    /// `rd = rs & rt`
+    And(Reg, Reg, Reg),
+    /// `rd = rs | rt`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs ^ rt`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs << (rt & 63)`
+    Sll(Reg, Reg, Reg),
+    /// `rd = ((rs as u64) >> (rt & 63)) as i64`
+    Srl(Reg, Reg, Reg),
+    /// `rd = rs >> (rt & 63)` (arithmetic)
+    Sra(Reg, Reg, Reg),
+    /// `rd = (rs < rt) as i64` (signed)
+    Slt(Reg, Reg, Reg),
+    /// `rd = rs + imm`
+    Addi(Reg, Reg, i64),
+    /// `rd = rs & imm`
+    Andi(Reg, Reg, i64),
+    /// `rd = rs | imm`
+    Ori(Reg, Reg, i64),
+    /// `rd = rs ^ imm`
+    Xori(Reg, Reg, i64),
+    /// `rd = rs << (imm & 63)`
+    Slli(Reg, Reg, i64),
+    /// `rd = ((rs as u64) >> (imm & 63)) as i64`
+    Srli(Reg, Reg, i64),
+    /// `rd = (rs < imm) as i64` (signed)
+    Slti(Reg, Reg, i64),
+    /// `rd = mem[rs + off]`
+    Load(Reg, Reg, i64),
+    /// `mem[rs + off] = rd` (the first operand is the *value* register)
+    Store(Reg, Reg, i64),
+    /// Conditional branch to an absolute instruction index.
+    Branch(BranchCond, Reg, Reg, usize),
+    /// Unconditional jump to an absolute instruction index.
+    Jump(usize),
+    /// Jump-and-link: `rd = pc + 1`, then jump to the target.
+    Jal(Reg, usize),
+    /// Indirect jump to the address held in the register.
+    Jr(Reg),
+    /// No operation.
+    Nop,
+    /// Stop the machine.
+    Halt,
+    /// Training-time marker: execution enters the region (timing-neutral).
+    RegionEnter(RegionId),
+    /// Training-time marker: execution leaves the region (timing-neutral).
+    RegionExit(RegionId),
+}
+
+impl Instr {
+    /// Returns the functional-unit class of this instruction.
+    ///
+    /// ```
+    /// use eddie_isa::{Instr, InstrClass, Reg};
+    /// assert_eq!(Instr::Mul(Reg::R1, Reg::R2, Reg::R3).class(), InstrClass::Mul);
+    /// assert_eq!(Instr::Nop.class(), InstrClass::Other);
+    /// ```
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Mul(..) => InstrClass::Mul,
+            Instr::Div(..) | Instr::Rem(..) => InstrClass::Div,
+            Instr::Load(..) => InstrClass::Load,
+            Instr::Store(..) => InstrClass::Store,
+            Instr::Nop | Instr::Halt | Instr::RegionEnter(_) | Instr::RegionExit(_) => {
+                InstrClass::Other
+            }
+            _ => InstrClass::IntAlu,
+        }
+    }
+
+    /// Returns the register written by this instruction, if any.
+    ///
+    /// Writes to the hard-wired zero register are still reported; the
+    /// simulator discards them at execution time.
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Instr::Add(rd, ..)
+            | Instr::Sub(rd, ..)
+            | Instr::Mul(rd, ..)
+            | Instr::Div(rd, ..)
+            | Instr::Rem(rd, ..)
+            | Instr::And(rd, ..)
+            | Instr::Or(rd, ..)
+            | Instr::Xor(rd, ..)
+            | Instr::Sll(rd, ..)
+            | Instr::Srl(rd, ..)
+            | Instr::Sra(rd, ..)
+            | Instr::Slt(rd, ..)
+            | Instr::Addi(rd, ..)
+            | Instr::Andi(rd, ..)
+            | Instr::Ori(rd, ..)
+            | Instr::Xori(rd, ..)
+            | Instr::Slli(rd, ..)
+            | Instr::Srli(rd, ..)
+            | Instr::Slti(rd, ..)
+            | Instr::Load(rd, ..)
+            | Instr::Jal(rd, ..) => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// Returns the registers read by this instruction (0, 1 or 2 of them).
+    pub fn uses(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Add(_, a, b)
+            | Instr::Sub(_, a, b)
+            | Instr::Mul(_, a, b)
+            | Instr::Div(_, a, b)
+            | Instr::Rem(_, a, b)
+            | Instr::And(_, a, b)
+            | Instr::Or(_, a, b)
+            | Instr::Xor(_, a, b)
+            | Instr::Sll(_, a, b)
+            | Instr::Srl(_, a, b)
+            | Instr::Sra(_, a, b)
+            | Instr::Slt(_, a, b) => [Some(a), Some(b)],
+            Instr::Addi(_, a, _)
+            | Instr::Andi(_, a, _)
+            | Instr::Ori(_, a, _)
+            | Instr::Xori(_, a, _)
+            | Instr::Slli(_, a, _)
+            | Instr::Srli(_, a, _)
+            | Instr::Slti(_, a, _)
+            | Instr::Load(_, a, _) => [Some(a), None],
+            Instr::Store(v, a, _) => [Some(v), Some(a)],
+            Instr::Branch(_, a, b, _) => [Some(a), Some(b)],
+            Instr::Jr(a) => [Some(a), None],
+            _ => [None, None],
+        }
+    }
+
+    /// Returns `true` for instructions that may redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch(..) | Instr::Jump(_) | Instr::Jal(..) | Instr::Jr(_) | Instr::Halt
+        )
+    }
+
+    /// Returns `true` for the timing-neutral region markers.
+    pub fn is_marker(&self) -> bool {
+        matches!(self, Instr::RegionEnter(_) | Instr::RegionExit(_))
+    }
+
+    /// Returns the static branch/jump target, if this instruction has one.
+    pub fn target(&self) -> Option<usize> {
+        match *self {
+            Instr::Branch(_, _, _, t) | Instr::Jump(t) | Instr::Jal(_, t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Add(d, a, b) => write!(f, "add {d}, {a}, {b}"),
+            Instr::Sub(d, a, b) => write!(f, "sub {d}, {a}, {b}"),
+            Instr::Mul(d, a, b) => write!(f, "mul {d}, {a}, {b}"),
+            Instr::Div(d, a, b) => write!(f, "div {d}, {a}, {b}"),
+            Instr::Rem(d, a, b) => write!(f, "rem {d}, {a}, {b}"),
+            Instr::And(d, a, b) => write!(f, "and {d}, {a}, {b}"),
+            Instr::Or(d, a, b) => write!(f, "or {d}, {a}, {b}"),
+            Instr::Xor(d, a, b) => write!(f, "xor {d}, {a}, {b}"),
+            Instr::Sll(d, a, b) => write!(f, "sll {d}, {a}, {b}"),
+            Instr::Srl(d, a, b) => write!(f, "srl {d}, {a}, {b}"),
+            Instr::Sra(d, a, b) => write!(f, "sra {d}, {a}, {b}"),
+            Instr::Slt(d, a, b) => write!(f, "slt {d}, {a}, {b}"),
+            Instr::Addi(d, a, i) => write!(f, "addi {d}, {a}, {i}"),
+            Instr::Andi(d, a, i) => write!(f, "andi {d}, {a}, {i}"),
+            Instr::Ori(d, a, i) => write!(f, "ori {d}, {a}, {i}"),
+            Instr::Xori(d, a, i) => write!(f, "xori {d}, {a}, {i}"),
+            Instr::Slli(d, a, i) => write!(f, "slli {d}, {a}, {i}"),
+            Instr::Srli(d, a, i) => write!(f, "srli {d}, {a}, {i}"),
+            Instr::Slti(d, a, i) => write!(f, "slti {d}, {a}, {i}"),
+            Instr::Load(d, a, o) => write!(f, "ld {d}, {o}({a})"),
+            Instr::Store(v, a, o) => write!(f, "st {v}, {o}({a})"),
+            Instr::Branch(c, a, b, t) => write!(f, "{c} {a}, {b}, @{t}"),
+            Instr::Jump(t) => write!(f, "j @{t}"),
+            Instr::Jal(d, t) => write!(f, "jal {d}, @{t}"),
+            Instr::Jr(a) => write!(f, "jr {a}"),
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::RegionEnter(r) => write!(f, "renter {r}"),
+            Instr::RegionExit(r) => write!(f, "rexit {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_conditions_evaluate() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Lt.eval(i64::MIN, 0));
+        assert!(BranchCond::Ge.eval(0, 0));
+        assert!(!BranchCond::Lt.eval(0, i64::MIN));
+    }
+
+    #[test]
+    fn class_covers_all_groups() {
+        assert_eq!(Instr::Add(Reg::R1, Reg::R2, Reg::R3).class(), InstrClass::IntAlu);
+        assert_eq!(Instr::Div(Reg::R1, Reg::R2, Reg::R3).class(), InstrClass::Div);
+        assert_eq!(Instr::Load(Reg::R1, Reg::R2, 0).class(), InstrClass::Load);
+        assert_eq!(Instr::Store(Reg::R1, Reg::R2, 0).class(), InstrClass::Store);
+        assert_eq!(Instr::RegionEnter(RegionId::new(0)).class(), InstrClass::Other);
+    }
+
+    #[test]
+    fn defs_and_uses_are_consistent() {
+        let i = Instr::Add(Reg::R5, Reg::R6, Reg::R7);
+        assert_eq!(i.def(), Some(Reg::R5));
+        assert_eq!(i.uses(), [Some(Reg::R6), Some(Reg::R7)]);
+
+        let st = Instr::Store(Reg::R1, Reg::R2, 8);
+        assert_eq!(st.def(), None);
+        assert_eq!(st.uses(), [Some(Reg::R1), Some(Reg::R2)]);
+
+        let b = Instr::Branch(BranchCond::Lt, Reg::R1, Reg::R2, 10);
+        assert_eq!(b.def(), None);
+        assert!(b.is_control());
+        assert_eq!(b.target(), Some(10));
+    }
+
+    #[test]
+    fn markers_are_neutral() {
+        let m = Instr::RegionEnter(RegionId::new(1));
+        assert!(m.is_marker());
+        assert!(!m.is_control());
+        assert_eq!(m.def(), None);
+        assert_eq!(m.uses(), [None, None]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            Instr::Branch(BranchCond::Ne, Reg::R1, Reg::R0, 4).to_string(),
+            "bne r1, r0, @4"
+        );
+        assert_eq!(Instr::Load(Reg::R2, Reg::R3, -1).to_string(), "ld r2, -1(r3)");
+    }
+}

@@ -1,0 +1,55 @@
+//! A small RISC-style instruction set used by the EDDIE reproduction.
+//!
+//! The paper evaluates EDDIE on MiBench programs running on an ARM
+//! Cortex-A8 board and on the SESC cycle-accurate simulator. This crate is
+//! the foundation of our simulated substrate: it defines the registers,
+//! instructions, and program container that `eddie-sim` executes, that
+//! `eddie-cfg` analyses, and that the workloads in `eddie-workloads`
+//! are written against.
+//!
+//! Design points that matter for EDDIE:
+//!
+//! * **Region markers.** The paper instruments each loop nest with
+//!   light-weight enter/exit logging used only during training runs
+//!   (§4.1). [`Instr::RegionEnter`] / [`Instr::RegionExit`] play that role
+//!   here; the simulator treats them as timing- and power-neutral.
+//! * **Analysable control flow.** Branch targets are static program
+//!   counters, so a precise control-flow graph (and from it the
+//!   region-level state machine) can be recovered by `eddie-cfg`.
+//!
+//! # Examples
+//!
+//! Build a program that sums an array with an instrumented loop:
+//!
+//! ```
+//! use eddie_isa::{ProgramBuilder, Reg, RegionId};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let (sum, idx, limit, val) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+//! b.li(idx, 0).li(limit, 64).li(sum, 0);
+//! b.region_enter(RegionId::new(0));
+//! let top = b.label_here("loop");
+//! b.load(val, idx, 0)
+//!     .add(sum, sum, val)
+//!     .addi(idx, idx, 1)
+//!     .blt_label(idx, limit, top);
+//! b.region_exit(RegionId::new(0));
+//! b.halt();
+//! let program = b.build().expect("labels resolve");
+//! assert!(program.len() > 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod instr;
+mod program;
+mod reg;
+mod region;
+
+pub use builder::{BuildError, Label, ProgramBuilder};
+pub use instr::{BranchCond, Instr, InstrClass};
+pub use program::{Program, ProgramError};
+pub use reg::Reg;
+pub use region::RegionId;

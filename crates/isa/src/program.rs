@@ -1,0 +1,218 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Instr, RegionId};
+
+/// Error returned by [`Program::new`] when the instruction sequence is
+/// not well formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A branch or jump at `pc` targets an instruction index that is out
+    /// of range.
+    TargetOutOfRange {
+        /// Location of the offending instruction.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// The program contains no `Halt`, so execution could run off the end.
+    MissingHalt,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => f.write_str("program has no instructions"),
+            ProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "instruction at {pc} targets out-of-range index {target}")
+            }
+            ProgramError::MissingHalt => f.write_str("program has no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A validated, executable instruction sequence.
+///
+/// A `Program` guarantees that every static branch target is in range and
+/// that at least one `Halt` exists, so the simulator never needs bounds
+/// checks on control transfers. Programs are immutable once built;
+/// construct them with [`ProgramBuilder`](crate::ProgramBuilder).
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::{Instr, Program};
+///
+/// let p = Program::new(vec![Instr::Nop, Instr::Halt])?;
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p[1], Instr::Halt);
+/// # Ok::<(), eddie_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// First `RegionEnter` pc for each region id, in program order.
+    region_entries: BTreeMap<RegionId, usize>,
+}
+
+impl Program {
+    /// Validates and wraps an instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the sequence is empty, contains a
+    /// branch/jump to an out-of-range index, or has no `Halt`.
+    pub fn new(instrs: Vec<Instr>) -> Result<Program, ProgramError> {
+        if instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = instrs.len();
+        let mut has_halt = false;
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(t) = i.target() {
+                if t >= len {
+                    return Err(ProgramError::TargetOutOfRange { pc, target: t });
+                }
+            }
+            if matches!(i, Instr::Halt) {
+                has_halt = true;
+            }
+        }
+        if !has_halt {
+            return Err(ProgramError::MissingHalt);
+        }
+        let mut region_entries = BTreeMap::new();
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Instr::RegionEnter(r) = i {
+                region_entries.entry(*r).or_insert(pc);
+            }
+        }
+        Ok(Program { instrs, region_entries })
+    }
+
+    /// Returns the number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    ///
+    /// Always `false` for a validated program; provided for API
+    /// completeness alongside [`Program::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Returns the instruction at `pc`, or `None` when out of range.
+    #[inline]
+    pub fn get(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Returns the underlying instruction slice.
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Iterates over `(pc, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Instr)> {
+        self.instrs.iter().enumerate()
+    }
+
+    /// Returns the pc of the first `RegionEnter` marker for `region`, if
+    /// the program declares that region.
+    pub fn region_entry(&self, region: RegionId) -> Option<usize> {
+        self.region_entries.get(&region).copied()
+    }
+
+    /// Returns every region id declared by `RegionEnter` markers, in
+    /// ascending id order.
+    pub fn declared_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.region_entries.keys().copied()
+    }
+
+    /// Renders the program as one instruction per line, prefixed with the
+    /// instruction index — a tiny disassembler for debugging workloads.
+    pub fn to_listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pc, i) in self.iter() {
+            let _ = writeln!(out, "{pc:5}: {i}");
+        }
+        out
+    }
+}
+
+impl std::ops::Index<usize> for Program {
+    type Output = Instr;
+
+    fn index(&self, pc: usize) -> &Instr {
+        &self.instrs[pc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchCond, Reg};
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Program::new(vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn rejects_missing_halt() {
+        assert_eq!(Program::new(vec![Instr::Nop]), Err(ProgramError::MissingHalt));
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = Program::new(vec![Instr::Jump(5), Instr::Halt]).unwrap_err();
+        assert_eq!(err, ProgramError::TargetOutOfRange { pc: 0, target: 5 });
+    }
+
+    #[test]
+    fn accepts_valid_program_and_indexes() {
+        let p = Program::new(vec![
+            Instr::Addi(Reg::R1, Reg::R0, 1),
+            Instr::Branch(BranchCond::Ne, Reg::R1, Reg::R0, 0),
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p[2], Instr::Halt);
+        assert_eq!(p.get(3), None);
+    }
+
+    #[test]
+    fn records_region_entries() {
+        let p = Program::new(vec![
+            Instr::RegionEnter(RegionId::new(2)),
+            Instr::RegionExit(RegionId::new(2)),
+            Instr::Halt,
+        ])
+        .unwrap();
+        assert_eq!(p.region_entry(RegionId::new(2)), Some(0));
+        assert_eq!(p.region_entry(RegionId::new(0)), None);
+        assert_eq!(p.declared_regions().collect::<Vec<_>>(), vec![RegionId::new(2)]);
+    }
+
+    #[test]
+    fn listing_contains_every_pc() {
+        let p = Program::new(vec![Instr::Nop, Instr::Halt]).unwrap();
+        let listing = p.to_listing();
+        assert!(listing.contains("0: nop"));
+        assert!(listing.contains("1: halt"));
+    }
+}

@@ -1,0 +1,105 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 32 general-purpose integer registers.
+///
+/// `R0` is hard-wired to zero, as in most RISC architectures: writes to it
+/// are discarded and reads always return `0`. The remaining registers are
+/// interchangeable; workloads adopt their own conventions.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::Reg;
+///
+/// assert_eq!(Reg::R0.index(), 0);
+/// assert_eq!(Reg::from_index(7), Some(Reg::R7));
+/// assert_eq!(Reg::from_index(99), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+/// All registers in index order, used by [`Reg::from_index`] and iteration.
+const ALL: [Reg; 32] = [
+    Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+    Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+    Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+    Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+];
+
+impl Reg {
+    /// The number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Returns the register's index in the architectural register file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if `index`
+    /// is 32 or larger.
+    #[inline]
+    pub fn from_index(index: usize) -> Option<Reg> {
+        ALL.get(index).copied()
+    }
+
+    /// Returns `true` for the hard-wired zero register `R0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Reg::R0
+    }
+
+    /// Iterates over every architectural register in index order.
+    ///
+    /// ```
+    /// use eddie_isa::Reg;
+    /// assert_eq!(Reg::iter().count(), Reg::COUNT);
+    /// ```
+    pub fn iter() -> impl Iterator<Item = Reg> {
+        ALL.iter().copied()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (i, r) in Reg::iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(r));
+        }
+    }
+
+    #[test]
+    fn from_index_rejects_out_of_range() {
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn zero_register_is_identified() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn display_uses_r_prefix() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+    }
+}

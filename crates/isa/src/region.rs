@@ -1,0 +1,67 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for a code region (a loop nest or an inter-loop segment).
+///
+/// EDDIE's training phase maps every part of the EM signal to the region
+/// that was executing at that time (§4.1 of the paper). Loop regions are
+/// numbered by the program author (or the CFG analysis); inter-loop
+/// regions are synthesised by `eddie-cfg` from transitions between loop
+/// regions and live in the same id space.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::RegionId;
+///
+/// let r = RegionId::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "region#3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Creates a region id from its raw index.
+    #[inline]
+    pub fn new(index: u32) -> RegionId {
+        RegionId(index)
+    }
+
+    /// Returns the raw index of this region id.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for RegionId {
+    fn from(index: u32) -> RegionId {
+        RegionId::new(index)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        assert_eq!(RegionId::new(42).index(), 42);
+        assert_eq!(RegionId::from(7u32), RegionId::new(7));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(RegionId::new(1) < RegionId::new(2));
+    }
+}

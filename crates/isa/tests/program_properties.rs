@@ -1,0 +1,85 @@
+//! Property tests on the ISA layer: programs assembled through the
+//! builder are always valid, and instruction metadata is self-consistent.
+
+use eddie_isa::{BranchCond, Instr, Program, ProgramBuilder, Reg, RegionId};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary straight-line ALU instructions.
+fn alu_instr() -> impl Strategy<Value = Instr> {
+    (0usize..32, 0usize..32, 0usize..32, 0u8..8).prop_map(|(d, a, b, op)| {
+        let (d, a, b) = (
+            Reg::from_index(d).unwrap(),
+            Reg::from_index(a).unwrap(),
+            Reg::from_index(b).unwrap(),
+        );
+        match op {
+            0 => Instr::Add(d, a, b),
+            1 => Instr::Sub(d, a, b),
+            2 => Instr::Mul(d, a, b),
+            3 => Instr::And(d, a, b),
+            4 => Instr::Or(d, a, b),
+            5 => Instr::Xor(d, a, b),
+            6 => Instr::Slt(d, a, b),
+            _ => Instr::Div(d, a, b),
+        }
+    })
+}
+
+proptest! {
+    /// Whatever straight-line body we assemble with a loop around it,
+    /// the builder produces a valid program whose CFG-relevant facts
+    /// hold: every branch target is in range and a halt exists.
+    #[test]
+    fn builder_output_is_always_valid(body in prop::collection::vec(alu_instr(), 0..40)) {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R30, 5).li(Reg::R29, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        for i in &body {
+            b.raw(*i);
+        }
+        b.addi(Reg::R29, Reg::R29, 1).blt_label(Reg::R29, Reg::R30, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let p = b.build().expect("assembles");
+        for (_, instr) in p.iter() {
+            if let Some(t) = instr.target() {
+                prop_assert!(t < p.len());
+            }
+        }
+        prop_assert!(p.iter().any(|(_, i)| matches!(i, Instr::Halt)));
+        // Two `li` instructions precede the marker.
+        prop_assert_eq!(p.region_entry(RegionId::new(0)), Some(2));
+    }
+
+    /// def/uses metadata is consistent with the display form: an
+    /// instruction that writes a register mentions it first.
+    #[test]
+    fn def_register_is_displayed_first(i in alu_instr()) {
+        let d = i.def().expect("alu instrs define");
+        let shown = i.to_string();
+        let after_op = shown.split_whitespace().nth(1).unwrap().trim_end_matches(',');
+        prop_assert_eq!(after_op, d.to_string());
+    }
+
+    /// Branch condition evaluation matches its logical definition.
+    #[test]
+    fn branch_conditions_match_semantics(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BranchCond::Eq.eval(a, b), a == b);
+        prop_assert_eq!(BranchCond::Ne.eval(a, b), a != b);
+        prop_assert_eq!(BranchCond::Lt.eval(a, b), a < b);
+        prop_assert_eq!(BranchCond::Ge.eval(a, b), a >= b);
+    }
+
+    /// Program validation rejects any out-of-range target.
+    #[test]
+    fn out_of_range_targets_rejected(extra in 0usize..100) {
+        let len = 3usize;
+        let p = Program::new(vec![
+            Instr::Jump(len + extra),
+            Instr::Nop,
+            Instr::Halt,
+        ]);
+        prop_assert!(p.is_err());
+    }
+}

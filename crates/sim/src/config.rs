@@ -1,0 +1,151 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheConfig, PowerConfig};
+
+/// Which pipeline organisation the core uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// In-order issue with a register scoreboard (stall-on-use).
+    InOrder,
+    /// Out-of-order issue constrained by a reorder buffer.
+    OutOfOrder,
+}
+
+/// Core pipeline parameters.
+///
+/// These are exactly the knobs the paper's §5.3 architecture-sensitivity
+/// study turns: issue width (1/2/4), pipeline depth, and — for the
+/// out-of-order core — ROB size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Pipeline organisation.
+    pub kind: CoreKind,
+    /// Instructions issued (and committed) per cycle.
+    pub issue_width: usize,
+    /// Front-end depth in stages; mispredicted branches pay this many
+    /// cycles of refill penalty.
+    pub pipeline_depth: u64,
+    /// Reorder-buffer entries (out-of-order cores only; ignored by the
+    /// in-order model).
+    pub rob_size: usize,
+    /// Core clock frequency, used to convert cycles to seconds when
+    /// interpreting traces.
+    pub clock_hz: f64,
+}
+
+impl CoreConfig {
+    /// A 2-issue in-order core at 1.008 GHz, patterned after the ARM
+    /// Cortex-A8 of the paper's IoT prototype (§5.1).
+    pub fn cortex_a8_like() -> CoreConfig {
+        CoreConfig {
+            kind: CoreKind::InOrder,
+            issue_width: 2,
+            pipeline_depth: 13,
+            rob_size: 0,
+            clock_hz: 1.008e9,
+        }
+    }
+
+    /// A 4-issue out-of-order core at 1.8 GHz, patterned after the
+    /// paper's simulated configuration (§5.3).
+    pub fn ooo_4issue() -> CoreConfig {
+        CoreConfig {
+            kind: CoreKind::OutOfOrder,
+            issue_width: 4,
+            pipeline_depth: 14,
+            rob_size: 128,
+            clock_hz: 1.8e9,
+        }
+    }
+}
+
+/// Complete simulator configuration.
+///
+/// Construct via one of the presets and adjust fields as needed:
+///
+/// ```
+/// use eddie_sim::SimConfig;
+///
+/// let mut cfg = SimConfig::iot_inorder();
+/// cfg.sample_interval = 10;
+/// assert!(cfg.mem_words.is_power_of_two());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy geometry and latencies.
+    pub caches: CacheConfig,
+    /// Activity-energy model parameters.
+    pub power: PowerConfig,
+    /// Power-trace sample interval in cycles (the paper uses 20).
+    pub sample_interval: u64,
+    /// Data-memory size in 64-bit words; must be a power of two (memory
+    /// addresses wrap modulo this size).
+    pub mem_words: usize,
+    /// Safety valve: abort the run after this many dynamic instructions.
+    pub max_instrs: u64,
+}
+
+impl SimConfig {
+    /// Preset modelling the paper's real IoT device: Cortex-A8-like
+    /// in-order core, 32 KiB L1 caches, 256 KiB L2 (§5.1).
+    pub fn iot_inorder() -> SimConfig {
+        SimConfig {
+            core: CoreConfig::cortex_a8_like(),
+            caches: CacheConfig::iot(),
+            power: PowerConfig::default(),
+            sample_interval: 20,
+            mem_words: 1 << 21, // 16 MiB
+            max_instrs: 2_000_000_000,
+        }
+    }
+
+    /// Preset modelling the paper's simulated system: 1.8 GHz 4-issue
+    /// out-of-order core with 32 KiB L1 and a large L2, power sampled
+    /// every 20 cycles (§5.3).
+    pub fn sesc_ooo() -> SimConfig {
+        SimConfig {
+            core: CoreConfig::ooo_4issue(),
+            caches: CacheConfig::simulated(),
+            power: PowerConfig::default(),
+            sample_interval: 20,
+            mem_words: 1 << 21,
+            max_instrs: 2_000_000_000,
+        }
+    }
+
+    /// Duration of one power sample in seconds.
+    pub fn sample_period_s(&self) -> f64 {
+        self.sample_interval as f64 / self.core.clock_hz
+    }
+
+    /// Power-trace sample rate in hertz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.core.clock_hz / self.sample_interval as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let iot = SimConfig::iot_inorder();
+        assert_eq!(iot.core.kind, CoreKind::InOrder);
+        assert!(iot.mem_words.is_power_of_two());
+
+        let sesc = SimConfig::sesc_ooo();
+        assert_eq!(sesc.core.kind, CoreKind::OutOfOrder);
+        assert!(sesc.core.rob_size > 0);
+    }
+
+    #[test]
+    fn sample_rate_matches_interval() {
+        let cfg = SimConfig::sesc_ooo();
+        let rate = cfg.sample_rate_hz();
+        assert!((rate - 1.8e9 / 20.0).abs() < 1.0);
+        assert!((cfg.sample_period_s() - 1.0 / rate).abs() < 1e-18);
+    }
+}

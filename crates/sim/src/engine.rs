@@ -1,0 +1,419 @@
+use eddie_isa::{Instr, InstrClass, Program};
+
+use crate::inject::{InjectedOp, InjectionHook, NoInjection};
+use crate::machine::Machine;
+use crate::power::PowerRecorder;
+use crate::timing::{make_model, TimingEvent, TimingModel};
+use crate::{
+    BranchPredictor, CacheHierarchy, RegionSpan, SimConfig, SimResult, SimStats,
+};
+
+/// The cycle-level simulator: functional execution annotated with a
+/// pipeline timing model, cache hierarchy, branch predictor and
+/// activity-based power accounting.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct Simulator {
+    config: SimConfig,
+    program: Program,
+    machine: Machine,
+    caches: CacheHierarchy,
+    predictor: BranchPredictor,
+    timing: Box<dyn TimingModel>,
+    hook: Box<dyn InjectionHook>,
+}
+
+/// Effective memory-operation latency: loads see the full hierarchy
+/// latency; stores are free on an L1 hit (write buffer) but charge half
+/// the miss path when they allocate, modelling write-buffer
+/// back-pressure under sustained store misses.
+fn store_latency(a: &crate::MemAccess, is_load: bool) -> u64 {
+    if is_load {
+        a.latency
+    } else if a.l1_hit {
+        1
+    } else {
+        (a.latency / 2).max(1)
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("config", &self.config)
+            .field("pc", &self.machine.pc())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator for `program` with the given configuration.
+    pub fn new(config: SimConfig, program: Program) -> Simulator {
+        let machine = Machine::new(config.mem_words);
+        let caches = CacheHierarchy::new(&config.caches);
+        let timing = make_model(&config.core);
+        Simulator {
+            config,
+            program,
+            machine,
+            caches,
+            predictor: BranchPredictor::new(4096),
+            timing,
+            hook: Box::new(NoInjection),
+        }
+    }
+
+    /// Gives mutable access to the architectural machine, so workloads
+    /// can place their input data before the run.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Attaches an attack model consulted after every retired victim
+    /// instruction. Replaces any previously attached hook.
+    pub fn set_injection(&mut self, hook: Box<dyn InjectionHook>) {
+        self.hook = hook;
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the program to `Halt` (or the `max_instrs` safety valve) and
+    /// returns the traces.
+    pub fn run(&mut self) -> SimResult {
+        let mut power = PowerRecorder::new(self.config.sample_interval, self.config.core.clock_hz);
+        let mut stats = SimStats::default();
+        let mut regions: Vec<RegionSpan> = Vec::new();
+        let mut open_region: Option<(eddie_isa::RegionId, u64)> = None;
+        let mut injected_spans: Vec<(u64, u64)> = Vec::new();
+        let mut inject_queue: Vec<InjectedOp> = Vec::new();
+        // Phantom dependency chain for injected code (serialises a burst
+        // the way a real dependent instruction sequence would).
+        let inj_chain_reg = eddie_isa::Reg::R31;
+
+        let pcfg = self.config.power;
+        let max_instrs = self.config.max_instrs;
+
+        loop {
+            let pc = self.machine.pc();
+            let instr = self.program[pc];
+
+            // Region markers: timing- and power-neutral bookkeeping, but
+            // still visible to the attack hook so bursts can trigger on
+            // inter-region points.
+            let next_pc = match instr {
+                Instr::RegionEnter(r) => {
+                    let now = self.timing.now();
+                    open_region = Some((r, now));
+                    self.machine.step(&self.program).next_pc
+                }
+                Instr::RegionExit(r) => {
+                    let now = self.timing.now();
+                    if let Some((open, start)) = open_region.take() {
+                        debug_assert_eq!(open, r, "unbalanced region markers");
+                        regions.push(RegionSpan { region: open, start_cycle: start, end_cycle: now });
+                    }
+                    self.machine.step(&self.program).next_pc
+                }
+                _ => {
+                    // Functional execution.
+                    let out = self.machine.step(&self.program);
+                    if out.halted {
+                        break;
+                    }
+
+                    // Instruction fetch through the I-cache.
+                    let ifetch = self.caches.access_instr(pc as u64 * 4);
+                    let fetch_latency = if ifetch.l1_hit { 0 } else { ifetch.latency };
+
+                    // Data access through the D-cache.
+                    let (mem_latency, daccess) = match out.mem_byte_addr {
+                        Some(addr) => {
+                            let a = self.caches.access_data(addr);
+                            if a.l1_hit {
+                                stats.l1d_hits += 1;
+                            } else {
+                                stats.l1d_misses += 1;
+                                if a.dram {
+                                    stats.l2_misses += 1;
+                                }
+                            }
+                            // Loads see the full latency; stores retire
+                            // via a write buffer (free on a hit) but a
+                            // missing store must allocate its line, and
+                            // sustained misses back-pressure the buffer —
+                            // charge half the miss latency.
+                            let lat = store_latency(&a, matches!(instr, Instr::Load(..)));
+                            (lat, Some(a))
+                        }
+                        None => (0, None),
+                    };
+
+                    // Branch prediction.
+                    let mispredict = match instr {
+                        Instr::Branch(..) => {
+                            !self.predictor.predict_and_update(pc, out.taken.unwrap_or(false))
+                        }
+                        Instr::Jump(_) | Instr::Jal(..) | Instr::Jr(_) => {
+                            !self.predictor.jump(pc)
+                        }
+                        _ => false,
+                    };
+                    if mispredict {
+                        stats.branch_mispredicts += 1;
+                    }
+
+                    // Timing.
+                    let ev = TimingEvent {
+                        class: instr.class(),
+                        mem_latency,
+                        fetch_latency,
+                        mispredict,
+                        srcs: instr.uses(),
+                        dst: instr.def(),
+                    };
+                    let issue = self.timing.step(&ev);
+
+                    // Power.
+                    let mut energy = pcfg.instr_energy(instr.class());
+                    if !ifetch.l1_hit {
+                        energy += pcfg.access_energy(&ifetch);
+                    }
+                    if let Some(a) = daccess {
+                        energy += pcfg.access_energy(&a);
+                    }
+                    if mispredict {
+                        energy += pcfg.flush;
+                    }
+                    power.add(issue, energy);
+
+                    stats.instrs += 1;
+                    if stats.instrs >= max_instrs {
+                        stats.truncated = true;
+                        break;
+                    }
+                    out.next_pc
+                }
+            };
+
+            // Attack hook.
+            self.hook.on_instruction(pc, next_pc, &mut inject_queue);
+            if !inject_queue.is_empty() {
+                let start = self.timing.now();
+                for op in inject_queue.drain(..) {
+                    let class = op.kind.instr_class();
+                    let (mem_latency, access) = match class {
+                        InstrClass::Load | InstrClass::Store => {
+                            let a = self.caches.access_data(op.byte_addr);
+                            if a.l1_hit {
+                                stats.l1d_hits += 1;
+                            } else {
+                                stats.l1d_misses += 1;
+                                if a.dram {
+                                    stats.l2_misses += 1;
+                                }
+                            }
+                            let lat = store_latency(&a, class == InstrClass::Load);
+                            (lat, Some(a))
+                        }
+                        _ => (0, None),
+                    };
+                    let ev = TimingEvent {
+                        class,
+                        mem_latency,
+                        fetch_latency: 0,
+                        mispredict: false,
+                        // Serial chain through a phantom register.
+                        srcs: [Some(inj_chain_reg), None],
+                        dst: Some(inj_chain_reg),
+                    };
+                    let issue = self.timing.step(&ev);
+                    let mut e = pcfg.instr_energy(class);
+                    if let Some(a) = access {
+                        e += pcfg.access_energy(&a);
+                    }
+                    power.add(issue, e);
+                    stats.injected_ops += 1;
+                }
+                let end = self.timing.now();
+                match injected_spans.last_mut() {
+                    Some(last) if last.1 + 1 >= start => last.1 = end,
+                    _ => injected_spans.push((start, end)),
+                }
+            }
+        }
+
+        let end_cycle = self.timing.now();
+        stats.cycles = end_cycle;
+        let (h, m) = self.caches.l1d_stats();
+        debug_assert!(h >= stats.l1d_hits || m >= stats.l1d_misses || h + m > 0);
+
+        // Close a region left open at program end (defensive; workloads
+        // always close their regions).
+        if let Some((r, start)) = open_region.take() {
+            regions.push(RegionSpan { region: r, start_cycle: start, end_cycle: end_cycle });
+        }
+
+        SimResult {
+            stats,
+            power: power.finish(end_cycle, pcfg.leakage_per_cycle),
+            regions,
+            injected_spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{ProgramBuilder, Reg, RegionId};
+
+    fn counted_loop(iters: i64, body_adds: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let (i, n, acc) = (Reg::R1, Reg::R2, Reg::R3);
+        b.li(n, iters).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        for _ in 0..body_adds {
+            b.add(acc, acc, i);
+        }
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_produces_consistent_traces() {
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), counted_loop(1000, 4));
+        let r = sim.run();
+        assert!(r.stats.instrs >= 6000);
+        assert!(r.stats.cycles > 0);
+        assert_eq!(r.regions.len(), 1);
+        let span = r.regions[0];
+        assert!(span.end_cycle > span.start_cycle);
+        assert!(span.end_cycle <= r.stats.cycles);
+        // Power trace covers the whole run.
+        let buckets = (r.stats.cycles / sim.config().sample_interval + 1) as usize;
+        assert_eq!(r.power.samples.len(), buckets);
+        assert!(r.power.samples.iter().all(|&p| p > 0.0), "leakage floors every sample");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = counted_loop(500, 2);
+        let a = Simulator::new(SimConfig::iot_inorder(), p.clone()).run();
+        let b = Simulator::new(SimConfig::iot_inorder(), p).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ooo_is_not_slower_than_inorder_on_ilp_heavy_code() {
+        // Independent adds: OoO should need no more cycles than in-order
+        // at the same width.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R10, 2000).li(Reg::R1, 0);
+        let top = b.label_here("top");
+        b.add(Reg::R2, Reg::R1, Reg::R10)
+            .add(Reg::R3, Reg::R1, Reg::R10)
+            .add(Reg::R4, Reg::R1, Reg::R10)
+            .add(Reg::R5, Reg::R1, Reg::R10)
+            .addi(Reg::R1, Reg::R1, 1)
+            .blt_label(Reg::R1, Reg::R10, top);
+        b.halt();
+        let p = b.build().unwrap();
+
+        let mut io_cfg = SimConfig::iot_inorder();
+        io_cfg.core.issue_width = 2;
+        let mut oo_cfg = SimConfig::sesc_ooo();
+        oo_cfg.core.issue_width = 2;
+        oo_cfg.core.pipeline_depth = io_cfg.core.pipeline_depth;
+
+        let io = Simulator::new(io_cfg, p.clone()).run();
+        let oo = Simulator::new(oo_cfg, p).run();
+        assert!(
+            oo.stats.cycles <= io.stats.cycles + io.stats.cycles / 10,
+            "ooo {} vs inorder {}",
+            oo.stats.cycles,
+            io.stats.cycles
+        );
+    }
+
+    #[test]
+    fn injection_hook_runs_and_is_recorded() {
+        struct EveryIter {
+            header_pc: usize,
+        }
+        impl InjectionHook for EveryIter {
+            fn on_instruction(&mut self, pc: usize, _: usize, q: &mut Vec<InjectedOp>) {
+                if pc == self.header_pc {
+                    q.push(InjectedOp::alu());
+                    q.push(InjectedOp::store(1 << 20));
+                }
+            }
+        }
+        let p = counted_loop(200, 2);
+        // Find the loop's backward branch pc.
+        let branch_pc = p
+            .iter()
+            .find_map(|(pc, i)| match i {
+                Instr::Branch(..) => Some(pc),
+                _ => None,
+            })
+            .unwrap();
+
+        let mut clean = Simulator::new(SimConfig::iot_inorder(), p.clone());
+        let clean_r = clean.run();
+
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), p);
+        sim.set_injection(Box::new(EveryIter { header_pc: branch_pc }));
+        let r = sim.run();
+        assert_eq!(r.stats.injected_ops, 400);
+        assert!(!r.injected_spans.is_empty());
+        assert!(
+            r.stats.cycles > clean_r.stats.cycles,
+            "injection must cost cycles"
+        );
+        // Victim architectural state is untouched: same instruction count.
+        assert_eq!(r.stats.instrs, clean_r.stats.instrs);
+    }
+
+    #[test]
+    fn max_instrs_truncates() {
+        let mut cfg = SimConfig::iot_inorder();
+        cfg.max_instrs = 100;
+        let mut sim = Simulator::new(cfg, counted_loop(10_000, 4));
+        let r = sim.run();
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.instrs, 100);
+    }
+
+    #[test]
+    fn loop_period_shows_up_as_power_periodicity() {
+        // A loop with a cache-missing store every iteration produces a
+        // power trace whose autocorrelation peaks at the iteration period.
+        let mut b = ProgramBuilder::new();
+        let (i, n, base) = (Reg::R1, Reg::R2, Reg::R4);
+        b.li(n, 4000).li(i, 0).li(base, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        for _ in 0..16 {
+            b.add(Reg::R3, Reg::R3, i);
+        }
+        // Stride of 64 words = 512 B: misses every line.
+        b.store(Reg::R3, base, 0).addi(base, base, 64);
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let mut cfg = SimConfig::iot_inorder();
+        cfg.sample_interval = 4;
+        let mut sim = Simulator::new(cfg, b.build().unwrap());
+        let r = sim.run();
+        let s = &r.power.samples;
+        let mean = s.iter().sum::<f32>() / s.len() as f32;
+        let var: f32 = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>();
+        assert!(var > 0.0, "power must fluctuate with loop activity");
+    }
+}

@@ -1,0 +1,120 @@
+use serde::{Deserialize, Serialize};
+
+use eddie_isa::InstrClass;
+
+/// Functional-unit class of an injected dynamic instruction.
+///
+/// The paper's injections are *idealised*: dynamic instructions are
+/// inserted "directly into the simulated instruction stream without
+/// changing the application's code or using any architectural registers"
+/// (§5.3). Injected operations therefore carry only a class (for timing
+/// and power) and, for memory operations, an explicit byte address (so
+/// an attacker's cache footprint is modelled without touching the
+/// victim's registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectedOpKind {
+    /// Single-cycle integer ALU operation ("on-chip" in §5.7).
+    IntAlu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide.
+    Div,
+    /// Memory load at an attacker-chosen address.
+    Load,
+    /// Memory store at an attacker-chosen address ("off-chip" in §5.7
+    /// when the address stream misses the caches).
+    Store,
+}
+
+impl InjectedOpKind {
+    /// Maps to the ISA instruction class used by the timing and power
+    /// models.
+    pub fn instr_class(self) -> InstrClass {
+        match self {
+            InjectedOpKind::IntAlu => InstrClass::IntAlu,
+            InjectedOpKind::Mul => InstrClass::Mul,
+            InjectedOpKind::Div => InstrClass::Div,
+            InjectedOpKind::Load => InstrClass::Load,
+            InjectedOpKind::Store => InstrClass::Store,
+        }
+    }
+}
+
+/// One injected dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedOp {
+    /// Functional-unit class.
+    pub kind: InjectedOpKind,
+    /// Byte address accessed by `Load`/`Store` kinds; ignored otherwise.
+    pub byte_addr: u64,
+}
+
+impl InjectedOp {
+    /// Convenience constructor for an ALU op.
+    pub fn alu() -> InjectedOp {
+        InjectedOp { kind: InjectedOpKind::IntAlu, byte_addr: 0 }
+    }
+
+    /// Convenience constructor for a store at `byte_addr`.
+    pub fn store(byte_addr: u64) -> InjectedOp {
+        InjectedOp { kind: InjectedOpKind::Store, byte_addr }
+    }
+
+    /// Convenience constructor for a load at `byte_addr`.
+    pub fn load(byte_addr: u64) -> InjectedOp {
+        InjectedOp { kind: InjectedOpKind::Load, byte_addr }
+    }
+}
+
+/// Attack model hook consulted by the simulator after every retired
+/// instruction of the victim program.
+///
+/// Implementations push the dynamic instructions they want executed
+/// *now* into `queue`; the simulator runs them (affecting timing, the
+/// caches and the power trace) before continuing with the victim's next
+/// instruction, and records the injected cycles as ground truth in
+/// [`SimResult::injected_spans`](crate::SimResult).
+///
+/// The `eddie-inject` crate provides ready-made implementations (bursts
+/// outside loops, per-iteration loop-body injections with a
+/// contamination rate).
+pub trait InjectionHook {
+    /// Called with the pc of the instruction that just retired and the
+    /// pc about to execute. Push injected ops into `queue`.
+    fn on_instruction(&mut self, retired_pc: usize, next_pc: usize, queue: &mut Vec<InjectedOp>);
+}
+
+/// The do-nothing hook used when no attack is configured.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInjection;
+
+impl InjectionHook for NoInjection {
+    fn on_instruction(&mut self, _: usize, _: usize, _: &mut Vec<InjectedOp>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_classes() {
+        assert_eq!(InjectedOpKind::IntAlu.instr_class(), InstrClass::IntAlu);
+        assert_eq!(InjectedOpKind::Store.instr_class(), InstrClass::Store);
+        assert_eq!(InjectedOpKind::Div.instr_class(), InstrClass::Div);
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        assert_eq!(InjectedOp::alu().kind, InjectedOpKind::IntAlu);
+        let s = InjectedOp::store(640);
+        assert_eq!((s.kind, s.byte_addr), (InjectedOpKind::Store, 640));
+        assert_eq!(InjectedOp::load(8).kind, InjectedOpKind::Load);
+    }
+
+    #[test]
+    fn no_injection_pushes_nothing() {
+        let mut q = Vec::new();
+        NoInjection.on_instruction(0, 1, &mut q);
+        assert!(q.is_empty());
+    }
+}

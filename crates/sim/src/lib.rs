@@ -1,0 +1,66 @@
+//! Cycle-level processor simulation for the EDDIE reproduction.
+//!
+//! The paper evaluates EDDIE both on a real IoT board and on the SESC
+//! cycle-accurate simulator with Wattch/CACTI power models (§5.1, §5.3).
+//! This crate is our stand-in for both: it executes `eddie-isa` programs
+//! on configurable core models and produces
+//!
+//! * a **power trace** (activity-based energy accounting averaged over a
+//!   configurable sample interval — the paper samples every 20 cycles),
+//! * a **region trace** (cycle-stamped enter/exit events from the
+//!   training instrumentation markers), and
+//! * ground-truth **injection spans** when an [`InjectionHook`] is
+//!   attached, so detector metrics can be computed exactly.
+//!
+//! Two timing models are provided, mirroring the paper's §5.3 sensitivity
+//! study: an in-order core with configurable issue width and pipeline
+//! depth, and an out-of-order core with configurable ROB size, issue
+//! width and pipeline depth. Both share the cache hierarchy
+//! ([`CacheHierarchy`]) and bimodal branch predictor ([`BranchPredictor`]).
+//!
+//! # Examples
+//!
+//! Run a small instrumented loop and inspect the power trace:
+//!
+//! ```
+//! use eddie_isa::{ProgramBuilder, Reg, RegionId};
+//! use eddie_sim::{SimConfig, Simulator};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let (i, n) = (Reg::R1, Reg::R2);
+//! b.li(n, 4096).li(i, 0);
+//! b.region_enter(RegionId::new(0));
+//! let top = b.label_here("top");
+//! b.addi(i, i, 1).blt_label(i, n, top);
+//! b.region_exit(RegionId::new(0));
+//! b.halt();
+//!
+//! let mut sim = Simulator::new(SimConfig::iot_inorder(), b.build()?);
+//! let result = sim.run();
+//! assert!(result.stats.cycles > 4096);
+//! assert_eq!(result.regions.len(), 1);
+//! assert!(!result.power.samples.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod cache;
+mod config;
+mod engine;
+mod inject;
+mod machine;
+mod power;
+mod result;
+mod timing;
+
+pub use branch::BranchPredictor;
+pub use cache::{Cache, CacheConfig, CacheHierarchy, CacheLevelConfig, MemAccess};
+pub use config::{CoreConfig, CoreKind, SimConfig};
+pub use engine::Simulator;
+pub use inject::{InjectedOp, InjectedOpKind, InjectionHook, NoInjection};
+pub use machine::Machine;
+pub use power::{PowerConfig, PowerTrace};
+pub use result::{RegionSpan, SimResult, SimStats};

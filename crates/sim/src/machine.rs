@@ -1,0 +1,276 @@
+use eddie_isa::{Instr, Program, Reg};
+
+/// Architectural state: register file, data memory and program counter.
+///
+/// Memory is word-addressed (64-bit words); addresses wrap modulo the
+/// memory size, which must be a power of two. This keeps the functional
+/// model panic-free without per-access bounds branches in the hot path
+/// beyond a mask.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_isa::Reg;
+/// use eddie_sim::Machine;
+///
+/// let mut m = Machine::new(1 << 10);
+/// m.write_reg(Reg::R1, 42);
+/// assert_eq!(m.reg(Reg::R1), 42);
+/// m.write_mem(5, 7);
+/// assert_eq!(m.mem(5), 7);
+/// // R0 stays zero.
+/// m.write_reg(Reg::R0, 99);
+/// assert_eq!(m.reg(Reg::R0), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [i64; Reg::COUNT],
+    mem: Vec<i64>,
+    mask: usize,
+    pc: usize,
+}
+
+/// Functional outcome of one instruction, consumed by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StepOutcome {
+    /// Program counter of the next instruction.
+    pub next_pc: usize,
+    /// For branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// For loads/stores: the accessed *byte* address.
+    pub mem_byte_addr: Option<u64>,
+    /// The machine executed `Halt`.
+    pub halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed registers and `mem_words` words of
+    /// zeroed memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_words` is not a power of two.
+    pub fn new(mem_words: usize) -> Machine {
+        assert!(mem_words.is_power_of_two(), "memory size must be a power of two");
+        Machine { regs: [0; Reg::COUNT], mem: vec![0; mem_words], mask: mem_words - 1, pc: 0 }
+    }
+
+    /// Reads a register (`R0` always reads 0).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register; writes to `R0` are discarded.
+    #[inline]
+    pub fn write_reg(&mut self, r: Reg, v: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Reads the memory word at `addr` (wrapped modulo the memory size).
+    #[inline]
+    pub fn mem(&self, addr: i64) -> i64 {
+        self.mem[(addr as usize) & self.mask]
+    }
+
+    /// Writes the memory word at `addr` (wrapped modulo the memory size).
+    #[inline]
+    pub fn write_mem(&mut self, addr: i64, v: i64) {
+        let a = (addr as usize) & self.mask;
+        self.mem[a] = v;
+    }
+
+    /// Bulk-initialises memory starting at word `base` — used by
+    /// workloads to set up their inputs.
+    pub fn load_image(&mut self, base: usize, words: &[i64]) {
+        for (i, &w) in words.iter().enumerate() {
+            let a = (base + i) & self.mask;
+            self.mem[a] = w;
+        }
+    }
+
+    /// Current program counter.
+    #[inline]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Resets the program counter (registers and memory are untouched).
+    pub fn set_pc(&mut self, pc: usize) {
+        self.pc = pc;
+    }
+
+    /// Executes the instruction at the current pc functionally and
+    /// advances the pc. Returns what the timing model needs to know.
+    #[inline]
+    pub(crate) fn step(&mut self, program: &Program) -> StepOutcome {
+        let pc = self.pc;
+        let i = program[pc];
+        let mut out =
+            StepOutcome { next_pc: pc + 1, taken: None, mem_byte_addr: None, halted: false };
+        match i {
+            Instr::Add(d, a, b) => self.write_reg(d, self.reg(a).wrapping_add(self.reg(b))),
+            Instr::Sub(d, a, b) => self.write_reg(d, self.reg(a).wrapping_sub(self.reg(b))),
+            Instr::Mul(d, a, b) => self.write_reg(d, self.reg(a).wrapping_mul(self.reg(b))),
+            Instr::Div(d, a, b) => {
+                let bv = self.reg(b);
+                let v = if bv == 0 { 0 } else { self.reg(a).wrapping_div(bv) };
+                self.write_reg(d, v);
+            }
+            Instr::Rem(d, a, b) => {
+                let bv = self.reg(b);
+                let v = if bv == 0 { 0 } else { self.reg(a).wrapping_rem(bv) };
+                self.write_reg(d, v);
+            }
+            Instr::And(d, a, b) => self.write_reg(d, self.reg(a) & self.reg(b)),
+            Instr::Or(d, a, b) => self.write_reg(d, self.reg(a) | self.reg(b)),
+            Instr::Xor(d, a, b) => self.write_reg(d, self.reg(a) ^ self.reg(b)),
+            Instr::Sll(d, a, b) => self.write_reg(d, self.reg(a) << (self.reg(b) & 63)),
+            Instr::Srl(d, a, b) => {
+                self.write_reg(d, ((self.reg(a) as u64) >> (self.reg(b) & 63)) as i64)
+            }
+            Instr::Sra(d, a, b) => self.write_reg(d, self.reg(a) >> (self.reg(b) & 63)),
+            Instr::Slt(d, a, b) => self.write_reg(d, (self.reg(a) < self.reg(b)) as i64),
+            Instr::Addi(d, a, imm) => self.write_reg(d, self.reg(a).wrapping_add(imm)),
+            Instr::Andi(d, a, imm) => self.write_reg(d, self.reg(a) & imm),
+            Instr::Ori(d, a, imm) => self.write_reg(d, self.reg(a) | imm),
+            Instr::Xori(d, a, imm) => self.write_reg(d, self.reg(a) ^ imm),
+            Instr::Slli(d, a, imm) => self.write_reg(d, self.reg(a) << (imm & 63)),
+            Instr::Srli(d, a, imm) => {
+                self.write_reg(d, ((self.reg(a) as u64) >> (imm & 63)) as i64)
+            }
+            Instr::Slti(d, a, imm) => self.write_reg(d, (self.reg(a) < imm) as i64),
+            Instr::Load(d, a, off) => {
+                let addr = self.reg(a).wrapping_add(off);
+                out.mem_byte_addr = Some(((addr as u64) & (self.mask as u64)) * 8);
+                self.write_reg(d, self.mem(addr));
+            }
+            Instr::Store(v, a, off) => {
+                let addr = self.reg(a).wrapping_add(off);
+                out.mem_byte_addr = Some(((addr as u64) & (self.mask as u64)) * 8);
+                self.write_mem(addr, self.reg(v));
+            }
+            Instr::Branch(c, a, b, t) => {
+                let taken = c.eval(self.reg(a), self.reg(b));
+                out.taken = Some(taken);
+                if taken {
+                    out.next_pc = t;
+                }
+            }
+            Instr::Jump(t) => out.next_pc = t,
+            Instr::Jal(d, t) => {
+                self.write_reg(d, (pc + 1) as i64);
+                out.next_pc = t;
+            }
+            Instr::Jr(a) => out.next_pc = self.reg(a) as usize,
+            Instr::Nop | Instr::RegionEnter(_) | Instr::RegionExit(_) => {}
+            Instr::Halt => {
+                out.halted = true;
+                out.next_pc = pc;
+            }
+        }
+        self.pc = out.next_pc;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    fn run_to_halt(program: &Program, m: &mut Machine) {
+        for _ in 0..100_000 {
+            if m.step(program).halted {
+                return;
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_loop_computes_sum() {
+        let mut b = ProgramBuilder::new();
+        let (i, n, sum) = (Reg::R1, Reg::R2, Reg::R3);
+        b.li(n, 10).li(i, 0).li(sum, 0);
+        let top = b.label_here("top");
+        b.add(sum, sum, i).addi(i, i, 1).blt_label(i, n, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(1 << 10);
+        run_to_halt(&p, &mut m);
+        assert_eq!(m.reg(sum), 45);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 100).li(Reg::R2, 7);
+        b.store(Reg::R2, Reg::R1, 3);
+        b.load(Reg::R3, Reg::R1, 3);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(1 << 10);
+        run_to_halt(&p, &mut m);
+        assert_eq!(m.reg(Reg::R3), 7);
+        assert_eq!(m.mem(103), 7);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 10).li(Reg::R2, 0);
+        b.div(Reg::R3, Reg::R1, Reg::R2);
+        b.rem(Reg::R4, Reg::R1, Reg::R2);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(1 << 10);
+        run_to_halt(&p, &mut m);
+        assert_eq!(m.reg(Reg::R3), 0);
+        assert_eq!(m.reg(Reg::R4), 0);
+    }
+
+    #[test]
+    fn memory_wraps_instead_of_panicking() {
+        let mut m = Machine::new(16);
+        m.write_mem(16, 5); // wraps to 0
+        assert_eq!(m.mem(0), 5);
+        m.write_mem(-1, 9); // wraps to 15
+        assert_eq!(m.mem(15), 9);
+    }
+
+    #[test]
+    fn jal_and_jr_link() {
+        let mut b = ProgramBuilder::new();
+        // 0: jal r1, @3 ; 1: addi r2,r0,1 ; 2: halt ; 3: jr r1
+        b.raw(eddie_isa::Instr::Jal(Reg::R1, 3));
+        b.li(Reg::R2, 1);
+        b.halt();
+        b.raw(eddie_isa::Instr::Jr(Reg::R1));
+        let p = b.build().unwrap();
+        let mut m = Machine::new(16);
+        run_to_halt(&p, &mut m);
+        assert_eq!(m.reg(Reg::R2), 1);
+        assert_eq!(m.reg(Reg::R1), 1);
+    }
+
+    #[test]
+    fn load_image_places_words() {
+        let mut m = Machine::new(64);
+        m.load_image(10, &[1, 2, 3]);
+        assert_eq!(m.mem(11), 2);
+    }
+
+    #[test]
+    fn step_reports_byte_addresses() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 4).load(Reg::R2, Reg::R1, 0).halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(64);
+        m.step(&p); // li
+        let out = m.step(&p); // load
+        assert_eq!(out.mem_byte_addr, Some(32)); // word 4 => byte 32
+    }
+}

@@ -1,0 +1,203 @@
+use serde::{Deserialize, Serialize};
+
+use crate::MemAccess;
+use eddie_isa::InstrClass;
+
+/// Per-event energies of the activity-based power model, in arbitrary
+/// energy units (the spectral analysis only cares about *relative*
+/// fluctuations, so no attempt is made to calibrate to joules).
+///
+/// This plays the role of the Wattch + CACTI models the paper attaches
+/// to SESC (§5.3): every micro-architectural event deposits a fixed
+/// energy into the current power sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Front-end cost charged to every instruction (fetch + decode).
+    pub fetch: f32,
+    /// Execution cost of a single-cycle integer ALU operation.
+    pub int_alu: f32,
+    /// Execution cost of an integer multiply.
+    pub mul: f32,
+    /// Execution cost of an integer divide.
+    pub div: f32,
+    /// Address-generation + L1 lookup cost of any memory operation.
+    pub mem_op: f32,
+    /// Additional cost of an L2 lookup (L1 miss).
+    pub l2_access: f32,
+    /// Additional cost of a DRAM access (off-chip; dominates, which is
+    /// what makes off-chip injections so visible in §5.7).
+    pub dram_access: f32,
+    /// Pipeline-flush cost charged on a branch mispredict.
+    pub flush: f32,
+    /// Static leakage per cycle.
+    pub leakage_per_cycle: f32,
+}
+
+impl Default for PowerConfig {
+    fn default() -> PowerConfig {
+        PowerConfig {
+            fetch: 1.0,
+            int_alu: 1.0,
+            mul: 3.0,
+            div: 8.0,
+            mem_op: 2.0,
+            l2_access: 6.0,
+            dram_access: 40.0,
+            flush: 4.0,
+            leakage_per_cycle: 0.5,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Energy of one dynamic instruction of the given class, excluding
+    /// cache-hierarchy effects.
+    pub fn instr_energy(&self, class: InstrClass) -> f32 {
+        let exec = match class {
+            InstrClass::IntAlu => self.int_alu,
+            InstrClass::Mul => self.mul,
+            InstrClass::Div => self.div,
+            InstrClass::Load | InstrClass::Store => self.mem_op,
+            // Nops and markers consume no functional unit and, for
+            // markers, exist only in training builds — charge nothing.
+            InstrClass::Other => return 0.0,
+        };
+        self.fetch + exec
+    }
+
+    /// Additional energy implied by a memory access outcome.
+    pub fn access_energy(&self, access: &MemAccess) -> f32 {
+        let mut e = 0.0;
+        if access.l2_hit || access.dram {
+            e += self.l2_access;
+        }
+        if access.dram {
+            e += self.dram_access;
+        }
+        e
+    }
+}
+
+/// A power trace: average power per `sample_interval`-cycle bucket.
+///
+/// This is the signal EDDIE analyses in the paper's simulator-based
+/// experiments (§5.3) and the modulating signal for the EM channel in
+/// the device-based experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// Average power per bucket (energy / cycles).
+    pub samples: Vec<f32>,
+    /// Bucket width in cycles.
+    pub sample_interval: u64,
+    /// Core clock, for converting buckets to seconds.
+    pub clock_hz: f64,
+}
+
+impl PowerTrace {
+    /// Sample rate of the trace in hertz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.clock_hz / self.sample_interval as f64
+    }
+
+    /// Duration covered by the trace, in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate_hz()
+    }
+
+    /// Converts a cycle count to a sample index.
+    pub fn sample_of_cycle(&self, cycle: u64) -> usize {
+        (cycle / self.sample_interval) as usize
+    }
+}
+
+/// Accumulates event energies into sample buckets during simulation.
+#[derive(Debug, Clone)]
+pub(crate) struct PowerRecorder {
+    energy: Vec<f32>,
+    interval: u64,
+    clock_hz: f64,
+}
+
+impl PowerRecorder {
+    pub(crate) fn new(interval: u64, clock_hz: f64) -> PowerRecorder {
+        assert!(interval > 0, "sample interval must be positive");
+        PowerRecorder { energy: Vec::new(), interval, clock_hz }
+    }
+
+    /// Deposits `e` energy units at `cycle`.
+    #[inline]
+    pub(crate) fn add(&mut self, cycle: u64, e: f32) {
+        let idx = (cycle / self.interval) as usize;
+        if idx >= self.energy.len() {
+            self.energy.resize(idx + 1, 0.0);
+        }
+        self.energy[idx] += e;
+    }
+
+    /// Finalises the trace: adds leakage to every bucket up to
+    /// `end_cycle` and converts energies to average power.
+    pub(crate) fn finish(mut self, end_cycle: u64, leakage_per_cycle: f32) -> PowerTrace {
+        let buckets = (end_cycle / self.interval + 1) as usize;
+        if buckets > self.energy.len() {
+            self.energy.resize(buckets, 0.0);
+        }
+        let per_bucket_leak = leakage_per_cycle * self.interval as f32;
+        let inv = 1.0 / self.interval as f32;
+        for e in &mut self.energy {
+            *e = (*e + per_bucket_leak) * inv;
+        }
+        PowerTrace { samples: self.energy, sample_interval: self.interval, clock_hz: self.clock_hz }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instr_energy_orders_by_class_cost() {
+        let p = PowerConfig::default();
+        assert!(p.instr_energy(InstrClass::Div) > p.instr_energy(InstrClass::Mul));
+        assert!(p.instr_energy(InstrClass::Mul) > p.instr_energy(InstrClass::IntAlu));
+        assert_eq!(p.instr_energy(InstrClass::Other), 0.0);
+    }
+
+    #[test]
+    fn access_energy_reflects_depth() {
+        let p = PowerConfig::default();
+        let l1 = MemAccess { l1_hit: true, ..MemAccess::default() };
+        let l2 = MemAccess { l2_hit: true, ..MemAccess::default() };
+        let dram = MemAccess { dram: true, ..MemAccess::default() };
+        assert_eq!(p.access_energy(&l1), 0.0);
+        assert!(p.access_energy(&dram) > p.access_energy(&l2));
+    }
+
+    #[test]
+    fn recorder_buckets_and_normalises() {
+        let mut r = PowerRecorder::new(10, 1e9);
+        r.add(0, 5.0);
+        r.add(9, 5.0);
+        r.add(10, 20.0);
+        let trace = r.finish(29, 0.0);
+        assert_eq!(trace.samples.len(), 3);
+        assert!((trace.samples[0] - 1.0).abs() < 1e-6); // 10 units / 10 cycles
+        assert!((trace.samples[1] - 2.0).abs() < 1e-6);
+        assert_eq!(trace.samples[2], 0.0);
+    }
+
+    #[test]
+    fn leakage_fills_idle_buckets() {
+        let r = PowerRecorder::new(10, 1e9);
+        let trace = r.finish(19, 0.5);
+        assert_eq!(trace.samples.len(), 2);
+        assert!((trace.samples[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_conversions() {
+        let t = PowerTrace { samples: vec![0.0; 100], sample_interval: 20, clock_hz: 2e9 };
+        assert!((t.sample_rate_hz() - 1e8).abs() < 1.0);
+        assert!((t.duration_s() - 1e-6).abs() < 1e-12);
+        assert_eq!(t.sample_of_cycle(45), 2);
+    }
+}

@@ -1,0 +1,125 @@
+use eddie_isa::RegionId;
+use serde::{Deserialize, Serialize};
+
+use crate::PowerTrace;
+
+/// One executed occurrence of an instrumented region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionSpan {
+    /// The region that executed.
+    pub region: RegionId,
+    /// Cycle at which the `RegionEnter` marker retired.
+    pub start_cycle: u64,
+    /// Cycle at which the matching `RegionExit` marker retired.
+    pub end_cycle: u64,
+}
+
+impl RegionSpan {
+    /// Length of the span in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+}
+
+/// Aggregate counters from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Dynamic victim instructions retired (markers excluded).
+    pub instrs: u64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// L1-D hits.
+    pub l1d_hits: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Mispredicted branches (including cold BTB redirects).
+    pub branch_mispredicts: u64,
+    /// Injected dynamic instructions executed.
+    pub injected_ops: u64,
+    /// The run hit the configured `max_instrs` limit before `Halt`.
+    pub truncated: bool,
+}
+
+impl SimStats {
+    /// Instructions per cycle achieved by the victim program.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Aggregate counters.
+    pub stats: SimStats,
+    /// The power trace (EDDIE's input signal, directly or via the EM
+    /// channel).
+    pub power: PowerTrace,
+    /// Cycle-stamped region occurrences from the training markers, in
+    /// execution order.
+    pub regions: Vec<RegionSpan>,
+    /// Ground-truth cycle ranges during which injected instructions
+    /// executed (merged when contiguous). Used by the metrics layer to
+    /// label windows, never by the detector itself.
+    pub injected_spans: Vec<(u64, u64)>,
+}
+
+impl SimResult {
+    /// Returns `true` if any cycle in `[start, end)` overlaps an
+    /// injected span.
+    pub fn overlaps_injection(&self, start: u64, end: u64) -> bool {
+        self.injected_spans.iter().any(|&(s, e)| s < end && start <= e)
+    }
+
+    /// The region executing at `cycle`, if any (markers bracket loops,
+    /// so inter-loop cycles return `None`).
+    pub fn region_at(&self, cycle: u64) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .find(|s| s.start_cycle <= cycle && cycle < s.end_cycle)
+            .map(|s| s.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PowerTrace {
+        PowerTrace { samples: vec![1.0; 10], sample_interval: 20, clock_hz: 1e9 }
+    }
+
+    #[test]
+    fn span_cycles_saturate() {
+        let s = RegionSpan { region: RegionId::new(0), start_cycle: 10, end_cycle: 5 };
+        assert_eq!(s.cycles(), 0);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+        let s = SimStats { instrs: 10, cycles: 20, ..SimStats::default() };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_and_region_queries() {
+        let r = SimResult {
+            stats: SimStats::default(),
+            power: trace(),
+            regions: vec![RegionSpan { region: RegionId::new(1), start_cycle: 100, end_cycle: 200 }],
+            injected_spans: vec![(150, 160)],
+        };
+        assert!(r.overlaps_injection(155, 158));
+        assert!(r.overlaps_injection(0, 151));
+        assert!(!r.overlaps_injection(161, 200));
+        assert_eq!(r.region_at(150), Some(RegionId::new(1)));
+        assert_eq!(r.region_at(250), None);
+    }
+}

@@ -1,0 +1,355 @@
+//! Pipeline timing models.
+//!
+//! Both models consume one dynamic instruction at a time (already
+//! functionally executed) and account for issue-width limits, operand
+//! dependencies, memory latency and branch-mispredict penalties. They
+//! report the cycle at which the instruction *issued*, which is where
+//! its energy is deposited in the power trace.
+
+use eddie_isa::{InstrClass, Reg};
+
+use crate::config::CoreConfig;
+
+/// Latency of a functional operation, excluding the memory hierarchy.
+fn exec_latency(class: InstrClass) -> u64 {
+    match class {
+        InstrClass::IntAlu => 1,
+        InstrClass::Mul => 4,
+        InstrClass::Div => 12,
+        InstrClass::Load | InstrClass::Store => 1, // cache latency added by caller
+        InstrClass::Other => 1,
+    }
+}
+
+/// Per-instruction timing request built by the engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TimingEvent {
+    pub class: InstrClass,
+    /// Extra latency from the data-cache access (0 for non-memory ops).
+    pub mem_latency: u64,
+    /// Extra latency from an instruction-fetch miss.
+    pub fetch_latency: u64,
+    /// The instruction is a mispredicted branch/jump.
+    pub mispredict: bool,
+    /// Source registers (`None` entries ignored).
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register.
+    pub dst: Option<Reg>,
+}
+
+/// Common interface of the two pipeline models.
+pub(crate) trait TimingModel {
+    /// Accounts for one dynamic instruction; returns its issue cycle.
+    fn step(&mut self, ev: &TimingEvent) -> u64;
+    /// The current end-of-pipeline cycle (used as the run's final cycle
+    /// count and for timestamping markers).
+    fn now(&self) -> u64;
+}
+
+/// Creates the timing model selected by `core`.
+pub(crate) fn make_model(core: &CoreConfig) -> Box<dyn TimingModel> {
+    match core.kind {
+        crate::CoreKind::InOrder => Box::new(InOrder::new(core)),
+        crate::CoreKind::OutOfOrder => Box::new(OutOfOrder::new(core)),
+    }
+}
+
+/// In-order scoreboard model: instructions issue in program order, up to
+/// `issue_width` per cycle, stalling until their operands are ready
+/// (stall-on-use for loads). Mispredicted control costs a front-end
+/// refill of `pipeline_depth` cycles.
+#[derive(Debug)]
+pub(crate) struct InOrder {
+    ready: [u64; Reg::COUNT],
+    cycle: u64,
+    issued_this_cycle: usize,
+    issue_width: usize,
+    depth: u64,
+    last_complete: u64,
+}
+
+impl InOrder {
+    pub(crate) fn new(core: &CoreConfig) -> InOrder {
+        assert!(core.issue_width > 0, "issue width must be positive");
+        InOrder {
+            ready: [0; Reg::COUNT],
+            cycle: 0,
+            issued_this_cycle: 0,
+            issue_width: core.issue_width,
+            depth: core.pipeline_depth,
+            last_complete: 0,
+        }
+    }
+}
+
+impl TimingModel for InOrder {
+    fn step(&mut self, ev: &TimingEvent) -> u64 {
+        // Operand stall.
+        let mut earliest = self.cycle + ev.fetch_latency;
+        for src in ev.srcs.into_iter().flatten() {
+            earliest = earliest.max(self.ready[src.index()]);
+        }
+        if earliest > self.cycle {
+            self.cycle = earliest;
+            self.issued_this_cycle = 0;
+        }
+        // Issue-width limit.
+        if self.issued_this_cycle >= self.issue_width {
+            self.cycle += 1;
+            self.issued_this_cycle = 0;
+        }
+        let issue = self.cycle;
+        self.issued_this_cycle += 1;
+
+        let latency = exec_latency(ev.class) + ev.mem_latency;
+        let complete = issue + latency;
+        if let Some(d) = ev.dst {
+            if !d.is_zero() {
+                self.ready[d.index()] = complete;
+            }
+        }
+        self.last_complete = self.last_complete.max(complete);
+
+        if ev.mispredict {
+            // Redirect: fetch restarts after the branch resolves plus the
+            // front-end refill.
+            self.cycle = complete + self.depth;
+            self.issued_this_cycle = 0;
+        }
+        issue
+    }
+
+    fn now(&self) -> u64 {
+        self.cycle.max(self.last_complete)
+    }
+}
+
+/// Analytical out-of-order model: the front end dispatches up to
+/// `issue_width` instructions per cycle into a reorder buffer;
+/// instructions begin execution as soon as their operands are ready
+/// (regardless of program order), and commit in order, up to
+/// `issue_width` per cycle. A full ROB stalls dispatch until the head
+/// commits; mispredicts restart fetch after the branch resolves.
+#[derive(Debug)]
+pub(crate) struct OutOfOrder {
+    ready: [u64; Reg::COUNT],
+    /// Commit cycles of in-flight instructions, in program order.
+    rob: std::collections::VecDeque<u64>,
+    rob_size: usize,
+    fetch_cycle: u64,
+    dispatched_this_cycle: usize,
+    issue_width: usize,
+    depth: u64,
+    last_commit: u64,
+    committed_at_last: usize,
+}
+
+impl OutOfOrder {
+    pub(crate) fn new(core: &CoreConfig) -> OutOfOrder {
+        assert!(core.issue_width > 0, "issue width must be positive");
+        assert!(core.rob_size > 0, "out-of-order core needs a ROB");
+        OutOfOrder {
+            ready: [0; Reg::COUNT],
+            rob: std::collections::VecDeque::with_capacity(core.rob_size),
+            rob_size: core.rob_size,
+            fetch_cycle: 0,
+            dispatched_this_cycle: 0,
+            issue_width: core.issue_width,
+            depth: core.pipeline_depth,
+            last_commit: 0,
+            committed_at_last: 0,
+        }
+    }
+
+    /// Pops ROB entries that have committed by `cycle`.
+    fn drain_rob(&mut self, cycle: u64) {
+        while let Some(&head) = self.rob.front() {
+            if head <= cycle {
+                self.rob.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl TimingModel for OutOfOrder {
+    fn step(&mut self, ev: &TimingEvent) -> u64 {
+        // Front-end bandwidth.
+        if self.dispatched_this_cycle >= self.issue_width {
+            self.fetch_cycle += 1;
+            self.dispatched_this_cycle = 0;
+        }
+        let mut dispatch = self.fetch_cycle + ev.fetch_latency;
+
+        // ROB capacity: wait for the head to commit.
+        self.drain_rob(dispatch);
+        if self.rob.len() >= self.rob_size {
+            let head = *self.rob.front().expect("rob non-empty");
+            dispatch = dispatch.max(head);
+            self.drain_rob(dispatch);
+        }
+        if dispatch > self.fetch_cycle {
+            self.fetch_cycle = dispatch;
+            self.dispatched_this_cycle = 0;
+        }
+        self.dispatched_this_cycle += 1;
+
+        // Execution: starts when operands are ready.
+        let mut exec_start = dispatch;
+        for src in ev.srcs.into_iter().flatten() {
+            exec_start = exec_start.max(self.ready[src.index()]);
+        }
+        let complete = exec_start + exec_latency(ev.class) + ev.mem_latency;
+        if let Some(d) = ev.dst {
+            if !d.is_zero() {
+                self.ready[d.index()] = complete;
+            }
+        }
+
+        // In-order commit with commit-width = issue_width.
+        let mut commit = complete.max(self.last_commit);
+        if commit == self.last_commit {
+            self.committed_at_last += 1;
+            if self.committed_at_last > self.issue_width {
+                commit += 1;
+                self.committed_at_last = 1;
+            }
+        } else {
+            self.committed_at_last = 1;
+        }
+        self.last_commit = commit;
+        self.rob.push_back(commit);
+
+        if ev.mispredict {
+            self.fetch_cycle = complete + self.depth;
+            self.dispatched_this_cycle = 0;
+        }
+        dispatch
+    }
+
+    fn now(&self) -> u64 {
+        self.fetch_cycle.max(self.last_commit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreKind;
+
+    fn ev(class: InstrClass) -> TimingEvent {
+        TimingEvent {
+            class,
+            mem_latency: 0,
+            fetch_latency: 0,
+            mispredict: false,
+            srcs: [None, None],
+            dst: None,
+        }
+    }
+
+    fn inorder(width: usize) -> InOrder {
+        InOrder::new(&CoreConfig {
+            kind: CoreKind::InOrder,
+            issue_width: width,
+            pipeline_depth: 10,
+            rob_size: 0,
+            clock_hz: 1e9,
+        })
+    }
+
+    fn ooo(width: usize, rob: usize) -> OutOfOrder {
+        OutOfOrder::new(&CoreConfig {
+            kind: CoreKind::OutOfOrder,
+            issue_width: width,
+            pipeline_depth: 10,
+            rob_size: rob,
+            clock_hz: 1e9,
+        })
+    }
+
+    #[test]
+    fn inorder_respects_issue_width() {
+        let mut m = inorder(2);
+        let issues: Vec<u64> = (0..4).map(|_| m.step(&ev(InstrClass::IntAlu))).collect();
+        assert_eq!(issues, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn inorder_stalls_on_raw_dependency() {
+        let mut m = inorder(4);
+        let mut producer = ev(InstrClass::Div); // 12-cycle latency
+        producer.dst = Some(Reg::R1);
+        m.step(&producer);
+        let mut consumer = ev(InstrClass::IntAlu);
+        consumer.srcs = [Some(Reg::R1), None];
+        let issue = m.step(&consumer);
+        assert_eq!(issue, 12);
+    }
+
+    #[test]
+    fn inorder_mispredict_adds_depth_penalty() {
+        let mut m = inorder(1);
+        let mut b = ev(InstrClass::IntAlu);
+        b.mispredict = true;
+        m.step(&b); // issues at 0, completes 1, refill 10 -> next fetch at 11
+        let next = m.step(&ev(InstrClass::IntAlu));
+        assert_eq!(next, 11);
+    }
+
+    #[test]
+    fn ooo_hides_latency_of_independent_work() {
+        // A long-latency op followed by independent ALU ops: OoO
+        // dispatches them without waiting.
+        let mut m = ooo(2, 32);
+        let mut long = ev(InstrClass::Div);
+        long.dst = Some(Reg::R1);
+        m.step(&long);
+        let issue = m.step(&ev(InstrClass::IntAlu));
+        assert_eq!(issue, 0, "independent op dispatches same cycle");
+    }
+
+    #[test]
+    fn ooo_rob_fills_and_stalls() {
+        let mut m = ooo(4, 4);
+        // Fill the ROB with slow dependent ops so entries stay in flight.
+        let mut e = ev(InstrClass::Div);
+        e.dst = Some(Reg::R1);
+        e.srcs = [Some(Reg::R1), None];
+        let first_dispatches: Vec<u64> = (0..8).map(|_| m.step(&e)).collect();
+        // Later dispatches must be strictly delayed by ROB pressure.
+        assert!(first_dispatches[7] > first_dispatches[3]);
+    }
+
+    #[test]
+    fn ooo_dependent_chain_serialises() {
+        let mut m = ooo(4, 64);
+        let mut e = ev(InstrClass::IntAlu);
+        e.dst = Some(Reg::R2);
+        e.srcs = [Some(Reg::R2), None];
+        m.step(&e);
+        m.step(&e);
+        m.step(&e);
+        // now() advances past the chain length even though dispatch was quick.
+        assert!(m.now() >= 3);
+    }
+
+    #[test]
+    fn models_monotonically_advance() {
+        let mut io = inorder(2);
+        let mut oo = ooo(2, 16);
+        let mut prev_io = 0;
+        let mut prev_oo = 0;
+        for k in 0..100u64 {
+            let mut e = ev(if k % 3 == 0 { InstrClass::Mul } else { InstrClass::IntAlu });
+            e.mem_latency = if k % 7 == 0 { 20 } else { 0 };
+            let a = io.step(&e);
+            let b = oo.step(&e);
+            assert!(a >= prev_io);
+            assert!(b >= prev_oo);
+            prev_io = a;
+            prev_oo = b;
+        }
+    }
+}

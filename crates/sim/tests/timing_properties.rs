@@ -1,0 +1,120 @@
+//! Property tests on the simulator: monotone timing, power-trace
+//! consistency, and injection ground-truth invariants.
+
+use eddie_isa::{ProgramBuilder, Reg, RegionId};
+use eddie_sim::{InjectedOp, InjectionHook, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn counted_loop(iters: i64, adds: usize, loads: usize) -> eddie_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n, acc, base) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.li(n, iters).li(i, 0).li(base, 1024);
+    b.region_enter(RegionId::new(0));
+    let top = b.label_here("top");
+    for _ in 0..adds {
+        b.add(acc, acc, i);
+    }
+    for k in 0..loads {
+        b.load(Reg::R5, base, k as i64);
+    }
+    b.addi(i, i, 1).blt_label(i, n, top);
+    b.region_exit(RegionId::new(0));
+    b.halt();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// More work never takes fewer cycles on the same core.
+    #[test]
+    fn cycles_grow_with_body_size(iters in 20i64..200, adds in 1usize..6) {
+        let small = Simulator::new(SimConfig::iot_inorder(), counted_loop(iters, adds, 0)).run();
+        let big = Simulator::new(SimConfig::iot_inorder(), counted_loop(iters, adds + 3, 0)).run();
+        prop_assert!(big.stats.cycles > small.stats.cycles);
+        prop_assert!(big.stats.instrs > small.stats.instrs);
+    }
+
+    /// The power trace covers the whole run and every sample is
+    /// at least the leakage floor.
+    #[test]
+    fn power_trace_is_complete(iters in 20i64..300, loads in 0usize..4) {
+        let cfg = SimConfig::iot_inorder();
+        let leak = cfg.power.leakage_per_cycle;
+        let r = Simulator::new(cfg.clone(), counted_loop(iters, 2, loads)).run();
+        let buckets = (r.stats.cycles / cfg.sample_interval + 1) as usize;
+        prop_assert_eq!(r.power.samples.len(), buckets);
+        for &p in &r.power.samples {
+            prop_assert!(p >= leak - 1e-6);
+            prop_assert!(p.is_finite());
+        }
+    }
+
+    /// Region spans are ordered, non-overlapping, and within the run.
+    #[test]
+    fn region_spans_are_well_formed(iters in 20i64..200) {
+        let r = Simulator::new(SimConfig::sesc_ooo(), counted_loop(iters, 3, 1)).run();
+        let mut prev_end = 0;
+        for s in &r.regions {
+            prop_assert!(s.start_cycle >= prev_end);
+            prop_assert!(s.end_cycle >= s.start_cycle);
+            prop_assert!(s.end_cycle <= r.stats.cycles);
+            prev_end = s.end_cycle;
+        }
+    }
+
+    /// Injected ops are all accounted: count matches the hook's
+    /// emissions and spans are ordered and disjoint.
+    #[test]
+    fn injection_ground_truth_is_consistent(iters in 30i64..150, per_iter in 1usize..5) {
+        struct EveryIter { pc: usize, per: usize }
+        impl InjectionHook for EveryIter {
+            fn on_instruction(&mut self, pc: usize, _: usize, q: &mut Vec<InjectedOp>) {
+                if pc == self.pc {
+                    for _ in 0..self.per {
+                        q.push(InjectedOp::alu());
+                    }
+                }
+            }
+        }
+        let program = counted_loop(iters, 2, 0);
+        let branch_pc = program
+            .iter()
+            .find_map(|(pc, i)| matches!(i, eddie_isa::Instr::Branch(..)).then_some(pc))
+            .unwrap();
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), program);
+        sim.set_injection(Box::new(EveryIter { pc: branch_pc, per: per_iter }));
+        let r = sim.run();
+        prop_assert_eq!(r.stats.injected_ops, iters as u64 * per_iter as u64);
+        let mut prev_end = 0u64;
+        for &(s, e) in &r.injected_spans {
+            prop_assert!(s >= prev_end);
+            prop_assert!(e >= s);
+            prev_end = e + 1;
+        }
+    }
+}
+
+/// Architectural results are identical across timing models: in-order
+/// and out-of-order runs of the same program and inputs end with the
+/// same memory contents (the timing model only decides *when*, never
+/// *what*).
+#[test]
+fn timing_models_agree_on_architectural_state() {
+    use eddie_workloads::{Benchmark, WorkloadParams};
+
+    for b in [Benchmark::Bitcount, Benchmark::Sha, Benchmark::Dijkstra] {
+        let w = b.workload(&WorkloadParams { scale: 1 });
+
+        let result_word = |cfg: SimConfig| {
+            let mut sim = Simulator::new(cfg, w.program().clone());
+            w.prepare(sim.machine_mut(), 5);
+            sim.run();
+            // Every kernel publishes its result at param slot 8.
+            sim.machine_mut().mem(16 + 8)
+        };
+        let io = result_word(SimConfig::iot_inorder());
+        let oo = result_word(SimConfig::sesc_ooo());
+        assert_eq!(io, oo, "{b:?}: timing model changed the computation");
+    }
+}

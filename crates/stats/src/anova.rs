@@ -1,0 +1,253 @@
+//! N-way main-effects analysis of variance.
+//!
+//! The paper's §5.3 study simulates 51 processor configurations (issue
+//! width × pipeline depth × ROB size for in-order and out-of-order
+//! cores) and uses N-way ANOVA to ask which factors significantly
+//! affect EDDIE's detection latency, false rejections and accuracy.
+//! This module implements the fixed-effects, main-effects-only ANOVA
+//! used by that study: per-factor sums of squares against the residual,
+//! F statistics, and p-values from the F distribution.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::f_sf;
+
+/// One observation: a response value plus the level of every factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The measured response (e.g. detection latency in ms).
+    pub response: f64,
+    /// Factor levels, one per factor, encoded as small integers.
+    pub levels: Vec<u32>,
+}
+
+/// Result for one factor of the ANOVA table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactorEffect {
+    /// Factor name.
+    pub name: String,
+    /// Sum of squares attributed to the factor.
+    pub ss: f64,
+    /// Degrees of freedom (levels - 1).
+    pub df: f64,
+    /// F statistic against the residual mean square.
+    pub f: f64,
+    /// p-value `P(F > f)`.
+    pub p_value: f64,
+}
+
+impl FactorEffect {
+    /// Whether the effect is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Full ANOVA table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnovaTable {
+    /// One entry per factor, in input order.
+    pub effects: Vec<FactorEffect>,
+    /// Residual sum of squares.
+    pub ss_error: f64,
+    /// Residual degrees of freedom.
+    pub df_error: f64,
+    /// Total sum of squares.
+    pub ss_total: f64,
+}
+
+/// Error from [`anova`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnovaError {
+    /// Fewer than two observations.
+    TooFewObservations,
+    /// Observations disagree on the number of factors, or names don't
+    /// match the observations.
+    ShapeMismatch,
+    /// No residual degrees of freedom remain.
+    NoResidual,
+}
+
+impl std::fmt::Display for AnovaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnovaError::TooFewObservations => f.write_str("need at least two observations"),
+            AnovaError::ShapeMismatch => f.write_str("factor shapes are inconsistent"),
+            AnovaError::NoResidual => f.write_str("no residual degrees of freedom"),
+        }
+    }
+}
+
+impl std::error::Error for AnovaError {}
+
+/// Runs a main-effects N-way ANOVA.
+///
+/// `factor_names` supplies one name per factor; every observation must
+/// carry that many levels.
+///
+/// # Errors
+///
+/// Returns [`AnovaError`] on inconsistent input shapes, too few
+/// observations, or zero residual degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_stats::anova::{anova, Observation};
+///
+/// // Factor 0 has a strong effect; factor 1 has none.
+/// let mut obs = Vec::new();
+/// for a in 0..2u32 {
+///     for b in 0..3u32 {
+///         for rep in 0..5 {
+///             obs.push(Observation {
+///                 response: a as f64 * 10.0 + (rep % 2) as f64 * 0.1,
+///                 levels: vec![a, b],
+///             });
+///         }
+///     }
+/// }
+/// let table = anova(&obs, &["width", "depth"])?;
+/// assert!(table.effects[0].significant(0.05));
+/// assert!(!table.effects[1].significant(0.05));
+/// # Ok::<(), eddie_stats::anova::AnovaError>(())
+/// ```
+pub fn anova(observations: &[Observation], factor_names: &[&str]) -> Result<AnovaTable, AnovaError> {
+    let n = observations.len();
+    if n < 2 {
+        return Err(AnovaError::TooFewObservations);
+    }
+    let k = factor_names.len();
+    if observations.iter().any(|o| o.levels.len() != k) {
+        return Err(AnovaError::ShapeMismatch);
+    }
+
+    let grand_mean = observations.iter().map(|o| o.response).sum::<f64>() / n as f64;
+    let ss_total: f64 =
+        observations.iter().map(|o| (o.response - grand_mean).powi(2)).sum();
+
+    // Main effect of each factor: SS = Σ_level n_level (mean_level - grand)²
+    let mut effects = Vec::with_capacity(k);
+    let mut ss_factors_total = 0.0;
+    let mut df_factors_total = 0.0;
+    for (fi, &name) in factor_names.iter().enumerate() {
+        let mut groups: BTreeMap<u32, (f64, usize)> = BTreeMap::new();
+        for o in observations {
+            let e = groups.entry(o.levels[fi]).or_insert((0.0, 0));
+            e.0 += o.response;
+            e.1 += 1;
+        }
+        let ss: f64 = groups
+            .values()
+            .map(|&(sum, cnt)| {
+                let m = sum / cnt as f64;
+                cnt as f64 * (m - grand_mean) * (m - grand_mean)
+            })
+            .sum();
+        let df = (groups.len().max(1) - 1) as f64;
+        ss_factors_total += ss;
+        df_factors_total += df;
+        effects.push((name.to_owned(), ss, df));
+    }
+
+    let df_error = (n as f64 - 1.0) - df_factors_total;
+    if df_error <= 0.0 {
+        return Err(AnovaError::NoResidual);
+    }
+    let ss_error = (ss_total - ss_factors_total).max(0.0);
+    let ms_error = ss_error / df_error;
+
+    let effects = effects
+        .into_iter()
+        .map(|(name, ss, df)| {
+            let (f, p_value) = if df > 0.0 && ms_error > 0.0 {
+                let f = (ss / df) / ms_error;
+                (f, f_sf(f, df, df_error))
+            } else if df > 0.0 && ss > 0.0 {
+                (f64::INFINITY, 0.0)
+            } else {
+                (0.0, 1.0)
+            };
+            FactorEffect { name, ss, df, f, p_value }
+        })
+        .collect();
+
+    Ok(AnovaTable { effects, ss_error, df_error, ss_total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(f: impl Fn(u32, u32, usize) -> f64) -> Vec<Observation> {
+        let mut obs = Vec::new();
+        for a in 0..3u32 {
+            for b in 0..2u32 {
+                for rep in 0..6 {
+                    obs.push(Observation { response: f(a, b, rep), levels: vec![a, b] });
+                }
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn detects_real_effect() {
+        let obs = grid(|a, _b, rep| a as f64 * 5.0 + (rep % 3) as f64 * 0.2);
+        let t = anova(&obs, &["a", "b"]).unwrap();
+        assert!(t.effects[0].significant(0.01), "factor a p={}", t.effects[0].p_value);
+        assert!(!t.effects[1].significant(0.05), "factor b p={}", t.effects[1].p_value);
+    }
+
+    #[test]
+    fn null_effects_have_large_p() {
+        // Response depends on neither factor, only on replication noise.
+        let obs = grid(|_a, _b, rep| (rep as f64 * 1.37) % 3.0);
+        let t = anova(&obs, &["a", "b"]).unwrap();
+        for e in &t.effects {
+            assert!(e.p_value > 0.05, "{} spuriously significant", e.name);
+        }
+    }
+
+    #[test]
+    fn sums_of_squares_decompose() {
+        let obs = grid(|a, b, rep| a as f64 + b as f64 * 2.0 + rep as f64 * 0.1);
+        let t = anova(&obs, &["a", "b"]).unwrap();
+        let sum: f64 = t.effects.iter().map(|e| e.ss).sum::<f64>() + t.ss_error;
+        assert!((sum - t.ss_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert_eq!(anova(&[], &["a"]), Err(AnovaError::TooFewObservations));
+        let bad = vec![
+            Observation { response: 1.0, levels: vec![0] },
+            Observation { response: 2.0, levels: vec![0, 1] },
+        ];
+        assert_eq!(anova(&bad, &["a"]), Err(AnovaError::ShapeMismatch));
+    }
+
+    #[test]
+    fn no_residual_is_an_error() {
+        let obs = vec![
+            Observation { response: 1.0, levels: vec![0] },
+            Observation { response: 2.0, levels: vec![1] },
+        ];
+        assert_eq!(anova(&obs, &["a"]), Err(AnovaError::NoResidual));
+    }
+
+    #[test]
+    fn perfectly_explained_factor_is_significant() {
+        // Zero residual variance within groups.
+        let mut obs = Vec::new();
+        for a in 0..2u32 {
+            for _ in 0..4 {
+                obs.push(Observation { response: a as f64, levels: vec![a, 0] });
+            }
+        }
+        let t = anova(&obs, &["a", "const"]).unwrap();
+        assert!(t.effects[0].p_value < 1e-6);
+    }
+}

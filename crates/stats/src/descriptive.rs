@@ -1,0 +1,157 @@
+//! Descriptive statistics and empirical distribution functions.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+///
+/// ```
+/// use eddie_stats::descriptive::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(mean(&[]), 0.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance; 0.0 when fewer than two samples.
+///
+/// ```
+/// use eddie_stats::descriptive::variance;
+/// assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 4.571428571).abs() < 1e-6);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of middle two for even lengths); 0.0 when empty.
+///
+/// ```
+/// use eddie_stats::descriptive::median;
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+/// assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+/// ```
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// Used to visualise and compare the reference / monitored STS peak
+/// distributions.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_stats::descriptive::Edf;
+///
+/// let edf = Edf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(edf.eval(0.0), 0.0);
+/// assert_eq!(edf.eval(2.0), 0.5);
+/// assert_eq!(edf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edf {
+    sorted: Vec<f64>,
+}
+
+impl Edf {
+    /// Builds the EDF of `sample` (NaNs sort last; avoid them).
+    pub fn new(sample: &[f64]) -> Edf {
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Edf { sorted }
+    }
+
+    /// Fraction of the sample that is `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // First index with value > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` for an EDF over an empty sample.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample backing this EDF.
+    pub fn sorted_sample(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[5.0]), 5.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(std_dev(&[1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_handles_duplicates() {
+        assert_eq!(median(&[1.0, 1.0, 1.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn edf_is_monotone_and_bounded() {
+        let edf = Edf::new(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        let mut prev = 0.0;
+        for k in -10..20 {
+            let v = edf.eval(k as f64 * 0.5);
+            assert!(v >= prev);
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        assert_eq!(edf.len(), 5);
+        assert!(!edf.is_empty());
+    }
+
+    #[test]
+    fn edf_step_positions() {
+        let edf = Edf::new(&[1.0, 2.0]);
+        assert_eq!(edf.eval(0.99), 0.0);
+        assert_eq!(edf.eval(1.0), 0.5);
+        assert_eq!(edf.eval(1.5), 0.5);
+        assert_eq!(edf.eval(2.0), 1.0);
+    }
+
+    #[test]
+    fn empty_edf_evaluates_to_zero() {
+        let edf = Edf::new(&[]);
+        assert_eq!(edf.eval(1.0), 0.0);
+        assert!(edf.is_empty());
+    }
+}

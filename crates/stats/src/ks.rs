@@ -1,0 +1,284 @@
+//! The two-sample Kolmogorov–Smirnov test — EDDIE's core decision
+//! procedure (§4.2 of the paper).
+//!
+//! Given a reference sample (training-time peak frequencies for a
+//! region) and a monitored sample, the test computes
+//! `D = max_x |R(x) - M(x)|` over the two empirical CDFs and rejects the
+//! same-population null hypothesis at significance `α` when
+//! `D > c(α) · √((m+n)/(m·n))`, with `c(α) = √(-ln(α/2) / 2)` from the
+//! asymptotic Kolmogorov distribution.
+
+use serde::{Deserialize, Serialize};
+
+/// Decision of a K-S test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KsOutcome {
+    /// The samples are consistent with a common population.
+    Accept,
+    /// The samples differ more than chance allows at the requested
+    /// confidence.
+    Reject,
+}
+
+/// Full result of a two-sample K-S test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The K-S statistic `D = max |R(x) - M(x)|`.
+    pub statistic: f64,
+    /// The rejection threshold `c(α)·√((m+n)/(m·n))`.
+    pub threshold: f64,
+    /// Asymptotic p-value `Q(√(mn/(m+n)) · D)`.
+    pub p_value: f64,
+    /// The accept/reject decision.
+    pub outcome: KsOutcome,
+}
+
+/// Inverse of the Kolmogorov distribution tail: `c(α) = √(-ln(α/2)/2)`,
+/// where `α = 1 - confidence`.
+///
+/// ```
+/// use eddie_stats::ks::c_alpha;
+/// // Standard table values.
+/// assert!((c_alpha(0.95) - 1.358).abs() < 1e-3);
+/// assert!((c_alpha(0.99) - 1.628).abs() < 1e-3);
+/// ```
+pub fn c_alpha(confidence: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0, 1)"
+    );
+    let alpha = 1.0 - confidence;
+    (-(alpha / 2.0).ln() / 2.0).sqrt()
+}
+
+/// Asymptotic Kolmogorov survival function
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2k²λ²}`.
+///
+/// ```
+/// use eddie_stats::ks::kolmogorov_q;
+/// assert!(kolmogorov_q(0.5) > 0.95);
+/// assert!(kolmogorov_q(2.0) < 0.001);
+/// ```
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Computes the two-sample K-S statistic `D` with a single sorted-merge
+/// pass (O((m+n) log(m+n)) including the sorts).
+///
+/// Returns 0.0 if either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
+    ks_statistic_sorted(&sa, &sb)
+}
+
+/// Like [`ks_statistic`] but for inputs that are **already sorted
+/// ascending** — a single O(m+n) merge pass, no allocation for the
+/// first sample. EDDIE's monitor calls the K-S test once per window and
+/// peak rank against a large training reference, so the reference is
+/// sorted once at training time and reused here.
+pub fn ks_statistic_sorted(sa: &[f64], sb: &[f64]) -> f64 {
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(sa.windows(2).all(|w| w[0] <= w[1]), "first sample must be sorted");
+    debug_assert!(sb.windows(2).all(|w| w[0] <= w[1]), "second sample must be sorted");
+
+    let (m, n) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / m - j as f64 / n).abs());
+    }
+    d
+}
+
+/// Runs the two-sample K-S test at the given confidence level (e.g.
+/// `0.99` for the paper's default 99 % confidence, §5.6).
+///
+/// Empty samples are accepted trivially (`D = 0`).
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_stats::ks::{ks_test, KsOutcome};
+///
+/// let a: Vec<f64> = (0..200).map(|i| (i % 50) as f64).collect();
+/// let b: Vec<f64> = (0..80).map(|i| (i % 50) as f64 + 100.0).collect();
+/// let r = ks_test(&a, &b, 0.99);
+/// assert_eq!(r.outcome, KsOutcome::Reject);
+/// assert!(r.p_value < 0.01);
+/// ```
+pub fn ks_test(reference: &[f64], monitored: &[f64], confidence: f64) -> KsResult {
+    let d = ks_statistic(reference, monitored);
+    finish_test(d, reference.len(), monitored.len(), confidence)
+}
+
+/// Runs the two-sample K-S test with a **pre-sorted** reference sample;
+/// only the (small) monitored sample is sorted internally. Semantics
+/// match [`ks_test`].
+pub fn ks_test_sorted_ref(
+    sorted_reference: &[f64],
+    monitored: &[f64],
+    confidence: f64,
+) -> KsResult {
+    let mut mon = monitored.to_vec();
+    mon.sort_by(|x, y| x.total_cmp(y));
+    let d = ks_statistic_sorted(sorted_reference, &mon);
+    finish_test(d, sorted_reference.len(), monitored.len(), confidence)
+}
+
+fn finish_test(d: f64, m: usize, n: usize, confidence: f64) -> KsResult {
+    if m == 0 || n == 0 {
+        return KsResult {
+            statistic: 0.0,
+            threshold: f64::INFINITY,
+            p_value: 1.0,
+            outcome: KsOutcome::Accept,
+        };
+    }
+    let (m, n) = (m as f64, n as f64);
+    let scale = ((m + n) / (m * n)).sqrt();
+    let threshold = c_alpha(confidence) * scale;
+    let lambda = d / scale;
+    let p_value = kolmogorov_q(lambda);
+    let outcome = if d > threshold { KsOutcome::Reject } else { KsOutcome::Accept };
+    KsResult { statistic: d, threshold, p_value, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 3.0, 8.0];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // R = {1,2}, M = {1.5}: EDFs differ by max 0.5 at x=1 and x=1.5.
+        let d = ks_statistic(&[1.0, 2.0], &[1.5]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_population_usually_accepts() {
+        // Deterministic interleaved samples from the same uniform grid.
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.618) % 1.0).collect();
+        let b: Vec<f64> = (500..700).map(|i| (i as f64 * 0.618) % 1.0).collect();
+        assert_eq!(ks_test(&a, &b, 0.99).outcome, KsOutcome::Accept);
+    }
+
+    #[test]
+    fn shifted_population_rejects() {
+        let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.618) % 1.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.618) % 1.0 + 0.4).collect();
+        let r = ks_test(&a, &b, 0.99);
+        assert_eq!(r.outcome, KsOutcome::Reject);
+        assert!(r.statistic > r.threshold);
+    }
+
+    #[test]
+    fn higher_confidence_is_harder_to_reject() {
+        let t95 = c_alpha(0.95);
+        let t99 = c_alpha(0.99);
+        assert!(t99 > t95);
+    }
+
+    #[test]
+    fn empty_samples_accept() {
+        let r = ks_test(&[], &[1.0], 0.99);
+        assert_eq!(r.outcome, KsOutcome::Accept);
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn kolmogorov_q_is_monotone() {
+        let mut prev = 1.0;
+        for k in 0..40 {
+            let q = kolmogorov_q(k as f64 * 0.1);
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        c_alpha(1.5);
+    }
+}
+
+#[cfg(test)]
+mod sorted_tests {
+    use super::*;
+
+    #[test]
+    fn sorted_ref_matches_unsorted_test() {
+        let a: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| ((i * 53) % 97) as f64 + 10.0).collect();
+        let mut sa = a.clone();
+        sa.sort_by(|x, y| x.total_cmp(y));
+        let r1 = ks_test(&a, &b, 0.99);
+        let r2 = ks_test_sorted_ref(&sa, &b, 0.99);
+        assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        assert_eq!(r1.outcome, r2.outcome);
+    }
+
+    #[test]
+    fn sorted_statistic_matches_reference_impl() {
+        let a: [f64; 4] = [1.0, 2.0, 5.0, 9.0];
+        let b: [f64; 5] = [0.5, 2.5, 2.5, 8.0, 11.0];
+        let mut sa = a.to_vec();
+        let mut sb = b.to_vec();
+        sa.sort_by(|x, y| x.total_cmp(y));
+        sb.sort_by(|x, y| x.total_cmp(y));
+        assert!((ks_statistic(&a, &b) - ks_statistic_sorted(&sa, &sb)).abs() < 1e-12);
+    }
+}

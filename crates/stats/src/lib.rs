@@ -1,0 +1,44 @@
+//! Statistics for EDDIE's anomaly decisions.
+//!
+//! The heart of EDDIE's monitoring (§4.2 of the paper) is a two-sample
+//! **Kolmogorov–Smirnov test** comparing the peak frequencies observed
+//! during monitoring against the reference distribution recorded during
+//! training — chosen over parametric tests because per-region peak
+//! distributions fit no standard family (Figure 2), and over the
+//! Mann-Whitney U test because K-S is sensitive to any distributional
+//! difference, not just median shifts. This crate implements, from
+//! scratch:
+//!
+//! * [`ks`] — the two-sample K-S test with the asymptotic Kolmogorov
+//!   distribution and the `c(α)·√((m+n)/(m·n))` rejection threshold;
+//! * [`utest`] — the Wilcoxon–Mann–Whitney U test (the alternative the
+//!   paper evaluated and rejected);
+//! * [`normal`] / [`mixture`] — Gaussian and two-component mixture fits,
+//!   powering the parametric baseline of Figure 2;
+//! * [`anova`] — N-way main-effects ANOVA with F-distribution p-values,
+//!   used for the paper's §5.3 architecture-sensitivity study;
+//! * [`descriptive`] — means, variances, medians and empirical CDFs.
+//!
+//! # Examples
+//!
+//! ```
+//! use eddie_stats::ks::{ks_test, KsOutcome};
+//!
+//! let reference: Vec<f64> = (0..100).map(|i| i as f64).collect();
+//! let same: Vec<f64> = (0..50).map(|i| (2 * i) as f64).collect();
+//! let shifted: Vec<f64> = (0..50).map(|i| (2 * i) as f64 + 500.0).collect();
+//!
+//! assert_eq!(ks_test(&reference, &same, 0.99).outcome, KsOutcome::Accept);
+//! assert_eq!(ks_test(&reference, &shifted, 0.99).outcome, KsOutcome::Reject);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod descriptive;
+pub mod ks;
+pub mod mixture;
+pub mod normal;
+pub mod special;
+pub mod utest;

@@ -1,0 +1,112 @@
+//! The normal distribution: pdf, cdf, and maximum-likelihood fit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::{mean, std_dev};
+use crate::special::erf;
+
+/// A normal (Gaussian) distribution.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_stats::normal::Normal;
+///
+/// let n = Normal::new(0.0, 1.0);
+/// assert!((n.cdf(0.0) - 0.5).abs() < 1e-6);
+/// assert!((n.pdf(0.0) - 0.3989422804).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (positive).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> Normal {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        Normal { mu, sigma }
+    }
+
+    /// Maximum-likelihood fit to `sample`; a tiny floor is applied to
+    /// the standard deviation so degenerate samples stay usable.
+    pub fn fit(sample: &[f64]) -> Normal {
+        let sigma = std_dev(sample).max(1e-9);
+        Normal { mu: mean(sample), sigma }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+    }
+
+    /// Two-sided tail probability of observing a value at least as far
+    /// from the mean as `x`.
+    pub fn two_sided_p(&self, x: f64) -> f64 {
+        let c = self.cdf(x);
+        (2.0 * c.min(1.0 - c)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_parameters() {
+        // Symmetric triangular-ish deterministic sample around 10.
+        let sample: Vec<f64> = (-50..=50).map(|i| 10.0 + i as f64 * 0.1).collect();
+        let n = Normal::fit(&sample);
+        assert!((n.mu - 10.0).abs() < 1e-9);
+        assert!(n.sigma > 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let n = Normal::new(5.0, 2.0);
+        assert!(n.cdf(4.0) < n.cdf(6.0));
+        assert!((n.cdf(5.0) - 0.5).abs() < 1e-9);
+        assert!((n.cdf(3.0) - (1.0 - n.cdf(7.0))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let n = Normal::new(0.0, 1.5);
+        let dx = 0.01;
+        let total: f64 = (-1000..1000).map(|i| n.pdf(i as f64 * dx) * dx).sum();
+        assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_sided_p_at_mean_is_one() {
+        let n = Normal::new(0.0, 1.0);
+        // Tolerance bounded by the erf approximation error (~1.5e-7).
+        assert!((n.two_sided_p(0.0) - 1.0).abs() < 1e-6);
+        assert!(n.two_sided_p(4.0) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn non_positive_sigma_panics() {
+        Normal::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn degenerate_fit_gets_floored_sigma() {
+        let n = Normal::fit(&[3.0, 3.0, 3.0]);
+        assert!(n.sigma > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Wilcoxon–Mann–Whitney U test.
+//!
+//! The paper experimented with both the U test and the K-S test and
+//! chose K-S because the U test is sensitive only to median differences
+//! (§4.2). The U test is kept here to power the `ablate-test`
+//! experiment that reproduces that design decision.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::erf;
+
+/// Decision of a U test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UOutcome {
+    /// No significant median difference detected.
+    Accept,
+    /// Medians differ at the requested confidence.
+    Reject,
+}
+
+/// Full result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UResult {
+    /// The smaller of the two U statistics.
+    pub u: f64,
+    /// Standardised statistic under the normal approximation.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// The accept/reject decision.
+    pub outcome: UOutcome,
+}
+
+/// Standard normal CDF.
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Runs a two-sided Mann–Whitney U test with the normal approximation
+/// (with tie correction), rejecting at significance `1 - confidence`.
+///
+/// Samples of fewer than 2 elements each are accepted trivially.
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use eddie_stats::utest::{u_test, UOutcome};
+///
+/// let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..100).map(|i| i as f64 + 200.0).collect();
+/// assert_eq!(u_test(&a, &b, 0.99).outcome, UOutcome::Reject);
+/// assert_eq!(u_test(&a, &a, 0.99).outcome, UOutcome::Accept);
+/// ```
+pub fn u_test(a: &[f64], b: &[f64], confidence: f64) -> UResult {
+    assert!((0.0..1.0).contains(&confidence), "confidence must be in [0, 1)");
+    let (m, n) = (a.len(), b.len());
+    if m < 2 || n < 2 {
+        return UResult { u: 0.0, z: 0.0, p_value: 1.0, outcome: UOutcome::Accept };
+    }
+
+    // Rank the pooled sample with average ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let total = pooled.len();
+    let mut rank_sum_a = 0.0;
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < total {
+        let mut j = i;
+        while j + 1 < total && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let tied = (j - i + 1) as f64;
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &pooled[i..=j] {
+            if item.1 == 0 {
+                rank_sum_a += avg_rank;
+            }
+        }
+        if tied > 1.0 {
+            tie_correction += tied * tied * tied - tied;
+        }
+        i = j + 1;
+    }
+
+    let (mf, nf) = (m as f64, n as f64);
+    let u_a = rank_sum_a - mf * (mf + 1.0) / 2.0;
+    let u_b = mf * nf - u_a;
+    let u = u_a.min(u_b);
+
+    let mu = mf * nf / 2.0;
+    let nt = mf + nf;
+    let sigma_sq = mf * nf / 12.0 * ((nt + 1.0) - tie_correction / (nt * (nt - 1.0)));
+    if sigma_sq <= 0.0 {
+        // All values tied: no information.
+        return UResult { u, z: 0.0, p_value: 1.0, outcome: UOutcome::Accept };
+    }
+    // Continuity correction.
+    let z = (u - mu + 0.5) / sigma_sq.sqrt();
+    let p_value = (2.0 * phi(z)).clamp(0.0, 1.0);
+    let outcome =
+        if p_value < 1.0 - confidence { UOutcome::Reject } else { UOutcome::Accept };
+    UResult { u, z, p_value, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_accept() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let r = u_test(&a, &a, 0.95);
+        assert_eq!(r.outcome, UOutcome::Accept);
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn shifted_medians_reject() {
+        let a: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| i as f64 + 100.0).collect();
+        let r = u_test(&a, &b, 0.99);
+        assert_eq!(r.outcome, UOutcome::Reject);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn equal_median_different_spread_often_accepts() {
+        // The U test's known blind spot: same median, different variance.
+        let a: Vec<f64> = (0..100).map(|i| 50.0 + ((i % 3) as f64 - 1.0)).collect();
+        let b: Vec<f64> = (0..100).map(|i| 50.0 + ((i % 21) as f64 - 10.0) * 4.0).collect();
+        let r = u_test(&a, &b, 0.99);
+        assert_eq!(r.outcome, UOutcome::Accept, "U test should miss pure spread changes");
+    }
+
+    #[test]
+    fn tiny_samples_accept() {
+        assert_eq!(u_test(&[1.0], &[2.0, 3.0], 0.95).outcome, UOutcome::Accept);
+    }
+
+    #[test]
+    fn all_tied_values_accept() {
+        let a = vec![5.0; 20];
+        let b = vec![5.0; 20];
+        assert_eq!(u_test(&a, &b, 0.95).outcome, UOutcome::Accept);
+    }
+
+    #[test]
+    fn symmetry_in_samples() {
+        let a: Vec<f64> = (0..40).map(|i| (i * 7 % 13) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i * 5 % 17) as f64).collect();
+        let r1 = u_test(&a, &b, 0.95);
+        let r2 = u_test(&b, &a, 0.95);
+        assert!((r1.u - r2.u).abs() < 1e-9);
+        assert_eq!(r1.outcome, r2.outcome);
+    }
+}

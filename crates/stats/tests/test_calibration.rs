@@ -1,0 +1,124 @@
+//! Statistical calibration properties: the tests should reject
+//! same-population samples at roughly their nominal significance level
+//! and reliably reject clearly different populations.
+
+use eddie_stats::ks::{ks_test, KsOutcome};
+use eddie_stats::normal::Normal;
+use eddie_stats::special::{beta_inc, f_sf};
+use eddie_stats::utest::{u_test, UOutcome};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw `n` uniform values from a seeded RNG.
+fn uniform(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.random::<f64>()).collect()
+}
+
+#[test]
+fn ks_false_rejection_rate_is_near_alpha() {
+    // 500 same-population trials at 95% confidence should reject ~5%
+    // (the asymptotic threshold is conservative for small n, so we
+    // accept anything at or below ~8%).
+    let mut rng = StdRng::seed_from_u64(42);
+    let reference = uniform(&mut rng, 2000);
+    let mut rejections = 0;
+    let trials = 500;
+    for _ in 0..trials {
+        let mon = uniform(&mut rng, 25);
+        if ks_test(&reference, &mon, 0.95).outcome == KsOutcome::Reject {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / trials as f64;
+    assert!(rate <= 0.08, "FRR {rate} too high for alpha=0.05");
+}
+
+#[test]
+fn ks_power_against_shifted_population_is_high() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let reference = uniform(&mut rng, 2000);
+    let mut detections = 0;
+    let trials = 200;
+    for _ in 0..trials {
+        let mon: Vec<f64> = uniform(&mut rng, 25).iter().map(|x| x + 0.5).collect();
+        if ks_test(&reference, &mon, 0.99).outcome == KsOutcome::Reject {
+            detections += 1;
+        }
+    }
+    assert!(
+        detections as f64 / trials as f64 > 0.95,
+        "K-S must catch a half-range shift"
+    );
+}
+
+#[test]
+fn u_test_false_rejection_rate_is_near_alpha() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let mut rejections = 0;
+    let trials = 400;
+    for _ in 0..trials {
+        let a = uniform(&mut rng, 60);
+        let b = uniform(&mut rng, 60);
+        if u_test(&a, &b, 0.95).outcome == UOutcome::Reject {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / trials as f64;
+    assert!((0.0..=0.10).contains(&rate), "U-test FRR {rate} out of band");
+}
+
+proptest! {
+    /// The normal CDF is monotone for arbitrary parameters.
+    #[test]
+    fn normal_cdf_is_monotone(mu in -100.0f64..100.0, sigma in 0.1f64..50.0) {
+        let n = Normal::new(mu, sigma);
+        let mut prev = 0.0;
+        for k in -20..=20 {
+            let x = mu + k as f64 * sigma / 4.0;
+            let c = n.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    /// The regularised incomplete beta stays within [0, 1] and is
+    /// monotone in x for arbitrary positive shapes.
+    #[test]
+    fn beta_inc_is_a_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0) {
+        let mut prev = 0.0;
+        for k in 0..=20 {
+            let x = k as f64 / 20.0;
+            let v = beta_inc(a, b, x);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "I_{x}({a},{b}) = {v}");
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// The F survival function decreases in f and stays within [0, 1].
+    #[test]
+    fn f_sf_is_monotone(d1 in 1.0f64..30.0, d2 in 2.0f64..60.0) {
+        let mut prev = 1.0;
+        for k in 0..20 {
+            let f = k as f64 * 0.4;
+            let p = f_sf(f, d1, d2);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-9);
+            prev = p;
+        }
+    }
+
+    /// K-S test on any two samples never produces NaN statistics.
+    #[test]
+    fn ks_is_nan_free(
+        a in prop::collection::vec(-1e9f64..1e9, 1..50),
+        b in prop::collection::vec(-1e9f64..1e9, 1..50),
+    ) {
+        let r = ks_test(&a, &b, 0.99);
+        prop_assert!(r.statistic.is_finite());
+        prop_assert!(r.p_value.is_finite());
+        prop_assert!(r.threshold.is_finite());
+    }
+}

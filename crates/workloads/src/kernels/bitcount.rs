@@ -1,0 +1,140 @@
+//! Bitcount: counts set bits over an input array with three different
+//! algorithms, mirroring MiBench's multi-method structure.
+//!
+//! Regions:
+//! * 0 — fill/scramble pass over the input array (steady ALU loop);
+//! * 1 — Kernighan's `n &= n-1` count (per-element iteration count is
+//!   data-dependent — timing varies with popcount);
+//! * 2 — nibble-table lookup count (loads from a 16-entry table);
+//! * 3 — shift-and-mask tree count (fixed-work unrolled body, produces
+//!   a very sharp spectral peak).
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, TABLE};
+
+/// Builds the bitcount program. `scale` multiplies the element count.
+pub fn build(scale: u32) -> Program {
+    let _ = scale; // sizes are runtime parameters; see `prepare`
+    let mut b = ProgramBuilder::new();
+    let (i, x, t, cnt) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    let (n, base, tbl) = (Reg::R10, Reg::R11, Reg::R12);
+    let (acc, one, mask) = (Reg::R20, Reg::R21, Reg::R22);
+
+    // Load runtime parameters.
+    b.li(base, ARRAY_A).li(tbl, TABLE).li(one, 1);
+    b.load(n, Reg::R0, param(0)); // element count
+
+    // Region 0: scramble pass x[i] = x[i]*2654435761 ^ (x[i] >> 13)
+    b.li(i, 0);
+    b.region_enter(RegionId::new(0));
+    let r0 = b.label_here("scramble");
+    b.add(t, base, i)
+        .load(x, t, 0)
+        .li(cnt, 2654435761)
+        .mul(x, x, cnt)
+        .srli(cnt, x, 13)
+        .xor(x, x, cnt)
+        .store(x, t, 0)
+        .addi(i, i, 1)
+        .blt_label(i, n, r0);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: Kernighan count. Inner loop iterations = popcount(x).
+    b.li(i, 0).li(acc, 0);
+    b.region_enter(RegionId::new(1));
+    let r1 = b.label_here("kernighan");
+    b.add(t, base, i).load(x, t, 0);
+    let k_done = b.label("k_done");
+    let k_top = b.label_here("k_top");
+    b.beq_label(x, Reg::R0, k_done);
+    b.addi(t, x, -1).and(x, x, t).add(acc, acc, one);
+    b.jump_label(k_top);
+    b.bind(k_done);
+    b.addi(i, i, 1).blt_label(i, n, r1);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: nibble-table count over 16 nibbles of each word.
+    b.li(i, 0);
+    b.region_enter(RegionId::new(2));
+    let r2 = b.label_here("table");
+    b.add(t, base, i).load(x, t, 0).li(cnt, 0).li(mask, 16);
+    let n_top = b.label_here("nib");
+    b.andi(t, x, 15);
+    b.add(t, tbl, t).load(t, t, 0).add(acc, acc, t);
+    b.srli(x, x, 4).addi(cnt, cnt, 1).blt_label(cnt, mask, n_top);
+    b.addi(i, i, 1).blt_label(i, n, r2);
+    b.region_exit(RegionId::new(2));
+
+    // Region 3: shift-mask tree (fixed work per element -> sharp peak).
+    b.li(i, 0);
+    b.region_enter(RegionId::new(3));
+    let r3 = b.label_here("tree");
+    b.add(t, base, i).load(x, t, 0);
+    // x = x - ((x >> 1) & 0x5555...)
+    b.srli(t, x, 1);
+    b.li(cnt, 0x5555_5555_5555_5555).and(t, t, cnt).sub(x, x, t);
+    // x = (x & 0x3333..) + ((x >> 2) & 0x3333..)
+    b.li(cnt, 0x3333_3333_3333_3333);
+    b.and(t, x, cnt).srli(x, x, 2).and(x, x, cnt).add(x, x, t);
+    // x = (x + (x >> 4)) & 0x0f0f..
+    b.srli(t, x, 4).add(x, x, t);
+    b.li(cnt, 0x0f0f_0f0f_0f0f_0f0f).and(x, x, cnt);
+    // fold bytes
+    b.srli(t, x, 8).add(x, x, t).srli(t, x, 16).add(x, x, t).srli(t, x, 32).add(x, x, t);
+    b.andi(x, x, 127).add(acc, acc, x);
+    b.addi(i, i, 1).blt_label(i, n, r3);
+    b.region_exit(RegionId::new(3));
+
+    // Publish the result so the work cannot be considered dead.
+    b.store(acc, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("bitcount assembles")
+}
+
+/// Prepares a seeded input set: the element count (scaled, ±10 %), the
+/// input words, and the 16-entry nibble popcount table.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0xb17c_0047);
+    let n = rng.size_near(600 * scale as i64);
+    set_param(m, 0, n);
+    rng.fill(m, ARRAY_A, n, i64::MIN / 2, i64::MAX / 2);
+    for v in 0..16i64 {
+        m.write_mem(TABLE + v, v.count_ones() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_four_regions() {
+        let p = build(1);
+        let r = testutil::run_kernel(&p, prepare, 1, 4);
+        // Regions execute in program order.
+        let ids: Vec<u32> = r.regions.iter().map(|s| s.region.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn counts_are_consistent_between_methods() {
+        // acc accumulates kernighan + table + tree counts; all three
+        // count the same bits, so acc must be divisible by 3.
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 7, 1);
+        sim.run();
+        let acc = sim.machine_mut().mem(param(8));
+        assert!(acc > 0);
+        assert_eq!(acc % 3, 0, "three methods must agree (acc={acc})");
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        let p = build(1);
+        testutil::assert_input_sensitivity(&p, prepare);
+    }
+}

@@ -1,0 +1,155 @@
+//! Dijkstra: single-source shortest paths on a dense adjacency matrix,
+//! like MiBench's network/dijkstra.
+//!
+//! Regions:
+//! * 0 — distance/visited initialisation;
+//! * 1 — the main loop nest: select the nearest unvisited node (inner
+//!   scan) and relax its edges (second inner scan);
+//! * 2 — checksum pass over the distance vector.
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B, ARRAY_C};
+
+const INF: i64 = 1 << 40;
+
+/// Builds the dijkstra program. The adjacency matrix is `n × n` at
+/// `ARRAY_A` (row stride = n); distances at `ARRAY_B`; visited flags at
+/// `ARRAY_C`.
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, j, x, t, u) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    let (n, adj, dist, vis) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13);
+    let (best, best_i, row, acc, inf) = (Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24);
+
+    b.li(adj, ARRAY_A).li(dist, ARRAY_B).li(vis, ARRAY_C).li(inf, INF);
+    b.load(n, Reg::R0, param(0));
+
+    // Region 0: dist[i] = INF, vis[i] = 0; dist[0] = 0.
+    b.li(i, 0);
+    b.region_enter(RegionId::new(0));
+    let r0 = b.label_here("init");
+    b.add(t, dist, i).store(inf, t, 0);
+    b.add(t, vis, i).store(Reg::R0, t, 0);
+    b.addi(i, i, 1).blt_label(i, n, r0);
+    b.region_exit(RegionId::new(0));
+    b.store(Reg::R0, dist, 0);
+
+    // Region 1: n iterations of select-min + relax.
+    b.li(i, 0);
+    b.region_enter(RegionId::new(1));
+    let outer = b.label_here("outer");
+    // Select the unvisited node with the smallest distance.
+    b.mv(best, inf).li(best_i, -1).li(j, 0);
+    let sel = b.label_here("select");
+    let sel_skip = b.label("sel_skip");
+    // Dependent load chain per scanned node, as the original's
+    // node-pointer dereference (QITEM walk) produces: visited flag,
+    // then distance, serialised through the address computation.
+    b.add(t, vis, j).load(x, t, 0);
+    b.add(t, t, x);
+    b.bne_label(x, Reg::R0, sel_skip);
+    b.add(t, dist, j).load(x, t, 0).addi(x, x, 0);
+    b.bge_label(x, best, sel_skip);
+    b.mv(best, x).mv(best_i, j);
+    b.bind(sel_skip);
+    b.addi(j, j, 1).blt_label(j, n, sel);
+    // No reachable node left? Exit the outer loop.
+    let done = b.label("done");
+    b.blt_label(best_i, Reg::R0, done);
+    // Mark visited; relax its row.
+    b.add(t, vis, best_i).li(x, 1).store(x, t, 0);
+    b.mul(row, best_i, n).add(row, adj, row);
+    b.li(j, 0);
+    let relax = b.label_here("relax");
+    let rl_skip = b.label("rl_skip");
+    b.add(t, row, j).load(x, t, 0); // edge weight (0 = no edge)
+    b.beq_label(x, Reg::R0, rl_skip);
+    b.add(x, x, best); // candidate = dist[best_i] + w
+    b.add(t, dist, j).load(u, t, 0);
+    b.bge_label(x, u, rl_skip);
+    b.store(x, t, 0);
+    b.bind(rl_skip);
+    b.addi(j, j, 1).blt_label(j, n, relax);
+    b.addi(i, i, 1).blt_label(i, n, outer);
+    b.bind(done);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: checksum over reachable distances.
+    b.li(i, 0).li(acc, 0);
+    b.region_enter(RegionId::new(2));
+    let r2 = b.label_here("sum");
+    let s_skip = b.label("s_skip");
+    b.add(t, dist, i).load(x, t, 0);
+    b.bge_label(x, inf, s_skip);
+    b.add(acc, acc, x);
+    b.bind(s_skip);
+    b.addi(i, i, 1).blt_label(i, n, r2);
+    b.region_exit(RegionId::new(2));
+
+    b.store(acc, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("dijkstra assembles")
+}
+
+/// Prepares a seeded random graph: `n` near `24·scale` nodes, ~25 % edge
+/// density, weights in `[1, 64)`.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0xd175);
+    let n = rng.size_near(24 * scale as i64).max(8);
+    set_param(m, 0, n);
+    for i in 0..n {
+        for j in 0..n {
+            let w = if i != j && rng.range(0, 4) == 0 { rng.range(1, 64) } else { 0 };
+            m.write_mem(ARRAY_A + i * n + j, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 4, 3);
+    }
+
+    #[test]
+    fn source_distance_stays_zero() {
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 6, 1);
+        sim.run();
+        assert_eq!(sim.machine_mut().mem(ARRAY_B), 0);
+    }
+
+    #[test]
+    fn distances_satisfy_triangle_inequality_on_edges() {
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 8, 1);
+        sim.run();
+        let m = sim.machine_mut();
+        let n = m.mem(param(0));
+        for i in 0..n {
+            for j in 0..n {
+                let w = m.mem(ARRAY_A + i * n + j);
+                if w > 0 {
+                    let (di, dj) = (m.mem(ARRAY_B + i), m.mem(ARRAY_B + j));
+                    if di < INF {
+                        assert!(dj <= di + w, "relaxation incomplete: d[{j}] > d[{i}]+w");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

@@ -1,0 +1,186 @@
+//! FFT: an in-place integer (fixed-point) radix-2 transform, like
+//! MiBench's telecomm/FFT.
+//!
+//! Regions:
+//! * 0 — bit-reversal permutation (load/store shuffle);
+//! * 1 — butterfly stages (triple nest with twiddle-table lookups and a
+//!   multiply-heavy body);
+//! * 2 — magnitude accumulation pass.
+//!
+//! The whole transform repeats `param(1)` times so the run length scales
+//! without changing the loop periods.
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B, TABLE};
+
+const LOG2N: i64 = 8;
+const N: i64 = 1 << LOG2N;
+const Q: i64 = 12; // fixed-point fraction bits for twiddles
+
+/// Builds the fft program. Real parts at `ARRAY_A`, imaginary parts at
+/// `ARRAY_B`, twiddle table (Q12, cos at even indices, sin at odd) at
+/// `TABLE`.
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, j, len, half, t, x, u) =
+        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (re, im, tw, nreg, qreg) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14);
+    let (wr, wi, ar, ai, br, bi, tr, ti) = (
+        Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25, Reg::R26, Reg::R27,
+    );
+    let (rep, acc, reps) = (Reg::R28, Reg::R29, Reg::R30);
+
+    b.li(re, ARRAY_A).li(im, ARRAY_B).li(tw, TABLE).li(nreg, N).li(qreg, Q);
+    b.load(reps, Reg::R0, param(1));
+    b.li(acc, 0);
+
+    // Each region wraps its phase's *repeat loop*, so every region is
+    // one long-lived top-level nest (repeating the bit-reversal is an
+    // involution pair-wise; repeating the butterflies keeps transforming
+    // the data, which only the checksum observes).
+    // Region 0: bit-reversal permutation of the real array, `reps` times.
+    b.li(rep, 0);
+    b.region_enter(RegionId::new(0));
+    let rep0 = b.label_here("rep0");
+    b.li(i, 0);
+    let r0 = b.label_here("bitrev");
+    b.li(j, 0).mv(x, i).li(t, 0);
+    let rev = b.label_here("rev");
+    b.slli(j, j, 1).andi(u, x, 1).or(j, j, u).srli(x, x, 1);
+    b.addi(t, t, 1);
+    b.li(u, LOG2N);
+    b.blt_label(t, u, rev);
+    let noswap = b.label("noswap");
+    b.bge_label(i, j, noswap);
+    b.add(x, re, i).load(tr, x, 0);
+    b.add(u, re, j).load(ti, u, 0);
+    b.store(ti, x, 0).store(tr, u, 0);
+    b.bind(noswap);
+    b.addi(i, i, 1).blt_label(i, nreg, r0);
+    b.addi(rep, rep, 1).blt_label(rep, reps, rep0);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: butterfly stages, len = 2, 4, ..., N, `reps` times.
+    b.li(rep, 0);
+    b.region_enter(RegionId::new(1));
+    let rep1 = b.label_here("rep1");
+    b.li(len, 2);
+    let stage = b.label_here("stage");
+    b.srli(half, len, 1);
+    b.li(i, 0);
+    let group = b.label_here("group");
+    b.li(j, 0);
+    let bfly = b.label_here("bfly");
+    // Twiddle index = j * (N / len); entries are (cos, sin) pairs.
+    b.div(t, nreg, len).mul(t, t, j).slli(t, t, 1).add(t, tw, t);
+    b.load(wr, t, 0).load(wi, t, 1);
+    // Indices a = i + j, b = a + half.
+    b.add(x, i, j).add(u, x, half);
+    b.add(t, re, x).load(ar, t, 0);
+    b.add(t, im, x).load(ai, t, 0);
+    b.add(t, re, u).load(br, t, 0);
+    b.add(t, im, u).load(bi, t, 0);
+    // tr = (wr*br - wi*bi) >> Q ; ti = (wr*bi + wi*br) >> Q
+    b.mul(tr, wr, br).mul(t, wi, bi).sub(tr, tr, t).sra(tr, tr, qreg);
+    b.mul(ti, wr, bi).mul(t, wi, br).add(ti, ti, t).sra(ti, ti, qreg);
+    // b' = a - t ; a' = a + t
+    b.sub(t, ar, tr);
+    b.add(bi, re, u).store(t, bi, 0);
+    b.sub(t, ai, ti);
+    b.add(bi, im, u).store(t, bi, 0);
+    b.add(t, ar, tr);
+    b.add(bi, re, x).store(t, bi, 0);
+    b.add(t, ai, ti);
+    b.add(bi, im, x).store(t, bi, 0);
+    b.addi(j, j, 1).blt_label(j, half, bfly);
+    b.add(i, i, len).blt_label(i, nreg, group);
+    b.slli(len, len, 1);
+    b.bge_label(nreg, len, stage);
+    b.addi(rep, rep, 1).blt_label(rep, reps, rep1);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: magnitude accumulation, `reps` times. The
+    // parity-conditional add makes the branch pattern (and hence the
+    // mispredict count and timing) input-dependent, as the float
+    // magnitude comparison is in MiBench.
+    b.li(rep, 0);
+    b.region_enter(RegionId::new(2));
+    let rep2 = b.label_here("rep2");
+    b.li(i, 0);
+    let mag = b.label_here("mag");
+    b.add(t, re, i).load(x, t, 0).mul(x, x, x);
+    b.add(t, im, i).load(u, t, 0).mul(u, u, u);
+    b.add(x, x, u).sra(x, x, qreg);
+    let mag_skip = b.label("mag_skip");
+    b.andi(t, x, 1);
+    b.beq_label(t, Reg::R0, mag_skip);
+    b.add(acc, acc, x);
+    b.bind(mag_skip);
+    b.addi(i, i, 1).blt_label(i, nreg, mag);
+    b.addi(rep, rep, 1).blt_label(rep, reps, rep2);
+    b.region_exit(RegionId::new(2));
+
+    b.store(acc, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("fft assembles")
+}
+
+/// Prepares seeded input samples, zero imaginary parts, and the Q12
+/// twiddle table. `param(1)` (repeat count) scales with `scale`.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0xff7a);
+    set_param(m, 1, rng.size_near(2 * scale as i64).max(1));
+    for i in 0..N {
+        m.write_mem(ARRAY_A + i, rng.range(-(1 << Q), 1 << Q));
+        m.write_mem(ARRAY_B + i, 0);
+    }
+    for k in 0..N {
+        let angle = -2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        m.write_mem(TABLE + 2 * k, (angle.cos() * (1 << Q) as f64) as i64);
+        m.write_mem(TABLE + 2 * k + 1, (angle.sin() * (1 << Q) as f64) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 1, 3);
+    }
+
+    #[test]
+    fn dc_input_concentrates_in_bin_zero() {
+        // A constant input should transform to a spike at re[0].
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 3, 1);
+        {
+            let m = sim.machine_mut();
+            set_param(m, 1, 1); // single transform
+            for i in 0..N {
+                m.write_mem(ARRAY_A + i, 100);
+                m.write_mem(ARRAY_B + i, 0);
+            }
+        }
+        sim.run();
+        let m = sim.machine_mut();
+        let dc = m.mem(ARRAY_A).abs();
+        let mut others = 0i64;
+        for i in 1..N {
+            others = others.max(m.mem(ARRAY_A + i).abs());
+        }
+        assert!(dc > 100 * (N - 2), "DC bin must hold nearly all energy (dc={dc})");
+        assert!(others < dc / 64, "non-DC bins must be tiny (max={others})");
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

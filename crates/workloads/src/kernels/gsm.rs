@@ -1,0 +1,150 @@
+//! GSM: fixed-point speech-frame processing loops patterned on the LPC
+//! front end of MiBench's GSM codec.
+//!
+//! Regions:
+//! * 0 — per-sample preprocessing (offset compensation + preemphasis,
+//!   fixed work → clear peak);
+//! * 1 — autocorrelation over each frame (multiply-accumulate nest);
+//! * 2 — a quantisation search whose inner iteration count is strongly
+//!   data-dependent. This region deliberately has *no stable
+//!   per-iteration period*: the paper's GSM row shows one loop covering
+//!   ~40 % of execution time with no usable spectral peaks, which is
+//!   exactly what drives its low coverage (57.1 % in Table 1).
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B};
+
+const FRAME: i64 = 40;
+const ORDER: i64 = 8;
+
+/// Builds the gsm program. Samples at `ARRAY_A`, per-frame
+/// autocorrelations (`ORDER` lags each) at `ARRAY_B`.
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, j, k, x, y, t) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (n, samples, corr) = (Reg::R10, Reg::R11, Reg::R12);
+    let (acc, prev, frames, fbase, u) = (Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R7);
+
+    b.li(samples, ARRAY_A).li(corr, ARRAY_B);
+    b.load(n, Reg::R0, param(0)); // total samples
+    b.load(frames, Reg::R0, param(1)); // frame count
+
+    // Region 0: preemphasis s[i] += (s[i-1] * 28180) >> 15, in place.
+    b.li(i, 1).li(prev, 0);
+    b.region_enter(RegionId::new(0));
+    let r0 = b.label_here("preemph");
+    b.add(t, samples, i).load(x, t, 0);
+    // Arithmetic shift: samples are signed.
+    b.li(y, 28180).mul(u, prev, y).li(y, 15).sra(u, u, y).add(x, x, u);
+    b.store(x, t, 0).mv(prev, x);
+    b.addi(i, i, 1).blt_label(i, n, r0);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: autocorrelation per frame:
+    // corr[f*ORDER + k] = Σ_j s[f*FRAME + j] * s[f*FRAME + j - k]
+    b.li(i, 0); // frame index
+    b.region_enter(RegionId::new(1));
+    let fr = b.label_here("frame");
+    b.li(t, FRAME).mul(fbase, i, t).add(fbase, samples, fbase);
+    b.li(k, 0);
+    let lag = b.label_here("lag");
+    b.li(acc, 0).mv(j, k);
+    let mac = b.label_here("mac");
+    b.add(t, fbase, j).load(x, t, 0);
+    b.sub(t, t, k).load(y, t, 0);
+    // Arithmetic shift: products may be negative.
+    b.mul(x, x, y).li(t, 8).sra(x, x, t).add(acc, acc, x);
+    b.addi(j, j, 1);
+    b.li(t, FRAME);
+    b.blt_label(j, t, mac);
+    // store corr
+    b.li(t, ORDER).mul(t, i, t).add(t, t, k).add(t, corr, t).store(acc, t, 0);
+    b.addi(k, k, 1);
+    b.li(t, ORDER);
+    b.blt_label(k, t, lag);
+    b.addi(i, i, 1).blt_label(i, frames, fr);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: data-dependent quantisation search. For every corr
+    // value, halve until below a bound; iteration count depends on the
+    // value's magnitude, so the per-iteration period is unstable and the
+    // region produces no clean spectral peak.
+    b.li(i, 0).li(acc, 0);
+    b.li(u, ORDER);
+    b.mul(u, u, frames); // total corr entries
+    b.region_enter(RegionId::new(2));
+    let qs = b.label_here("qsearch");
+    b.add(t, corr, i).load(x, t, 0);
+    // |x|
+    let posq = b.label("posq");
+    b.bge_label(x, Reg::R0, posq);
+    b.sub(x, Reg::R0, x);
+    b.bind(posq);
+    b.li(y, 32); // bound
+    let q_done = b.label("q_done");
+    let q_top = b.label_here("q_top");
+    b.blt_label(x, y, q_done);
+    b.srli(x, x, 1).addi(acc, acc, 1);
+    b.jump_label(q_top);
+    b.bind(q_done);
+    b.addi(i, i, 1).blt_label(i, u, qs);
+    b.region_exit(RegionId::new(2));
+
+    b.store(acc, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("gsm assembles")
+}
+
+/// Prepares seeded speech-like samples: a slow oscillation plus noise.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0x6503);
+    let frames = rng.size_near(8 * scale as i64).max(4);
+    let n = frames * FRAME;
+    set_param(m, 0, n);
+    set_param(m, 1, frames);
+    for i in 0..n {
+        let slow = (((i as f64) * 0.21).sin() * 2000.0) as i64;
+        m.write_mem(ARRAY_A + i, slow + rng.range(-500, 500));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 7, 3);
+    }
+
+    #[test]
+    fn zero_lag_autocorrelation_dominates() {
+        // corr[f*ORDER + 0] is the frame energy: it must be the largest
+        // lag for every frame.
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 2, 1);
+        sim.run();
+        let m = sim.machine_mut();
+        let frames = m.mem(param(1));
+        for f in 0..frames {
+            let e0 = m.mem(ARRAY_B + f * ORDER);
+            for k in 1..ORDER {
+                // FRAME of slack covers per-term shift rounding.
+                assert!(
+                    e0 + FRAME >= m.mem(ARRAY_B + f * ORDER + k),
+                    "frame {f} lag {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

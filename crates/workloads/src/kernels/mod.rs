@@ -1,0 +1,161 @@
+//! The ten benchmark kernels, one module each.
+//!
+//! Shared conventions:
+//!
+//! * runtime sizes live in low memory ([`PARAM_BASE`]) so one program
+//!   serves many seeded inputs;
+//! * input/output arrays live at the word bases defined here;
+//! * registers `R1..R9` are loop counters and temporaries, `R10..R19`
+//!   hold bases and limits, `R20..R28` hold accumulators.
+
+pub mod basicmath;
+pub mod bitcount;
+pub mod dijkstra;
+pub mod fft;
+pub mod gsm;
+pub mod patricia;
+pub mod rijndael;
+pub mod sha;
+pub mod stringsearch;
+pub mod susan;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use eddie_sim::Machine;
+
+/// Word address of the runtime-parameter block (`param(0)`, `param(1)`, …).
+pub const PARAM_BASE: usize = 16;
+/// Word base of the first input array.
+pub const ARRAY_A: i64 = 1 << 12;
+/// Word base of the second input array.
+pub const ARRAY_B: i64 = 1 << 14;
+/// Word base of the third (usually output) array.
+pub const ARRAY_C: i64 = 1 << 16;
+/// Word base of auxiliary tables.
+pub const TABLE: i64 = 1 << 17;
+
+/// Address of runtime parameter `i`.
+pub fn param(i: usize) -> i64 {
+    (PARAM_BASE + i) as i64
+}
+
+/// Writes parameter `i`.
+pub fn set_param(m: &mut Machine, i: usize, v: i64) {
+    m.write_mem(param(i), v);
+}
+
+/// A seeded helper for input generation: wraps `StdRng` with the few
+/// draws the kernels need.
+#[derive(Debug)]
+pub(crate) struct InputRng {
+    rng: StdRng,
+}
+
+impl InputRng {
+    pub(crate) fn new(seed: u64) -> InputRng {
+        InputRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub(crate) fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// A size near `base` (± 10 %), at least 4 — run-to-run problem-size
+    /// variation, mirroring the paper's per-run input changes.
+    pub(crate) fn size_near(&mut self, base: i64) -> i64 {
+        let jitter = (base / 10).max(1);
+        (base + self.range(-jitter, jitter + 1)).max(4)
+    }
+
+    /// Fills `count` words starting at `base` with values in `[lo, hi)`.
+    pub(crate) fn fill(&mut self, m: &mut Machine, base: i64, count: i64, lo: i64, hi: i64) {
+        for k in 0..count {
+            let v = self.range(lo, hi);
+            m.write_mem(base + k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use eddie_cfg::RegionGraph;
+    use eddie_isa::Program;
+    use eddie_sim::{Machine, SimConfig, SimResult, Simulator};
+
+    /// Runs a kernel end-to-end on the in-order preset and sanity-checks
+    /// the traces every kernel must produce.
+    pub(crate) fn run_kernel(
+        program: &Program,
+        prepare: impl Fn(&mut Machine, u64, u32),
+        seed: u64,
+        min_regions: usize,
+    ) -> SimResult {
+        // Region analysis must succeed on every kernel.
+        let graph = RegionGraph::from_program(program).expect("region graph builds");
+        assert!(graph.loop_regions().count() >= min_regions);
+
+        let mut sim = Simulator::new(SimConfig::iot_inorder(), program.clone());
+        prepare(sim.machine_mut(), seed, 1);
+        let r = sim.run();
+        assert!(!r.stats.truncated, "kernel must halt on its own");
+        assert!(
+            r.regions.len() >= min_regions,
+            "expected at least {min_regions} executed regions, got {}",
+            r.regions.len()
+        );
+        for span in &r.regions {
+            assert!(span.end_cycle > span.start_cycle, "region spans must be non-empty");
+        }
+        r
+    }
+
+    /// Asserts two seeds lead to different run lengths (input variation
+    /// must be visible in timing).
+    pub(crate) fn assert_input_sensitivity(
+        program: &Program,
+        prepare: impl Fn(&mut Machine, u64, u32),
+    ) {
+        let a = {
+            let mut sim = Simulator::new(SimConfig::iot_inorder(), program.clone());
+            prepare(sim.machine_mut(), 11, 1);
+            sim.run().stats.cycles
+        };
+        let b = {
+            let mut sim = Simulator::new(SimConfig::iot_inorder(), program.clone());
+            prepare(sim.machine_mut(), 1234, 1);
+            sim.run().stats.cycles
+        };
+        assert_ne!(a, b, "different seeds should change timing");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_addresses_are_disjoint_from_arrays() {
+        assert!(param(15) < ARRAY_A);
+        assert!(ARRAY_A < ARRAY_B && ARRAY_B < ARRAY_C && ARRAY_C < TABLE);
+    }
+
+    #[test]
+    fn input_rng_is_deterministic() {
+        let mut a = InputRng::new(5);
+        let mut b = InputRng::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.range(0, 1000), b.range(0, 1000));
+        }
+    }
+
+    #[test]
+    fn size_near_stays_in_band() {
+        let mut r = InputRng::new(1);
+        for _ in 0..100 {
+            let s = r.size_near(100);
+            assert!((90..=110).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Patricia: radix-trie insertion and lookup over random keys, like
+//! MiBench's network/patricia. The trie is stored as a flat node array
+//! (`[bit, left, right, key]` per node), so the traversal is the
+//! pointer-chasing, branch-heavy loop the original is known for.
+//!
+//! Regions:
+//! * 0 — key generation pass;
+//! * 1 — insertion loop (walk + allocate);
+//! * 2 — lookup loop (walk + compare).
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B};
+
+const NODE_WORDS: i64 = 4;
+const KEY_BITS: i64 = 16;
+
+/// Builds the patricia program. Keys at `ARRAY_A`; node pool at
+/// `ARRAY_B` (node 0 is the root).
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, key, node, t, bit) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    let (n, keys, pool, next_free) = (Reg::R10, Reg::R11, Reg::R12, Reg::R14);
+    let (acc, depth, four, x) = (Reg::R20, Reg::R21, Reg::R22, Reg::R6);
+
+    b.li(keys, ARRAY_A).li(pool, ARRAY_B).li(four, NODE_WORDS);
+    b.load(n, Reg::R0, param(0));
+
+    // Region 0: scramble keys in place (multiplicative hashing).
+    b.li(i, 0);
+    b.region_enter(RegionId::new(0));
+    let r0 = b.label_here("keys");
+    b.add(t, keys, i).load(key, t, 0);
+    b.li(x, 0x9e37_79b9).mul(key, key, x).srli(x, key, 7).xor(key, key, x);
+    b.li(x, (1 << KEY_BITS) - 1).and(key, key, x);
+    b.store(key, t, 0);
+    b.addi(i, i, 1).blt_label(i, n, r0);
+    b.region_exit(RegionId::new(0));
+
+    // Root node: bit = KEY_BITS-1, children point to itself, key = 0.
+    b.li(t, KEY_BITS - 1).store(t, pool, 0);
+    b.store(Reg::R0, pool, 1).store(Reg::R0, pool, 2).store(Reg::R0, pool, 3);
+    b.li(next_free, 1);
+
+    // Region 1: insert each key. Walk down testing key bits until the
+    // bit index stops decreasing, then append a leaf at the free slot.
+    b.li(i, 0);
+    b.region_enter(RegionId::new(1));
+    let ins = b.label_here("insert");
+    b.add(t, keys, i).load(key, t, 0);
+    b.li(node, 0); // current node index
+    let walk_done = b.label("walk_done");
+    let walk = b.label_here("walk");
+    // t = &pool[node*4]; bit = pool[node].bit
+    b.mul(t, node, four).add(t, pool, t).load(bit, t, 0);
+    b.blt_label(bit, Reg::R0, walk_done); // leaves carry bit = -1
+    // x = (key >> bit) & 1 ; follow left/right child
+    b.srl(x, key, bit).andi(x, x, 1);
+    b.addi(x, x, 1); // child slot: 1=left, 2=right
+    b.add(t, t, x).load(depth, t, 0);
+    // Stop if the child is the node itself (uninitialised back edge).
+    b.beq_label(depth, node, walk_done);
+    b.mv(node, depth);
+    b.jump_label(walk);
+    b.bind(walk_done);
+    // Append a leaf: pool[next_free] = {-1, self, self, key}, then hook
+    // it under the stopping node's slot chosen by bit 0 of the key.
+    b.mul(t, next_free, four).add(t, pool, t);
+    b.li(x, -1).store(x, t, 0);
+    b.store(next_free, t, 1).store(next_free, t, 2).store(key, t, 3);
+    b.mul(t, node, four).add(t, pool, t);
+    b.andi(x, key, 1).addi(x, x, 1).add(t, t, x).store(next_free, t, 0);
+    b.addi(next_free, next_free, 1);
+    b.addi(i, i, 1).blt_label(i, n, ins);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: look up every key, counting exact leaf matches.
+    b.li(i, 0).li(acc, 0);
+    b.region_enter(RegionId::new(2));
+    let lut = b.label_here("lookup");
+    b.add(t, keys, i).load(key, t, 0);
+    b.li(node, 0).li(depth, 0);
+    let l_done = b.label("l_done");
+    let l_walk = b.label_here("l_walk");
+    b.mul(t, node, four).add(t, pool, t).load(bit, t, 0);
+    b.blt_label(bit, Reg::R0, l_done);
+    // Bound traversal depth (pool is small; defensive against cycles).
+    b.addi(depth, depth, 1);
+    b.li(x, 64);
+    b.bge_label(depth, x, l_done);
+    b.srl(x, key, bit).andi(x, x, 1).addi(x, x, 1);
+    b.add(t, t, x).load(x, t, 0);
+    b.beq_label(x, node, l_done);
+    b.mv(node, x);
+    b.jump_label(l_walk);
+    b.bind(l_done);
+    // Leaf key match?
+    b.mul(t, node, four).add(t, pool, t).load(x, t, 3);
+    let miss = b.label("miss");
+    b.bne_label(x, key, miss);
+    b.addi(acc, acc, 1);
+    b.bind(miss);
+    b.addi(i, i, 1).blt_label(i, n, lut);
+    b.region_exit(RegionId::new(2));
+
+    b.store(acc, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("patricia assembles")
+}
+
+/// Prepares seeded raw keys (scrambled by region 0).
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0x9a77);
+    let n = rng.size_near(300 * scale as i64);
+    set_param(m, 0, n);
+    rng.fill(m, ARRAY_A, n, 0, 1 << 30);
+    // Zero the node pool header region defensively.
+    for k in 0..8 {
+        m.write_mem(ARRAY_B + k, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 5, 3);
+    }
+
+    #[test]
+    fn lookups_find_inserted_keys() {
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 4, 1);
+        sim.run();
+        let m = sim.machine_mut();
+        let n = m.mem(param(0));
+        let hits = m.mem(param(8));
+        assert!(hits > 0, "some lookups must hit");
+        assert!(hits <= n);
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

@@ -1,0 +1,140 @@
+//! Rijndael: a table-driven block cipher kernel patterned on MiBench's
+//! AES — key-schedule expansion, then rounds of S-box lookups and
+//! mixing over every block.
+//!
+//! Regions:
+//! * 0 — key-schedule expansion loop;
+//! * 1 — encryption rounds over all blocks (table-lookup heavy — loads
+//!   dominate, exercising the D-cache every iteration);
+//! * 2 — ciphertext checksum pass.
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B, ARRAY_C, TABLE};
+
+const ROUNDS: i64 = 10;
+const KEY_WORDS: i64 = 4 * (ROUNDS + 1);
+
+/// Builds the rijndael program. Plaintext blocks (4 words each) at
+/// `ARRAY_A`, round keys at `ARRAY_B`, ciphertext at `ARRAY_C`, the
+/// 256-entry S-box at `TABLE`.
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, j, x, y, t, u) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (blocks, pt, rk, ct, sbox) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14);
+    let (s0, s1, s2, s3, blk, mask32) =
+        (Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25);
+
+    b.li(pt, ARRAY_A).li(rk, ARRAY_B).li(ct, ARRAY_C).li(sbox, TABLE);
+    b.load(blocks, Reg::R0, param(0));
+    b.li(mask32, 0xffff_ffff);
+
+    // Region 0: key expansion rk[i] = sbox-mix of rk[i-1] ^ rk[i-4].
+    b.li(i, 4);
+    b.region_enter(RegionId::new(0));
+    let kx = b.label_here("keyexp");
+    b.add(t, rk, i).load(x, t, -1);
+    // Byte-substitute the low byte through the S-box, rotate.
+    b.andi(y, x, 255).add(y, sbox, y).load(y, y, 0);
+    b.srli(x, x, 8).slli(u, y, 24).or(x, x, u);
+    b.load(y, t, -4).xor(x, x, y).and(x, x, mask32);
+    b.store(x, t, 0);
+    b.addi(i, i, 1);
+    b.li(t, KEY_WORDS);
+    b.blt_label(i, t, kx);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: rounds over every block.
+    b.li(blk, 0);
+    b.region_enter(RegionId::new(1));
+    let blk_top = b.label_here("block");
+    // Load the 4 state words.
+    b.slli(t, blk, 2).add(t, pt, t);
+    b.load(s0, t, 0).load(s1, t, 1).load(s2, t, 2).load(s3, t, 3);
+    b.li(j, 0);
+    let round = b.label_here("round");
+    // SubBytes (low byte of each word through the S-box) + ShiftRows-ish
+    // rotation + AddRoundKey.
+    for (s, k_off) in [(s0, 0i64), (s1, 1), (s2, 2), (s3, 3)] {
+        b.andi(y, s, 255).add(y, sbox, y).load(y, y, 0);
+        b.srli(x, s, 8).slli(u, y, 24).or(x, x, u);
+        b.slli(t, j, 2).add(t, rk, t).load(y, t, k_off);
+        b.xor(x, x, y);
+        b.and(x, x, mask32);
+        b.mv(s, x);
+    }
+    // MixColumns-ish cross mixing.
+    b.xor(s0, s0, s1).xor(s1, s1, s2).xor(s2, s2, s3).xor(s3, s3, s0);
+    b.addi(j, j, 1);
+    b.li(t, ROUNDS);
+    b.blt_label(j, t, round);
+    // Store ciphertext.
+    b.slli(t, blk, 2).add(t, ct, t);
+    b.store(s0, t, 0).store(s1, t, 1).store(s2, t, 2).store(s3, t, 3);
+    b.addi(blk, blk, 1).blt_label(blk, blocks, blk_top);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: checksum over the ciphertext.
+    b.li(i, 0).slli(u, blocks, 2).li(s0, 0);
+    b.region_enter(RegionId::new(2));
+    let sum = b.label_here("sum");
+    b.add(t, ct, i).load(x, t, 0).add(s0, s0, x);
+    b.addi(i, i, 1).blt_label(i, u, sum);
+    b.region_exit(RegionId::new(2));
+
+    b.store(s0, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("rijndael assembles")
+}
+
+/// Prepares seeded plaintext, an initial key, and a permutation S-box.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0xae5d);
+    let blocks = rng.size_near(120 * scale as i64).max(8);
+    set_param(m, 0, blocks);
+    rng.fill(m, ARRAY_A, blocks * 4, 0, 1 << 32);
+    // Initial 4 key words.
+    rng.fill(m, ARRAY_B, 4, 0, 1 << 32);
+    // A bijective byte S-box: affine-ish permutation of 0..255.
+    for v in 0..256i64 {
+        m.write_mem(TABLE + v, ((v * 167 + 41) % 256) ^ 0x63);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 1, 3);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_is_key_dependent() {
+        let run = |key_seed: u64| {
+            let p = build(1);
+            let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+            prepare(sim.machine_mut(), 1, 1);
+            {
+                let m = sim.machine_mut();
+                set_param(m, 0, 8);
+                let mut rng = InputRng::new(key_seed);
+                rng.fill(m, ARRAY_B, 4, 0, 1 << 32);
+            }
+            sim.run();
+            (0..8).map(|i| sim.machine_mut().mem(ARRAY_C + i)).collect::<Vec<_>>()
+        };
+        let c1 = run(100);
+        let c2 = run(200);
+        assert_ne!(c1, c2, "different keys must give different ciphertext");
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

@@ -1,0 +1,159 @@
+//! SHA: a block-structured hash kernel patterned on MiBench's SHA-1 —
+//! message-schedule expansion plus an 80-round compression per block.
+//!
+//! Regions (each brackets a *top-level* loop nest, as the paper's
+//! instrumentation does):
+//! * 0 — a message checksum pre-pass (steady load/add loop);
+//! * 1 — the per-block nest: schedule expansion + 80 compression rounds
+//!   for every block (short, steady inner iterations — the paper's SHA
+//!   row shows very low detection latency because its loops are so
+//!   regular);
+//! * 2 — digest folding pass.
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B};
+
+const BLOCK_WORDS: i64 = 16;
+const SCHED_WORDS: i64 = 80;
+
+/// Builds the sha program. Message blocks at `ARRAY_A`; the expanded
+/// schedule (reused per block) at `ARRAY_B`.
+pub fn build(scale: u32) -> Program {
+    let _ = scale; // sizes are runtime parameters; see `prepare`
+    let mut b = ProgramBuilder::new();
+    let (i, j, x, y, t, u) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (blocks, msg, sched) = (Reg::R10, Reg::R11, Reg::R12);
+    let (h0, h1, h2, h3, h4, blk, mask32) = (
+        Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25, Reg::R26,
+    );
+    let total_words = Reg::R27;
+
+    b.li(msg, ARRAY_A).li(sched, ARRAY_B);
+    b.load(blocks, Reg::R0, param(0));
+    b.li(h0, 0x6745_2301).li(h1, 0xefcd_ab89u32 as i64).li(h2, 0x98ba_dcfeu32 as i64);
+    b.li(h3, 0x1032_5476).li(h4, 0xc3d2_e1f0u32 as i64);
+    b.li(mask32, 0xffff_ffff);
+    b.li(t, BLOCK_WORDS).mul(total_words, blocks, t);
+
+    // Region 0: message checksum pre-pass (mimics sha's byte-stream
+    // reading loop; steady body -> sharp peak).
+    b.li(i, 0).li(u, 0);
+    b.region_enter(RegionId::new(0));
+    let pre = b.label_here("pre");
+    b.add(t, msg, i).load(x, t, 0).and(x, x, mask32);
+    b.add(u, u, x).slli(y, u, 1).srli(u, u, 63).or(u, u, y);
+    b.addi(i, i, 1).blt_label(i, total_words, pre);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: the per-block nest — schedule expansion then 80 rounds,
+    // for every block.
+    b.li(blk, 0);
+    b.region_enter(RegionId::new(1));
+    let blk_top = b.label_here("block");
+    // Schedule: w[0..16] = block words;
+    // w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16]).
+    b.li(i, 0);
+    let copy = b.label_here("copy");
+    b.li(t, BLOCK_WORDS).mul(t, blk, t).add(t, t, i).add(t, msg, t).load(x, t, 0);
+    b.and(x, x, mask32);
+    b.add(t, sched, i).store(x, t, 0);
+    b.addi(i, i, 1);
+    b.li(t, BLOCK_WORDS);
+    b.blt_label(i, t, copy);
+    let expand = b.label_here("expand");
+    b.add(t, sched, i).load(x, t, -3);
+    b.load(y, t, -8).xor(x, x, y);
+    b.load(y, t, -14).xor(x, x, y);
+    b.load(y, t, -16).xor(x, x, y);
+    // rotl1 within 32 bits
+    b.slli(y, x, 1).srli(x, x, 31).or(x, x, y).and(x, x, mask32);
+    b.store(x, t, 0);
+    b.addi(i, i, 1);
+    b.li(t, SCHED_WORDS);
+    b.blt_label(i, t, expand);
+    // Rounds: e += rotl5(a) + Ch(b,c,d) + w[j] + K; rotate registers.
+    b.li(j, 0);
+    let round = b.label_here("round");
+    b.and(x, h1, h2);
+    b.xori(y, h1, -1).and(y, y, h3).or(x, x, y);
+    b.slli(y, h0, 5).srli(t, h0, 27).or(y, y, t).and(y, y, mask32);
+    b.add(x, x, y);
+    b.add(t, sched, j).load(y, t, 0).add(x, x, y);
+    b.li(y, 0x5a82_7999).add(x, x, y).add(x, x, h4).and(x, x, mask32);
+    b.mv(h4, h3).mv(h3, h2);
+    b.slli(t, h1, 30).srli(u, h1, 2).or(t, t, u).and(h2, t, mask32);
+    b.mv(h1, h0).mv(h0, x);
+    b.addi(j, j, 1);
+    b.li(t, SCHED_WORDS);
+    b.blt_label(j, t, round);
+    b.addi(blk, blk, 1).blt_label(blk, blocks, blk_top);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: digest folding over mixing iterations.
+    b.li(i, 0).li(t, 256);
+    b.region_enter(RegionId::new(2));
+    let fold = b.label_here("fold");
+    b.xor(h0, h0, h4).add(h1, h1, h0).xor(h2, h2, h1).add(h3, h3, h2).and(h0, h0, mask32);
+    b.slli(y, h4, 3).srli(u, h4, 61).or(h4, y, u);
+    b.addi(i, i, 1).blt_label(i, t, fold);
+    b.region_exit(RegionId::new(2));
+
+    b.store(h0, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("sha assembles")
+}
+
+/// Prepares seeded message blocks; the block count scales the run.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0x51a0);
+    let blocks = rng.size_near(16 * scale as i64).max(4);
+    set_param(m, 0, blocks);
+    rng.fill(m, ARRAY_A, blocks * BLOCK_WORDS, 0, 1 << 32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions_in_order() {
+        let p = build(1);
+        let r = testutil::run_kernel(&p, prepare, 1, 3);
+        let ids: Vec<u32> = r.regions.iter().map(|s| s.region.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2], "top-level nests execute once each");
+    }
+
+    #[test]
+    fn block_nest_dominates_runtime() {
+        let p = build(1);
+        let r = testutil::run_kernel(&p, prepare, 2, 3);
+        let span = |idx: u32| {
+            r.regions.iter().find(|s| s.region.index() == idx).unwrap().cycles()
+        };
+        assert!(span(1) > span(0), "compression outweighs the pre-pass");
+        assert!(span(1) > span(2));
+    }
+
+    #[test]
+    fn digest_depends_on_message() {
+        let digest = |seed: u64| {
+            let p = build(1);
+            let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+            prepare(sim.machine_mut(), seed, 1);
+            // Fix the block count so only contents differ.
+            set_param(sim.machine_mut(), 0, 8);
+            sim.run();
+            sim.machine_mut().mem(param(8))
+        };
+        assert_ne!(digest(1), digest(2));
+        assert_eq!(digest(3), digest(3));
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

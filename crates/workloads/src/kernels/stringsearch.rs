@@ -1,0 +1,161 @@
+//! Stringsearch: Boyer–Moore–Horspool substring search over a text
+//! buffer, like MiBench's office/stringsearch.
+//!
+//! Regions:
+//! * 0 — bad-character skip-table construction;
+//! * 1 — the search loop (data-dependent skips make per-iteration time
+//!   variable);
+//! * 2 — verification pass re-checking every reported match.
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_B, ARRAY_C, TABLE};
+
+const ALPHABET: i64 = 32;
+
+/// Builds the stringsearch program. Text (one symbol per word) at
+/// `ARRAY_A`, pattern at `ARRAY_B`, match positions at `ARRAY_C`, the
+/// skip table at `TABLE`.
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, j, x, y, t, u) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    let (n, m_len, text, pat, out, tbl) =
+        (Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15);
+    let (pos, matches, last) = (Reg::R20, Reg::R21, Reg::R22);
+
+    b.li(text, ARRAY_A).li(pat, ARRAY_B).li(out, ARRAY_C).li(tbl, TABLE);
+    b.load(n, Reg::R0, param(0));
+    b.load(m_len, Reg::R0, param(1));
+
+    // Region 0: skip[c] = m for all c, then skip[pat[j]] = m-1-j.
+    b.li(i, 0);
+    b.li(t, ALPHABET);
+    b.region_enter(RegionId::new(0));
+    let init = b.label_here("init");
+    b.add(u, tbl, i).store(m_len, u, 0);
+    b.addi(i, i, 1).blt_label(i, t, init);
+    // (the per-pattern refinement is part of the same nest)
+    b.li(j, 0).addi(t, m_len, -1);
+    let refine = b.label_here("refine");
+    b.add(u, pat, j).load(x, u, 0);
+    b.sub(y, t, j);
+    b.add(u, tbl, x).store(y, u, 0);
+    b.addi(j, j, 1).blt_label(j, t, refine);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: Horspool search.
+    b.li(pos, 0).li(matches, 0).sub(last, n, m_len);
+    b.region_enter(RegionId::new(1));
+    let search_done = b.label("search_done");
+    let search = b.label_here("search");
+    b.blt_label(last, pos, search_done);
+    // Fixed per-shift preamble: MiBench's stringsearch normalises case
+    // and bounds-checks at every alignment, so each shift carries a
+    // constant body of dependent work — that is what gives the search
+    // loop its stable per-shift period (and EDDIE its spectral peak).
+    b.li(x, 2654435761);
+    b.mul(x, pos, x).srli(y, x, 13).xor(x, x, y);
+    b.slli(y, x, 7).xor(x, x, y).srli(y, x, 17).xor(x, x, y);
+    b.andi(x, x, 31).add(x, tbl, x).load(x, x, 0).add(u, u, x);
+    // Compare pattern right-to-left.
+    b.addi(j, m_len, -1);
+    let mismatch = b.label("mismatch");
+    let cmp = b.label_here("cmp");
+    b.add(t, pos, j).add(t, text, t).load(x, t, 0);
+    b.add(u, pat, j).load(y, u, 0);
+    b.bne_label(x, y, mismatch);
+    b.addi(j, j, -1);
+    b.bge_label(j, Reg::R0, cmp);
+    // Full match: record position.
+    b.add(t, out, matches).store(pos, t, 0);
+    b.addi(matches, matches, 1);
+    b.addi(pos, pos, 1);
+    b.jump_label(search);
+    b.bind(mismatch);
+    // Skip by the bad-character rule on the window's last symbol.
+    b.addi(t, m_len, -1).add(t, pos, t).add(t, text, t).load(x, t, 0);
+    b.add(t, tbl, x).load(x, t, 0);
+    b.add(pos, pos, x);
+    b.jump_label(search);
+    b.bind(search_done);
+    b.region_exit(RegionId::new(1));
+    b.store(matches, Reg::R0, param(8));
+
+    // Region 2: verify every reported match by direct comparison.
+    b.li(i, 0).li(u, 0);
+    b.region_enter(RegionId::new(2));
+    let v_done = b.label("v_done");
+    let verify = b.label_here("verify");
+    b.bge_label(i, matches, v_done);
+    b.add(t, out, i).load(pos, t, 0);
+    b.li(j, 0);
+    let v_next = b.label("v_next");
+    let vcmp = b.label_here("vcmp");
+    b.add(t, pos, j).add(t, text, t).load(x, t, 0);
+    b.add(y, pat, j).load(y, y, 0);
+    b.bne_label(x, y, v_next); // (never for true matches)
+    b.addi(j, j, 1).blt_label(j, m_len, vcmp);
+    b.addi(u, u, 1);
+    b.bind(v_next);
+    b.addi(i, i, 1);
+    b.jump_label(verify);
+    b.bind(v_done);
+    b.region_exit(RegionId::new(2));
+
+    b.store(u, Reg::R0, param(9));
+    b.halt();
+    b.build().expect("stringsearch assembles")
+}
+
+/// Prepares a seeded text over a 32-symbol alphabet and plants the
+/// pattern at a few known offsets so matches exist.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0x575e);
+    let n = rng.size_near(4000 * scale as i64);
+    let m_len = rng.range(4, 9);
+    set_param(m, 0, n);
+    set_param(m, 1, m_len);
+    rng.fill(m, ARRAY_A, n, 0, ALPHABET);
+    let pattern: Vec<i64> = (0..m_len).map(|_| rng.range(0, ALPHABET)).collect();
+    for (j, &c) in pattern.iter().enumerate() {
+        m.write_mem(ARRAY_B + j as i64, c);
+    }
+    // Plant the pattern ~8 times.
+    for _ in 0..8 {
+        let at = rng.range(0, n - m_len);
+        for (j, &c) in pattern.iter().enumerate() {
+            m.write_mem(ARRAY_A + at + j as i64, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 1, 3);
+    }
+
+    #[test]
+    fn every_match_verifies() {
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 12, 1);
+        sim.run();
+        let m = sim.machine_mut();
+        let found = m.mem(param(8));
+        let verified = m.mem(param(9));
+        assert!(found >= 1, "planted patterns must be found");
+        assert_eq!(found, verified, "all matches must verify");
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

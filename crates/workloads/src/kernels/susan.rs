@@ -1,0 +1,141 @@
+//! Susan: image smoothing with conditional accumulation — a 2-D stencil
+//! kernel with data-dependent control flow inside the inner loop, like
+//! MiBench's SUSAN corner/edge detector.
+//!
+//! Regions:
+//! * 0 — brightness lookup-table initialisation;
+//! * 1 — 3×3 smoothing over the image with a similarity threshold (the
+//!   conditional accumulation makes per-iteration work data-dependent,
+//!   producing the multi-modal peak distributions of Figure 2);
+//! * 2 — edge-strength thresholding pass over the smoothed image.
+
+use eddie_isa::{Program, ProgramBuilder, Reg, RegionId};
+use eddie_sim::Machine;
+
+use super::{param, set_param, InputRng, ARRAY_A, ARRAY_C, TABLE};
+
+/// Builds the susan program.
+pub fn build(scale: u32) -> Program {
+    let _ = scale;
+    let mut b = ProgramBuilder::new();
+    let (i, j, x, t, u) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    let (w, h, img, out, tbl) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14);
+    let (acc, cnt, thr, center, row) = (Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24);
+
+    b.li(img, ARRAY_A).li(out, ARRAY_C).li(tbl, TABLE);
+    b.load(w, Reg::R0, param(0));
+    b.load(h, Reg::R0, param(1));
+    b.load(thr, Reg::R0, param(2));
+
+    // Region 0: LUT init lut[v] = (255 - v) squared-ish response.
+    b.li(i, 0).li(t, 256);
+    b.region_enter(RegionId::new(0));
+    let r0 = b.label_here("lut");
+    b.li(x, 255).sub(x, x, i).mul(x, x, x).srli(x, x, 8);
+    b.add(u, tbl, i).store(x, u, 0);
+    b.addi(i, i, 1).blt_label(i, t, r0);
+    b.region_exit(RegionId::new(0));
+
+    // Region 1: smoothing. For each interior pixel, average the 3x3
+    // neighbours whose brightness is within thr of the centre.
+    b.li(i, 1);
+    b.region_enter(RegionId::new(1));
+    let row_top = b.label_here("row");
+    b.li(j, 1);
+    b.mul(row, i, w);
+    let col_top = b.label_here("col");
+    b.add(t, row, j).add(t, img, t).load(center, t, 0);
+    b.li(acc, 0).li(cnt, 0);
+    // Unrolled 3x3 neighbourhood with conditional accumulation.
+    for (dy, dx) in [(-1i64, -1i64), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)] {
+        let skip = b.label("skip");
+        b.mul(t, i, w); // recompute row base (keeps register pressure low)
+        b.addi(t, t, 0);
+        b.add(t, t, j);
+        b.addi(t, t, dy * 64 + dx); // w is 64-aligned below; see prepare()
+        b.add(t, img, t).load(x, t, 0);
+        b.sub(u, x, center);
+        // |u| > thr ? skip
+        let neg = b.label("neg");
+        b.bge_label(u, Reg::R0, neg);
+        b.sub(u, Reg::R0, u);
+        b.bind(neg);
+        b.blt_label(thr, u, skip);
+        b.add(acc, acc, x).addi(cnt, cnt, 1);
+        b.bind(skip);
+    }
+    // out = acc / (cnt+1) via LUT-modulated store.
+    b.addi(cnt, cnt, 1).div(acc, acc, cnt);
+    b.andi(x, acc, 255).add(x, tbl, x).load(x, x, 0).add(acc, acc, x);
+    b.add(t, row, j).add(t, out, t).store(acc, t, 0);
+    b.addi(j, j, 1).addi(u, w, -1).blt_label(j, u, col_top);
+    b.addi(i, i, 1).addi(u, h, -1).blt_label(i, u, row_top);
+    b.region_exit(RegionId::new(1));
+
+    // Region 2: threshold pass over the output image.
+    b.li(i, 0).mul(t, w, h).mv(u, t).li(acc, 0);
+    b.region_enter(RegionId::new(2));
+    let r2 = b.label_here("edge");
+    b.add(t, out, i).load(x, t, 0);
+    b.slt(x, thr, x).add(acc, acc, x);
+    b.addi(i, i, 1).blt_label(i, u, r2);
+    b.region_exit(RegionId::new(2));
+
+    b.store(acc, Reg::R0, param(8));
+    b.halt();
+    b.build().expect("susan assembles")
+}
+
+/// Prepares a seeded image. The row stride is fixed at 64 words (the
+/// kernel's neighbour offsets assume it); height varies with the seed
+/// and scale, and pixel statistics vary the similarity-test hit rate.
+pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
+    let mut rng = InputRng::new(seed ^ 0x5a5a);
+    let w = 64;
+    let h = rng.size_near(12 * scale as i64).max(8);
+    // A narrow threshold band: the similarity-test hit rate (and hence
+    // the iteration period) varies within runs but not systematically
+    // across runs, which is what a consistent brightness threshold does
+    // for SUSAN; a 10..40 spread would make every run its own regime.
+    let thr = rng.range(18, 26);
+    set_param(m, 0, w);
+    set_param(m, 1, h);
+    set_param(m, 2, thr);
+    // Smooth-ish image: random walk per row so neighbours are often
+    // within the threshold (keeps cnt data-dependent but non-trivial).
+    let mut v = 128i64;
+    for y in 0..h {
+        for x in 0..w {
+            v = (v + rng.range(-20, 21)).clamp(0, 255);
+            m.write_mem(ARRAY_A + y * w + x, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil;
+
+    #[test]
+    fn runs_with_three_regions() {
+        testutil::run_kernel(&build(1), prepare, 2, 3);
+    }
+
+    #[test]
+    fn edge_count_is_positive_and_bounded() {
+        let p = build(1);
+        let mut sim = eddie_sim::Simulator::new(eddie_sim::SimConfig::iot_inorder(), p);
+        prepare(sim.machine_mut(), 9, 1);
+        sim.run();
+        let m = sim.machine_mut();
+        let (w, h) = (m.mem(param(0)), m.mem(param(1)));
+        let edges = m.mem(param(8));
+        assert!(edges >= 0 && edges <= w * h);
+    }
+
+    #[test]
+    fn input_sensitivity() {
+        testutil::assert_input_sensitivity(&build(1), prepare);
+    }
+}

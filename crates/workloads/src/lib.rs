@@ -1,0 +1,46 @@
+//! MiBench-style benchmark kernels for the EDDIE reproduction.
+//!
+//! The paper evaluates EDDIE on ten MiBench programs (Table 1/2):
+//! bitcount, basicmath, susan, dijkstra, patricia, GSM, FFT, SHA,
+//! rijndael and stringsearch. We cannot run the original C benchmarks on
+//! our simulated core, so each kernel is re-implemented here against the
+//! `eddie-isa` instruction set, preserving what EDDIE actually depends
+//! on: the benchmark's **loop-nest structure** (the regions), the
+//! per-iteration work mix (ALU vs memory vs data-dependent branches),
+//! and input-driven variation across runs.
+//!
+//! Every kernel:
+//!
+//! * brackets each of its top-level loop nests with `RegionEnter` /
+//!   `RegionExit` markers — the paper's training instrumentation (§4.1);
+//! * reads its sizes from memory, so one program serves many runs with
+//!   different seeded inputs ([`Workload::prepare`]);
+//! * is sized by a `scale` factor so tests stay fast while experiments
+//!   run paper-scale inputs.
+//!
+//! [`shapes::loop_shapes`] additionally provides the three loop classes
+//! of Figure 3/6 (one sharp peak, several peaks, diffuse peak).
+//!
+//! # Examples
+//!
+//! ```
+//! use eddie_workloads::{Benchmark, WorkloadParams};
+//! use eddie_sim::{SimConfig, Simulator};
+//!
+//! let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 });
+//! let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
+//! w.prepare(sim.machine_mut(), 42);
+//! let result = sim.run();
+//! assert!(result.regions.len() >= 3, "bitcount has several loop regions");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod shapes;
+
+mod workload;
+
+pub use shapes::{loop_shapes, prepare_shapes, LoopShape};
+pub use workload::{Benchmark, Workload, WorkloadParams};

@@ -1,0 +1,194 @@
+use eddie_isa::{Instr, Program, RegionId};
+use eddie_sim::Machine;
+
+use crate::kernels;
+
+/// Sizing knob shared by all kernels.
+///
+/// `scale = 1` produces runs of a few hundred thousand cycles (fast
+/// enough for unit tests); the experiment harness uses larger scales so
+/// every region spans many STFT windows, as in the paper's multi-second
+/// benchmark runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadParams {
+    /// Multiplies each kernel's base iteration counts.
+    pub scale: u32,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> WorkloadParams {
+        WorkloadParams { scale: 1 }
+    }
+}
+
+/// The ten MiBench-style benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Bitcount,
+    Basicmath,
+    Susan,
+    Dijkstra,
+    Patricia,
+    Gsm,
+    Fft,
+    Sha,
+    Rijndael,
+    Stringsearch,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper's tables list them.
+    pub fn all() -> [Benchmark; 10] {
+        [
+            Benchmark::Bitcount,
+            Benchmark::Basicmath,
+            Benchmark::Susan,
+            Benchmark::Dijkstra,
+            Benchmark::Patricia,
+            Benchmark::Gsm,
+            Benchmark::Fft,
+            Benchmark::Sha,
+            Benchmark::Rijndael,
+            Benchmark::Stringsearch,
+        ]
+    }
+
+    /// The benchmark's display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bitcount => "Bitcount",
+            Benchmark::Basicmath => "Basicmath",
+            Benchmark::Susan => "Susan",
+            Benchmark::Dijkstra => "Dijkstra",
+            Benchmark::Patricia => "Patricia",
+            Benchmark::Gsm => "GSM",
+            Benchmark::Fft => "FFT",
+            Benchmark::Sha => "Sha",
+            Benchmark::Rijndael => "Rijndael",
+            Benchmark::Stringsearch => "Stringsearch",
+        }
+    }
+
+    /// Builds the benchmark's program at the given scale.
+    pub fn workload(self, params: &WorkloadParams) -> Workload {
+        let scale = params.scale.max(1);
+        let program = match self {
+            Benchmark::Bitcount => kernels::bitcount::build(scale),
+            Benchmark::Basicmath => kernels::basicmath::build(scale),
+            Benchmark::Susan => kernels::susan::build(scale),
+            Benchmark::Dijkstra => kernels::dijkstra::build(scale),
+            Benchmark::Patricia => kernels::patricia::build(scale),
+            Benchmark::Gsm => kernels::gsm::build(scale),
+            Benchmark::Fft => kernels::fft::build(scale),
+            Benchmark::Sha => kernels::sha::build(scale),
+            Benchmark::Rijndael => kernels::rijndael::build(scale),
+            Benchmark::Stringsearch => kernels::stringsearch::build(scale),
+        };
+        Workload { benchmark: self, program, scale }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A built benchmark: program plus input preparation.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    benchmark: Benchmark,
+    program: Program,
+    scale: u32,
+}
+
+impl Workload {
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Which benchmark this is.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The scale the program was built at.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// The benchmark's display name.
+    pub fn name(&self) -> &'static str {
+        self.benchmark.name()
+    }
+
+    /// Writes a seeded input set into the machine's memory. Different
+    /// seeds give different inputs (and slightly different problem
+    /// sizes), which is how training covers each region's behavioural
+    /// variation, as in the paper's 25/50-run training sets.
+    pub fn prepare(&self, machine: &mut Machine, seed: u64) {
+        match self.benchmark {
+            Benchmark::Bitcount => kernels::bitcount::prepare(machine, seed, self.scale),
+            Benchmark::Basicmath => kernels::basicmath::prepare(machine, seed, self.scale),
+            Benchmark::Susan => kernels::susan::prepare(machine, seed, self.scale),
+            Benchmark::Dijkstra => kernels::dijkstra::prepare(machine, seed, self.scale),
+            Benchmark::Patricia => kernels::patricia::prepare(machine, seed, self.scale),
+            Benchmark::Gsm => kernels::gsm::prepare(machine, seed, self.scale),
+            Benchmark::Fft => kernels::fft::prepare(machine, seed, self.scale),
+            Benchmark::Sha => kernels::sha::prepare(machine, seed, self.scale),
+            Benchmark::Rijndael => kernels::rijndael::prepare(machine, seed, self.scale),
+            Benchmark::Stringsearch => kernels::stringsearch::prepare(machine, seed, self.scale),
+        }
+    }
+
+    /// Program counter of the `RegionExit` marker for `region`, if
+    /// present — injection experiments use this to place bursts right
+    /// after a given loop (e.g. "between loops 2 and 3", §5.5).
+    pub fn region_exit_pc(&self, region: RegionId) -> Option<usize> {
+        self.program
+            .iter()
+            .find_map(|(pc, i)| (*i == Instr::RegionExit(region)).then_some(pc))
+    }
+
+    /// Program counter of the branch that closes the innermost (hottest)
+    /// loop of `region`: the backward branch with the smallest
+    /// `pc - target` span inside the region's marker range. In-loop
+    /// injection hooks trigger on it, so the payload executes once per
+    /// iteration of the body that repeats most — the paper's §5.2 attack.
+    pub fn loop_branch_pc(&self, region: RegionId) -> Option<usize> {
+        let enter = self.program.region_entry(region)?;
+        let exit = self.region_exit_pc(region)?;
+        (enter..exit)
+            .filter_map(|pc| match self.program[pc] {
+                Instr::Branch(_, _, _, t) if t <= pc && t > enter => Some((pc - t, pc)),
+                _ => None,
+            })
+            .min()
+            .map(|(_, pc)| pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::BTreeSet<_> =
+            Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Gsm.to_string(), "GSM");
+    }
+
+    #[test]
+    fn scale_is_clamped_to_one() {
+        let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 0 });
+        assert_eq!(w.scale(), 1);
+    }
+}

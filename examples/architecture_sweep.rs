@@ -1,0 +1,92 @@
+//! Which micro-architecture is easiest to monitor?
+//!
+//! §5.3 of the paper sweeps issue width, pipeline depth and ROB size to
+//! ask which architectural parameters matter to EDDIE. This example
+//! runs a small version of that sweep on one benchmark and prints the
+//! per-configuration detection picture, plus an ANOVA significance
+//! test over the out-of-order factors.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example architecture_sweep
+//! ```
+
+use eddie::core::{EddieConfig, Pipeline, SignalSource};
+use eddie::inject::{LoopInjector, OpPattern};
+use eddie::sim::{CoreConfig, CoreKind, SimConfig};
+use eddie::stats::anova::{anova, Observation};
+use eddie::workloads::{Benchmark, WorkloadParams};
+
+fn measure(core: CoreConfig) -> (f64, f64) {
+    let mut sim = SimConfig::sesc_ooo();
+    sim.core = core;
+    sim.sample_interval = 1;
+    let mut cfg = EddieConfig::default();
+    cfg.window_len = 512;
+    cfg.hop = 256;
+    let pipeline = Pipeline::new(sim, cfg, SignalSource::Power);
+
+    let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 4 });
+    let model = pipeline
+        .train(w.program(), |m, s| w.prepare(m, s), &[1, 2])
+        .expect("training succeeds");
+    let region = *model.regions.keys().next().expect("regions");
+    let pc = w.loop_branch_pc(region).expect("branch");
+    let outcome = pipeline.monitor(
+        &model,
+        w.program(),
+        |m| w.prepare(m, 31),
+        Some(Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 3))),
+    );
+    (
+        outcome.metrics.detection_latency_ms * 1e3,
+        outcome.metrics.accuracy_pct,
+    )
+}
+
+fn main() {
+    println!(
+        "{:>6} {:>6} {:>6} {:>5} {:>12} {:>10}",
+        "kind", "width", "depth", "rob", "latency_us", "accuracy"
+    );
+    let mut obs = Vec::new();
+    for &width in &[2usize, 4] {
+        for &depth in &[8u64, 16] {
+            for &rob in &[32usize, 128] {
+                let core = CoreConfig {
+                    kind: CoreKind::OutOfOrder,
+                    issue_width: width,
+                    pipeline_depth: depth,
+                    rob_size: rob,
+                    clock_hz: 1.8e9,
+                };
+                let (lat, acc) = measure(core);
+                println!(
+                    "{:>6} {:>6} {:>6} {:>5} {:>12.1} {:>9.1}%",
+                    "ooo", width, depth, rob, lat, acc
+                );
+                obs.push(Observation {
+                    response: lat,
+                    levels: vec![width as u32, depth as u32, rob as u32],
+                });
+            }
+        }
+    }
+
+    match anova(&obs, &["issue_width", "pipeline_depth", "rob_size"]) {
+        Ok(table) => {
+            println!("\nANOVA on detection latency (out-of-order factors):");
+            for e in &table.effects {
+                println!(
+                    "  {:>15}: F = {:6.2}, p = {:.4} {}",
+                    e.name,
+                    e.f,
+                    e.p_value,
+                    if e.significant(0.05) { "(significant)" } else { "" }
+                );
+            }
+        }
+        Err(e) => println!("anova failed: {e}"),
+    }
+}

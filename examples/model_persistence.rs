@@ -1,0 +1,50 @@
+//! Train once, deploy the model: serialise a trained EDDIE model to
+//! JSON and restore it, as the paper's envisioned standalone receiver
+//! would ("some flash for storing the model from training", §5.1).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example model_persistence
+//! ```
+
+use eddie::core::{EddieConfig, Pipeline, SignalSource, TrainedModel};
+use eddie::sim::SimConfig;
+use eddie::workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 1;
+    let mut cfg = EddieConfig::default();
+    cfg.window_len = 512;
+    cfg.hop = 256;
+    let pipeline = Pipeline::new(sim, cfg, SignalSource::Power);
+
+    let w = Benchmark::Sha.workload(&WorkloadParams { scale: 4 });
+    println!("training EDDIE on {}...", w.name());
+    let model = pipeline.train(w.program(), |m, s| w.prepare(m, s), &[1, 2, 3])?;
+
+    // Serialise — this is the artifact a deployment stores.
+    let json = model.to_json()?;
+    let path = std::env::temp_dir().join("eddie_sha_model.json");
+    std::fs::write(&path, &json)?;
+    println!(
+        "model written to {} ({} regions, {} KiB)",
+        path.display(),
+        model.regions.len(),
+        json.len() / 1024
+    );
+
+    // A fresh monitor process restores it and goes straight to work.
+    let restored = TrainedModel::from_json(&std::fs::read_to_string(&path)?)?;
+    assert_eq!(model, restored);
+    let outcome = pipeline.monitor(&restored, w.program(), |m| w.prepare(m, 77), None);
+    println!(
+        "restored model monitors cleanly: {} windows, {:.2}% false positives, {:.1}% coverage",
+        outcome.metrics.total_groups,
+        outcome.metrics.false_positive_pct,
+        outcome.metrics.coverage_pct
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Facade crate for the EDDIE reproduction.
+//!
+//! This crate re-exports every subsystem of the workspace under one name
+//! so that examples, integration tests and downstream users can depend on
+//! a single crate:
+//!
+//! * [`isa`] — the small RISC instruction set the simulated device runs.
+//! * [`mod@cfg`] — control-flow analysis and the region-level state machine.
+//! * [`sim`] — the cycle-level processor simulator with its power model.
+//! * [`workloads`] — MiBench-style benchmark kernels.
+//! * [`dsp`] — FFT, STFT and spectral-peak extraction.
+//! * [`em`] — the electromagnetic side-channel model.
+//! * [`stats`] — K-S / U tests, mixture fits and ANOVA.
+//! * [`inject`] — code-injection attack models.
+//! * [`core`] — EDDIE itself: training, monitoring, metrics.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use eddie_cfg as cfg;
+pub use eddie_core as core;
+pub use eddie_dsp as dsp;
+pub use eddie_em as em;
+pub use eddie_inject as inject;
+pub use eddie_isa as isa;
+pub use eddie_sim as sim;
+pub use eddie_stats as stats;
+pub use eddie_workloads as workloads;

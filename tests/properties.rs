@@ -1,0 +1,169 @@
+//! Property-based tests on the core invariants of the reproduction's
+//! substrates: FFT correctness, K-S test calibration, peak extraction,
+//! CFG structure, and simulator determinism.
+
+use eddie::cfg::{Cfg, LoopForest};
+use eddie::dsp::{find_peaks, Complex, Fft, PeakConfig, Spectrum, Stft, StftConfig, WindowKind};
+use eddie::isa::{BranchCond, Instr, Program, ProgramBuilder, Reg};
+use eddie::sim::{SimConfig, Simulator};
+use eddie::stats::descriptive::Edf;
+use eddie::stats::ks::{ks_statistic, ks_test, KsOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT followed by inverse FFT is the identity (up to rounding).
+    #[test]
+    fn fft_round_trips(values in prop::collection::vec(-1e3f64..1e3, 64)) {
+        let fft = Fft::new(64).unwrap();
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::new(v, -v * 0.5)).collect();
+        let original = buf.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec(-1e2f64..1e2, 128)) {
+        let fft = Fft::new(128).unwrap();
+        let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        let time_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum();
+        fft.forward(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * (1.0 + time_energy));
+    }
+
+    /// The K-S statistic is a pseudometric: symmetric, zero on self,
+    /// bounded by 1.
+    #[test]
+    fn ks_statistic_is_symmetric_and_bounded(
+        a in prop::collection::vec(-1e6f64..1e6, 1..60),
+        b in prop::collection::vec(-1e6f64..1e6, 1..60),
+    ) {
+        let d_ab = ks_statistic(&a, &b);
+        let d_ba = ks_statistic(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!(ks_statistic(&a, &a) == 0.0);
+    }
+
+    /// A sample drawn from the reference itself never has a larger K-S
+    /// distance than a sample shifted completely out of range.
+    #[test]
+    fn ks_orders_in_vs_out_of_distribution(
+        base in prop::collection::vec(0.0f64..100.0, 30..80),
+        take in 5usize..20,
+    ) {
+        let shifted: Vec<f64> = base.iter().take(take).map(|x| x + 1e6).collect();
+        let subset: Vec<f64> = base.iter().take(take).copied().collect();
+        prop_assert!(ks_statistic(&base, &shifted) >= ks_statistic(&base, &subset));
+        prop_assert_eq!(
+            ks_test(&base, &shifted, 0.99).outcome,
+            KsOutcome::Reject
+        );
+    }
+
+    /// The EDF is a valid CDF: monotone, 0 below the minimum, 1 at the
+    /// maximum.
+    #[test]
+    fn edf_is_a_cdf(sample in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let edf = Edf::new(&sample);
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(edf.eval(min - 1.0), 0.0);
+        prop_assert_eq!(edf.eval(max), 1.0);
+        let mut prev = 0.0;
+        for k in 0..20 {
+            let x = min + (max - min) * k as f64 / 19.0;
+            let v = edf.eval(x);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    /// Every reported peak holds at least the configured energy share
+    /// and peaks arrive sorted strongest-first.
+    #[test]
+    fn peaks_satisfy_energy_rule(power in prop::collection::vec(0.0f64..10.0, 64)) {
+        let spectrum = Spectrum { power, bin_hz: 1.0, start_sample: 0 };
+        let cfg = PeakConfig::default();
+        let peaks = find_peaks(&spectrum, &cfg);
+        let total = spectrum.ac_energy(cfg.min_bin);
+        for pair in peaks.windows(2) {
+            prop_assert!(pair[0].power >= pair[1].power);
+        }
+        for p in &peaks {
+            prop_assert!(p.power >= cfg.energy_fraction * total - 1e-12);
+            prop_assert!(p.bin >= cfg.min_bin);
+        }
+    }
+
+    /// STFT window count matches the closed-form formula for any signal
+    /// length.
+    #[test]
+    fn stft_window_count(extra in 0usize..2000) {
+        let stft = Stft::new(StftConfig {
+            window_len: 256,
+            hop: 128,
+            window: WindowKind::Hann,
+            sample_rate_hz: 1e6,
+        }).unwrap();
+        let n = 256 + extra;
+        let spectra = stft.process_real(&vec![0.5f32; n]);
+        prop_assert_eq!(spectra.len(), stft.num_windows(n));
+        prop_assert_eq!(spectra.len(), 1 + (n - 256) / 128);
+    }
+
+    /// CFG blocks partition the program: every instruction is in exactly
+    /// one block and block boundaries are contiguous.
+    #[test]
+    fn cfg_blocks_partition_program(
+        body_len in 1usize..20,
+        branch_at in 0usize..20,
+    ) {
+        let mut instrs = vec![Instr::Nop; body_len];
+        let target = branch_at % body_len;
+        instrs.push(Instr::Branch(BranchCond::Eq, Reg::R1, Reg::R2, target));
+        instrs.push(Instr::Halt);
+        let program = Program::new(instrs).unwrap();
+        let cfg = Cfg::from_program(&program).unwrap();
+        let mut covered = 0;
+        let mut pos = 0;
+        for b in cfg.blocks() {
+            prop_assert_eq!(b.start, pos);
+            covered += b.len();
+            pos = b.end;
+        }
+        prop_assert_eq!(covered, program.len());
+        // Loop discovery never panics and finds at most one loop here.
+        let forest = LoopForest::compute(&cfg);
+        prop_assert!(forest.nests().len() <= 1);
+    }
+
+    /// The simulator is deterministic: identical programs and inputs
+    /// produce identical traces, and injected-span bounds are ordered.
+    #[test]
+    fn simulator_is_deterministic(iters in 10i64..200, body in 1usize..6) {
+        let mut b = ProgramBuilder::new();
+        let (i, n, acc) = (Reg::R1, Reg::R2, Reg::R3);
+        b.li(n, iters).li(i, 0);
+        let top = b.label_here("top");
+        for _ in 0..body {
+            b.add(acc, acc, i);
+        }
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.halt();
+        let program = b.build().unwrap();
+        let mut cfg = SimConfig::iot_inorder();
+        cfg.sample_interval = 4;
+        let r1 = Simulator::new(cfg.clone(), program.clone()).run();
+        let r2 = Simulator::new(cfg, program).run();
+        prop_assert_eq!(&r1, &r2);
+        prop_assert!(r1.stats.instrs >= iters as u64 * body as u64);
+    }
+}
