@@ -11,9 +11,7 @@ use eddie_dsp::{find_peaks, Complex, Fft, PeakConfig, Stft, StftConfig, WindowKi
 
 fn tone(n: usize) -> Vec<f32> {
     (0..n)
-        .map(|i| {
-            ((i as f64 * 0.1).sin() + 0.3 * (i as f64 * 0.031).sin()) as f32
-        })
+        .map(|i| ((i as f64 * 0.1).sin() + 0.3 * (i as f64 * 0.031).sin()) as f32)
         .collect()
 }
 
@@ -21,8 +19,9 @@ fn bench_fft(c: &mut Criterion) {
     let mut g = c.benchmark_group("fft");
     for &n in &[256usize, 1024, 4096] {
         let fft = Fft::new(n).unwrap();
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         g.bench_function(format!("forward_{n}"), |b| {
             b.iter_batched(
                 || input.clone(),

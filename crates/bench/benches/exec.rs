@@ -1,0 +1,70 @@
+//! Serial vs parallel execution of the evaluation hot path.
+//!
+//! `evaluate_benchmark` (train on N seeds, monitor M attacked runs,
+//! average the §5.2 metrics) is what every table and figure of the
+//! paper repeats hundreds of times. This bench pins the worker pool to
+//! 1 and to 4 threads around the *same* evaluation, so the reported
+//! ratio is the wall-clock speedup of the execution layer — after first
+//! asserting that both widths produce identical metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use eddie_exec::with_threads;
+use eddie_experiments::harness::{evaluate_benchmark, sim_pipeline, InjectPlan};
+use eddie_workloads::Benchmark;
+
+const WL_SCALE: u32 = 2;
+const TRAIN_RUNS: usize = 4;
+const MONITOR_RUNS: usize = 8;
+
+fn evaluate() -> eddie_core::RunMetrics {
+    evaluate_benchmark(
+        &sim_pipeline(),
+        Benchmark::Stringsearch,
+        WL_SCALE,
+        TRAIN_RUNS,
+        MONITOR_RUNS,
+        &InjectPlan::Alternating,
+    )
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    // Determinism guard: the two widths must agree exactly before their
+    // timings mean anything.
+    let serial = with_threads(1, evaluate);
+    let parallel = with_threads(4, evaluate);
+    assert_eq!(
+        serial, parallel,
+        "parallel evaluation must be byte-identical to serial"
+    );
+
+    let mut g = c.benchmark_group("exec");
+    g.sample_size(10);
+    g.bench_function("evaluate_benchmark_1thread", |b| {
+        b.iter(|| with_threads(1, || black_box(evaluate())))
+    });
+    g.bench_function("evaluate_benchmark_4threads", |b| {
+        b.iter(|| with_threads(4, || black_box(evaluate())))
+    });
+    g.finish();
+}
+
+fn bench_par_map_overhead(c: &mut Criterion) {
+    // Pool overhead on trivial items: bounds the smallest work unit
+    // worth fanning out.
+    let mut g = c.benchmark_group("exec");
+    g.bench_function("par_map_64_trivial_items_4threads", |b| {
+        b.iter(|| {
+            with_threads(4, || {
+                black_box(eddie_exec::par_map_indexed(64, |i| {
+                    i.wrapping_mul(2654435761)
+                }))
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serial_vs_parallel, bench_par_map_overhead);
+criterion_main!(benches);

@@ -48,8 +48,14 @@ fn bench_fig1(c: &mut Criterion) {
 fn bench_fig2(c: &mut Criterion) {
     let p = pipeline();
     let w = Benchmark::Susan.workload(&WorkloadParams { scale: 2 });
-    let model = p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap();
-    let rm = model.regions.values().max_by_key(|r| r.training_windows).unwrap();
+    let model = p
+        .train(w.program(), |m, s| w.prepare(m, s), &[1, 2])
+        .unwrap();
+    let rm = model
+        .regions
+        .values()
+        .max_by_key(|r| r.training_windows)
+        .unwrap();
     let sample = rm.reference[0].clone();
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
@@ -63,7 +69,9 @@ fn bench_fig2(c: &mut Criterion) {
 fn bench_fig3(c: &mut Criterion) {
     let p = pipeline();
     let program = loop_shapes(2);
-    let model = p.train(&program, |m, s| prepare_shapes(m, s, 2), &[1, 2]).unwrap();
+    let model = p
+        .train(&program, |m, s| prepare_shapes(m, s, 2), &[1, 2])
+        .unwrap();
     let result = p.simulate(&program, |m| prepare_shapes(m, 9, 2), None);
     let (stss, mapping) = p.stss(&result, 9);
     let labels = label_windows(&result, &model.graph, &mapping, stss.len());
@@ -86,20 +94,35 @@ fn bench_fig3(c: &mut Criterion) {
 /// kernel, so one bench per signal path tracks all of their costs.
 fn table_kernel(p: &Pipeline, b: Benchmark) -> usize {
     let w = b.workload(&WorkloadParams { scale: 2 });
-    let model = p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap();
+    let model = p
+        .train(w.program(), |m, s| w.prepare(m, s), &[1, 2])
+        .unwrap();
     let region = *model.regions.keys().next().unwrap();
-    let mut windows = p.monitor(&model, w.program(), |m| w.prepare(m, 9), None).metrics.total_groups;
+    let mut windows = p
+        .monitor(&model, w.program(), |m| w.prepare(m, 9), None)
+        .metrics
+        .total_groups;
     if let Some(pc) = w.loop_branch_pc(region) {
         let hook = LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 4);
         windows += p
-            .monitor(&model, w.program(), |m| w.prepare(m, 10), Some(Box::new(hook)))
+            .monitor(
+                &model,
+                w.program(),
+                |m| w.prepare(m, 10),
+                Some(Box::new(hook)),
+            )
             .metrics
             .total_groups;
     }
     if let Some(pc) = w.region_exit_pc(region) {
         let hook = BurstInjector::new(pc, 10_000, OpPattern::shell_like(), 4);
         windows += p
-            .monitor(&model, w.program(), |m| w.prepare(m, 11), Some(Box::new(hook)))
+            .monitor(
+                &model,
+                w.program(),
+                |m| w.prepare(m, 11),
+                Some(Box::new(hook)),
+            )
             .metrics
             .total_groups;
     }
@@ -145,5 +168,12 @@ fn bench_anova(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3, bench_tables, bench_anova);
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_tables,
+    bench_anova
+);
 criterion_main!(benches);

@@ -26,7 +26,8 @@ fn bench_training(c: &mut Criterion) {
     g.bench_function("train_stringsearch_2runs", |b| {
         b.iter(|| {
             black_box(
-                p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap(),
+                p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2])
+                    .unwrap(),
             )
         })
     });
@@ -36,7 +37,9 @@ fn bench_training(c: &mut Criterion) {
 fn bench_monitoring(c: &mut Criterion) {
     let p = pipeline();
     let w = Benchmark::Stringsearch.workload(&WorkloadParams { scale: 2 });
-    let model = p.train(w.program(), |m, s| w.prepare(m, s), &[1, 2]).unwrap();
+    let model = p
+        .train(w.program(), |m, s| w.prepare(m, s), &[1, 2])
+        .unwrap();
     let result = p.simulate(w.program(), |m| w.prepare(m, 9), None);
 
     let mut g = c.benchmark_group("pipeline");

@@ -39,7 +39,13 @@ fn bench_utest(c: &mut Criterion) {
 
 fn bench_mixture(c: &mut Criterion) {
     let sample: Vec<f64> = (0..400)
-        .map(|i| if i % 2 == 0 { 10.0 + (i % 7) as f64 } else { 40.0 + (i % 5) as f64 })
+        .map(|i| {
+            if i % 2 == 0 {
+                10.0 + (i % 7) as f64
+            } else {
+                40.0 + (i % 5) as f64
+            }
+        })
         .collect();
     c.bench_function("mixture/fit_400x30iters", |b| {
         b.iter(|| black_box(Mixture2::fit(black_box(&sample), 30)))

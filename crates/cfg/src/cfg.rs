@@ -124,7 +124,12 @@ impl Cfg {
         starts.push(n);
         let mut blocks: Vec<BasicBlock> = starts
             .windows(2)
-            .map(|w| BasicBlock { start: w[0], end: w[1], succs: Vec::new(), preds: Vec::new() })
+            .map(|w| BasicBlock {
+                start: w[0],
+                end: w[1],
+                succs: Vec::new(),
+                preds: Vec::new(),
+            })
             .collect();
 
         // Map pc -> block id for edge construction.

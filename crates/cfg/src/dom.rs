@@ -162,7 +162,10 @@ mod tests {
         let cfg = diamond();
         let dom = Dominators::compute(&cfg);
         for (b, _) in cfg.blocks().iter().enumerate() {
-            assert!(dom.dominates(cfg.entry(), b), "entry should dominate block {b}");
+            assert!(
+                dom.dominates(cfg.entry(), b),
+                "entry should dominate block {b}"
+            );
         }
     }
 

@@ -86,16 +86,18 @@ impl LoopForest {
         // Top-level nests: drop loops contained in another loop's body.
         let mut nests: Vec<NaturalLoop> = Vec::new();
         for (i, l) in merged.iter().enumerate() {
-            let nested = merged
-                .iter()
-                .enumerate()
-                .any(|(j, outer)| j != i && outer.body.is_superset(&l.body) && outer.body.len() > l.body.len());
+            let nested = merged.iter().enumerate().any(|(j, outer)| {
+                j != i && outer.body.is_superset(&l.body) && outer.body.len() > l.body.len()
+            });
             if !nested {
                 nests.push(l.clone());
             }
         }
 
-        LoopForest { loops: merged, nests }
+        LoopForest {
+            loops: merged,
+            nests,
+        }
     }
 
     /// Every natural loop (one per distinct header), innermost included.
@@ -176,20 +178,17 @@ mod tests {
         let outer = b.label_here("outer");
         b.li(Reg::R2, 0);
         let inner = b.label_here("inner");
-        b.addi(Reg::R2, Reg::R2, 1).blt_label(Reg::R2, Reg::R4, inner);
-        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R3, outer);
+        b.addi(Reg::R2, Reg::R2, 1)
+            .blt_label(Reg::R2, Reg::R4, inner);
+        b.addi(Reg::R1, Reg::R1, 1)
+            .blt_label(Reg::R1, Reg::R3, outer);
         b.halt();
         let cfg = Cfg::from_program(&b.build().unwrap()).unwrap();
         let f = LoopForest::compute(&cfg);
         assert_eq!(f.loops().len(), 2);
         assert_eq!(f.nests().len(), 1);
         // The nest is the outer loop, which contains the inner header.
-        let inner_header = f
-            .loops()
-            .iter()
-            .map(|l| l.header)
-            .max()
-            .unwrap();
+        let inner_header = f.loops().iter().map(|l| l.header).max().unwrap();
         assert!(f.nests()[0].contains(inner_header));
         assert!(f.nest_of(inner_header).is_some());
     }

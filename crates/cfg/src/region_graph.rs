@@ -180,7 +180,11 @@ impl RegionGraph {
         let mut next_id = declared.iter().map(|r| r.index()).max().unwrap_or(0) + 1;
         let mut nodes: Vec<RegionNode> = declared
             .iter()
-            .map(|&id| RegionNode { id, kind: RegionKind::Loop, succs: Vec::new() })
+            .map(|&id| RegionNode {
+                id,
+                kind: RegionKind::Loop,
+                succs: Vec::new(),
+            })
             .collect();
         let mut trans_ids: BTreeMap<(Option<RegionId>, Option<RegionId>), RegionId> =
             BTreeMap::new();
@@ -396,7 +400,10 @@ mod tests {
         assert_eq!(g.successors(pro), &[RegionId::new(0)]);
         assert_eq!(
             g.kind(pro),
-            Some(RegionKind::Transition { from: None, to: Some(RegionId::new(0)) })
+            Some(RegionKind::Transition {
+                from: None,
+                to: Some(RegionId::new(0))
+            })
         );
     }
 
@@ -472,7 +479,9 @@ mod tests {
         b.halt();
         assert_eq!(
             RegionGraph::from_program(&b.build().unwrap()),
-            Err(RegionGraphError::MarkerWithoutLoop { region: RegionId::new(0) })
+            Err(RegionGraphError::MarkerWithoutLoop {
+                region: RegionId::new(0)
+            })
         );
     }
 

@@ -91,10 +91,16 @@ impl EddieConfig {
     /// confidence range, non-empty candidate list).
     pub fn validate(&self) -> Result<(), String> {
         if !self.window_len.is_power_of_two() || self.window_len < 4 {
-            return Err(format!("window_len {} must be a power of two >= 4", self.window_len));
+            return Err(format!(
+                "window_len {} must be a power of two >= 4",
+                self.window_len
+            ));
         }
         if self.hop == 0 || self.hop > self.window_len {
-            return Err(format!("hop {} invalid for window {}", self.hop, self.window_len));
+            return Err(format!(
+                "hop {} invalid for window {}",
+                self.hop, self.window_len
+            ));
         }
         if !(0.5..1.0).contains(&self.confidence) {
             return Err(format!("confidence {} out of range", self.confidence));

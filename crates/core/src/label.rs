@@ -42,8 +42,15 @@ pub fn label_windows(
 
         // Transition window: find the loops around the window midpoint.
         let mid = ws + len / 2;
-        let prev = spans.iter().rev().find(|s| s.end_cycle <= mid).map(|s| s.region);
-        let next = spans.iter().find(|s| s.start_cycle >= mid).map(|s| s.region);
+        let prev = spans
+            .iter()
+            .rev()
+            .find(|s| s.end_cycle <= mid)
+            .map(|s| s.region);
+        let next = spans
+            .iter()
+            .find(|s| s.start_cycle >= mid)
+            .map(|s| s.region);
         let label = graph
             .transition_between(prev, next)
             .or_else(|| best.map(|(r, _)| r))
@@ -77,7 +84,10 @@ mod tests {
 
     fn result_with_spans(spans: Vec<RegionSpan>, cycles: u64) -> SimResult {
         SimResult {
-            stats: SimStats { cycles, ..SimStats::default() },
+            stats: SimStats {
+                cycles,
+                ..SimStats::default()
+            },
             power: PowerTrace {
                 samples: vec![0.0; (cycles / 20) as usize],
                 sample_interval: 20,
@@ -89,7 +99,12 @@ mod tests {
     }
 
     fn mapping() -> WindowMapping {
-        WindowMapping { window_len: 100, hop: 50, sample_interval: 20, clock_hz: 1e9 }
+        WindowMapping {
+            window_len: 100,
+            hop: 50,
+            sample_interval: 20,
+            clock_hz: 1e9,
+        }
     }
 
     #[test]
@@ -98,8 +113,16 @@ mod tests {
         // Loop 0 runs cycles 0..10000, loop 1 runs 10400..20000.
         let r = result_with_spans(
             vec![
-                RegionSpan { region: RegionId::new(0), start_cycle: 0, end_cycle: 10_000 },
-                RegionSpan { region: RegionId::new(1), start_cycle: 10_400, end_cycle: 20_000 },
+                RegionSpan {
+                    region: RegionId::new(0),
+                    start_cycle: 0,
+                    end_cycle: 10_000,
+                },
+                RegionSpan {
+                    region: RegionId::new(1),
+                    start_cycle: 10_400,
+                    end_cycle: 20_000,
+                },
             ],
             20_000,
         );
@@ -120,8 +143,16 @@ mod tests {
         // loop0 0..4000, gap 4000..8000, loop1 8000..12000.
         let r = result_with_spans(
             vec![
-                RegionSpan { region: RegionId::new(0), start_cycle: 0, end_cycle: 4_000 },
-                RegionSpan { region: RegionId::new(1), start_cycle: 8_000, end_cycle: 12_000 },
+                RegionSpan {
+                    region: RegionId::new(0),
+                    start_cycle: 0,
+                    end_cycle: 4_000,
+                },
+                RegionSpan {
+                    region: RegionId::new(1),
+                    start_cycle: 8_000,
+                    end_cycle: 12_000,
+                },
             ],
             12_000,
         );
@@ -133,9 +164,15 @@ mod tests {
     #[test]
     fn prologue_before_first_loop() {
         let graph = two_loop_graph();
-        let pro = graph.transition_between(None, Some(RegionId::new(0))).unwrap();
+        let pro = graph
+            .transition_between(None, Some(RegionId::new(0)))
+            .unwrap();
         let r = result_with_spans(
-            vec![RegionSpan { region: RegionId::new(0), start_cycle: 9_000, end_cycle: 20_000 }],
+            vec![RegionSpan {
+                region: RegionId::new(0),
+                start_cycle: 9_000,
+                end_cycle: 20_000,
+            }],
             20_000,
         );
         let labels = label_windows(&r, &graph, &mapping(), 3);

@@ -100,9 +100,8 @@ pub fn compute_metrics(
     let mut detected = 0usize;
     let mut report_window: Vec<Option<usize>> = Vec::with_capacity(merged.len());
     for &(start, _end) in &merged {
-        let report = (0..total).find(|&w| {
-            events[w] == MonitorEvent::Anomaly && mapping.window_end_cycle(w) >= start
-        });
+        let report = (0..total)
+            .find(|&w| events[w] == MonitorEvent::Anomaly && mapping.window_end_cycle(w) >= start);
         report_window.push(report);
         if let Some(w) = report {
             detected += 1;
@@ -215,7 +214,12 @@ mod tests {
     use super::*;
 
     fn mapping() -> WindowMapping {
-        WindowMapping { window_len: 100, hop: 50, sample_interval: 10, clock_hz: 1e6 }
+        WindowMapping {
+            window_len: 100,
+            hop: 50,
+            sample_interval: 10,
+            clock_hz: 1e6,
+        }
     }
 
     #[test]
@@ -225,7 +229,15 @@ mod tests {
         let alarms = vec![false; n];
         let regions = vec![RegionId::new(0); n];
         let injected = vec![false; n];
-        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &[], &mapping());
+        let m = compute_metrics(
+            &events,
+            &alarms,
+            &regions,
+            &regions,
+            &injected,
+            &[],
+            &mapping(),
+        );
         assert_eq!(m.false_positive_pct, 0.0);
         assert_eq!(m.accuracy_pct, 100.0);
         assert_eq!(m.coverage_pct, 100.0);
@@ -247,13 +259,23 @@ mod tests {
         }
         let injected: Vec<bool> = (0..n)
             .map(|w| {
-                let (s, e) = (mapping().window_start_cycle(w), mapping().window_end_cycle(w));
+                let (s, e) = (
+                    mapping().window_start_cycle(w),
+                    mapping().window_end_cycle(w),
+                );
                 s < 3500 && 2000 < e
             })
             .collect();
         let regions = vec![RegionId::new(0); n];
-        let m =
-            compute_metrics(&events, &alarms, &regions, &regions, &injected, &spans, &mapping());
+        let m = compute_metrics(
+            &events,
+            &alarms,
+            &regions,
+            &regions,
+            &injected,
+            &spans,
+            &mapping(),
+        );
         assert_eq!(m.detected_injections, 1);
         // Report cycle = end of window 6 = (6*50+100)*10 = 4000; latency
         // = (4000 - 2000) cycles at 1 MHz = 2 ms.
@@ -269,7 +291,15 @@ mod tests {
         alarms[3] = true;
         let regions = vec![RegionId::new(0); n];
         let injected = vec![false; n];
-        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &[], &mapping());
+        let m = compute_metrics(
+            &events,
+            &alarms,
+            &regions,
+            &regions,
+            &injected,
+            &[],
+            &mapping(),
+        );
         assert!((m.false_positive_pct - 10.0).abs() < 1e-9);
         assert!((m.accuracy_pct - 90.0).abs() < 1e-9);
     }
@@ -291,7 +321,10 @@ mod tests {
             ..RunMetrics::default()
         };
         let avg = average(&[a, b]);
-        assert!((avg.detection_latency_ms - 2.0).abs() < 1e-9, "only detecting runs count");
+        assert!(
+            (avg.detection_latency_ms - 2.0).abs() < 1e-9,
+            "only detecting runs count"
+        );
         assert!((avg.accuracy_pct - 95.0).abs() < 1e-9);
         assert_eq!(avg.total_injections, 2);
     }
@@ -307,20 +340,35 @@ mod semantics_tests {
     use super::*;
 
     fn mapping() -> WindowMapping {
-        WindowMapping { window_len: 100, hop: 50, sample_interval: 10, clock_hz: 1e6 }
+        WindowMapping {
+            window_len: 100,
+            hop: 50,
+            sample_interval: 10,
+            clock_hz: 1e6,
+        }
     }
 
     #[test]
     fn micro_spans_merge_into_one_injection() {
         // Per-iteration injection ground truth: many tiny spans with
         // sub-window gaps must count as a single logical attack.
-        let spans: Vec<(u64, u64)> = (0..50).map(|k| (2000 + k * 40, 2000 + k * 40 + 10)).collect();
+        let spans: Vec<(u64, u64)> = (0..50)
+            .map(|k| (2000 + k * 40, 2000 + k * 40 + 10))
+            .collect();
         let n = 40;
         let events = vec![MonitorEvent::Normal; n];
         let alarms = vec![false; n];
         let regions = vec![RegionId::new(0); n];
         let injected = vec![false; n];
-        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &spans, &mapping());
+        let m = compute_metrics(
+            &events,
+            &alarms,
+            &regions,
+            &regions,
+            &injected,
+            &spans,
+            &mapping(),
+        );
         assert_eq!(m.total_injections, 1, "micro-spans must merge");
     }
 
@@ -334,13 +382,36 @@ mod semantics_tests {
         // coverage should be 0% over the *clean* half only.
         let truth = vec![RegionId::new(1); n];
         let injected: Vec<bool> = (0..n).map(|w| w % 2 == 0).collect();
-        let m = compute_metrics(&events, &alarms, &tracked, &truth, &injected, &[], &mapping());
+        let m = compute_metrics(
+            &events,
+            &alarms,
+            &tracked,
+            &truth,
+            &injected,
+            &[],
+            &mapping(),
+        );
         assert_eq!(m.coverage_pct, 0.0);
         // And matching truth on clean windows gives 100% even when the
         // injected windows disagree.
-        let tracked2: Vec<RegionId> =
-            (0..n).map(|w| if w % 2 == 0 { RegionId::new(9) } else { RegionId::new(1) }).collect();
-        let m2 = compute_metrics(&events, &alarms, &tracked2, &truth, &injected, &[], &mapping());
+        let tracked2: Vec<RegionId> = (0..n)
+            .map(|w| {
+                if w % 2 == 0 {
+                    RegionId::new(9)
+                } else {
+                    RegionId::new(1)
+                }
+            })
+            .collect();
+        let m2 = compute_metrics(
+            &events,
+            &alarms,
+            &tracked2,
+            &truth,
+            &injected,
+            &[],
+            &mapping(),
+        );
         assert_eq!(m2.coverage_pct, 100.0);
     }
 
@@ -357,7 +428,15 @@ mod semantics_tests {
         let span_end = mapping().window_end_cycle(18);
         let spans = vec![(span_start, span_end)];
         let injected: Vec<bool> = (0..n).map(|w| (5..=18).contains(&w)).collect();
-        let m = compute_metrics(&events, &alarms, &regions, &regions, &injected, &spans, &mapping());
+        let m = compute_metrics(
+            &events,
+            &alarms,
+            &regions,
+            &regions,
+            &injected,
+            &spans,
+            &mapping(),
+        );
         // Windows 10..=18 count as reported (9 of 14 dirty windows).
         assert!((m.true_positive_pct - 9.0 / 14.0 * 100.0).abs() < 1e-9);
         assert_eq!(m.detected_injections, 1);

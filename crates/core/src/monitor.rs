@@ -50,7 +50,13 @@ impl<'m> Monitor<'m> {
     /// models produced by [`train_from_labeled`](crate::train_from_labeled)).
     pub fn new(model: &'m TrainedModel) -> Monitor<'m> {
         let current = model.initial_region().expect("trained model has regions");
-        Monitor { model, current, history: Vec::new(), anomaly_cnt: 0, alarm: false }
+        Monitor {
+            model,
+            current,
+            history: Vec::new(),
+            anomaly_cnt: 0,
+            alarm: false,
+        }
     }
 
     /// The region the monitor currently believes is executing.
@@ -250,7 +256,12 @@ mod tests {
         Sts {
             index,
             start_sample: index,
-            peaks: vec![Peak { bin: 1, freq_hz: freq, power: 1.0, fraction: 0.5 }],
+            peaks: vec![Peak {
+                bin: 1,
+                freq_hz: freq,
+                power: 1.0,
+                fraction: 0.5,
+            }],
             centroid_hz: freq,
             spread_hz: 1.0,
         }
@@ -319,7 +330,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(changed, "monitor must follow the loop 0 -> loop 1 transition");
+        assert!(
+            changed,
+            "monitor must follow the loop 0 -> loop 1 transition"
+        );
         assert_eq!(mon.current_region(), RegionId::new(1));
         assert_eq!(anomalies, 0, "legal transition must not raise anomalies");
     }

@@ -97,7 +97,12 @@ mod tests {
         Sts {
             index,
             start_sample: index,
-            peaks: vec![Peak { bin: 1, freq_hz: freq, power: 1.0, fraction: 0.5 }],
+            peaks: vec![Peak {
+                bin: 1,
+                freq_hz: freq,
+                power: 1.0,
+                fraction: 0.5,
+            }],
             centroid_hz: freq,
             spread_hz: 1.0,
         }
@@ -115,10 +120,20 @@ mod tests {
         let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
         // Bimodal reference: peaks near 100 or 200 alternating.
         let stss: Vec<Sts> = (0..120)
-            .map(|i| sts(i, if i % 2 == 0 { 100.0 } else { 200.0 } + ((i * 3) % 4) as f64))
+            .map(|i| {
+                sts(
+                    i,
+                    if i % 2 == 0 { 100.0 } else { 200.0 } + ((i * 3) % 4) as f64,
+                )
+            })
             .collect();
         let labels = vec![RegionId::new(0); 120];
-        train_from_labeled(&[LabeledRun { stss, labels }], &graph, &EddieConfig::quick()).unwrap()
+        train_from_labeled(
+            &[LabeledRun { stss, labels }],
+            &graph,
+            &EddieConfig::quick(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -135,8 +150,9 @@ mod tests {
         let det = ParametricDetector::from_model(&model, 30);
         let anomalous: Vec<Sts> = (0..10).map(|i| sts(i, 900.0)).collect();
         assert!(det.flags(RegionId::new(0), &anomalous));
-        let normal: Vec<Sts> =
-            (0..10).map(|i| sts(i, if i % 2 == 0 { 100.0 } else { 200.0 })).collect();
+        let normal: Vec<Sts> = (0..10)
+            .map(|i| sts(i, if i % 2 == 0 { 100.0 } else { 200.0 }))
+            .collect();
         assert!(!det.flags(RegionId::new(0), &normal));
     }
 

@@ -33,7 +33,11 @@ impl Pipeline {
     /// Creates a pipeline from a simulator configuration, detector
     /// configuration and signal source.
     pub fn new(sim_config: SimConfig, eddie: EddieConfig, source: SignalSource) -> Pipeline {
-        Pipeline { sim_config, eddie, source }
+        Pipeline {
+            sim_config,
+            eddie,
+            source,
+        }
     }
 
     /// The detector configuration.
@@ -69,7 +73,10 @@ impl Pipeline {
             SignalSource::Power => stss_from_power(result, &self.eddie),
             SignalSource::Em(template) => {
                 let mut cfg = template.clone();
-                cfg.seed = cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(run_seed);
+                cfg.seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(run_seed);
                 let channel = EmChannel::new(cfg);
                 stss_from_em(result, &channel, &self.eddie)
             }
@@ -79,6 +86,12 @@ impl Pipeline {
     /// Trains EDDIE: one instrumented run per seed, windows labelled via
     /// the region trace, then [`train_from_labeled`].
     ///
+    /// The per-seed runs execute on the [`eddie_exec`] worker pool
+    /// (width from `EDDIE_THREADS`, see [`eddie_exec::num_threads`]).
+    /// Each run is fully determined by its seed and results are
+    /// collected in seed order, so the trained model is byte-identical
+    /// for every thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`TrainError`] if the region graph cannot be derived or
@@ -86,18 +99,17 @@ impl Pipeline {
     pub fn train(
         &self,
         program: &Program,
-        prepare: impl Fn(&mut Machine, u64),
+        prepare: impl Fn(&mut Machine, u64) + Sync,
         seeds: &[u64],
     ) -> Result<TrainedModel, TrainError> {
         let graph = eddie_cfg::RegionGraph::from_program(program)
             .map_err(|e| TrainError::BadConfig(e.to_string()))?;
-        let mut runs = Vec::with_capacity(seeds.len());
-        for &seed in seeds {
+        let runs = eddie_exec::par_map(seeds, |&seed| {
             let result = self.simulate(program, |m| prepare(m, seed), None);
             let (stss, mapping) = self.stss(&result, seed);
             let labels = label_windows(&result, &graph, &mapping, stss.len());
-            runs.push(LabeledRun { stss, labels });
-        }
+            LabeledRun { stss, labels }
+        });
         train_from_labeled(&runs, &graph, &self.eddie)
     }
 
@@ -112,6 +124,30 @@ impl Pipeline {
     ) -> MonitorOutcome {
         let result = self.simulate(program, prepare, injection);
         self.monitor_result(model, &result, 0)
+    }
+
+    /// Monitors `runs` independent runs on the [`eddie_exec`] worker
+    /// pool, returning the outcomes in run order.
+    ///
+    /// Run `k` is prepared by `prepare(machine, k)` and attacked by the
+    /// hook `hook(k)` returns (`None` = clean run); both closures map
+    /// the run index to whatever seeding scheme the caller uses. Each
+    /// element is exactly what [`Pipeline::monitor`] would return for
+    /// the same arguments: outcomes are collected by run index, never by
+    /// completion order, so the batch is byte-identical to the serial
+    /// loop for every `EDDIE_THREADS` value.
+    pub fn monitor_batch(
+        &self,
+        model: &TrainedModel,
+        program: &Program,
+        runs: usize,
+        prepare: impl Fn(&mut Machine, usize) + Sync,
+        hook: impl Fn(usize) -> Option<Box<dyn InjectionHook>> + Sync,
+    ) -> Vec<MonitorOutcome> {
+        eddie_exec::par_map_indexed(runs, |k| {
+            let result = self.simulate(program, |m| prepare(m, k), hook(k));
+            self.monitor_result(model, &result, 0)
+        })
     }
 
     /// Monitors an existing simulation result (lets callers reuse one
@@ -132,7 +168,8 @@ impl Pipeline {
         let mut tracked = Vec::with_capacity(stss.len());
         let injected: Vec<bool> = (0..stss.len())
             .map(|w| {
-                result.overlaps_injection(mapping.window_start_cycle(w), mapping.window_end_cycle(w))
+                result
+                    .overlaps_injection(mapping.window_start_cycle(w), mapping.window_end_cycle(w))
             })
             .collect();
         for sts in stss {
@@ -172,7 +209,10 @@ impl MonitorOutcome {
 
     /// Number of anomaly reports in the run.
     pub fn anomaly_count(&self) -> usize {
-        self.events.iter().filter(|e| **e == MonitorEvent::Anomaly).count()
+        self.events
+            .iter()
+            .filter(|e| **e == MonitorEvent::Anomaly)
+            .count()
     }
 }
 
@@ -216,6 +256,49 @@ mod tests {
     }
 
     #[test]
+    fn monitor_batch_matches_serial_monitor_loop() {
+        let pipeline = quick_pipeline();
+        let program = loop_shapes(3);
+        let model = pipeline
+            .train(&program, |m, s| prepare_shapes(m, s, 3), &[1, 2, 3])
+            .expect("training succeeds");
+        let serial: Vec<_> = (0..3)
+            .map(|k| {
+                pipeline.monitor(
+                    &model,
+                    &program,
+                    |m| prepare_shapes(m, 500 + k as u64, 3),
+                    None,
+                )
+            })
+            .collect();
+        let batch = eddie_exec::with_threads(4, || {
+            pipeline.monitor_batch(
+                &model,
+                &program,
+                3,
+                |m, k| prepare_shapes(m, 500 + k as u64, 3),
+                |_| None,
+            )
+        });
+        assert_eq!(serial, batch);
+    }
+
+    #[test]
+    fn train_is_identical_across_thread_counts() {
+        let pipeline = quick_pipeline();
+        let program = loop_shapes(3);
+        let train = || {
+            pipeline
+                .train(&program, |m, s| prepare_shapes(m, s, 3), &[1, 2, 3, 4])
+                .expect("training succeeds")
+        };
+        let serial = eddie_exec::with_threads(1, train);
+        let parallel = eddie_exec::with_threads(4, train);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn em_source_produces_stss_too() {
         let mut sim = SimConfig::iot_inorder();
         sim.sample_interval = 8;
@@ -228,6 +311,9 @@ mod tests {
         let result = pipeline.simulate(&program, |m| prepare_shapes(m, 7, 2), None);
         let (stss, _) = pipeline.stss(&result, 1);
         assert!(!stss.is_empty());
-        assert!(stss.iter().any(|s| s.num_peaks() > 0), "EM path must surface peaks");
+        assert!(
+            stss.iter().any(|s| s.num_peaks() > 0),
+            "EM path must surface peaks"
+        );
     }
 }

@@ -101,7 +101,12 @@ mod tests {
     use super::*;
 
     fn mapping() -> WindowMapping {
-        WindowMapping { window_len: 256, hop: 128, sample_interval: 20, clock_hz: 1e9 }
+        WindowMapping {
+            window_len: 256,
+            hop: 128,
+            sample_interval: 20,
+            clock_hz: 1e9,
+        }
     }
 
     #[test]

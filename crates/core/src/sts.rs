@@ -83,7 +83,10 @@ pub(crate) fn rank_sample(
     num_peak_dims: usize,
 ) -> Vec<f64> {
     let start = end.saturating_sub(n.saturating_sub(1));
-    stss[start..=end].iter().filter_map(|s| s.dim_value(dim, num_peak_dims)).collect()
+    stss[start..=end]
+        .iter()
+        .filter_map(|s| s.dim_value(dim, num_peak_dims))
+        .collect()
 }
 
 #[cfg(test)]
@@ -97,7 +100,12 @@ mod tests {
             peaks: freqs
                 .iter()
                 .enumerate()
-                .map(|(r, &f)| Peak { bin: r, freq_hz: f, power: 1.0 / (r + 1) as f64, fraction: 0.1 })
+                .map(|(r, &f)| Peak {
+                    bin: r,
+                    freq_hz: f,
+                    power: 1.0 / (r + 1) as f64,
+                    fraction: 0.1,
+                })
                 .collect(),
             centroid_hz: freqs.first().copied().unwrap_or(0.0),
             spread_hz: 1.0,
@@ -109,7 +117,11 @@ mod tests {
         let mut power = vec![0.001; 64];
         power[10] = 5.0;
         power[30] = 9.0;
-        let s = Spectrum { power, bin_hz: 1.0, start_sample: 7 };
+        let s = Spectrum {
+            power,
+            bin_hz: 1.0,
+            start_sample: 7,
+        };
         let sts = Sts::from_spectrum(3, &s, &PeakConfig::default());
         assert_eq!(sts.index, 3);
         assert_eq!(sts.start_sample, 7);

@@ -206,8 +206,7 @@ pub fn train_from_labeled(
         // Leave-one-run-out references: FRR for a segment from run `r`
         // is measured against a reference excluding run `r`'s own
         // windows, so the selection is not biased by self-testing.
-        let loro =
-            build_loro_references(segs, runs.len(), config.num_peak_dims, config.num_dims());
+        let loro = build_loro_references(segs, runs.len(), config.num_peak_dims, config.num_dims());
 
         let (group_size, training_frr) = select_group_size(segs, &reference, &loro, config);
         regions.insert(
@@ -225,7 +224,11 @@ pub fn train_from_labeled(
     if regions.is_empty() {
         return Err(TrainError::NothingTrainable);
     }
-    Ok(TrainedModel { regions, graph: clone_graph(graph), config: config.clone() })
+    Ok(TrainedModel {
+        regions,
+        graph: clone_graph(graph),
+        config: config.clone(),
+    })
 }
 
 fn clone_graph(graph: &RegionGraph) -> RegionGraph {
@@ -426,7 +429,12 @@ mod tests {
         Sts {
             index,
             start_sample: index,
-            peaks: vec![Peak { bin: 1, freq_hz: freq, power: 1.0, fraction: 0.5 }],
+            peaks: vec![Peak {
+                bin: 1,
+                freq_hz: freq,
+                power: 1.0,
+                fraction: 0.5,
+            }],
             centroid_hz: freq,
             spread_hz: 1.0,
         }
@@ -435,8 +443,9 @@ mod tests {
     /// A run with `count` windows all labelled region 0, peak frequency
     /// jittering deterministically around `base`.
     fn uniform_run(count: usize, base: f64) -> LabeledRun {
-        let stss: Vec<Sts> =
-            (0..count).map(|i| sts(i, base + ((i * 7) % 5) as f64 * 0.5)).collect();
+        let stss: Vec<Sts> = (0..count)
+            .map(|i| sts(i, base + ((i * 7) % 5) as f64 * 0.5))
+            .collect();
         let labels = vec![RegionId::new(0); count];
         LabeledRun { stss, labels }
     }
@@ -450,7 +459,11 @@ mod tests {
         let rm = model.region(RegionId::new(0)).expect("region trained");
         assert_eq!(rm.training_windows, 120);
         assert!(rm.group_size >= 3);
-        assert!(rm.training_frr <= 0.1, "self-FRR should be near zero: {}", rm.training_frr);
+        assert!(
+            rm.training_frr <= 0.1,
+            "self-FRR should be near zero: {}",
+            rm.training_frr
+        );
         assert!(rm.active_ranks() >= 1);
     }
 
@@ -458,8 +471,14 @@ mod tests {
     fn rejects_empty_and_mismatched_inputs() {
         let graph = graph_one_loop();
         let cfg = EddieConfig::quick();
-        assert_eq!(train_from_labeled(&[], &graph, &cfg), Err(TrainError::NoRuns));
-        let bad = LabeledRun { stss: vec![sts(0, 1.0)], labels: vec![] };
+        assert_eq!(
+            train_from_labeled(&[], &graph, &cfg),
+            Err(TrainError::NoRuns)
+        );
+        let bad = LabeledRun {
+            stss: vec![sts(0, 1.0)],
+            labels: vec![],
+        };
         assert_eq!(
             train_from_labeled(&[bad], &graph, &cfg),
             Err(TrainError::LengthMismatch { run: 0 })
@@ -471,7 +490,10 @@ mod tests {
         let graph = graph_one_loop();
         let cfg = EddieConfig::quick();
         let runs = vec![uniform_run(2, 100.0)];
-        assert_eq!(train_from_labeled(&runs, &graph, &cfg), Err(TrainError::NothingTrainable));
+        assert_eq!(
+            train_from_labeled(&runs, &graph, &cfg),
+            Err(TrainError::NothingTrainable)
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Process-wide caches for the STFT's precomputable parts.
+//!
+//! Every `Stft` construction used to recompute its FFT twiddle factors,
+//! bit-reversal table and analysis-window coefficients. With the
+//! parallel execution layer each worker thread builds its own `Stft`
+//! per run, so those tables are now computed once per (length, kind)
+//! and shared via `Arc` — construction after the first call is two map
+//! lookups.
+//!
+//! The caches are keyed by pure inputs (transform length, window kind),
+//! so sharing cannot change any numerical result.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::{DspError, Fft, WindowKind};
+
+static FFT_PLANNERS: OnceLock<RwLock<HashMap<usize, Arc<Fft>>>> = OnceLock::new();
+static WINDOW_COEFFS: OnceLock<RwLock<HashMap<(WindowKind, usize), Arc<[f64]>>>> = OnceLock::new();
+
+/// Returns the shared FFT planner for transforms of length `len`,
+/// computing and caching it on first use.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] for the same lengths [`Fft::new`]
+/// rejects (invalid lengths are never cached).
+pub fn fft_planner(len: usize) -> Result<Arc<Fft>, DspError> {
+    let cache = FFT_PLANNERS.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(fft) = cache.read().get(&len) {
+        return Ok(Arc::clone(fft));
+    }
+    // Build outside the write lock; a racing thread's planner is
+    // identical, so keeping the first inserted one is fine.
+    let fft = Arc::new(Fft::new(len)?);
+    Ok(Arc::clone(cache.write().entry(len).or_insert(fft)))
+}
+
+/// Returns the shared window coefficients for `kind` at length `len`,
+/// computing and caching them on first use.
+pub fn window_coefficients(kind: WindowKind, len: usize) -> Arc<[f64]> {
+    let cache = WINDOW_COEFFS.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(coeffs) = cache.read().get(&(kind, len)) {
+        return Arc::clone(coeffs);
+    }
+    let coeffs: Arc<[f64]> = kind.coefficients(len).into();
+    Arc::clone(cache.write().entry((kind, len)).or_insert(coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_is_shared_between_calls() {
+        let a = fft_planner(64).unwrap();
+        let b = fft_planner(64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn bad_lengths_still_rejected() {
+        assert!(fft_planner(0).is_err());
+        assert!(fft_planner(3).is_err());
+    }
+
+    #[test]
+    fn cached_window_matches_fresh_computation() {
+        let cached = window_coefficients(WindowKind::Hann, 128);
+        assert_eq!(&cached[..], &WindowKind::Hann.coefficients(128)[..]);
+        let again = window_coefficients(WindowKind::Hann, 128);
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entries() {
+        let hann = window_coefficients(WindowKind::Hann, 32);
+        let hamming = window_coefficients(WindowKind::Hamming, 32);
+        assert_ne!(&hann[..], &hamming[..]);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let results: Vec<Arc<Fft>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| fft_planner(256).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for fft in &results {
+            assert!(Arc::ptr_eq(fft, &results[0]));
+        }
+    }
+}

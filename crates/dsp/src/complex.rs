@@ -40,7 +40,10 @@ impl Complex {
     /// Creates `magnitude * e^{i * phase}`.
     #[inline]
     pub fn from_polar(magnitude: f64, phase: f64) -> Complex {
-        Complex { re: magnitude * phase.cos(), im: magnitude * phase.sin() }
+        Complex {
+            re: magnitude * phase.cos(),
+            im: magnitude * phase.sin(),
+        }
     }
 
     /// Squared magnitude `re² + im²` (cheaper than [`abs`](Self::abs)).
@@ -58,13 +61,19 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scales both components by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Complex {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
@@ -72,7 +81,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -88,7 +100,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -122,7 +137,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

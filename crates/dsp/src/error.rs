@@ -45,7 +45,14 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(DspError::BadLength { len: 3 }.to_string().contains('3'));
-        assert!(DspError::BadHop { hop: 0, window_len: 8 }.to_string().contains("hop 0"));
-        assert!(DspError::BadSampleRate { rate: -1.0 }.to_string().contains("-1"));
+        assert!(DspError::BadHop {
+            hop: 0,
+            window_len: 8
+        }
+        .to_string()
+        .contains("hop 0"));
+        assert!(DspError::BadSampleRate { rate: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 }

@@ -40,8 +40,9 @@ impl Fft {
             return Err(DspError::BadLength { len });
         }
         let bits = len.trailing_zeros();
-        let rev: Vec<u32> =
-            (0..len as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let rev: Vec<u32> = (0..len as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
         let twiddles: Vec<Complex> = (0..len / 2)
             .map(|k| {
                 let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
@@ -157,8 +158,9 @@ mod tests {
     fn forward_then_inverse_is_identity() {
         let n = 128;
         let fft = Fft::new(n).unwrap();
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
         let mut buf = input.clone();
         fft.forward(&mut buf);
         fft.inverse(&mut buf);
@@ -175,11 +177,16 @@ mod tests {
         let bin = 17;
         let mut buf: Vec<Complex> = (0..n)
             .map(|i| {
-                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64)
+                Complex::from_polar(
+                    1.0,
+                    2.0 * std::f64::consts::PI * bin as f64 * i as f64 / n as f64,
+                )
             })
             .collect();
         fft.forward(&mut buf);
-        let strongest = (0..n).max_by(|&a, &b| buf[a].abs().total_cmp(&buf[b].abs())).unwrap();
+        let strongest = (0..n)
+            .max_by(|&a, &b| buf[a].abs().total_cmp(&buf[b].abs()))
+            .unwrap();
         assert_eq!(strongest, bin);
         assert!((buf[bin].abs() - n as f64).abs() < 1e-6);
     }
@@ -188,8 +195,9 @@ mod tests {
     fn parseval_energy_is_preserved() {
         let n = 64;
         let fft = Fft::new(n).unwrap();
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new(((i % 5) as f64) - 2.0, 0.0)).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(((i % 5) as f64) - 2.0, 0.0))
+            .collect();
         let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
         let mut buf = input;
         fft.forward(&mut buf);

@@ -49,7 +49,15 @@ impl Goertzel {
     pub fn new(bin: usize, block: usize) -> Goertzel {
         assert!(block > 0, "block length must be positive");
         let w = 2.0 * std::f64::consts::PI * bin as f64 / block as f64;
-        Goertzel { coeff: 2.0 * w.cos(), cos: w.cos(), sin: w.sin(), s1: 0.0, s2: 0.0, pushed: 0, block }
+        Goertzel {
+            coeff: 2.0 * w.cos(),
+            cos: w.cos(),
+            sin: w.sin(),
+            s1: 0.0,
+            s2: 0.0,
+            pushed: 0,
+            block,
+        }
     }
 
     /// Feeds one sample.
@@ -136,7 +144,11 @@ impl GoertzelBank {
             for (bin, g) in self.filters.iter_mut() {
                 let v = g.finish();
                 // One-sided fold (matches Stft::fold_one_sided).
-                let fold = if *bin == 0 || *bin == self.block / 2 { 1.0 } else { 2.0 };
+                let fold = if *bin == 0 || *bin == self.block / 2 {
+                    1.0
+                } else {
+                    2.0
+                };
                 power[*bin] = v.norm_sqr() * fold;
             }
             out.push(Spectrum {

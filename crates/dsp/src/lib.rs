@@ -11,7 +11,9 @@
 //! * [`Fft`] — an iterative radix-2 FFT with precomputed twiddles;
 //! * [`WindowKind`] — rectangular/Hann/Hamming/Blackman analysis windows;
 //! * [`Stft`] — overlapping windowed transforms producing [`Spectrum`]s;
-//! * [`find_peaks`] — the 1 %-energy spectral-peak rule.
+//! * [`find_peaks`] — the 1 %-energy spectral-peak rule;
+//! * [`cache`] — process-wide FFT-planner and window-coefficient caches
+//!   shared by the worker threads of the parallel execution layer.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod complex;
 mod error;
 mod fft;
@@ -49,6 +52,7 @@ mod spectrum;
 mod stft;
 mod window;
 
+pub use cache::{fft_planner, window_coefficients};
 pub use complex::Complex;
 pub use error::DspError;
 pub use fft::Fft;

@@ -34,7 +34,11 @@ pub struct PeakConfig {
 
 impl Default for PeakConfig {
     fn default() -> PeakConfig {
-        PeakConfig { energy_fraction: 0.01, min_bin: 2, max_peaks: 32 }
+        PeakConfig {
+            energy_fraction: 0.01,
+            min_bin: 2,
+            max_peaks: 32,
+        }
     }
 }
 
@@ -98,7 +102,11 @@ mod tests {
     use super::*;
 
     fn spectrum(power: Vec<f64>) -> Spectrum {
-        Spectrum { power, bin_hz: 1.0, start_sample: 0 }
+        Spectrum {
+            power,
+            bin_hz: 1.0,
+            start_sample: 0,
+        }
     }
 
     #[test]
@@ -147,7 +155,10 @@ mod tests {
             power[k] = 1.0 + k as f64 / 1000.0;
         }
         let s = spectrum(power);
-        let cfg = PeakConfig { max_peaks: 5, ..PeakConfig::default() };
+        let cfg = PeakConfig {
+            max_peaks: 5,
+            ..PeakConfig::default()
+        };
         assert_eq!(find_peaks(&s, &cfg).len(), 5);
     }
 

@@ -48,7 +48,10 @@ impl Spectrum {
     /// The spectrum in decibels relative to 1.0 (floored at -200 dB), for
     /// rendering figures.
     pub fn to_db(&self) -> Vec<f64> {
-        self.power.iter().map(|&p| 10.0 * p.max(1e-20).log10()).collect()
+        self.power
+            .iter()
+            .map(|&p| 10.0 * p.max(1e-20).log10())
+            .collect()
     }
 
     /// Energy-weighted mean frequency of bins `min_bin..` — a *diffuse*
@@ -101,7 +104,11 @@ mod tests {
     use super::*;
 
     fn spectrum() -> Spectrum {
-        Spectrum { power: vec![100.0, 1.0, 2.0, 4.0], bin_hz: 10.0, start_sample: 0 }
+        Spectrum {
+            power: vec![100.0, 1.0, 2.0, 4.0],
+            bin_hz: 10.0,
+            start_sample: 0,
+        }
     }
 
     #[test]
@@ -142,7 +149,11 @@ mod moment_tests {
     fn centroid_tracks_energy_location() {
         let mut power = vec![0.0; 64];
         power[20] = 4.0;
-        let s = Spectrum { power, bin_hz: 10.0, start_sample: 0 };
+        let s = Spectrum {
+            power,
+            bin_hz: 10.0,
+            start_sample: 0,
+        };
         assert!((s.centroid_hz(2) - 200.0).abs() < 1e-9);
         assert!(s.spread_hz(2).abs() < 1e-9, "single line has zero spread");
     }
@@ -153,20 +164,32 @@ mod moment_tests {
             let mut p = vec![0.0; 64];
             p[20] = 1.0;
             p[21] = 1.0;
-            Spectrum { power: p, bin_hz: 1.0, start_sample: 0 }
+            Spectrum {
+                power: p,
+                bin_hz: 1.0,
+                start_sample: 0,
+            }
         };
         let wide = {
             let mut p = vec![0.0; 64];
             p[10] = 1.0;
             p[50] = 1.0;
-            Spectrum { power: p, bin_hz: 1.0, start_sample: 0 }
+            Spectrum {
+                power: p,
+                bin_hz: 1.0,
+                start_sample: 0,
+            }
         };
         assert!(wide.spread_hz(2) > narrow.spread_hz(2) * 5.0);
     }
 
     #[test]
     fn empty_spectrum_moments_are_zero() {
-        let s = Spectrum { power: vec![0.0; 16], bin_hz: 1.0, start_sample: 0 };
+        let s = Spectrum {
+            power: vec![0.0; 16],
+            bin_hz: 1.0,
+            start_sample: 0,
+        };
         assert_eq!(s.centroid_hz(2), 0.0);
         assert_eq!(s.spread_hz(2), 0.0);
     }

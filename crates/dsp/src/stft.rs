@@ -1,3 +1,6 @@
+use std::sync::Arc;
+
+use crate::cache;
 use crate::{Complex, DspError, Fft, Spectrum, WindowKind};
 
 /// Configuration of a short-term Fourier transform.
@@ -17,7 +20,12 @@ pub struct StftConfig {
 impl StftConfig {
     /// Convenience constructor with Hann window and 50 % overlap.
     pub fn with_overlap_50(window_len: usize, sample_rate_hz: f64) -> StftConfig {
-        StftConfig { window_len, hop: window_len / 2, window: WindowKind::Hann, sample_rate_hz }
+        StftConfig {
+            window_len,
+            hop: window_len / 2,
+            window: WindowKind::Hann,
+            sample_rate_hz,
+        }
     }
 }
 
@@ -38,12 +46,17 @@ impl StftConfig {
 #[derive(Debug, Clone)]
 pub struct Stft {
     config: StftConfig,
-    fft: Fft,
-    coeffs: Vec<f64>,
+    fft: Arc<Fft>,
+    coeffs: Arc<[f64]>,
 }
 
 impl Stft {
     /// Creates an STFT processor.
+    ///
+    /// The FFT planner (twiddle factors, bit-reversal table) and the
+    /// window coefficients come from the process-wide [`cache`], so
+    /// repeated construction — one `Stft` per monitored run, across
+    /// many worker threads — does not recompute them.
     ///
     /// # Errors
     ///
@@ -51,15 +64,24 @@ impl Stft {
     /// two, the hop is zero or larger than the window, or the sample
     /// rate is not positive and finite.
     pub fn new(config: StftConfig) -> Result<Stft, DspError> {
-        let fft = Fft::new(config.window_len)?;
+        let fft = cache::fft_planner(config.window_len)?;
         if config.hop == 0 || config.hop > config.window_len {
-            return Err(DspError::BadHop { hop: config.hop, window_len: config.window_len });
+            return Err(DspError::BadHop {
+                hop: config.hop,
+                window_len: config.window_len,
+            });
         }
         if !(config.sample_rate_hz.is_finite() && config.sample_rate_hz > 0.0) {
-            return Err(DspError::BadSampleRate { rate: config.sample_rate_hz });
+            return Err(DspError::BadSampleRate {
+                rate: config.sample_rate_hz,
+            });
         }
-        let coeffs = config.window.coefficients(config.window_len);
-        Ok(Stft { config, fft, coeffs })
+        let coeffs = cache::window_coefficients(config.window, config.window_len);
+        Ok(Stft {
+            config,
+            fft,
+            coeffs,
+        })
     }
 
     /// The configuration this processor was built with.
@@ -102,9 +124,8 @@ impl Stft {
         let mut start = 0;
         while start + self.config.window_len <= signal.len() {
             let frame = &signal[start..start + self.config.window_len];
-            let mean =
-                frame.iter().map(|&x| x as f64).sum::<f64>() / self.config.window_len as f64;
-            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(&self.coeffs)) {
+            let mean = frame.iter().map(|&x| x as f64).sum::<f64>() / self.config.window_len as f64;
+            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
                 *b = Complex::new((x as f64 - mean) * w, 0.0);
             }
             self.fft.forward(&mut buf);
@@ -123,7 +144,7 @@ impl Stft {
         let mut start = 0;
         while start + self.config.window_len <= signal.len() {
             let frame = &signal[start..start + self.config.window_len];
-            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(&self.coeffs)) {
+            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
                 *b = x.scale(w);
             }
             self.fft.forward(&mut buf);
@@ -142,7 +163,11 @@ impl Stft {
             power.push(bins[k].norm_sqr() + bins[n - k].norm_sqr());
         }
         power.push(bins[half].norm_sqr());
-        Spectrum { power, bin_hz: self.bin_hz(), start_sample }
+        Spectrum {
+            power,
+            bin_hz: self.bin_hz(),
+            start_sample,
+        }
     }
 }
 
@@ -187,7 +212,10 @@ mod tests {
         assert_eq!(stft.num_windows(255), 0);
         assert_eq!(stft.num_windows(256), 1);
         assert_eq!(stft.num_windows(256 + 128), 2);
-        assert_eq!(stft.process_real(&vec![0.0; 512]).len(), stft.num_windows(512));
+        assert_eq!(
+            stft.process_real(&vec![0.0; 512]).len(),
+            stft.num_windows(512)
+        );
     }
 
     #[test]
@@ -209,7 +237,10 @@ mod tests {
         let stft = Stft::new(StftConfig::with_overlap_50(256, 1e3)).unwrap();
         let spectra = stft.process_real(&vec![5.0f32; 512]);
         for s in &spectra {
-            assert!(s.power[0] < 1e-12, "constant signal should have no residual DC");
+            assert!(
+                s.power[0] < 1e-12,
+                "constant signal should have no residual DC"
+            );
         }
     }
 

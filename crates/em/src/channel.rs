@@ -58,7 +58,11 @@ impl EmChannelConfig {
             carrier_amplitude: 1.0,
             modulation_index: 0.4,
             snr_db: 18.0,
-            interferers: vec![Interferer { offset_hz: 1.7e6, relative_amplitude: 0.02, phase: 0.4 }],
+            interferers: vec![Interferer {
+                offset_hz: 1.7e6,
+                relative_amplitude: 0.02,
+                phase: 0.4,
+            }],
             adc_bits: Some(12),
             seed,
         }
@@ -72,8 +76,16 @@ impl EmChannelConfig {
             modulation_index: 0.4,
             snr_db: 12.0,
             interferers: vec![
-                Interferer { offset_hz: 1.7e6, relative_amplitude: 0.03, phase: 0.4 },
-                Interferer { offset_hz: -0.9e6, relative_amplitude: 0.02, phase: 2.1 },
+                Interferer {
+                    offset_hz: 1.7e6,
+                    relative_amplitude: 0.03,
+                    phase: 0.4,
+                },
+                Interferer {
+                    offset_hz: -0.9e6,
+                    relative_amplitude: 0.02,
+                    phase: 2.1,
+                },
             ],
             adc_bits: Some(8),
             seed,
@@ -193,9 +205,20 @@ mod tests {
 
     /// Square-wave activity with period `period` samples.
     fn trace_with_period(period: usize, n: usize) -> PowerTrace {
-        let samples: Vec<f32> =
-            (0..n).map(|i| if (i / (period / 2)) % 2 == 0 { 1.0 } else { 3.0 }).collect();
-        PowerTrace { samples, sample_interval: 20, clock_hz: 1e9 }
+        let samples: Vec<f32> = (0..n)
+            .map(|i| {
+                if (i / (period / 2)) % 2 == 0 {
+                    1.0
+                } else {
+                    3.0
+                }
+            })
+            .collect();
+        PowerTrace {
+            samples,
+            sample_interval: 20,
+            clock_hz: 1e9,
+        }
     }
 
     #[test]
@@ -235,7 +258,11 @@ mod tests {
         let fs = t.sample_rate_hz();
         let mut cfg = EmChannelConfig::oscilloscope(2);
         let int_freq = fs / 10.0;
-        cfg.interferers = vec![Interferer { offset_hz: int_freq, relative_amplitude: 0.5, phase: 0.0 }];
+        cfg.interferers = vec![Interferer {
+            offset_hz: int_freq,
+            relative_amplitude: 0.5,
+            phase: 0.0,
+        }];
         let baseband = EmChannel::new(cfg).receive(&t);
         let stft = Stft::new(StftConfig::with_overlap_50(4096, fs)).unwrap();
         let s = &stft.process_complex(&baseband)[0];
@@ -244,7 +271,10 @@ mod tests {
             .map(|k| s.power[k])
             .fold(0.0f64, f64::max);
         let background = s.power[int_bin + 20];
-        assert!(neighbourhood_max > background * 100.0, "interferer line missing");
+        assert!(
+            neighbourhood_max > background * 100.0,
+            "interferer line missing"
+        );
     }
 
     #[test]
@@ -267,13 +297,23 @@ mod tests {
 
     #[test]
     fn empty_trace_yields_empty_baseband() {
-        let t = PowerTrace { samples: vec![], sample_interval: 20, clock_hz: 1e9 };
-        assert!(EmChannel::new(EmChannelConfig::oscilloscope(0)).receive(&t).is_empty());
+        let t = PowerTrace {
+            samples: vec![],
+            sample_interval: 20,
+            clock_hz: 1e9,
+        };
+        assert!(EmChannel::new(EmChannelConfig::oscilloscope(0))
+            .receive(&t)
+            .is_empty());
     }
 
     #[test]
     fn constant_trace_is_carrier_plus_noise_only() {
-        let t = PowerTrace { samples: vec![2.0; 4096], sample_interval: 20, clock_hz: 1e9 };
+        let t = PowerTrace {
+            samples: vec![2.0; 4096],
+            sample_interval: 20,
+            clock_hz: 1e9,
+        };
         let mut cfg = EmChannelConfig::oscilloscope(0);
         cfg.snr_db = f64::INFINITY;
         let y = EmChannel::new(cfg).receive(&t);
@@ -298,7 +338,11 @@ mod adc_tests {
         let mut res: Vec<i64> = y.iter().map(|c| (c.re * 1e9).round() as i64).collect();
         res.sort_unstable();
         res.dedup();
-        assert!(res.len() <= 17, "4-bit ADC allows at most 2^4+1 levels, got {}", res.len());
+        assert!(
+            res.len() <= 17,
+            "4-bit ADC allows at most 2^4+1 levels, got {}",
+            res.len()
+        );
     }
 
     #[test]
@@ -317,6 +361,10 @@ mod adc_tests {
 
     fn trace_with_levels() -> PowerTrace {
         let samples: Vec<f32> = (0..1024).map(|i| ((i * 37) % 101) as f32 / 100.0).collect();
-        PowerTrace { samples, sample_interval: 20, clock_hz: 1e9 }
+        PowerTrace {
+            samples,
+            sample_interval: 20,
+            clock_hz: 1e9,
+        }
     }
 }

@@ -25,7 +25,10 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     /// Creates a noise source from a seed.
     pub fn new(seed: u64) -> GaussianNoise {
-        GaussianNoise { rng: StdRng::seed_from_u64(seed), spare: None }
+        GaussianNoise {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// Draws one standard normal sample.

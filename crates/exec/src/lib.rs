@@ -1,0 +1,280 @@
+//! Deterministic parallel execution for the EDDIE reproduction.
+//!
+//! EDDIE's evaluation is embarrassingly parallel: training averages many
+//! independently-seeded instrumented runs per benchmark, monitoring
+//! replays dozens of attacked runs, and the §5.3 sweeps repeat the whole
+//! pipeline across core configurations. Every one of those runs is fully
+//! determined by its seed, so they can execute on any thread in any
+//! order — as long as the *results* are assembled by index, never by
+//! completion order.
+//!
+//! This crate provides that execution layer:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — map a pure function over a
+//!   work list on a scoped worker pool. Output order always equals
+//!   input order, so the result is byte-identical to the serial loop.
+//! * [`num_threads`] — the pool width: the `EDDIE_THREADS` environment
+//!   variable when set, otherwise the machine's available parallelism.
+//! * [`with_threads`] — scoped programmatic override of the pool width
+//!   (used by the determinism tests and the serial-vs-parallel bench).
+//!
+//! Work is distributed through a multi-consumer [`crossbeam`] channel
+//! and results land in per-index [`parking_lot`] slots; worker threads
+//! never share mutable state beyond those slots, and nested `par_map`
+//! calls from inside a worker fall back to the serial loop so one
+//! fan-out level never oversubscribes the machine.
+//!
+//! # Determinism contract
+//!
+//! For any `f` without side effects across items,
+//! `par_map_indexed(n, f)` returns exactly `(0..n).map(f).collect()` —
+//! for every thread count, including 1. This is the guarantee the CI
+//! determinism gate enforces (see `crates/core/tests/determinism.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = eddie_exec::par_map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let doubled = eddie_exec::par_map(&[1, 2, 3], |&x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+use parking_lot::Mutex;
+
+/// Environment variable overriding the worker-pool width.
+pub const THREADS_ENV: &str = "EDDIE_THREADS";
+
+thread_local! {
+    /// Set inside pool workers: nested `par_map` calls run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped programmatic override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parses a thread-count override such as the value of `EDDIE_THREADS`.
+/// Returns `None` for anything that is not a positive integer.
+pub fn parse_thread_count(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The worker-pool width used by the next [`par_map`] call on this
+/// thread: a [`with_threads`] override if one is active, else a valid
+/// `EDDIE_THREADS` environment value, else the machine's available
+/// parallelism (1 when that cannot be determined).
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.get() {
+        return n;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Some(n) = parse_thread_count(&v) {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the pool width pinned to `threads` (minimum 1) on the
+/// current thread, restoring the previous setting afterwards — also on
+/// panic. Overrides nest; the innermost wins.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.set(self.0);
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.replace(Some(threads.max(1))));
+    f()
+}
+
+/// `true` when called from inside a [`par_map`] worker thread.
+pub fn in_worker() -> bool {
+    IN_WORKER.get()
+}
+
+/// Maps `f` over `0..n` on a scoped worker pool, returning the results
+/// in index order.
+///
+/// The output is byte-identical to `(0..n).map(f).collect()` for every
+/// pool width: items may *run* in any order on any worker, but each
+/// result is stored in its item's slot and the slots are drained in
+/// order. Calls from inside a worker (nested fan-out) and calls with an
+/// effective width of 1 take the serial path directly.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the worker's panic is propagated
+/// when the pool is joined).
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = num_threads().min(n);
+    if threads <= 1 || in_worker() {
+        return (0..n).map(f).collect();
+    }
+
+    // Work queue: a multi-consumer channel pre-filled with the indices.
+    // Workers race to pull indices but each result lands in its own
+    // slot, so completion order never leaks into the output.
+    let (tx, rx) = crossbeam::channel::bounded::<usize>(n);
+    for i in 0..n {
+        tx.send(i).expect("bounded(n) holds all n indices");
+    }
+    drop(tx);
+
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                IN_WORKER.set(true);
+                for i in rx {
+                    let value = f(i);
+                    *slots[i].lock() = Some(value);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was processed"))
+        .collect()
+}
+
+/// Maps `f` over a slice on the worker pool, preserving input order.
+/// See [`par_map_indexed`] for the determinism contract.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        // Make early items slow so later items finish first; the output
+        // must still be index-ordered.
+        let out = with_threads(4, || {
+            par_map_indexed(16, |i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                i * 10
+            })
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let work = |i: usize| -> f64 { (i as f64).sin().powi(3) + i as f64 };
+        let serial = with_threads(1, || par_map_indexed(64, work));
+        let parallel = with_threads(4, || par_map_indexed(64, work));
+        // Byte-identical, not approximately equal.
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_variant_preserves_order() {
+        let items: Vec<String> = (0..10).map(|i| format!("item{i}")).collect();
+        let out = with_threads(3, || par_map(&items, |s| s.len()));
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 1), vec![1]);
+        assert_eq!(par_map::<u8, u8, _>(&[], |&x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = with_threads(4, || {
+            par_map_indexed(100, |i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn nested_calls_fall_back_to_serial() {
+        let out = with_threads(4, || {
+            par_map_indexed(4, |i| {
+                assert!(in_worker());
+                // Nested call must not spawn a second pool level.
+                par_map_indexed(4, |j| i * 4 + j)
+            })
+        });
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_threads_restores_previous_width() {
+        let outer = num_threads();
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            with_threads(7, || assert_eq!(num_threads(), 7));
+            assert_eq!(num_threads(), 2);
+        });
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 8 "), Some(8));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count("-2"), None);
+        assert_eq!(parse_thread_count("many"), None);
+        assert_eq!(parse_thread_count(""), None);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map_indexed(8, |i| {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

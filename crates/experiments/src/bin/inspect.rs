@@ -48,7 +48,13 @@ fn main() {
         let hook = if k == usize::MAX {
             None
         } else {
-            make_hook(&InjectPlan::Alternating, &w, &eddie_experiments::harness::injection_targets(&w, &model), k, 42)
+            make_hook(
+                &InjectPlan::Alternating,
+                &w,
+                &eddie_experiments::harness::injection_targets(&w, &model),
+                k,
+                42,
+            )
         };
         let outcome = pipeline.monitor(&model, w.program(), |m| w.prepare(m, 777), hook);
         let mut counts = std::collections::BTreeMap::new();
@@ -72,7 +78,10 @@ fn main() {
         for wdx in (0..outcome.events.len()).step_by(step) {
             println!(
                 "   w{wdx:4} tracked={:?} truth={:?} inj={} ev={:?}",
-                outcome.tracked[wdx], outcome.truth[wdx], outcome.injected[wdx], outcome.events[wdx]
+                outcome.tracked[wdx],
+                outcome.truth[wdx],
+                outcome.injected[wdx],
+                outcome.events[wdx]
             );
         }
     }

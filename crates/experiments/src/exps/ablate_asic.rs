@@ -84,7 +84,10 @@ pub fn run(scale: Scale) -> String {
         .collect();
 
     // Step 2: re-train references through the Goertzel front end.
-    let goe_cfg = EddieConfig { hop: cfg.window_len, ..cfg.clone() };
+    let goe_cfg = EddieConfig {
+        hop: cfg.window_len,
+        ..cfg.clone()
+    };
     let mut labeled = Vec::new();
     for seed in 1..=scale.train_runs_sim() as u64 {
         let result = pipeline.simulate(w.program(), |m| w.prepare(m, seed), None);
@@ -100,7 +103,10 @@ pub fn run(scale: Scale) -> String {
     let pc = w.loop_branch_pc(region).expect("loop branch");
     let runs: Vec<(&str, Option<LoopInjector>)> = vec![
         ("clean", None),
-        ("injected", Some(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 7))),
+        (
+            "injected",
+            Some(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 7)),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -143,14 +149,25 @@ pub fn run(scale: Scale) -> String {
     let goe_cost = 2.0 * bins.len() as f64;
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation: Goertzel (ASIC-style) front end vs full-FFT STFT (bitcount)");
-    let _ = writeln!(out, "# watched bins: {} of {} (one-sided)", bins.len(), cfg.window_len / 2 + 1);
+    let _ = writeln!(
+        out,
+        "# Ablation: Goertzel (ASIC-style) front end vs full-FFT STFT (bitcount)"
+    );
+    let _ = writeln!(
+        out,
+        "# watched bins: {} of {} (one-sided)",
+        bins.len(),
+        cfg.window_len / 2 + 1
+    );
     let _ = writeln!(
         out,
         "# est. real multiplies per input sample: FFT+overlap {:.0}, Goertzel bank {:.0}",
         fft_cost, goe_cost
     );
-    out.push_str(&format_table(&["run", "fft_anomaly_pct", "goertzel_anomaly_pct"], &rows));
+    out.push_str(&format_table(
+        &["run", "fft_anomaly_pct", "goertzel_anomaly_pct"],
+        &rows,
+    ));
     out
 }
 

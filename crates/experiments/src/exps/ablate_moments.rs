@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 use eddie_core::{EddieConfig, Pipeline, SignalSource};
 use eddie_workloads::Benchmark;
 
-use crate::harness::{eddie_config, make_hook, injection_targets, iot_sim_config, InjectPlan};
+use crate::harness::{eddie_config, injection_targets, iot_sim_config, make_hook, InjectPlan};
 use crate::{f1, f2, format_table, Scale};
 
 fn eval(b: Benchmark, cfg: EddieConfig, scale: Scale) -> Vec<String> {
@@ -23,7 +23,9 @@ fn eval(b: Benchmark, cfg: EddieConfig, scale: Scale) -> Vec<String> {
         cfg,
         SignalSource::Em(eddie_em::EmChannelConfig::oscilloscope(1)),
     );
-    let w = b.workload(&eddie_workloads::WorkloadParams { scale: scale.workload_scale() });
+    let w = b.workload(&eddie_workloads::WorkloadParams {
+        scale: scale.workload_scale(),
+    });
     let seeds: Vec<u64> = (1..=scale.train_runs_iot() as u64).collect();
     let model = pipeline
         .train(w.program(), |m, s| w.prepare(m, s), &seeds)
@@ -47,7 +49,10 @@ pub fn run(scale: Scale) -> String {
         let base = eval(b, eddie_config(), scale);
         let ext = eval(
             b,
-            EddieConfig { use_spectral_moments: true, ..eddie_config() },
+            EddieConfig {
+                use_spectral_moments: true,
+                ..eddie_config()
+            },
             scale,
         );
         let mut row = vec![b.name().to_string()];
@@ -57,8 +62,14 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation: spectral-moment extension on peak-poor benchmarks");
-    let _ = writeln!(out, "# (the paper's suggested diffuse-feature improvement, §5.2)");
+    let _ = writeln!(
+        out,
+        "# Ablation: spectral-moment extension on peak-poor benchmarks"
+    );
+    let _ = writeln!(
+        out,
+        "# (the paper's suggested diffuse-feature improvement, §5.2)"
+    );
     out.push_str(&format_table(
         &[
             "Benchmark",

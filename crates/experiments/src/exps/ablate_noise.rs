@@ -30,7 +30,9 @@ pub fn run(scale: Scale) -> String {
     let mut rows = Vec::new();
     for (label, channel) in grades {
         let pipeline = Pipeline::new(iot_sim_config(), eddie_config(), SignalSource::Em(channel));
-        let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: scale.workload_scale() });
+        let w = Benchmark::Bitcount.workload(&WorkloadParams {
+            scale: scale.workload_scale(),
+        });
         let seeds: Vec<u64> = (1..=scale.train_runs_iot() as u64).collect();
         let model = pipeline
             .train(w.program(), |m, s| w.prepare(m, s), &seeds)
@@ -51,7 +53,13 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Ablation: receiver grade / EM SNR sweep (bitcount)");
     out.push_str(&format_table(
-        &["receiver", "clean_fp_pct", "coverage_pct", "tpr_pct", "latency_ms"],
+        &[
+            "receiver",
+            "clean_fp_pct",
+            "coverage_pct",
+            "tpr_pct",
+            "latency_ms",
+        ],
         &rows,
     ));
     out

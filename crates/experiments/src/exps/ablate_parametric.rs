@@ -40,7 +40,12 @@ pub fn run(scale: Scale) -> String {
         &model,
         w.program(),
         |m| w.prepare(m, 3002),
-        Some(Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 71))),
+        Some(Box::new(LoopInjector::new(
+            pc,
+            1.0,
+            OpPattern::loop_payload(8),
+            71,
+        ))),
     );
 
     // Parametric flags on the same window streams: evaluate per window
@@ -78,7 +83,12 @@ pub fn run(scale: Scale) -> String {
     let attacked_run = pipeline.simulate(
         w.program(),
         |m| w.prepare(m, 3002),
-        Some(Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 71))),
+        Some(Box::new(LoopInjector::new(
+            pc,
+            1.0,
+            OpPattern::loop_payload(8),
+            71,
+        ))),
     );
     let mut rows = vec![vec![
         "EDDIE (K-S)".into(),
@@ -92,12 +102,22 @@ pub fn run(scale: Scale) -> String {
         let det = parametric.clone().with_alpha(alpha);
         let (par_fp, _) = flag_rates(&det, &clean, &clean_run);
         let (_, par_tp) = flag_rates(&det, &attacked, &attacked_run);
-        rows.push(vec![format!("parametric (alpha={alpha})"), f1(par_fp), f1(par_tp)]);
+        rows.push(vec![
+            format!("parametric (alpha={alpha})"),
+            f1(par_fp),
+            f1(par_tp),
+        ]);
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation: nonparametric K-S vs bi-normal parametric baseline (susan)");
-    out.push_str(&format_table(&["detector", "false_pos_pct", "true_pos_pct"], &rows));
+    let _ = writeln!(
+        out,
+        "# Ablation: nonparametric K-S vs bi-normal parametric baseline (susan)"
+    );
+    out.push_str(&format_table(
+        &["detector", "false_pos_pct", "true_pos_pct"],
+        &rows,
+    ));
     out
 }
 

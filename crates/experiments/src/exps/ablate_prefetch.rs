@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use eddie_core::{Pipeline, SignalSource};
 use eddie_workloads::Benchmark;
 
-use crate::harness::{eddie_config, make_hook, injection_targets, sesc_sim_config, InjectPlan};
+use crate::harness::{eddie_config, injection_targets, make_hook, sesc_sim_config, InjectPlan};
 use crate::{f1, f2, format_table, Scale};
 
 /// Runs the experiment.
@@ -46,10 +46,22 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation: next-line L1-D prefetcher on/off (power signal)");
-    let _ = writeln!(out, "# prefetching smooths demand-miss power spikes; does EDDIE still see enough?");
+    let _ = writeln!(
+        out,
+        "# Ablation: next-line L1-D prefetcher on/off (power signal)"
+    );
+    let _ = writeln!(
+        out,
+        "# prefetching smooths demand-miss power spikes; does EDDIE still see enough?"
+    );
     out.push_str(&format_table(
-        &["config", "benchmark", "clean_fp_pct", "coverage_pct", "tpr_pct"],
+        &[
+            "config",
+            "benchmark",
+            "clean_fp_pct",
+            "coverage_pct",
+            "tpr_pct",
+        ],
         &rows,
     ));
     out

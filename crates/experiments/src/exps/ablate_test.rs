@@ -39,7 +39,15 @@ pub fn run(scale: Scale) -> String {
     // group is a distribution-representative same-population sample.
     let stride = (reference.len() / n).max(1);
     let clean_groups: Vec<Vec<f64>> = (0..stride.min(40))
-        .map(|offset| reference.iter().skip(offset).step_by(stride).copied().take(n).collect())
+        .map(|offset| {
+            reference
+                .iter()
+                .skip(offset)
+                .step_by(stride)
+                .copied()
+                .take(n)
+                .collect()
+        })
         .collect();
     let clean_groups: Vec<&[f64]> = clean_groups.iter().map(|g| g.as_slice()).collect();
 
@@ -61,8 +69,10 @@ pub fn run(scale: Scale) -> String {
         .collect();
     // Median-shifting change: everything moved up by 3 sigma.
     let sigma = eddie_stats::descriptive::std_dev(reference).max(1.0);
-    let shifted: Vec<Vec<f64>> =
-        clean_groups.iter().map(|g| g.iter().map(|&x| x + 3.0 * sigma).collect()).collect();
+    let shifted: Vec<Vec<f64>> = clean_groups
+        .iter()
+        .map(|g| g.iter().map(|&x| x + 3.0 * sigma).collect())
+        .collect();
 
     let eval = |groups: &[Vec<f64>]| -> (f64, f64) {
         let mut ks_rej = 0usize;
@@ -85,13 +95,23 @@ pub fn run(scale: Scale) -> String {
 
     let rows = vec![
         vec!["clean (false rejections)".into(), f1(ks_frr), f1(u_frr)],
-        vec!["shape change, same median".into(), f1(ks_shape), f1(u_shape)],
+        vec![
+            "shape change, same median".into(),
+            f1(ks_shape),
+            f1(u_shape),
+        ],
         vec!["median shift +3 sigma".into(), f1(ks_shift), f1(u_shift)],
     ];
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Ablation: K-S vs Mann-Whitney U (rejection rates, %)");
-    let _ = writeln!(out, "# the paper kept K-S: the U test misses shape-only changes");
+    let _ = writeln!(
+        out,
+        "# Ablation: K-S vs Mann-Whitney U (rejection rates, %)"
+    );
+    let _ = writeln!(
+        out,
+        "# the paper kept K-S: the U test misses shape-only changes"
+    );
     out.push_str(&format_table(&["group type", "KS_pct", "U_pct"], &rows));
     out
 }

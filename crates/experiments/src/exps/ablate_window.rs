@@ -20,18 +20,30 @@ pub fn run(scale: Scale) -> String {
     let windows = [128usize, 256, 512, 1024];
     let mut rows = Vec::new();
     for &win in &windows {
-        let cfg = EddieConfig { window_len: win, hop: win / 2, ..eddie_config() };
+        let cfg = EddieConfig {
+            window_len: win,
+            hop: win / 2,
+            ..eddie_config()
+        };
         let pipeline = Pipeline::new(
             iot_sim_config(),
             cfg,
             SignalSource::Em(EmChannelConfig::oscilloscope(1)),
         );
-        let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: scale.workload_scale() });
+        let w = Benchmark::Bitcount.workload(&WorkloadParams {
+            scale: scale.workload_scale(),
+        });
         let seeds: Vec<u64> = (1..=scale.train_runs_iot() as u64).collect();
         let model = match pipeline.train(w.program(), |m, s| w.prepare(m, s), &seeds) {
             Ok(m) => m,
             Err(e) => {
-                rows.push(vec![win.to_string(), format!("untrainable: {e}"), "-".into(), "-".into(), "-".into()]);
+                rows.push(vec![
+                    win.to_string(),
+                    format!("untrainable: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };
@@ -51,7 +63,13 @@ pub fn run(scale: Scale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Ablation: STFT window length (bitcount, EM channel)");
     out.push_str(&format_table(
-        &["window_len", "clean_fp_pct", "coverage_pct", "latency_ms", "tpr_pct"],
+        &[
+            "window_len",
+            "clean_fp_pct",
+            "coverage_pct",
+            "latency_ms",
+            "tpr_pct",
+        ],
         &rows,
     ));
     out

@@ -65,9 +65,18 @@ fn measure(core: CoreConfig, b: Benchmark, scale: Scale, payload: usize) -> (f64
     let pipeline = pipeline_for_core(core);
     let wl_scale = scale.workload_scale() / 2;
     let (w, model) = train_benchmark(&pipeline, b, wl_scale.max(2), 2);
-    let region = w.program().declared_regions().next().expect("regions exist");
+    let region = w
+        .program()
+        .declared_regions()
+        .next()
+        .expect("regions exist");
     let pc = w.loop_branch_pc(region).expect("loop branch");
-    let hook = Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(payload), 3));
+    let hook = Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(payload),
+        3,
+    ));
     let outcome = pipeline.monitor(&model, w.program(), |m| w.prepare(m, 801), Some(hook));
     let m = &outcome.metrics;
     let lat = if m.detected_injections > 0 {
@@ -90,20 +99,33 @@ fn anova_block(
     payload: usize,
     out: &mut String,
 ) {
+    // The full (configuration × benchmark) grid is the §5.3 sweep's
+    // dominant cost; every cell is an independent train-and-monitor, so
+    // fan the grid out across the worker pool. Observations are
+    // assembled in grid order, keeping the ANOVA input identical to the
+    // serial sweep.
+    let cells: Vec<(CoreConfig, Benchmark)> = configs
+        .iter()
+        .flat_map(|cfg| BENCHMARKS.iter().map(move |&b| (*cfg, b)))
+        .collect();
+    let measured = eddie_exec::par_map(&cells, |&(cfg, b)| measure(cfg, b, scale, payload));
     let mut obs_lat = Vec::new();
     let mut obs_acc = Vec::new();
-    for cfg in configs {
-        for b in BENCHMARKS {
-            let (lat, _fp, acc) = measure(*cfg, b, scale, payload);
-            let mut l = levels(cfg);
-            l.push(match b {
-                Benchmark::Basicmath => 0,
-                Benchmark::Bitcount => 1,
-                _ => 2,
-            });
-            obs_lat.push(Observation { response: lat, levels: l.clone() });
-            obs_acc.push(Observation { response: acc, levels: l });
-        }
+    for ((cfg, b), (lat, _fp, acc)) in cells.iter().zip(measured) {
+        let mut l = levels(cfg);
+        l.push(match b {
+            Benchmark::Basicmath => 0,
+            Benchmark::Bitcount => 1,
+            _ => 2,
+        });
+        obs_lat.push(Observation {
+            response: lat,
+            levels: l.clone(),
+        });
+        obs_acc.push(Observation {
+            response: acc,
+            levels: l,
+        });
     }
     let mut names: Vec<&str> = factors.to_vec();
     names.push("benchmark");
@@ -119,12 +141,19 @@ fn anova_block(
                             e.name.clone(),
                             f2(e.f),
                             format!("{:.4}", e.p_value),
-                            if e.significant(0.05) { "yes".into() } else { "no".into() },
+                            if e.significant(0.05) {
+                                "yes".into()
+                            } else {
+                                "no".into()
+                            },
                         ]
                     })
                     .collect();
                 let _ = writeln!(out, "### response: {label}");
-                out.push_str(&format_table(&["factor", "F", "p", "significant@5%"], &rows));
+                out.push_str(&format_table(
+                    &["factor", "F", "p", "significant@5%"],
+                    &rows,
+                ));
             }
             Err(e) => {
                 let _ = writeln!(out, "### response: {label} — anova failed: {e}");
@@ -136,10 +165,18 @@ fn anova_block(
 /// Runs the experiment.
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# §5.3 ANOVA: which architectural factors affect EDDIE?");
+    let _ = writeln!(
+        out,
+        "# §5.3 ANOVA: which architectural factors affect EDDIE?"
+    );
     let io = inorder_configs();
     let oo = ooo_configs(scale);
-    let _ = writeln!(out, "# {} in-order + {} out-of-order configurations x 3 benchmarks", io.len(), oo.len());
+    let _ = writeln!(
+        out,
+        "# {} in-order + {} out-of-order configurations x 3 benchmarks",
+        io.len(),
+        oo.len()
+    );
 
     anova_block(
         "In-order cores (width, depth)",
@@ -154,7 +191,13 @@ pub fn run(scale: Scale) -> String {
         "Out-of-order cores (width, depth, ROB)",
         &oo,
         &["issue_width", "pipeline_depth", "rob_size"],
-        |c| vec![c.issue_width as u32, c.pipeline_depth as u32, c.rob_size as u32],
+        |c| {
+            vec![
+                c.issue_width as u32,
+                c.pipeline_depth as u32,
+                c.rob_size as u32,
+            ]
+        },
         scale,
         8,
         &mut out,
@@ -164,7 +207,13 @@ pub fn run(scale: Scale) -> String {
         "Out-of-order cores, large injection (depth effect should fade)",
         &oo,
         &["issue_width", "pipeline_depth", "rob_size"],
-        |c| vec![c.issue_width as u32, c.pipeline_depth as u32, c.rob_size as u32],
+        |c| {
+            vec![
+                c.issue_width as u32,
+                c.pipeline_depth as u32,
+                c.rob_size as u32,
+            ]
+        },
         scale,
         32,
         &mut out,

@@ -29,7 +29,10 @@ pub fn run(scale: Scale) -> String {
     // Only the sharp loop's portion of the trace.
     let span = result.regions[0];
     let s0 = result.power.sample_of_cycle(span.start_cycle);
-    let s1 = result.power.sample_of_cycle(span.end_cycle).min(result.power.samples.len());
+    let s1 = result
+        .power
+        .sample_of_cycle(span.end_cycle)
+        .min(result.power.samples.len());
     let slice = eddie_sim::PowerTrace {
         samples: result.power.samples[s0..s1].to_vec(),
         sample_interval: result.power.sample_interval,
@@ -50,13 +53,26 @@ pub fn run(scale: Scale) -> String {
     let spectra = stft.process_complex(&baseband);
     let s = &spectra[spectra.len() / 2];
 
-    let peaks = find_peaks(s, &PeakConfig { max_peaks: 4, ..PeakConfig::default() });
+    let peaks = find_peaks(
+        s,
+        &PeakConfig {
+            max_peaks: 4,
+            ..PeakConfig::default()
+        },
+    );
     let carrier_hz = iot_sim_config().core.clock_hz;
 
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 1: spectrum of an AM-modulated loop activity");
-    let _ = writeln!(out, "# carrier (clock) at F_clock = {:.4} GHz; offsets below are F - F_clock", carrier_hz / 1e9);
-    let _ = writeln!(out, "# strongest sidebands (one-sided; the paper's ±f pair folds to +f):");
+    let _ = writeln!(
+        out,
+        "# carrier (clock) at F_clock = {:.4} GHz; offsets below are F - F_clock",
+        carrier_hz / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "# strongest sidebands (one-sided; the paper's ±f pair folds to +f):"
+    );
     for p in &peaks {
         let _ = writeln!(
             out,
@@ -68,7 +84,10 @@ pub fn run(scale: Scale) -> String {
     }
     let _ = writeln!(out, "offset_mhz db");
     let db = s.to_db();
-    let max_bin = s.bin_of_freq(s.freq_of_bin(s.len() - 1).min(8.0 * peaks.first().map(|p| p.freq_hz).unwrap_or(1e6)));
+    let max_bin = s.bin_of_freq(
+        s.freq_of_bin(s.len() - 1)
+            .min(8.0 * peaks.first().map(|p| p.freq_hz).unwrap_or(1e6)),
+    );
     for k in 0..=max_bin {
         let _ = writeln!(out, "{:.4} {:.1}", s.freq_of_bin(k) / 1e6, db[k]);
     }
@@ -84,6 +103,9 @@ mod tests {
         let out = run(Scale::Quick);
         assert!(out.contains("F_clock"));
         assert!(out.contains("offset_mhz db"));
-        assert!(out.contains("loop period"), "sideband must be identified:\n{out}");
+        assert!(
+            out.contains("loop period"),
+            "sideband must be identified:\n{out}"
+        );
     }
 }

@@ -39,7 +39,10 @@ pub fn run(scale: Scale) -> String {
     for (label, pattern) in &mixes {
         for &n in &group_sizes {
             let forced = with_group_size(&model, n);
-            let plan = InjectPlan::Loop { pattern: pattern.clone(), contamination: 1.0 };
+            let plan = InjectPlan::Loop {
+                pattern: pattern.clone(),
+                contamination: 1.0,
+            };
             let outcomes = monitor_many(&pipeline, &w, &forced, runs, &plan);
             let avg = eddie_core::metrics::average(
                 &outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>(),
@@ -55,7 +58,10 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 10: TPR vs latency for on-chip vs off-chip injected instructions");
+    let _ = writeln!(
+        out,
+        "# Figure 10: TPR vs latency for on-chip vs off-chip injected instructions"
+    );
     out.push_str(&format_table(&["mix", "n", "latency_us", "tpr_pct"], &rows));
     out
 }

@@ -86,22 +86,37 @@ pub fn run(scale: Scale) -> String {
     // peak is below 1%. FP = normal windows flagged; FN = malicious
     // windows not flagged.
     let alpha = 0.01;
-    let fp = normal.iter().filter(|&&x| fit.two_sided_p(x) < alpha).count() as f64
+    let fp = normal
+        .iter()
+        .filter(|&&x| fit.two_sided_p(x) < alpha)
+        .count() as f64
         / normal.len().max(1) as f64
         * 100.0;
-    let fn_ = malicious.iter().filter(|&&x| fit.two_sided_p(x) >= alpha).count() as f64
+    let fn_ = malicious
+        .iter()
+        .filter(|&&x| fit.two_sided_p(x) >= alpha)
+        .count() as f64
         / malicious.len().max(1) as f64
         * 100.0;
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 2: strongest-peak density, normal vs malicious (susan loop nest)");
+    let _ = writeln!(
+        out,
+        "# Figure 2: strongest-peak density, normal vs malicious (susan loop nest)"
+    );
     let _ = writeln!(
         out,
         "# bi-normal fit: w={:.2}, N({:.0}, {:.0}) + N({:.0}, {:.0})  [Hz]",
         fit.weight, fit.a.mu, fit.a.sigma, fit.b.mu, fit.b.sigma
     );
-    let _ = writeln!(out, "# parametric test at alpha=1%: false positives {fp:.1}%, false negatives {fn_:.1}%");
-    let _ = writeln!(out, "# (the paper's point: these errors are inevitable for parametric tests)");
+    let _ = writeln!(
+        out,
+        "# parametric test at alpha=1%: false positives {fp:.1}%, false negatives {fn_:.1}%"
+    );
+    let _ = writeln!(
+        out,
+        "# (the paper's point: these errors are inevitable for parametric tests)"
+    );
     let _ = writeln!(out, "freq_hz normal_density malicious_density binormal_pdf");
     for k in 0..bins {
         let x = lo + (k as f64 + 0.5) * width;

@@ -56,9 +56,18 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 3: raw K-S false-rejection rate vs detection latency (group size n)");
-    let _ = writeln!(out, "# sharp loops reach ~0% FRR at small n; diffuse loops need much larger n");
-    out.push_str(&format_table(&["loop", "n", "latency_us", "false_rej_pct"], &rows));
+    let _ = writeln!(
+        out,
+        "# Figure 3: raw K-S false-rejection rate vs detection latency (group size n)"
+    );
+    let _ = writeln!(
+        out,
+        "# sharp loops reach ~0% FRR at small n; diffuse loops need much larger n"
+    );
+    out.push_str(&format_table(
+        &["loop", "n", "latency_us", "false_rej_pct"],
+        &rows,
+    ));
     out
 }
 

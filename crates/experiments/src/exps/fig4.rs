@@ -48,7 +48,12 @@ fn region_group_latencies(
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> String {
-    let benchmarks = [Benchmark::Basicmath, Benchmark::Bitcount, Benchmark::Susan, Benchmark::Fft];
+    let benchmarks = [
+        Benchmark::Basicmath,
+        Benchmark::Bitcount,
+        Benchmark::Susan,
+        Benchmark::Fft,
+    ];
     // Same clock for both cores so the comparison isolates the pipeline
     // organisation, as in the paper's simulated configurations.
     let inorder = CoreConfig {
@@ -84,8 +89,14 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 4: K-S-group latency per region, OoO vs in-order (same 1.8 GHz clock)");
-    let _ = writeln!(out, "# latency = selected group size n x STS period; paper: OoO needs more STSs");
+    let _ = writeln!(
+        out,
+        "# Figure 4: K-S-group latency per region, OoO vs in-order (same 1.8 GHz clock)"
+    );
+    let _ = writeln!(
+        out,
+        "# latency = selected group size n x STS period; paper: OoO needs more STSs"
+    );
     out.push_str(&format_table(&["region", "OOO_us", "InOrder_us"], &rows));
     out
 }

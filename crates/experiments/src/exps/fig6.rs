@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 
 use eddie_inject::OpPattern;
-use eddie_workloads::{loop_shapes, prepare_shapes, LoopShape, Benchmark, WorkloadParams};
+use eddie_workloads::{loop_shapes, prepare_shapes, Benchmark, LoopShape, WorkloadParams};
 
 use crate::harness::{iot_pipeline, monitor_many};
 use crate::sweep::with_group_size;
@@ -26,7 +26,11 @@ pub fn run(scale: Scale) -> String {
     // Wrap the program in a Workload-like shim for monitor_many: we
     // drive monitoring manually instead, since the shapes workload is
     // not a Benchmark.
-    let _ = (monitor_many, Benchmark::Bitcount, WorkloadParams { scale: 1 });
+    let _ = (
+        monitor_many,
+        Benchmark::Bitcount,
+        WorkloadParams { scale: 1 },
+    );
 
     let group_sizes = [4usize, 6, 8, 12, 16, 24, 32];
     let payloads = [2usize, 4, 6, 8];
@@ -81,8 +85,14 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 6: TPR vs detection latency (us), 2/4/6/8 injected instrs, three loop classes");
-    out.push_str(&format_table(&["loop", "instrs", "latency_us", "tpr_pct"], &rows));
+    let _ = writeln!(
+        out,
+        "# Figure 6: TPR vs detection latency (us), 2/4/6/8 injected instrs, three loop classes"
+    );
+    out.push_str(&format_table(
+        &["loop", "instrs", "latency_us", "tpr_pct"],
+        &rows,
+    ));
     out
 }
 

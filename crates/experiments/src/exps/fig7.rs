@@ -31,7 +31,10 @@ fn latency_to_maintain_accuracy(
     rate: f64,
     runs: usize,
 ) -> Option<f64> {
-    let plan = InjectPlan::Loop { pattern: OpPattern::loop_payload(16), contamination: rate };
+    let plan = InjectPlan::Loop {
+        pattern: OpPattern::loop_payload(16),
+        contamination: rate,
+    };
     for &n in &[4usize, 6, 8, 12, 16, 24, 32, 48] {
         let forced = with_group_size(model, n);
         let outcomes = monitor_many(pipeline, w, &forced, runs, &plan);
@@ -54,8 +57,8 @@ pub fn run(scale: Scale) -> String {
         Scale::Full => 3,
     };
 
-    let mut rows = Vec::new();
-    for b in BENCHMARKS {
+    // Per-benchmark fan-out; rows keep the benchmark order.
+    let rows = eddie_exec::par_map(&BENCHMARKS, |&b| {
         let (w, model) =
             train_benchmark(&pipeline, b, scale.workload_scale(), scale.train_runs_sim());
         let mut row = vec![b.name().to_string()];
@@ -65,8 +68,8 @@ pub fn run(scale: Scale) -> String {
                 None => row.push("-".into()),
             }
         }
-        rows.push(row);
-    }
+        row
+    });
 
     let mut header: Vec<String> = vec!["Benchmark".into()];
     header.extend(rates.iter().map(|r| format!("{}%", (r * 100.0) as u32)));
@@ -77,7 +80,10 @@ pub fn run(scale: Scale) -> String {
         out,
         "# Figure 7: detection latency (us) needed to maintain accuracy, vs contamination rate"
     );
-    let _ = writeln!(out, "# ('-' = not detectable within the sweep's group sizes)");
+    let _ = writeln!(
+        out,
+        "# ('-' = not detectable within the sweep's group sizes)"
+    );
     out.push_str(&format_table(&header_refs, &rows));
     out
 }

@@ -23,7 +23,9 @@ pub fn run(scale: Scale) -> String {
         scale.train_runs_iot(),
     );
     // "Between loops 2 and 3": trigger at the exit of region 2.
-    let pc = w.region_exit_pc(RegionId::new(2)).expect("bitcount region 2 exit");
+    let pc = w
+        .region_exit_pc(RegionId::new(2))
+        .expect("bitcount region 2 exit");
 
     let bursts: &[u64] = &[100_000, 187_000, 218_000, 315_000, 400_000, 500_000];
     let group_sizes = [4usize, 6, 8, 12, 16, 24];
@@ -56,7 +58,11 @@ pub fn run(scale: Scale) -> String {
                 total += outcome.metrics.total_injections;
                 hop_ms = outcome.mapping.hop_ms();
             }
-            let tpr = if total == 0 { 0.0 } else { detected as f64 * 100.0 / total as f64 };
+            let tpr = if total == 0 {
+                0.0
+            } else {
+                detected as f64 * 100.0 / total as f64
+            };
             rows.push(vec![
                 format!("{}k", ops / 1000),
                 n.to_string(),
@@ -67,8 +73,14 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 8: TPR vs latency for bursts outside loops (bitcount, between loops 2 and 3)");
-    out.push_str(&format_table(&["burst_instrs", "n", "latency_us", "tpr_pct"], &rows));
+    let _ = writeln!(
+        out,
+        "# Figure 8: TPR vs latency for bursts outside loops (bitcount, between loops 2 and 3)"
+    );
+    out.push_str(&format_table(
+        &["burst_instrs", "n", "latency_us", "tpr_pct"],
+        &rows,
+    ));
     out
 }
 

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use eddie_workloads::Benchmark;
 
-use crate::harness::{monitor_many, iot_pipeline, train_benchmark, InjectPlan};
+use crate::harness::{iot_pipeline, monitor_many, train_benchmark, InjectPlan};
 use crate::sweep::{with_confidence, with_group_size};
 use crate::{f2, format_table, Scale};
 
@@ -49,8 +49,14 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 9: false positives vs latency at K-S confidence 95/97/99%");
-    out.push_str(&format_table(&["confidence", "n", "latency_us", "false_pos_pct"], &rows));
+    let _ = writeln!(
+        out,
+        "# Figure 9: false positives vs latency at K-S confidence 95/97/99%"
+    );
+    out.push_str(&format_table(
+        &["confidence", "n", "latency_us", "false_pos_pct"],
+        &rows,
+    ));
     out
 }
 

@@ -27,8 +27,26 @@ use crate::Scale;
 
 /// All experiment ids in presentation order.
 pub const ALL: &[&str] = &[
-    "fig1", "fig2", "fig3", "tab1", "tab2", "fig4", "anova", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "ablate-test", "ablate-parametric", "ablate-window", "ablate-noise", "ablate-moments", "ablate-asic", "ablate-prefetch",
+    "fig1",
+    "fig2",
+    "fig3",
+    "tab1",
+    "tab2",
+    "fig4",
+    "anova",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablate-test",
+    "ablate-parametric",
+    "ablate-window",
+    "ablate-noise",
+    "ablate-moments",
+    "ablate-asic",
+    "ablate-prefetch",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for unknown ids.

@@ -17,8 +17,8 @@ use crate::{f1, f2, format_table, Scale};
 /// Runs the experiment.
 pub fn run(scale: Scale) -> String {
     let pipeline = iot_pipeline();
-    let mut rows = Vec::new();
-    for b in Benchmark::all() {
+    // One worker per benchmark; rows come back in table order.
+    let rows = eddie_exec::par_map(&Benchmark::all(), |&b| {
         let m = evaluate_benchmark(
             &pipeline,
             b,
@@ -27,22 +27,31 @@ pub fn run(scale: Scale) -> String {
             scale.monitor_runs_iot(),
             &InjectPlan::Alternating,
         );
-        rows.push(vec![
+        vec![
             b.name().to_string(),
             f1(m.detection_latency_ms * 1e3),
             f2(m.false_positive_pct),
             f1(m.accuracy_pct),
             f1(m.coverage_pct),
-        ]);
-    }
+        ]
+    });
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 1: EDDIE on the simulated IoT device (EM channel)");
+    let _ = writeln!(
+        out,
+        "# Table 1: EDDIE on the simulated IoT device (EM channel)"
+    );
     let _ = writeln!(
         out,
         "# reportThreshold=3, 99% K-S confidence; injections: empty-shell burst outside loops, 8 instrs in loops"
     );
     out.push_str(&format_table(
-        &["Benchmark", "Latency_us", "FalsePos_pct", "Accuracy_pct", "Coverage_pct"],
+        &[
+            "Benchmark",
+            "Latency_us",
+            "FalsePos_pct",
+            "Accuracy_pct",
+            "Coverage_pct",
+        ],
         &rows,
     ));
     out

@@ -18,8 +18,8 @@ use crate::{f1, f2, format_table, Scale};
 /// Runs the experiment.
 pub fn run(scale: Scale) -> String {
     let pipeline = sim_pipeline();
-    let mut rows = Vec::new();
-    for b in Benchmark::all() {
+    // One worker per benchmark; rows come back in table order.
+    let rows = eddie_exec::par_map(&Benchmark::all(), |&b| {
         let m = evaluate_benchmark(
             &pipeline,
             b,
@@ -28,18 +28,27 @@ pub fn run(scale: Scale) -> String {
             scale.monitor_runs_sim(),
             &InjectPlan::Alternating,
         );
-        rows.push(vec![
+        vec![
             b.name().to_string(),
             f1(m.detection_latency_ms * 1e3),
             f2(m.false_positive_pct),
             f1(m.accuracy_pct),
             f1(m.coverage_pct),
-        ]);
-    }
+        ]
+    });
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 2: EDDIE on the simulator power signal (4-issue OoO)");
+    let _ = writeln!(
+        out,
+        "# Table 2: EDDIE on the simulator power signal (4-issue OoO)"
+    );
     out.push_str(&format_table(
-        &["Benchmark", "Latency_us", "FalseRej_pct", "Accuracy_pct", "Coverage_pct"],
+        &[
+            "Benchmark",
+            "Latency_us",
+            "FalseRej_pct",
+            "Accuracy_pct",
+            "Coverage_pct",
+        ],
         &rows,
     ));
     out

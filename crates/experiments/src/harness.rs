@@ -1,7 +1,9 @@
 //! Shared runners: build pipelines, train models, and evaluate
 //! benchmarks under the injection plans of §5.
 
-use eddie_core::{metrics, EddieConfig, MonitorOutcome, Pipeline, RunMetrics, SignalSource, TrainedModel};
+use eddie_core::{
+    metrics, EddieConfig, MonitorOutcome, Pipeline, RunMetrics, SignalSource, TrainedModel,
+};
 use eddie_em::EmChannelConfig;
 use eddie_inject::{BurstInjector, LoopInjector, OpPattern};
 use eddie_isa::RegionId;
@@ -129,7 +131,12 @@ pub fn make_hook(
             let region = region_for(k / 2);
             if k % 2 == 0 {
                 let pc = workload.loop_branch_pc(region)?;
-                Some(Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), seed)))
+                Some(Box::new(LoopInjector::new(
+                    pc,
+                    1.0,
+                    OpPattern::loop_payload(8),
+                    seed,
+                )))
             } else {
                 let pc = workload.region_exit_pc(region)?;
                 Some(Box::new(BurstInjector::new(
@@ -140,15 +147,28 @@ pub fn make_hook(
                 )))
             }
         }
-        InjectPlan::Loop { pattern, contamination } => {
+        InjectPlan::Loop {
+            pattern,
+            contamination,
+        } => {
             let region = region_for(k);
             let pc = workload.loop_branch_pc(region)?;
-            Some(Box::new(LoopInjector::new(pc, *contamination, pattern.clone(), seed)))
+            Some(Box::new(LoopInjector::new(
+                pc,
+                *contamination,
+                pattern.clone(),
+                seed,
+            )))
         }
         InjectPlan::Burst { ops } => {
             let region = region_for(k);
             let pc = workload.region_exit_pc(region)?;
-            Some(Box::new(BurstInjector::new(pc, *ops, OpPattern::shell_like(), seed)))
+            Some(Box::new(BurstInjector::new(
+                pc,
+                *ops,
+                OpPattern::shell_like(),
+                seed,
+            )))
         }
     }
 }
@@ -185,6 +205,11 @@ pub fn evaluate_benchmark(
 
 /// Monitors `runs` seeded runs of a trained workload under `plan`,
 /// cycling injections through the trained loop regions.
+///
+/// Runs execute on the [`eddie_exec`] worker pool via
+/// [`Pipeline::monitor_batch`]; run `k` keeps the seed `1000 + k` the
+/// serial loop always used, so outcomes are byte-identical for every
+/// `EDDIE_THREADS` value.
 pub fn monitor_many(
     pipeline: &Pipeline,
     workload: &Workload,
@@ -193,13 +218,13 @@ pub fn monitor_many(
     plan: &InjectPlan,
 ) -> Vec<MonitorOutcome> {
     let targets = injection_targets(workload, model);
-    (0..runs)
-        .map(|k| {
-            let seed = 1000 + k as u64;
-            let hook = make_hook(plan, workload, &targets, k, seed);
-            pipeline.monitor(model, workload.program(), |m| workload.prepare(m, seed), hook)
-        })
-        .collect()
+    pipeline.monitor_batch(
+        model,
+        workload.program(),
+        runs,
+        |m, k| workload.prepare(m, 1000 + k as u64),
+        |k| make_hook(plan, workload, &targets, k, 1000 + k as u64),
+    )
 }
 
 #[cfg(test)]
@@ -227,7 +252,14 @@ mod tests {
     fn quick_benchmark_eval_produces_metrics() {
         // Smoke test at tiny scale: training + 2 monitored runs.
         let pipeline = sim_pipeline();
-        let m = evaluate_benchmark(&pipeline, Benchmark::Stringsearch, 2, 2, 2, &InjectPlan::None);
+        let m = evaluate_benchmark(
+            &pipeline,
+            Benchmark::Stringsearch,
+            2,
+            2,
+            2,
+            &InjectPlan::None,
+        );
         assert!(m.total_groups > 0);
         assert_eq!(m.total_injections, 0);
     }

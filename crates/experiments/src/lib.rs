@@ -130,7 +130,10 @@ mod tests {
     fn table_is_aligned() {
         let t = format_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

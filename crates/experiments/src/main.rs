@@ -14,7 +14,9 @@ fn usage() -> String {
     format!(
         "usage: eddie-experiments <id>... [--scale quick|full]\n\
          ids: {} | all\n\
-         default scale: quick",
+         default scale: quick\n\
+         env: EDDIE_THREADS=<n> sets the worker-pool width (default: all cores);\n\
+         results are byte-identical for every thread count",
         exps::ALL.join(" | ")
     )
 }
@@ -55,7 +57,10 @@ fn main() -> ExitCode {
         match exps::run(id, scale) {
             Some(output) => {
                 println!("{output}");
-                eprintln!("[{id} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+                eprintln!(
+                    "[{id} finished in {:.1}s]\n",
+                    started.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("unknown experiment id `{id}`\n{}", usage());

@@ -39,6 +39,11 @@ pub fn with_confidence(model: &TrainedModel, confidence: f64) -> TrainedModel {
 }
 
 /// Sweeps group sizes, monitoring `runs` seeded runs per point.
+///
+/// Curve points are independent (each re-monitors the same seeds under
+/// its own forced group size), so they fan out across the
+/// [`eddie_exec`] worker pool; the returned points keep the order of
+/// `group_sizes` and are byte-identical to the serial sweep.
 pub fn group_size_sweep(
     pipeline: &Pipeline,
     workload: &Workload,
@@ -47,21 +52,18 @@ pub fn group_size_sweep(
     runs: usize,
     plan: &InjectPlan,
 ) -> Vec<SweepPoint> {
-    group_sizes
-        .iter()
-        .map(|&n| {
-            let forced = with_group_size(model, n);
-            let outcomes = monitor_many(pipeline, workload, &forced, runs, plan);
-            let metrics = eddie_core::metrics::average(
-                &outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>(),
-            );
-            let hop_ms = outcomes
-                .first()
-                .map(|o| o.mapping.hop_ms())
-                .unwrap_or(0.0);
-            SweepPoint { group_size: n, latency_ms: n as f64 * hop_ms, metrics }
-        })
-        .collect()
+    eddie_exec::par_map(group_sizes, |&n| {
+        let forced = with_group_size(model, n);
+        let outcomes = monitor_many(pipeline, workload, &forced, runs, plan);
+        let metrics =
+            eddie_core::metrics::average(&outcomes.iter().map(|o| o.metrics).collect::<Vec<_>>());
+        let hop_ms = outcomes.first().map(|o| o.mapping.hop_ms()).unwrap_or(0.0);
+        SweepPoint {
+            group_size: n,
+            latency_ms: n as f64 * hop_ms,
+            metrics,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -90,8 +92,7 @@ mod tests {
     fn sweep_latency_grows_with_group_size() {
         let pipeline = sim_pipeline();
         let (w, model) = train_benchmark(&pipeline, Benchmark::Stringsearch, 2, 2);
-        let points =
-            group_size_sweep(&pipeline, &w, &model, &[4, 8], 1, &InjectPlan::None);
+        let points = group_size_sweep(&pipeline, &w, &model, &[4, 8], 1, &InjectPlan::None);
         assert_eq!(points.len(), 2);
         assert!(points[1].latency_ms > points[0].latency_ms);
     }

@@ -35,7 +35,14 @@ impl BurstInjector {
             total_ops == 0 || !pattern.is_empty(),
             "a non-zero burst needs a non-empty pattern"
         );
-        BurstInjector { trigger_pc, total_ops, pattern, rng: injection_rng(seed), seq: 0, fired: false }
+        BurstInjector {
+            trigger_pc,
+            total_ops,
+            pattern,
+            rng: injection_rng(seed),
+            seq: 0,
+            fired: false,
+        }
     }
 
     /// The paper's empty-shell invocation: ≈476 k injected instructions.
@@ -72,7 +79,9 @@ mod tests {
 
     fn bitcount_between_2_and_3() -> (eddie_workloads::Workload, usize) {
         let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 });
-        let pc = w.region_exit_pc(RegionId::new(2)).expect("region 2 exit exists");
+        let pc = w
+            .region_exit_pc(RegionId::new(2))
+            .expect("region 2 exit exists");
         (w, pc)
     }
 
@@ -81,7 +90,12 @@ mod tests {
         let (w, pc) = bitcount_between_2_and_3();
         let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
         w.prepare(sim.machine_mut(), 1);
-        sim.set_injection(Box::new(BurstInjector::new(pc, 10_000, OpPattern::shell_like(), 2)));
+        sim.set_injection(Box::new(BurstInjector::new(
+            pc,
+            10_000,
+            OpPattern::shell_like(),
+            2,
+        )));
         let r = sim.run();
         assert!(r.stats.injected_ops >= 10_000);
         assert!(r.stats.injected_ops < 10_000 + 16);
@@ -93,13 +107,29 @@ mod tests {
         let (w, pc) = bitcount_between_2_and_3();
         let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
         w.prepare(sim.machine_mut(), 1);
-        sim.set_injection(Box::new(BurstInjector::new(pc, 50_000, OpPattern::shell_like(), 2)));
+        sim.set_injection(Box::new(BurstInjector::new(
+            pc,
+            50_000,
+            OpPattern::shell_like(),
+            2,
+        )));
         let r = sim.run();
         let (start, end) = r.injected_spans[0];
-        let r2 = r.regions.iter().find(|s| s.region == RegionId::new(2)).unwrap();
-        let r3 = r.regions.iter().find(|s| s.region == RegionId::new(3)).unwrap();
+        let r2 = r
+            .regions
+            .iter()
+            .find(|s| s.region == RegionId::new(2))
+            .unwrap();
+        let r3 = r
+            .regions
+            .iter()
+            .find(|s| s.region == RegionId::new(3))
+            .unwrap();
         assert!(start >= r2.end_cycle, "burst begins after region 2 ends");
-        assert!(end <= r3.start_cycle, "burst finishes before region 3 starts");
+        assert!(
+            end <= r3.start_cycle,
+            "burst finishes before region 3 starts"
+        );
     }
 
     #[test]
@@ -107,7 +137,12 @@ mod tests {
         let (w, pc) = bitcount_between_2_and_3();
         let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
         w.prepare(sim.machine_mut(), 1);
-        sim.set_injection(Box::new(BurstInjector::new(pc, 0, OpPattern::shell_like(), 2)));
+        sim.set_injection(Box::new(BurstInjector::new(
+            pc,
+            0,
+            OpPattern::shell_like(),
+            2,
+        )));
         let r = sim.run();
         assert_eq!(r.stats.injected_ops, 0);
         assert!(r.injected_spans.is_empty());

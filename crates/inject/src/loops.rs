@@ -31,7 +31,12 @@ impl LoopInjector {
     /// # Panics
     ///
     /// Panics if `contamination` is outside `[0, 1]`.
-    pub fn new(trigger_pc: usize, contamination: f64, pattern: OpPattern, seed: u64) -> LoopInjector {
+    pub fn new(
+        trigger_pc: usize,
+        contamination: f64,
+        pattern: OpPattern,
+        seed: u64,
+    ) -> LoopInjector {
         assert!(
             (0.0..=1.0).contains(&contamination),
             "contamination rate must be within [0, 1]"
@@ -74,10 +79,17 @@ mod tests {
 
     fn run_with_rate(rate: f64) -> (u64, u64) {
         let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 });
-        let pc = w.loop_branch_pc(RegionId::new(3)).expect("loop branch exists");
+        let pc = w
+            .loop_branch_pc(RegionId::new(3))
+            .expect("loop branch exists");
         let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
         w.prepare(sim.machine_mut(), 5);
-        sim.set_injection(Box::new(LoopInjector::new(pc, rate, OpPattern::loop_payload(8), 3)));
+        sim.set_injection(Box::new(LoopInjector::new(
+            pc,
+            rate,
+            OpPattern::loop_payload(8),
+            3,
+        )));
         let r = sim.run();
         (r.stats.injected_ops, r.stats.instrs)
     }
@@ -96,7 +108,10 @@ mod tests {
         let (none, _) = run_with_rate(0.0);
         assert_eq!(none, 0);
         let ratio = half as f64 / full as f64;
-        assert!((0.35..0.65).contains(&ratio), "≈50% of iterations injected ({ratio})");
+        assert!(
+            (0.35..0.65).contains(&ratio),
+            "≈50% of iterations injected ({ratio})"
+        );
     }
 
     #[test]
@@ -105,7 +120,12 @@ mod tests {
         let pc = w.loop_branch_pc(RegionId::new(3)).unwrap();
         let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
         w.prepare(sim.machine_mut(), 5);
-        sim.set_injection(Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(4), 3)));
+        sim.set_injection(Box::new(LoopInjector::new(
+            pc,
+            1.0,
+            OpPattern::loop_payload(4),
+            3,
+        )));
         let r = sim.run();
         assert!(!r.injected_spans.is_empty());
         // Spans are ordered and non-overlapping.

@@ -35,7 +35,10 @@ impl AddrPattern {
     /// A default off-chip region: 8 MiB starting at the 8 MiB boundary
     /// (far above the workloads' arrays).
     pub fn default_large() -> AddrPattern {
-        AddrPattern::RandomLarge { base: 8 << 20, len: 8 << 20 }
+        AddrPattern::RandomLarge {
+            base: 8 << 20,
+            len: 8 << 20,
+        }
     }
 }
 
@@ -60,14 +63,26 @@ impl OpPattern {
     /// "4 integer operations and 4 memory accesses".
     pub fn loop_payload(n: usize) -> OpPattern {
         let kinds = (0..n)
-            .map(|i| if i % 2 == 0 { InjectedOpKind::IntAlu } else { InjectedOpKind::Store })
+            .map(|i| {
+                if i % 2 == 0 {
+                    InjectedOpKind::IntAlu
+                } else {
+                    InjectedOpKind::Store
+                }
+            })
             .collect();
-        OpPattern { kinds, addr: AddrPattern::default_large() }
+        OpPattern {
+            kinds,
+            addr: AddrPattern::default_large(),
+        }
     }
 
     /// §5.7 "on-chip" mix: `n` integer adds, no memory traffic.
     pub fn on_chip(n: usize) -> OpPattern {
-        OpPattern { kinds: vec![InjectedOpKind::IntAlu; n], addr: AddrPattern::Hot { base: 8 << 20 } }
+        OpPattern {
+            kinds: vec![InjectedOpKind::IntAlu; n],
+            addr: AddrPattern::Hot { base: 8 << 20 },
+        }
     }
 
     /// §5.7 "off-chip and on-chip" mix: half adds, half stores that
@@ -80,9 +95,18 @@ impl OpPattern {
     /// ADD for detectability; used by the ablation experiments).
     pub fn mul_heavy(n: usize) -> OpPattern {
         let kinds = (0..n)
-            .map(|i| if i % 2 == 0 { InjectedOpKind::Mul } else { InjectedOpKind::IntAlu })
+            .map(|i| {
+                if i % 2 == 0 {
+                    InjectedOpKind::Mul
+                } else {
+                    InjectedOpKind::IntAlu
+                }
+            })
             .collect();
-        OpPattern { kinds, addr: AddrPattern::Hot { base: 8 << 20 } }
+        OpPattern {
+            kinds,
+            addr: AddrPattern::Hot { base: 8 << 20 },
+        }
     }
 
     /// A shell-invocation-like burst template: the same mix the paper's
@@ -97,7 +121,13 @@ impl OpPattern {
                 _ => InjectedOpKind::IntAlu,
             });
         }
-        OpPattern { kinds, addr: AddrPattern::Sequential { base: 8 << 20, stride: 32 } }
+        OpPattern {
+            kinds,
+            addr: AddrPattern::Sequential {
+                base: 8 << 20,
+                stride: 32,
+            },
+        }
     }
 
     /// Number of operations per event.
@@ -202,7 +232,11 @@ mod tests {
     #[test]
     fn shell_like_is_mostly_alu() {
         let p = OpPattern::shell_like();
-        let alu = p.kinds.iter().filter(|k| **k == InjectedOpKind::IntAlu).count();
+        let alu = p
+            .kinds
+            .iter()
+            .filter(|k| **k == InjectedOpKind::IntAlu)
+            .count();
         assert!(alu * 2 > p.len());
     }
 }

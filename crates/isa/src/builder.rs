@@ -102,7 +102,10 @@ impl ProgramBuilder {
     /// Bind it later with [`bind`](Self::bind). Unbound labels that are
     /// referenced cause [`build`](Self::build) to fail.
     pub fn label(&mut self, name: &str) -> Label {
-        self.labels.push(LabelState { name: name.to_owned(), pos: None });
+        self.labels.push(LabelState {
+            name: name.to_owned(),
+            pos: None,
+        });
         Label(self.labels.len() - 1)
     }
 
@@ -315,9 +318,9 @@ impl ProgramBuilder {
     pub fn build(mut self) -> Result<Program, BuildError> {
         for &(at, label) in &self.fixups {
             let state = &self.labels[label.0];
-            let pos = state
-                .pos
-                .ok_or_else(|| BuildError::UnboundLabel { name: state.name.clone() })?;
+            let pos = state.pos.ok_or_else(|| BuildError::UnboundLabel {
+                name: state.name.clone(),
+            })?;
             match &mut self.instrs[at] {
                 Instr::Branch(_, _, _, t) | Instr::Jump(t) | Instr::Jal(_, t) => *t = pos,
                 other => unreachable!("fixup on non-control instruction {other}"),
@@ -354,7 +357,12 @@ mod tests {
         let nowhere = b.label("nowhere");
         b.jump_label(nowhere).halt();
         let err = b.build().unwrap_err();
-        assert_eq!(err, BuildError::UnboundLabel { name: "nowhere".into() });
+        assert_eq!(
+            err,
+            BuildError::UnboundLabel {
+                name: "nowhere".into()
+            }
+        );
     }
 
     #[test]
@@ -369,7 +377,10 @@ mod tests {
     fn missing_halt_propagates() {
         let mut b = ProgramBuilder::new();
         b.nop();
-        assert!(matches!(b.build(), Err(BuildError::Invalid(ProgramError::MissingHalt))));
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::Invalid(ProgramError::MissingHalt))
+        ));
     }
 
     #[test]

@@ -302,11 +302,20 @@ mod tests {
 
     #[test]
     fn class_covers_all_groups() {
-        assert_eq!(Instr::Add(Reg::R1, Reg::R2, Reg::R3).class(), InstrClass::IntAlu);
-        assert_eq!(Instr::Div(Reg::R1, Reg::R2, Reg::R3).class(), InstrClass::Div);
+        assert_eq!(
+            Instr::Add(Reg::R1, Reg::R2, Reg::R3).class(),
+            InstrClass::IntAlu
+        );
+        assert_eq!(
+            Instr::Div(Reg::R1, Reg::R2, Reg::R3).class(),
+            InstrClass::Div
+        );
         assert_eq!(Instr::Load(Reg::R1, Reg::R2, 0).class(), InstrClass::Load);
         assert_eq!(Instr::Store(Reg::R1, Reg::R2, 0).class(), InstrClass::Store);
-        assert_eq!(Instr::RegionEnter(RegionId::new(0)).class(), InstrClass::Other);
+        assert_eq!(
+            Instr::RegionEnter(RegionId::new(0)).class(),
+            InstrClass::Other
+        );
     }
 
     #[test]
@@ -340,6 +349,9 @@ mod tests {
             Instr::Branch(BranchCond::Ne, Reg::R1, Reg::R0, 4).to_string(),
             "bne r1, r0, @4"
         );
-        assert_eq!(Instr::Load(Reg::R2, Reg::R3, -1).to_string(), "ld r2, -1(r3)");
+        assert_eq!(
+            Instr::Load(Reg::R2, Reg::R3, -1).to_string(),
+            "ld r2, -1(r3)"
+        );
     }
 }

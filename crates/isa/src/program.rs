@@ -93,7 +93,10 @@ impl Program {
                 region_entries.entry(*r).or_insert(pc);
             }
         }
-        Ok(Program { instrs, region_entries })
+        Ok(Program {
+            instrs,
+            region_entries,
+        })
     }
 
     /// Returns the number of instructions.
@@ -172,7 +175,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_halt() {
-        assert_eq!(Program::new(vec![Instr::Nop]), Err(ProgramError::MissingHalt));
+        assert_eq!(
+            Program::new(vec![Instr::Nop]),
+            Err(ProgramError::MissingHalt)
+        );
     }
 
     #[test]
@@ -205,7 +211,10 @@ mod tests {
         .unwrap();
         assert_eq!(p.region_entry(RegionId::new(2)), Some(0));
         assert_eq!(p.region_entry(RegionId::new(0)), None);
-        assert_eq!(p.declared_regions().collect::<Vec<_>>(), vec![RegionId::new(2)]);
+        assert_eq!(
+            p.declared_regions().collect::<Vec<_>>(),
+            vec![RegionId::new(2)]
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong > 30, "alternating pattern should defeat bimodal ({wrong})");
+        assert!(
+            wrong > 30,
+            "alternating pattern should defeat bimodal ({wrong})"
+        );
     }
 
     #[test]

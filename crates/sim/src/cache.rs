@@ -38,9 +38,24 @@ impl CacheConfig {
     /// (§5.1).
     pub fn iot() -> CacheConfig {
         CacheConfig {
-            l1i: CacheLevelConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, hit_latency: 1 },
-            l1d: CacheLevelConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, hit_latency: 1 },
-            l2: CacheLevelConfig { size_bytes: 256 << 10, assoc: 8, line_bytes: 64, hit_latency: 8 },
+            l1i: CacheLevelConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l1d: CacheLevelConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 256 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                hit_latency: 8,
+            },
             mem_latency: 90,
             next_line_prefetch: false,
         }
@@ -51,9 +66,24 @@ impl CacheConfig {
     /// last-level cache).
     pub fn simulated() -> CacheConfig {
         CacheConfig {
-            l1i: CacheLevelConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, hit_latency: 1 },
-            l1d: CacheLevelConfig { size_bytes: 32 << 10, assoc: 4, line_bytes: 64, hit_latency: 1 },
-            l2: CacheLevelConfig { size_bytes: 2 << 20, assoc: 8, line_bytes: 64, hit_latency: 10 },
+            l1i: CacheLevelConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l1d: CacheLevelConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 2 << 20,
+                assoc: 8,
+                line_bytes: 64,
+                hit_latency: 10,
+            },
             mem_latency: 120,
             next_line_prefetch: false,
         }
@@ -112,10 +142,19 @@ impl Cache {
     /// Panics if the geometry is inconsistent (sizes not powers of two,
     /// or associativity not dividing the line count).
     pub fn new(cfg: CacheLevelConfig) -> Cache {
-        assert!(cfg.size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = cfg.size_bytes / cfg.line_bytes;
-        assert!(cfg.assoc > 0 && lines % cfg.assoc == 0, "associativity must divide line count");
+        assert!(
+            cfg.assoc > 0 && lines % cfg.assoc == 0,
+            "associativity must divide line count"
+        );
         let num_sets = lines / cfg.assoc;
         Cache {
             cfg,
@@ -215,7 +254,11 @@ impl CacheHierarchy {
 
     fn walk(l1: &mut Cache, l2: &mut Cache, mem_latency: u64, addr: u64) -> MemAccess {
         if l1.access(addr) {
-            return MemAccess { latency: l1.hit_latency(), l1_hit: true, ..MemAccess::default() };
+            return MemAccess {
+                latency: l1.hit_latency(),
+                l1_hit: true,
+                ..MemAccess::default()
+            };
         }
         if l2.access(addr) {
             return MemAccess {
@@ -247,7 +290,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> CacheLevelConfig {
-        CacheLevelConfig { size_bytes: 256, assoc: 2, line_bytes: 64, hit_latency: 1 }
+        CacheLevelConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        }
     }
 
     #[test]
@@ -305,7 +353,12 @@ mod tests {
     #[test]
     fn l1_miss_l2_hit_path() {
         let cfg = CacheConfig {
-            l1d: CacheLevelConfig { size_bytes: 128, assoc: 1, line_bytes: 64, hit_latency: 1 },
+            l1d: CacheLevelConfig {
+                size_bytes: 128,
+                assoc: 1,
+                line_bytes: 64,
+                hit_latency: 1,
+            },
             ..CacheConfig::iot()
         };
         let mut h = CacheHierarchy::new(&cfg);
@@ -321,7 +374,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        Cache::new(CacheLevelConfig { size_bytes: 100, assoc: 2, line_bytes: 64, hit_latency: 1 });
+        Cache::new(CacheLevelConfig {
+            size_bytes: 100,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
     }
 }
 

@@ -4,9 +4,7 @@ use crate::inject::{InjectedOp, InjectionHook, NoInjection};
 use crate::machine::Machine;
 use crate::power::PowerRecorder;
 use crate::timing::{make_model, TimingEvent, TimingModel};
-use crate::{
-    BranchPredictor, CacheHierarchy, RegionSpan, SimConfig, SimResult, SimStats,
-};
+use crate::{BranchPredictor, CacheHierarchy, RegionSpan, SimConfig, SimResult, SimStats};
 
 /// The cycle-level simulator: functional execution annotated with a
 /// pipeline timing model, cache hierarchy, branch predictor and
@@ -113,7 +111,11 @@ impl Simulator {
                     let now = self.timing.now();
                     if let Some((open, start)) = open_region.take() {
                         debug_assert_eq!(open, r, "unbalanced region markers");
-                        regions.push(RegionSpan { region: open, start_cycle: start, end_cycle: now });
+                        regions.push(RegionSpan {
+                            region: open,
+                            start_cycle: start,
+                            end_cycle: now,
+                        });
                     }
                     self.machine.step(&self.program).next_pc
                 }
@@ -153,12 +155,10 @@ impl Simulator {
 
                     // Branch prediction.
                     let mispredict = match instr {
-                        Instr::Branch(..) => {
-                            !self.predictor.predict_and_update(pc, out.taken.unwrap_or(false))
-                        }
-                        Instr::Jump(_) | Instr::Jal(..) | Instr::Jr(_) => {
-                            !self.predictor.jump(pc)
-                        }
+                        Instr::Branch(..) => !self
+                            .predictor
+                            .predict_and_update(pc, out.taken.unwrap_or(false)),
+                        Instr::Jump(_) | Instr::Jal(..) | Instr::Jr(_) => !self.predictor.jump(pc),
                         _ => false,
                     };
                     if mispredict {
@@ -253,7 +253,11 @@ impl Simulator {
         // Close a region left open at program end (defensive; workloads
         // always close their regions).
         if let Some((r, start)) = open_region.take() {
-            regions.push(RegionSpan { region: r, start_cycle: start, end_cycle: end_cycle });
+            regions.push(RegionSpan {
+                region: r,
+                start_cycle: start,
+                end_cycle: end_cycle,
+            });
         }
 
         SimResult {
@@ -298,7 +302,10 @@ mod tests {
         // Power trace covers the whole run.
         let buckets = (r.stats.cycles / sim.config().sample_interval + 1) as usize;
         assert_eq!(r.power.samples.len(), buckets);
-        assert!(r.power.samples.iter().all(|&p| p > 0.0), "leakage floors every sample");
+        assert!(
+            r.power.samples.iter().all(|&p| p > 0.0),
+            "leakage floors every sample"
+        );
     }
 
     #[test]
@@ -368,7 +375,9 @@ mod tests {
         let clean_r = clean.run();
 
         let mut sim = Simulator::new(SimConfig::iot_inorder(), p);
-        sim.set_injection(Box::new(EveryIter { header_pc: branch_pc }));
+        sim.set_injection(Box::new(EveryIter {
+            header_pc: branch_pc,
+        }));
         let r = sim.run();
         assert_eq!(r.stats.injected_ops, 400);
         assert!(!r.injected_spans.is_empty());

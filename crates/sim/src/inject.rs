@@ -52,17 +52,26 @@ pub struct InjectedOp {
 impl InjectedOp {
     /// Convenience constructor for an ALU op.
     pub fn alu() -> InjectedOp {
-        InjectedOp { kind: InjectedOpKind::IntAlu, byte_addr: 0 }
+        InjectedOp {
+            kind: InjectedOpKind::IntAlu,
+            byte_addr: 0,
+        }
     }
 
     /// Convenience constructor for a store at `byte_addr`.
     pub fn store(byte_addr: u64) -> InjectedOp {
-        InjectedOp { kind: InjectedOpKind::Store, byte_addr }
+        InjectedOp {
+            kind: InjectedOpKind::Store,
+            byte_addr,
+        }
     }
 
     /// Convenience constructor for a load at `byte_addr`.
     pub fn load(byte_addr: u64) -> InjectedOp {
-        InjectedOp { kind: InjectedOpKind::Load, byte_addr }
+        InjectedOp {
+            kind: InjectedOpKind::Load,
+            byte_addr,
+        }
     }
 }
 

@@ -51,8 +51,16 @@ impl Machine {
     ///
     /// Panics if `mem_words` is not a power of two.
     pub fn new(mem_words: usize) -> Machine {
-        assert!(mem_words.is_power_of_two(), "memory size must be a power of two");
-        Machine { regs: [0; Reg::COUNT], mem: vec![0; mem_words], mask: mem_words - 1, pc: 0 }
+        assert!(
+            mem_words.is_power_of_two(),
+            "memory size must be a power of two"
+        );
+        Machine {
+            regs: [0; Reg::COUNT],
+            mem: vec![0; mem_words],
+            mask: mem_words - 1,
+            pc: 0,
+        }
     }
 
     /// Reads a register (`R0` always reads 0).
@@ -108,20 +116,32 @@ impl Machine {
     pub(crate) fn step(&mut self, program: &Program) -> StepOutcome {
         let pc = self.pc;
         let i = program[pc];
-        let mut out =
-            StepOutcome { next_pc: pc + 1, taken: None, mem_byte_addr: None, halted: false };
+        let mut out = StepOutcome {
+            next_pc: pc + 1,
+            taken: None,
+            mem_byte_addr: None,
+            halted: false,
+        };
         match i {
             Instr::Add(d, a, b) => self.write_reg(d, self.reg(a).wrapping_add(self.reg(b))),
             Instr::Sub(d, a, b) => self.write_reg(d, self.reg(a).wrapping_sub(self.reg(b))),
             Instr::Mul(d, a, b) => self.write_reg(d, self.reg(a).wrapping_mul(self.reg(b))),
             Instr::Div(d, a, b) => {
                 let bv = self.reg(b);
-                let v = if bv == 0 { 0 } else { self.reg(a).wrapping_div(bv) };
+                let v = if bv == 0 {
+                    0
+                } else {
+                    self.reg(a).wrapping_div(bv)
+                };
                 self.write_reg(d, v);
             }
             Instr::Rem(d, a, b) => {
                 let bv = self.reg(b);
-                let v = if bv == 0 { 0 } else { self.reg(a).wrapping_rem(bv) };
+                let v = if bv == 0 {
+                    0
+                } else {
+                    self.reg(a).wrapping_rem(bv)
+                };
                 self.write_reg(d, v);
             }
             Instr::And(d, a, b) => self.write_reg(d, self.reg(a) & self.reg(b)),

@@ -121,7 +121,11 @@ pub(crate) struct PowerRecorder {
 impl PowerRecorder {
     pub(crate) fn new(interval: u64, clock_hz: f64) -> PowerRecorder {
         assert!(interval > 0, "sample interval must be positive");
-        PowerRecorder { energy: Vec::new(), interval, clock_hz }
+        PowerRecorder {
+            energy: Vec::new(),
+            interval,
+            clock_hz,
+        }
     }
 
     /// Deposits `e` energy units at `cycle`.
@@ -146,7 +150,11 @@ impl PowerRecorder {
         for e in &mut self.energy {
             *e = (*e + per_bucket_leak) * inv;
         }
-        PowerTrace { samples: self.energy, sample_interval: self.interval, clock_hz: self.clock_hz }
+        PowerTrace {
+            samples: self.energy,
+            sample_interval: self.interval,
+            clock_hz: self.clock_hz,
+        }
     }
 }
 
@@ -165,9 +173,18 @@ mod tests {
     #[test]
     fn access_energy_reflects_depth() {
         let p = PowerConfig::default();
-        let l1 = MemAccess { l1_hit: true, ..MemAccess::default() };
-        let l2 = MemAccess { l2_hit: true, ..MemAccess::default() };
-        let dram = MemAccess { dram: true, ..MemAccess::default() };
+        let l1 = MemAccess {
+            l1_hit: true,
+            ..MemAccess::default()
+        };
+        let l2 = MemAccess {
+            l2_hit: true,
+            ..MemAccess::default()
+        };
+        let dram = MemAccess {
+            dram: true,
+            ..MemAccess::default()
+        };
         assert_eq!(p.access_energy(&l1), 0.0);
         assert!(p.access_energy(&dram) > p.access_energy(&l2));
     }
@@ -195,7 +212,11 @@ mod tests {
 
     #[test]
     fn trace_conversions() {
-        let t = PowerTrace { samples: vec![0.0; 100], sample_interval: 20, clock_hz: 2e9 };
+        let t = PowerTrace {
+            samples: vec![0.0; 100],
+            sample_interval: 20,
+            clock_hz: 2e9,
+        };
         assert!((t.sample_rate_hz() - 1e8).abs() < 1.0);
         assert!((t.duration_s() - 1e-6).abs() < 1e-12);
         assert_eq!(t.sample_of_cycle(45), 2);

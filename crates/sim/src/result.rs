@@ -74,7 +74,9 @@ impl SimResult {
     /// Returns `true` if any cycle in `[start, end)` overlaps an
     /// injected span.
     pub fn overlaps_injection(&self, start: u64, end: u64) -> bool {
-        self.injected_spans.iter().any(|&(s, e)| s < end && start <= e)
+        self.injected_spans
+            .iter()
+            .any(|&(s, e)| s < end && start <= e)
     }
 
     /// The region executing at `cycle`, if any (markers bracket loops,
@@ -92,19 +94,31 @@ mod tests {
     use super::*;
 
     fn trace() -> PowerTrace {
-        PowerTrace { samples: vec![1.0; 10], sample_interval: 20, clock_hz: 1e9 }
+        PowerTrace {
+            samples: vec![1.0; 10],
+            sample_interval: 20,
+            clock_hz: 1e9,
+        }
     }
 
     #[test]
     fn span_cycles_saturate() {
-        let s = RegionSpan { region: RegionId::new(0), start_cycle: 10, end_cycle: 5 };
+        let s = RegionSpan {
+            region: RegionId::new(0),
+            start_cycle: 10,
+            end_cycle: 5,
+        };
         assert_eq!(s.cycles(), 0);
     }
 
     #[test]
     fn ipc_handles_zero_cycles() {
         assert_eq!(SimStats::default().ipc(), 0.0);
-        let s = SimStats { instrs: 10, cycles: 20, ..SimStats::default() };
+        let s = SimStats {
+            instrs: 10,
+            cycles: 20,
+            ..SimStats::default()
+        };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
     }
 
@@ -113,7 +127,11 @@ mod tests {
         let r = SimResult {
             stats: SimStats::default(),
             power: trace(),
-            regions: vec![RegionSpan { region: RegionId::new(1), start_cycle: 100, end_cycle: 200 }],
+            regions: vec![RegionSpan {
+                region: RegionId::new(1),
+                start_cycle: 100,
+                end_cycle: 200,
+            }],
             injected_spans: vec![(150, 160)],
         };
         assert!(r.overlaps_injection(155, 158));

@@ -342,7 +342,11 @@ mod tests {
         let mut prev_io = 0;
         let mut prev_oo = 0;
         for k in 0..100u64 {
-            let mut e = ev(if k % 3 == 0 { InstrClass::Mul } else { InstrClass::IntAlu });
+            let mut e = ev(if k % 3 == 0 {
+                InstrClass::Mul
+            } else {
+                InstrClass::IntAlu
+            });
             e.mem_latency = if k % 7 == 0 { 20 } else { 0 };
             let a = io.step(&e);
             let b = oo.step(&e);

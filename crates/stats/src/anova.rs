@@ -114,7 +114,10 @@ impl std::error::Error for AnovaError {}
 /// assert!(!table.effects[1].significant(0.05));
 /// # Ok::<(), eddie_stats::anova::AnovaError>(())
 /// ```
-pub fn anova(observations: &[Observation], factor_names: &[&str]) -> Result<AnovaTable, AnovaError> {
+pub fn anova(
+    observations: &[Observation],
+    factor_names: &[&str],
+) -> Result<AnovaTable, AnovaError> {
     let n = observations.len();
     if n < 2 {
         return Err(AnovaError::TooFewObservations);
@@ -125,8 +128,10 @@ pub fn anova(observations: &[Observation], factor_names: &[&str]) -> Result<Anov
     }
 
     let grand_mean = observations.iter().map(|o| o.response).sum::<f64>() / n as f64;
-    let ss_total: f64 =
-        observations.iter().map(|o| (o.response - grand_mean).powi(2)).sum();
+    let ss_total: f64 = observations
+        .iter()
+        .map(|o| (o.response - grand_mean).powi(2))
+        .sum();
 
     // Main effect of each factor: SS = Σ_level n_level (mean_level - grand)²
     let mut effects = Vec::with_capacity(k);
@@ -170,11 +175,22 @@ pub fn anova(observations: &[Observation], factor_names: &[&str]) -> Result<Anov
             } else {
                 (0.0, 1.0)
             };
-            FactorEffect { name, ss, df, f, p_value }
+            FactorEffect {
+                name,
+                ss,
+                df,
+                f,
+                p_value,
+            }
         })
         .collect();
 
-    Ok(AnovaTable { effects, ss_error, df_error, ss_total })
+    Ok(AnovaTable {
+        effects,
+        ss_error,
+        df_error,
+        ss_total,
+    })
 }
 
 #[cfg(test)]
@@ -186,7 +202,10 @@ mod tests {
         for a in 0..3u32 {
             for b in 0..2u32 {
                 for rep in 0..6 {
-                    obs.push(Observation { response: f(a, b, rep), levels: vec![a, b] });
+                    obs.push(Observation {
+                        response: f(a, b, rep),
+                        levels: vec![a, b],
+                    });
                 }
             }
         }
@@ -197,8 +216,16 @@ mod tests {
     fn detects_real_effect() {
         let obs = grid(|a, _b, rep| a as f64 * 5.0 + (rep % 3) as f64 * 0.2);
         let t = anova(&obs, &["a", "b"]).unwrap();
-        assert!(t.effects[0].significant(0.01), "factor a p={}", t.effects[0].p_value);
-        assert!(!t.effects[1].significant(0.05), "factor b p={}", t.effects[1].p_value);
+        assert!(
+            t.effects[0].significant(0.01),
+            "factor a p={}",
+            t.effects[0].p_value
+        );
+        assert!(
+            !t.effects[1].significant(0.05),
+            "factor b p={}",
+            t.effects[1].p_value
+        );
     }
 
     #[test]
@@ -223,8 +250,14 @@ mod tests {
     fn shape_errors_are_reported() {
         assert_eq!(anova(&[], &["a"]), Err(AnovaError::TooFewObservations));
         let bad = vec![
-            Observation { response: 1.0, levels: vec![0] },
-            Observation { response: 2.0, levels: vec![0, 1] },
+            Observation {
+                response: 1.0,
+                levels: vec![0],
+            },
+            Observation {
+                response: 2.0,
+                levels: vec![0, 1],
+            },
         ];
         assert_eq!(anova(&bad, &["a"]), Err(AnovaError::ShapeMismatch));
     }
@@ -232,8 +265,14 @@ mod tests {
     #[test]
     fn no_residual_is_an_error() {
         let obs = vec![
-            Observation { response: 1.0, levels: vec![0] },
-            Observation { response: 2.0, levels: vec![1] },
+            Observation {
+                response: 1.0,
+                levels: vec![0],
+            },
+            Observation {
+                response: 2.0,
+                levels: vec![1],
+            },
         ];
         assert_eq!(anova(&obs, &["a"]), Err(AnovaError::NoResidual));
     }
@@ -244,7 +283,10 @@ mod tests {
         let mut obs = Vec::new();
         for a in 0..2u32 {
             for _ in 0..4 {
-                obs.push(Observation { response: a as f64, levels: vec![a, 0] });
+                obs.push(Observation {
+                    response: a as f64,
+                    levels: vec![a, 0],
+                });
             }
         }
         let t = anova(&obs, &["a", "const"]).unwrap();

@@ -100,8 +100,14 @@ pub fn ks_statistic_sorted(sa: &[f64], sb: &[f64]) -> f64 {
     if sa.is_empty() || sb.is_empty() {
         return 0.0;
     }
-    debug_assert!(sa.windows(2).all(|w| w[0] <= w[1]), "first sample must be sorted");
-    debug_assert!(sb.windows(2).all(|w| w[0] <= w[1]), "second sample must be sorted");
+    debug_assert!(
+        sa.windows(2).all(|w| w[0] <= w[1]),
+        "first sample must be sorted"
+    );
+    debug_assert!(
+        sb.windows(2).all(|w| w[0] <= w[1]),
+        "second sample must be sorted"
+    );
 
     let (m, n) = (sa.len() as f64, sb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
@@ -172,8 +178,17 @@ fn finish_test(d: f64, m: usize, n: usize, confidence: f64) -> KsResult {
     let threshold = c_alpha(confidence) * scale;
     let lambda = d / scale;
     let p_value = kolmogorov_q(lambda);
-    let outcome = if d > threshold { KsOutcome::Reject } else { KsOutcome::Accept };
-    KsResult { statistic: d, threshold, p_value, outcome }
+    let outcome = if d > threshold {
+        KsOutcome::Reject
+    } else {
+        KsOutcome::Accept
+    };
+    KsResult {
+        statistic: d,
+        threshold,
+        p_value,
+        outcome,
+    }
 }
 
 #[cfg(test)]

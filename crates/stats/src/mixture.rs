@@ -43,7 +43,11 @@ impl Mixture2 {
     pub fn fit(sample: &[f64], iters: usize) -> Mixture2 {
         if sample.len() < 4 {
             let n = Normal::fit(sample);
-            return Mixture2 { a: n, b: n, weight: 0.5 };
+            return Mixture2 {
+                a: n,
+                b: n,
+                weight: 0.5,
+            };
         }
         let m = mean(sample);
         let lo: Vec<f64> = sample.iter().copied().filter(|&x| x <= m).collect();
@@ -57,8 +61,14 @@ impl Mixture2 {
         };
 
         let mut mix = Mixture2 {
-            a: Normal { mu: mean(&lo), sigma: std_dev(&lo).max(1e-6) },
-            b: Normal { mu: mean(&hi), sigma: std_dev(&hi).max(1e-6) },
+            a: Normal {
+                mu: mean(&lo),
+                sigma: std_dev(&lo).max(1e-6),
+            },
+            b: Normal {
+                mu: mean(&hi),
+                sigma: std_dev(&hi).max(1e-6),
+            },
             weight: lo.len() as f64 / sample.len() as f64,
         };
 
@@ -77,8 +87,12 @@ impl Mixture2 {
                 break;
             }
             let mu_a = resp.iter().zip(sample).map(|(r, x)| r * x).sum::<f64>() / ra;
-            let mu_b =
-                resp.iter().zip(sample).map(|(r, x)| (1.0 - r) * x).sum::<f64>() / rb;
+            let mu_b = resp
+                .iter()
+                .zip(sample)
+                .map(|(r, x)| (1.0 - r) * x)
+                .sum::<f64>()
+                / rb;
             let var_a = resp
                 .iter()
                 .zip(sample)
@@ -92,8 +106,14 @@ impl Mixture2 {
                 .sum::<f64>()
                 / rb;
             mix = Mixture2 {
-                a: Normal { mu: mu_a, sigma: var_a.sqrt().max(1e-6) },
-                b: Normal { mu: mu_b, sigma: var_b.sqrt().max(1e-6) },
+                a: Normal {
+                    mu: mu_a,
+                    sigma: var_a.sqrt().max(1e-6),
+                },
+                b: Normal {
+                    mu: mu_b,
+                    sigma: var_b.sqrt().max(1e-6),
+                },
                 weight: ra / sample.len() as f64,
             };
         }
@@ -126,7 +146,11 @@ mod tests {
     #[test]
     fn recovers_two_modes() {
         let mix = Mixture2::fit(&bimodal(), 50);
-        let (lo, hi) = if mix.a.mu < mix.b.mu { (mix.a.mu, mix.b.mu) } else { (mix.b.mu, mix.a.mu) };
+        let (lo, hi) = if mix.a.mu < mix.b.mu {
+            (mix.a.mu, mix.b.mu)
+        } else {
+            (mix.b.mu, mix.a.mu)
+        };
         assert!((lo - 10.0).abs() < 0.5, "low mode {lo}");
         assert!((hi - 30.0).abs() < 0.5, "high mode {hi}");
         assert!((mix.weight - 0.5).abs() < 0.1);

@@ -39,7 +39,10 @@ impl Normal {
     /// the standard deviation so degenerate samples stay usable.
     pub fn fit(sample: &[f64]) -> Normal {
         let sigma = std_dev(sample).max(1e-9);
-        Normal { mu: mean(sample), sigma }
+        Normal {
+            mu: mean(sample),
+            sigma,
+        }
     }
 
     /// Probability density at `x`.

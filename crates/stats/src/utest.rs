@@ -56,10 +56,18 @@ fn phi(z: f64) -> f64 {
 /// assert_eq!(u_test(&a, &a, 0.99).outcome, UOutcome::Accept);
 /// ```
 pub fn u_test(a: &[f64], b: &[f64], confidence: f64) -> UResult {
-    assert!((0.0..1.0).contains(&confidence), "confidence must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&confidence),
+        "confidence must be in [0, 1)"
+    );
     let (m, n) = (a.len(), b.len());
     if m < 2 || n < 2 {
-        return UResult { u: 0.0, z: 0.0, p_value: 1.0, outcome: UOutcome::Accept };
+        return UResult {
+            u: 0.0,
+            z: 0.0,
+            p_value: 1.0,
+            outcome: UOutcome::Accept,
+        };
     }
 
     // Rank the pooled sample with average ranks for ties.
@@ -102,14 +110,27 @@ pub fn u_test(a: &[f64], b: &[f64], confidence: f64) -> UResult {
     let sigma_sq = mf * nf / 12.0 * ((nt + 1.0) - tie_correction / (nt * (nt - 1.0)));
     if sigma_sq <= 0.0 {
         // All values tied: no information.
-        return UResult { u, z: 0.0, p_value: 1.0, outcome: UOutcome::Accept };
+        return UResult {
+            u,
+            z: 0.0,
+            p_value: 1.0,
+            outcome: UOutcome::Accept,
+        };
     }
     // Continuity correction.
     let z = (u - mu + 0.5) / sigma_sq.sqrt();
     let p_value = (2.0 * phi(z)).clamp(0.0, 1.0);
-    let outcome =
-        if p_value < 1.0 - confidence { UOutcome::Reject } else { UOutcome::Accept };
-    UResult { u, z, p_value, outcome }
+    let outcome = if p_value < 1.0 - confidence {
+        UOutcome::Reject
+    } else {
+        UOutcome::Accept
+    };
+    UResult {
+        u,
+        z,
+        p_value,
+        outcome,
+    }
 }
 
 #[cfg(test)]
@@ -137,9 +158,15 @@ mod tests {
     fn equal_median_different_spread_often_accepts() {
         // The U test's known blind spot: same median, different variance.
         let a: Vec<f64> = (0..100).map(|i| 50.0 + ((i % 3) as f64 - 1.0)).collect();
-        let b: Vec<f64> = (0..100).map(|i| 50.0 + ((i % 21) as f64 - 10.0) * 4.0).collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| 50.0 + ((i % 21) as f64 - 10.0) * 4.0)
+            .collect();
         let r = u_test(&a, &b, 0.99);
-        assert_eq!(r.outcome, UOutcome::Accept, "U test should miss pure spread changes");
+        assert_eq!(
+            r.outcome,
+            UOutcome::Accept,
+            "U test should miss pure spread changes"
+        );
     }
 
     #[test]

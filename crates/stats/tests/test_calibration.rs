@@ -65,7 +65,10 @@ fn u_test_false_rejection_rate_is_near_alpha() {
         }
     }
     let rate = rejections as f64 / trials as f64;
-    assert!((0.0..=0.10).contains(&rate), "U-test FRR {rate} out of band");
+    assert!(
+        (0.0..=0.10).contains(&rate),
+        "U-test FRR {rate} out of band"
+    );
 }
 
 proptest! {

@@ -21,7 +21,10 @@ pub fn build(scale: u32) -> Program {
     let (n, a_base, b_base, c_base) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13);
     let (acc, two) = (Reg::R20, Reg::R21);
 
-    b.li(a_base, ARRAY_A).li(b_base, ARRAY_B).li(c_base, ARRAY_C).li(two, 2);
+    b.li(a_base, ARRAY_A)
+        .li(b_base, ARRAY_B)
+        .li(c_base, ARRAY_C)
+        .li(two, 2);
     b.load(n, Reg::R0, param(0));
 
     // Region 0: isqrt via Newton: y = (y + x/y) / 2 until stable.
@@ -52,7 +55,13 @@ pub fn build(scale: u32) -> Program {
     b.region_enter(RegionId::new(1));
     let r1 = b.label_here("cubic");
     b.add(t, a_base, i).load(x, t, 0).andi(x, x, 0xffff);
-    b.li(y, 3).mul(y, y, x).addi(y, y, 7).mul(y, y, x).addi(y, y, 1).mul(y, y, x).addi(y, y, 9);
+    b.li(y, 3)
+        .mul(y, y, x)
+        .addi(y, y, 7)
+        .mul(y, y, x)
+        .addi(y, y, 1)
+        .mul(y, y, x)
+        .addi(y, y, 9);
     b.add(acc, acc, y);
     b.addi(i, i, 1).blt_label(i, n, r1);
     b.region_exit(RegionId::new(1));
@@ -72,7 +81,10 @@ pub fn build(scale: u32) -> Program {
     b.region_enter(RegionId::new(3));
     let r3 = b.label_here("gcd");
     b.add(t, a_base, i).load(x, t, 0).andi(x, x, 0xf_ffff);
-    b.add(t, b_base, i).load(y, t, 0).andi(y, y, 0xf_ffff).ori(y, y, 1);
+    b.add(t, b_base, i)
+        .load(y, t, 0)
+        .andi(y, y, 0xf_ffff)
+        .ori(y, y, 1);
     let g_done = b.label("g_done");
     let g_top = b.label_here("g_top");
     b.beq_label(y, Reg::R0, g_done);

@@ -63,7 +63,9 @@ pub fn build(scale: u32) -> Program {
     let n_top = b.label_here("nib");
     b.andi(t, x, 15);
     b.add(t, tbl, t).load(t, t, 0).add(acc, acc, t);
-    b.srli(x, x, 4).addi(cnt, cnt, 1).blt_label(cnt, mask, n_top);
+    b.srli(x, x, 4)
+        .addi(cnt, cnt, 1)
+        .blt_label(cnt, mask, n_top);
     b.addi(i, i, 1).blt_label(i, n, r2);
     b.region_exit(RegionId::new(2));
 
@@ -82,7 +84,12 @@ pub fn build(scale: u32) -> Program {
     b.srli(t, x, 4).add(x, x, t);
     b.li(cnt, 0x0f0f_0f0f_0f0f_0f0f).and(x, x, cnt);
     // fold bytes
-    b.srli(t, x, 8).add(x, x, t).srli(t, x, 16).add(x, x, t).srli(t, x, 32).add(x, x, t);
+    b.srli(t, x, 8)
+        .add(x, x, t)
+        .srli(t, x, 16)
+        .add(x, x, t)
+        .srli(t, x, 32)
+        .add(x, x, t);
     b.andi(x, x, 127).add(acc, acc, x);
     b.addi(i, i, 1).blt_label(i, n, r3);
     b.region_exit(RegionId::new(3));

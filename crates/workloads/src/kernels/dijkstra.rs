@@ -24,7 +24,10 @@ pub fn build(scale: u32) -> Program {
     let (n, adj, dist, vis) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13);
     let (best, best_i, row, acc, inf) = (Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24);
 
-    b.li(adj, ARRAY_A).li(dist, ARRAY_B).li(vis, ARRAY_C).li(inf, INF);
+    b.li(adj, ARRAY_A)
+        .li(dist, ARRAY_B)
+        .li(vis, ARRAY_C)
+        .li(inf, INF);
     b.load(n, Reg::R0, param(0));
 
     // Region 0: dist[i] = INF, vis[i] = 0; dist[0] = 0.
@@ -102,7 +105,11 @@ pub fn prepare(m: &mut Machine, seed: u64, scale: u32) {
     set_param(m, 0, n);
     for i in 0..n {
         for j in 0..n {
-            let w = if i != j && rng.range(0, 4) == 0 { rng.range(1, 64) } else { 0 };
+            let w = if i != j && rng.range(0, 4) == 0 {
+                rng.range(1, 64)
+            } else {
+                0
+            };
             m.write_mem(ARRAY_A + i * n + j, w);
         }
     }

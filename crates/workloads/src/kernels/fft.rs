@@ -25,15 +25,33 @@ const Q: i64 = 12; // fixed-point fraction bits for twiddles
 pub fn build(scale: u32) -> Program {
     let _ = scale;
     let mut b = ProgramBuilder::new();
-    let (i, j, len, half, t, x, u) =
-        (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+    let (i, j, len, half, t, x, u) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    );
     let (re, im, tw, nreg, qreg) = (Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14);
     let (wr, wi, ar, ai, br, bi, tr, ti) = (
-        Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25, Reg::R26, Reg::R27,
+        Reg::R20,
+        Reg::R21,
+        Reg::R22,
+        Reg::R23,
+        Reg::R24,
+        Reg::R25,
+        Reg::R26,
+        Reg::R27,
     );
     let (rep, acc, reps) = (Reg::R28, Reg::R29, Reg::R30);
 
-    b.li(re, ARRAY_A).li(im, ARRAY_B).li(tw, TABLE).li(nreg, N).li(qreg, Q);
+    b.li(re, ARRAY_A)
+        .li(im, ARRAY_B)
+        .li(tw, TABLE)
+        .li(nreg, N)
+        .li(qreg, Q);
     b.load(reps, Reg::R0, param(1));
     b.li(acc, 0);
 
@@ -84,8 +102,14 @@ pub fn build(scale: u32) -> Program {
     b.add(t, re, u).load(br, t, 0);
     b.add(t, im, u).load(bi, t, 0);
     // tr = (wr*br - wi*bi) >> Q ; ti = (wr*bi + wi*br) >> Q
-    b.mul(tr, wr, br).mul(t, wi, bi).sub(tr, tr, t).sra(tr, tr, qreg);
-    b.mul(ti, wr, bi).mul(t, wi, br).add(ti, ti, t).sra(ti, ti, qreg);
+    b.mul(tr, wr, br)
+        .mul(t, wi, bi)
+        .sub(tr, tr, t)
+        .sra(tr, tr, qreg);
+    b.mul(ti, wr, bi)
+        .mul(t, wi, br)
+        .add(ti, ti, t)
+        .sra(ti, ti, qreg);
     // b' = a - t ; a' = a + t
     b.sub(t, ar, tr);
     b.add(bi, re, u).store(t, bi, 0);
@@ -175,7 +199,10 @@ mod tests {
         for i in 1..N {
             others = others.max(m.mem(ARRAY_A + i).abs());
         }
-        assert!(dc > 100 * (N - 2), "DC bin must hold nearly all energy (dc={dc})");
+        assert!(
+            dc > 100 * (N - 2),
+            "DC bin must hold nearly all energy (dc={dc})"
+        );
         assert!(others < dc / 64, "non-DC bins must be tiny (max={others})");
     }
 

@@ -38,7 +38,11 @@ pub fn build(scale: u32) -> Program {
     let r0 = b.label_here("preemph");
     b.add(t, samples, i).load(x, t, 0);
     // Arithmetic shift: samples are signed.
-    b.li(y, 28180).mul(u, prev, y).li(y, 15).sra(u, u, y).add(x, x, u);
+    b.li(y, 28180)
+        .mul(u, prev, y)
+        .li(y, 15)
+        .sra(u, u, y)
+        .add(x, x, u);
     b.store(x, t, 0).mv(prev, x);
     b.addi(i, i, 1).blt_label(i, n, r0);
     b.region_exit(RegionId::new(0));
@@ -61,7 +65,11 @@ pub fn build(scale: u32) -> Program {
     b.li(t, FRAME);
     b.blt_label(j, t, mac);
     // store corr
-    b.li(t, ORDER).mul(t, i, t).add(t, t, k).add(t, corr, t).store(acc, t, 0);
+    b.li(t, ORDER)
+        .mul(t, i, t)
+        .add(t, t, k)
+        .add(t, corr, t)
+        .store(acc, t, 0);
     b.addi(k, k, 1);
     b.li(t, ORDER);
     b.blt_label(k, t, lag);

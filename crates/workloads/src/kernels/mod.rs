@@ -54,7 +54,9 @@ pub(crate) struct InputRng {
 
 impl InputRng {
     pub(crate) fn new(seed: u64) -> InputRng {
-        InputRng { rng: StdRng::seed_from_u64(seed) }
+        InputRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -106,7 +108,10 @@ pub(crate) mod testutil {
             r.regions.len()
         );
         for span in &r.regions {
-            assert!(span.end_cycle > span.start_cycle, "region spans must be non-empty");
+            assert!(
+                span.end_cycle > span.start_cycle,
+                "region spans must be non-empty"
+            );
         }
         r
     }

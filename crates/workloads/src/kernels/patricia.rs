@@ -33,7 +33,10 @@ pub fn build(scale: u32) -> Program {
     b.region_enter(RegionId::new(0));
     let r0 = b.label_here("keys");
     b.add(t, keys, i).load(key, t, 0);
-    b.li(x, 0x9e37_79b9).mul(key, key, x).srli(x, key, 7).xor(key, key, x);
+    b.li(x, 0x9e37_79b9)
+        .mul(key, key, x)
+        .srli(x, key, 7)
+        .xor(key, key, x);
     b.li(x, (1 << KEY_BITS) - 1).and(key, key, x);
     b.store(key, t, 0);
     b.addi(i, i, 1).blt_label(i, n, r0);
@@ -41,7 +44,9 @@ pub fn build(scale: u32) -> Program {
 
     // Root node: bit = KEY_BITS-1, children point to itself, key = 0.
     b.li(t, KEY_BITS - 1).store(t, pool, 0);
-    b.store(Reg::R0, pool, 1).store(Reg::R0, pool, 2).store(Reg::R0, pool, 3);
+    b.store(Reg::R0, pool, 1)
+        .store(Reg::R0, pool, 2)
+        .store(Reg::R0, pool, 3);
     b.li(next_free, 1);
 
     // Region 1: insert each key. Walk down testing key bits until the
@@ -56,7 +61,7 @@ pub fn build(scale: u32) -> Program {
     // t = &pool[node*4]; bit = pool[node].bit
     b.mul(t, node, four).add(t, pool, t).load(bit, t, 0);
     b.blt_label(bit, Reg::R0, walk_done); // leaves carry bit = -1
-    // x = (key >> bit) & 1 ; follow left/right child
+                                          // x = (key >> bit) & 1 ; follow left/right child
     b.srl(x, key, bit).andi(x, x, 1);
     b.addi(x, x, 1); // child slot: 1=left, 2=right
     b.add(t, t, x).load(depth, t, 0);
@@ -69,9 +74,14 @@ pub fn build(scale: u32) -> Program {
     // it under the stopping node's slot chosen by bit 0 of the key.
     b.mul(t, next_free, four).add(t, pool, t);
     b.li(x, -1).store(x, t, 0);
-    b.store(next_free, t, 1).store(next_free, t, 2).store(key, t, 3);
+    b.store(next_free, t, 1)
+        .store(next_free, t, 2)
+        .store(key, t, 3);
     b.mul(t, node, four).add(t, pool, t);
-    b.andi(x, key, 1).addi(x, x, 1).add(t, t, x).store(next_free, t, 0);
+    b.andi(x, key, 1)
+        .addi(x, x, 1)
+        .add(t, t, x)
+        .store(next_free, t, 0);
     b.addi(next_free, next_free, 1);
     b.addi(i, i, 1).blt_label(i, n, ins);
     b.region_exit(RegionId::new(1));

@@ -27,7 +27,10 @@ pub fn build(scale: u32) -> Program {
     let (s0, s1, s2, s3, blk, mask32) =
         (Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25);
 
-    b.li(pt, ARRAY_A).li(rk, ARRAY_B).li(ct, ARRAY_C).li(sbox, TABLE);
+    b.li(pt, ARRAY_A)
+        .li(rk, ARRAY_B)
+        .li(ct, ARRAY_C)
+        .li(sbox, TABLE);
     b.load(blocks, Reg::R0, param(0));
     b.li(mask32, 0xffff_ffff);
 
@@ -52,7 +55,10 @@ pub fn build(scale: u32) -> Program {
     let blk_top = b.label_here("block");
     // Load the 4 state words.
     b.slli(t, blk, 2).add(t, pt, t);
-    b.load(s0, t, 0).load(s1, t, 1).load(s2, t, 2).load(s3, t, 3);
+    b.load(s0, t, 0)
+        .load(s1, t, 1)
+        .load(s2, t, 2)
+        .load(s3, t, 3);
     b.li(j, 0);
     let round = b.label_here("round");
     // SubBytes (low byte of each word through the S-box) + ShiftRows-ish
@@ -66,13 +72,19 @@ pub fn build(scale: u32) -> Program {
         b.mv(s, x);
     }
     // MixColumns-ish cross mixing.
-    b.xor(s0, s0, s1).xor(s1, s1, s2).xor(s2, s2, s3).xor(s3, s3, s0);
+    b.xor(s0, s0, s1)
+        .xor(s1, s1, s2)
+        .xor(s2, s2, s3)
+        .xor(s3, s3, s0);
     b.addi(j, j, 1);
     b.li(t, ROUNDS);
     b.blt_label(j, t, round);
     // Store ciphertext.
     b.slli(t, blk, 2).add(t, ct, t);
-    b.store(s0, t, 0).store(s1, t, 1).store(s2, t, 2).store(s3, t, 3);
+    b.store(s0, t, 0)
+        .store(s1, t, 1)
+        .store(s2, t, 2)
+        .store(s3, t, 3);
     b.addi(blk, blk, 1).blt_label(blk, blocks, blk_top);
     b.region_exit(RegionId::new(1));
 
@@ -126,7 +138,9 @@ mod tests {
                 rng.fill(m, ARRAY_B, 4, 0, 1 << 32);
             }
             sim.run();
-            (0..8).map(|i| sim.machine_mut().mem(ARRAY_C + i)).collect::<Vec<_>>()
+            (0..8)
+                .map(|i| sim.machine_mut().mem(ARRAY_C + i))
+                .collect::<Vec<_>>()
         };
         let c1 = run(100);
         let c2 = run(200);

@@ -26,13 +26,21 @@ pub fn build(scale: u32) -> Program {
     let (i, j, x, y, t, u) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
     let (blocks, msg, sched) = (Reg::R10, Reg::R11, Reg::R12);
     let (h0, h1, h2, h3, h4, blk, mask32) = (
-        Reg::R20, Reg::R21, Reg::R22, Reg::R23, Reg::R24, Reg::R25, Reg::R26,
+        Reg::R20,
+        Reg::R21,
+        Reg::R22,
+        Reg::R23,
+        Reg::R24,
+        Reg::R25,
+        Reg::R26,
     );
     let total_words = Reg::R27;
 
     b.li(msg, ARRAY_A).li(sched, ARRAY_B);
     b.load(blocks, Reg::R0, param(0));
-    b.li(h0, 0x6745_2301).li(h1, 0xefcd_ab89u32 as i64).li(h2, 0x98ba_dcfeu32 as i64);
+    b.li(h0, 0x6745_2301)
+        .li(h1, 0xefcd_ab89u32 as i64)
+        .li(h2, 0x98ba_dcfeu32 as i64);
     b.li(h3, 0x1032_5476).li(h4, 0xc3d2_e1f0u32 as i64);
     b.li(mask32, 0xffff_ffff);
     b.li(t, BLOCK_WORDS).mul(total_words, blocks, t);
@@ -56,7 +64,11 @@ pub fn build(scale: u32) -> Program {
     // w[i] = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16]).
     b.li(i, 0);
     let copy = b.label_here("copy");
-    b.li(t, BLOCK_WORDS).mul(t, blk, t).add(t, t, i).add(t, msg, t).load(x, t, 0);
+    b.li(t, BLOCK_WORDS)
+        .mul(t, blk, t)
+        .add(t, t, i)
+        .add(t, msg, t)
+        .load(x, t, 0);
     b.and(x, x, mask32);
     b.add(t, sched, i).store(x, t, 0);
     b.addi(i, i, 1);
@@ -78,12 +90,21 @@ pub fn build(scale: u32) -> Program {
     let round = b.label_here("round");
     b.and(x, h1, h2);
     b.xori(y, h1, -1).and(y, y, h3).or(x, x, y);
-    b.slli(y, h0, 5).srli(t, h0, 27).or(y, y, t).and(y, y, mask32);
+    b.slli(y, h0, 5)
+        .srli(t, h0, 27)
+        .or(y, y, t)
+        .and(y, y, mask32);
     b.add(x, x, y);
     b.add(t, sched, j).load(y, t, 0).add(x, x, y);
-    b.li(y, 0x5a82_7999).add(x, x, y).add(x, x, h4).and(x, x, mask32);
+    b.li(y, 0x5a82_7999)
+        .add(x, x, y)
+        .add(x, x, h4)
+        .and(x, x, mask32);
     b.mv(h4, h3).mv(h3, h2);
-    b.slli(t, h1, 30).srli(u, h1, 2).or(t, t, u).and(h2, t, mask32);
+    b.slli(t, h1, 30)
+        .srli(u, h1, 2)
+        .or(t, t, u)
+        .and(h2, t, mask32);
     b.mv(h1, h0).mv(h0, x);
     b.addi(j, j, 1);
     b.li(t, SCHED_WORDS);
@@ -95,7 +116,11 @@ pub fn build(scale: u32) -> Program {
     b.li(i, 0).li(t, 256);
     b.region_enter(RegionId::new(2));
     let fold = b.label_here("fold");
-    b.xor(h0, h0, h4).add(h1, h1, h0).xor(h2, h2, h1).add(h3, h3, h2).and(h0, h0, mask32);
+    b.xor(h0, h0, h4)
+        .add(h1, h1, h0)
+        .xor(h2, h2, h1)
+        .add(h3, h3, h2)
+        .and(h0, h0, mask32);
     b.slli(y, h4, 3).srli(u, h4, 61).or(h4, y, u);
     b.addi(i, i, 1).blt_label(i, t, fold);
     b.region_exit(RegionId::new(2));
@@ -131,7 +156,11 @@ mod tests {
         let p = build(1);
         let r = testutil::run_kernel(&p, prepare, 2, 3);
         let span = |idx: u32| {
-            r.regions.iter().find(|s| s.region.index() == idx).unwrap().cycles()
+            r.regions
+                .iter()
+                .find(|s| s.region.index() == idx)
+                .unwrap()
+                .cycles()
         };
         assert!(span(1) > span(0), "compression outweighs the pre-pass");
         assert!(span(1) > span(2));

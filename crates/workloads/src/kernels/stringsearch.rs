@@ -25,7 +25,10 @@ pub fn build(scale: u32) -> Program {
         (Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15);
     let (pos, matches, last) = (Reg::R20, Reg::R21, Reg::R22);
 
-    b.li(text, ARRAY_A).li(pat, ARRAY_B).li(out, ARRAY_C).li(tbl, TABLE);
+    b.li(text, ARRAY_A)
+        .li(pat, ARRAY_B)
+        .li(out, ARRAY_C)
+        .li(tbl, TABLE);
     b.load(n, Reg::R0, param(0));
     b.load(m_len, Reg::R0, param(1));
 
@@ -75,7 +78,10 @@ pub fn build(scale: u32) -> Program {
     b.jump_label(search);
     b.bind(mismatch);
     // Skip by the bad-character rule on the window's last symbol.
-    b.addi(t, m_len, -1).add(t, pos, t).add(t, text, t).load(x, t, 0);
+    b.addi(t, m_len, -1)
+        .add(t, pos, t)
+        .add(t, text, t)
+        .load(x, t, 0);
     b.add(t, tbl, x).load(x, t, 0);
     b.add(pos, pos, x);
     b.jump_label(search);

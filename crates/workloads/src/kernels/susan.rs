@@ -47,7 +47,16 @@ pub fn build(scale: u32) -> Program {
     b.add(t, row, j).add(t, img, t).load(center, t, 0);
     b.li(acc, 0).li(cnt, 0);
     // Unrolled 3x3 neighbourhood with conditional accumulation.
-    for (dy, dx) in [(-1i64, -1i64), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)] {
+    for (dy, dx) in [
+        (-1i64, -1i64),
+        (-1, 0),
+        (-1, 1),
+        (0, -1),
+        (0, 1),
+        (1, -1),
+        (1, 0),
+        (1, 1),
+    ] {
         let skip = b.label("skip");
         b.mul(t, i, w); // recompute row base (keeps register pressure low)
         b.addi(t, t, 0);
@@ -66,7 +75,10 @@ pub fn build(scale: u32) -> Program {
     }
     // out = acc / (cnt+1) via LUT-modulated store.
     b.addi(cnt, cnt, 1).div(acc, acc, cnt);
-    b.andi(x, acc, 255).add(x, tbl, x).load(x, x, 0).add(acc, acc, x);
+    b.andi(x, acc, 255)
+        .add(x, tbl, x)
+        .load(x, x, 0)
+        .add(acc, acc, x);
     b.add(t, row, j).add(t, out, t).store(acc, t, 0);
     b.addi(j, j, 1).addi(u, w, -1).blt_label(j, u, col_top);
     b.addi(i, i, 1).addi(u, h, -1).blt_label(i, u, row_top);

@@ -132,7 +132,10 @@ pub fn loop_shapes(scale: u32) -> Program {
     b.add(acc, acc, j);
     // Random-address load over 16 Ki words (128 KiB, L2-resident):
     // erratic L1-miss chain without DRAM-scale slowdown.
-    b.slli(t, state, 13).xor(state, state, t).srli(t, state, 7).xor(state, state, t);
+    b.slli(t, state, 13)
+        .xor(state, state, t)
+        .srli(t, state, 7)
+        .xor(state, state, t);
     b.li(t, (1 << 14) - 1).and(t, state, t).add(t, base, t);
     b.load(x, t, 0).add(acc, acc, x);
     b.addi(j, j, -1).bne_label(j, Reg::R0, inner);

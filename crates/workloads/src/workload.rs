@@ -85,7 +85,11 @@ impl Benchmark {
             Benchmark::Rijndael => kernels::rijndael::build(scale),
             Benchmark::Stringsearch => kernels::stringsearch::build(scale),
         };
-        Workload { benchmark: self, program, scale }
+        Workload {
+            benchmark: self,
+            program,
+            scale,
+        }
     }
 }
 

@@ -22,8 +22,13 @@ fn run(b: Benchmark, seed: u64) -> Simulator {
 fn reference_dijkstra(m: &mut Machine) -> Vec<i64> {
     const INF: i64 = 1 << 40;
     let n = m.mem(PARAM_BASE) as usize;
-    let adj: Vec<Vec<i64>> =
-        (0..n).map(|i| (0..n).map(|j| m.mem(ARRAY_A + (i * n + j) as i64)).collect()).collect();
+    let adj: Vec<Vec<i64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| m.mem(ARRAY_A + (i * n + j) as i64))
+                .collect()
+        })
+        .collect();
     let mut dist = vec![INF; n];
     let mut vis = vec![false; n];
     dist[0] = 0;
@@ -106,7 +111,11 @@ fn stringsearch_match_count_matches_reference() {
         }
     }
     assert_eq!(m.mem(PARAM_BASE + 8), expected, "match counts diverge");
-    assert_eq!(m.mem(PARAM_BASE + 9), expected, "verification pass must agree");
+    assert_eq!(
+        m.mem(PARAM_BASE + 9),
+        expected,
+        "verification pass must agree"
+    );
 }
 
 /// GSM autocorrelation lag-0 equals the frame energy computed in Rust.

@@ -37,7 +37,12 @@ fn measure(core: CoreConfig) -> (f64, f64) {
         &model,
         w.program(),
         |m| w.prepare(m, 31),
-        Some(Box::new(LoopInjector::new(pc, 1.0, OpPattern::loop_payload(8), 3))),
+        Some(Box::new(LoopInjector::new(
+            pc,
+            1.0,
+            OpPattern::loop_payload(8),
+            3,
+        ))),
     );
     (
         outcome.metrics.detection_latency_ms * 1e3,
@@ -83,7 +88,11 @@ fn main() {
                     e.name,
                     e.f,
                     e.p_value,
-                    if e.significant(0.05) { "(significant)" } else { "" }
+                    if e.significant(0.05) {
+                        "(significant)"
+                    } else {
+                        ""
+                    }
                 );
             }
         }

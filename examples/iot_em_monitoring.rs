@@ -38,11 +38,19 @@ fn main() {
     // The victim application: bitcount, with its four loop nests
     // instrumented for training.
     let workload = Benchmark::Bitcount.workload(&WorkloadParams { scale: 8 });
-    println!("victim: {} ({} instructions)", workload.name(), workload.program().len());
+    println!(
+        "victim: {} ({} instructions)",
+        workload.name(),
+        workload.program().len()
+    );
 
     println!("training on 5 seeded runs (EM channel, 30 dB SNR)...");
     let model = pipeline
-        .train(workload.program(), |m, s| workload.prepare(m, s), &[1, 2, 3, 4, 5])
+        .train(
+            workload.program(),
+            |m, s| workload.prepare(m, s),
+            &[1, 2, 3, 4, 5],
+        )
         .expect("training succeeds");
     println!(
         "  trained {} regions; state machine has {} nodes",
@@ -67,7 +75,10 @@ fn main() {
     let m = &outcome.metrics;
     println!("monitored run: {} STS windows", m.total_groups);
     println!("  coverage (region attribution): {:.1}%", m.coverage_pct);
-    println!("  false positives:               {:.2}%", m.false_positive_pct);
+    println!(
+        "  false positives:               {:.2}%",
+        m.false_positive_pct
+    );
     println!(
         "  shell burst detected: {} / {} (latency {:.1} us)",
         m.detected_injections,

@@ -36,7 +36,11 @@ fn main() {
     // 4. Training: a few instrumented runs with different inputs.
     println!("training on 4 instrumented runs...");
     let model = pipeline
-        .train(&program, |m, seed| prepare_shapes(m, seed, scale), &[1, 2, 3, 4])
+        .train(
+            &program,
+            |m, seed| prepare_shapes(m, seed, scale),
+            &[1, 2, 3, 4],
+        )
         .expect("training succeeds");
     for (id, rm) in &model.regions {
         println!(
@@ -67,7 +71,12 @@ fn main() {
         &model,
         &program,
         |m| prepare_shapes(m, 42, scale),
-        Some(Box::new(LoopInjector::new(trigger, 1.0, OpPattern::loop_payload(8), 7))),
+        Some(Box::new(LoopInjector::new(
+            trigger,
+            1.0,
+            OpPattern::loop_payload(8),
+            7,
+        ))),
     );
 
     let first = attacked

@@ -29,7 +29,11 @@ fn main() {
     let workload = Benchmark::Bitcount.workload(&WorkloadParams { scale: 8 });
     println!("victim: {}", workload.name());
     let model = pipeline
-        .train(workload.program(), |m, s| workload.prepare(m, s), &[1, 2, 3, 4])
+        .train(
+            workload.program(),
+            |m, s| workload.prepare(m, s),
+            &[1, 2, 3, 4],
+        )
         .expect("training succeeds");
 
     // Attack the smoothing nest (the big loop region).

@@ -13,6 +13,8 @@
 //! * [`stats`] — K-S / U tests, mixture fits and ANOVA.
 //! * [`inject`] — code-injection attack models.
 //! * [`core`] — EDDIE itself: training, monitoring, metrics.
+//! * [`exec`] — the deterministic parallel execution layer
+//!   (`EDDIE_THREADS`, `par_map`, scoped worker pools).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -23,6 +25,7 @@ pub use eddie_cfg as cfg;
 pub use eddie_core as core;
 pub use eddie_dsp as dsp;
 pub use eddie_em as em;
+pub use eddie_exec as exec;
 pub use eddie_inject as inject;
 pub use eddie_isa as isa;
 pub use eddie_sim as sim;

@@ -67,9 +67,17 @@ fn in_loop_injection_is_detected() {
         &model,
         &program,
         |m| prepare_shapes(m, 99, SCALE),
-        Some(Box::new(LoopInjector::new(trigger, 1.0, OpPattern::loop_payload(8), 5))),
+        Some(Box::new(LoopInjector::new(
+            trigger,
+            1.0,
+            OpPattern::loop_payload(8),
+            5,
+        ))),
     );
-    assert!(outcome.metrics.total_injections > 0, "ground truth must record the attack");
+    assert!(
+        outcome.metrics.total_injections > 0,
+        "ground truth must record the attack"
+    );
     assert!(
         outcome.anomaly_count() > 0,
         "8-instruction loop injection must be reported (metrics: {:?})",
@@ -93,7 +101,12 @@ fn burst_between_loops_is_detected() {
         &model,
         &program,
         |m| prepare_shapes(m, 55, SCALE),
-        Some(Box::new(BurstInjector::new(exit_pc, 200_000, OpPattern::shell_like(), 9))),
+        Some(Box::new(BurstInjector::new(
+            exit_pc,
+            200_000,
+            OpPattern::shell_like(),
+            9,
+        ))),
     );
     assert_eq!(outcome.metrics.total_injections, 1);
     assert!(
@@ -106,7 +119,9 @@ fn burst_between_loops_is_detected() {
 
 #[test]
 fn em_channel_path_detects_too() {
-    let p = pipeline(SignalSource::Em(eddie::em::EmChannelConfig::oscilloscope(11)));
+    let p = pipeline(SignalSource::Em(eddie::em::EmChannelConfig::oscilloscope(
+        11,
+    )));
     let program = loop_shapes(SCALE);
     let model = trained(&p, &program);
     let trigger = {
@@ -123,7 +138,12 @@ fn em_channel_path_detects_too() {
         &model,
         &program,
         |m| prepare_shapes(m, 31, SCALE),
-        Some(Box::new(LoopInjector::new(trigger, 1.0, OpPattern::loop_payload(8), 5))),
+        Some(Box::new(LoopInjector::new(
+            trigger,
+            1.0,
+            OpPattern::loop_payload(8),
+            5,
+        ))),
     );
     assert!(
         attacked.metrics.detected_injections > 0,

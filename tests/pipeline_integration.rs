@@ -23,7 +23,10 @@ fn every_benchmark_builds_runs_and_has_a_region_graph() {
         let w = b.workload(&WorkloadParams { scale: 1 });
         let graph = RegionGraph::from_program(w.program())
             .unwrap_or_else(|e| panic!("{b}: region graph failed: {e}"));
-        assert!(graph.loop_regions().count() >= 2, "{b} needs multiple loop regions");
+        assert!(
+            graph.loop_regions().count() >= 2,
+            "{b} needs multiple loop regions"
+        );
 
         let mut sim = Simulator::new(SimConfig::iot_inorder(), w.program().clone());
         w.prepare(sim.machine_mut(), 7);
@@ -65,7 +68,12 @@ fn bitcount_detects_both_attack_styles() {
         &model,
         w.program(),
         |m| w.prepare(m, 60),
-        Some(Box::new(LoopInjector::new(loop_pc, 1.0, OpPattern::loop_payload(8), 5))),
+        Some(Box::new(LoopInjector::new(
+            loop_pc,
+            1.0,
+            OpPattern::loop_payload(8),
+            5,
+        ))),
     );
     assert!(
         attacked.metrics.detected_injections > 0,
@@ -78,7 +86,12 @@ fn bitcount_detects_both_attack_styles() {
         &model,
         w.program(),
         |m| w.prepare(m, 61),
-        Some(Box::new(BurstInjector::new(exit_pc, 30_000, OpPattern::shell_like(), 6))),
+        Some(Box::new(BurstInjector::new(
+            exit_pc,
+            30_000,
+            OpPattern::shell_like(),
+            6,
+        ))),
     );
     assert_eq!(burst.metrics.total_injections, 1);
     assert_eq!(
