@@ -1,0 +1,118 @@
+//! Streaming-runtime smoke benchmarks.
+//!
+//! Measures the cost the online runtime adds over the batch STFT path:
+//! session ingest throughput at small vs large chunks (the per-chunk
+//! bookkeeping amortises away with chunk size), fleet drain across
+//! pool widths, and the snapshot round-trip a migration pays.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use eddie_core::TrainedModel;
+use eddie_exec::with_threads;
+use eddie_experiments::harness::{sim_pipeline, train_benchmark};
+use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
+use eddie_workloads::Benchmark;
+
+const WL_SCALE: u32 = 2;
+const TRAIN_RUNS: usize = 3;
+
+struct Fixture {
+    model: Arc<TrainedModel>,
+    signal: Vec<f32>,
+    rate: f64,
+}
+
+fn fixture() -> Fixture {
+    let pipeline = sim_pipeline();
+    let (w, model) = train_benchmark(&pipeline, Benchmark::Bitcount, WL_SCALE, TRAIN_RUNS);
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1000), None);
+    Fixture {
+        model: Arc::new(model),
+        rate: result.power.sample_rate_hz(),
+        signal: result.power.samples,
+    }
+}
+
+fn bench_session_ingest(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(fx.signal.len() as u64));
+    for chunk in [64usize, 4096] {
+        g.bench_function(format!("session_ingest_chunk{chunk}"), |b| {
+            b.iter(|| {
+                let mut s = MonitorSession::new(fx.model.clone(), fx.rate).unwrap();
+                let mut events = 0usize;
+                for c in fx.signal.chunks(chunk) {
+                    events += s.push(black_box(c)).len();
+                }
+                black_box(events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fleet_drain(c: &mut Criterion) {
+    let fx = fixture();
+    const DEVICES: usize = 8;
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((fx.signal.len() * DEVICES) as u64));
+    for threads in [1usize, 4] {
+        g.bench_function(format!("fleet_8dev_drain_{threads}threads"), |b| {
+            b.iter(|| {
+                with_threads(threads, || {
+                    let mut fleet = Fleet::new(FleetConfig::default());
+                    let devs: Vec<_> = (0..DEVICES)
+                        .map(|_| {
+                            fleet.add_session(
+                                MonitorSession::new(fx.model.clone(), fx.rate).unwrap(),
+                            )
+                        })
+                        .collect();
+                    let mut events = 0usize;
+                    for chunk in fx.signal.chunks(4096) {
+                        for &d in &devs {
+                            while fleet.push_chunk(d, chunk.to_vec()) == PushResult::Full {
+                                events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+                            }
+                        }
+                    }
+                    events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+                    black_box(events)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_round_trip(c: &mut Criterion) {
+    let fx = fixture();
+    let mut session = MonitorSession::new(fx.model.clone(), fx.rate).unwrap();
+    let _ = session.push(&fx.signal[..fx.signal.len() / 2]);
+    let mut g = c.benchmark_group("stream");
+    g.bench_function("snapshot_json_round_trip", |b| {
+        b.iter(|| {
+            let json = session.snapshot().to_json().unwrap();
+            let snap = eddie_stream::SessionSnapshot::from_json(black_box(&json)).unwrap();
+            black_box(
+                MonitorSession::restore(fx.model.clone(), snap)
+                    .unwrap()
+                    .windows_observed(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_session_ingest,
+    bench_fleet_drain,
+    bench_snapshot_round_trip
+);
+criterion_main!(benches);

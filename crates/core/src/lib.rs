@@ -61,7 +61,7 @@ mod training;
 pub use config::EddieConfig;
 pub use label::label_windows;
 pub use metrics::{MonitorOutcome, RunMetrics};
-pub use monitor::{Monitor, MonitorEvent};
+pub use monitor::{Monitor, MonitorError, MonitorEvent, MonitorState};
 pub use parametric::ParametricDetector;
 pub use pipeline::{Pipeline, SignalSource};
 pub use signal::WindowMapping;

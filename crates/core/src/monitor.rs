@@ -1,11 +1,14 @@
+use std::fmt;
+
 use eddie_isa::RegionId;
 use eddie_stats::ks::{ks_test_sorted_ref, KsOutcome};
+use serde::{Deserialize, Serialize};
 
 use crate::sts::rank_sample;
 use crate::{Sts, TrainedModel};
 
 /// What the monitor concluded after one new STS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MonitorEvent {
     /// The window matched the current region's reference distribution.
     Normal,
@@ -18,45 +21,63 @@ pub enum MonitorEvent {
     Anomaly,
 }
 
-/// EDDIE's runtime monitor — the reproduction of the paper's
-/// Algorithm 1 (§4.4).
+/// Error from constructing a monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The model has no trained regions, so there is nothing to track.
+    EmptyModel,
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::EmptyModel => f.write_str("trained model has no regions"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// The complete runtime state of a monitor, decoupled from the model
+/// borrow so online sessions (`eddie-stream`) can own, persist and
+/// migrate it.
 ///
-/// Feed STSs in order with [`observe`](Monitor::observe); the monitor
-/// tracks the region it believes is executing, switches regions through
-/// the state machine when a legal successor's references explain the
-/// recent windows, and reports an anomaly after more than
-/// `reportThreshold` consecutive unexplained K-S rejections.
+/// The window history is *bounded*: only the trailing windows that the
+/// K-S group tests and the successor search can actually reach (the
+/// largest per-region group size) are retained, so a session that runs
+/// for days uses the same memory as one that just started. `dropped`
+/// counts the windows pruned from the front, which keeps
+/// [`windows_observed`](MonitorState::windows_observed) exact.
 ///
-/// # Examples
-///
-/// See the crate-level example; `Monitor` is normally driven by
-/// [`Pipeline::monitor`](crate::Pipeline::monitor).
-#[derive(Debug)]
-pub struct Monitor<'m> {
-    model: &'m TrainedModel,
+/// A state is only meaningful together with the model it was created
+/// for; restoring it against a different model is not detected and
+/// yields nonsense tracking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorState {
     current: RegionId,
     history: Vec<Sts>,
+    dropped: usize,
     anomaly_cnt: usize,
-    /// Windows flagged while `anomaly_cnt` exceeded the threshold.
     alarm: bool,
 }
 
-impl<'m> Monitor<'m> {
-    /// Creates a monitor starting at the model's initial region.
+impl MonitorState {
+    /// Creates the initial state for `model`, starting at the model's
+    /// initial region.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model has no trained regions (cannot happen for
-    /// models produced by [`train_from_labeled`](crate::train_from_labeled)).
-    pub fn new(model: &'m TrainedModel) -> Monitor<'m> {
-        let current = model.initial_region().expect("trained model has regions");
-        Monitor {
-            model,
+    /// Returns [`MonitorError::EmptyModel`] when the model has no
+    /// trained regions.
+    pub fn try_new(model: &TrainedModel) -> Result<MonitorState, MonitorError> {
+        let current = model.initial_region().ok_or(MonitorError::EmptyModel)?;
+        Ok(MonitorState {
             current,
             history: Vec::new(),
+            dropped: 0,
             anomaly_cnt: 0,
             alarm: false,
-        }
+        })
     }
 
     /// The region the monitor currently believes is executing.
@@ -70,19 +91,40 @@ impl<'m> Monitor<'m> {
         self.alarm
     }
 
-    /// Consumes the next STS and returns the monitoring decision.
-    pub fn observe(&mut self, sts: Sts) -> MonitorEvent {
-        self.history.push(sts);
-        let end = self.history.len() - 1;
-        let cfg = &self.model.config;
+    /// Total windows observed since the state was created, including
+    /// windows pruned from the bounded history.
+    pub fn windows_observed(&self) -> usize {
+        self.dropped + self.history.len()
+    }
 
-        let current_model = match self.model.region(self.current) {
+    /// Windows currently retained in the bounded history (at most twice
+    /// the largest trained group size).
+    pub fn retained_windows(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Consumes the next STS and returns the monitoring decision —
+    /// the paper's Algorithm 1 step, identical to
+    /// [`Monitor::observe`] but with the model passed explicitly.
+    pub fn observe(&mut self, model: &TrainedModel, sts: Sts) -> MonitorEvent {
+        self.history.push(sts);
+        let event = self.decide(model);
+        self.prune(model);
+        event
+    }
+
+    /// The Algorithm 1 decision for the window just pushed.
+    fn decide(&mut self, model: &TrainedModel) -> MonitorEvent {
+        let end = self.history.len() - 1;
+        let cfg = &model.config;
+
+        let current_model = match model.region(self.current) {
             Some(m) => m,
             None => return MonitorEvent::Normal, // untracked region: pass
         };
 
         // Not enough windows yet for the current region's group size.
-        if self.history.len() < current_model.group_size {
+        if self.windows_observed() < current_model.group_size {
             return MonitorEvent::Normal;
         }
 
@@ -105,12 +147,12 @@ impl<'m> Monitor<'m> {
 
         // Candidate successor check (Line 11-18).
         let mut best: Option<(RegionId, usize, usize)> = None; // (region, accepted, active)
-        for succ in self.model.effective_successors(self.current) {
-            let sm = match self.model.region(succ) {
+        for succ in model.effective_successors(self.current) {
+            let sm = match model.region(succ) {
                 Some(m) => m,
                 None => continue,
             };
-            if self.history.len() < sm.group_size {
+            if self.windows_observed() < sm.group_size {
                 continue;
             }
             let (accepted, active) = rank_acceptances(
@@ -152,7 +194,7 @@ impl<'m> Monitor<'m> {
             // This is an implementation addition over Algorithm 1, which
             // has no recovery path out of a terminal region.
             if self.anomaly_cnt > cfg.report_threshold * 4 {
-                if let Some(region) = self.best_global_match(end) {
+                if let Some(region) = self.best_global_match(model, end) {
                     self.current = region;
                     self.anomaly_cnt = 0;
                 }
@@ -163,13 +205,26 @@ impl<'m> Monitor<'m> {
         }
     }
 
+    /// Drops history windows no test can reach any more. Every K-S
+    /// query looks at most `retention_cap` windows back from the end,
+    /// so pruning the front (in batches, to amortise the memmove) is
+    /// invisible to the decisions.
+    fn prune(&mut self, model: &TrainedModel) {
+        let cap = retention_cap(model);
+        if self.history.len() >= cap * 2 {
+            let drop = self.history.len() - cap;
+            self.history.drain(..drop);
+            self.dropped += drop;
+        }
+    }
+
     /// The trained region whose references best accept the trailing
     /// windows, if any accepts at the change threshold.
-    fn best_global_match(&self, end: usize) -> Option<RegionId> {
-        let cfg = &self.model.config;
+    fn best_global_match(&self, model: &TrainedModel, end: usize) -> Option<RegionId> {
+        let cfg = &model.config;
         let mut best: Option<(RegionId, f64)> = None;
-        for (&id, rm) in &self.model.regions {
-            if self.history.len() < rm.group_size {
+        for (&id, rm) in &model.regions {
+            if self.windows_observed() < rm.group_size {
                 continue;
             }
             let (accepted, active) = rank_acceptances(
@@ -189,6 +244,99 @@ impl<'m> Monitor<'m> {
             }
         }
         best.map(|(id, _)| id)
+    }
+}
+
+/// The largest number of trailing windows any K-S test against `model`
+/// can reach — the monitor's history retention bound.
+fn retention_cap(model: &TrainedModel) -> usize {
+    model
+        .regions
+        .values()
+        .map(|r| r.group_size)
+        .max()
+        .unwrap_or(1)
+}
+
+/// EDDIE's runtime monitor — the reproduction of the paper's
+/// Algorithm 1 (§4.4).
+///
+/// Feed STSs in order with [`observe`](Monitor::observe); the monitor
+/// tracks the region it believes is executing, switches regions through
+/// the state machine when a legal successor's references explain the
+/// recent windows, and reports an anomaly after more than
+/// `reportThreshold` consecutive unexplained K-S rejections.
+///
+/// `Monitor` borrows the model; the separable runtime state lives in
+/// [`MonitorState`], which online sessions own directly (see
+/// [`state`](Monitor::state) / [`from_state`](Monitor::from_state)).
+///
+/// # Examples
+///
+/// See the crate-level example; `Monitor` is normally driven by
+/// [`Pipeline::monitor`](crate::Pipeline::monitor).
+#[derive(Debug)]
+pub struct Monitor<'m> {
+    model: &'m TrainedModel,
+    state: MonitorState,
+}
+
+impl<'m> Monitor<'m> {
+    /// Creates a monitor starting at the model's initial region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has no trained regions (cannot happen for
+    /// models produced by [`train_from_labeled`](crate::train_from_labeled));
+    /// use [`try_new`](Monitor::try_new) to handle that case as an error.
+    pub fn new(model: &'m TrainedModel) -> Monitor<'m> {
+        Monitor::try_new(model).expect("trained model has regions")
+    }
+
+    /// Creates a monitor starting at the model's initial region, or
+    /// reports why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorError::EmptyModel`] when the model has no
+    /// trained regions.
+    pub fn try_new(model: &'m TrainedModel) -> Result<Monitor<'m>, MonitorError> {
+        Ok(Monitor {
+            model,
+            state: MonitorState::try_new(model)?,
+        })
+    }
+
+    /// Revives a monitor from a previously extracted state. The state
+    /// must have been created for the same model.
+    pub fn from_state(model: &'m TrainedModel, state: MonitorState) -> Monitor<'m> {
+        Monitor { model, state }
+    }
+
+    /// The runtime state (for persistence or inspection).
+    pub fn state(&self) -> &MonitorState {
+        &self.state
+    }
+
+    /// Consumes the monitor, yielding the owned runtime state.
+    pub fn into_state(self) -> MonitorState {
+        self.state
+    }
+
+    /// The region the monitor currently believes is executing.
+    pub fn current_region(&self) -> RegionId {
+        self.state.current_region()
+    }
+
+    /// Whether the alarm is currently latched (anomaly reported and the
+    /// K-S tests still rejecting).
+    pub fn alarm(&self) -> bool {
+        self.state.alarm()
+    }
+
+    /// Consumes the next STS and returns the monitoring decision.
+    pub fn observe(&mut self, sts: Sts) -> MonitorEvent {
+        self.state.observe(self.model, sts)
     }
 }
 
@@ -377,5 +525,72 @@ mod tests {
             mon.observe(sts(i, 100.0 + jitter(i)));
         }
         assert!(!mon.alarm(), "alarm must clear after recovery");
+    }
+
+    #[test]
+    fn try_new_rejects_empty_models() {
+        let m = model();
+        let empty = TrainedModel {
+            regions: Default::default(),
+            graph: m.graph.clone(),
+            config: m.config.clone(),
+        };
+        assert_eq!(
+            Monitor::try_new(&empty).err(),
+            Some(MonitorError::EmptyModel)
+        );
+        assert_eq!(
+            MonitorState::try_new(&empty).err(),
+            Some(MonitorError::EmptyModel)
+        );
+        assert!(Monitor::try_new(&m).is_ok());
+    }
+
+    #[test]
+    fn history_stays_bounded_on_long_streams() {
+        let m = model();
+        let cap = m.regions.values().map(|r| r.group_size).max().unwrap();
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        let mut mon = Monitor::new(&m);
+        for i in 0..10_000 {
+            mon.observe(sts(i, 100.0 + jitter(i)));
+            assert!(
+                mon.state().retained_windows() < cap * 2,
+                "retained {} must stay under 2x cap {}",
+                mon.state().retained_windows(),
+                cap
+            );
+        }
+        assert_eq!(mon.state().windows_observed(), 10_000);
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        // Splitting a stream at an arbitrary point through
+        // into_state/from_state must not change any subsequent event.
+        let m = model();
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        let freq = |i: usize| {
+            if (40..60).contains(&i) {
+                777.0
+            } else {
+                100.0 + jitter(i)
+            }
+        };
+
+        let mut reference = Monitor::new(&m);
+        let continuous: Vec<MonitorEvent> = (0..200)
+            .map(|i| reference.observe(sts(i, freq(i))))
+            .collect();
+
+        for split in [1usize, 17, 45, 120] {
+            let mut first = Monitor::new(&m);
+            let mut events: Vec<MonitorEvent> =
+                (0..split).map(|i| first.observe(sts(i, freq(i)))).collect();
+            let state = first.into_state();
+            let mut resumed = Monitor::from_state(&m, state);
+            events.extend((split..200).map(|i| resumed.observe(sts(i, freq(i)))));
+            assert_eq!(continuous, events, "split at {split}");
+        }
     }
 }

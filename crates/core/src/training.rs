@@ -619,4 +619,80 @@ mod persistence_tests {
     fn malformed_json_is_an_error() {
         assert!(TrainedModel::from_json("{not json").is_err());
     }
+
+    fn sts(index: usize, freq: f64) -> Sts {
+        Sts {
+            index,
+            start_sample: index,
+            peaks: vec![Peak {
+                bin: 1,
+                freq_hz: freq,
+                power: 1.0,
+                fraction: 0.5,
+            }],
+            centroid_hz: freq,
+            spread_hz: 1.0,
+        }
+    }
+
+    /// A two-region model whose graph has a real successor edge
+    /// (loop 0 -> loop 1) — the structure session snapshot/restore
+    /// depends on surviving serialisation.
+    fn two_region_model() -> TrainedModel {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8);
+        for r in 0..2u32 {
+            b.li(i, 0);
+            b.region_enter(RegionId::new(r));
+            let top = b.label_here("t");
+            b.addi(i, i, 1).blt_label(i, n, top);
+            b.region_exit(RegionId::new(r));
+        }
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        let run0 = LabeledRun {
+            stss: (0..80).map(|i| sts(i, 100.0 + jitter(i))).collect(),
+            labels: vec![RegionId::new(0); 80],
+        };
+        let run1 = LabeledRun {
+            stss: (0..80).map(|i| sts(i, 300.0 + jitter(i))).collect(),
+            labels: vec![RegionId::new(1); 80],
+        };
+        train_from_labeled(&[run0, run1], &graph, &EddieConfig::quick()).unwrap()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_successor_edges_and_group_sizes() {
+        let model = two_region_model();
+        let restored = TrainedModel::from_json(&model.to_json().unwrap()).unwrap();
+
+        // The full model, the monitoring state machine, and the
+        // per-region K-S parameters all survive.
+        assert_eq!(model, restored);
+        assert_eq!(
+            restored.effective_successors(RegionId::new(0)),
+            vec![RegionId::new(1)],
+            "region successor edges must survive the round trip"
+        );
+        assert_eq!(restored.initial_region(), model.initial_region());
+        for (id, rm) in &model.regions {
+            let rr = restored.region(*id).expect("region present after restore");
+            assert_eq!(rr.group_size, rm.group_size, "per-region n for {id:?}");
+            assert_eq!(rr.training_windows, rm.training_windows);
+            assert_eq!(rr.reference, rm.reference);
+            assert!(rr.training_frr.to_bits() == rm.training_frr.to_bits());
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        // Serialising the restored model again yields the same bytes:
+        // snapshots of snapshots cannot drift.
+        let model = two_region_model();
+        let json = model.to_json().unwrap();
+        let again = TrainedModel::from_json(&json).unwrap().to_json().unwrap();
+        assert_eq!(json, again);
+    }
 }

@@ -20,6 +20,11 @@ pub enum DspError {
         /// The offending sample rate.
         rate: f64,
     },
+    /// A restored streaming state is internally inconsistent.
+    BadState {
+        /// What the consistency check found.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DspError {
@@ -32,6 +37,7 @@ impl fmt::Display for DspError {
                 write!(f, "hop {hop} invalid for window length {window_len}")
             }
             DspError::BadSampleRate { rate } => write!(f, "invalid sample rate {rate}"),
+            DspError::BadState { reason } => write!(f, "inconsistent streaming state: {reason}"),
         }
     }
 }

@@ -11,6 +11,9 @@
 //! * [`Fft`] — an iterative radix-2 FFT with precomputed twiddles;
 //! * [`WindowKind`] — rectangular/Hann/Hamming/Blackman analysis windows;
 //! * [`Stft`] — overlapping windowed transforms producing [`Spectrum`]s;
+//! * [`StreamingStft`] — the same transform fed chunk-by-chunk, for the
+//!   online monitoring runtime (`eddie-stream`); emits bit-identical
+//!   spectra to the batch path and keeps only the overlap tail;
 //! * [`find_peaks`] — the 1 %-energy spectral-peak rule;
 //! * [`cache`] — process-wide FFT-planner and window-coefficient caches
 //!   shared by the worker threads of the parallel execution layer.
@@ -50,6 +53,7 @@ mod goertzel;
 mod peaks;
 mod spectrum;
 mod stft;
+mod stream;
 mod window;
 
 pub use cache::{fft_planner, window_coefficients};
@@ -60,4 +64,5 @@ pub use goertzel::{Goertzel, GoertzelBank};
 pub use peaks::{find_peaks, Peak, PeakConfig};
 pub use spectrum::Spectrum;
 pub use stft::{Stft, StftConfig};
+pub use stream::{StreamingStft, StreamingStftState};
 pub use window::WindowKind;

@@ -124,12 +124,7 @@ impl Stft {
         let mut start = 0;
         while start + self.config.window_len <= signal.len() {
             let frame = &signal[start..start + self.config.window_len];
-            let mean = frame.iter().map(|&x| x as f64).sum::<f64>() / self.config.window_len as f64;
-            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
-                *b = Complex::new((x as f64 - mean) * w, 0.0);
-            }
-            self.fft.forward(&mut buf);
-            out.push(self.fold_one_sided(&buf, start));
+            out.push(self.frame_real(frame, start, &mut buf));
             start += self.config.hop;
         }
         out
@@ -144,14 +139,44 @@ impl Stft {
         let mut start = 0;
         while start + self.config.window_len <= signal.len() {
             let frame = &signal[start..start + self.config.window_len];
-            for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
-                *b = x.scale(w);
-            }
-            self.fft.forward(&mut buf);
-            out.push(self.fold_one_sided(&buf, start));
+            out.push(self.frame_complex(frame, start, &mut buf));
             start += self.config.hop;
         }
         out
+    }
+
+    /// Processes one real frame of exactly `window_len` samples. Both
+    /// [`process_real`](Stft::process_real) and the incremental
+    /// [`StreamingStft`](crate::StreamingStft) go through this method,
+    /// so batch and chunked analysis of the same signal are
+    /// bit-identical by construction: same summation order for the mean,
+    /// same windowing, same FFT plan.
+    pub(crate) fn frame_real(
+        &self,
+        frame: &[f32],
+        start_sample: usize,
+        buf: &mut [Complex],
+    ) -> Spectrum {
+        let mean = frame.iter().map(|&x| x as f64).sum::<f64>() / self.config.window_len as f64;
+        for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
+            *b = Complex::new((x as f64 - mean) * w, 0.0);
+        }
+        self.fft.forward(buf);
+        self.fold_one_sided(buf, start_sample)
+    }
+
+    /// Processes one complex frame of exactly `window_len` samples.
+    pub(crate) fn frame_complex(
+        &self,
+        frame: &[Complex],
+        start_sample: usize,
+        buf: &mut [Complex],
+    ) -> Spectrum {
+        for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
+            *b = x.scale(w);
+        }
+        self.fft.forward(buf);
+        self.fold_one_sided(buf, start_sample)
     }
 
     fn fold_one_sided(&self, bins: &[Complex], start_sample: usize) -> Spectrum {

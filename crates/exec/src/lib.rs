@@ -13,6 +13,9 @@
 //! * [`par_map`] / [`par_map_indexed`] — map a pure function over a
 //!   work list on a scoped worker pool. Output order always equals
 //!   input order, so the result is byte-identical to the serial loop.
+//! * [`par_map_mut`] — the same contract over exclusively-owned items
+//!   (`&mut T` handed to one worker each); this is how the streaming
+//!   runtime (`eddie-stream`) shards per-device monitor sessions.
 //! * [`num_threads`] — the pool width: the `EDDIE_THREADS` environment
 //!   variable when set, otherwise the machine's available parallelism.
 //! * [`with_threads`] — scoped programmatic override of the pool width
@@ -166,6 +169,67 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+/// Maps `f` over a mutable slice on the worker pool, giving each item
+/// exclusively to one worker and preserving input order in the output.
+///
+/// This is the scheduling primitive of the streaming runtime
+/// (`eddie-stream`): each monitored device's session is mutated in
+/// place by exactly one worker per drain, items are handed out through
+/// the same work queue as [`par_map`], and results land in per-index
+/// slots — so the output (and every per-item mutation sequence) is
+/// byte-identical to the serial `iter_mut` loop for every pool width.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the worker's panic is propagated
+/// when the pool is joined).
+pub fn par_map_mut<T, U, F>(items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || in_worker() {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Hand each `&mut T` to exactly one worker through the queue; the
+    // borrow checker guarantees disjointness because `iter_mut` yields
+    // non-overlapping exclusive references.
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, &mut T)>(n);
+    for pair in items.iter_mut().enumerate() {
+        tx.send(pair).expect("bounded(n) holds all n items");
+    }
+    drop(tx);
+
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                IN_WORKER.set(true);
+                for (i, item) in rx {
+                    let value = f(i, item);
+                    *slots[i].lock() = Some(value);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every item was processed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +286,58 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_and_orders_results() {
+        let mut items: Vec<usize> = (0..32).collect();
+        let out = with_threads(4, || {
+            par_map_mut(&mut items, |i, item| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                *item += 100;
+                *item
+            })
+        });
+        assert_eq!(out, (100..132).collect::<Vec<_>>());
+        assert_eq!(items, (100..132).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_parallel_equals_serial() {
+        let run = |threads: usize| {
+            let mut state: Vec<u64> = (0..48).map(|i| i * 3 + 1).collect();
+            let out = with_threads(threads, || {
+                par_map_mut(&mut state, |i, s| {
+                    *s = s.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                    *s
+                })
+            });
+            (state, out)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn par_map_mut_nested_falls_back_to_serial() {
+        let mut outer: Vec<Vec<usize>> = (0..4).map(|i| vec![i; 4]).collect();
+        let out = with_threads(4, || {
+            par_map_mut(&mut outer, |_, inner| {
+                assert!(in_worker());
+                par_map_mut(inner, |j, v| *v * 10 + j)
+            })
+        });
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat.len(), 16);
+    }
+
+    #[test]
+    fn par_map_mut_empty_and_single() {
+        let mut empty: Vec<u8> = Vec::new();
+        assert_eq!(par_map_mut(&mut empty, |_, x| *x), Vec::<u8>::new());
+        let mut one = vec![7u8];
+        assert_eq!(par_map_mut(&mut one, |_, x| *x + 1), vec![8]);
     }
 
     #[test]

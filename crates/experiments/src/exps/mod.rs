@@ -20,6 +20,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod stream;
 pub mod tab1;
 pub mod tab2;
 
@@ -47,6 +48,7 @@ pub const ALL: &[&str] = &[
     "ablate-moments",
     "ablate-asic",
     "ablate-prefetch",
+    "stream",
 ];
 
 /// Dispatches an experiment by id. Returns `None` for unknown ids.
@@ -72,6 +74,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "ablate-parametric" => ablate_parametric::run(scale),
         "ablate-window" => ablate_window::run(scale),
         "ablate-noise" => ablate_noise::run(scale),
+        "stream" => stream::run(scale),
         _ => return None,
     };
     Some(out)

@@ -1,0 +1,295 @@
+use std::collections::VecDeque;
+
+use crate::{MonitorSession, StreamEvent};
+
+/// Handle to one session inside a [`Fleet`]. Ids are dense indices in
+/// registration order and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(usize);
+
+impl DeviceId {
+    /// The dense index of this device (registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Ingress bounds of a [`Fleet`]: how much signal a device may queue
+/// between drains before [`Fleet::push_chunk`] starts shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Maximum queued (undrained) chunks per device.
+    pub max_pending_chunks: usize,
+    /// Maximum queued (undrained) samples per device, across chunks.
+    pub max_pending_samples: usize,
+}
+
+impl Default for FleetConfig {
+    /// 64 chunks / 1 MiSample per device — roomy enough for bursty
+    /// ingest, small enough that a stalled drain loop surfaces as
+    /// backpressure instead of unbounded memory.
+    fn default() -> FleetConfig {
+        FleetConfig {
+            max_pending_chunks: 64,
+            max_pending_samples: 1 << 20,
+        }
+    }
+}
+
+/// Outcome of an ingress push — explicit backpressure instead of
+/// blocking or unbounded buffering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a Full result means the chunk was NOT accepted and must be retried or shed"]
+pub enum PushResult {
+    /// The chunk was queued; a later [`Fleet::drain`] will process it.
+    Accepted,
+    /// The device's ingress queue is at capacity; the chunk was *not*
+    /// queued. Retry after draining, or shed the load.
+    Full,
+}
+
+#[derive(Debug)]
+struct Device {
+    session: MonitorSession,
+    queue: VecDeque<Vec<f32>>,
+    queued_samples: usize,
+}
+
+/// Many monitor sessions behind one bounded ingress API, drained in
+/// parallel across the [`eddie_exec`] worker pool.
+///
+/// The fleet separates the two sides of a monitoring service:
+///
+/// * the *ingress* side calls [`push_chunk`](Fleet::push_chunk) as
+///   samples arrive — cheap (one queue append), non-blocking, and
+///   backpressure-aware;
+/// * the *processing* side calls [`drain`](Fleet::drain) — every queued
+///   chunk is pushed through its session, with devices sharded across
+///   the worker pool ([`eddie_exec::par_map_mut`]).
+///
+/// Each device's chunks are processed in arrival order by exactly one
+/// worker per drain, and results are collected in device order, so the
+/// emitted events are byte-identical for every `EDDIE_THREADS` value —
+/// the same determinism contract as the batch pipeline.
+#[derive(Debug)]
+pub struct Fleet {
+    devices: Vec<Device>,
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Creates an empty fleet with the given ingress bounds.
+    pub fn new(config: FleetConfig) -> Fleet {
+        Fleet {
+            devices: Vec::new(),
+            config,
+        }
+    }
+
+    /// Registers a session and returns its device handle.
+    pub fn add_session(&mut self, session: MonitorSession) -> DeviceId {
+        self.devices.push(Device {
+            session,
+            queue: VecDeque::new(),
+            queued_samples: 0,
+        });
+        DeviceId(self.devices.len() - 1)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The session of `device`, for inspection (alarm state, window
+    /// counts, snapshots).
+    pub fn session(&self, device: DeviceId) -> &MonitorSession {
+        &self.devices[device.0].session
+    }
+
+    /// Queued (undrained) chunks of `device`.
+    pub fn pending_chunks(&self, device: DeviceId) -> usize {
+        self.devices[device.0].queue.len()
+    }
+
+    /// Queued (undrained) samples of `device`.
+    pub fn pending_samples(&self, device: DeviceId) -> usize {
+        self.devices[device.0].queued_samples
+    }
+
+    /// Offers a signal chunk to `device`'s ingress queue.
+    ///
+    /// Returns [`PushResult::Full`] — without queueing — when the
+    /// device is at either ingress bound; the caller decides whether to
+    /// retry after a drain or shed the chunk. Empty chunks are accepted
+    /// and ignored.
+    pub fn push_chunk(&mut self, device: DeviceId, chunk: Vec<f32>) -> PushResult {
+        let bounds = self.config;
+        let d = &mut self.devices[device.0];
+        if chunk.is_empty() {
+            return PushResult::Accepted;
+        }
+        if d.queue.len() >= bounds.max_pending_chunks
+            || d.queued_samples + chunk.len() > bounds.max_pending_samples
+        {
+            return PushResult::Full;
+        }
+        d.queued_samples += chunk.len();
+        d.queue.push_back(chunk);
+        PushResult::Accepted
+    }
+
+    /// Processes every queued chunk of every device, sharding devices
+    /// across the worker pool. Returns the events each device emitted,
+    /// indexed by [`DeviceId::index`] — empty for devices with nothing
+    /// queued or no completed window.
+    pub fn drain(&mut self) -> Vec<Vec<StreamEvent>> {
+        eddie_exec::par_map_mut(&mut self.devices, |_, d| {
+            let mut events = Vec::new();
+            while let Some(chunk) = d.queue.pop_front() {
+                d.queued_samples -= chunk.len();
+                events.extend(d.session.push(&chunk));
+            }
+            events
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SessionSnapshot;
+    use std::sync::Arc;
+
+    use eddie_cfg::RegionGraph;
+    use eddie_core::{train_from_labeled, EddieConfig, LabeledRun, Sts, TrainedModel};
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg, RegionId};
+
+    fn tiny_model() -> Arc<TrainedModel> {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let run = LabeledRun {
+            stss: (0..60)
+                .map(|w| Sts {
+                    index: w,
+                    start_sample: w,
+                    peaks: vec![Peak {
+                        bin: 1,
+                        freq_hz: 100.0 + ((w * 7) % 5) as f64 * 0.5,
+                        power: 1.0,
+                        fraction: 0.5,
+                    }],
+                    centroid_hz: 100.0,
+                    spread_hz: 1.0,
+                })
+                .collect(),
+            labels: vec![RegionId::new(0); 60],
+        };
+        Arc::new(train_from_labeled(&[run], &graph, &EddieConfig::quick()).unwrap())
+    }
+
+    fn session(model: &Arc<TrainedModel>) -> MonitorSession {
+        MonitorSession::new(model.clone(), 1000.0).unwrap()
+    }
+
+    #[test]
+    fn backpressure_reports_full_instead_of_growing() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 2,
+            max_pending_samples: 1000,
+        });
+        let dev = fleet.add_session(session(&model));
+
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 10]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 10]), PushResult::Accepted);
+        // Chunk bound hit.
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 10]), PushResult::Full);
+        assert_eq!(fleet.pending_chunks(dev), 2);
+        assert_eq!(fleet.pending_samples(dev), 20);
+
+        // Draining frees the queue.
+        let _ = fleet.drain();
+        assert_eq!(fleet.pending_chunks(dev), 0);
+        assert_eq!(fleet.pending_samples(dev), 0);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 10]), PushResult::Accepted);
+    }
+
+    #[test]
+    fn sample_bound_is_enforced_independently() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 100,
+            max_pending_samples: 25,
+        });
+        let dev = fleet.add_session(session(&model));
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 20]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 20]), PushResult::Full);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 5]), PushResult::Accepted);
+    }
+
+    #[test]
+    fn full_does_not_enqueue_the_chunk() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 1,
+            max_pending_samples: 1000,
+        });
+        let dev = fleet.add_session(session(&model));
+        assert_eq!(fleet.push_chunk(dev, vec![1.0; 4]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![2.0; 4]), PushResult::Full);
+        assert_eq!(fleet.pending_samples(dev), 4, "rejected chunk not counted");
+    }
+
+    #[test]
+    fn empty_chunks_are_accepted_without_queueing() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let dev = fleet.add_session(session(&model));
+        assert_eq!(fleet.push_chunk(dev, Vec::new()), PushResult::Accepted);
+        assert_eq!(fleet.pending_chunks(dev), 0);
+    }
+
+    #[test]
+    fn drain_preserves_per_device_order_and_state() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let a = fleet.add_session(session(&model));
+        let b = fleet.add_session(session(&model));
+
+        let signal: Vec<f32> = (0..2000).map(|i| (i as f32 * 0.01).sin()).collect();
+        // Device a gets the signal in two chunks, device b in one.
+        let _ = fleet.push_chunk(a, signal[..700].to_vec());
+        let _ = fleet.push_chunk(a, signal[700..].to_vec());
+        let _ = fleet.push_chunk(b, signal.clone());
+        let events = fleet.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[a.index()],
+            events[b.index()],
+            "chunking must not change events"
+        );
+        assert_eq!(
+            fleet.session(a).windows_observed(),
+            fleet.session(b).windows_observed()
+        );
+
+        // Snapshots of both sessions agree (same stream position).
+        let snap_a: SessionSnapshot = fleet.session(a).snapshot();
+        let snap_b = fleet.session(b).snapshot();
+        assert_eq!(snap_a.monitor, snap_b.monitor);
+    }
+}

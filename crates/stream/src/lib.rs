@@ -1,0 +1,70 @@
+//! Online monitoring runtime for the EDDIE reproduction.
+//!
+//! The batch pipeline (`eddie-core`) needs a run's entire signal before
+//! it can say anything: one full STFT, then a replay of every STS. The
+//! paper, however, describes EDDIE as a *runtime* monitor (Algorithm 1,
+//! §4.4) — samples arrive continuously from a monitored device and
+//! verdicts must come out as execution proceeds. This crate closes that
+//! gap and scales it to many devices:
+//!
+//! * [`MonitorSession`] — one monitored device. Accepts signal chunks of
+//!   any size, runs the incremental STFT
+//!   ([`eddie_dsp::StreamingStft`]), reduces each completed window to
+//!   its STS, and feeds the bounded-memory monitor state
+//!   ([`eddie_core::MonitorState`]). Emits [`StreamEvent`]s carrying the
+//!   window index of every decision.
+//! * [`SessionSnapshot`] — the serializable whole of a session's runtime
+//!   state. [`MonitorSession::snapshot`] / [`MonitorSession::restore`]
+//!   persist and migrate live sessions; the trained model itself rides
+//!   separately via [`eddie_core::TrainedModel::to_json`].
+//! * [`Fleet`] — many sessions behind one ingress API. Chunks land in
+//!   bounded per-device queues ([`Fleet::push_chunk`] reports
+//!   [`PushResult::Full`] instead of blocking — explicit backpressure),
+//!   and [`Fleet::drain`] shards the queued work across the
+//!   [`eddie_exec`] worker pool, one device per worker at a time.
+//!
+//! # Equivalence guarantee
+//!
+//! For any chunking of a signal — including adversarial 1-sample
+//! chunks — a session emits exactly the events the batch
+//! `Pipeline::monitor_result` path computes for the whole signal, at
+//! every `EDDIE_THREADS` value. Chunk boundaries, queue depths, and
+//! worker scheduling are not observable in the output. The
+//! `tests/equivalence.rs` suite (run twice by CI, at 1 and 4 threads)
+//! and the `eddie-experiments stream` subcommand both assert this
+//! event-for-event.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
+//!
+//! # fn model() -> eddie_core::TrainedModel { unimplemented!() }
+//! let model = Arc::new(model());
+//! let mut fleet = Fleet::new(FleetConfig::default());
+//! let dev = fleet.add_session(MonitorSession::new(model, 1.0e6).unwrap());
+//!
+//! // Ingress side: non-blocking, backpressure-aware.
+//! let chunk: Vec<f32> = vec![0.0; 4096];
+//! match fleet.push_chunk(dev, chunk) {
+//!     PushResult::Accepted => {}
+//!     PushResult::Full => { /* shed load or retry later */ }
+//! }
+//!
+//! // Worker side: process everything queued, sharded across the pool.
+//! for events in fleet.drain() {
+//!     for ev in events {
+//!         println!("window {}: {:?}", ev.window, ev.event);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod session;
+
+pub use fleet::{DeviceId, Fleet, FleetConfig, PushResult};
+pub use session::{MonitorSession, SessionError, SessionSnapshot, StreamEvent};

@@ -1,0 +1,339 @@
+use std::fmt;
+use std::sync::Arc;
+
+use eddie_core::{MonitorError, MonitorEvent, MonitorState, Sts, TrainedModel};
+use eddie_dsp::{DspError, StftConfig, StreamingStft, StreamingStftState};
+use eddie_isa::RegionId;
+use serde::{Deserialize, Serialize};
+
+/// One monitoring decision, tagged with the window it was made for.
+///
+/// `window` is the STS index in the device's stream — the same index
+/// the batch path uses, so streamed events line up one-to-one with
+/// `MonitorOutcome::events`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamEvent {
+    /// STS window index this decision belongs to.
+    pub window: usize,
+    /// The monitor's decision for the window.
+    pub event: MonitorEvent,
+    /// Latched alarm state after the window.
+    pub alarm: bool,
+    /// Region the monitor tracks after the window.
+    pub tracked: RegionId,
+}
+
+/// Error from creating or restoring a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The trained model has no regions to track.
+    EmptyModel,
+    /// The model's STFT configuration is invalid, or a restored
+    /// streaming state failed its consistency checks.
+    Dsp(DspError),
+    /// A restored snapshot's components disagree with each other.
+    CorruptSnapshot {
+        /// What the consistency check found.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::EmptyModel => f.write_str("trained model has no regions"),
+            SessionError::Dsp(e) => write!(f, "invalid signal configuration: {e}"),
+            SessionError::CorruptSnapshot { reason } => {
+                write!(f, "corrupt session snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<DspError> for SessionError {
+    fn from(e: DspError) -> SessionError {
+        SessionError::Dsp(e)
+    }
+}
+
+impl From<MonitorError> for SessionError {
+    fn from(e: MonitorError) -> SessionError {
+        match e {
+            MonitorError::EmptyModel => SessionError::EmptyModel,
+        }
+    }
+}
+
+/// The serializable whole of a session's runtime state: the STFT
+/// overlap tail plus the monitor state. Together with the trained
+/// model (persisted separately via [`TrainedModel::to_json`]) this is
+/// everything needed to resume the session on another host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Incremental-STFT tail and counters.
+    pub stft: StreamingStftState,
+    /// Monitor tracking state (bounded window history included).
+    pub monitor: MonitorState,
+    /// Sample rate the session was created with, in hertz.
+    pub sample_rate_hz: f64,
+}
+
+impl SessionSnapshot {
+    /// Serialises the snapshot to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialisation fails (it does
+    /// not for snapshots produced by [`MonitorSession::snapshot`]).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialises a snapshot previously produced by
+    /// [`to_json`](SessionSnapshot::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<SessionSnapshot, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// An online monitor for one device: signal chunks in, monitoring
+/// events out.
+///
+/// The session owns a handle to the trained model plus all runtime
+/// state. Feeding the device's signal through [`push`](MonitorSession::push)
+/// in *any* chunking produces exactly the events the batch
+/// `Pipeline::monitor_result` path computes on the whole signal — the
+/// incremental STFT is bit-identical to the batch STFT, and the monitor
+/// consumes the same STSs in the same order.
+#[derive(Debug, Clone)]
+pub struct MonitorSession {
+    model: Arc<TrainedModel>,
+    stft: StreamingStft,
+    monitor: MonitorState,
+    sample_rate_hz: f64,
+}
+
+impl MonitorSession {
+    /// Creates a session at stream position zero.
+    ///
+    /// `sample_rate_hz` is the device's signal sample rate (for a
+    /// simulated device, `SimResult::power.sample_rate_hz()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::EmptyModel`] for models with no trained
+    /// regions and [`SessionError::Dsp`] when the model's STFT
+    /// configuration is invalid for the sample rate.
+    pub fn new(
+        model: Arc<TrainedModel>,
+        sample_rate_hz: f64,
+    ) -> Result<MonitorSession, SessionError> {
+        let monitor = MonitorState::try_new(&model)?;
+        let stft = StreamingStft::new(stft_config(&model, sample_rate_hz))?;
+        Ok(MonitorSession {
+            model,
+            stft,
+            monitor,
+            sample_rate_hz,
+        })
+    }
+
+    /// The trained model this session monitors against.
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        &self.model
+    }
+
+    /// Number of STS windows observed so far.
+    pub fn windows_observed(&self) -> usize {
+        self.monitor.windows_observed()
+    }
+
+    /// Total signal samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.stft.samples_seen()
+    }
+
+    /// The region the monitor currently believes is executing.
+    pub fn current_region(&self) -> RegionId {
+        self.monitor.current_region()
+    }
+
+    /// Whether the alarm is currently latched.
+    pub fn alarm(&self) -> bool {
+        self.monitor.alarm()
+    }
+
+    /// Consumes the next signal chunk (any size, including empty) and
+    /// returns the monitoring events of every window that completed.
+    pub fn push(&mut self, samples: &[f32]) -> Vec<StreamEvent> {
+        let spectra = self.stft.push(samples);
+        let mut events = Vec::with_capacity(spectra.len());
+        for spectrum in &spectra {
+            let window = self.monitor.windows_observed();
+            let sts = Sts::from_spectrum(window, spectrum, &self.model.config.peaks);
+            let event = self.monitor.observe(&self.model, sts);
+            events.push(StreamEvent {
+                window,
+                event,
+                alarm: self.monitor.alarm(),
+                tracked: self.monitor.current_region(),
+            });
+        }
+        events
+    }
+
+    /// Captures the session's complete runtime state for persistence or
+    /// migration. The model is deliberately not embedded — deployments
+    /// store it once and share it across that program's sessions.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            stft: self.stft.state(),
+            monitor: self.monitor.clone(),
+            sample_rate_hz: self.sample_rate_hz,
+        }
+    }
+
+    /// Revives a session from a snapshot, continuing exactly where
+    /// [`snapshot`](MonitorSession::snapshot) left off: the resumed
+    /// session emits the same events for the remaining signal as the
+    /// original would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::EmptyModel`] / [`SessionError::Dsp`] as
+    /// [`new`](MonitorSession::new) does, and
+    /// [`SessionError::CorruptSnapshot`] when the snapshot's STFT and
+    /// monitor components disagree about stream progress.
+    pub fn restore(
+        model: Arc<TrainedModel>,
+        snapshot: SessionSnapshot,
+    ) -> Result<MonitorSession, SessionError> {
+        let SessionSnapshot {
+            stft,
+            monitor,
+            sample_rate_hz,
+        } = snapshot;
+        if model.regions.is_empty() {
+            return Err(SessionError::EmptyModel);
+        }
+        if stft.windows != monitor.windows_observed() {
+            return Err(SessionError::CorruptSnapshot {
+                reason: "STFT window count disagrees with monitor window count",
+            });
+        }
+        let stft = StreamingStft::from_state(stft_config(&model, sample_rate_hz), stft)?;
+        Ok(MonitorSession {
+            model,
+            stft,
+            monitor,
+            sample_rate_hz,
+        })
+    }
+}
+
+fn stft_config(model: &TrainedModel, sample_rate_hz: f64) -> StftConfig {
+    StftConfig {
+        window_len: model.config.window_len,
+        hop: model.config.hop,
+        window: model.config.window,
+        sample_rate_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_cfg::RegionGraph;
+    use eddie_core::{train_from_labeled, EddieConfig, LabeledRun};
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    fn sts(index: usize, freq: f64) -> Sts {
+        Sts {
+            index,
+            start_sample: index,
+            peaks: vec![Peak {
+                bin: 1,
+                freq_hz: freq,
+                power: 1.0,
+                fraction: 0.5,
+            }],
+            centroid_hz: freq,
+            spread_hz: 1.0,
+        }
+    }
+
+    fn tiny_model() -> TrainedModel {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let run = LabeledRun {
+            stss: (0..60)
+                .map(|w| sts(w, 100.0 + ((w * 7) % 5) as f64 * 0.5))
+                .collect(),
+            labels: vec![RegionId::new(0); 60],
+        };
+        train_from_labeled(&[run], &graph, &EddieConfig::quick()).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_empty_model() {
+        let m = tiny_model();
+        let empty = TrainedModel {
+            regions: Default::default(),
+            graph: m.graph.clone(),
+            config: m.config.clone(),
+        };
+        assert_eq!(
+            MonitorSession::new(Arc::new(empty), 1000.0).err(),
+            Some(SessionError::EmptyModel)
+        );
+    }
+
+    #[test]
+    fn new_rejects_bad_sample_rate() {
+        let m = Arc::new(tiny_model());
+        assert!(matches!(
+            MonitorSession::new(m, f64::NAN).err(),
+            Some(SessionError::Dsp(_))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_counters() {
+        let m = Arc::new(tiny_model());
+        let session = MonitorSession::new(m.clone(), 1000.0).unwrap();
+        let mut snap = session.snapshot();
+        snap.stft.windows += 1;
+        // windows=1 with an empty tail is also internally consistent for
+        // the STFT alone, so the cross-component check must catch it.
+        snap.stft.base = snap.stft.windows * m.config.hop;
+        assert_eq!(
+            MonitorSession::restore(m, snap).err(),
+            Some(SessionError::CorruptSnapshot {
+                reason: "STFT window count disagrees with monitor window count"
+            })
+        );
+    }
+
+    #[test]
+    fn empty_push_emits_nothing() {
+        let m = Arc::new(tiny_model());
+        let mut session = MonitorSession::new(m, 1000.0).unwrap();
+        assert!(session.push(&[]).is_empty());
+        assert_eq!(session.windows_observed(), 0);
+        assert_eq!(session.samples_seen(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Streaming-vs-batch equivalence suite.
+//!
+//! The contract under test: feeding a run's signal through a
+//! [`MonitorSession`] in *arbitrary* chunk sizes yields byte-identical
+//! monitor events — and the identical first-anomaly window — to the
+//! batch `Pipeline::monitor_result` path on the whole signal, at every
+//! worker-pool width. CI runs this suite under `EDDIE_THREADS=1` and
+//! `EDDIE_THREADS=4`.
+
+use std::sync::Arc;
+
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_exec::with_threads;
+use eddie_inject::{LoopInjector, OpPattern};
+use eddie_sim::{InjectionHook, SimConfig, SimResult};
+use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult, StreamEvent};
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const MONITOR_RUNS: usize = 4;
+
+fn quick_sim() -> SimConfig {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    sim
+}
+
+fn power_pipeline() -> Pipeline {
+    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+fn train(pipeline: &Pipeline, w: &Workload) -> TrainedModel {
+    pipeline
+        .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+        .expect("training succeeds")
+}
+
+/// Alternating clean / in-loop-injected hook for monitored run `k`,
+/// mirroring the batch determinism suite.
+fn hook_for(w: &Workload, k: usize) -> Option<Box<dyn InjectionHook>> {
+    if k % 2 == 0 {
+        return None;
+    }
+    let region = w.program().declared_regions().next()?;
+    let pc = w.loop_branch_pc(region)?;
+    Some(Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(8),
+        1000 + k as u64,
+    )))
+}
+
+fn monitored_runs(pipeline: &Pipeline, w: &Workload) -> Vec<SimResult> {
+    (0..MONITOR_RUNS)
+        .map(|k| {
+            pipeline.simulate(
+                w.program(),
+                |m| w.prepare(m, 1000 + k as u64),
+                hook_for(w, k),
+            )
+        })
+        .collect()
+}
+
+/// Splits `signal` into deterministic pseudo-random chunks of
+/// `1..=max_chunk` samples. A plain LCG keeps the suite free of any
+/// random-number dependency while still exercising odd chunk shapes.
+fn chunks(signal: &[f32], seed: u64, max_chunk: usize) -> Vec<Vec<f32>> {
+    let mut state = seed;
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < signal.len() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let len = 1 + (state >> 33) as usize % max_chunk;
+        let end = (pos + len).min(signal.len());
+        out.push(signal[pos..end].to_vec());
+        pos = end;
+    }
+    out
+}
+
+/// Checks a device's streamed events against the batch outcome for the
+/// same signal, window for window.
+fn assert_stream_matches_batch(streamed: &[StreamEvent], batch: &MonitorOutcome) {
+    assert_eq!(streamed.len(), batch.events.len(), "window count differs");
+    for (w, ev) in streamed.iter().enumerate() {
+        assert_eq!(ev.window, w, "window indices must be dense from zero");
+        assert_eq!(ev.event, batch.events[w], "event differs at window {w}");
+        assert_eq!(ev.alarm, batch.alarms[w], "alarm differs at window {w}");
+        assert_eq!(
+            ev.tracked, batch.tracked[w],
+            "tracking differs at window {w}"
+        );
+    }
+    let streamed_first = streamed
+        .iter()
+        .position(|e| e.event == eddie_core::MonitorEvent::Anomaly);
+    assert_eq!(
+        streamed_first,
+        batch.first_anomaly(),
+        "first anomaly differs"
+    );
+}
+
+/// Pushes every chunk through the fleet, draining whenever a device
+/// reports `Full` — the intended backpressure discipline.
+fn feed_fleet(
+    fleet: &mut Fleet,
+    per_device: &[Vec<Vec<f32>>],
+    devices: &[eddie_stream::DeviceId],
+) -> Vec<Vec<StreamEvent>> {
+    let mut events: Vec<Vec<StreamEvent>> = vec![Vec::new(); devices.len()];
+    let max_len = per_device.iter().map(Vec::len).max().unwrap_or(0);
+    // Interleave devices round-robin so a drain services a mixed queue.
+    for i in 0..max_len {
+        for (d, chunks) in per_device.iter().enumerate() {
+            let Some(chunk) = chunks.get(i) else { continue };
+            let mut chunk = chunk.clone();
+            loop {
+                match fleet.push_chunk(devices[d], chunk) {
+                    PushResult::Accepted => break,
+                    PushResult::Full => {
+                        for (dev, evs) in fleet.drain().into_iter().enumerate() {
+                            events[dev].extend(evs);
+                        }
+                        chunk = per_device[d][i].clone();
+                    }
+                }
+            }
+        }
+    }
+    for (dev, evs) in fleet.drain().into_iter().enumerate() {
+        events[dev].extend(evs);
+    }
+    events
+}
+
+#[test]
+fn session_matches_batch_for_many_chunkings() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    for (k, result) in monitored_runs(&pipeline, &w).iter().enumerate() {
+        let batch = pipeline.monitor_result(&model, result, 0);
+        let signal = &result.power.samples;
+        let rate = result.power.sample_rate_hz();
+        for (seed, max_chunk) in [(7, 1usize), (11, 97), (13, 1024), (17, signal.len().max(1))] {
+            let mut session = MonitorSession::new(model.clone(), rate).unwrap();
+            let mut streamed = Vec::new();
+            for chunk in chunks(signal, seed, max_chunk) {
+                streamed.extend(session.push(&chunk));
+            }
+            assert_eq!(session.samples_seen(), signal.len());
+            assert_stream_matches_batch(&streamed, &batch);
+            assert_eq!(
+                session.alarm(),
+                *batch.alarms.last().unwrap_or(&false),
+                "run {k}: final alarm state differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn fleet_matches_batch_at_1_and_4_threads() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let runs = monitored_runs(&pipeline, &w);
+    let batches: Vec<MonitorOutcome> = runs
+        .iter()
+        .map(|r| pipeline.monitor_result(&model, r, 0))
+        .collect();
+    let per_device: Vec<Vec<Vec<f32>>> = runs
+        .iter()
+        .enumerate()
+        .map(|(k, r)| chunks(&r.power.samples, 100 + k as u64, 777))
+        .collect();
+
+    let run_fleet = || {
+        // Small bounds so the feed loop actually exercises Full+drain.
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 8,
+            max_pending_samples: 1 << 14,
+        });
+        let devices: Vec<_> = runs
+            .iter()
+            .map(|r| {
+                fleet.add_session(
+                    MonitorSession::new(model.clone(), r.power.sample_rate_hz()).unwrap(),
+                )
+            })
+            .collect();
+        feed_fleet(&mut fleet, &per_device, &devices)
+    };
+
+    let serial = with_threads(1, run_fleet);
+    let parallel = with_threads(4, run_fleet);
+    for k in 0..MONITOR_RUNS {
+        assert_stream_matches_batch(&serial[k], &batches[k]);
+    }
+    assert_eq!(serial, parallel, "thread count must be unobservable");
+    // Byte-identical, not merely PartialEq.
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap()
+    );
+}
+
+#[test]
+fn snapshot_restore_mid_stream_continues_identically() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    // Use an injected run so the resumed half crosses anomaly territory.
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1001), hook_for(&w, 1));
+    let signal = &result.power.samples;
+    let rate = result.power.sample_rate_hz();
+
+    let mut uninterrupted = MonitorSession::new(model.clone(), rate).unwrap();
+    let mut expected = Vec::new();
+    for chunk in chunks(signal, 23, 501) {
+        expected.extend(uninterrupted.push(&chunk));
+    }
+
+    // Same chunking, but snapshot/restore through JSON at every third
+    // chunk boundary — including boundaries that fall mid-window.
+    let mut session = MonitorSession::new(model.clone(), rate).unwrap();
+    let mut streamed = Vec::new();
+    for (i, chunk) in chunks(signal, 23, 501).into_iter().enumerate() {
+        if i % 3 == 2 {
+            let json = session.snapshot().to_json().unwrap();
+            let snap = eddie_stream::SessionSnapshot::from_json(&json).unwrap();
+            session = MonitorSession::restore(model.clone(), snap).unwrap();
+        }
+        streamed.extend(session.push(&chunk));
+    }
+    assert_eq!(streamed, expected);
+    assert_eq!(session.windows_observed(), uninterrupted.windows_observed());
+    assert_eq!(session.samples_seen(), uninterrupted.samples_seen());
+}

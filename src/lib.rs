@@ -15,6 +15,9 @@
 //! * [`core`] — EDDIE itself: training, monitoring, metrics.
 //! * [`exec`] — the deterministic parallel execution layer
 //!   (`EDDIE_THREADS`, `par_map`, scoped worker pools).
+//! * [`stream`] — the online monitoring runtime: per-device
+//!   [`MonitorSession`](stream::MonitorSession)s with snapshot/restore,
+//!   sharded behind a backpressure-aware [`Fleet`](stream::Fleet).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -30,4 +33,5 @@ pub use eddie_inject as inject;
 pub use eddie_isa as isa;
 pub use eddie_sim as sim;
 pub use eddie_stats as stats;
+pub use eddie_stream as stream;
 pub use eddie_workloads as workloads;
