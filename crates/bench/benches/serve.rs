@@ -1,0 +1,91 @@
+//! Network ingestion benchmarks.
+//!
+//! Measures what the wire adds on top of the in-process fleet: frame
+//! encode/decode throughput for realistic chunk sizes, and end-to-end
+//! loopback ingest (real TCP, real server with its drain loop) against
+//! the in-process baseline the `stream` benches report.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use eddie_core::TrainedModel;
+use eddie_experiments::harness::{sim_pipeline, train_benchmark};
+use eddie_serve::{Frame, ModelRegistry, ReplayClient, Server, ServerConfig};
+use eddie_workloads::Benchmark;
+
+const WL_SCALE: u32 = 2;
+const TRAIN_RUNS: usize = 3;
+const MODEL_ID: &str = "bench-model";
+
+struct Fixture {
+    model: Arc<TrainedModel>,
+    signal: Vec<f32>,
+    rate: f64,
+}
+
+fn fixture() -> Fixture {
+    let pipeline = sim_pipeline();
+    let (w, model) = train_benchmark(&pipeline, Benchmark::Bitcount, WL_SCALE, TRAIN_RUNS);
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1000), None);
+    Fixture {
+        model: Arc::new(model),
+        rate: result.power.sample_rate_hz(),
+        signal: result.power.samples,
+    }
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    for chunk in [256usize, 4096] {
+        let frame = Frame::Chunk {
+            seq: 42,
+            samples: (0..chunk).map(|i| i as f32 * 0.25).collect(),
+        };
+        let encoded = frame.encode();
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_function(format!("chunk{chunk}_encode"), |b| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            b.iter(|| {
+                buf.clear();
+                black_box(&frame).encode_into(&mut buf);
+                black_box(buf.len())
+            })
+        });
+        g.bench_function(format!("chunk{chunk}_decode"), |b| {
+            // Frame body sits after the 4-byte length prefix.
+            let body = &encoded[4..];
+            b.iter(|| black_box(Frame::decode(black_box(body)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_loopback_ingest(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(fx.signal.len() as u64));
+    for chunk in [512usize, 4096] {
+        g.bench_function(format!("loopback_ingest_chunk{chunk}"), |b| {
+            b.iter(|| {
+                let mut registry = ModelRegistry::new();
+                registry.insert(MODEL_ID, fx.model.clone());
+                let server =
+                    Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+                let handle = server.handle();
+                let join = std::thread::spawn(move || server.run().unwrap());
+                let mut client = ReplayClient::connect(handle.addr()).unwrap();
+                client.hello(MODEL_ID, fx.rate).unwrap();
+                let outcome = client.replay(&fx.signal, chunk).unwrap();
+                handle.shutdown();
+                join.join().unwrap();
+                black_box(outcome.events.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_loopback_ingest);
+criterion_main!(benches);

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 use parking_lot::Mutex;
 
@@ -71,18 +72,28 @@ pub fn parse_thread_count(value: &str) -> Option<usize> {
 /// thread: a [`with_threads`] override if one is active, else a valid
 /// `EDDIE_THREADS` environment value, else the machine's available
 /// parallelism (1 when that cannot be determined).
+///
+/// The environment and the machine parallelism are read **once per
+/// process** and cached: long-lived services (`eddie-serve`) call this
+/// from their drain loop millions of times, and an env lookup plus
+/// parse per drain is measurable noise there. Processes that want a
+/// different width mid-run use [`with_threads`]; changing the
+/// environment variable after the first pool use has no effect.
 pub fn num_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.get() {
         return n;
     }
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Some(n) = parse_thread_count(&v) {
-            return n;
+    static AMBIENT: OnceLock<usize> = OnceLock::new();
+    *AMBIENT.get_or_init(|| {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Some(n) = parse_thread_count(&v) {
+                return n;
+            }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f` with the pool width pinned to `threads` (minimum 1) on the

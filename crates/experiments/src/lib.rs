@@ -19,6 +19,7 @@
 
 pub mod exps;
 pub mod harness;
+pub mod servecli;
 pub mod sweep;
 
 use std::fmt::Write as _;

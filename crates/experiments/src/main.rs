@@ -3,22 +3,51 @@
 //! ```text
 //! eddie-experiments <id>... [--scale quick|full]
 //! eddie-experiments all [--scale quick|full]
+//! eddie-experiments serve [--addr HOST:PORT] [--scale quick|full]
+//! eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]
 //! eddie-experiments --list
 //! ```
 
 use std::process::ExitCode;
 
-use eddie_experiments::{exps, Scale};
+use eddie_experiments::{exps, servecli, Scale};
 
 fn usage() -> String {
     format!(
         "usage: eddie-experiments <id>... [--scale quick|full]\n\
+         \x20      eddie-experiments serve [--addr HOST:PORT] [--scale quick|full]\n\
+         \x20      eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]\n\
          ids: {} | all\n\
          default scale: quick\n\
          env: EDDIE_THREADS=<n> sets the worker-pool width (default: all cores);\n\
          results are byte-identical for every thread count",
         exps::ALL.join(" | ")
     )
+}
+
+/// Runs the network-mode subcommands (`serve` / `replay-client`),
+/// which take their own flags rather than an experiment id list.
+fn run_servecli(cmd: &str, rest: &[String]) -> ExitCode {
+    let started = std::time::Instant::now();
+    let result = match cmd {
+        "serve" => servecli::serve(rest),
+        "replay-client" => servecli::replay_client(rest),
+        _ => unreachable!(),
+    };
+    match result {
+        Ok(output) => {
+            println!("{output}");
+            eprintln!(
+                "[{cmd} finished in {:.1}s]\n",
+                started.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{cmd}: {e}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -31,7 +60,12 @@ fn main() -> ExitCode {
         for id in exps::ALL {
             println!("{id}");
         }
+        println!("serve");
+        println!("replay-client");
         return ExitCode::SUCCESS;
+    }
+    if matches!(args[0].as_str(), "serve" | "replay-client") {
+        return run_servecli(&args[0], &args[1..]);
     }
 
     let mut scale = Scale::Quick;

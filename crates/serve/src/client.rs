@@ -1,0 +1,210 @@
+//! A blocking replay client for the EDDIE wire protocol.
+//!
+//! [`ReplayClient`] models a capture device: it connects, announces
+//! itself with `Hello`, streams a signal in fixed-size chunks with a
+//! small pipeline window, and collects the event stream the server
+//! sends back. Backpressure is handled with **go-back-N**: when the
+//! server answers [`Frame::Busy`] (its fleet queue for this device is
+//! full), the client rewinds to the refused sequence number and
+//! resends from there, so chunks always enter the fleet in order —
+//! which is what keeps the received event stream byte-identical to the
+//! batch pipeline.
+//!
+//! The client is single-threaded: after filling its pipeline window it
+//! blocks reading replies, and the server guarantees exactly one
+//! `Ack`/`Busy` reply per `Chunk` (with `Event` frames interleaved at
+//! arbitrary points), so progress accounting needs no timeouts.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use eddie_stream::StreamEvent;
+
+use crate::wire::{read_frame, write_frame, ErrCode, Frame, ReadError, WireError};
+
+/// How many unacknowledged chunks the client keeps in flight. Small
+/// enough that the bytes in flight stay far below socket buffer sizes
+/// (so a single-threaded client can't deadlock against the server),
+/// large enough to hide round-trip latency.
+pub const PIPELINE_WINDOW: usize = 8;
+
+/// Errors a replay can hit.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that are not a valid frame.
+    Wire(WireError),
+    /// The server refused us with an [`Frame::Err`] frame.
+    Server(ErrCode),
+    /// The server violated the protocol (e.g. a client-only frame, or
+    /// EOF while replies were still owed).
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "malformed server frame: {e}"),
+            ClientError::Server(code) => write!(f, "server error: {code}"),
+            ClientError::Protocol(what) => write!(f, "server protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> ClientError {
+        match e {
+            ReadError::Wire(w) => ClientError::Wire(w),
+            ReadError::Io(io) => ClientError::Io(io),
+        }
+    }
+}
+
+/// What a completed replay observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Every event the server streamed back, in order. For a correct
+    /// server this equals the batch pipeline's events for the same
+    /// signal and model.
+    pub events: Vec<StreamEvent>,
+    /// Chunks the server accepted (equals the chunk count on success).
+    pub acked_chunks: u64,
+    /// `Busy` replies received — each one is a go-back-N rewind caused
+    /// by fleet backpressure or an in-flight chunk behind a refusal.
+    pub busy_replies: u64,
+}
+
+/// A connected capture-device endpoint.
+pub struct ReplayClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ReplayClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ReplayClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ReplayClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Announces this device: which hosted model to monitor against
+    /// and the capture sample rate. Must precede [`replay`](Self::replay).
+    ///
+    /// The server only replies to `Hello` on failure, so this returns
+    /// once the frame is flushed; a bad model id surfaces as
+    /// [`ClientError::Server`] from the first reply read in `replay`.
+    pub fn hello(&mut self, model_id: &str, sample_rate_hz: f64) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Hello {
+                model_id: model_id.to_string(),
+                sample_rate: sample_rate_hz,
+            },
+        )?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Streams `signal` in `chunk_len`-sample chunks, handling
+    /// backpressure with go-back-N, then closes gracefully and drains
+    /// the remaining event stream until the server hangs up.
+    pub fn replay(
+        mut self,
+        signal: &[f32],
+        chunk_len: usize,
+    ) -> Result<ReplayOutcome, ClientError> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let chunks: Vec<&[f32]> = signal.chunks(chunk_len).collect();
+        let total = chunks.len() as u64;
+
+        let mut events: Vec<StreamEvent> = Vec::new();
+        let mut acked: u64 = 0; // every seq < acked is accepted
+        let mut next_to_send: u64 = 0;
+        let mut in_flight: u64 = 0; // sent, reply not yet read
+        let mut busy_replies: u64 = 0;
+
+        while acked < total {
+            while next_to_send < total && in_flight < PIPELINE_WINDOW as u64 {
+                write_frame(
+                    &mut self.writer,
+                    &Frame::Chunk {
+                        seq: next_to_send,
+                        samples: chunks[next_to_send as usize].to_vec(),
+                    },
+                )?;
+                next_to_send += 1;
+                in_flight += 1;
+            }
+            self.writer.flush()?;
+
+            match read_frame(&mut self.reader)? {
+                None => return Err(ClientError::Protocol("EOF while replies were owed")),
+                Some(Frame::Ack { seq }) => {
+                    in_flight -= 1;
+                    if seq + 1 > acked {
+                        acked = seq + 1;
+                    }
+                }
+                Some(Frame::Busy { seq }) => {
+                    in_flight -= 1;
+                    busy_replies += 1;
+                    // Go-back-N: everything from the refused seq on
+                    // must be resent in order. Chunks still in flight
+                    // past `seq` will be refused too and drain the
+                    // in-flight count as their replies arrive.
+                    if seq < next_to_send {
+                        next_to_send = seq;
+                    }
+                    // Give the server's drain loop a moment to make
+                    // queue room before hammering it with the resend.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Some(f @ Frame::Event { .. }) => {
+                    events.push(f.to_stream_event().expect("event frame converts"));
+                }
+                Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
+                Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
+            }
+        }
+
+        // Graceful close: the server flushes this device's queue (all
+        // remaining events land in our receive stream) and hangs up.
+        write_frame(&mut self.writer, &Frame::Close)?;
+        self.writer.flush()?;
+        loop {
+            match read_frame(&mut self.reader)? {
+                None => break,
+                Some(f @ Frame::Event { .. }) => {
+                    events.push(f.to_stream_event().expect("event frame converts"));
+                }
+                Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
+                Some(Frame::Ack { .. }) | Some(Frame::Busy { .. }) => {
+                    // Stale replies to chunks resent just before Close.
+                }
+                Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
+            }
+        }
+
+        Ok(ReplayOutcome {
+            events,
+            acked_chunks: acked,
+            busy_replies,
+        })
+    }
+}

@@ -1,0 +1,53 @@
+//! Network ingestion edge for the EDDIE reproduction.
+//!
+//! The paper deploys EDDIE as an *external* monitor: the EM probe and
+//! the analysis engine are physically separate from the monitored
+//! device, so in any real deployment the samples cross a wire. This
+//! crate is that wire and the service behind it:
+//!
+//! * [`wire`] — a dependency-free binary framing protocol. Capture
+//!   devices send `Hello` / `Chunk` / `Snapshot` / `Close`; the server
+//!   answers `Ack` / `Busy` / `Event` / `Err`. `Busy` is
+//!   [`eddie_stream::PushResult::Full`] made visible on the wire —
+//!   fleet backpressure propagated to the device instead of silent
+//!   sample loss. The decoder is fuzz-resistant: arbitrary bytes
+//!   produce [`wire::WireError`], never a panic or an oversized
+//!   allocation.
+//! * [`server`] — a `std::net` TCP server multiplexing many capture
+//!   connections onto one [`eddie_stream::Fleet`], with a drain loop
+//!   over the [`eddie_exec`] worker pool, periodic JSON session
+//!   snapshots, and graceful shutdown. Plain threads only — no async
+//!   runtime.
+//! * [`client`] — a blocking replay client with go-back-N
+//!   retransmission on `Busy`, used by the `replay-client` experiment
+//!   and the loopback CI gates.
+//!
+//! # Determinism on the wire
+//!
+//! Chunks enter the fleet strictly in sequence order (the server only
+//! accepts the exact next expected sequence number; anything else is
+//! `Ack`ed as a duplicate or refused with `Busy`), and the fleet's
+//! per-device event order is its determinism contract. So the event
+//! stream a client receives is byte-identical to
+//! `Pipeline::monitor_batch` on the same signal — at every
+//! `EDDIE_THREADS` value, any chunk size, and under arbitrary `Busy`
+//! retransmission storms. CI replays a clean and an injected run over
+//! loopback TCP at 1 and 4 threads and diffs the events against the
+//! batch path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, ReplayClient, ReplayOutcome, PIPELINE_WINDOW};
+pub use server::{
+    load_sessions, persist_sessions, ModelRegistry, PersistedSession, Server, ServerConfig,
+    ServerHandle, ServerReport,
+};
+pub use wire::{
+    read_frame, write_frame, ErrCode, EventKind, Frame, ReadError, WireError, MAX_CHUNK_SAMPLES,
+    MAX_FRAME_LEN,
+};

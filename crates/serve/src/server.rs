@@ -1,0 +1,788 @@
+//! The EDDIE ingestion server: many capture-device connections in
+//! front of one [`eddie_stream::Fleet`].
+//!
+//! # Threading model
+//!
+//! * The **accept loop** ([`Server::run`]) polls a non-blocking
+//!   listener and spawns one *reader* thread per connection.
+//! * Each **reader** owns the protocol state machine for its
+//!   connection: `Hello` registers a [`MonitorSession`] in the shared
+//!   fleet, `Chunk` frames are pushed through
+//!   [`Fleet::push_chunk`](eddie_stream::Fleet::push_chunk) — a `Full`
+//!   result becomes an explicit [`Frame::Busy`] on the wire, which is
+//!   how fleet backpressure reaches the capture device.
+//! * Each connection also gets a **writer** thread draining an
+//!   unbounded outbox channel to the socket, so slow clients never
+//!   stall the reader or the drain loop.
+//! * One **drain loop** thread repeatedly calls
+//!   [`Fleet::drain`](eddie_stream::Fleet::drain) — sharding live
+//!   sessions across the [`eddie_exec`] worker pool — and routes each
+//!   device's events to its connection's outbox.
+//!
+//! All shared state (fleet, event routes, model-id bookkeeping) lives
+//! behind **one** mutex, which makes the two invariants that matter
+//! easy to see:
+//!
+//! 1. events are routed to outboxes *while the fleet lock is held*, so
+//!    when a reader observes an empty queue for its device (during a
+//!    graceful `Close`) every event for already-drained chunks is
+//!    already in the outbox — none are lost;
+//! 2. eviction (route removal + [`Fleet::remove_session`]) is atomic
+//!    with respect to draining, so an abrupt disconnect can never leak
+//!    a session or route events to a dead connection.
+//!
+//! Per-device event order is the fleet's determinism contract, so the
+//! event stream a client receives is byte-identical to the batch
+//! pipeline for every `EDDIE_THREADS` value and any drain timing.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use eddie_core::TrainedModel;
+use eddie_stream::{DeviceId, Fleet, FleetConfig, FleetStats, MonitorSession, PushResult};
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{write_frame, ErrCode, Frame, WireError, MAX_FRAME_LEN};
+
+/// The trained models a server hosts, keyed by the id clients name in
+/// their `Hello`.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    models: HashMap<String, Arc<TrainedModel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers `model` under `id`, replacing any previous model with
+    /// that id.
+    pub fn insert(&mut self, id: impl Into<String>, model: Arc<TrainedModel>) {
+        self.models.insert(id.into(), model);
+    }
+
+    /// The model registered under `id`.
+    pub fn get(&self, id: &str) -> Option<&Arc<TrainedModel>> {
+        self.models.get(id)
+    }
+
+    /// Number of hosted models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no models are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Ingress bounds of the shared fleet (per-device queue caps).
+    pub fleet: FleetConfig,
+    /// Where to persist periodic session snapshots; `None` disables
+    /// persistence (client `Snapshot` frames then fail with
+    /// [`ErrCode::SnapshotFailed`]).
+    pub snapshot_path: Option<PathBuf>,
+    /// How often the drain loop persists all live sessions.
+    pub snapshot_every: Duration,
+    /// How long the drain loop sleeps when no chunks are queued.
+    pub drain_idle: Duration,
+    /// Accept-loop poll interval and per-connection read timeout; this
+    /// bounds how quickly a shutdown is observed.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            fleet: FleetConfig::default(),
+            snapshot_path: None,
+            snapshot_every: Duration::from_secs(5),
+            drain_idle: Duration::from_micros(500),
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One session's persisted runtime state inside a snapshot file. The
+/// model itself is not embedded — it rides separately via
+/// [`TrainedModel::to_json`], exactly as live migrations do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistedSession {
+    /// The device's fleet index at snapshot time.
+    pub device: usize,
+    /// Which hosted model the session monitors against.
+    pub model_id: String,
+    /// The session's complete runtime state.
+    pub snapshot: eddie_stream::SessionSnapshot,
+}
+
+/// Atomically persists session snapshots as JSON (write to a sibling
+/// temp file, then rename), so a crash mid-write never corrupts the
+/// previous snapshot generation.
+pub fn persist_sessions(path: &Path, sessions: &[PersistedSession]) -> io::Result<()> {
+    let json = serde_json::to_string(&sessions.to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a snapshot file written by [`persist_sessions`]. Restore each
+/// entry with [`MonitorSession::restore`] against the model its
+/// `model_id` names.
+pub fn load_sessions(path: &Path) -> io::Result<Vec<PersistedSession>> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Counters the server accumulates over its lifetime.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    bad_frames: AtomicU64,
+    events_sent: AtomicU64,
+    chunks_accepted: AtomicU64,
+    chunks_busy: AtomicU64,
+    snapshots_written: AtomicU64,
+}
+
+/// Final report returned by [`Server::run`] after shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Malformed frames answered with [`ErrCode::BadFrame`].
+    pub bad_frames: u64,
+    /// Event frames sent to clients.
+    pub events_sent: u64,
+    /// Chunks accepted into the fleet.
+    pub chunks_accepted: u64,
+    /// Chunks refused with [`Frame::Busy`] (fleet backpressure or
+    /// out-of-order retries).
+    pub chunks_busy: u64,
+    /// Snapshot files written.
+    pub snapshots_written: u64,
+    /// Fleet statistics at shutdown (shed totals survive eviction).
+    pub final_stats: FleetStats,
+}
+
+/// Everything the server's threads share.
+struct Shared {
+    core: Mutex<Core>,
+    registry: ModelRegistry,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// The single-mutex heart of the server: the fleet plus the routing
+/// table from device index to connection outbox.
+struct Core {
+    fleet: Fleet,
+    routes: HashMap<usize, mpsc::Sender<Frame>>,
+    model_ids: HashMap<usize, String>,
+}
+
+/// Remote control for a running [`Server`]: request shutdown and read
+/// load statistics from other threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to shut down gracefully: stop accepting, notify
+    /// connected clients with [`ErrCode::Shutdown`], drain, and return
+    /// from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time snapshot of fleet load (queue depths, shed
+    /// counts, live session count).
+    pub fn fleet_stats(&self) -> FleetStats {
+        self.shared.core.lock().expect("core lock").fleet.stats()
+    }
+}
+
+/// A bound-but-not-yet-running ingestion server. Call
+/// [`run`](Server::run) to serve; it blocks until
+/// [`ServerHandle::shutdown`] is called.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) hosting the
+    /// models in `registry`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: ModelRegistry,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                core: Mutex::new(Core {
+                    fleet: Fleet::new(config.fleet),
+                    routes: HashMap::new(),
+                    model_ids: HashMap::new(),
+                }),
+                registry,
+                shutdown: AtomicBool::new(false),
+                counters: Counters::default(),
+            }),
+            config,
+            addr,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down and reading stats from
+    /// other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]: accepts connections,
+    /// runs the drain loop, persists periodic snapshots, and on
+    /// shutdown joins every connection before returning the final
+    /// report.
+    pub fn run(self) -> io::Result<ServerReport> {
+        let Server {
+            listener,
+            shared,
+            config,
+            ..
+        } = self;
+
+        let drain_stop = Arc::new(AtomicBool::new(false));
+        let drain_thread = {
+            let shared = shared.clone();
+            let config = config.clone();
+            let stop = drain_stop.clone();
+            std::thread::spawn(move || drain_loop(&shared, &config, &stop))
+        };
+
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let shared = shared.clone();
+                    let config = config.clone();
+                    conns.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared, &config);
+                    }));
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.poll_interval);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Fatal listener error: initiate shutdown, then report.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    for h in conns {
+                        let _ = h.join();
+                    }
+                    drain_stop.store(true, Ordering::SeqCst);
+                    let _ = drain_thread.join();
+                    return Err(e);
+                }
+            }
+        }
+
+        // Graceful shutdown: connections observe the flag within one
+        // read timeout, evict their sessions, and exit.
+        for h in conns {
+            let _ = h.join();
+        }
+        drain_stop.store(true, Ordering::SeqCst);
+        let _ = drain_thread.join();
+
+        // Final snapshot generation (normally empty after clean
+        // eviction, but crash-recovery readers expect the file).
+        if config.snapshot_path.is_some() {
+            persist_now(&shared, &config);
+        }
+
+        let final_stats = shared.core.lock().expect("core lock").fleet.stats();
+        let c = &shared.counters;
+        Ok(ServerReport {
+            connections: c.connections.load(Ordering::Relaxed),
+            bad_frames: c.bad_frames.load(Ordering::Relaxed),
+            events_sent: c.events_sent.load(Ordering::Relaxed),
+            chunks_accepted: c.chunks_accepted.load(Ordering::Relaxed),
+            chunks_busy: c.chunks_busy.load(Ordering::Relaxed),
+            snapshots_written: c.snapshots_written.load(Ordering::Relaxed),
+            final_stats,
+        })
+    }
+}
+
+/// The drain loop: process queued chunks across the worker pool, route
+/// events to connection outboxes (under the core lock — see the module
+/// docs for why), and persist periodic snapshots.
+fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
+    let mut last_snapshot = Instant::now();
+    loop {
+        let mut did_work = false;
+        {
+            let mut core = shared.core.lock().expect("core lock");
+            if core.fleet.total_pending_chunks() > 0 {
+                let events = core.fleet.drain();
+                for (idx, evs) in events.iter().enumerate() {
+                    if evs.is_empty() {
+                        continue;
+                    }
+                    if let Some(tx) = core.routes.get(&idx) {
+                        for ev in evs {
+                            // A send error means the writer is gone
+                            // (connection died); the reader will evict.
+                            let _ = tx.send(Frame::from_stream_event(ev));
+                        }
+                        shared
+                            .counters
+                            .events_sent
+                            .fetch_add(evs.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                did_work = true;
+            }
+        }
+        if config.snapshot_path.is_some() && last_snapshot.elapsed() >= config.snapshot_every {
+            persist_now(shared, config);
+            last_snapshot = Instant::now();
+        }
+        if stop.load(Ordering::SeqCst) {
+            let core = shared.core.lock().expect("core lock");
+            if core.fleet.total_pending_chunks() == 0 {
+                break;
+            }
+        } else if !did_work {
+            std::thread::sleep(config.drain_idle);
+        }
+    }
+}
+
+/// Collects all live sessions' snapshots (briefly holding the core
+/// lock) and writes them outside the lock.
+fn persist_now(shared: &Shared, config: &ServerConfig) {
+    let Some(path) = config.snapshot_path.as_ref() else {
+        return;
+    };
+    let sessions: Vec<PersistedSession> = {
+        let core = shared.core.lock().expect("core lock");
+        core.fleet
+            .stats()
+            .devices
+            .iter()
+            .map(|d| PersistedSession {
+                device: d.device.index(),
+                model_id: core
+                    .model_ids
+                    .get(&d.device.index())
+                    .cloned()
+                    .unwrap_or_default(),
+                snapshot: core.fleet.session(d.device).snapshot(),
+            })
+            .collect()
+    };
+    if persist_sessions(path, &sessions).is_ok() {
+        shared
+            .counters
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-connection protocol state.
+struct ConnState {
+    device: Option<DeviceId>,
+    expected_seq: u64,
+}
+
+/// Runs one connection: protocol state machine on this thread, writer
+/// on a helper thread. Guarantees eviction of the device's session on
+/// every exit path.
+fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    let (outbox, rx) = mpsc::channel::<Frame>();
+    let writer = std::thread::spawn(move || {
+        let mut w = io::BufWriter::new(writer_stream);
+        while let Ok(frame) = rx.recv() {
+            if write_frame(&mut w, &frame).is_err() {
+                return;
+            }
+            while let Ok(more) = rx.try_recv() {
+                if write_frame(&mut w, &more).is_err() {
+                    return;
+                }
+            }
+            if w.flush().is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut reader = stream;
+    let mut state = ConnState {
+        device: None,
+        expected_seq: 0,
+    };
+    read_loop(&mut reader, &outbox, &mut state, shared, config);
+
+    // Eviction on every exit path: atomic with routing, so no events
+    // go to a dead connection and no session leaks.
+    if let Some(dev) = state.device {
+        let mut core = shared.core.lock().expect("core lock");
+        core.routes.remove(&dev.index());
+        core.model_ids.remove(&dev.index());
+        if core.fleet.contains(dev) {
+            let _ = core.fleet.remove_session(dev);
+        }
+    }
+    drop(outbox); // writer drains the outbox, flushes, then exits
+    let _ = writer.join();
+
+    // Courtesy drain before closing: unread bytes in our receive
+    // buffer would turn the close into a TCP reset, which can destroy
+    // the final reply (e.g. the `Err` for a malformed frame) before
+    // the peer reads it. Bounded effort — a peer that keeps sending
+    // past one frame budget gets the reset it deserves.
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < MAX_FRAME_LEN {
+        match reader.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(n) => drained += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break, // timeout (peer idle) or transport error
+        }
+    }
+}
+
+/// The reader side of a connection. Returns when the client closes,
+/// errs, or the server shuts down.
+fn read_loop(
+    reader: &mut TcpStream,
+    outbox: &mpsc::Sender<Frame>,
+    state: &mut ConnState,
+    shared: &Shared,
+    config: &ServerConfig,
+) {
+    loop {
+        let frame = match read_frame_idle_aware(reader, shared) {
+            FrameRead::Frame(f) => f,
+            FrameRead::Eof | FrameRead::Io => return,
+            FrameRead::Shutdown => {
+                let _ = outbox.send(Frame::Err {
+                    code: ErrCode::Shutdown,
+                });
+                return;
+            }
+            FrameRead::Malformed => {
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = outbox.send(Frame::Err {
+                    code: ErrCode::BadFrame,
+                });
+                return;
+            }
+        };
+        match frame {
+            Frame::Hello {
+                model_id,
+                sample_rate,
+            } => {
+                if state.device.is_some() {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return;
+                }
+                let Some(model) = shared.registry.get(&model_id) else {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::UnknownModel,
+                    });
+                    return;
+                };
+                let session = match MonitorSession::new(model.clone(), sample_rate) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        let _ = outbox.send(Frame::Err {
+                            code: ErrCode::BadHello,
+                        });
+                        return;
+                    }
+                };
+                let mut core = shared.core.lock().expect("core lock");
+                let dev = core.fleet.add_session(session);
+                core.routes.insert(dev.index(), outbox.clone());
+                core.model_ids.insert(dev.index(), model_id);
+                state.device = Some(dev);
+            }
+            Frame::Chunk { seq, samples } => {
+                let Some(dev) = state.device else {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return;
+                };
+                if seq < state.expected_seq {
+                    // Duplicate of an accepted chunk: idempotent ack.
+                    let _ = outbox.send(Frame::Ack { seq });
+                } else if seq > state.expected_seq {
+                    // A gap means an earlier chunk was refused; the
+                    // client must resend in order (go-back-N).
+                    shared.counters.chunks_busy.fetch_add(1, Ordering::Relaxed);
+                    let _ = outbox.send(Frame::Busy { seq });
+                } else {
+                    let result = {
+                        let mut core = shared.core.lock().expect("core lock");
+                        core.fleet.push_chunk(dev, samples)
+                    };
+                    match result {
+                        PushResult::Accepted => {
+                            shared
+                                .counters
+                                .chunks_accepted
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = outbox.send(Frame::Ack { seq });
+                            state.expected_seq += 1;
+                        }
+                        PushResult::Full => {
+                            shared.counters.chunks_busy.fetch_add(1, Ordering::Relaxed);
+                            let _ = outbox.send(Frame::Busy { seq });
+                        }
+                    }
+                }
+            }
+            Frame::Snapshot => {
+                let Some(dev) = state.device else {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return;
+                };
+                let persisted =
+                    config.snapshot_path.is_some() && { persist_device(dev, shared, config) };
+                let _ = outbox.send(if persisted {
+                    // Ack carries the count of accepted chunks: the
+                    // stream position the snapshot covers at most.
+                    Frame::Ack {
+                        seq: state.expected_seq,
+                    }
+                } else {
+                    Frame::Err {
+                        code: ErrCode::SnapshotFailed,
+                    }
+                });
+            }
+            Frame::Close => {
+                let Some(dev) = state.device else {
+                    return;
+                };
+                // Flush: wait until the drain loop has consumed the
+                // device's queue. Because events are routed under the
+                // same lock, an empty queue means every event is
+                // already in our outbox.
+                loop {
+                    {
+                        let core = shared.core.lock().expect("core lock");
+                        if !core.fleet.contains(dev) || core.fleet.pending_chunks(dev) == 0 {
+                            break;
+                        }
+                    }
+                    std::thread::sleep(config.drain_idle);
+                }
+                return;
+            }
+            // Server-only frames from a client are protocol violations.
+            Frame::Ack { .. } | Frame::Busy { .. } | Frame::Event { .. } | Frame::Err { .. } => {
+                let _ = outbox.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Writes one device's current snapshot into the snapshot file,
+/// merging with the other live sessions.
+fn persist_device(dev: DeviceId, shared: &Shared, config: &ServerConfig) -> bool {
+    let Some(path) = config.snapshot_path.as_ref() else {
+        return false;
+    };
+    let sessions: Vec<PersistedSession> = {
+        let core = shared.core.lock().expect("core lock");
+        if !core.fleet.contains(dev) {
+            return false;
+        }
+        core.fleet
+            .stats()
+            .devices
+            .iter()
+            .map(|d| PersistedSession {
+                device: d.device.index(),
+                model_id: core
+                    .model_ids
+                    .get(&d.device.index())
+                    .cloned()
+                    .unwrap_or_default(),
+                snapshot: core.fleet.session(d.device).snapshot(),
+            })
+            .collect()
+    };
+    let ok = persist_sessions(path, &sessions).is_ok();
+    if ok {
+        shared
+            .counters
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    ok
+}
+
+/// Outcome of one idle-aware frame read.
+enum FrameRead {
+    Frame(Frame),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// Server shutdown observed while idle.
+    Shutdown,
+    /// Bytes arrived but are not a valid frame (bad length, bad tag,
+    /// bad payload, or EOF inside a frame).
+    Malformed,
+    /// Transport error.
+    Io,
+}
+
+/// Reads one frame, treating read timeouts as idle polls: at a frame
+/// boundary a timeout checks the shutdown flag and retries; inside a
+/// frame, partially-arrived bytes are kept and the read resumes, so a
+/// slow sender is not misread as malformed.
+fn read_frame_idle_aware(reader: &mut TcpStream, shared: &Shared) -> FrameRead {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match reader.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    FrameRead::Eof
+                } else {
+                    FrameRead::Malformed
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if got == 0 && shared.shutdown.load(Ordering::SeqCst) {
+                    return FrameRead::Shutdown;
+                }
+                // Mid-prefix stall: keep waiting (shutdown still
+                // breaks us out at the frame boundary above, and an
+                // abandoned connection ends with a socket error/EOF).
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return FrameRead::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Io,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len as usize > MAX_FRAME_LEN {
+        return FrameRead::Malformed;
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < body.len() {
+        match reader.read(&mut body[got..]) {
+            Ok(0) => return FrameRead::Malformed,
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return FrameRead::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Io,
+        }
+    }
+    match Frame::decode(&body) {
+        Ok(f) => FrameRead::Frame(f),
+        Err(WireError::BadLength { .. } | WireError::Truncated) => FrameRead::Malformed,
+        Err(WireError::BadTag(_) | WireError::BadPayload(_)) => FrameRead::Malformed,
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lookup() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.get("missing").is_none());
+        assert_eq!(registry.len(), 0);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.snapshot_path.is_none());
+        assert!(c.poll_interval > Duration::ZERO);
+        assert!(c.drain_idle > Duration::ZERO);
+    }
+}

@@ -1,0 +1,474 @@
+//! End-to-end loopback suite: real TCP sockets on 127.0.0.1, a real
+//! server with its drain loop on the worker pool, real replay clients.
+//!
+//! The headline contract: the event stream a client receives over the
+//! wire is **byte-identical** to the batch `Pipeline::monitor_result`
+//! path for the same signal — under concurrent clients, under fleet
+//! backpressure (`Busy` storms with go-back-N retransmission), and at
+//! every `EDDIE_THREADS` value (CI runs this suite at 1 and 4).
+//! Alongside that: malformed-frame fuzzing over the socket, abrupt
+//! disconnects, and snapshot persistence with restore-and-continue.
+
+use std::io::Write as _;
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_inject::{LoopInjector, OpPattern};
+use eddie_serve::{
+    load_sessions, read_frame, write_frame, ErrCode, Frame, ModelRegistry, ReplayClient, Server,
+    ServerConfig, ServerHandle, ServerReport,
+};
+use eddie_sim::{InjectionHook, SimConfig, SimResult};
+use eddie_stream::{FleetConfig, MonitorSession, StreamEvent};
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const MODEL_ID: &str = "bitcount-power";
+
+fn quick_sim() -> SimConfig {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    sim
+}
+
+fn power_pipeline() -> Pipeline {
+    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+fn train(pipeline: &Pipeline, w: &Workload) -> TrainedModel {
+    pipeline
+        .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+        .expect("training succeeds")
+}
+
+fn injected_hook(w: &Workload, k: usize) -> Option<Box<dyn InjectionHook>> {
+    let region = w.program().declared_regions().next()?;
+    let pc = w.loop_branch_pc(region)?;
+    Some(Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(8),
+        1000 + k as u64,
+    )))
+}
+
+/// A clean run and an injected run, with their batch-path outcomes.
+fn runs_and_batches(
+    pipeline: &Pipeline,
+    w: &Workload,
+    model: &Arc<TrainedModel>,
+) -> Vec<(SimResult, MonitorOutcome)> {
+    [None, injected_hook(w, 1)]
+        .into_iter()
+        .enumerate()
+        .map(|(k, hook)| {
+            let r = pipeline.simulate(w.program(), |m| w.prepare(m, 1000 + k as u64), hook);
+            let batch = pipeline.monitor_result(model, &r, 0);
+            (r, batch)
+        })
+        .collect()
+}
+
+fn assert_stream_matches_batch(streamed: &[StreamEvent], batch: &MonitorOutcome) {
+    assert_eq!(streamed.len(), batch.events.len(), "window count differs");
+    for (w, ev) in streamed.iter().enumerate() {
+        assert_eq!(ev.window, w, "window indices must be dense from zero");
+        assert_eq!(ev.event, batch.events[w], "event differs at window {w}");
+        assert_eq!(ev.alarm, batch.alarms[w], "alarm differs at window {w}");
+        assert_eq!(
+            ev.tracked, batch.tracked[w],
+            "tracking differs at window {w}"
+        );
+    }
+}
+
+fn start_server(
+    model: Arc<TrainedModel>,
+    config: ServerConfig,
+) -> (ServerHandle, std::thread::JoinHandle<ServerReport>) {
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL_ID, model);
+    let server = Server::bind("127.0.0.1:0", registry, config).expect("bind loopback");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+fn wait_for<F: FnMut() -> bool>(mut cond: F, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Clean + injected runs replayed concurrently over loopback TCP: each
+/// client's event stream must equal the batch path exactly, and the
+/// injected run must raise an anomaly through the wire.
+#[test]
+fn loopback_replay_is_byte_identical_to_batch() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let runs = runs_and_batches(&pipeline, &w, &model);
+
+    let (handle, join) = start_server(model, ServerConfig::default());
+    let addr = handle.addr();
+
+    let replays: Vec<_> = runs
+        .iter()
+        .map(|(r, _)| {
+            let signal = r.power.samples.clone();
+            let rate = r.power.sample_rate_hz();
+            std::thread::spawn(move || {
+                let mut client = ReplayClient::connect(addr).expect("connect");
+                client.hello(MODEL_ID, rate).expect("hello");
+                client.replay(&signal, 913).expect("replay")
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = replays.into_iter().map(|t| t.join().unwrap()).collect();
+
+    for ((r, batch), outcome) in runs.iter().zip(&outcomes) {
+        assert_stream_matches_batch(&outcome.events, batch);
+        let chunks = r.power.samples.chunks(913).count() as u64;
+        assert_eq!(outcome.acked_chunks, chunks);
+    }
+    // The injected run must be caught — through the whole network path.
+    assert!(
+        outcomes[1]
+            .events
+            .iter()
+            .any(|e| e.event == eddie_core::MonitorEvent::Anomaly),
+        "injected run must report an anomaly over the wire"
+    );
+
+    // Clean disconnects must leave no sessions behind.
+    wait_for(
+        || handle.fleet_stats().active_sessions == 0,
+        "sessions evicted after close",
+    );
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert_eq!(report.connections, 2);
+    assert_eq!(report.final_stats.active_sessions, 0);
+    assert_eq!(report.bad_frames, 0);
+    let total_events: usize = outcomes.iter().map(|o| o.events.len()).sum();
+    assert_eq!(report.events_sent, total_events as u64);
+}
+
+/// A deliberately tiny fleet queue forces `Busy` replies; go-back-N
+/// retransmission must still deliver a byte-identical event stream.
+#[test]
+fn busy_backpressure_preserves_equivalence() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let runs = runs_and_batches(&pipeline, &w, &model);
+    let (r, batch) = &runs[1];
+
+    let config = ServerConfig {
+        fleet: FleetConfig {
+            max_pending_chunks: 2,
+            max_pending_samples: 1 << 12,
+        },
+        // Slow the drain loop down so the queue really fills.
+        drain_idle: Duration::from_millis(2),
+        ..ServerConfig::default()
+    };
+    let (handle, join) = start_server(model, config);
+
+    let mut client = ReplayClient::connect(handle.addr()).expect("connect");
+    client
+        .hello(MODEL_ID, r.power.sample_rate_hz())
+        .expect("hello");
+    let outcome = client.replay(&r.power.samples, 499).expect("replay");
+
+    assert_stream_matches_batch(&outcome.events, batch);
+    assert!(
+        outcome.busy_replies > 0,
+        "tiny bounds must actually exercise backpressure (got none)"
+    );
+
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert!(report.chunks_busy >= outcome.busy_replies);
+    assert_eq!(report.final_stats.active_sessions, 0);
+    // The fleet ledger records every ingress refusal as shed — but the
+    // wire layer turned each one into a retransmission, not data loss
+    // (the event equality above is the proof). The first Busy can only
+    // come from a Full, so the shed ledger must be non-empty here.
+    assert!(report.final_stats.shed_chunks >= 1);
+    assert!(report.final_stats.shed_chunks <= report.chunks_busy);
+}
+
+/// Random garbage, zero/oversized length prefixes, bad tags, truncated
+/// payloads: the server must answer `Err` (or just hang up on valid-
+/// by-chance frames) and keep serving — never panic, never leak a
+/// session.
+#[test]
+fn malformed_frames_never_panic_the_server() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let (handle, join) = start_server(model.clone(), ServerConfig::default());
+    let addr = handle.addr();
+
+    // Deterministic malformed frames with known-required Err replies.
+    let zero_len = 0u32.to_le_bytes().to_vec();
+    let oversized = ((1u32 << 21) + 1).to_le_bytes().to_vec();
+    let bad_tag = {
+        let mut b = 1u32.to_le_bytes().to_vec();
+        b.push(0xFF);
+        b
+    };
+    let truncated_chunk = {
+        // Claims tag 0x02 (Chunk) with a payload too short for its
+        // header.
+        let mut b = 5u32.to_le_bytes().to_vec();
+        b.extend_from_slice(&[0x02, 0x01, 0x02, 0x03, 0x04]);
+        b
+    };
+    for bytes in [&zero_len, &oversized, &bad_tag, &truncated_chunk] {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(bytes).expect("write garbage");
+        s.shutdown(Shutdown::Write).expect("half close");
+        match read_frame(&mut s) {
+            Ok(Some(Frame::Err { code })) => assert_eq!(code, ErrCode::BadFrame),
+            other => panic!("expected Err(BadFrame) reply, got {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut s), Ok(None)), "then EOF");
+    }
+
+    // Random-byte fuzz storm: an LCG keeps it deterministic. Replies
+    // may be Err (malformed) or nothing (bytes formed a valid frame by
+    // chance, e.g. Close); the only hard requirements are no panic and
+    // no leaked session.
+    let mut state = 0x5EED_5EED_5EED_5EEDu64;
+    for _ in 0..64 {
+        let mut bytes = Vec::with_capacity(96);
+        for _ in 0..96 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            bytes.push((state >> 56) as u8);
+        }
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let _ = s.write_all(&bytes);
+        let _ = s.shutdown(Shutdown::Write);
+        // Drain whatever comes back until EOF; every frame must parse.
+        loop {
+            match read_frame(&mut s) {
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+                Err(e) => panic!("server sent malformed reply: {e:?}"),
+            }
+        }
+    }
+
+    // The server must still be fully functional for a real client.
+    let r = pipeline.simulate(w.program(), |m| w.prepare(m, 1000), None);
+    let batch = pipeline.monitor_result(&model, &r, 0);
+    let mut client = ReplayClient::connect(addr).expect("connect");
+    client
+        .hello(MODEL_ID, r.power.sample_rate_hz())
+        .expect("hello");
+    let outcome = client.replay(&r.power.samples, 1024).expect("replay");
+    assert_stream_matches_batch(&outcome.events, &batch);
+
+    assert_eq!(
+        handle.fleet_stats().active_sessions,
+        0,
+        "no leaked sessions"
+    );
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert!(
+        report.bad_frames >= 4,
+        "deterministic cases must be counted"
+    );
+}
+
+/// Dropping the socket mid-stream (no `Close`) must evict the session:
+/// `Fleet::stats` goes back to zero live sessions, while the shed/
+/// registered totals remember the device existed.
+#[test]
+fn abrupt_disconnect_evicts_session() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let (handle, join) = start_server(model, ServerConfig::default());
+
+    let r = pipeline.simulate(w.program(), |m| w.prepare(m, 1000), None);
+    {
+        let mut s = TcpStream::connect(handle.addr()).expect("connect");
+        write_frame(
+            &mut s,
+            &Frame::Hello {
+                model_id: MODEL_ID.to_string(),
+                sample_rate: r.power.sample_rate_hz(),
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut s,
+            &Frame::Chunk {
+                seq: 0,
+                samples: r.power.samples[..2048].to_vec(),
+            },
+        )
+        .unwrap();
+        // Wait until the session provably exists server-side...
+        wait_for(
+            || handle.fleet_stats().active_sessions == 1,
+            "session registered",
+        );
+        // ...then vanish without a Close.
+    }
+    wait_for(
+        || handle.fleet_stats().active_sessions == 0,
+        "abrupt disconnect evicted",
+    );
+    let stats = handle.fleet_stats();
+    assert_eq!(stats.total_registered, 1, "eviction keeps the ledger");
+    assert_eq!(stats.queued_chunks, 0);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// `Hello` with an unregistered model id is refused with
+/// `ErrCode::UnknownModel` and registers nothing.
+#[test]
+fn unknown_model_is_refused() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let (handle, join) = start_server(model, ServerConfig::default());
+
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(
+        &mut s,
+        &Frame::Hello {
+            model_id: "no-such-model".to_string(),
+            sample_rate: 1.0e6,
+        },
+    )
+    .unwrap();
+    match read_frame(&mut s).expect("reply") {
+        Some(Frame::Err { code }) => assert_eq!(code, ErrCode::UnknownModel),
+        other => panic!("expected Err(UnknownModel), got {other:?}"),
+    }
+    assert_eq!(handle.fleet_stats().active_sessions, 0);
+    assert_eq!(handle.fleet_stats().total_registered, 0);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The `Snapshot` frame persists the session to disk; restoring it and
+/// continuing locally must reproduce the batch path's remaining events
+/// exactly — live state migrated over a file boundary.
+#[test]
+fn snapshot_persists_and_restores_mid_stream() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let runs = runs_and_batches(&pipeline, &w, &model);
+    let (r, batch) = &runs[1]; // injected: the restored half crosses the anomaly
+
+    let snap_path = std::env::temp_dir().join(format!(
+        "eddie-serve-loopback-{}-snapshot.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap_path);
+    let config = ServerConfig {
+        snapshot_path: Some(snap_path.clone()),
+        // Only the explicit Snapshot frame should write.
+        snapshot_every: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    };
+    let (handle, join) = start_server(model.clone(), config);
+
+    let signal = &r.power.samples;
+    // Cut deliberately off the STFT hop grid so the persisted state
+    // carries a partial window.
+    let cut = (signal.len() / 2 / model.config.hop) * model.config.hop + model.config.hop / 2;
+
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    write_frame(
+        &mut s,
+        &Frame::Hello {
+            model_id: MODEL_ID.to_string(),
+            sample_rate: r.power.sample_rate_hz(),
+        },
+    )
+    .unwrap();
+    let mut served_events: Vec<StreamEvent> = Vec::new();
+    for (seq, chunk) in signal[..cut].chunks(700).enumerate() {
+        write_frame(
+            &mut s,
+            &Frame::Chunk {
+                seq: seq as u64,
+                samples: chunk.to_vec(),
+            },
+        )
+        .unwrap();
+        // Lock-step: wait for this chunk's Ack so the queue can't
+        // overflow, collecting interleaved events.
+        loop {
+            match read_frame(&mut s).expect("reply").expect("no EOF yet") {
+                Frame::Ack { seq: acked } => {
+                    assert_eq!(acked, seq as u64);
+                    break;
+                }
+                f @ Frame::Event { .. } => {
+                    served_events.push(f.to_stream_event().unwrap());
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    // Let the drain loop consume everything so the snapshot covers the
+    // exact prefix we sent.
+    wait_for(|| handle.fleet_stats().queued_chunks == 0, "queue drained");
+    write_frame(&mut s, &Frame::Snapshot).unwrap();
+    loop {
+        match read_frame(&mut s).expect("reply").expect("no EOF yet") {
+            Frame::Ack { .. } => break,
+            f @ Frame::Event { .. } => served_events.push(f.to_stream_event().unwrap()),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    write_frame(&mut s, &Frame::Close).unwrap();
+    loop {
+        match read_frame(&mut s).expect("read") {
+            None => break,
+            Some(f @ Frame::Event { .. }) => served_events.push(f.to_stream_event().unwrap()),
+            Some(other) => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // Restore from the persisted file and continue locally.
+    let persisted = load_sessions(&snap_path).expect("snapshot file readable");
+    assert_eq!(persisted.len(), 1);
+    assert_eq!(persisted[0].model_id, MODEL_ID);
+    let mut resumed =
+        MonitorSession::restore(model.clone(), persisted[0].snapshot.clone()).expect("restore");
+    assert_eq!(resumed.samples_seen(), cut, "snapshot covers the prefix");
+    let mut all_events = served_events;
+    all_events.extend(resumed.push(&signal[cut..]));
+
+    assert_stream_matches_batch(&all_events, batch);
+
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert!(report.snapshots_written >= 1);
+    let _ = std::fs::remove_file(&snap_path);
+}

@@ -3,7 +3,9 @@ use std::collections::VecDeque;
 use crate::{MonitorSession, StreamEvent};
 
 /// Handle to one session inside a [`Fleet`]. Ids are dense indices in
-/// registration order and never reused.
+/// registration order and never reused — an evicted device's slot stays
+/// tombstoned, so indices into [`Fleet::drain`] results remain stable
+/// for the fleet's whole lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(usize);
 
@@ -48,11 +50,59 @@ pub enum PushResult {
     Full,
 }
 
+/// Load snapshot of one live device, from [`Fleet::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// The device this row describes.
+    pub device: DeviceId,
+    /// Queued (undrained) chunks.
+    pub queued_chunks: usize,
+    /// Queued (undrained) samples, across chunks.
+    pub queued_samples: usize,
+    /// Cumulative [`PushResult::Full`] rejections for this device.
+    pub shed_chunks: u64,
+    /// Cumulative samples in rejected chunks for this device.
+    pub shed_samples: u64,
+    /// STS windows the device's session has observed so far.
+    pub windows_observed: usize,
+    /// Whether the session's alarm is currently latched.
+    pub alarm: bool,
+}
+
+/// Whole-fleet load snapshot, from [`Fleet::stats`].
+///
+/// The cumulative shed counters survive eviction: a device that was
+/// rate-limited and later removed still shows up in
+/// [`shed_chunks`](FleetStats::shed_chunks) /
+/// [`shed_samples`](FleetStats::shed_samples), so a `Full` push always
+/// leaves a trace an operator can see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStats {
+    /// One row per *live* device, in [`DeviceId`] order.
+    pub devices: Vec<DeviceStats>,
+    /// Devices currently registered (live slots).
+    pub active_sessions: usize,
+    /// Devices ever registered, including evicted ones.
+    pub total_registered: usize,
+    /// Queued chunks across all live devices.
+    pub queued_chunks: usize,
+    /// Queued samples across all live devices.
+    pub queued_samples: usize,
+    /// Cumulative `Full` rejections across the fleet's lifetime,
+    /// including devices since evicted.
+    pub shed_chunks: u64,
+    /// Cumulative samples in rejected chunks across the fleet's
+    /// lifetime, including devices since evicted.
+    pub shed_samples: u64,
+}
+
 #[derive(Debug)]
 struct Device {
     session: MonitorSession,
     queue: VecDeque<Vec<f32>>,
     queued_samples: usize,
+    shed_chunks: u64,
+    shed_samples: u64,
 }
 
 /// Many monitor sessions behind one bounded ingress API, drained in
@@ -71,10 +121,18 @@ struct Device {
 /// worker per drain, and results are collected in device order, so the
 /// emitted events are byte-identical for every `EDDIE_THREADS` value —
 /// the same determinism contract as the batch pipeline.
+///
+/// Long-lived services additionally need devices to *leave*:
+/// [`remove_session`](Fleet::remove_session) evicts a disconnected
+/// device (its queued chunks are discarded, its slot tombstoned so ids
+/// stay stable), and [`stats`](Fleet::stats) reports per-device load
+/// plus the cumulative shed counts that explicit backpressure produces.
 #[derive(Debug)]
 pub struct Fleet {
-    devices: Vec<Device>,
+    devices: Vec<Option<Device>>,
     config: FleetConfig,
+    shed_chunks: u64,
+    shed_samples: u64,
 }
 
 impl Fleet {
@@ -83,60 +141,141 @@ impl Fleet {
         Fleet {
             devices: Vec::new(),
             config,
+            shed_chunks: 0,
+            shed_samples: 0,
         }
     }
 
     /// Registers a session and returns its device handle.
     pub fn add_session(&mut self, session: MonitorSession) -> DeviceId {
-        self.devices.push(Device {
+        self.devices.push(Some(Device {
             session,
             queue: VecDeque::new(),
             queued_samples: 0,
-        });
+            shed_chunks: 0,
+            shed_samples: 0,
+        }));
         DeviceId(self.devices.len() - 1)
     }
 
-    /// Number of registered devices.
-    pub fn len(&self) -> usize {
-        self.devices.len()
+    /// Evicts `device`, returning its session (for a final snapshot)
+    /// or `None` if it was already removed. Queued chunks are
+    /// discarded; the device's shed counts remain in the fleet-wide
+    /// totals of [`stats`](Fleet::stats). The slot is tombstoned — ids
+    /// of other devices do not shift and the id is never reused.
+    pub fn remove_session(&mut self, device: DeviceId) -> Option<MonitorSession> {
+        self.devices
+            .get_mut(device.0)
+            .and_then(Option::take)
+            .map(|d| d.session)
     }
 
-    /// Whether the fleet has no devices.
+    /// Whether `device` is currently registered (not evicted).
+    pub fn contains(&self, device: DeviceId) -> bool {
+        matches!(self.devices.get(device.0), Some(Some(_)))
+    }
+
+    /// Number of live (non-evicted) devices.
+    pub fn len(&self) -> usize {
+        self.devices.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Whether the fleet has no live devices.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.len() == 0
+    }
+
+    /// Devices ever registered, including evicted ones. Equals the
+    /// length of the vector [`drain`](Fleet::drain) returns.
+    pub fn registered(&self) -> usize {
+        self.devices.len()
     }
 
     /// The session of `device`, for inspection (alarm state, window
     /// counts, snapshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
     pub fn session(&self, device: DeviceId) -> &MonitorSession {
-        &self.devices[device.0].session
+        &self.device(device).session
     }
 
     /// Queued (undrained) chunks of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
     pub fn pending_chunks(&self, device: DeviceId) -> usize {
-        self.devices[device.0].queue.len()
+        self.device(device).queue.len()
     }
 
     /// Queued (undrained) samples of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
     pub fn pending_samples(&self, device: DeviceId) -> usize {
-        self.devices[device.0].queued_samples
+        self.device(device).queued_samples
+    }
+
+    /// Queued (undrained) chunks across all live devices.
+    pub fn total_pending_chunks(&self) -> usize {
+        self.live().map(|(_, d)| d.queue.len()).sum()
+    }
+
+    /// A point-in-time load snapshot: per-device queue depths and
+    /// session progress, plus the cumulative shed counts.
+    pub fn stats(&self) -> FleetStats {
+        let devices: Vec<DeviceStats> = self
+            .live()
+            .map(|(i, d)| DeviceStats {
+                device: DeviceId(i),
+                queued_chunks: d.queue.len(),
+                queued_samples: d.queued_samples,
+                shed_chunks: d.shed_chunks,
+                shed_samples: d.shed_samples,
+                windows_observed: d.session.windows_observed(),
+                alarm: d.session.alarm(),
+            })
+            .collect();
+        FleetStats {
+            active_sessions: devices.len(),
+            total_registered: self.devices.len(),
+            queued_chunks: devices.iter().map(|d| d.queued_chunks).sum(),
+            queued_samples: devices.iter().map(|d| d.queued_samples).sum(),
+            shed_chunks: self.shed_chunks,
+            shed_samples: self.shed_samples,
+            devices,
+        }
     }
 
     /// Offers a signal chunk to `device`'s ingress queue.
     ///
     /// Returns [`PushResult::Full`] — without queueing — when the
     /// device is at either ingress bound; the caller decides whether to
-    /// retry after a drain or shed the chunk. Empty chunks are accepted
-    /// and ignored.
+    /// retry after a drain or shed the chunk. Every `Full` is counted
+    /// in the device's and the fleet's shed statistics. Empty chunks
+    /// are accepted and ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
     pub fn push_chunk(&mut self, device: DeviceId, chunk: Vec<f32>) -> PushResult {
         let bounds = self.config;
-        let d = &mut self.devices[device.0];
+        let d = self.devices[device.0]
+            .as_mut()
+            .expect("device has been evicted from the fleet");
         if chunk.is_empty() {
             return PushResult::Accepted;
         }
         if d.queue.len() >= bounds.max_pending_chunks
             || d.queued_samples + chunk.len() > bounds.max_pending_samples
         {
+            d.shed_chunks += 1;
+            d.shed_samples += chunk.len() as u64;
+            self.shed_chunks += 1;
+            self.shed_samples += chunk.len() as u64;
             return PushResult::Full;
         }
         d.queued_samples += chunk.len();
@@ -144,19 +283,45 @@ impl Fleet {
         PushResult::Accepted
     }
 
-    /// Processes every queued chunk of every device, sharding devices
-    /// across the worker pool. Returns the events each device emitted,
-    /// indexed by [`DeviceId::index`] — empty for devices with nothing
-    /// queued or no completed window.
+    /// Processes every queued chunk of every live device, sharding
+    /// devices across the worker pool. Returns the events each device
+    /// emitted, indexed by [`DeviceId::index`] — empty for devices with
+    /// nothing queued, no completed window, or an evicted slot.
     pub fn drain(&mut self) -> Vec<Vec<StreamEvent>> {
-        eddie_exec::par_map_mut(&mut self.devices, |_, d| {
+        let total = self.devices.len();
+        let mut live: Vec<(usize, &mut Device)> = self
+            .devices
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_mut().map(|d| (i, d)))
+            .collect();
+        let drained = eddie_exec::par_map_mut(&mut live, |_, (i, d)| {
             let mut events = Vec::new();
             while let Some(chunk) = d.queue.pop_front() {
                 d.queued_samples -= chunk.len();
                 events.extend(d.session.push(&chunk));
             }
-            events
-        })
+            (*i, events)
+        });
+        let mut out = vec![Vec::new(); total];
+        for (i, events) in drained {
+            out[i] = events;
+        }
+        out
+    }
+
+    fn device(&self, device: DeviceId) -> &Device {
+        self.devices
+            .get(device.0)
+            .and_then(Option::as_ref)
+            .expect("device has been evicted from the fleet")
+    }
+
+    fn live(&self) -> impl Iterator<Item = (usize, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|d| (i, d)))
     }
 }
 
@@ -291,5 +456,82 @@ mod tests {
         let snap_a: SessionSnapshot = fleet.session(a).snapshot();
         let snap_b = fleet.session(b).snapshot();
         assert_eq!(snap_a.monitor, snap_b.monitor);
+    }
+
+    #[test]
+    fn shed_counts_survive_in_stats() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 1,
+            max_pending_samples: 1000,
+        });
+        let dev = fleet.add_session(session(&model));
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 8]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 8]), PushResult::Full);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 3]), PushResult::Full);
+
+        let stats = fleet.stats();
+        assert_eq!(stats.shed_chunks, 2);
+        assert_eq!(stats.shed_samples, 11);
+        assert_eq!(stats.devices.len(), 1);
+        assert_eq!(stats.devices[0].shed_chunks, 2);
+        assert_eq!(stats.devices[0].shed_samples, 11);
+        assert_eq!(stats.devices[0].queued_chunks, 1);
+        assert_eq!(stats.devices[0].queued_samples, 8);
+        assert_eq!(stats.queued_samples, 8);
+    }
+
+    #[test]
+    fn remove_session_tombstones_without_shifting_ids() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let a = fleet.add_session(session(&model));
+        let b = fleet.add_session(session(&model));
+        let _ = fleet.push_chunk(b, vec![0.0; 700]);
+
+        // Evict a; b keeps its id and queued work.
+        assert!(fleet.remove_session(a).is_some());
+        assert!(!fleet.contains(a));
+        assert!(fleet.contains(b));
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.registered(), 2);
+        assert_eq!(fleet.pending_chunks(b), 1);
+
+        // Double eviction is a no-op returning None.
+        assert!(fleet.remove_session(a).is_none());
+
+        // Drain results stay indexed by the original ids.
+        let events = fleet.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events[a.index()].is_empty());
+
+        // New registrations never reuse the tombstoned id.
+        let c = fleet.add_session(session(&model));
+        assert_eq!(c.index(), 2);
+
+        // Stats reflect the eviction.
+        let stats = fleet.stats();
+        assert_eq!(stats.active_sessions, 2);
+        assert_eq!(stats.total_registered, 3);
+    }
+
+    #[test]
+    fn eviction_discards_queue_but_keeps_shed_totals() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 1,
+            max_pending_samples: 1000,
+        });
+        let dev = fleet.add_session(session(&model));
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 6]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 6]), PushResult::Full);
+        let _ = fleet.remove_session(dev);
+
+        let stats = fleet.stats();
+        assert_eq!(stats.active_sessions, 0);
+        assert_eq!(stats.queued_chunks, 0, "evicted queue is gone");
+        assert_eq!(stats.shed_chunks, 1, "shed totals survive eviction");
+        assert_eq!(stats.shed_samples, 6);
+        assert!(fleet.drain().iter().all(Vec::is_empty));
     }
 }

@@ -36,14 +36,18 @@
 //!
 //! # Examples
 //!
+//! This is a real (`no_run`) doctest — it compiles against the current
+//! API on every `cargo test`, so drift in any signature below fails CI.
+//!
 //! ```no_run
 //! use std::sync::Arc;
-//! use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
+//! use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult, SessionError};
 //!
 //! # fn model() -> eddie_core::TrainedModel { unimplemented!() }
+//! # fn main() -> Result<(), SessionError> {
 //! let model = Arc::new(model());
 //! let mut fleet = Fleet::new(FleetConfig::default());
-//! let dev = fleet.add_session(MonitorSession::new(model, 1.0e6).unwrap());
+//! let dev = fleet.add_session(MonitorSession::new(model, 1.0e6)?);
 //!
 //! // Ingress side: non-blocking, backpressure-aware.
 //! let chunk: Vec<f32> = vec![0.0; 4096];
@@ -58,6 +62,14 @@
 //!         println!("window {}: {:?}", ev.window, ev.event);
 //!     }
 //! }
+//!
+//! // Operator side: load report (every shed chunk leaves a trace) and
+//! // eviction when a device disconnects.
+//! let stats = fleet.stats();
+//! println!("{} live sessions, {} chunks shed", stats.active_sessions, stats.shed_chunks);
+//! let _last_state = fleet.remove_session(dev).map(|s| s.snapshot());
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,5 +78,5 @@
 mod fleet;
 mod session;
 
-pub use fleet::{DeviceId, Fleet, FleetConfig, PushResult};
+pub use fleet::{DeviceId, DeviceStats, Fleet, FleetConfig, FleetStats, PushResult};
 pub use session::{MonitorSession, SessionError, SessionSnapshot, StreamEvent};

@@ -215,6 +215,110 @@ fn fleet_matches_batch_at_1_and_4_threads() {
 }
 
 #[test]
+fn snapshot_restore_mid_window_at_unaligned_boundary() {
+    // A snapshot taken at a chunk boundary that is deliberately NOT a
+    // multiple of the STFT hop: the streaming state holds a partial
+    // window (overlap tail + a few fresh samples) that must survive the
+    // JSON round trip bit-exactly for the continuation to match.
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1001), hook_for(&w, 1));
+    let signal = &result.power.samples;
+    let rate = result.power.sample_rate_hz();
+    let hop = model.config.hop;
+
+    // Cut points straddling window boundaries: mid-first-window, one
+    // sample past a hop multiple, and deep into the stream off-grid.
+    for cut in [hop / 2, 4 * hop + 1, 21 * hop + hop - 3] {
+        let cut = cut.min(signal.len());
+        assert_ne!(cut % hop, 0, "cut must be mid-window for this test");
+
+        let mut uninterrupted = MonitorSession::new(model.clone(), rate).unwrap();
+        let mut expected = uninterrupted.push(&signal[..cut]);
+        expected.extend(uninterrupted.push(&signal[cut..]));
+
+        let mut first_half = MonitorSession::new(model.clone(), rate).unwrap();
+        let mut streamed = first_half.push(&signal[..cut]);
+        let snap = first_half.snapshot();
+        // The interesting case: the snapshot really is mid-window — it
+        // carries pending samples and sits off the hop grid.
+        assert!(!snap.stft.pending.is_empty());
+        assert_ne!(
+            (snap.stft.base + snap.stft.pending.len()) % hop,
+            0,
+            "snapshot at cut {cut} should sit mid-window"
+        );
+        let json = snap.to_json().unwrap();
+        let restored = eddie_stream::SessionSnapshot::from_json(&json).unwrap();
+        let mut second_half = MonitorSession::restore(model.clone(), restored).unwrap();
+        streamed.extend(second_half.push(&signal[cut..]));
+
+        assert_eq!(streamed, expected, "cut {cut}: events diverged");
+        assert_eq!(second_half.samples_seen(), signal.len());
+        assert_eq!(
+            second_half.windows_observed(),
+            uninterrupted.windows_observed()
+        );
+    }
+}
+
+#[test]
+fn full_shed_path_counts_and_preserves_accepted_prefix() {
+    // The PushResult::Full path: rejected chunks must leave the session
+    // exactly as if the client had never sent them, and must be counted
+    // in Fleet::stats so shed load is observable after the fact.
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1000), None);
+    let signal = &result.power.samples;
+    let rate = result.power.sample_rate_hz();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        max_pending_chunks: 4,
+        max_pending_samples: usize::MAX,
+    });
+    let dev = fleet.add_session(MonitorSession::new(model.clone(), rate).unwrap());
+
+    // Offer chunks without ever draining: the first 4 are accepted,
+    // everything after is shed.
+    let offered: Vec<&[f32]> = signal.chunks(301).collect();
+    let mut accepted: Vec<f32> = Vec::new();
+    let mut shed_chunks = 0u64;
+    let mut shed_samples = 0u64;
+    for chunk in &offered {
+        match fleet.push_chunk(dev, chunk.to_vec()) {
+            PushResult::Accepted => accepted.extend(chunk.iter()),
+            PushResult::Full => {
+                shed_chunks += 1;
+                shed_samples += chunk.len() as u64;
+            }
+        }
+    }
+    assert!(shed_chunks > 0, "test must exercise the shed path");
+
+    let stats = fleet.stats();
+    assert_eq!(stats.shed_chunks, shed_chunks);
+    assert_eq!(stats.shed_samples, shed_samples);
+    assert_eq!(stats.devices[0].queued_chunks, 4);
+    assert_eq!(stats.devices[0].queued_samples, accepted.len());
+
+    // Draining processes exactly the accepted prefix: same events as a
+    // bare session fed only those samples.
+    let events = fleet.drain().swap_remove(dev.index());
+    let mut reference = MonitorSession::new(model.clone(), rate).unwrap();
+    let expected = reference.push(&accepted);
+    assert_eq!(events, expected, "shed chunks must not affect the session");
+    assert_eq!(fleet.session(dev).samples_seen(), accepted.len());
+
+    // After draining, stats show an idle device but remember the shed.
+    let stats = fleet.stats();
+    assert_eq!(stats.queued_chunks, 0);
+    assert_eq!(stats.shed_chunks, shed_chunks);
+}
+
+#[test]
 fn snapshot_restore_mid_stream_continues_identically() {
     let pipeline = power_pipeline();
     let w = workload();

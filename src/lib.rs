@@ -18,6 +18,9 @@
 //! * [`stream`] — the online monitoring runtime: per-device
 //!   [`MonitorSession`](stream::MonitorSession)s with snapshot/restore,
 //!   sharded behind a backpressure-aware [`Fleet`](stream::Fleet).
+//! * [`serve`] — the network ingestion edge: binary wire protocol,
+//!   `std::net` TCP server in front of the fleet, and the go-back-N
+//!   replay client.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -31,6 +34,7 @@ pub use eddie_em as em;
 pub use eddie_exec as exec;
 pub use eddie_inject as inject;
 pub use eddie_isa as isa;
+pub use eddie_serve as serve;
 pub use eddie_sim as sim;
 pub use eddie_stats as stats;
 pub use eddie_stream as stream;
