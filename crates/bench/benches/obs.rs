@@ -1,0 +1,175 @@
+//! Observability-layer benchmarks: what instrumentation costs.
+//!
+//! Three questions, in dependency order:
+//!
+//! 1. How fast is the histogram record path, alone and under 4-thread
+//!    contention? (It is the hot-path primitive every `Timer` hits.)
+//! 2. What does rendering the Prometheus exposition cost for a
+//!    1000-device fleet's worth of series? (The scrape path — cold,
+//!    off the hot path, but bounded by one wire frame.)
+//! 3. What does a fully instrumented fleet drain cost versus the same
+//!    drain before `eddie_obs::install()`? The target is <2% overhead;
+//!    criterion group order guarantees the uninstalled baseline really
+//!    runs uninstalled (groups run in definition order, and `install`
+//!    is irreversible in-process).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use eddie_core::TrainedModel;
+use eddie_exec::with_threads;
+use eddie_experiments::harness::{sim_pipeline, train_benchmark};
+use eddie_obs::{Histogram, Registry};
+use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
+use eddie_workloads::Benchmark;
+
+const WL_SCALE: u32 = 2;
+const TRAIN_RUNS: usize = 3;
+
+struct Fixture {
+    model: Arc<TrainedModel>,
+    signal: Vec<f32>,
+    rate: f64,
+}
+
+fn fixture() -> Fixture {
+    let pipeline = sim_pipeline();
+    let (w, model) = train_benchmark(&pipeline, Benchmark::Bitcount, WL_SCALE, TRAIN_RUNS);
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1000), None);
+    Fixture {
+        model: Arc::new(model),
+        rate: result.power.sample_rate_hz(),
+        signal: result.power.samples,
+    }
+}
+
+/// One full fleet drain over the fixture signal; the unit of work for
+/// the instrumented-vs-uninstrumented comparison.
+fn drain_fleet(fx: &Fixture) -> usize {
+    const DEVICES: usize = 4;
+    with_threads(4, || {
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let devs: Vec<_> = (0..DEVICES)
+            .map(|_| fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).unwrap()))
+            .collect();
+        let mut events = 0usize;
+        for chunk in fx.signal.chunks(4096) {
+            for &d in &devs {
+                while fleet.push_chunk(d, chunk.to_vec()) == PushResult::Full {
+                    events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+                }
+            }
+        }
+        events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+        black_box(events)
+    })
+}
+
+/// MUST run before `eddie_obs::install()` — the whole point is the
+/// uninstalled single-branch hot path.
+fn bench_drain_uninstrumented(c: &mut Criterion) {
+    assert!(
+        !eddie_obs::enabled(),
+        "baseline must run before install(); check criterion group order"
+    );
+    let fx = fixture();
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.bench_function("fleet_drain_uninstrumented", |b| {
+        b.iter(|| drain_fleet(&fx))
+    });
+    g.finish();
+}
+
+fn bench_drain_instrumented(c: &mut Criterion) {
+    eddie_obs::install();
+    let fx = fixture();
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.bench_function("fleet_drain_instrumented", |b| b.iter(|| drain_fleet(&fx)));
+    g.finish();
+}
+
+fn bench_histogram_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    const N: u64 = 1 << 16;
+    g.throughput(Throughput::Elements(N));
+
+    let h = Histogram::new();
+    g.bench_function("histogram_record_1thread_64k", |b| {
+        b.iter(|| {
+            for v in 0..N {
+                h.record(black_box(v.wrapping_mul(0x9E3779B97F4A7C15)));
+            }
+            black_box(h.snapshot().count)
+        })
+    });
+
+    g.throughput(Throughput::Elements(N * 4));
+    g.bench_function("histogram_record_4threads_contended_256k", |b| {
+        b.iter(|| {
+            let h = Histogram::new();
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let h = &h;
+                    scope.spawn(move || {
+                        for v in 0..N {
+                            h.record((v ^ t).wrapping_mul(0x9E3779B97F4A7C15));
+                        }
+                    });
+                }
+            });
+            black_box(h.snapshot().count)
+        })
+    });
+    g.finish();
+}
+
+fn bench_exposition_render(c: &mut Criterion) {
+    // A 1000-device fleet's series shape: two gauges per device plus a
+    // spread of fleet-level counters and histograms.
+    let registry = Registry::new();
+    for dev in 0..1000i64 {
+        registry
+            .gauge(&format!(
+                "eddie_stream_device_queued_chunks{{device=\"{dev}\"}}"
+            ))
+            .set(dev);
+        registry
+            .gauge(&format!(
+                "eddie_stream_device_queued_samples{{device=\"{dev}\"}}"
+            ))
+            .set(dev * 512);
+    }
+    for name in ["a", "b", "c", "d"] {
+        let h = registry.histogram(&format!("eddie_bench_{name}_ns"));
+        for v in 0..4096u64 {
+            h.record(v.wrapping_mul(0x9E3779B97F4A7C15) >> 20);
+        }
+        registry
+            .counter(&format!("eddie_bench_{name}_total"))
+            .add(v_total(name));
+    }
+
+    let mut g = c.benchmark_group("obs");
+    let bytes = registry.render_prometheus().len() as u64;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("render_prometheus_1k_devices", |b| {
+        b.iter(|| black_box(registry.render_prometheus()).len())
+    });
+    g.finish();
+}
+
+fn v_total(name: &str) -> u64 {
+    name.bytes().map(u64::from).sum()
+}
+
+criterion_group!(
+    benches,
+    bench_drain_uninstrumented,
+    bench_drain_instrumented,
+    bench_histogram_record,
+    bench_exposition_render
+);
+criterion_main!(benches);

@@ -52,6 +52,7 @@ mod config;
 mod label;
 pub mod metrics;
 mod monitor;
+mod obs;
 mod parametric;
 mod pipeline;
 mod signal;

@@ -107,9 +107,22 @@ impl MonitorState {
     /// the paper's Algorithm 1 step, identical to
     /// [`Monitor::observe`] but with the model passed explicitly.
     pub fn observe(&mut self, model: &TrainedModel, sts: Sts) -> MonitorEvent {
+        let obs = crate::obs::metrics();
         self.history.push(sts);
-        let event = self.decide(model);
+        let event = {
+            let _span = eddie_obs::Timer::start(obs.map(|m| m.ks_ns.as_ref()));
+            self.decide(model)
+        };
         self.prune(model);
+        if let Some(m) = obs {
+            m.windows_evaluated.inc();
+            if event != MonitorEvent::Normal {
+                m.ks_rejections.inc();
+            }
+            if event == MonitorEvent::Anomaly {
+                m.anomaly_events.inc();
+            }
+        }
         event
     }
 

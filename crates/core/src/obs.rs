@@ -1,0 +1,34 @@
+//! Cached handles into the globally installed `eddie-obs` registry.
+
+use std::sync::{Arc, OnceLock};
+
+use eddie_obs::{Counter, Histogram};
+
+pub(crate) struct CoreMetrics {
+    /// `eddie_core_windows_evaluated_total` — STSs run through
+    /// Algorithm 1.
+    pub(crate) windows_evaluated: Arc<Counter>,
+    /// `eddie_core_ks_rejections_total` — windows whose decision was
+    /// anything but `Normal` (the K-S battery rejected the current
+    /// region).
+    pub(crate) ks_rejections: Arc<Counter>,
+    /// `eddie_core_anomaly_events_total` — windows whose decision was
+    /// `Anomaly`.
+    pub(crate) anomaly_events: Arc<Counter>,
+    /// `eddie_core_ks_ns` — latency of the full Algorithm 1 decision
+    /// (K-S battery + successor search) per window.
+    pub(crate) ks_ns: Arc<Histogram>,
+}
+
+/// The crate's metric handles, or `None` when observability is off.
+#[inline]
+pub(crate) fn metrics() -> Option<&'static CoreMetrics> {
+    let obs = eddie_obs::global()?;
+    static METRICS: OnceLock<CoreMetrics> = OnceLock::new();
+    Some(METRICS.get_or_init(|| CoreMetrics {
+        windows_evaluated: obs.registry().counter("eddie_core_windows_evaluated_total"),
+        ks_rejections: obs.registry().counter("eddie_core_ks_rejections_total"),
+        anomaly_events: obs.registry().counter("eddie_core_anomaly_events_total"),
+        ks_ns: obs.registry().histogram("eddie_core_ks_ns"),
+    }))
+}

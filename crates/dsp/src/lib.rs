@@ -50,6 +50,7 @@ mod complex;
 mod error;
 mod fft;
 mod goertzel;
+mod obs;
 mod peaks;
 mod spectrum;
 mod stft;

@@ -157,11 +157,18 @@ impl Stft {
         start_sample: usize,
         buf: &mut [Complex],
     ) -> Spectrum {
+        let obs = crate::obs::metrics();
         let mean = frame.iter().map(|&x| x as f64).sum::<f64>() / self.config.window_len as f64;
         for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
             *b = Complex::new((x as f64 - mean) * w, 0.0);
         }
-        self.fft.forward(buf);
+        {
+            let _span = eddie_obs::Timer::start(obs.map(|m| m.fft_ns.as_ref()));
+            self.fft.forward(buf);
+        }
+        if let Some(m) = obs {
+            m.stft_frames.inc();
+        }
         self.fold_one_sided(buf, start_sample)
     }
 
@@ -172,10 +179,17 @@ impl Stft {
         start_sample: usize,
         buf: &mut [Complex],
     ) -> Spectrum {
+        let obs = crate::obs::metrics();
         for (b, (&x, &w)) in buf.iter_mut().zip(frame.iter().zip(self.coeffs.iter())) {
             *b = x.scale(w);
         }
-        self.fft.forward(buf);
+        {
+            let _span = eddie_obs::Timer::start(obs.map(|m| m.fft_ns.as_ref()));
+            self.fft.forward(buf);
+        }
+        if let Some(m) = obs {
+            m.stft_frames.inc();
+        }
         self.fold_one_sided(buf, start_sample)
     }
 

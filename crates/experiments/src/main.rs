@@ -5,6 +5,7 @@
 //! eddie-experiments all [--scale quick|full]
 //! eddie-experiments serve [--addr HOST:PORT] [--scale quick|full]
 //! eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]
+//! eddie-experiments stats --addr HOST:PORT [--raw]
 //! eddie-experiments --list
 //! ```
 
@@ -17,6 +18,7 @@ fn usage() -> String {
         "usage: eddie-experiments <id>... [--scale quick|full]\n\
          \x20      eddie-experiments serve [--addr HOST:PORT] [--scale quick|full]\n\
          \x20      eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]\n\
+         \x20      eddie-experiments stats --addr HOST:PORT [--raw]\n\
          ids: {} | all\n\
          default scale: quick\n\
          env: EDDIE_THREADS=<n> sets the worker-pool width (default: all cores);\n\
@@ -32,6 +34,7 @@ fn run_servecli(cmd: &str, rest: &[String]) -> ExitCode {
     let result = match cmd {
         "serve" => servecli::serve(rest),
         "replay-client" => servecli::replay_client(rest),
+        "stats" => servecli::stats(rest),
         _ => unreachable!(),
     };
     match result {
@@ -62,9 +65,10 @@ fn main() -> ExitCode {
         }
         println!("serve");
         println!("replay-client");
+        println!("stats");
         return ExitCode::SUCCESS;
     }
-    if matches!(args[0].as_str(), "serve" | "replay-client") {
+    if matches!(args[0].as_str(), "serve" | "replay-client" | "stats") {
         return run_servecli(&args[0], &args[1..]);
     }
 

@@ -12,6 +12,9 @@
 //!   one command exercises the complete network path end to end —
 //!   this is what the CI loopback gate runs at `EDDIE_THREADS=1` and
 //!   `4`.
+//! * `stats` scrapes a running server's metrics over the wire
+//!   (`Frame::Stats` → `Frame::StatsReply`) and renders them as a
+//!   human table, or as the raw Prometheus text with `--raw`.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -73,6 +76,7 @@ fn start_server(model: Arc<TrainedModel>, addr: &str) -> Result<Server, String> 
 /// Trains the model, binds (default `127.0.0.1:0` — an ephemeral
 /// port, printed on stdout), then serves until stdin reaches EOF.
 pub fn serve(args: &[String]) -> Result<String, String> {
+    eddie_obs::install();
     let scale = parse_scale(args)?;
     let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
     let (_pipeline, _w, model) = trained(scale);
@@ -107,6 +111,7 @@ pub fn serve(args: &[String]) -> Result<String, String> {
 /// received event stream against the batch pipeline. Without
 /// `--addr`, an in-process loopback server is started first.
 pub fn replay_client(args: &[String]) -> Result<String, String> {
+    eddie_obs::install();
     let scale = parse_scale(args)?;
     let chunk: usize = match flag_value(args, "--chunk") {
         None => DEFAULT_CHUNK,
@@ -238,6 +243,49 @@ pub fn replay_client(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `eddie-experiments stats --addr HOST:PORT [--raw]`
+///
+/// Connects to a running `serve` instance, requests its metrics over
+/// the wire, and renders them. The default view is a human table of
+/// counters, gauges, and histogram summaries (`_sum`/`_count` series);
+/// `--raw` dumps the Prometheus text exposition verbatim, suitable for
+/// piping into monitoring tooling.
+pub fn stats(args: &[String]) -> Result<String, String> {
+    let addr =
+        flag_value(args, "--addr").ok_or_else(|| "stats requires --addr HOST:PORT".to_string())?;
+    let text = eddie_serve::fetch_stats(addr).map_err(|e| format!("stats scrape {addr}: {e}"))?;
+    if args.iter().any(|a| a == "--raw") {
+        return Ok(text);
+    }
+    Ok(stats_table(addr, &text))
+}
+
+/// Renders a Prometheus exposition as a two-column table, eliding the
+/// per-bucket histogram series (the `_sum`/`_count` rollups stay).
+fn stats_table(addr: &str, text: &str) -> String {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if series.contains("_bucket") {
+            continue;
+        }
+        rows.push(vec![series.to_string(), value.to_string()]);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# metrics scraped from {addr}");
+    let _ = writeln!(
+        out,
+        "# histogram buckets elided — use --raw for the full exposition"
+    );
+    out.push_str(&format_table(&["series", "value"], &rows));
+    out
+}
+
 fn events_match_batch(streamed: &[StreamEvent], batch: &MonitorOutcome) -> bool {
     streamed.len() == batch.events.len()
         && streamed.iter().enumerate().all(|(w, ev)| {
@@ -286,5 +334,22 @@ mod tests {
     fn bad_flags_are_reported() {
         assert!(super::replay_client(&["--chunk".into(), "zero".into()]).is_err());
         assert!(super::parse_scale(&["--scale".into(), "huge".into()]).is_err());
+        assert!(super::stats(&[]).is_err());
+    }
+
+    #[test]
+    fn stats_table_elides_buckets_and_comments() {
+        let text = "# TYPE a counter\n\
+                    a_total 3\n\
+                    h_bucket{le=\"1\"} 2\n\
+                    h_bucket{le=\"+Inf\"} 2\n\
+                    h_sum 9\n\
+                    h_count 2\n";
+        let table = super::stats_table("127.0.0.1:9", text);
+        assert!(table.contains("a_total"));
+        assert!(table.contains("h_sum"));
+        assert!(table.contains("h_count"));
+        assert!(!table.contains("_bucket"));
+        assert!(!table.contains("# TYPE"));
     }
 }

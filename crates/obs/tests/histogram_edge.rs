@@ -1,0 +1,138 @@
+//! Histogram edge cases (satellite coverage): zero-duration samples,
+//! `u64::MAX` saturation, exact bucket-boundary values, and
+//! order-independent merges of disjoint snapshots.
+
+use std::time::Duration;
+
+use eddie_obs::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+
+#[test]
+fn zero_duration_samples_land_in_bucket_zero() {
+    let h = Histogram::new();
+    h.record(0);
+    h.record_duration(Duration::ZERO);
+    let s = h.snapshot();
+    assert_eq!(s.count, 2);
+    assert_eq!(s.sum, 0);
+    assert_eq!(s.buckets[0], 2);
+    assert_eq!(s.buckets[1..].iter().sum::<u64>(), 0);
+    assert_eq!(s.approx_quantile(0.5), 0);
+    assert_eq!(s.mean(), 0.0);
+}
+
+#[test]
+fn u64_max_samples_saturate_sum_and_top_bucket() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX); // sum would wrap; must saturate instead
+    h.record(1);
+    let s = h.snapshot();
+    assert_eq!(s.count, 3);
+    assert_eq!(s.sum, u64::MAX, "sum saturates, never wraps");
+    assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 2);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(s.approx_quantile(1.0), u64::MAX);
+}
+
+#[test]
+fn duration_overflowing_u64_nanos_saturates() {
+    let h = Histogram::new();
+    // ~5.8e11 seconds: as_nanos() > u64::MAX, must clamp not panic.
+    h.record_duration(Duration::from_secs(u64::MAX / 1_000_000));
+    let s = h.snapshot();
+    assert_eq!(s.count, 1);
+    assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+}
+
+#[test]
+fn bucket_boundary_values_split_exactly() {
+    // For every boundary 2^k: 2^k - 1 is the top of bucket k, 2^k is
+    // the bottom of bucket k + 1. Recording both around each boundary
+    // must never land two samples in one bucket.
+    let h = Histogram::new();
+    for k in 1..64u32 {
+        let below = (1u64 << k) - 1;
+        let at = 1u64 << k;
+        assert_eq!(bucket_index(below), k as usize, "2^{k}-1");
+        assert_eq!(bucket_index(at), k as usize + 1, "2^{k}");
+        h.record(below);
+        h.record(at);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 2 * 63);
+    // Bucket 1 holds only value 1 (= 2^1 - 1); bucket 64 holds only
+    // 2^63; every bucket in between got exactly one "top" and one
+    // "bottom" sample.
+    assert_eq!(s.buckets[0], 0);
+    assert_eq!(s.buckets[1], 1);
+    for b in 2..64 {
+        assert_eq!(s.buckets[b], 2, "bucket {b}");
+    }
+    assert_eq!(s.buckets[64], 1);
+    // Upper bounds are consistent with the index function everywhere.
+    for i in 0..HISTOGRAM_BUCKETS {
+        assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+    }
+}
+
+#[test]
+fn merge_of_disjoint_snapshots_is_order_independent() {
+    // Three histograms over disjoint value ranges.
+    let lo = Histogram::new();
+    for v in [0u64, 1, 2, 3] {
+        lo.record(v);
+    }
+    let mid = Histogram::new();
+    for v in [100u64, 200, 300] {
+        mid.record(v);
+    }
+    let hi = Histogram::new();
+    for v in [1 << 40, u64::MAX] {
+        hi.record(v);
+    }
+    let parts = [lo.snapshot(), mid.snapshot(), hi.snapshot()];
+
+    let merge_in = |order: &[usize]| {
+        let mut acc = HistogramSnapshot::empty();
+        for &i in order {
+            acc.merge(&parts[i]);
+        }
+        acc
+    };
+    let forward = merge_in(&[0, 1, 2]);
+    let reverse = merge_in(&[2, 1, 0]);
+    let shuffled = merge_in(&[1, 2, 0]);
+    assert_eq!(forward, reverse);
+    assert_eq!(forward, shuffled);
+    assert_eq!(forward.count, 9);
+    // Disjoint ranges: merged bucket contents are the union.
+    assert_eq!(forward.buckets[0], 1); // the zero
+    assert_eq!(forward.buckets[HISTOGRAM_BUCKETS - 1], 1); // u64::MAX
+    assert_eq!(
+        forward.buckets.iter().sum::<u64>(),
+        forward.count,
+        "every sample in exactly one bucket"
+    );
+}
+
+#[test]
+fn merge_saturates_instead_of_wrapping() {
+    let mut a = HistogramSnapshot::empty();
+    a.buckets[3] = u64::MAX - 1;
+    a.count = u64::MAX - 1;
+    a.sum = u64::MAX - 1;
+    let mut b = HistogramSnapshot::empty();
+    b.buckets[3] = 5;
+    b.count = 5;
+    b.sum = 5;
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "saturating merge stays commutative");
+    assert_eq!(ab.buckets[3], u64::MAX);
+    assert_eq!(ab.count, u64::MAX);
+    assert_eq!(ab.sum, u64::MAX);
+}

@@ -83,6 +83,14 @@ pub struct ReplayOutcome {
     /// `Busy` replies received — each one is a go-back-N rewind caused
     /// by fleet backpressure or an in-flight chunk behind a refusal.
     pub busy_replies: u64,
+    /// `Chunk` frames written to the wire, including go-back-N
+    /// resends. The server replies exactly once per chunk frame, so
+    /// `sent_chunks == acked_chunks + busy_replies + duplicate_acks`.
+    pub sent_chunks: u64,
+    /// `Ack` replies for a sequence number that was already
+    /// acknowledged — the server's answer to a resend of a chunk it
+    /// had in fact accepted.
+    pub duplicate_acks: u64,
 }
 
 /// A connected capture-device endpoint.
@@ -138,6 +146,8 @@ impl ReplayClient {
         let mut next_to_send: u64 = 0;
         let mut in_flight: u64 = 0; // sent, reply not yet read
         let mut busy_replies: u64 = 0;
+        let mut sent_chunks: u64 = 0;
+        let mut duplicate_acks: u64 = 0;
 
         while acked < total {
             while next_to_send < total && in_flight < PIPELINE_WINDOW as u64 {
@@ -150,6 +160,7 @@ impl ReplayClient {
                 )?;
                 next_to_send += 1;
                 in_flight += 1;
+                sent_chunks += 1;
             }
             self.writer.flush()?;
 
@@ -159,6 +170,8 @@ impl ReplayClient {
                     in_flight -= 1;
                     if seq + 1 > acked {
                         acked = seq + 1;
+                    } else {
+                        duplicate_acks += 1;
                     }
                 }
                 Some(Frame::Busy { seq }) => {
@@ -194,8 +207,13 @@ impl ReplayClient {
                     events.push(f.to_stream_event().expect("event frame converts"));
                 }
                 Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
-                Some(Frame::Ack { .. }) | Some(Frame::Busy { .. }) => {
-                    // Stale replies to chunks resent just before Close.
+                Some(Frame::Ack { .. }) => {
+                    // Stale reply to a chunk resent just before Close;
+                    // everything is already acked, so it's a duplicate.
+                    duplicate_acks += 1;
+                }
+                Some(Frame::Busy { .. }) => {
+                    busy_replies += 1;
                 }
                 Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
             }
@@ -205,6 +223,37 @@ impl ReplayClient {
             events,
             acked_chunks: acked,
             busy_replies,
+            sent_chunks,
+            duplicate_acks,
         })
     }
+
+    /// Requests the server's metrics and returns the Prometheus text
+    /// exposition. Valid at any point in the session, including before
+    /// [`hello`](Self::hello). `Event` frames that arrive while the
+    /// reply is in flight are discarded, so on a session that is still
+    /// streaming prefer a dedicated connection (see [`fetch_stats`]).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.writer, &Frame::Stats)?;
+        self.writer.flush()?;
+        loop {
+            match read_frame(&mut self.reader)? {
+                None => return Err(ClientError::Protocol("EOF while a stats reply was owed")),
+                Some(Frame::StatsReply { text }) => return Ok(text),
+                Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
+                Some(Frame::Ack { .. } | Frame::Busy { .. } | Frame::Event { .. }) => {
+                    // Replies to earlier traffic on this session.
+                }
+                Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
+            }
+        }
+    }
+}
+
+/// Scrapes a server's metrics over a fresh connection: connect, send
+/// [`Frame::Stats`], return the Prometheus text. No `Hello` is sent —
+/// the stats path works without a session.
+pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<String, ClientError> {
+    let mut client = ReplayClient::connect(addr)?;
+    client.stats()
 }

@@ -6,8 +6,10 @@
 //! crate is that wire and the service behind it:
 //!
 //! * [`wire`] — a dependency-free binary framing protocol. Capture
-//!   devices send `Hello` / `Chunk` / `Snapshot` / `Close`; the server
-//!   answers `Ack` / `Busy` / `Event` / `Err`. `Busy` is
+//!   devices send `Hello` / `Chunk` / `Snapshot` / `Close` / `Stats`;
+//!   the server answers `Ack` / `Busy` / `Event` / `Err` /
+//!   `StatsReply` (a Prometheus-text scrape of the [`eddie_obs`]
+//!   registry). `Busy` is
 //!   [`eddie_stream::PushResult::Full`] made visible on the wire —
 //!   fleet backpressure propagated to the device instead of silent
 //!   sample loss. The decoder is fuzz-resistant: arbitrary bytes
@@ -42,10 +44,11 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, ReplayClient, ReplayOutcome, PIPELINE_WINDOW};
+pub use client::{fetch_stats, ClientError, ReplayClient, ReplayOutcome, PIPELINE_WINDOW};
 pub use server::{
-    load_sessions, persist_sessions, ModelRegistry, PersistedSession, Server, ServerConfig,
-    ServerHandle, ServerReport,
+    load_sessions, load_snapshot, persist_sessions, persist_snapshot, resume_journal,
+    ModelRegistry, PersistedSession, Server, ServerConfig, ServerHandle, ServerReport,
+    SnapshotFile,
 };
 pub use wire::{
     read_frame, write_frame, ErrCode, EventKind, Frame, ReadError, WireError, MAX_CHUNK_SAMPLES,

@@ -45,6 +45,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use eddie_core::TrainedModel;
+use eddie_obs::{Counter, Gauge, Histogram, JournalEvent, Timer};
 use eddie_stream::{DeviceId, Fleet, FleetConfig, FleetStats, MonitorSession, PushResult};
 use serde::{Deserialize, Serialize};
 
@@ -128,35 +129,121 @@ pub struct PersistedSession {
     pub snapshot: eddie_stream::SessionSnapshot,
 }
 
-/// Atomically persists session snapshots as JSON (write to a sibling
-/// temp file, then rename), so a crash mid-write never corrupts the
-/// previous snapshot generation.
-pub fn persist_sessions(path: &Path, sessions: &[PersistedSession]) -> io::Result<()> {
-    let json = serde_json::to_string(&sessions.to_vec())
+/// One generation of the server's snapshot file: every live session's
+/// runtime state plus the observability journal's next sequence
+/// number, so a restored server continues — not restarts — the
+/// journal numbering (see [`resume_journal`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFile {
+    /// `Journal::next_seq()` at snapshot time (0 when observability
+    /// was not installed).
+    pub journal_seq: u64,
+    /// One entry per live session at snapshot time.
+    pub sessions: Vec<PersistedSession>,
+}
+
+/// Atomically persists a snapshot generation as JSON (write to a
+/// sibling temp file, then rename), so a crash mid-write never
+/// corrupts the previous generation.
+pub fn persist_snapshot(path: &Path, file: &SnapshotFile) -> io::Result<()> {
+    let json = serde_json::to_string(file)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, json)?;
     std::fs::rename(&tmp, path)
 }
 
-/// Loads a snapshot file written by [`persist_sessions`]. Restore each
-/// entry with [`MonitorSession::restore`] against the model its
-/// `model_id` names.
-pub fn load_sessions(path: &Path) -> io::Result<Vec<PersistedSession>> {
+/// Loads a snapshot file written by [`persist_snapshot`].
+pub fn load_snapshot(path: &Path) -> io::Result<SnapshotFile> {
     let json = std::fs::read_to_string(path)?;
     serde_json::from_str(&json)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// Counters the server accumulates over its lifetime.
-#[derive(Debug, Default)]
+/// Continues the installed journal's sequence numbering from a
+/// restored snapshot: sequence numbers recorded after this call are
+/// `>= file.journal_seq`, keeping the journal monotonic across a
+/// snapshot/restore cycle. A no-op when observability is off.
+pub fn resume_journal(file: &SnapshotFile) {
+    if let Some(o) = eddie_obs::global() {
+        o.journal().advance_to(file.journal_seq);
+    }
+}
+
+/// Persists session snapshots, stamping the current journal sequence
+/// into the file (see [`SnapshotFile`]).
+pub fn persist_sessions(path: &Path, sessions: &[PersistedSession]) -> io::Result<()> {
+    let journal_seq = eddie_obs::global().map_or(0, |o| o.journal().next_seq());
+    persist_snapshot(
+        path,
+        &SnapshotFile {
+            journal_seq,
+            sessions: sessions.to_vec(),
+        },
+    )
+}
+
+/// Loads the sessions of a snapshot file. Restore each entry with
+/// [`MonitorSession::restore`] against the model its `model_id` names;
+/// use [`load_snapshot`] + [`resume_journal`] to also continue the
+/// journal numbering.
+pub fn load_sessions(path: &Path) -> io::Result<Vec<PersistedSession>> {
+    Ok(load_snapshot(path)?.sessions)
+}
+
+/// Counters the server accumulates over its lifetime. These are
+/// `eddie-obs` counters whether or not observability is installed;
+/// installation registers the same handles under `eddie_serve_*`, so
+/// the Prometheus exposition and [`ServerReport`] are views of one set
+/// of books.
+#[derive(Debug)]
 struct Counters {
-    connections: AtomicU64,
-    bad_frames: AtomicU64,
-    events_sent: AtomicU64,
-    chunks_accepted: AtomicU64,
-    chunks_busy: AtomicU64,
-    snapshots_written: AtomicU64,
+    connections: Arc<Counter>,
+    bad_frames: Arc<Counter>,
+    events_sent: Arc<Counter>,
+    chunks_accepted: Arc<Counter>,
+    chunks_busy: Arc<Counter>,
+    snapshots_written: Arc<Counter>,
+    frames_decoded: Arc<Counter>,
+    open_connections: Arc<Gauge>,
+    ingest_lag_ns: Arc<Histogram>,
+    next_conn_id: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        let c = Counters {
+            connections: Arc::new(Counter::new()),
+            bad_frames: Arc::new(Counter::new()),
+            events_sent: Arc::new(Counter::new()),
+            chunks_accepted: Arc::new(Counter::new()),
+            chunks_busy: Arc::new(Counter::new()),
+            snapshots_written: Arc::new(Counter::new()),
+            frames_decoded: Arc::new(Counter::new()),
+            open_connections: Arc::new(Gauge::new()),
+            ingest_lag_ns: Arc::new(Histogram::new()),
+            next_conn_id: AtomicU64::new(0),
+        };
+        if let Some(o) = eddie_obs::global() {
+            let r = o.registry();
+            r.register_counter("eddie_serve_connections_total", c.connections.clone());
+            r.register_counter("eddie_serve_bad_frames_total", c.bad_frames.clone());
+            r.register_counter("eddie_serve_events_sent_total", c.events_sent.clone());
+            r.register_counter(
+                "eddie_serve_chunks_accepted_total",
+                c.chunks_accepted.clone(),
+            );
+            r.register_counter("eddie_serve_chunks_busy_total", c.chunks_busy.clone());
+            r.register_counter(
+                "eddie_serve_snapshots_written_total",
+                c.snapshots_written.clone(),
+            );
+            r.register_counter("eddie_serve_frames_decoded_total", c.frames_decoded.clone());
+            r.register_gauge("eddie_serve_open_connections", c.open_connections.clone());
+            r.register_histogram("eddie_serve_ingest_lag_ns", c.ingest_lag_ns.clone());
+        }
+        c
+    }
 }
 
 /// Final report returned by [`Server::run`] after shutdown.
@@ -185,6 +272,10 @@ struct Shared {
     registry: ModelRegistry,
     shutdown: AtomicBool,
     counters: Counters,
+    /// Scratch buffer for [`ServerHandle::fleet_stats`], so polling
+    /// stats allocates outside the core lock (and, steady-state, not
+    /// at all inside it).
+    stats_scratch: Mutex<FleetStats>,
 }
 
 /// The single-mutex heart of the server: the fleet plus the routing
@@ -223,8 +314,17 @@ impl ServerHandle {
 
     /// A point-in-time snapshot of fleet load (queue depths, shed
     /// counts, live session count).
+    ///
+    /// Fills a shared scratch buffer while the core lock is held and
+    /// clones it afterwards, so a stats poll never allocates the
+    /// per-device rows inside the lock the drain loop contends on.
     pub fn fleet_stats(&self) -> FleetStats {
-        self.shared.core.lock().expect("core lock").fleet.stats()
+        let mut scratch = self.shared.stats_scratch.lock().expect("stats scratch");
+        {
+            let core = self.shared.core.lock().expect("core lock");
+            core.fleet.stats_into(&mut scratch);
+        }
+        scratch.clone()
     }
 }
 
@@ -259,7 +359,8 @@ impl Server {
                 }),
                 registry,
                 shutdown: AtomicBool::new(false),
-                counters: Counters::default(),
+                counters: Counters::new(),
+                stats_scratch: Mutex::new(FleetStats::default()),
             }),
             config,
             addr,
@@ -304,7 +405,7 @@ impl Server {
         while !shared.shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.connections.inc();
                     let shared = shared.clone();
                     let config = config.clone();
                     conns.push(std::thread::spawn(move || {
@@ -346,12 +447,12 @@ impl Server {
         let final_stats = shared.core.lock().expect("core lock").fleet.stats();
         let c = &shared.counters;
         Ok(ServerReport {
-            connections: c.connections.load(Ordering::Relaxed),
-            bad_frames: c.bad_frames.load(Ordering::Relaxed),
-            events_sent: c.events_sent.load(Ordering::Relaxed),
-            chunks_accepted: c.chunks_accepted.load(Ordering::Relaxed),
-            chunks_busy: c.chunks_busy.load(Ordering::Relaxed),
-            snapshots_written: c.snapshots_written.load(Ordering::Relaxed),
+            connections: c.connections.value(),
+            bad_frames: c.bad_frames.value(),
+            events_sent: c.events_sent.value(),
+            chunks_accepted: c.chunks_accepted.value(),
+            chunks_busy: c.chunks_busy.value(),
+            snapshots_written: c.snapshots_written.value(),
             final_stats,
         })
     }
@@ -378,10 +479,7 @@ fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
                             // (connection died); the reader will evict.
                             let _ = tx.send(Frame::from_stream_event(ev));
                         }
-                        shared
-                            .counters
-                            .events_sent
-                            .fetch_add(evs.len() as u64, Ordering::Relaxed);
+                        shared.counters.events_sent.add(evs.len() as u64);
                     }
                 }
                 did_work = true;
@@ -403,7 +501,8 @@ fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
 }
 
 /// Collects all live sessions' snapshots (briefly holding the core
-/// lock) and writes them outside the lock.
+/// lock) and writes them outside the lock. Iterates the sessions
+/// directly — no per-device stats rows are allocated under the lock.
 fn persist_now(shared: &Shared, config: &ServerConfig) {
     let Some(path) = config.snapshot_path.as_ref() else {
         return;
@@ -411,25 +510,25 @@ fn persist_now(shared: &Shared, config: &ServerConfig) {
     let sessions: Vec<PersistedSession> = {
         let core = shared.core.lock().expect("core lock");
         core.fleet
-            .stats()
-            .devices
-            .iter()
-            .map(|d| PersistedSession {
-                device: d.device.index(),
+            .sessions()
+            .map(|(dev, session)| PersistedSession {
+                device: dev.index(),
                 model_id: core
                     .model_ids
-                    .get(&d.device.index())
+                    .get(&dev.index())
                     .cloned()
                     .unwrap_or_default(),
-                snapshot: core.fleet.session(d.device).snapshot(),
+                snapshot: session.snapshot(),
             })
             .collect()
     };
     if persist_sessions(path, &sessions).is_ok() {
-        shared
-            .counters
-            .snapshots_written
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.snapshots_written.inc();
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SnapshotPersisted {
+                sessions: sessions.len() as u64,
+            });
+        }
     }
 }
 
@@ -443,6 +542,28 @@ struct ConnState {
 /// on a helper thread. Guarantees eviction of the device's session on
 /// every exit path.
 fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) {
+    let conn_id = shared.counters.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    shared.counters.open_connections.add(1);
+    if let Some(o) = eddie_obs::global() {
+        o.journal()
+            .record(JournalEvent::ConnectionOpened { id: conn_id });
+    }
+    // Keep the lifecycle bookkeeping balanced on every exit path.
+    struct ConnGuard<'a> {
+        shared: &'a Shared,
+        conn_id: u64,
+    }
+    impl Drop for ConnGuard<'_> {
+        fn drop(&mut self) {
+            self.shared.counters.open_connections.sub(1);
+            if let Some(o) = eddie_obs::global() {
+                o.journal()
+                    .record(JournalEvent::ConnectionClosed { id: self.conn_id });
+            }
+        }
+    }
+    let _guard = ConnGuard { shared, conn_id };
+
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.poll_interval));
     let writer_stream = match stream.try_clone() {
@@ -525,7 +646,7 @@ fn read_loop(
                 return;
             }
             FrameRead::Malformed => {
-                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                shared.counters.bad_frames.inc();
                 let _ = outbox.send(Frame::Err {
                     code: ErrCode::BadFrame,
                 });
@@ -577,24 +698,26 @@ fn read_loop(
                 } else if seq > state.expected_seq {
                     // A gap means an earlier chunk was refused; the
                     // client must resend in order (go-back-N).
-                    shared.counters.chunks_busy.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.chunks_busy.inc();
                     let _ = outbox.send(Frame::Busy { seq });
                 } else {
                     let result = {
+                        // Ingest lag: how long this chunk waits on the
+                        // core lock (drain contention) plus the push.
+                        let _span = Timer::start(
+                            eddie_obs::enabled().then(|| shared.counters.ingest_lag_ns.as_ref()),
+                        );
                         let mut core = shared.core.lock().expect("core lock");
                         core.fleet.push_chunk(dev, samples)
                     };
                     match result {
                         PushResult::Accepted => {
-                            shared
-                                .counters
-                                .chunks_accepted
-                                .fetch_add(1, Ordering::Relaxed);
+                            shared.counters.chunks_accepted.inc();
                             let _ = outbox.send(Frame::Ack { seq });
                             state.expected_seq += 1;
                         }
                         PushResult::Full => {
-                            shared.counters.chunks_busy.fetch_add(1, Ordering::Relaxed);
+                            shared.counters.chunks_busy.inc();
                             let _ = outbox.send(Frame::Busy { seq });
                         }
                     }
@@ -640,8 +763,23 @@ fn read_loop(
                 }
                 return;
             }
+            Frame::Stats => {
+                // Allowed in any state, including before Hello, so an
+                // operator can scrape a server without a session.
+                let text = match eddie_obs::global() {
+                    Some(o) => o.registry().render_prometheus(),
+                    None => String::from("# eddie-obs not installed\n"),
+                };
+                let _ = outbox.send(Frame::StatsReply {
+                    text: clamp_stats_text(text),
+                });
+            }
             // Server-only frames from a client are protocol violations.
-            Frame::Ack { .. } | Frame::Busy { .. } | Frame::Event { .. } | Frame::Err { .. } => {
+            Frame::Ack { .. }
+            | Frame::Busy { .. }
+            | Frame::Event { .. }
+            | Frame::Err { .. }
+            | Frame::StatsReply { .. } => {
                 let _ = outbox.send(Frame::Err {
                     code: ErrCode::ProtocolViolation,
                 });
@@ -652,7 +790,8 @@ fn read_loop(
 }
 
 /// Writes one device's current snapshot into the snapshot file,
-/// merging with the other live sessions.
+/// merging with the other live sessions. Iterates sessions directly —
+/// no per-device stats rows are allocated under the core lock.
 fn persist_device(dev: DeviceId, shared: &Shared, config: &ServerConfig) -> bool {
     let Some(path) = config.snapshot_path.as_ref() else {
         return false;
@@ -663,28 +802,38 @@ fn persist_device(dev: DeviceId, shared: &Shared, config: &ServerConfig) -> bool
             return false;
         }
         core.fleet
-            .stats()
-            .devices
-            .iter()
-            .map(|d| PersistedSession {
-                device: d.device.index(),
-                model_id: core
-                    .model_ids
-                    .get(&d.device.index())
-                    .cloned()
-                    .unwrap_or_default(),
-                snapshot: core.fleet.session(d.device).snapshot(),
+            .sessions()
+            .map(|(d, session)| PersistedSession {
+                device: d.index(),
+                model_id: core.model_ids.get(&d.index()).cloned().unwrap_or_default(),
+                snapshot: session.snapshot(),
             })
             .collect()
     };
     let ok = persist_sessions(path, &sessions).is_ok();
     if ok {
-        shared
-            .counters
-            .snapshots_written
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.snapshots_written.inc();
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SnapshotPersisted {
+                sessions: sessions.len() as u64,
+            });
+        }
     }
     ok
+}
+
+/// Bounds a Prometheus rendering to what fits in one wire frame,
+/// truncating at a line boundary so the scrape stays parseable.
+fn clamp_stats_text(text: String) -> String {
+    const MAX_TEXT: usize = MAX_FRAME_LEN - 16;
+    if text.len() <= MAX_TEXT {
+        return text;
+    }
+    let cut = text[..MAX_TEXT].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let mut out = String::with_capacity(cut + 32);
+    out.push_str(&text[..cut]);
+    out.push_str("# truncated\n");
+    out
 }
 
 /// Outcome of one idle-aware frame read.
@@ -753,7 +902,10 @@ fn read_frame_idle_aware(reader: &mut TcpStream, shared: &Shared) -> FrameRead {
         }
     }
     match Frame::decode(&body) {
-        Ok(f) => FrameRead::Frame(f),
+        Ok(f) => {
+            shared.counters.frames_decoded.inc();
+            FrameRead::Frame(f)
+        }
         Err(WireError::BadLength { .. } | WireError::Truncated) => FrameRead::Malformed,
         Err(WireError::BadTag(_) | WireError::BadPayload(_)) => FrameRead::Malformed,
     }

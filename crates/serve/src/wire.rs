@@ -44,10 +44,12 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_CHUNK: u8 = 0x02;
 const TAG_SNAPSHOT: u8 = 0x03;
 const TAG_CLOSE: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
 const TAG_ACK: u8 = 0x81;
 const TAG_BUSY: u8 = 0x82;
 const TAG_EVENT: u8 = 0x83;
 const TAG_ERR: u8 = 0x84;
+const TAG_STATS_REPLY: u8 = 0x85;
 
 /// Why the server is refusing a frame or a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +144,10 @@ pub enum Frame {
     /// Graceful end of stream: the server finishes queued work, sends
     /// the remaining events, and closes.
     Close,
+    /// Asks the server for its current metrics. Allowed in any
+    /// protocol state, including before `Hello`, so an operator can
+    /// scrape a server without starting a monitoring session.
+    Stats,
     /// The chunk with this sequence number was queued.
     Ack {
         /// Sequence number being acknowledged.
@@ -173,6 +179,13 @@ pub enum Frame {
     Err {
         /// Why.
         code: ErrCode,
+    },
+    /// Reply to [`Frame::Stats`]: the server's metrics in the
+    /// Prometheus text exposition format (UTF-8). Empty-comment body
+    /// when no observer is installed on the server.
+    StatsReply {
+        /// Prometheus-text rendering of the server's registry.
+        text: String,
     },
 }
 
@@ -308,6 +321,7 @@ impl Frame {
             }
             Frame::Snapshot => buf.push(TAG_SNAPSHOT),
             Frame::Close => buf.push(TAG_CLOSE),
+            Frame::Stats => buf.push(TAG_STATS),
             Frame::Ack { seq } => {
                 buf.push(TAG_ACK);
                 buf.extend_from_slice(&seq.to_le_bytes());
@@ -338,6 +352,10 @@ impl Frame {
             Frame::Err { code } => {
                 buf.push(TAG_ERR);
                 buf.extend_from_slice(&(*code as u16).to_le_bytes());
+            }
+            Frame::StatsReply { text } => {
+                buf.push(TAG_STATS_REPLY);
+                buf.extend_from_slice(text.as_bytes());
             }
         }
         let len = (buf.len() - start - 4) as u32;
@@ -390,6 +408,7 @@ impl Frame {
             }
             TAG_SNAPSHOT => Frame::Snapshot,
             TAG_CLOSE => Frame::Close,
+            TAG_STATS => Frame::Stats,
             TAG_ACK => Frame::Ack { seq: r.u64()? },
             TAG_BUSY => Frame::Busy { seq: r.u64()? },
             TAG_EVENT => {
@@ -420,6 +439,12 @@ impl Frame {
                 let code = ErrCode::from_u16(r.u16()?)
                     .ok_or(WireError::BadPayload("unknown error code"))?;
                 Frame::Err { code }
+            }
+            TAG_STATS_REPLY => {
+                let text = std::str::from_utf8(r.bytes(r.remaining())?)
+                    .map_err(|_| WireError::BadPayload("stats text is not UTF-8"))?
+                    .to_owned();
+                Frame::StatsReply { text }
             }
             other => return Err(WireError::BadTag(other)),
         };
@@ -554,6 +579,26 @@ mod tests {
         round_trip(Frame::Err {
             code: ErrCode::UnknownModel,
         });
+        round_trip(Frame::Stats);
+        round_trip(Frame::StatsReply {
+            text: String::new(),
+        });
+        round_trip(Frame::StatsReply {
+            text: "# TYPE x counter\nx 5\n".into(),
+        });
+    }
+
+    #[test]
+    fn stats_reply_rejects_invalid_utf8() {
+        assert_eq!(
+            Frame::decode(&[TAG_STATS_REPLY, 0xff, 0xfe]),
+            Err(WireError::BadPayload("stats text is not UTF-8"))
+        );
+        // Stats itself carries no payload; trailing bytes are garbage.
+        assert_eq!(
+            Frame::decode(&[TAG_STATS, 0x01]),
+            Err(WireError::BadPayload("trailing bytes after payload"))
+        );
     }
 
     #[test]

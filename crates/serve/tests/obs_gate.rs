@@ -1,0 +1,326 @@
+//! Observability gate: a full loopback deployment with `eddie-obs`
+//! installed, scraped over the wire mid-replay and audited afterwards.
+//!
+//! The counters must balance like a ledger:
+//!
+//! * every `Chunk` frame the clients wrote got exactly one reply, so
+//!   `sent == accepted + busy + duplicate_acks`;
+//! * the serve layer and the stream layer agree on what was accepted,
+//!   and the fleet never shed more than the wire refused;
+//! * the core layer's anomaly counter equals the anomaly count of the
+//!   batch pipeline (which ran *before* installation, so only the
+//!   streamed path could have incremented it);
+//! * the event stream stays byte-identical to the batch path with
+//!   instrumentation on — CI runs this at `EDDIE_THREADS=1` and `4`;
+//! * journal sequence numbers are strictly increasing, and a snapshot
+//!   file carries the sequence forward (`resume_journal`).
+//!
+//! Everything lives in one `#[test]` because `eddie_obs::install()` is
+//! process-global: a single body controls exactly what runs before and
+//! after installation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eddie_core::{EddieConfig, MonitorEvent, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_inject::{LoopInjector, OpPattern};
+use eddie_serve::{
+    fetch_stats, load_snapshot, read_frame, resume_journal, write_frame, Frame, ModelRegistry,
+    ReplayClient, Server, ServerConfig, ServerHandle, ServerReport,
+};
+use eddie_sim::{InjectionHook, SimConfig, SimResult};
+use eddie_stream::{FleetConfig, StreamEvent};
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const MODEL_ID: &str = "bitcount-power";
+
+fn power_pipeline() -> Pipeline {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+fn injected_hook(w: &Workload, k: usize) -> Option<Box<dyn InjectionHook>> {
+    let region = w.program().declared_regions().next()?;
+    let pc = w.loop_branch_pc(region)?;
+    Some(Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(8),
+        1000 + k as u64,
+    )))
+}
+
+fn runs_and_batches(
+    pipeline: &Pipeline,
+    w: &Workload,
+    model: &Arc<TrainedModel>,
+) -> Vec<(SimResult, MonitorOutcome)> {
+    [None, injected_hook(w, 1)]
+        .into_iter()
+        .enumerate()
+        .map(|(k, hook)| {
+            let r = pipeline.simulate(w.program(), |m| w.prepare(m, 1000 + k as u64), hook);
+            let batch = pipeline.monitor_result(model, &r, 0);
+            (r, batch)
+        })
+        .collect()
+}
+
+fn assert_stream_matches_batch(streamed: &[StreamEvent], batch: &MonitorOutcome) {
+    assert_eq!(streamed.len(), batch.events.len(), "window count differs");
+    for (w, ev) in streamed.iter().enumerate() {
+        assert_eq!(ev.window, w, "window indices must be dense from zero");
+        assert_eq!(ev.event, batch.events[w], "event differs at window {w}");
+        assert_eq!(ev.alarm, batch.alarms[w], "alarm differs at window {w}");
+        assert_eq!(
+            ev.tracked, batch.tracked[w],
+            "tracking differs at window {w}"
+        );
+    }
+}
+
+fn start_server(
+    model: Arc<TrainedModel>,
+    config: ServerConfig,
+) -> (ServerHandle, std::thread::JoinHandle<ServerReport>) {
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL_ID, model);
+    let server = Server::bind("127.0.0.1:0", registry, config).expect("bind loopback");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+fn wait_for<F: FnMut() -> bool>(mut cond: F, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Reads one unlabeled series from a Prometheus text exposition.
+fn metric(text: &str, name: &str) -> u64 {
+    for line in text.lines() {
+        if let Some(value) = line.strip_prefix(name) {
+            if let Some(v) = value.strip_prefix(' ') {
+                return v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("series `{name}` has a non-integer value: {v:?}"));
+            }
+        }
+    }
+    panic!("series `{name}` missing from exposition:\n{text}");
+}
+
+#[test]
+fn instrumented_loopback_counters_balance() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(
+        pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+            .expect("train"),
+    );
+
+    // Batch outcomes BEFORE installation: the batch path runs through
+    // the same instrumented monitor code, so computing it first keeps
+    // the anomaly counter attributable to the streamed path alone.
+    let runs = runs_and_batches(&pipeline, &w, &model);
+
+    eddie_obs::install();
+    assert!(eddie_obs::enabled(), "install() arms the gate");
+    let obs = eddie_obs::global().expect("installed");
+
+    let snap_path = std::env::temp_dir().join(format!(
+        "eddie-serve-obs-gate-{}-snapshot.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap_path);
+    let config = ServerConfig {
+        fleet: FleetConfig {
+            // Tiny queue bounds so backpressure (Busy, shed, go-back-N
+            // resends) actually occurs and the conservation law is
+            // exercised with non-zero terms on every side.
+            max_pending_chunks: 2,
+            max_pending_samples: 1 << 12,
+        },
+        drain_idle: Duration::from_millis(2),
+        snapshot_path: Some(snap_path.clone()),
+        snapshot_every: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    };
+    let (handle, join) = start_server(model.clone(), config);
+    let addr = handle.addr();
+
+    // Clean + injected replays, concurrently, with instrumentation on.
+    let replays: Vec<_> = runs
+        .iter()
+        .map(|(r, _)| {
+            let signal = r.power.samples.clone();
+            let rate = r.power.sample_rate_hz();
+            std::thread::spawn(move || {
+                let mut client = ReplayClient::connect(addr).expect("connect");
+                client.hello(MODEL_ID, rate).expect("hello");
+                client.replay(&signal, 499).expect("replay")
+            })
+        })
+        .collect();
+
+    // Scrape mid-replay from a separate session-less connection: the
+    // Stats frame must work while the fleet is under load.
+    let mid = fetch_stats(addr).expect("mid-replay scrape");
+    assert!(
+        mid.contains("eddie_serve_connections_total"),
+        "mid-replay scrape has serve counters:\n{mid}"
+    );
+    assert!(
+        mid.contains("# TYPE eddie_serve_connections_total counter"),
+        "exposition carries TYPE headers"
+    );
+
+    let outcomes: Vec<_> = replays.into_iter().map(|t| t.join().unwrap()).collect();
+
+    // Determinism with instrumentation on: byte-identical to batch.
+    for ((_, batch), outcome) in runs.iter().zip(&outcomes) {
+        assert_stream_matches_batch(&outcome.events, batch);
+    }
+
+    // Snapshot via the wire so the file carries the live journal seq.
+    {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        write_frame(
+            &mut s,
+            &Frame::Hello {
+                model_id: MODEL_ID.to_string(),
+                sample_rate: runs[0].0.power.sample_rate_hz(),
+            },
+        )
+        .unwrap();
+        write_frame(&mut s, &Frame::Snapshot).unwrap();
+        loop {
+            match read_frame(&mut s).expect("reply").expect("no EOF yet") {
+                Frame::Ack { .. } => break,
+                Frame::Event { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        write_frame(&mut s, &Frame::Close).unwrap();
+        while read_frame(&mut s).expect("read").is_some() {}
+    }
+    wait_for(
+        || handle.fleet_stats().active_sessions == 0,
+        "sessions evicted after close",
+    );
+
+    // Final scrape, then audit the books.
+    let text = fetch_stats(addr).expect("final scrape");
+    handle.shutdown();
+    let report = join.join().unwrap();
+
+    let accepted = metric(&text, "eddie_serve_chunks_accepted_total");
+    let busy = metric(&text, "eddie_serve_chunks_busy_total");
+    let stream_accepted = metric(&text, "eddie_stream_chunks_accepted_total");
+    let stream_shed = metric(&text, "eddie_stream_chunks_shed_total");
+    let anomalies = metric(&text, "eddie_core_anomaly_events_total");
+    let windows = metric(&text, "eddie_core_windows_evaluated_total");
+    let events_emitted = metric(&text, "eddie_stream_events_emitted_total");
+    let frames_decoded = metric(&text, "eddie_serve_frames_decoded_total");
+
+    let sent: u64 = outcomes.iter().map(|o| o.sent_chunks).sum();
+    let acked: u64 = outcomes.iter().map(|o| o.acked_chunks).sum();
+    let busy_seen: u64 = outcomes.iter().map(|o| o.busy_replies).sum();
+    let dup_acks: u64 = outcomes.iter().map(|o| o.duplicate_acks).sum();
+
+    // Every chunk frame written got exactly one reply, and the server
+    // classified each as accepted, busy, or duplicate.
+    assert_eq!(accepted, acked, "serve accepted == client fresh acks");
+    assert_eq!(busy, busy_seen, "serve busy == client busy replies");
+    assert_eq!(
+        sent,
+        accepted + busy + dup_acks,
+        "chunk conservation: sent == accepted + busy + duplicate acks"
+    );
+    assert!(
+        busy > 0,
+        "tiny queue bounds must actually exercise backpressure"
+    );
+
+    // The serve and stream layers keep the same books.
+    assert_eq!(
+        stream_accepted, accepted,
+        "stream accepted == serve accepted"
+    );
+    assert!(
+        stream_shed <= busy,
+        "fleet shed ({stream_shed}) cannot exceed wire refusals ({busy})"
+    );
+
+    // Core counters agree with the (pre-installation) batch truth.
+    let batch_anomalies: u64 = runs
+        .iter()
+        .map(|(_, b)| {
+            b.events
+                .iter()
+                .filter(|e| **e == MonitorEvent::Anomaly)
+                .count() as u64
+        })
+        .sum();
+    assert_eq!(
+        anomalies, batch_anomalies,
+        "anomaly counter == batch anomalies"
+    );
+    let total_events: u64 = outcomes.iter().map(|o| o.events.len() as u64).sum();
+    assert_eq!(events_emitted, total_events, "every event was counted");
+    assert!(
+        windows >= total_events,
+        "windows evaluated covers every emitted event"
+    );
+    assert!(
+        frames_decoded >= sent,
+        "every chunk frame was decoded (plus hello/stats/close traffic)"
+    );
+    assert_eq!(
+        report.chunks_accepted, accepted,
+        "report reads the same counters"
+    );
+    assert_eq!(report.chunks_busy, busy);
+
+    // Journal: sequence numbers strictly increase, in-order.
+    let recent = obs.journal().recent();
+    assert!(!recent.is_empty(), "journal saw the deployment");
+    for pair in recent.windows(2) {
+        assert!(
+            pair[1].seq > pair[0].seq,
+            "journal seqs must be strictly increasing"
+        );
+    }
+
+    // Snapshot file carries the journal sequence forward: a restored
+    // server continues numbering, never restarts it.
+    let file = load_snapshot(&snap_path).expect("snapshot file readable");
+    assert!(
+        file.journal_seq > 0,
+        "snapshot stamped with a live journal seq"
+    );
+    assert!(
+        file.journal_seq <= obs.journal().next_seq(),
+        "stamp cannot be from the future"
+    );
+    resume_journal(&file);
+    let seq_after = obs
+        .journal()
+        .record(eddie_obs::JournalEvent::SnapshotPersisted { sessions: 0 });
+    assert!(
+        seq_after >= file.journal_seq,
+        "post-restore records continue past the persisted seq"
+    );
+    let _ = std::fs::remove_file(&snap_path);
+}

@@ -1,4 +1,8 @@
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+use eddie_core::MonitorEvent;
+use eddie_obs::{Counter, Gauge, Histogram, JournalEvent, Timer};
 
 use crate::{MonitorSession, StreamEvent};
 
@@ -76,7 +80,7 @@ pub struct DeviceStats {
 /// [`shed_chunks`](FleetStats::shed_chunks) /
 /// [`shed_samples`](FleetStats::shed_samples), so a `Full` push always
 /// leaves a trace an operator can see.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// One row per *live* device, in [`DeviceId`] order.
     pub devices: Vec<DeviceStats>,
@@ -88,12 +92,37 @@ pub struct FleetStats {
     pub queued_chunks: usize,
     /// Queued samples across all live devices.
     pub queued_samples: usize,
+    /// Cumulative accepted chunks across the fleet's lifetime.
+    pub accepted_chunks: u64,
+    /// Cumulative samples in accepted chunks across the fleet's
+    /// lifetime.
+    pub accepted_samples: u64,
     /// Cumulative `Full` rejections across the fleet's lifetime,
     /// including devices since evicted.
     pub shed_chunks: u64,
     /// Cumulative samples in rejected chunks across the fleet's
     /// lifetime, including devices since evicted.
     pub shed_samples: u64,
+}
+
+/// Per-device queue-depth gauges, registered when observability is
+/// installed at session registration time.
+#[derive(Debug)]
+struct DeviceObs {
+    queued_chunks: Arc<Gauge>,
+    queued_samples: Arc<Gauge>,
+}
+
+/// Fleet-wide instrumentation handles, created when observability is
+/// installed at [`Fleet::new`] time. `None` costs one branch per
+/// operation.
+#[derive(Debug)]
+struct FleetObs {
+    drain_ns: Arc<Histogram>,
+    events_emitted: Arc<Counter>,
+    queued_chunks: Arc<Gauge>,
+    queued_samples: Arc<Gauge>,
+    active_sessions: Arc<Gauge>,
 }
 
 #[derive(Debug)]
@@ -103,6 +132,7 @@ struct Device {
     queued_samples: usize,
     shed_chunks: u64,
     shed_samples: u64,
+    obs: Option<DeviceObs>,
 }
 
 /// Many monitor sessions behind one bounded ingress API, drained in
@@ -131,31 +161,106 @@ struct Device {
 pub struct Fleet {
     devices: Vec<Option<Device>>,
     config: FleetConfig,
-    shed_chunks: u64,
-    shed_samples: u64,
+    // Lifetime counters are `eddie_obs` counters whether or not
+    // observability is installed — the fleet is their owner and
+    // `stats()` their authoritative reader. Installation merely
+    // *registers* the same handles, making `FleetStats` a view over
+    // the registry rather than a second set of books.
+    shed_chunks: Arc<Counter>,
+    shed_samples: Arc<Counter>,
+    accepted_chunks: Arc<Counter>,
+    accepted_samples: Arc<Counter>,
+    obs: Option<FleetObs>,
 }
 
 impl Fleet {
     /// Creates an empty fleet with the given ingress bounds.
+    ///
+    /// When an `eddie-obs` observer is installed, the fleet's lifetime
+    /// counters are registered under `eddie_stream_*` (replacing any
+    /// previous fleet's registration) together with queue-depth gauges
+    /// and the drain-latency histogram.
     pub fn new(config: FleetConfig) -> Fleet {
+        let shed_chunks = Arc::new(Counter::new());
+        let shed_samples = Arc::new(Counter::new());
+        let accepted_chunks = Arc::new(Counter::new());
+        let accepted_samples = Arc::new(Counter::new());
+        let obs = eddie_obs::global().map(|o| {
+            let r = o.registry();
+            r.register_counter("eddie_stream_chunks_shed_total", shed_chunks.clone());
+            r.register_counter("eddie_stream_samples_shed_total", shed_samples.clone());
+            r.register_counter(
+                "eddie_stream_chunks_accepted_total",
+                accepted_chunks.clone(),
+            );
+            r.register_counter(
+                "eddie_stream_samples_accepted_total",
+                accepted_samples.clone(),
+            );
+            let drain_ns = Arc::new(Histogram::new());
+            let events_emitted = Arc::new(Counter::new());
+            let queued_chunks = Arc::new(Gauge::new());
+            let queued_samples = Arc::new(Gauge::new());
+            let active_sessions = Arc::new(Gauge::new());
+            r.register_histogram("eddie_stream_drain_batch_ns", drain_ns.clone());
+            r.register_counter("eddie_stream_events_emitted_total", events_emitted.clone());
+            r.register_gauge("eddie_stream_queued_chunks", queued_chunks.clone());
+            r.register_gauge("eddie_stream_queued_samples", queued_samples.clone());
+            r.register_gauge("eddie_stream_active_sessions", active_sessions.clone());
+            FleetObs {
+                drain_ns,
+                events_emitted,
+                queued_chunks,
+                queued_samples,
+                active_sessions,
+            }
+        });
         Fleet {
             devices: Vec::new(),
             config,
-            shed_chunks: 0,
-            shed_samples: 0,
+            shed_chunks,
+            shed_samples,
+            accepted_chunks,
+            accepted_samples,
+            obs,
         }
     }
 
     /// Registers a session and returns its device handle.
     pub fn add_session(&mut self, session: MonitorSession) -> DeviceId {
+        let index = self.devices.len();
+        let device_obs = eddie_obs::global().map(|o| {
+            let r = o.registry();
+            let queued_chunks = Arc::new(Gauge::new());
+            let queued_samples = Arc::new(Gauge::new());
+            r.register_gauge(
+                &format!("eddie_stream_device_queued_chunks{{device=\"{index}\"}}"),
+                queued_chunks.clone(),
+            );
+            r.register_gauge(
+                &format!("eddie_stream_device_queued_samples{{device=\"{index}\"}}"),
+                queued_samples.clone(),
+            );
+            o.journal().record(JournalEvent::SessionRegistered {
+                device: index as u64,
+            });
+            DeviceObs {
+                queued_chunks,
+                queued_samples,
+            }
+        });
         self.devices.push(Some(Device {
             session,
             queue: VecDeque::new(),
             queued_samples: 0,
             shed_chunks: 0,
             shed_samples: 0,
+            obs: device_obs,
         }));
-        DeviceId(self.devices.len() - 1)
+        if let Some(obs) = &self.obs {
+            obs.active_sessions.set(self.len() as i64);
+        }
+        DeviceId(index)
     }
 
     /// Evicts `device`, returning its session (for a final snapshot)
@@ -164,10 +269,29 @@ impl Fleet {
     /// totals of [`stats`](Fleet::stats). The slot is tombstoned — ids
     /// of other devices do not shift and the id is never reused.
     pub fn remove_session(&mut self, device: DeviceId) -> Option<MonitorSession> {
-        self.devices
-            .get_mut(device.0)
-            .and_then(Option::take)
-            .map(|d| d.session)
+        let removed = self.devices.get_mut(device.0).and_then(Option::take)?;
+        if let Some(fleet_obs) = &self.obs {
+            fleet_obs.queued_chunks.sub(removed.queue.len() as i64);
+            fleet_obs.queued_samples.sub(removed.queued_samples as i64);
+            fleet_obs
+                .active_sessions
+                .set(self.devices.iter().filter(|d| d.is_some()).count() as i64);
+        }
+        if removed.obs.is_some() {
+            if let Some(o) = eddie_obs::global() {
+                let index = device.0;
+                o.registry().unregister(&format!(
+                    "eddie_stream_device_queued_chunks{{device=\"{index}\"}}"
+                ));
+                o.registry().unregister(&format!(
+                    "eddie_stream_device_queued_samples{{device=\"{index}\"}}"
+                ));
+                o.journal().record(JournalEvent::SessionEvicted {
+                    device: index as u64,
+                });
+            }
+        }
+        Some(removed.session)
     }
 
     /// Whether `device` is currently registered (not evicted).
@@ -225,29 +349,48 @@ impl Fleet {
     }
 
     /// A point-in-time load snapshot: per-device queue depths and
-    /// session progress, plus the cumulative shed counts.
+    /// session progress, plus the cumulative accepted/shed counts.
+    ///
+    /// Allocates a fresh [`FleetStats`]; callers polling in a loop
+    /// (the serve drain loop holds its core mutex while reading) should
+    /// use [`stats_into`](Fleet::stats_into) with a reused scratch
+    /// buffer instead.
     pub fn stats(&self) -> FleetStats {
-        let devices: Vec<DeviceStats> = self
-            .live()
-            .map(|(i, d)| DeviceStats {
-                device: DeviceId(i),
-                queued_chunks: d.queue.len(),
-                queued_samples: d.queued_samples,
-                shed_chunks: d.shed_chunks,
-                shed_samples: d.shed_samples,
-                windows_observed: d.session.windows_observed(),
-                alarm: d.session.alarm(),
-            })
-            .collect();
-        FleetStats {
-            active_sessions: devices.len(),
-            total_registered: self.devices.len(),
-            queued_chunks: devices.iter().map(|d| d.queued_chunks).sum(),
-            queued_samples: devices.iter().map(|d| d.queued_samples).sum(),
-            shed_chunks: self.shed_chunks,
-            shed_samples: self.shed_samples,
-            devices,
-        }
+        let mut out = FleetStats::default();
+        self.stats_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the current load snapshot, reusing its
+    /// `devices` allocation. After the first call with a given buffer,
+    /// subsequent calls allocate only if the live-device count grew
+    /// past the buffer's capacity.
+    pub fn stats_into(&self, out: &mut FleetStats) {
+        out.devices.clear();
+        out.devices.extend(self.live().map(|(i, d)| DeviceStats {
+            device: DeviceId(i),
+            queued_chunks: d.queue.len(),
+            queued_samples: d.queued_samples,
+            shed_chunks: d.shed_chunks,
+            shed_samples: d.shed_samples,
+            windows_observed: d.session.windows_observed(),
+            alarm: d.session.alarm(),
+        }));
+        out.active_sessions = out.devices.len();
+        out.total_registered = self.devices.len();
+        out.queued_chunks = out.devices.iter().map(|d| d.queued_chunks).sum();
+        out.queued_samples = out.devices.iter().map(|d| d.queued_samples).sum();
+        out.accepted_chunks = self.accepted_chunks.value();
+        out.accepted_samples = self.accepted_samples.value();
+        out.shed_chunks = self.shed_chunks.value();
+        out.shed_samples = self.shed_samples.value();
+    }
+
+    /// Live sessions in [`DeviceId`] order, without building
+    /// [`DeviceStats`] rows — for callers (e.g. snapshot persistence)
+    /// that only need the sessions themselves.
+    pub fn sessions(&self) -> impl Iterator<Item = (DeviceId, &MonitorSession)> {
+        self.live().map(|(i, d)| (DeviceId(i), &d.session))
     }
 
     /// Offers a signal chunk to `device`'s ingress queue.
@@ -274,11 +417,27 @@ impl Fleet {
         {
             d.shed_chunks += 1;
             d.shed_samples += chunk.len() as u64;
-            self.shed_chunks += 1;
-            self.shed_samples += chunk.len() as u64;
+            self.shed_chunks.inc();
+            self.shed_samples.add(chunk.len() as u64);
+            if let Some(o) = eddie_obs::global() {
+                o.journal().record(JournalEvent::ChunkShed {
+                    device: device.0 as u64,
+                    samples: chunk.len() as u64,
+                });
+            }
             return PushResult::Full;
         }
         d.queued_samples += chunk.len();
+        self.accepted_chunks.inc();
+        self.accepted_samples.add(chunk.len() as u64);
+        if let Some(obs) = &self.obs {
+            obs.queued_chunks.add(1);
+            obs.queued_samples.add(chunk.len() as i64);
+        }
+        if let Some(dobs) = &d.obs {
+            dobs.queued_chunks.add(1);
+            dobs.queued_samples.add(chunk.len() as i64);
+        }
         d.queue.push_back(chunk);
         PushResult::Accepted
     }
@@ -288,6 +447,7 @@ impl Fleet {
     /// emitted, indexed by [`DeviceId::index`] — empty for devices with
     /// nothing queued, no completed window, or an evicted slot.
     pub fn drain(&mut self) -> Vec<Vec<StreamEvent>> {
+        let span = Timer::start(self.obs.as_ref().map(|o| o.drain_ns.as_ref()));
         let total = self.devices.len();
         let mut live: Vec<(usize, &mut Device)> = self
             .devices
@@ -296,17 +456,56 @@ impl Fleet {
             .filter_map(|(i, slot)| slot.as_mut().map(|d| (i, d)))
             .collect();
         let drained = eddie_exec::par_map_mut(&mut live, |_, (i, d)| {
+            let pre_region = d.session.current_region();
             let mut events = Vec::new();
             while let Some(chunk) = d.queue.pop_front() {
                 d.queued_samples -= chunk.len();
                 events.extend(d.session.push(&chunk));
             }
-            (*i, events)
+            if let Some(dobs) = &d.obs {
+                dobs.queued_chunks.set(0);
+                dobs.queued_samples.set(0);
+            }
+            (*i, pre_region, events)
         });
         let mut out = vec![Vec::new(); total];
-        for (i, events) in drained {
+        for (i, pre_region, events) in drained {
+            // Journal after the parallel section, in device order, so
+            // the record sequence is identical for every worker count.
+            if let Some(o) = eddie_obs::global() {
+                let journal = o.journal();
+                let mut tracked = pre_region;
+                for ev in &events {
+                    journal.record(JournalEvent::WindowProcessed {
+                        device: i as u64,
+                        window: ev.window as u64,
+                    });
+                    if let MonitorEvent::RegionChange(to) = ev.event {
+                        journal.record(JournalEvent::RegionTransition {
+                            device: i as u64,
+                            window: ev.window as u64,
+                            from: u64::from(tracked.index()),
+                            to: u64::from(to.index()),
+                        });
+                    }
+                    if ev.event == MonitorEvent::Anomaly {
+                        journal.record(JournalEvent::AnomalyRaised {
+                            device: i as u64,
+                            window: ev.window as u64,
+                        });
+                    }
+                    tracked = ev.tracked;
+                }
+            }
             out[i] = events;
         }
+        if let Some(obs) = &self.obs {
+            obs.queued_chunks.set(0);
+            obs.queued_samples.set(0);
+            obs.events_emitted
+                .add(out.iter().map(|e| e.len() as u64).sum());
+        }
+        drop(span);
         out
     }
 
@@ -533,5 +732,94 @@ mod tests {
         assert_eq!(stats.shed_chunks, 1, "shed totals survive eviction");
         assert_eq!(stats.shed_samples, 6);
         assert!(fleet.drain().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn accepted_totals_count_queued_chunks() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig {
+            max_pending_chunks: 2,
+            max_pending_samples: 1000,
+        });
+        let dev = fleet.add_session(session(&model));
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 8]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 4]), PushResult::Accepted);
+        assert_eq!(fleet.push_chunk(dev, vec![0.0; 2]), PushResult::Full);
+        // Empty chunks are accepted but not queued — and not counted.
+        assert_eq!(fleet.push_chunk(dev, Vec::new()), PushResult::Accepted);
+        let stats = fleet.stats();
+        assert_eq!(stats.accepted_chunks, 2);
+        assert_eq!(stats.accepted_samples, 12);
+        assert_eq!(stats.shed_chunks, 1);
+        // Draining does not change lifetime acceptance totals.
+        let _ = fleet.drain();
+        let after = fleet.stats();
+        assert_eq!(after.accepted_chunks, 2);
+        assert_eq!(after.accepted_samples, 12);
+    }
+
+    #[test]
+    fn stats_into_reuses_buffer_and_does_not_perturb_drain() {
+        let model = tiny_model();
+        let signal: Vec<f32> = (0..4000).map(|i| (i as f32 * 0.01).sin()).collect();
+
+        // Reference fleet: pushes and drains with no stats calls.
+        let mut quiet = Fleet::new(FleetConfig::default());
+        let qa = quiet.add_session(session(&model));
+        let qb = quiet.add_session(session(&model));
+
+        // Observed fleet: identical pushes, but stats_into is hammered
+        // between every operation with one reused scratch buffer.
+        let mut watched = Fleet::new(FleetConfig::default());
+        let wa = watched.add_session(session(&model));
+        let wb = watched.add_session(session(&model));
+        let mut scratch = FleetStats::default();
+
+        let mut quiet_events = Vec::new();
+        let mut watched_events = Vec::new();
+        for chunk in signal.chunks(700) {
+            let _ = quiet.push_chunk(qa, chunk.to_vec());
+            let _ = quiet.push_chunk(qb, chunk.to_vec());
+            quiet_events.push(quiet.drain());
+
+            watched.stats_into(&mut scratch);
+            let _ = watched.push_chunk(wa, chunk.to_vec());
+            watched.stats_into(&mut scratch);
+            let _ = watched.push_chunk(wb, chunk.to_vec());
+            watched.stats_into(&mut scratch);
+            watched_events.push(watched.drain());
+            watched.stats_into(&mut scratch);
+        }
+        assert_eq!(
+            quiet_events, watched_events,
+            "stats queries must not change drained events"
+        );
+
+        // The scratch buffer's allocation is reused: with a stable
+        // live-device count, repeated fills never grow capacity.
+        watched.stats_into(&mut scratch);
+        let cap = scratch.devices.capacity();
+        for _ in 0..32 {
+            watched.stats_into(&mut scratch);
+        }
+        assert_eq!(scratch.devices.capacity(), cap, "no per-call reallocation");
+        assert_eq!(scratch.active_sessions, 2);
+        assert_eq!(scratch.accepted_chunks, fleet_accepted(&watched));
+    }
+
+    fn fleet_accepted(fleet: &Fleet) -> u64 {
+        fleet.stats().accepted_chunks
+    }
+
+    #[test]
+    fn sessions_iterates_live_devices_in_id_order() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let a = fleet.add_session(session(&model));
+        let b = fleet.add_session(session(&model));
+        let c = fleet.add_session(session(&model));
+        let _ = fleet.remove_session(b);
+        let ids: Vec<usize> = fleet.sessions().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![a.index(), c.index()]);
     }
 }

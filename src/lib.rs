@@ -21,6 +21,9 @@
 //! * [`serve`] — the network ingestion edge: binary wire protocol,
 //!   `std::net` TCP server in front of the fleet, and the go-back-N
 //!   replay client.
+//! * [`obs`] — zero-dependency observability: metric registry, log2
+//!   latency histograms, bounded event journal, Prometheus-text
+//!   exposition (scraped over the wire via the `Stats` frame).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -34,6 +37,7 @@ pub use eddie_em as em;
 pub use eddie_exec as exec;
 pub use eddie_inject as inject;
 pub use eddie_isa as isa;
+pub use eddie_obs as obs;
 pub use eddie_serve as serve;
 pub use eddie_sim as sim;
 pub use eddie_stats as stats;
