@@ -1,0 +1,86 @@
+//! Chaos-layer benchmarks: what fault injection costs off the wire.
+//!
+//! The proxy consults [`FaultPlan::decide`] once per client→server
+//! frame, so the decide path bounds proxy throughput; the backoff
+//! schedule and the plan grammar run on every reconnect and every CLI
+//! invocation respectively. All three are pure CPU — no sockets — so
+//! the numbers isolate the arithmetic from transport noise.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use eddie_chaos::FaultPlan;
+use eddie_serve::{Backoff, ClientConfig};
+
+/// The kitchen-sink plan the CI gate uses: every fault class armed, so
+/// `decide` takes its slowest path (a draw plus all the partitions).
+fn busy_plan() -> FaultPlan {
+    FaultPlan::parse("seed=97,drop=0.04,dup=0.03,corrupt=0.03,reorder=0.04,sever=89,stall=40x30")
+        .expect("plan")
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let plan = busy_plan();
+    let mut g = c.benchmark_group("chaos_decide");
+    const FRAMES: u64 = 100_000;
+    g.throughput(Throughput::Elements(FRAMES));
+    g.bench_function("per_frame_fate_100k", |b| {
+        b.iter(|| {
+            let mut delivered = 0u64;
+            for i in 0..FRAMES {
+                let d = plan.decide(black_box(i));
+                if d.pause.is_none() {
+                    delivered += 1;
+                }
+            }
+            black_box(delivered)
+        })
+    });
+    g.finish();
+}
+
+fn bench_backoff(c: &mut Criterion) {
+    let config = ClientConfig::builder()
+        .with_backoff(Duration::from_millis(2), 2.0, Duration::from_millis(50))
+        .with_jitter(0.1, 97)
+        .build()
+        .expect("client config");
+    let mut g = c.benchmark_group("chaos_backoff");
+    const DELAYS: u64 = 10_000;
+    g.throughput(Throughput::Elements(DELAYS));
+    g.bench_function("schedule_10k_delays", |b| {
+        b.iter(|| {
+            let mut backoff = Backoff::new(&config);
+            let mut total = Duration::ZERO;
+            for i in 0..DELAYS {
+                if i % 16 == 0 {
+                    backoff.reset();
+                }
+                total += backoff.next_delay();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = "seed=97,drop=0.04,dup=0.03,corrupt=0.03,reorder=0.04,sever=17;53;131,\
+                stall=40x30,busy=6+24,snapfail=1;2,snaptrunc,drain=5x10";
+    let mut g = c.benchmark_group("chaos_plan");
+    g.bench_function("parse_full_grammar", |b| {
+        b.iter(|| FaultPlan::parse(black_box(text)).expect("plan"))
+    });
+    g.bench_function("display_round_trip", |b| {
+        let plan = FaultPlan::parse(text).expect("plan");
+        b.iter(|| {
+            let shown = black_box(&plan).to_string();
+            FaultPlan::parse(&shown).expect("round trip")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_decide, bench_backoff, bench_parse);
+criterion_main!(benches);

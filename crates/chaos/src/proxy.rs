@@ -1,0 +1,520 @@
+//! A frame-aware TCP proxy that misbehaves on schedule.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::plan::{FaultPlan, FrameFate};
+
+/// Upper bound on a plausible frame length. The serve protocol caps
+/// frames around 1 MiB; anything past this is not our protocol, and
+/// the proxy falls back to dumb byte-pumping for the rest of the
+/// connection rather than buffering garbage.
+const LEN_SANITY_CAP: u32 = 1 << 26;
+
+/// How often blocked reads wake up to check the stop flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// A snapshot of what the proxy has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ProxyStats {
+    /// Client→server frames observed (each occupies one schedule index).
+    pub frames_seen: u64,
+    /// Frames swallowed.
+    pub frames_dropped: u64,
+    /// Frames forwarded twice.
+    pub frames_duplicated: u64,
+    /// Frames forwarded with a clobbered tag byte.
+    pub frames_corrupted: u64,
+    /// Frames swapped with their successor.
+    pub frames_reordered: u64,
+    /// Connections cut by a scheduled sever.
+    pub connections_severed: u64,
+    /// Connections accepted from clients.
+    pub connections_accepted: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    frames_seen: AtomicU64,
+    frames_dropped: AtomicU64,
+    frames_duplicated: AtomicU64,
+    frames_corrupted: AtomicU64,
+    frames_reordered: AtomicU64,
+    connections_severed: AtomicU64,
+    connections_accepted: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ProxyStats {
+        ProxyStats {
+            frames_seen: self.frames_seen.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_duplicated: self.frames_duplicated.load(Ordering::Relaxed),
+            frames_corrupted: self.frames_corrupted.load(Ordering::Relaxed),
+            frames_reordered: self.frames_reordered.load(Ordering::Relaxed),
+            connections_severed: self.connections_severed.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A loopback TCP proxy that forwards traffic to an upstream server
+/// while injecting the faults a [`FaultPlan`] schedules.
+///
+/// The client→server direction is parsed into length-prefixed frames
+/// (the proxy understands the framing, deliberately not the payloads)
+/// and each frame's fate comes from [`FaultPlan::decide`] keyed by a
+/// *global* frame counter — indices keep counting across reconnects,
+/// so `sever=40;97` means the 40th and 97th frames the proxy ever
+/// sees, whichever connection carries them. The server→client
+/// direction is pumped verbatim: replies are the client's only way to
+/// observe what survived, and corrupting them would test nothing but
+/// the test.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<StatCells>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port, forwarding every
+    /// accepted connection to `upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error binding the loopback listener. Failures to
+    /// reach `upstream` are per-connection: the client sees a closed
+    /// socket, which is exactly the fault surface this crate exists
+    /// to exercise.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatCells::default());
+        let frame_counter = Arc::new(AtomicU64::new(0));
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let accept_thread = thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((downstream, _)) => {
+                            accept_stats
+                                .connections_accepted
+                                .fetch_add(1, Ordering::Relaxed);
+                            spawn_link(
+                                downstream,
+                                upstream,
+                                plan.clone(),
+                                Arc::clone(&frame_counter),
+                                Arc::clone(&accept_stats),
+                                Arc::clone(&accept_stop),
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn chaos accept thread");
+
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the fault counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting and winds down link threads. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn spawn_link(
+    downstream: TcpStream,
+    upstream_addr: SocketAddr,
+    plan: FaultPlan,
+    frame_counter: Arc<AtomicU64>,
+    stats: Arc<StatCells>,
+    stop: Arc<AtomicBool>,
+) {
+    thread::Builder::new()
+        .name("chaos-link".into())
+        .spawn(move || {
+            let upstream = match TcpStream::connect(upstream_addr) {
+                Ok(s) => s,
+                Err(_) => {
+                    let _ = downstream.shutdown(Shutdown::Both);
+                    return;
+                }
+            };
+            let _ = downstream.set_nodelay(true);
+            let _ = upstream.set_nodelay(true);
+            let _ = downstream.set_read_timeout(Some(POLL));
+            let _ = upstream.set_read_timeout(Some(POLL));
+
+            let c2s = {
+                let down = match downstream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                let up = match upstream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                };
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                thread::Builder::new()
+                    .name("chaos-c2s".into())
+                    .spawn(move || faulted_pump(down, up, &plan, &frame_counter, &stats, &stop))
+                    .expect("spawn chaos c2s thread")
+            };
+
+            // Server→client stays verbatim on this thread.
+            raw_pump(upstream, downstream, &stop);
+            let _ = c2s.join();
+        })
+        .expect("spawn chaos link thread");
+}
+
+/// Reads `buf.len()` bytes, riding out read timeouts so partial frames
+/// are never lost. Returns `Ok(false)` on a clean EOF *before the
+/// first byte*; EOF mid-buffer is an error (a torn frame from a peer
+/// that died — the pump gives up on the connection).
+fn read_full(r: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Relaxed) && filled == 0 {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one `[len][tag+payload]` frame as raw bytes (prefix
+/// included). `Ok(None)` means clean EOF; a length past the sanity cap
+/// surfaces as `InvalidData` so the caller can degrade to raw pumping.
+fn read_frame_bytes(r: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    if !read_full(r, &mut prefix, stop)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > LEN_SANITY_CAP {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length outside sanity cap",
+        ));
+    }
+    let mut frame = vec![0u8; 4 + len as usize];
+    frame[..4].copy_from_slice(&prefix);
+    if !read_full(r, &mut frame[4..], stop)? {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(Some(frame))
+}
+
+/// The client→server pump: parse frames, assign each a schedule index,
+/// carry out its fate.
+fn faulted_pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: &FaultPlan,
+    frame_counter: &AtomicU64,
+    stats: &StatCells,
+    stop: &AtomicBool,
+) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let frame = match read_frame_bytes(&mut from, stop) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Not our framing — stop pretending to understand it.
+                raw_pump(from, to, stop);
+                return;
+            }
+            Err(_) => break,
+        };
+        let index = frame_counter.fetch_add(1, Ordering::Relaxed);
+        stats.frames_seen.fetch_add(1, Ordering::Relaxed);
+        let decision = plan.decide(index);
+        if let Some(pause) = decision.pause {
+            thread::sleep(pause);
+        }
+        let delivered = match decision.fate {
+            FrameFate::Deliver => write_all(&mut to, &frame),
+            FrameFate::Drop => {
+                stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            FrameFate::Duplicate => {
+                stats.frames_duplicated.fetch_add(1, Ordering::Relaxed);
+                write_all(&mut to, &frame) && write_all(&mut to, &frame)
+            }
+            FrameFate::Corrupt => {
+                stats.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+                let mut bad = frame;
+                // Clobber the tag: 0x7f is no valid frame tag, so the
+                // receiver *detects* the damage and answers with a
+                // protocol error instead of silently accepting altered
+                // samples (the framing has no checksum to catch that).
+                bad[4] = 0x7f;
+                write_all(&mut to, &bad)
+            }
+            FrameFate::SwapWithNext => {
+                // Hold this frame; the successor jumps the queue. The
+                // successor still consumes a schedule index but its own
+                // fate is not evaluated — one fault per frame pair
+                // keeps schedules easy to reason about.
+                match read_frame_bytes(&mut from, stop) {
+                    Ok(Some(next)) => {
+                        frame_counter.fetch_add(1, Ordering::Relaxed);
+                        stats.frames_seen.fetch_add(1, Ordering::Relaxed);
+                        stats.frames_reordered.fetch_add(1, Ordering::Relaxed);
+                        write_all(&mut to, &next) && write_all(&mut to, &frame)
+                    }
+                    // No successor arrived (EOF): deliver the held
+                    // frame alone rather than eating it.
+                    _ => write_all(&mut to, &frame),
+                }
+            }
+            FrameFate::Sever => {
+                stats.connections_severed.fetch_add(1, Ordering::Relaxed);
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        if !delivered {
+            break;
+        }
+    }
+    // Client went away (or upstream refused a write): let the server
+    // see the half-close promptly instead of waiting on its timeout.
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+fn write_all(w: &mut TcpStream, bytes: &[u8]) -> bool {
+    w.write_all(bytes).and_then(|_| w.flush()).is_ok()
+}
+
+/// Verbatim byte pump, used for the server→client direction and as
+/// the degraded mode for unrecognised framing.
+fn raw_pump(mut from: TcpStream, mut to: TcpStream, stop: &AtomicBool) {
+    let mut buf = [0u8; 8192];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if !write_all(&mut to, &buf[..n]) {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// An upstream that records every frame it receives and echoes a
+    /// fixed reply frame per received frame.
+    fn echo_upstream() -> (SocketAddr, mpsc::Receiver<Vec<u8>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            let stop = AtomicBool::new(false);
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+                while let Ok(Some(frame)) = read_frame_bytes(&mut conn, &stop) {
+                    if tx.send(frame).is_err() {
+                        return;
+                    }
+                    let _ = conn.write_all(&encode(0x81, b"ok"));
+                }
+            }
+        });
+        (addr, rx)
+    }
+
+    fn encode(tag: u8, payload: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+        f.push(tag);
+        f.extend_from_slice(payload);
+        f
+    }
+
+    fn recv_all(rx: &mpsc::Receiver<Vec<u8>>) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Ok(f) = rx.recv_timeout(Duration::from_millis(500)) {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn fault_free_plan_is_transparent() {
+        let (upstream, rx) = echo_upstream();
+        let proxy = ChaosProxy::start(upstream, FaultPlan::default()).expect("start proxy");
+
+        let mut client = TcpStream::connect(proxy.addr()).expect("connect");
+        let sent: Vec<Vec<u8>> = (0..5u8).map(|i| encode(0x02, &[i; 3])).collect();
+        for f in &sent {
+            client.write_all(f).unwrap();
+        }
+        // Replies must come back through the raw s2c pump.
+        let mut reply = vec![0u8; 4 + 3];
+        client.read_exact(&mut reply).expect("read reply");
+        assert_eq!(reply, encode(0x81, b"ok"));
+        drop(client);
+
+        assert_eq!(recv_all(&rx), sent, "frames arrive intact and in order");
+        let stats = proxy.stats();
+        assert_eq!(stats.frames_seen, 5);
+        assert_eq!(stats.frames_dropped + stats.frames_corrupted, 0);
+    }
+
+    #[test]
+    fn drop_everything_plan_delivers_nothing() {
+        let (upstream, rx) = echo_upstream();
+        let plan = FaultPlan::builder().with_drop(1.0).build().unwrap();
+        let proxy = ChaosProxy::start(upstream, plan).expect("start proxy");
+
+        let mut client = TcpStream::connect(proxy.addr()).expect("connect");
+        for i in 0..4u8 {
+            client.write_all(&encode(0x02, &[i])).unwrap();
+        }
+        drop(client);
+
+        assert!(recv_all(&rx).is_empty(), "every frame swallowed");
+        assert_eq!(proxy.stats().frames_dropped, 4);
+    }
+
+    #[test]
+    fn duplicate_corrupt_and_reorder_do_what_they_say() {
+        let (upstream, rx) = echo_upstream();
+        // Deterministic schedule via exact indices is not expressible
+        // through probabilities, so use three tiny plans in sequence.
+        for (plan, check) in [
+            (
+                FaultPlan::builder().with_duplicate(1.0).build().unwrap(),
+                "dup",
+            ),
+            (
+                FaultPlan::builder().with_corrupt(1.0).build().unwrap(),
+                "corrupt",
+            ),
+            (
+                FaultPlan::builder().with_reorder(1.0).build().unwrap(),
+                "reorder",
+            ),
+        ] {
+            let proxy = ChaosProxy::start(upstream, plan).expect("start proxy");
+            let mut client = TcpStream::connect(proxy.addr()).expect("connect");
+            let (a, b) = (encode(0x02, b"aa"), encode(0x03, b"bb"));
+            client.write_all(&a).unwrap();
+            client.write_all(&b).unwrap();
+            drop(client);
+            let got = recv_all(&rx);
+            match check {
+                "dup" => assert_eq!(got, vec![a.clone(), a, b.clone(), b]),
+                "corrupt" => {
+                    assert_eq!(got.len(), 2);
+                    assert_eq!(got[0][4], 0x7f, "tag clobbered");
+                    assert_eq!(&got[0][5..], &a[5..], "payload untouched");
+                }
+                "reorder" => assert_eq!(got, vec![b, a], "successor jumped the queue"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn sever_cuts_the_connection_at_its_index() {
+        let (upstream, rx) = echo_upstream();
+        let plan = FaultPlan::builder().with_sever_at(vec![2]).build().unwrap();
+        let proxy = ChaosProxy::start(upstream, plan).expect("start proxy");
+
+        let mut client = TcpStream::connect(proxy.addr()).expect("connect");
+        for i in 0..5u8 {
+            // Later writes may fail once the proxy cuts the link.
+            let _ = client.write_all(&encode(0x02, &[i]));
+            thread::sleep(Duration::from_millis(40));
+        }
+        let got = recv_all(&rx);
+        assert_eq!(got.len(), 2, "frames past the sever never arrive");
+        assert_eq!(proxy.stats().connections_severed, 1);
+
+        // The link is dead but the proxy is not: a reconnect works and
+        // the schedule index keeps counting from where it left off.
+        let mut again = TcpStream::connect(proxy.addr()).expect("reconnect");
+        again.write_all(&encode(0x02, b"z")).unwrap();
+        drop(again);
+        assert_eq!(recv_all(&rx).len(), 1);
+        assert_eq!(proxy.stats().connections_accepted, 2);
+    }
+}

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod label;
 pub mod metrics;
 mod monitor;
@@ -60,6 +61,7 @@ mod sts;
 mod training;
 
 pub use config::EddieConfig;
+pub use error::{BoxedSource, Error, ErrorKind};
 pub use label::label_windows;
 pub use metrics::{MonitorOutcome, RunMetrics};
 pub use monitor::{Monitor, MonitorError, MonitorEvent, MonitorState};

@@ -67,9 +67,9 @@ impl MonitorState {
     ///
     /// # Errors
     ///
-    /// Returns [`MonitorError::EmptyModel`] when the model has no
-    /// trained regions.
-    pub fn try_new(model: &TrainedModel) -> Result<MonitorState, MonitorError> {
+    /// Returns an error of kind [`ErrorKind::EmptyModel`](crate::ErrorKind::EmptyModel)
+    /// when the model has no trained regions.
+    pub fn try_new(model: &TrainedModel) -> Result<MonitorState, crate::Error> {
         let current = model.initial_region().ok_or(MonitorError::EmptyModel)?;
         Ok(MonitorState {
             current,
@@ -311,9 +311,9 @@ impl<'m> Monitor<'m> {
     ///
     /// # Errors
     ///
-    /// Returns [`MonitorError::EmptyModel`] when the model has no
-    /// trained regions.
-    pub fn try_new(model: &'m TrainedModel) -> Result<Monitor<'m>, MonitorError> {
+    /// Returns an error of kind [`ErrorKind::EmptyModel`](crate::ErrorKind::EmptyModel)
+    /// when the model has no trained regions.
+    pub fn try_new(model: &'m TrainedModel) -> Result<Monitor<'m>, crate::Error> {
         Ok(Monitor {
             model,
             state: MonitorState::try_new(model)?,
@@ -549,12 +549,12 @@ mod tests {
             config: m.config.clone(),
         };
         assert_eq!(
-            Monitor::try_new(&empty).err(),
-            Some(MonitorError::EmptyModel)
+            Monitor::try_new(&empty).err().map(|e| e.kind()),
+            Some(crate::ErrorKind::EmptyModel)
         );
         assert_eq!(
-            MonitorState::try_new(&empty).err(),
-            Some(MonitorError::EmptyModel)
+            MonitorState::try_new(&empty).err().map(|e| e.kind()),
+            Some(crate::ErrorKind::EmptyModel)
         );
         assert!(Monitor::try_new(&m).is_ok());
     }

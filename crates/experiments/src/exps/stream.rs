@@ -79,10 +79,13 @@ pub fn run(scale: Scale) -> String {
 
     // Streaming path: one fleet device per run, chunked ingest with
     // drain-on-Full backpressure.
-    let mut fleet = Fleet::new(FleetConfig {
-        max_pending_chunks: 16,
-        max_pending_samples: 1 << 16,
-    });
+    let mut fleet = Fleet::new(
+        FleetConfig::builder()
+            .with_max_pending_chunks(16)
+            .with_max_pending_samples(1 << 16)
+            .build()
+            .expect("valid fleet bounds"),
+    );
     let devices: Vec<_> = results
         .iter()
         .map(|r| {

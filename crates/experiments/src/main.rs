@@ -6,6 +6,7 @@
 //! eddie-experiments serve [--addr HOST:PORT] [--scale quick|full]
 //! eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]
 //! eddie-experiments stats --addr HOST:PORT [--raw]
+//! eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]
 //! eddie-experiments --list
 //! ```
 
@@ -19,6 +20,7 @@ fn usage() -> String {
          \x20      eddie-experiments serve [--addr HOST:PORT] [--scale quick|full]\n\
          \x20      eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]\n\
          \x20      eddie-experiments stats --addr HOST:PORT [--raw]\n\
+         \x20      eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]\n\
          ids: {} | all\n\
          default scale: quick\n\
          env: EDDIE_THREADS=<n> sets the worker-pool width (default: all cores);\n\
@@ -35,6 +37,7 @@ fn run_servecli(cmd: &str, rest: &[String]) -> ExitCode {
         "serve" => servecli::serve(rest),
         "replay-client" => servecli::replay_client(rest),
         "stats" => servecli::stats(rest),
+        "chaos" => servecli::chaos(rest),
         _ => unreachable!(),
     };
     match result {
@@ -66,9 +69,13 @@ fn main() -> ExitCode {
         println!("serve");
         println!("replay-client");
         println!("stats");
+        println!("chaos");
         return ExitCode::SUCCESS;
     }
-    if matches!(args[0].as_str(), "serve" | "replay-client" | "stats") {
+    if matches!(
+        args[0].as_str(),
+        "serve" | "replay-client" | "stats" | "chaos"
+    ) {
         return run_servecli(&args[0], &args[1..]);
     }
 

@@ -15,12 +15,21 @@
 //! * `stats` scrapes a running server's metrics over the wire
 //!   (`Frame::Stats` → `Frame::StatsReply`) and renders them as a
 //!   human table, or as the raw Prometheus text with `--raw`.
+//! * `chaos` is `replay-client` behind an [`eddie_chaos::ChaosProxy`]:
+//!   it injects the faults described by a `--plan` grammar string and
+//!   drives the self-healing [`eddie_serve::ResilientClient`] through
+//!   them, still requiring byte-identical events. The same machinery
+//!   backs the chaos CI gate.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
+use eddie_chaos::{ChaosProxy, FaultPlan};
 use eddie_core::{MonitorEvent, MonitorOutcome, TrainedModel};
-use eddie_serve::{ModelRegistry, ReplayClient, Server, ServerConfig, ServerReport};
+use eddie_serve::{
+    ClientConfig, ModelRegistry, ReplayClient, ResilientClient, Server, ServerConfig, ServerReport,
+};
 use eddie_sim::SimResult;
 use eddie_stream::StreamEvent;
 use eddie_workloads::{Benchmark, Workload};
@@ -243,6 +252,161 @@ pub fn replay_client(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// The fault plan `chaos` injects when `--plan` is not given: every
+/// transport fault class at once, plus one severed connection.
+pub const DEFAULT_PLAN: &str = "seed=7,drop=0.05,dup=0.03,corrupt=0.03,reorder=0.05,sever=97";
+
+/// `eddie-experiments chaos [--plan GRAMMAR] [--chunk N]
+/// [--scale quick|full]`
+///
+/// Replays the same simulated runs as `replay-client`, but through a
+/// fault-injecting proxy, with the self-healing client doing the
+/// recovering. The command fails unless every received event stream is
+/// byte-identical to the batch pipeline *and* the server's chunk
+/// ledger balances (`received == accepted + busy + duplicate_acks`).
+///
+/// See the fault-plan grammar in `EXPERIMENTS.md` (or
+/// [`FaultPlan::parse`]): e.g. `--plan
+/// 'seed=11,drop=0.08,sever=17;53'`.
+pub fn chaos(args: &[String]) -> Result<String, String> {
+    eddie_obs::install();
+    let scale = parse_scale(args)?;
+    let chunk: usize = match flag_value(args, "--chunk") {
+        None => DEFAULT_CHUNK,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad --chunk {v:?}"))?,
+    };
+    let plan_text = flag_value(args, "--plan").unwrap_or(DEFAULT_PLAN);
+    let plan = FaultPlan::parse(plan_text).map_err(|e| e.to_string())?;
+
+    let (pipeline, w, model) = trained(scale);
+    let targets = injection_targets(&w, &model);
+    let runs = scale.monitor_runs_sim();
+    let results: Vec<SimResult> = (0..runs)
+        .map(|k| {
+            let seed = 1000 + k as u64;
+            let hook = make_hook(&InjectPlan::Alternating, &w, &targets, k, seed);
+            pipeline.simulate(w.program(), |m| w.prepare(m, seed), hook)
+        })
+        .collect();
+    let batches: Vec<MonitorOutcome> = results
+        .iter()
+        .map(|r| pipeline.monitor_result(&model, r, 0))
+        .collect();
+
+    let config = ServerConfig::builder()
+        .with_drain_idle(Duration::from_millis(1))
+        .with_idle_timeout(Duration::from_millis(800))
+        .with_resume_tail(4096)
+        .with_faults(plan.server_faults())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL_ID, model);
+    let server = Server::bind("127.0.0.1:0", registry, config).map_err(|e| format!("bind: {e}"))?;
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let mut proxy =
+        ChaosProxy::start(handle.addr(), plan.clone()).map_err(|e| format!("proxy: {e}"))?;
+
+    let client_config = ClientConfig::builder()
+        .with_read_timeout(Duration::from_millis(150))
+        .with_backoff(Duration::from_millis(2), 2.0, Duration::from_millis(50))
+        .with_jitter(0.1, plan.seed)
+        .with_max_reconnects(10)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let client = ResilientClient::new(proxy.addr(), client_config);
+
+    // Sequential replays keep the proxy's global fault schedule — and
+    // therefore the output — reproducible for a given plan and scale.
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    for (k, (r, batch)) in results.iter().zip(&batches).enumerate() {
+        let outcome = client
+            .replay(MODEL_ID, r.power.sample_rate_hz(), &r.power.samples, chunk)
+            .map_err(|e| format!("run {k} replay: {e}"))?;
+        let events_match = events_match_batch(&outcome.events, batch);
+        all_match &= events_match;
+        rows.push(vec![
+            k.to_string(),
+            if k % 2 == 0 { "clean" } else { "injected" }.to_string(),
+            outcome.events.len().to_string(),
+            outcome.reconnects.to_string(),
+            outcome.resumes.to_string(),
+            outcome.replayed_events.to_string(),
+            outcome.busy_replies.to_string(),
+            outcome.duplicate_acks.to_string(),
+            if events_match { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+
+    let stats = proxy.stats();
+    proxy.shutdown();
+    handle.shutdown();
+    let report = join
+        .join()
+        .expect("server thread")
+        .map_err(|e| format!("server failed: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# chaos: {runs} sequential replays (chunk {chunk})");
+    let _ = writeln!(out, "# plan: {plan}");
+    out.push_str(&format_table(
+        &[
+            "run",
+            "plan",
+            "events",
+            "reconnects",
+            "resumes",
+            "replayed",
+            "busy_replies",
+            "dup_acks",
+            "events_match",
+        ],
+        &rows,
+    ));
+    out.push_str("\n# proxy faults injected\n");
+    out.push_str(&format_table(
+        &[
+            "seen",
+            "dropped",
+            "duplicated",
+            "corrupted",
+            "reordered",
+            "severed",
+        ],
+        &[vec![
+            stats.frames_seen.to_string(),
+            stats.frames_dropped.to_string(),
+            stats.frames_duplicated.to_string(),
+            stats.frames_corrupted.to_string(),
+            stats.frames_reordered.to_string(),
+            stats.connections_severed.to_string(),
+        ]],
+    ));
+    out.push('\n');
+    out.push_str(&report_table(&report));
+
+    if report.chunks_received != report.chunks_accepted + report.chunks_busy + report.duplicate_acks
+    {
+        return Err(format!(
+            "chunk ledger does not balance: {} received != {} accepted + {} busy + {} duplicate",
+            report.chunks_received,
+            report.chunks_accepted,
+            report.chunks_busy,
+            report.duplicate_acks
+        ));
+    }
+    if !all_match {
+        return Err("recovered events diverged from the batch pipeline".to_string());
+    }
+    Ok(out)
+}
+
 /// `eddie-experiments stats --addr HOST:PORT [--raw]`
 ///
 /// Connects to a running `serve` instance, requests its metrics over
@@ -307,6 +471,8 @@ fn report_table(report: &ServerReport) -> String {
             "bad_frames",
             "snapshots",
             "shed_chunks",
+            "parked",
+            "resumed",
         ],
         &[vec![
             report.connections.to_string(),
@@ -316,6 +482,8 @@ fn report_table(report: &ServerReport) -> String {
             report.bad_frames.to_string(),
             report.snapshots_written.to_string(),
             report.final_stats.shed_chunks.to_string(),
+            report.sessions_parked.to_string(),
+            report.sessions_resumed.to_string(),
         ]],
     ));
     out

@@ -67,6 +67,25 @@ pub enum JournalEvent {
         /// Sessions contained in the snapshot.
         sessions: u64,
     },
+    /// A snapshot write failed (I/O error or injected fault); the
+    /// previous on-disk generation is still the authoritative one.
+    SnapshotWriteFailed {
+        /// Sessions the failed write would have contained.
+        sessions: u64,
+    },
+    /// A resumable session's connection dropped abruptly; the session
+    /// stays live awaiting a resume.
+    SessionParked {
+        /// Fleet device id.
+        device: u64,
+    },
+    /// A parked session was reclaimed by a reconnecting client.
+    SessionResumed {
+        /// Fleet device id.
+        device: u64,
+        /// Buffered event frames replayed to the client on reattach.
+        replayed: u64,
+    },
 }
 
 impl JournalEvent {
@@ -82,6 +101,9 @@ impl JournalEvent {
             JournalEvent::ConnectionOpened { .. } => "connection_opened",
             JournalEvent::ConnectionClosed { .. } => "connection_closed",
             JournalEvent::SnapshotPersisted { .. } => "snapshot_persisted",
+            JournalEvent::SnapshotWriteFailed { .. } => "snapshot_write_failed",
+            JournalEvent::SessionParked { .. } => "session_parked",
+            JournalEvent::SessionResumed { .. } => "session_resumed",
         }
     }
 }
@@ -135,8 +157,15 @@ impl JournalRecord {
             JournalEvent::ConnectionOpened { id } | JournalEvent::ConnectionClosed { id } => {
                 let _ = write!(s, ",\"id\":{id}");
             }
-            JournalEvent::SnapshotPersisted { sessions } => {
+            JournalEvent::SnapshotPersisted { sessions }
+            | JournalEvent::SnapshotWriteFailed { sessions } => {
                 let _ = write!(s, ",\"sessions\":{sessions}");
+            }
+            JournalEvent::SessionParked { device } => {
+                let _ = write!(s, ",\"device\":{device}");
+            }
+            JournalEvent::SessionResumed { device, replayed } => {
+                let _ = write!(s, ",\"device\":{device},\"replayed\":{replayed}");
             }
         }
         s.push('}');

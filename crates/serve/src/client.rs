@@ -16,9 +16,11 @@
 //! arbitrary points), so progress accounting needs no timeouts.
 
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use eddie_chaos::ChaosRng;
+use eddie_core::{Error as CoreError, ErrorKind};
 use eddie_stream::StreamEvent;
 
 use crate::wire::{read_frame, write_frame, ErrCode, Frame, ReadError, WireError};
@@ -55,6 +57,44 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// The workspace-wide [`ErrorKind`] this error maps to.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ClientError::Io(e) => CoreError::from_io_kind(e.kind()),
+            ClientError::Wire(w) => w.kind(),
+            ClientError::Server(code) => code.kind(),
+            ClientError::Protocol(_) => ErrorKind::ProtocolViolation,
+        }
+    }
+
+    /// Whether reconnecting and resuming can plausibly get past this
+    /// error. Transport failures, torn frames, and per-frame server
+    /// errors are recoverable; the server telling us the session or
+    /// model cannot exist ([`ErrCode::UnknownModel`],
+    /// [`ErrCode::BadHello`], [`ErrCode::UnknownToken`],
+    /// [`ErrCode::ResumeGap`], [`ErrCode::Shutdown`]) is not.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::Wire(_) | ClientError::Protocol(_) => true,
+            ClientError::Server(code) => matches!(
+                code,
+                ErrCode::BadFrame | ErrCode::SnapshotFailed | ErrCode::ProtocolViolation
+            ),
+        }
+    }
+}
+
+impl From<ClientError> for CoreError {
+    fn from(e: ClientError) -> CoreError {
+        let kind = e.kind();
+        match e {
+            ClientError::Io(io) => CoreError::from(io).with_layer("eddie-serve"),
+            other => CoreError::new(kind, "eddie-serve", other.to_string()),
+        }
+    }
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
@@ -256,4 +296,617 @@ impl ReplayClient {
 pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<String, ClientError> {
     let mut client = ReplayClient::connect(addr)?;
     client.stats()
+}
+
+/// Tunables of a [`ResilientClient`]. Construct via
+/// [`ClientConfig::builder`]; `#[non_exhaustive]` so new knobs are not
+/// breaking changes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ClientConfig {
+    /// Unacknowledged chunks kept in flight (see [`PIPELINE_WINDOW`]).
+    pub pipeline_window: usize,
+    /// Socket read timeout. **Required for fault tolerance**: a
+    /// dropped frame means a reply that never comes, and only a read
+    /// timeout turns that silence into a reconnect. `None` (the
+    /// default) trusts the transport, like [`ReplayClient`] does.
+    pub read_timeout: Option<Duration>,
+    /// First reconnect delay.
+    pub backoff_base: Duration,
+    /// Multiplier applied per consecutive failed attempt (≥ 1).
+    pub backoff_factor: f64,
+    /// Ceiling on the un-jittered delay.
+    pub backoff_max: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a uniform
+    /// factor in `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed of the jitter stream — equal seeds give equal backoff
+    /// schedules, which is what lets chaos tests replay a recovery.
+    pub backoff_seed: u64,
+    /// Consecutive failed reconnect attempts tolerated before the
+    /// replay gives up with the underlying error.
+    pub max_reconnects: u32,
+    /// Pause after a `Busy` reply, giving the drain loop room.
+    pub busy_pause: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            pipeline_window: PIPELINE_WINDOW,
+            read_timeout: None,
+            backoff_base: Duration::from_millis(10),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_secs(1),
+            jitter: 0.1,
+            backoff_seed: 0,
+            max_reconnects: 8,
+            busy_pause: Duration::from_micros(200),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ClientConfigBuilder {
+        ClientConfigBuilder {
+            config: ClientConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ClientConfig`]: `with_*` setters, then a validated
+/// [`build`](ClientConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct ClientConfigBuilder {
+    config: ClientConfig,
+}
+
+impl ClientConfigBuilder {
+    /// Unacknowledged chunks kept in flight.
+    pub fn with_pipeline_window(mut self, window: usize) -> ClientConfigBuilder {
+        self.config.pipeline_window = window;
+        self
+    }
+
+    /// Socket read timeout (turns dropped replies into reconnects).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> ClientConfigBuilder {
+        self.config.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Backoff schedule: first delay, per-attempt multiplier, ceiling.
+    pub fn with_backoff(
+        mut self,
+        base: Duration,
+        factor: f64,
+        max: Duration,
+    ) -> ClientConfigBuilder {
+        self.config.backoff_base = base;
+        self.config.backoff_factor = factor;
+        self.config.backoff_max = max;
+        self
+    }
+
+    /// Jitter fraction and the seed of its deterministic stream.
+    pub fn with_jitter(mut self, jitter: f64, seed: u64) -> ClientConfigBuilder {
+        self.config.jitter = jitter;
+        self.config.backoff_seed = seed;
+        self
+    }
+
+    /// Consecutive failed reconnects tolerated before giving up.
+    pub fn with_max_reconnects(mut self, max: u32) -> ClientConfigBuilder {
+        self.config.max_reconnects = max;
+        self
+    }
+
+    /// Pause after a `Busy` reply.
+    pub fn with_busy_pause(mut self, pause: Duration) -> ClientConfigBuilder {
+        self.config.busy_pause = pause;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error of kind [`ErrorKind::InvalidConfig`] when the
+    /// pipeline window is zero, the backoff would not grow
+    /// (factor < 1, zero base), or the jitter fraction leaves `[0, 1]`.
+    pub fn build(self) -> Result<ClientConfig, CoreError> {
+        let c = &self.config;
+        let invalid =
+            |msg: &str| CoreError::new(ErrorKind::InvalidConfig, "eddie-serve", msg.to_string());
+        if c.pipeline_window == 0 {
+            return Err(invalid("pipeline_window must be at least 1"));
+        }
+        if c.backoff_base.is_zero() {
+            return Err(invalid("backoff_base must be positive"));
+        }
+        if !(c.backoff_factor >= 1.0) {
+            return Err(invalid("backoff_factor must be at least 1"));
+        }
+        if c.backoff_max < c.backoff_base {
+            return Err(invalid("backoff_max must be at least backoff_base"));
+        }
+        if !(0.0..=1.0).contains(&c.jitter) {
+            return Err(invalid("jitter must be in [0, 1]"));
+        }
+        if c.read_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(invalid("read_timeout must be positive when set"));
+        }
+        Ok(self.config)
+    }
+}
+
+/// Deterministic exponential backoff with seeded jitter:
+/// `min(base · factor^attempt, max)` scaled by a uniform factor in
+/// `[1 − jitter, 1 + jitter]` drawn from a [`ChaosRng`]. Equal seeds
+/// produce equal schedules, so a chaos run's recovery timing replays
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    factor: f64,
+    max: Duration,
+    jitter: f64,
+    rng: ChaosRng,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff following `config`'s schedule, starting at attempt 0.
+    pub fn new(config: &ClientConfig) -> Backoff {
+        Backoff {
+            base: config.backoff_base,
+            factor: config.backoff_factor,
+            max: config.backoff_max,
+            jitter: config.jitter,
+            rng: ChaosRng::new(config.backoff_seed),
+            attempt: 0,
+        }
+    }
+
+    /// The next delay; each call advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let raw = self.base.as_secs_f64() * self.factor.powi(self.attempt as i32);
+        self.attempt = self.attempt.saturating_add(1);
+        let capped = raw.min(self.max.as_secs_f64());
+        let scale = 1.0 + self.jitter * (2.0 * self.rng.next_f64() - 1.0);
+        Duration::from_secs_f64(capped * scale)
+    }
+
+    /// Back to the first-attempt delay (call after a success). The
+    /// jitter stream deliberately keeps advancing — resetting it would
+    /// make two recoveries in one run collide on the same delays.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failures since the last [`reset`](Backoff::reset).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+}
+
+/// What a completed resilient replay observed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ResilientOutcome {
+    /// Every event the server produced, in order, exactly once — for a
+    /// correct server this equals the batch pipeline's events even
+    /// when the transport dropped, duplicated, reordered, corrupted,
+    /// or severed frames along the way.
+    pub events: Vec<StreamEvent>,
+    /// Total windows the server reported in `Finished`; equals
+    /// `events.len()` (verified before returning).
+    pub windows: u64,
+    /// Reconnect attempts made (0 on an undisturbed run).
+    pub reconnects: u64,
+    /// Successful resume handshakes.
+    pub resumes: u64,
+    /// Duplicate event frames discarded (replay overlap after resume).
+    pub replayed_events: u64,
+    /// `Busy` replies absorbed by go-back-N.
+    pub busy_replies: u64,
+    /// `Chunk` frames written, including resends.
+    pub sent_chunks: u64,
+    /// Idempotent acks for already-accepted chunks.
+    pub duplicate_acks: u64,
+}
+
+/// Running tallies and the stream position shared across attempts.
+struct ResumableReplay<'a> {
+    chunks: Vec<&'a [f32]>,
+    events: Vec<StreamEvent>,
+    token: Option<u64>,
+    resumes: u64,
+    replayed_events: u64,
+    busy_replies: u64,
+    sent_chunks: u64,
+    duplicate_acks: u64,
+}
+
+impl ResumableReplay<'_> {
+    /// Appends an incoming event, discarding replay duplicates. Events
+    /// arrive one per window with dense indices, so the next new event
+    /// is always `events.len()`; anything earlier is a replay overlap
+    /// and anything later is a hole the server must not produce.
+    fn accept_event(&mut self, frame: Frame) -> Result<(), ClientError> {
+        let ev = frame.to_stream_event().expect("event frame converts");
+        match (ev.window as u64).cmp(&(self.events.len() as u64)) {
+            std::cmp::Ordering::Less => {
+                self.replayed_events += 1;
+                Ok(())
+            }
+            std::cmp::Ordering::Equal => {
+                self.events.push(ev);
+                Ok(())
+            }
+            // A gap: reconnect and let the resume replay fill it.
+            std::cmp::Ordering::Greater => {
+                Err(ClientError::Protocol("event stream skipped a window"))
+            }
+        }
+    }
+}
+
+/// A self-healing replay client: [`ReplayClient`]'s streaming loop
+/// wrapped in a reconnect-and-resume harness.
+///
+/// The first connection opens the session with `HelloResumable` and
+/// keeps the returned token. On any recoverable failure — transport
+/// error, read timeout, torn frame, server-reported frame corruption —
+/// the client backs off (deterministic [`Backoff`]), reconnects, and
+/// sends `Resume` with the number of events it already holds; the
+/// server replays what was missed and the chunk cursor picks up at the
+/// server's `next_seq`. The final `Finish` handshake verifies the
+/// client holds every window the server produced, so a completed
+/// [`replay`](ResilientClient::replay) is *known* complete, not
+/// assumed.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+}
+
+impl ResilientClient {
+    /// A client that will connect (and reconnect) to `addr`.
+    pub fn new(addr: SocketAddr, config: ClientConfig) -> ResilientClient {
+        ResilientClient { addr, config }
+    }
+
+    /// Streams `signal` to the server, surviving transport faults, and
+    /// returns the verified-complete event stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error once `max_reconnects` consecutive
+    /// recoverable failures are exhausted, or immediately on an
+    /// unrecoverable one (see [`ClientError::is_recoverable`]).
+    pub fn replay(
+        &self,
+        model_id: &str,
+        sample_rate_hz: f64,
+        signal: &[f32],
+        chunk_len: usize,
+    ) -> Result<ResilientOutcome, ClientError> {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let mut replay = ResumableReplay {
+            chunks: signal.chunks(chunk_len).collect(),
+            events: Vec::new(),
+            token: None,
+            resumes: 0,
+            replayed_events: 0,
+            busy_replies: 0,
+            sent_chunks: 0,
+            duplicate_acks: 0,
+        };
+        let mut backoff = Backoff::new(&self.config);
+        let mut reconnects = 0u64;
+        loop {
+            match self.attempt(model_id, sample_rate_hz, &mut replay, &mut backoff) {
+                Ok(windows) => {
+                    return Ok(ResilientOutcome {
+                        windows,
+                        reconnects,
+                        resumes: replay.resumes,
+                        replayed_events: replay.replayed_events,
+                        busy_replies: replay.busy_replies,
+                        sent_chunks: replay.sent_chunks,
+                        duplicate_acks: replay.duplicate_acks,
+                        events: replay.events,
+                    });
+                }
+                Err(e) if e.is_recoverable() && backoff.attempt() < self.config.max_reconnects => {
+                    reconnects += 1;
+                    std::thread::sleep(backoff.next_delay());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One connection's worth of progress: handshake (hello or
+    /// resume), stream remaining chunks, then the `Finish`
+    /// verification. Returns the server's total window count.
+    fn attempt(
+        &self,
+        model_id: &str,
+        sample_rate_hz: f64,
+        replay: &mut ResumableReplay<'_>,
+        backoff: &mut Backoff,
+    ) -> Result<u64, ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.config.read_timeout)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+
+        // Handshake: open or reclaim the session.
+        let resuming = replay.token.is_some();
+        let handshake = match replay.token {
+            Some(token) => Frame::Resume {
+                token,
+                have_windows: replay.events.len() as u64,
+            },
+            None => Frame::HelloResumable {
+                model_id: model_id.to_string(),
+                sample_rate: sample_rate_hz,
+            },
+        };
+        write_frame(&mut writer, &handshake)?;
+        writer.flush()?;
+
+        // The server answers `Session` (possibly after replayed
+        // events, which we fold in as they come).
+        let acked0 = loop {
+            match read_frame(&mut reader)? {
+                None => return Err(ClientError::Protocol("EOF during handshake")),
+                Some(Frame::Session { token, next_seq }) => {
+                    replay.token = Some(token);
+                    break next_seq;
+                }
+                Some(f @ Frame::Event { .. }) => replay.accept_event(f)?,
+                Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
+                Some(_) => return Err(ClientError::Protocol("unexpected frame in handshake")),
+            }
+        };
+        if resuming {
+            replay.resumes += 1;
+        }
+        // The session is live again: future failures restart the
+        // backoff schedule from the base delay.
+        backoff.reset();
+
+        // Stream the remaining chunks, go-back-N on Busy.
+        let total = replay.chunks.len() as u64;
+        let mut acked = acked0;
+        let mut next_to_send = acked0;
+        let mut in_flight = 0u64;
+        while acked < total {
+            while next_to_send < total && in_flight < self.config.pipeline_window as u64 {
+                write_frame(
+                    &mut writer,
+                    &Frame::Chunk {
+                        seq: next_to_send,
+                        samples: replay.chunks[next_to_send as usize].to_vec(),
+                    },
+                )?;
+                next_to_send += 1;
+                in_flight += 1;
+                replay.sent_chunks += 1;
+            }
+            writer.flush()?;
+
+            match read_frame(&mut reader)? {
+                None => return Err(ClientError::Protocol("EOF while replies were owed")),
+                Some(Frame::Ack { seq }) => {
+                    in_flight = in_flight.saturating_sub(1);
+                    if seq + 1 > acked {
+                        acked = seq + 1;
+                    } else {
+                        replay.duplicate_acks += 1;
+                    }
+                }
+                Some(Frame::Busy { seq }) => {
+                    in_flight = in_flight.saturating_sub(1);
+                    replay.busy_replies += 1;
+                    if seq < next_to_send {
+                        next_to_send = seq.max(acked);
+                    }
+                    std::thread::sleep(self.config.busy_pause);
+                }
+                Some(f @ Frame::Event { .. }) => replay.accept_event(f)?,
+                Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
+                Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
+            }
+        }
+
+        // Finish: the server flushes the device queue and reports the
+        // total window count, which verifies our event stream is
+        // complete (no silent tail loss).
+        write_frame(&mut writer, &Frame::Finish)?;
+        writer.flush()?;
+        let windows = loop {
+            match read_frame(&mut reader)? {
+                None => return Err(ClientError::Protocol("EOF while finish reply was owed")),
+                Some(Frame::Finished { windows }) => break windows,
+                Some(f @ Frame::Event { .. }) => replay.accept_event(f)?,
+                Some(Frame::Ack { .. }) => replay.duplicate_acks += 1,
+                Some(Frame::Busy { .. }) => replay.busy_replies += 1,
+                Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
+                Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
+            }
+        };
+        if (replay.events.len() as u64) != windows {
+            // Missing tail events: recoverable — the resume handshake
+            // replays them from the server's buffer.
+            return Err(ClientError::Protocol("event stream incomplete at finish"));
+        }
+
+        // Best-effort goodbye so the server evicts instead of parking
+        // until the linger expires; the outcome is already verified,
+        // so failures here are not failures of the replay.
+        let _ = write_frame(&mut writer, &Frame::Close);
+        let _ = writer.flush();
+        Ok(windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_config_builder_validates() {
+        let c = ClientConfig::builder()
+            .with_pipeline_window(4)
+            .with_read_timeout(Duration::from_millis(150))
+            .with_backoff(Duration::from_millis(5), 3.0, Duration::from_millis(500))
+            .with_jitter(0.2, 42)
+            .with_max_reconnects(3)
+            .build()
+            .expect("valid config");
+        assert_eq!(c.pipeline_window, 4);
+        assert_eq!(c.backoff_seed, 42);
+
+        for (broken, what) in [
+            (ClientConfig::builder().with_pipeline_window(0), "window"),
+            (
+                ClientConfig::builder().with_backoff(Duration::ZERO, 2.0, Duration::from_secs(1)),
+                "base",
+            ),
+            (
+                ClientConfig::builder().with_backoff(
+                    Duration::from_millis(10),
+                    0.5,
+                    Duration::from_secs(1),
+                ),
+                "factor",
+            ),
+            (
+                ClientConfig::builder().with_backoff(
+                    Duration::from_millis(10),
+                    2.0,
+                    Duration::from_millis(1),
+                ),
+                "max below base",
+            ),
+            (ClientConfig::builder().with_jitter(1.5, 0), "jitter"),
+            (
+                ClientConfig::builder().with_read_timeout(Duration::ZERO),
+                "timeout",
+            ),
+        ] {
+            let err = broken.build().expect_err(what);
+            assert_eq!(err.kind(), ErrorKind::InvalidConfig, "{what}");
+        }
+    }
+
+    /// The chaos-gate prerequisite: the whole recovery schedule must
+    /// replay exactly from the seed.
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let config = ClientConfig::builder()
+            .with_backoff(Duration::from_millis(10), 2.0, Duration::from_millis(400))
+            .with_jitter(0.25, 7)
+            .build()
+            .unwrap();
+        let schedule = |cfg: &ClientConfig| {
+            let mut b = Backoff::new(cfg);
+            (0..12).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            schedule(&config),
+            schedule(&config),
+            "equal seeds, equal schedules"
+        );
+
+        let other = ClientConfig::builder()
+            .with_backoff(Duration::from_millis(10), 2.0, Duration::from_millis(400))
+            .with_jitter(0.25, 8)
+            .build()
+            .unwrap();
+        assert_ne!(
+            schedule(&config),
+            schedule(&other),
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_and_caps() {
+        let config = ClientConfig::builder()
+            .with_backoff(Duration::from_millis(10), 2.0, Duration::from_millis(200))
+            .with_jitter(0.1, 3)
+            .build()
+            .unwrap();
+        let mut b = Backoff::new(&config);
+        let mut prev = Duration::ZERO;
+        for attempt in 0..10u32 {
+            let d = b.next_delay();
+            let nominal =
+                Duration::from_millis(10 * 2u64.pow(attempt)).min(Duration::from_millis(200));
+            let lo = nominal.mul_f64(0.9);
+            let hi = nominal.mul_f64(1.1);
+            assert!(
+                (lo..=hi).contains(&d),
+                "attempt {attempt}: {d:?} outside [{lo:?}, {hi:?}]"
+            );
+            if nominal < Duration::from_millis(200) {
+                assert!(d > prev.mul_f64(1.5), "attempt {attempt} grew");
+            }
+            prev = d;
+        }
+
+        b.reset();
+        let after_reset = b.next_delay();
+        assert!(
+            after_reset <= Duration::from_millis(11),
+            "reset returns to the base delay, got {after_reset:?}"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_backoff_is_exact() {
+        let config = ClientConfig::builder()
+            .with_backoff(Duration::from_millis(10), 2.0, Duration::from_millis(80))
+            .with_jitter(0.0, 0)
+            .build()
+            .unwrap();
+        let mut b = Backoff::new(&config);
+        let delays: Vec<u64> = (0..5).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, [10, 20, 40, 80, 80], "exact doubling, capped");
+    }
+
+    #[test]
+    fn recoverability_separates_transport_from_verdicts() {
+        assert!(ClientError::Io(io::Error::from(io::ErrorKind::TimedOut)).is_recoverable());
+        assert!(ClientError::Protocol("eof").is_recoverable());
+        assert!(ClientError::Server(ErrCode::BadFrame).is_recoverable());
+        assert!(ClientError::Server(ErrCode::ProtocolViolation).is_recoverable());
+        for code in [
+            ErrCode::UnknownModel,
+            ErrCode::BadHello,
+            ErrCode::UnknownToken,
+            ErrCode::ResumeGap,
+            ErrCode::Shutdown,
+        ] {
+            assert!(
+                !ClientError::Server(code).is_recoverable(),
+                "{code} must be fatal"
+            );
+        }
+    }
+
+    #[test]
+    fn client_errors_convert_to_typed_core_errors() {
+        let e: CoreError = ClientError::Server(ErrCode::ResumeGap).into();
+        assert_eq!(e.kind(), ErrorKind::ResumeGap);
+        assert_eq!(e.layer(), "eddie-serve");
+        let t: CoreError = ClientError::Io(io::Error::from(io::ErrorKind::TimedOut)).into();
+        assert_eq!(t.kind(), ErrorKind::Timeout);
+        assert_eq!(t.layer(), "eddie-serve");
+    }
 }

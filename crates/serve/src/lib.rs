@@ -22,7 +22,12 @@
 //!   runtime.
 //! * [`client`] — a blocking replay client with go-back-N
 //!   retransmission on `Busy`, used by the `replay-client` experiment
-//!   and the loopback CI gates.
+//!   and the loopback CI gates; plus [`ResilientClient`], a
+//!   self-healing variant that reconnects with deterministic seeded
+//!   backoff and resumes its session (`HelloResumable` / `Resume`)
+//!   across drops, corruption, and severed connections. The chaos CI
+//!   gate drives it through an [`eddie_chaos::ChaosProxy`] and diffs
+//!   the recovered event stream against the batch pipeline.
 //!
 //! # Determinism on the wire
 //!
@@ -44,11 +49,14 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{fetch_stats, ClientError, ReplayClient, ReplayOutcome, PIPELINE_WINDOW};
+pub use client::{
+    fetch_stats, Backoff, ClientConfig, ClientConfigBuilder, ClientError, ReplayClient,
+    ReplayOutcome, ResilientClient, ResilientOutcome, PIPELINE_WINDOW,
+};
 pub use server::{
     load_sessions, load_snapshot, persist_sessions, persist_snapshot, resume_journal,
-    ModelRegistry, PersistedSession, Server, ServerConfig, ServerHandle, ServerReport,
-    SnapshotFile,
+    ModelRegistry, PersistedSession, Server, ServerConfig, ServerConfigBuilder, ServerHandle,
+    ServerReport, SnapshotFile,
 };
 pub use wire::{
     read_frame, write_frame, ErrCode, EventKind, Frame, ReadError, WireError, MAX_CHUNK_SAMPLES,

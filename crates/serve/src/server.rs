@@ -35,7 +35,7 @@
 //! event stream a client receives is byte-identical to the batch
 //! pipeline for every `EDDIE_THREADS` value and any drain timing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -44,7 +44,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use eddie_core::TrainedModel;
+use eddie_chaos::{ServerFaults, SnapshotFate};
+use eddie_core::{Error as CoreError, ErrorKind, TrainedModel};
 use eddie_obs::{Counter, Gauge, Histogram, JournalEvent, Timer};
 use eddie_stream::{DeviceId, Fleet, FleetConfig, FleetStats, MonitorSession, PushResult};
 use serde::{Deserialize, Serialize};
@@ -86,8 +87,11 @@ impl ModelRegistry {
     }
 }
 
-/// Tunables of a [`Server`].
+/// Tunables of a [`Server`]. Construct via [`ServerConfig::builder`];
+/// the struct is `#[non_exhaustive]` so new tunables (as the chaos and
+/// recovery work added) are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Ingress bounds of the shared fleet (per-device queue caps).
     pub fleet: FleetConfig,
@@ -102,6 +106,20 @@ pub struct ServerConfig {
     /// Accept-loop poll interval and per-connection read timeout; this
     /// bounds how quickly a shutdown is observed.
     pub poll_interval: Duration,
+    /// Disconnect a connection that sends nothing for this long;
+    /// `None` keeps connections open indefinitely. A resumable session
+    /// is *parked*, not evicted, by an idle disconnect.
+    pub idle_timeout: Option<Duration>,
+    /// How long a parked resumable session waits for its client to
+    /// come back before it is evicted for good.
+    pub resume_linger: Duration,
+    /// Event frames buffered per resumable session for replay on
+    /// reattach. A client further behind than this window gets
+    /// [`ErrCode::ResumeGap`].
+    pub resume_tail: usize,
+    /// Server-side failpoints (`Busy` storms, snapshot-write failures,
+    /// slow drains) for chaos testing; `None` in production.
+    pub faults: Option<Arc<ServerFaults>>,
 }
 
 impl Default for ServerConfig {
@@ -112,7 +130,112 @@ impl Default for ServerConfig {
             snapshot_every: Duration::from_secs(5),
             drain_idle: Duration::from_micros(500),
             poll_interval: Duration::from_millis(2),
+            idle_timeout: None,
+            resume_linger: Duration::from_secs(30),
+            resume_tail: 1024,
+            faults: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`]: `with_*` setters, then a validated
+/// [`build`](ServerConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Ingress bounds of the shared fleet.
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> ServerConfigBuilder {
+        self.config.fleet = fleet;
+        self
+    }
+
+    /// Enables periodic snapshot persistence to `path`.
+    pub fn with_snapshot_path(mut self, path: impl Into<PathBuf>) -> ServerConfigBuilder {
+        self.config.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// How often the drain loop persists all live sessions.
+    pub fn with_snapshot_every(mut self, every: Duration) -> ServerConfigBuilder {
+        self.config.snapshot_every = every;
+        self
+    }
+
+    /// How long the drain loop sleeps when no chunks are queued.
+    pub fn with_drain_idle(mut self, idle: Duration) -> ServerConfigBuilder {
+        self.config.drain_idle = idle;
+        self
+    }
+
+    /// Accept-loop poll interval and per-connection read timeout.
+    pub fn with_poll_interval(mut self, interval: Duration) -> ServerConfigBuilder {
+        self.config.poll_interval = interval;
+        self
+    }
+
+    /// Disconnect (parking resumable sessions) after this much silence.
+    pub fn with_idle_timeout(mut self, timeout: Duration) -> ServerConfigBuilder {
+        self.config.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// How long a parked session waits before eviction.
+    pub fn with_resume_linger(mut self, linger: Duration) -> ServerConfigBuilder {
+        self.config.resume_linger = linger;
+        self
+    }
+
+    /// Event frames buffered per resumable session for reattach replay.
+    pub fn with_resume_tail(mut self, tail: usize) -> ServerConfigBuilder {
+        self.config.resume_tail = tail;
+        self
+    }
+
+    /// Wires chaos failpoints into the server (tests only).
+    pub fn with_faults(mut self, faults: Arc<ServerFaults>) -> ServerConfigBuilder {
+        self.config.faults = Some(faults);
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error of kind [`ErrorKind::InvalidConfig`] when an
+    /// interval is zero or the resume tail is empty — values that
+    /// would spin a loop or make every resume a gap.
+    pub fn build(self) -> Result<ServerConfig, CoreError> {
+        let c = &self.config;
+        let invalid =
+            |msg: &str| CoreError::new(ErrorKind::InvalidConfig, "eddie-serve", msg.to_string());
+        if c.poll_interval.is_zero() {
+            return Err(invalid("poll_interval must be positive"));
+        }
+        if c.drain_idle.is_zero() {
+            return Err(invalid("drain_idle must be positive"));
+        }
+        if c.snapshot_every.is_zero() {
+            return Err(invalid("snapshot_every must be positive"));
+        }
+        if c.resume_tail == 0 {
+            return Err(invalid("resume_tail must be at least 1"));
+        }
+        if c.idle_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(invalid("idle_timeout must be positive when set"));
+        }
+        Ok(self.config)
     }
 }
 
@@ -201,10 +324,17 @@ struct Counters {
     connections: Arc<Counter>,
     bad_frames: Arc<Counter>,
     events_sent: Arc<Counter>,
+    chunks_received: Arc<Counter>,
     chunks_accepted: Arc<Counter>,
     chunks_busy: Arc<Counter>,
+    duplicate_acks: Arc<Counter>,
     snapshots_written: Arc<Counter>,
+    snapshots_failed: Arc<Counter>,
     frames_decoded: Arc<Counter>,
+    sessions_parked: Arc<Counter>,
+    sessions_resumed: Arc<Counter>,
+    events_replayed: Arc<Counter>,
+    idle_disconnects: Arc<Counter>,
     open_connections: Arc<Gauge>,
     ingest_lag_ns: Arc<Histogram>,
     next_conn_id: AtomicU64,
@@ -216,10 +346,17 @@ impl Counters {
             connections: Arc::new(Counter::new()),
             bad_frames: Arc::new(Counter::new()),
             events_sent: Arc::new(Counter::new()),
+            chunks_received: Arc::new(Counter::new()),
             chunks_accepted: Arc::new(Counter::new()),
             chunks_busy: Arc::new(Counter::new()),
+            duplicate_acks: Arc::new(Counter::new()),
             snapshots_written: Arc::new(Counter::new()),
+            snapshots_failed: Arc::new(Counter::new()),
             frames_decoded: Arc::new(Counter::new()),
+            sessions_parked: Arc::new(Counter::new()),
+            sessions_resumed: Arc::new(Counter::new()),
+            events_replayed: Arc::new(Counter::new()),
+            idle_disconnects: Arc::new(Counter::new()),
             open_connections: Arc::new(Gauge::new()),
             ingest_lag_ns: Arc::new(Histogram::new()),
             next_conn_id: AtomicU64::new(0),
@@ -230,15 +367,40 @@ impl Counters {
             r.register_counter("eddie_serve_bad_frames_total", c.bad_frames.clone());
             r.register_counter("eddie_serve_events_sent_total", c.events_sent.clone());
             r.register_counter(
+                "eddie_serve_chunks_received_total",
+                c.chunks_received.clone(),
+            );
+            r.register_counter(
                 "eddie_serve_chunks_accepted_total",
                 c.chunks_accepted.clone(),
             );
             r.register_counter("eddie_serve_chunks_busy_total", c.chunks_busy.clone());
+            r.register_counter("eddie_serve_duplicate_acks_total", c.duplicate_acks.clone());
             r.register_counter(
                 "eddie_serve_snapshots_written_total",
                 c.snapshots_written.clone(),
             );
+            r.register_counter(
+                "eddie_serve_snapshots_failed_total",
+                c.snapshots_failed.clone(),
+            );
             r.register_counter("eddie_serve_frames_decoded_total", c.frames_decoded.clone());
+            r.register_counter(
+                "eddie_serve_sessions_parked_total",
+                c.sessions_parked.clone(),
+            );
+            r.register_counter(
+                "eddie_serve_sessions_resumed_total",
+                c.sessions_resumed.clone(),
+            );
+            r.register_counter(
+                "eddie_serve_events_replayed_total",
+                c.events_replayed.clone(),
+            );
+            r.register_counter(
+                "eddie_serve_idle_disconnects_total",
+                c.idle_disconnects.clone(),
+            );
             r.register_gauge("eddie_serve_open_connections", c.open_connections.clone());
             r.register_histogram("eddie_serve_ingest_lag_ns", c.ingest_lag_ns.clone());
         }
@@ -247,7 +409,13 @@ impl Counters {
 }
 
 /// Final report returned by [`Server::run`] after shutdown.
+///
+/// The chunk counters obey a conservation law that chaos tests check:
+/// `chunks_received == chunks_accepted + chunks_busy + duplicate_acks`
+/// — every chunk frame a client manages to deliver is accounted for
+/// exactly once.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ServerReport {
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
@@ -255,13 +423,27 @@ pub struct ServerReport {
     pub bad_frames: u64,
     /// Event frames sent to clients.
     pub events_sent: u64,
+    /// Chunk frames received (before any accept/refuse decision).
+    pub chunks_received: u64,
     /// Chunks accepted into the fleet.
     pub chunks_accepted: u64,
-    /// Chunks refused with [`Frame::Busy`] (fleet backpressure or
-    /// out-of-order retries).
+    /// Chunks refused with [`Frame::Busy`] (fleet backpressure,
+    /// out-of-order retries, or an injected busy storm).
     pub chunks_busy: u64,
+    /// Re-delivered chunks answered with an idempotent ack.
+    pub duplicate_acks: u64,
     /// Snapshot files written.
     pub snapshots_written: u64,
+    /// Snapshot writes that failed (I/O errors or injected faults).
+    pub snapshots_failed: u64,
+    /// Resumable sessions parked after an abrupt disconnect.
+    pub sessions_parked: u64,
+    /// Parked sessions reclaimed by a reconnecting client.
+    pub sessions_resumed: u64,
+    /// Buffered event frames replayed to reattaching clients.
+    pub events_replayed: u64,
+    /// Connections dropped by the idle timeout.
+    pub idle_disconnects: u64,
     /// Fleet statistics at shutdown (shed totals survive eviction).
     pub final_stats: FleetStats,
 }
@@ -279,11 +461,41 @@ struct Shared {
 }
 
 /// The single-mutex heart of the server: the fleet plus the routing
-/// table from device index to connection outbox.
+/// table from device index to connection outbox, plus the book of
+/// resumable sessions.
 struct Core {
     fleet: Fleet,
     routes: HashMap<usize, mpsc::Sender<Frame>>,
     model_ids: HashMap<usize, String>,
+    /// Resumable sessions by token. Entries persist across the
+    /// connections that carry them; the tail keeps filling while the
+    /// session is parked.
+    resumables: HashMap<u64, Resumable>,
+    /// Device index → resume token, for the drain loop's tail append.
+    device_tokens: HashMap<usize, u64>,
+    next_token: u64,
+}
+
+/// The server-side half of a resumable session: where the chunk
+/// cursor stands and which already-sent events can be replayed.
+///
+/// The token is a reconnection *capability*, not authentication — it
+/// only lets a client continue the stream it started.
+struct Resumable {
+    device: DeviceId,
+    /// Next chunk seq the server expects (mirrors the reader's
+    /// cursor so a resumed connection picks up mid-stream).
+    expected_seq: u64,
+    /// Recently-produced event frames, for replay on reattach.
+    tail: VecDeque<Frame>,
+    /// Window index of `tail.front()`.
+    tail_base: u64,
+    /// Total event frames produced for this device (== next window).
+    windows_sent: u64,
+    /// Whether a live connection currently owns this session.
+    attached: bool,
+    /// When the session was parked (`None` while attached).
+    parked_at: Option<Instant>,
 }
 
 /// Remote control for a running [`Server`]: request shutdown and read
@@ -356,6 +568,9 @@ impl Server {
                     fleet: Fleet::new(config.fleet),
                     routes: HashMap::new(),
                     model_ids: HashMap::new(),
+                    resumables: HashMap::new(),
+                    device_tokens: HashMap::new(),
+                    next_token: 1,
                 }),
                 registry,
                 shutdown: AtomicBool::new(false),
@@ -450,9 +665,16 @@ impl Server {
             connections: c.connections.value(),
             bad_frames: c.bad_frames.value(),
             events_sent: c.events_sent.value(),
+            chunks_received: c.chunks_received.value(),
             chunks_accepted: c.chunks_accepted.value(),
             chunks_busy: c.chunks_busy.value(),
+            duplicate_acks: c.duplicate_acks.value(),
             snapshots_written: c.snapshots_written.value(),
+            snapshots_failed: c.snapshots_failed.value(),
+            sessions_parked: c.sessions_parked.value(),
+            sessions_resumed: c.sessions_resumed.value(),
+            events_replayed: c.events_replayed.value(),
+            idle_disconnects: c.idle_disconnects.value(),
             final_stats,
         })
     }
@@ -467,11 +689,30 @@ fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
         let mut did_work = false;
         {
             let mut core = shared.core.lock().expect("core lock");
+            let core = &mut *core;
             if core.fleet.total_pending_chunks() > 0 {
                 let events = core.fleet.drain();
                 for (idx, evs) in events.iter().enumerate() {
                     if evs.is_empty() {
                         continue;
+                    }
+                    // Resumable bookkeeping first, route second: the
+                    // tail keeps filling even while the session is
+                    // parked (no route), which is what makes replay on
+                    // reattach possible at all.
+                    if let Some(r) = core
+                        .device_tokens
+                        .get(&idx)
+                        .and_then(|t| core.resumables.get_mut(t))
+                    {
+                        for ev in evs {
+                            r.tail.push_back(Frame::from_stream_event(ev));
+                            r.windows_sent += 1;
+                            while r.tail.len() > config.resume_tail {
+                                r.tail.pop_front();
+                                r.tail_base += 1;
+                            }
+                        }
                     }
                     if let Some(tx) = core.routes.get(&idx) {
                         for ev in evs {
@@ -484,10 +725,37 @@ fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
                 }
                 did_work = true;
             }
+            // Park expiry: a parked session whose client never came
+            // back is evicted for good once the linger runs out.
+            let (fleet, model_ids, device_tokens) = (
+                &mut core.fleet,
+                &mut core.model_ids,
+                &mut core.device_tokens,
+            );
+            core.resumables.retain(|_, r| {
+                let expired = !r.attached
+                    && r.parked_at
+                        .is_some_and(|t| t.elapsed() >= config.resume_linger);
+                if expired {
+                    device_tokens.remove(&r.device.index());
+                    model_ids.remove(&r.device.index());
+                    if fleet.contains(r.device) {
+                        let _ = fleet.remove_session(r.device);
+                    }
+                }
+                !expired
+            });
         }
         if config.snapshot_path.is_some() && last_snapshot.elapsed() >= config.snapshot_every {
             persist_now(shared, config);
             last_snapshot = Instant::now();
+        }
+        // Slow-drain failpoint: stall between batches, outside the
+        // core lock so ingest keeps flowing while the drain lags.
+        if did_work {
+            if let Some(pause) = config.faults.as_ref().and_then(|f| f.drain_pause()) {
+                std::thread::sleep(pause);
+            }
         }
         if stop.load(Ordering::SeqCst) {
             let core = shared.core.lock().expect("core lock");
@@ -522,20 +790,84 @@ fn persist_now(shared: &Shared, config: &ServerConfig) {
             })
             .collect()
     };
-    if persist_sessions(path, &sessions).is_ok() {
+    write_snapshot_with_faults(path, &sessions, shared, config);
+}
+
+/// Writes a snapshot generation, first consulting the configured
+/// failpoints. Returns whether a new generation landed on disk.
+///
+/// On an injected [`SnapshotFate::Truncate`] this mimics a crash mid
+/// write: roughly half the JSON is left in the sibling temp file and
+/// the rename never happens — the previous good generation must
+/// survive, which the chaos tests verify via [`load_snapshot`].
+fn write_snapshot_with_faults(
+    path: &Path,
+    sessions: &[PersistedSession],
+    shared: &Shared,
+    config: &ServerConfig,
+) -> bool {
+    let fate = config
+        .faults
+        .as_ref()
+        .map_or(SnapshotFate::Write, |f| f.snapshot_fate());
+    let ok = match fate {
+        SnapshotFate::Write => persist_sessions(path, sessions).is_ok(),
+        SnapshotFate::Fail => false,
+        SnapshotFate::Truncate => {
+            let journal_seq = eddie_obs::global().map_or(0, |o| o.journal().next_seq());
+            let file = SnapshotFile {
+                journal_seq,
+                sessions: sessions.to_vec(),
+            };
+            let json = serde_json::to_string(&file).unwrap_or_default();
+            let _ = std::fs::write(
+                path.with_extension("tmp"),
+                &json.as_bytes()[..json.len() / 2],
+            );
+            false
+        }
+        // `SnapshotFate` is #[non_exhaustive]; unknown fates write.
+        _ => persist_sessions(path, sessions).is_ok(),
+    };
+    if ok {
         shared.counters.snapshots_written.inc();
         if let Some(o) = eddie_obs::global() {
             o.journal().record(JournalEvent::SnapshotPersisted {
                 sessions: sessions.len() as u64,
             });
         }
+    } else {
+        shared.counters.snapshots_failed.inc();
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SnapshotWriteFailed {
+                sessions: sessions.len() as u64,
+            });
+        }
     }
+    ok
 }
 
 /// Per-connection protocol state.
 struct ConnState {
     device: Option<DeviceId>,
+    /// Resume token when the session was opened with
+    /// `HelloResumable` or reclaimed with `Resume`.
+    token: Option<u64>,
     expected_seq: u64,
+}
+
+/// How a connection's read loop ended — decides eviction vs parking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExitReason {
+    /// The client said goodbye (`Close`) or never had a session;
+    /// evict.
+    Clean,
+    /// EOF, transport error, malformed frame, idle timeout, or a
+    /// protocol error the client may recover from by reconnecting: a
+    /// resumable session is parked, anything else is evicted.
+    Abrupt,
+    /// Server shutdown; evict.
+    Shutdown,
 }
 
 /// Runs one connection: protocol state machine on this thread, writer
@@ -592,18 +924,39 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) 
     let mut reader = stream;
     let mut state = ConnState {
         device: None,
+        token: None,
         expected_seq: 0,
     };
-    read_loop(&mut reader, &outbox, &mut state, shared, config);
+    let reason = read_loop(&mut reader, &outbox, &mut state, shared, config);
 
-    // Eviction on every exit path: atomic with routing, so no events
-    // go to a dead connection and no session leaks.
+    // Exit bookkeeping, atomic with routing so no events go to a dead
+    // connection: an abrupt exit *parks* a resumable session (it stays
+    // in the fleet, its tail keeps filling, and a `Resume` can reclaim
+    // it until the linger expires); everything else evicts.
     if let Some(dev) = state.device {
+        let park = reason == ExitReason::Abrupt && state.token.is_some();
         let mut core = shared.core.lock().expect("core lock");
+        let core = &mut *core;
         core.routes.remove(&dev.index());
-        core.model_ids.remove(&dev.index());
-        if core.fleet.contains(dev) {
-            let _ = core.fleet.remove_session(dev);
+        if park {
+            if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
+                r.attached = false;
+                r.parked_at = Some(Instant::now());
+            }
+            shared.counters.sessions_parked.inc();
+            if let Some(o) = eddie_obs::global() {
+                o.journal().record(JournalEvent::SessionParked {
+                    device: dev.index() as u64,
+                });
+            }
+        } else {
+            core.model_ids.remove(&dev.index());
+            if let Some(token) = core.device_tokens.remove(&dev.index()) {
+                core.resumables.remove(&token);
+            }
+            if core.fleet.contains(dev) {
+                let _ = core.fleet.remove_session(dev);
+            }
         }
     }
     drop(outbox); // writer drains the outbox, flushes, then exits
@@ -627,48 +980,64 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) 
 }
 
 /// The reader side of a connection. Returns when the client closes,
-/// errs, or the server shuts down.
+/// errs, times out, or the server shuts down; the reason decides
+/// whether a resumable session is parked or evicted.
 fn read_loop(
     reader: &mut TcpStream,
     outbox: &mpsc::Sender<Frame>,
     state: &mut ConnState,
     shared: &Shared,
     config: &ServerConfig,
-) {
+) -> ExitReason {
     loop {
-        let frame = match read_frame_idle_aware(reader, shared) {
+        let frame = match read_frame_idle_aware(reader, shared, config.idle_timeout) {
             FrameRead::Frame(f) => f,
-            FrameRead::Eof | FrameRead::Io => return,
+            FrameRead::Eof | FrameRead::Io => return ExitReason::Abrupt,
+            FrameRead::Idle => {
+                shared.counters.idle_disconnects.inc();
+                return ExitReason::Abrupt;
+            }
             FrameRead::Shutdown => {
                 let _ = outbox.send(Frame::Err {
                     code: ErrCode::Shutdown,
                 });
-                return;
+                return ExitReason::Shutdown;
             }
             FrameRead::Malformed => {
                 shared.counters.bad_frames.inc();
                 let _ = outbox.send(Frame::Err {
                     code: ErrCode::BadFrame,
                 });
-                return;
+                // Corruption is a transport fault, not a goodbye: park
+                // a resumable session so the client can reconnect.
+                return ExitReason::Abrupt;
             }
         };
         match frame {
-            Frame::Hello {
-                model_id,
-                sample_rate,
-            } => {
+            hello @ (Frame::Hello { .. } | Frame::HelloResumable { .. }) => {
+                let resumable = matches!(hello, Frame::HelloResumable { .. });
+                let (Frame::Hello {
+                    model_id,
+                    sample_rate,
+                }
+                | Frame::HelloResumable {
+                    model_id,
+                    sample_rate,
+                }) = hello
+                else {
+                    unreachable!("outer arm matched a hello variant")
+                };
                 if state.device.is_some() {
                     let _ = outbox.send(Frame::Err {
                         code: ErrCode::ProtocolViolation,
                     });
-                    return;
+                    return ExitReason::Abrupt;
                 }
                 let Some(model) = shared.registry.get(&model_id) else {
                     let _ = outbox.send(Frame::Err {
                         code: ErrCode::UnknownModel,
                     });
-                    return;
+                    return ExitReason::Clean;
                 };
                 let session = match MonitorSession::new(model.clone(), sample_rate) {
                     Ok(s) => s,
@@ -676,28 +1045,116 @@ fn read_loop(
                         let _ = outbox.send(Frame::Err {
                             code: ErrCode::BadHello,
                         });
-                        return;
+                        return ExitReason::Clean;
                     }
                 };
                 let mut core = shared.core.lock().expect("core lock");
+                let core = &mut *core;
                 let dev = core.fleet.add_session(session);
                 core.routes.insert(dev.index(), outbox.clone());
                 core.model_ids.insert(dev.index(), model_id);
                 state.device = Some(dev);
+                if resumable {
+                    let token = core.next_token;
+                    core.next_token += 1;
+                    core.device_tokens.insert(dev.index(), token);
+                    core.resumables.insert(
+                        token,
+                        Resumable {
+                            device: dev,
+                            expected_seq: 0,
+                            tail: VecDeque::new(),
+                            tail_base: 0,
+                            windows_sent: 0,
+                            attached: true,
+                            parked_at: None,
+                        },
+                    );
+                    state.token = Some(token);
+                    let _ = outbox.send(Frame::Session { token, next_seq: 0 });
+                }
+            }
+            Frame::Resume {
+                token,
+                have_windows,
+            } => {
+                if state.device.is_some() {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return ExitReason::Abrupt;
+                }
+                let mut core = shared.core.lock().expect("core lock");
+                let core = &mut *core;
+                let Some(r) = core.resumables.get_mut(&token) else {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::UnknownToken,
+                    });
+                    return ExitReason::Clean;
+                };
+                if r.attached || have_windows > r.windows_sent {
+                    // Another connection owns the session, or the
+                    // client claims events we never sent.
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return ExitReason::Clean;
+                }
+                if have_windows < r.tail_base {
+                    // The replay window has already dropped events the
+                    // client is missing; a resume would leave a hole.
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ResumeGap,
+                    });
+                    return ExitReason::Clean;
+                }
+                r.attached = true;
+                r.parked_at = None;
+                let dev = r.device;
+                let next_seq = r.expected_seq;
+                let _ = outbox.send(Frame::Session { token, next_seq });
+                // Replay buffered events the client missed, under the
+                // core lock so the drain loop cannot interleave newer
+                // events out of order.
+                let replay_from = (have_windows - r.tail_base) as usize;
+                let mut replayed = 0u64;
+                for f in r.tail.iter().skip(replay_from) {
+                    let _ = outbox.send(f.clone());
+                    replayed += 1;
+                }
+                core.routes.insert(dev.index(), outbox.clone());
+                state.device = Some(dev);
+                state.token = Some(token);
+                state.expected_seq = next_seq;
+                shared.counters.sessions_resumed.inc();
+                shared.counters.events_replayed.add(replayed);
+                if let Some(o) = eddie_obs::global() {
+                    o.journal().record(JournalEvent::SessionResumed {
+                        device: dev.index() as u64,
+                        replayed,
+                    });
+                }
             }
             Frame::Chunk { seq, samples } => {
+                shared.counters.chunks_received.inc();
                 let Some(dev) = state.device else {
                     let _ = outbox.send(Frame::Err {
                         code: ErrCode::ProtocolViolation,
                     });
-                    return;
+                    return ExitReason::Abrupt;
                 };
                 if seq < state.expected_seq {
                     // Duplicate of an accepted chunk: idempotent ack.
+                    shared.counters.duplicate_acks.inc();
                     let _ = outbox.send(Frame::Ack { seq });
                 } else if seq > state.expected_seq {
                     // A gap means an earlier chunk was refused; the
                     // client must resend in order (go-back-N).
+                    shared.counters.chunks_busy.inc();
+                    let _ = outbox.send(Frame::Busy { seq });
+                } else if config.faults.as_ref().is_some_and(|f| f.busy_storm()) {
+                    // Injected busy storm: refuse a chunk the fleet
+                    // would have taken; go-back-N absorbs it.
                     shared.counters.chunks_busy.inc();
                     let _ = outbox.send(Frame::Busy { seq });
                 } else {
@@ -708,7 +1165,17 @@ fn read_loop(
                             eddie_obs::enabled().then(|| shared.counters.ingest_lag_ns.as_ref()),
                         );
                         let mut core = shared.core.lock().expect("core lock");
-                        core.fleet.push_chunk(dev, samples)
+                        let core = &mut *core;
+                        let result = core.fleet.push_chunk(dev, samples);
+                        if matches!(result, PushResult::Accepted) {
+                            // Keep the resumable cursor in sync under
+                            // the same lock, so a resume always sees
+                            // the post-push position.
+                            if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
+                                r.expected_seq = state.expected_seq + 1;
+                            }
+                        }
+                        result
                     };
                     match result {
                         PushResult::Accepted => {
@@ -728,7 +1195,7 @@ fn read_loop(
                     let _ = outbox.send(Frame::Err {
                         code: ErrCode::ProtocolViolation,
                     });
-                    return;
+                    return ExitReason::Abrupt;
                 };
                 let persisted =
                     config.snapshot_path.is_some() && { persist_device(dev, shared, config) };
@@ -744,24 +1211,40 @@ fn read_loop(
                     }
                 });
             }
+            Frame::Finish => {
+                let Some(dev) = state.device else {
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return ExitReason::Abrupt;
+                };
+                // Flush, then tell the client the total window count
+                // so it can verify it holds the complete stream.
+                // Deliberately does not end the connection: Finish is
+                // idempotent (a duplicated frame just reports the same
+                // total again) and the client follows up with Close.
+                flush_device(dev, shared, config);
+                let windows = {
+                    let core = shared.core.lock().expect("core lock");
+                    let n = core
+                        .fleet
+                        .sessions()
+                        .find(|(d, _)| *d == dev)
+                        .map_or(0, |(_, s)| s.windows_observed() as u64);
+                    n
+                };
+                let _ = outbox.send(Frame::Finished { windows });
+            }
             Frame::Close => {
                 let Some(dev) = state.device else {
-                    return;
+                    return ExitReason::Clean;
                 };
                 // Flush: wait until the drain loop has consumed the
                 // device's queue. Because events are routed under the
                 // same lock, an empty queue means every event is
                 // already in our outbox.
-                loop {
-                    {
-                        let core = shared.core.lock().expect("core lock");
-                        if !core.fleet.contains(dev) || core.fleet.pending_chunks(dev) == 0 {
-                            break;
-                        }
-                    }
-                    std::thread::sleep(config.drain_idle);
-                }
-                return;
+                flush_device(dev, shared, config);
+                return ExitReason::Clean;
             }
             Frame::Stats => {
                 // Allowed in any state, including before Hello, so an
@@ -779,13 +1262,30 @@ fn read_loop(
             | Frame::Busy { .. }
             | Frame::Event { .. }
             | Frame::Err { .. }
-            | Frame::StatsReply { .. } => {
+            | Frame::StatsReply { .. }
+            | Frame::Session { .. }
+            | Frame::Finished { .. } => {
                 let _ = outbox.send(Frame::Err {
                     code: ErrCode::ProtocolViolation,
                 });
-                return;
+                return ExitReason::Abrupt;
             }
         }
+    }
+}
+
+/// Waits until the drain loop has consumed `dev`'s queue. Events are
+/// routed under the same lock as draining, so an empty queue means
+/// every event for already-accepted chunks is in the outbox.
+fn flush_device(dev: DeviceId, shared: &Shared, config: &ServerConfig) {
+    loop {
+        {
+            let core = shared.core.lock().expect("core lock");
+            if !core.fleet.contains(dev) || core.fleet.pending_chunks(dev) == 0 {
+                break;
+            }
+        }
+        std::thread::sleep(config.drain_idle);
     }
 }
 
@@ -810,16 +1310,7 @@ fn persist_device(dev: DeviceId, shared: &Shared, config: &ServerConfig) -> bool
             })
             .collect()
     };
-    let ok = persist_sessions(path, &sessions).is_ok();
-    if ok {
-        shared.counters.snapshots_written.inc();
-        if let Some(o) = eddie_obs::global() {
-            o.journal().record(JournalEvent::SnapshotPersisted {
-                sessions: sessions.len() as u64,
-            });
-        }
-    }
-    ok
+    write_snapshot_with_faults(path, &sessions, shared, config)
 }
 
 /// Bounds a Prometheus rendering to what fits in one wire frame,
@@ -843,6 +1334,8 @@ enum FrameRead {
     Eof,
     /// Server shutdown observed while idle.
     Shutdown,
+    /// Nothing arrived within the configured idle timeout.
+    Idle,
     /// Bytes arrived but are not a valid frame (bad length, bad tag,
     /// bad payload, or EOF inside a frame).
     Malformed,
@@ -851,10 +1344,16 @@ enum FrameRead {
 }
 
 /// Reads one frame, treating read timeouts as idle polls: at a frame
-/// boundary a timeout checks the shutdown flag and retries; inside a
-/// frame, partially-arrived bytes are kept and the read resumes, so a
-/// slow sender is not misread as malformed.
-fn read_frame_idle_aware(reader: &mut TcpStream, shared: &Shared) -> FrameRead {
+/// boundary a timeout checks the shutdown flag (and the idle budget,
+/// when one is configured) and retries; inside a frame,
+/// partially-arrived bytes are kept and the read resumes, so a slow
+/// sender is not misread as malformed.
+fn read_frame_idle_aware(
+    reader: &mut TcpStream,
+    shared: &Shared,
+    idle_timeout: Option<Duration>,
+) -> FrameRead {
+    let started = Instant::now();
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
@@ -868,14 +1367,13 @@ fn read_frame_idle_aware(reader: &mut TcpStream, shared: &Shared) -> FrameRead {
             }
             Ok(n) => got += n,
             Err(e) if is_timeout(&e) => {
-                if got == 0 && shared.shutdown.load(Ordering::SeqCst) {
-                    return FrameRead::Shutdown;
-                }
-                // Mid-prefix stall: keep waiting (shutdown still
-                // breaks us out at the frame boundary above, and an
-                // abandoned connection ends with a socket error/EOF).
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return FrameRead::Shutdown;
+                }
+                // The idle budget only applies at a frame boundary: a
+                // mid-prefix stall is a slow sender, not a dead one.
+                if got == 0 && idle_timeout.is_some_and(|t| started.elapsed() >= t) {
+                    return FrameRead::Idle;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -936,5 +1434,84 @@ mod tests {
         assert!(c.snapshot_path.is_none());
         assert!(c.poll_interval > Duration::ZERO);
         assert!(c.drain_idle > Duration::ZERO);
+        assert!(c.idle_timeout.is_none());
+        assert!(c.resume_tail > 0);
+        assert!(c.faults.is_none());
+    }
+
+    #[test]
+    fn config_builder_round_trips_and_validates() {
+        let c = ServerConfig::builder()
+            .with_snapshot_path("/tmp/eddie-test-snap.json")
+            .with_snapshot_every(Duration::from_millis(50))
+            .with_idle_timeout(Duration::from_millis(200))
+            .with_resume_linger(Duration::from_secs(2))
+            .with_resume_tail(64)
+            .build()
+            .expect("valid config");
+        assert_eq!(c.resume_tail, 64);
+        assert_eq!(c.idle_timeout, Some(Duration::from_millis(200)));
+
+        for (broken, what) in [
+            (
+                ServerConfig::builder().with_poll_interval(Duration::ZERO),
+                "poll",
+            ),
+            (
+                ServerConfig::builder().with_drain_idle(Duration::ZERO),
+                "drain",
+            ),
+            (
+                ServerConfig::builder().with_snapshot_every(Duration::ZERO),
+                "snapshot",
+            ),
+            (ServerConfig::builder().with_resume_tail(0), "tail"),
+            (
+                ServerConfig::builder().with_idle_timeout(Duration::ZERO),
+                "idle",
+            ),
+        ] {
+            let err = broken.build().expect_err(what);
+            assert_eq!(err.kind(), ErrorKind::InvalidConfig, "{what}");
+        }
+    }
+
+    /// The crash-safety contract of `persist_snapshot`: a temp file
+    /// truncated mid-write (as an injected `SnapshotFate::Truncate`
+    /// leaves behind) must never clobber the previous good generation,
+    /// and the next successful write must replace it cleanly.
+    #[test]
+    fn truncated_tmp_never_clobbers_previous_snapshot() {
+        let dir = std::env::temp_dir().join(format!("eddie-snapcrash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("snap.json");
+
+        let gen_a = SnapshotFile {
+            journal_seq: 7,
+            sessions: vec![],
+        };
+        persist_snapshot(&path, &gen_a).expect("write generation A");
+
+        // Simulate a crash mid-write of the next generation: half the
+        // JSON lands in the sibling temp file, the rename never runs.
+        let gen_b = SnapshotFile {
+            journal_seq: 99,
+            sessions: vec![],
+        };
+        let json = serde_json::to_string(&gen_b).unwrap();
+        std::fs::write(
+            path.with_extension("tmp"),
+            &json.as_bytes()[..json.len() / 2],
+        )
+        .expect("write truncated tmp");
+
+        let loaded = load_snapshot(&path).expect("previous generation intact");
+        assert_eq!(loaded, gen_a, "truncated tmp must not replace the snapshot");
+
+        // A later successful write replaces it cleanly, stale tmp and all.
+        persist_snapshot(&path, &gen_b).expect("write generation B");
+        assert_eq!(load_snapshot(&path).expect("load B"), gen_b);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -45,11 +45,16 @@ const TAG_CHUNK: u8 = 0x02;
 const TAG_SNAPSHOT: u8 = 0x03;
 const TAG_CLOSE: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_HELLO_RESUMABLE: u8 = 0x06;
+const TAG_RESUME: u8 = 0x07;
+const TAG_FINISH: u8 = 0x08;
 const TAG_ACK: u8 = 0x81;
 const TAG_BUSY: u8 = 0x82;
 const TAG_EVENT: u8 = 0x83;
 const TAG_ERR: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
+const TAG_SESSION: u8 = 0x86;
+const TAG_FINISHED: u8 = 0x87;
 
 /// Why the server is refusing a frame or a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +76,13 @@ pub enum ErrCode {
     Shutdown = 5,
     /// The server failed to persist a requested snapshot.
     SnapshotFailed = 6,
+    /// A `Resume` asked for events older than the server's retained
+    /// event tail; the client cannot recover the gap and must start a
+    /// fresh session.
+    ResumeGap = 7,
+    /// A `Resume` carried a token the server does not recognise
+    /// (expired, evicted after the linger window, or never issued).
+    UnknownToken = 8,
 }
 
 impl ErrCode {
@@ -83,7 +95,24 @@ impl ErrCode {
             4 => Some(ErrCode::BadHello),
             5 => Some(ErrCode::Shutdown),
             6 => Some(ErrCode::SnapshotFailed),
+            7 => Some(ErrCode::ResumeGap),
+            8 => Some(ErrCode::UnknownToken),
             _ => None,
+        }
+    }
+
+    /// The workspace-wide [`ErrorKind`](eddie_core::ErrorKind) this
+    /// refusal maps to — what recovery code branches on.
+    pub fn kind(self) -> eddie_core::ErrorKind {
+        match self {
+            ErrCode::BadFrame => eddie_core::ErrorKind::MalformedFrame,
+            ErrCode::ProtocolViolation => eddie_core::ErrorKind::ProtocolViolation,
+            ErrCode::UnknownModel => eddie_core::ErrorKind::UnknownModel,
+            ErrCode::BadHello => eddie_core::ErrorKind::InvalidConfig,
+            ErrCode::Shutdown => eddie_core::ErrorKind::ProtocolViolation,
+            ErrCode::SnapshotFailed => eddie_core::ErrorKind::SnapshotFailed,
+            ErrCode::ResumeGap => eddie_core::ErrorKind::ResumeGap,
+            ErrCode::UnknownToken => eddie_core::ErrorKind::UnknownToken,
         }
     }
 }
@@ -97,6 +126,8 @@ impl fmt::Display for ErrCode {
             ErrCode::BadHello => "invalid hello parameters",
             ErrCode::Shutdown => "server shutting down",
             ErrCode::SnapshotFailed => "snapshot persistence failed",
+            ErrCode::ResumeGap => "resume asks for events beyond the retained tail",
+            ErrCode::UnknownToken => "unknown resume token",
         };
         f.write_str(s)
     }
@@ -117,9 +148,10 @@ pub enum EventKind {
     Anomaly,
 }
 
-/// One frame of the protocol, client→server (`Hello`, `Chunk`,
-/// `Snapshot`, `Close`) or server→client (`Ack`, `Busy`, `Event`,
-/// `Err`).
+/// One frame of the protocol, client→server (`Hello`,
+/// `HelloResumable`, `Resume`, `Chunk`, `Snapshot`, `Finish`, `Close`)
+/// or server→client (`Ack`, `Busy`, `Event`, `Err`, `Session`,
+/// `Finished`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Connection opener: which trained model to monitor against and
@@ -148,6 +180,35 @@ pub enum Frame {
     /// protocol state, including before `Hello`, so an operator can
     /// scrape a server without starting a monitoring session.
     Stats,
+    /// Like [`Frame::Hello`], but asks for a *resumable* session: the
+    /// server replies [`Frame::Session`] with a resume token, keeps a
+    /// bounded tail of sent events, and parks (instead of evicting) the
+    /// session when the connection dies, so a reconnecting client can
+    /// [`Frame::Resume`] where it left off.
+    HelloResumable {
+        /// Server-side id of the trained model.
+        model_id: String,
+        /// Device sample rate, hertz.
+        sample_rate: f64,
+    },
+    /// Re-attaches to a parked resumable session after a reconnect.
+    /// The server replies [`Frame::Session`] (carrying the next chunk
+    /// seq it expects) and replays every retained event from
+    /// `have_windows` on, or refuses with [`ErrCode::UnknownToken`] /
+    /// [`ErrCode::ResumeGap`].
+    Resume {
+        /// The token issued by the session's [`Frame::Session`] reply.
+        token: u64,
+        /// Number of event windows the client has already received
+        /// (i.e. the next window index it still needs).
+        have_windows: u64,
+    },
+    /// Asks the server to finish all queued work for this session and
+    /// report the total window count — the resumable replacement for
+    /// the implicit flush of [`Frame::Close`]. The server sends every
+    /// remaining [`Frame::Event`], then [`Frame::Finished`]; the
+    /// connection stays open.
+    Finish,
     /// The chunk with this sequence number was queued.
     Ack {
         /// Sequence number being acknowledged.
@@ -187,6 +248,21 @@ pub enum Frame {
         /// Prometheus-text rendering of the server's registry.
         text: String,
     },
+    /// Reply to [`Frame::HelloResumable`] and [`Frame::Resume`]: the
+    /// session is attached.
+    Session {
+        /// Token identifying the session across reconnects.
+        token: u64,
+        /// The next chunk sequence number the server expects — after a
+        /// resume, the client rewinds its send cursor here.
+        next_seq: u64,
+    },
+    /// Reply to [`Frame::Finish`], after every queued chunk has been
+    /// drained and every event sent.
+    Finished {
+        /// Total STS windows the session has observed.
+        windows: u64,
+    },
 }
 
 /// Decode-side failure. The variants deliberately carry enough to log,
@@ -219,6 +295,25 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+impl WireError {
+    /// The workspace-wide [`ErrorKind`](eddie_core::ErrorKind) this
+    /// decode failure maps to.
+    pub fn kind(&self) -> eddie_core::ErrorKind {
+        match self {
+            WireError::Truncated => eddie_core::ErrorKind::TruncatedStream,
+            WireError::BadLength { .. } | WireError::BadTag(_) | WireError::BadPayload(_) => {
+                eddie_core::ErrorKind::MalformedFrame
+            }
+        }
+    }
+}
+
+impl From<WireError> for eddie_core::Error {
+    fn from(e: WireError) -> eddie_core::Error {
+        eddie_core::Error::with_source(e.kind(), "eddie-serve", e.to_string(), e)
+    }
+}
+
 /// A [`WireError`] or the I/O error that interrupted framing.
 #[derive(Debug)]
 pub enum ReadError {
@@ -238,6 +333,29 @@ impl fmt::Display for ReadError {
 }
 
 impl std::error::Error for ReadError {}
+
+impl ReadError {
+    /// The workspace-wide [`ErrorKind`](eddie_core::ErrorKind) this
+    /// read failure maps to.
+    pub fn kind(&self) -> eddie_core::ErrorKind {
+        match self {
+            ReadError::Wire(e) => e.kind(),
+            ReadError::Io(e) => match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                    eddie_core::ErrorKind::Timeout
+                }
+                io::ErrorKind::UnexpectedEof => eddie_core::ErrorKind::TruncatedStream,
+                _ => eddie_core::ErrorKind::Io,
+            },
+        }
+    }
+}
+
+impl From<ReadError> for eddie_core::Error {
+    fn from(e: ReadError) -> eddie_core::Error {
+        eddie_core::Error::with_source(e.kind(), "eddie-serve", e.to_string(), e)
+    }
+}
 
 impl From<WireError> for ReadError {
     fn from(e: WireError) -> ReadError {
@@ -322,6 +440,25 @@ impl Frame {
             Frame::Snapshot => buf.push(TAG_SNAPSHOT),
             Frame::Close => buf.push(TAG_CLOSE),
             Frame::Stats => buf.push(TAG_STATS),
+            Frame::HelloResumable {
+                model_id,
+                sample_rate,
+            } => {
+                buf.push(TAG_HELLO_RESUMABLE);
+                let id = model_id.as_bytes();
+                buf.extend_from_slice(&(id.len() as u32).to_le_bytes());
+                buf.extend_from_slice(id);
+                buf.extend_from_slice(&sample_rate.to_bits().to_le_bytes());
+            }
+            Frame::Resume {
+                token,
+                have_windows,
+            } => {
+                buf.push(TAG_RESUME);
+                buf.extend_from_slice(&token.to_le_bytes());
+                buf.extend_from_slice(&have_windows.to_le_bytes());
+            }
+            Frame::Finish => buf.push(TAG_FINISH),
             Frame::Ack { seq } => {
                 buf.push(TAG_ACK);
                 buf.extend_from_slice(&seq.to_le_bytes());
@@ -357,6 +494,15 @@ impl Frame {
                 buf.push(TAG_STATS_REPLY);
                 buf.extend_from_slice(text.as_bytes());
             }
+            Frame::Session { token, next_seq } => {
+                buf.push(TAG_SESSION);
+                buf.extend_from_slice(&token.to_le_bytes());
+                buf.extend_from_slice(&next_seq.to_le_bytes());
+            }
+            Frame::Finished { windows } => {
+                buf.push(TAG_FINISHED);
+                buf.extend_from_slice(&windows.to_le_bytes());
+            }
         }
         let len = (buf.len() - start - 4) as u32;
         buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
@@ -376,7 +522,7 @@ impl Frame {
         let (&tag, payload) = body.split_first().ok_or(WireError::Truncated)?;
         let mut r = PayloadReader::new(payload);
         let frame = match tag {
-            TAG_HELLO => {
+            TAG_HELLO | TAG_HELLO_RESUMABLE => {
                 let id_len = r.u32()? as usize;
                 if id_len > r.remaining() {
                     return Err(WireError::BadPayload("model id length exceeds payload"));
@@ -386,11 +532,23 @@ impl Frame {
                     .map_err(|_| WireError::BadPayload("model id is not UTF-8"))?
                     .to_owned();
                 let sample_rate = f64::from_bits(r.u64()?);
-                Frame::Hello {
-                    model_id,
-                    sample_rate,
+                if tag == TAG_HELLO {
+                    Frame::Hello {
+                        model_id,
+                        sample_rate,
+                    }
+                } else {
+                    Frame::HelloResumable {
+                        model_id,
+                        sample_rate,
+                    }
                 }
             }
+            TAG_RESUME => Frame::Resume {
+                token: r.u64()?,
+                have_windows: r.u64()?,
+            },
+            TAG_FINISH => Frame::Finish,
             TAG_CHUNK => {
                 let seq = r.u64()?;
                 let n = r.u32()? as usize;
@@ -446,6 +604,11 @@ impl Frame {
                     .to_owned();
                 Frame::StatsReply { text }
             }
+            TAG_SESSION => Frame::Session {
+                token: r.u64()?,
+                next_seq: r.u64()?,
+            },
+            TAG_FINISHED => Frame::Finished { windows: r.u64()? },
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -586,6 +749,74 @@ mod tests {
         round_trip(Frame::StatsReply {
             text: "# TYPE x counter\nx 5\n".into(),
         });
+        round_trip(Frame::HelloResumable {
+            model_id: "bitcount".into(),
+            sample_rate: 1.25e8,
+        });
+        round_trip(Frame::Resume {
+            token: u64::MAX,
+            have_windows: 0,
+        });
+        round_trip(Frame::Finish);
+        round_trip(Frame::Session {
+            token: 0xdead_beef_cafe_f00d,
+            next_seq: 42,
+        });
+        round_trip(Frame::Finished { windows: 1 << 40 });
+        round_trip(Frame::Err {
+            code: ErrCode::ResumeGap,
+        });
+        round_trip(Frame::Err {
+            code: ErrCode::UnknownToken,
+        });
+    }
+
+    #[test]
+    fn resumable_hello_is_distinct_from_hello_on_the_wire() {
+        let hello = Frame::Hello {
+            model_id: "m".into(),
+            sample_rate: 1e6,
+        };
+        let resumable = Frame::HelloResumable {
+            model_id: "m".into(),
+            sample_rate: 1e6,
+        };
+        let (a, b) = (hello.encode(), resumable.encode());
+        assert_ne!(a, b, "the tag byte distinguishes them");
+        assert_eq!(a.len(), b.len(), "payload layout is shared");
+        assert_eq!(read_frame(&mut &b[..]).unwrap().unwrap(), resumable);
+    }
+
+    #[test]
+    fn err_codes_round_trip_and_map_to_error_kinds() {
+        use eddie_core::ErrorKind;
+        for (code, kind) in [
+            (ErrCode::BadFrame, ErrorKind::MalformedFrame),
+            (ErrCode::ProtocolViolation, ErrorKind::ProtocolViolation),
+            (ErrCode::UnknownModel, ErrorKind::UnknownModel),
+            (ErrCode::BadHello, ErrorKind::InvalidConfig),
+            (ErrCode::Shutdown, ErrorKind::ProtocolViolation),
+            (ErrCode::SnapshotFailed, ErrorKind::SnapshotFailed),
+            (ErrCode::ResumeGap, ErrorKind::ResumeGap),
+            (ErrCode::UnknownToken, ErrorKind::UnknownToken),
+        ] {
+            assert_eq!(ErrCode::from_u16(code as u16), Some(code));
+            assert_eq!(code.kind(), kind);
+        }
+        assert_eq!(ErrCode::from_u16(9), None);
+    }
+
+    #[test]
+    fn wire_errors_convert_to_typed_workspace_errors() {
+        use eddie_core::ErrorKind;
+        let e: eddie_core::Error = WireError::Truncated.into();
+        assert_eq!(e.kind(), ErrorKind::TruncatedStream);
+        let e: eddie_core::Error = WireError::BadTag(0x7f).into();
+        assert_eq!(e.kind(), ErrorKind::MalformedFrame);
+        let e: eddie_core::Error =
+            ReadError::Io(io::Error::new(io::ErrorKind::TimedOut, "t")).into();
+        assert_eq!(e.kind(), ErrorKind::Timeout);
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

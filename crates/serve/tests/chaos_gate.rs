@@ -1,0 +1,556 @@
+//! Chaos gate: the full loopback deployment behind a fault-injecting
+//! proxy, driven by the self-healing client, audited for equivalence.
+//!
+//! Every seed in the matrix runs the same contract:
+//!
+//! * the [`ResilientClient`] must deliver the complete event stream —
+//!   byte-identical to `Pipeline::monitor_result` on the same signal —
+//!   through dropped, duplicated, corrupted, reordered, and severed
+//!   frames, server-side busy storms, and snapshot write failures;
+//! * the server's books must balance like a ledger even under chaos:
+//!   `chunks_received == chunks_accepted + chunks_busy +
+//!   duplicate_acks`, and the serve and stream layers agree on what
+//!   was accepted;
+//! * each seed must actually *exercise* its faults (a proxy that
+//!   forwarded everything untouched would pass equivalence trivially),
+//!   so per-seed evidence — dropped-frame counts, reconnects, bad
+//!   frames, failed snapshots — is asserted non-zero.
+//!
+//! CI runs this at `EDDIE_THREADS=1` and `4`: recovery must not
+//! depend on worker-pool scheduling.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eddie_chaos::{ChaosProxy, FaultPlan};
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_inject::{LoopInjector, OpPattern};
+use eddie_serve::{
+    load_snapshot, read_frame, write_frame, ClientConfig, ErrCode, Frame, ModelRegistry,
+    ResilientClient, Server, ServerConfig, ServerHandle, ServerReport,
+};
+use eddie_sim::{InjectionHook, SimConfig, SimResult};
+use eddie_stream::StreamEvent;
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const MODEL_ID: &str = "bitcount-power";
+const CHUNK: usize = 499; // deliberately off the STFT hop grid
+
+fn power_pipeline() -> Pipeline {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+fn injected_hook(w: &Workload) -> Option<Box<dyn InjectionHook>> {
+    let region = w.program().declared_regions().next()?;
+    let pc = w.loop_branch_pc(region)?;
+    Some(Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(8),
+        1001,
+    )))
+}
+
+/// The injected run: anomalies, transitions, and tracked/untracked
+/// windows all appear in the stream, so equivalence checks more than
+/// the happy path.
+fn injected_run(
+    pipeline: &Pipeline,
+    w: &Workload,
+    model: &TrainedModel,
+) -> (SimResult, MonitorOutcome) {
+    let r = pipeline.simulate(w.program(), |m| w.prepare(m, 1001), injected_hook(w));
+    let batch = pipeline.monitor_result(model, &r, 0);
+    (r, batch)
+}
+
+fn assert_stream_matches_batch(name: &str, streamed: &[StreamEvent], batch: &MonitorOutcome) {
+    assert_eq!(
+        streamed.len(),
+        batch.events.len(),
+        "[{name}] window count differs"
+    );
+    for (w, ev) in streamed.iter().enumerate() {
+        assert_eq!(ev.window, w, "[{name}] window indices must be dense");
+        assert_eq!(ev.event, batch.events[w], "[{name}] event differs at {w}");
+        assert_eq!(ev.alarm, batch.alarms[w], "[{name}] alarm differs at {w}");
+        assert_eq!(
+            ev.tracked, batch.tracked[w],
+            "[{name}] tracking differs at {w}"
+        );
+    }
+}
+
+fn start_server(
+    model: Arc<TrainedModel>,
+    config: ServerConfig,
+) -> (ServerHandle, std::thread::JoinHandle<ServerReport>) {
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL_ID, model);
+    let server = Server::bind("127.0.0.1:0", registry, config).expect("bind loopback");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, join)
+}
+
+fn snap_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "eddie-chaos-gate-{}-{name}-snapshot.json",
+        std::process::id()
+    ))
+}
+
+/// Runs one seed of the matrix end to end and audits it.
+fn run_seed(
+    name: &str,
+    plan_text: &str,
+    model: &Arc<TrainedModel>,
+    signal: &[f32],
+    rate: f64,
+    batch: &MonitorOutcome,
+) {
+    let plan = FaultPlan::parse(plan_text).unwrap_or_else(|e| panic!("[{name}] plan: {e}"));
+    let snapshotting = !plan.snapshot_fail_nth.is_empty();
+    let snap = snapshotting.then(|| snap_path(name));
+    if let Some(p) = &snap {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let mut builder = ServerConfig::builder()
+        .with_drain_idle(Duration::from_millis(1))
+        // Parked by idleness rather than evicted: a client mid-backoff
+        // must be able to come back.
+        .with_idle_timeout(Duration::from_millis(800))
+        .with_resume_linger(Duration::from_secs(30))
+        .with_resume_tail(4096)
+        .with_faults(plan.server_faults());
+    if let Some(p) = &snap {
+        builder = builder
+            .with_snapshot_path(p.clone())
+            .with_snapshot_every(Duration::from_millis(20));
+    }
+    let config = builder.build().expect("server config");
+    let (handle, join) = start_server(model.clone(), config);
+
+    let mut proxy = ChaosProxy::start(handle.addr(), plan.clone())
+        .unwrap_or_else(|e| panic!("[{name}] proxy: {e}"));
+
+    let client_config = ClientConfig::builder()
+        // A dropped frame produces silence, never an error: the read
+        // timeout is what converts it into a reconnect.
+        .with_read_timeout(Duration::from_millis(150))
+        .with_backoff(Duration::from_millis(2), 2.0, Duration::from_millis(50))
+        .with_jitter(0.1, plan.seed)
+        .with_max_reconnects(10)
+        .build()
+        .expect("client config");
+    let client = ResilientClient::new(proxy.addr(), client_config);
+    let outcome = client
+        .replay(MODEL_ID, rate, signal, CHUNK)
+        .unwrap_or_else(|e| panic!("[{name}] replay failed: {e}"));
+
+    // The headline: the recovered stream is byte-identical to batch.
+    assert_stream_matches_batch(name, &outcome.events, batch);
+    assert_eq!(
+        outcome.windows as usize,
+        batch.events.len(),
+        "[{name}] server window total"
+    );
+
+    let stats = proxy.stats();
+    proxy.shutdown();
+    handle.shutdown();
+    let report = join.join().unwrap();
+
+    // The ledger balances even with faults injected on both sides.
+    assert_eq!(
+        report.chunks_received,
+        report.chunks_accepted + report.chunks_busy + report.duplicate_acks,
+        "[{name}] chunk conservation"
+    );
+    assert_eq!(
+        report.final_stats.accepted_chunks, report.chunks_accepted,
+        "[{name}] serve and stream layers agree on accepted chunks"
+    );
+
+    // Fault evidence: each configured fault class actually fired.
+    assert!(stats.frames_seen > 0, "[{name}] proxy saw traffic");
+    if plan.drop > 0.0 {
+        assert!(stats.frames_dropped > 0, "[{name}] drops fired");
+        assert!(outcome.reconnects > 0, "[{name}] drops forced reconnects");
+    }
+    if plan.duplicate > 0.0 {
+        assert!(stats.frames_duplicated > 0, "[{name}] dups fired");
+    }
+    if plan.reorder > 0.0 {
+        assert!(stats.frames_reordered > 0, "[{name}] reorders fired");
+    }
+    if plan.corrupt > 0.0 {
+        assert!(stats.frames_corrupted > 0, "[{name}] corruptions fired");
+        assert!(
+            report.bad_frames > 0,
+            "[{name}] server detected the corrupted frames"
+        );
+    }
+    if !plan.sever_at.is_empty() {
+        assert!(stats.connections_severed > 0, "[{name}] severs fired");
+        assert!(outcome.reconnects > 0, "[{name}] severs forced reconnects");
+    }
+    if plan.busy_len > 0 {
+        assert!(
+            outcome.busy_replies > 0 && report.chunks_busy > 0,
+            "[{name}] busy storm refused in-order chunks"
+        );
+    }
+    if snapshotting {
+        assert!(
+            report.snapshots_failed > 0,
+            "[{name}] snapshot failpoint fired"
+        );
+        assert!(
+            report.snapshots_written > 0,
+            "[{name}] later snapshot generations still landed"
+        );
+        let p = snap.as_ref().unwrap();
+        let file = load_snapshot(p).expect("surviving snapshot generation is readable");
+        assert!(
+            file.sessions.len() <= 1,
+            "[{name}] snapshot holds at most the one replay session"
+        );
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(p.with_extension("tmp"));
+    }
+    if outcome.resumes > 0 {
+        assert_eq!(
+            report.sessions_resumed, outcome.resumes,
+            "[{name}] both sides count the same resumes"
+        );
+    }
+}
+
+#[test]
+fn chaos_matrix_recovers_byte_identical_streams() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(
+        pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+            .expect("train"),
+    );
+    let (r, batch) = injected_run(&pipeline, &w, &model);
+    let signal = &r.power.samples;
+    let rate = r.power.sample_rate_hz();
+
+    // One fault class per seed, then everything at once. Probabilities
+    // are low enough that go-back-N and resume converge, high enough
+    // that every class demonstrably fires on this signal length.
+    let matrix: [(&str, &str); 7] = [
+        ("drops", "seed=11,drop=0.08"),
+        ("dup_reorder", "seed=23,dup=0.06,reorder=0.08"),
+        ("corrupt", "seed=37,corrupt=0.05"),
+        ("sever", "seed=41,sever=17;53;131"),
+        ("busy_storm", "seed=53,busy=6+24"),
+        ("snapshot_crash", "seed=67,snapfail=1;2,snaptrunc"),
+        (
+            "kitchen_sink",
+            "seed=97,drop=0.04,dup=0.03,corrupt=0.03,reorder=0.04,sever=89,stall=40x30,drain=5x10",
+        ),
+    ];
+    for (name, plan_text) in matrix {
+        run_seed(name, plan_text, &model, signal, rate, &batch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame-level resume-protocol tests: drive the wire by hand to hit the
+// exact transitions the matrix only exercises probabilistically.
+// ---------------------------------------------------------------------
+
+/// Sends one chunk stop-and-wait, absorbing `Busy` with a retry and
+/// collecting any interleaved `Event` frames.
+fn send_chunk_wait(s: &mut TcpStream, seq: u64, samples: &[f32], events: &mut Vec<StreamEvent>) {
+    loop {
+        write_frame(
+            s,
+            &Frame::Chunk {
+                seq,
+                samples: samples.to_vec(),
+            },
+        )
+        .expect("write chunk");
+        let mut resend = false;
+        loop {
+            match read_frame(s).expect("read").expect("server closed early") {
+                Frame::Ack { seq: a } if a == seq => return,
+                Frame::Ack { .. } => {}
+                Frame::Busy { .. } => {
+                    std::thread::sleep(Duration::from_millis(2));
+                    resend = true;
+                    break;
+                }
+                ev @ Frame::Event { .. } => events.push(ev.to_stream_event().unwrap()),
+                other => panic!("unexpected reply to chunk {seq}: {other:?}"),
+            }
+        }
+        assert!(resend);
+    }
+}
+
+/// Sends `Finish` and reads to `Finished`, collecting events.
+fn finish_wait(s: &mut TcpStream, events: &mut Vec<StreamEvent>) -> u64 {
+    write_frame(s, &Frame::Finish).expect("write finish");
+    loop {
+        match read_frame(s).expect("read").expect("server closed early") {
+            Frame::Finished { windows } => return windows,
+            ev @ Frame::Event { .. } => events.push(ev.to_stream_event().unwrap()),
+            Frame::Ack { .. } => {}
+            other => panic!("unexpected reply to finish: {other:?}"),
+        }
+    }
+}
+
+fn open_resumable(addr: std::net::SocketAddr, rate: f64) -> (TcpStream, u64) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_nodelay(true).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(
+        &mut s,
+        &Frame::HelloResumable {
+            model_id: MODEL_ID.to_string(),
+            sample_rate: rate,
+        },
+    )
+    .expect("hello");
+    match read_frame(&mut s).expect("read").expect("eof") {
+        Frame::Session { token, next_seq } => {
+            assert_eq!(next_seq, 0, "fresh session starts at seq 0");
+            (s, token)
+        }
+        other => panic!("expected Session, got {other:?}"),
+    }
+}
+
+/// Polls `Resume` until the server has noticed the old connection is
+/// gone (while it is still attached the server answers
+/// `ProtocolViolation`); returns the terminal reply.
+fn resume_once_parked(
+    addr: std::net::SocketAddr,
+    token: u64,
+    have_windows: u64,
+) -> (TcpStream, Frame) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write_frame(
+            &mut s,
+            &Frame::Resume {
+                token,
+                have_windows,
+            },
+        )
+        .expect("resume");
+        match read_frame(&mut s).expect("read").expect("eof") {
+            Frame::Err {
+                code: ErrCode::ProtocolViolation,
+            } if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            reply => return (s, reply),
+        }
+    }
+}
+
+#[test]
+fn idle_park_then_resume_completes_the_stream() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(
+        pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+            .expect("train"),
+    );
+    let (r, batch) = injected_run(&pipeline, &w, &model);
+    let signal = &r.power.samples;
+
+    let config = ServerConfig::builder()
+        .with_drain_idle(Duration::from_millis(1))
+        .with_idle_timeout(Duration::from_millis(40))
+        .with_resume_tail(4096)
+        .build()
+        .expect("server config");
+    let (handle, join) = start_server(model.clone(), config);
+
+    let chunks: Vec<&[f32]> = signal.chunks(CHUNK).collect();
+    assert!(chunks.len() >= 4, "signal long enough to split the replay");
+    let mut events = Vec::new();
+
+    // First connection: half the chunks, then go silent past the idle
+    // timeout — the server must park the session, not evict it.
+    let (mut s, token) = open_resumable(handle.addr(), r.power.sample_rate_hz());
+    let half = chunks.len() / 2;
+    for (seq, c) in chunks[..half].iter().enumerate() {
+        send_chunk_wait(&mut s, seq as u64, c, &mut events);
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    // The parked server already closed its side; prove it while giving
+    // late events a moment to drain out of the socket.
+    loop {
+        match read_frame(&mut s) {
+            Ok(Some(ev @ Frame::Event { .. })) => events.push(ev.to_stream_event().unwrap()),
+            Ok(Some(other)) => panic!("unexpected frame while parked: {other:?}"),
+            Ok(None) => break,
+            Err(e) => panic!("read while parked: {e}"),
+        }
+    }
+    drop(s);
+
+    // Resume and finish the stream on a second connection.
+    let (mut s, reply) = resume_once_parked(handle.addr(), token, events.len() as u64);
+    let next_seq = match reply {
+        Frame::Session { token: t, next_seq } => {
+            assert_eq!(t, token, "token survives the park");
+            next_seq
+        }
+        other => panic!("expected Session on resume, got {other:?}"),
+    };
+    assert_eq!(
+        next_seq, half as u64,
+        "chunk cursor picks up where it left off"
+    );
+    for (seq, c) in chunks.iter().enumerate().skip(half) {
+        send_chunk_wait(&mut s, seq as u64, c, &mut events);
+    }
+    let windows = finish_wait(&mut s, &mut events);
+    write_frame(&mut s, &Frame::Close).expect("close");
+    while read_frame(&mut s).expect("read").is_some() {}
+
+    assert_eq!(events.len() as u64, windows, "stream complete at finish");
+    assert_stream_matches_batch("idle_park", &events, &batch);
+
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert!(report.idle_disconnects >= 1, "idle timeout fired");
+    assert!(report.sessions_parked >= 1, "session was parked");
+    assert_eq!(report.sessions_resumed, 1, "session was resumed once");
+}
+
+#[test]
+fn resume_past_the_tail_is_refused_with_a_gap() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(
+        pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+            .expect("train"),
+    );
+    let (r, _) = injected_run(&pipeline, &w, &model);
+
+    // A replay tail of one event: any client that missed more than the
+    // single retained event has an unfillable hole.
+    let config = ServerConfig::builder()
+        .with_drain_idle(Duration::from_millis(1))
+        .with_resume_tail(1)
+        .build()
+        .expect("server config");
+    let (handle, join) = start_server(model.clone(), config);
+
+    let mut events = Vec::new();
+    let (mut s, token) = open_resumable(handle.addr(), r.power.sample_rate_hz());
+    for (seq, c) in r.power.samples.chunks(CHUNK).enumerate() {
+        send_chunk_wait(&mut s, seq as u64, c, &mut events);
+    }
+    let windows = finish_wait(&mut s, &mut events);
+    assert!(
+        windows >= 2,
+        "need at least two windows to overflow a tail of one"
+    );
+    drop(s); // abrupt: parks the session with the tail already trimmed
+
+    // A client claiming zero events needs the full history; the tail
+    // holds only the last one. The server must refuse rather than
+    // resume with a hole in the stream.
+    let (_s, reply) = resume_once_parked(handle.addr(), token, 0);
+    assert_eq!(
+        reply,
+        Frame::Err {
+            code: ErrCode::ResumeGap
+        },
+        "resume past the tail must be refused"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn unknown_and_stolen_tokens_are_refused() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(
+        pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+            .expect("train"),
+    );
+    let (r, _) = injected_run(&pipeline, &w, &model);
+
+    let config = ServerConfig::builder().build().expect("server config");
+    let (handle, join) = start_server(model.clone(), config);
+
+    // A token the server never issued.
+    let mut s = TcpStream::connect(handle.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(
+        &mut s,
+        &Frame::Resume {
+            token: 0xdead_beef,
+            have_windows: 0,
+        },
+    )
+    .expect("resume");
+    assert_eq!(
+        read_frame(&mut s).expect("read").expect("eof"),
+        Frame::Err {
+            code: ErrCode::UnknownToken
+        },
+        "bogus token refused"
+    );
+    drop(s);
+
+    // A live token whose session is still attached: a second
+    // connection cannot steal it out from under the first.
+    let (live, token) = open_resumable(handle.addr(), r.power.sample_rate_hz());
+    let mut thief = TcpStream::connect(handle.addr()).expect("connect");
+    thief
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_frame(
+        &mut thief,
+        &Frame::Resume {
+            token,
+            have_windows: 0,
+        },
+    )
+    .expect("resume");
+    assert_eq!(
+        read_frame(&mut thief).expect("read").expect("eof"),
+        Frame::Err {
+            code: ErrCode::ProtocolViolation
+        },
+        "attached session cannot be stolen"
+    );
+    drop(thief);
+    drop(live);
+
+    handle.shutdown();
+    join.join().unwrap();
+}

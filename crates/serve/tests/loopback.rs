@@ -173,15 +173,18 @@ fn busy_backpressure_preserves_equivalence() {
     let runs = runs_and_batches(&pipeline, &w, &model);
     let (r, batch) = &runs[1];
 
-    let config = ServerConfig {
-        fleet: FleetConfig {
-            max_pending_chunks: 2,
-            max_pending_samples: 1 << 12,
-        },
+    let config = ServerConfig::builder()
+        .with_fleet(
+            FleetConfig::builder()
+                .with_max_pending_chunks(2)
+                .with_max_pending_samples(1 << 12)
+                .build()
+                .expect("fleet config"),
+        )
         // Slow the drain loop down so the queue really fills.
-        drain_idle: Duration::from_millis(2),
-        ..ServerConfig::default()
-    };
+        .with_drain_idle(Duration::from_millis(2))
+        .build()
+        .expect("server config");
     let (handle, join) = start_server(model, config);
 
     let mut client = ReplayClient::connect(handle.addr()).expect("connect");
@@ -388,12 +391,12 @@ fn snapshot_persists_and_restores_mid_stream() {
         std::process::id()
     ));
     let _ = std::fs::remove_file(&snap_path);
-    let config = ServerConfig {
-        snapshot_path: Some(snap_path.clone()),
+    let config = ServerConfig::builder()
+        .with_snapshot_path(snap_path.clone())
         // Only the explicit Snapshot frame should write.
-        snapshot_every: Duration::from_secs(3600),
-        ..ServerConfig::default()
-    };
+        .with_snapshot_every(Duration::from_secs(3600))
+        .build()
+        .expect("server config");
     let (handle, join) = start_server(model.clone(), config);
 
     let signal = &r.power.samples;

@@ -144,19 +144,22 @@ fn instrumented_loopback_counters_balance() {
         std::process::id()
     ));
     let _ = std::fs::remove_file(&snap_path);
-    let config = ServerConfig {
-        fleet: FleetConfig {
+    let config = ServerConfig::builder()
+        .with_fleet(
             // Tiny queue bounds so backpressure (Busy, shed, go-back-N
             // resends) actually occurs and the conservation law is
             // exercised with non-zero terms on every side.
-            max_pending_chunks: 2,
-            max_pending_samples: 1 << 12,
-        },
-        drain_idle: Duration::from_millis(2),
-        snapshot_path: Some(snap_path.clone()),
-        snapshot_every: Duration::from_secs(3600),
-        ..ServerConfig::default()
-    };
+            FleetConfig::builder()
+                .with_max_pending_chunks(2)
+                .with_max_pending_samples(1 << 12)
+                .build()
+                .expect("fleet config"),
+        )
+        .with_drain_idle(Duration::from_millis(2))
+        .with_snapshot_path(snap_path.clone())
+        .with_snapshot_every(Duration::from_secs(3600))
+        .build()
+        .expect("server config");
     let (handle, join) = start_server(model.clone(), config);
     let addr = handle.addr();
 

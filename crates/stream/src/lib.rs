@@ -41,12 +41,16 @@
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult, SessionError};
+//! use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult, ShedPolicy};
 //!
 //! # fn model() -> eddie_core::TrainedModel { unimplemented!() }
-//! # fn main() -> Result<(), SessionError> {
+//! # fn main() -> Result<(), eddie_core::Error> {
 //! let model = Arc::new(model());
-//! let mut fleet = Fleet::new(FleetConfig::default());
+//! let config = FleetConfig::builder()
+//!     .with_max_pending_chunks(32)
+//!     .with_shed_policy(ShedPolicy::RejectNewest)
+//!     .build()?;
+//! let mut fleet = Fleet::new(config);
 //! let dev = fleet.add_session(MonitorSession::new(model, 1.0e6)?);
 //!
 //! // Ingress side: non-blocking, backpressure-aware.
@@ -78,5 +82,8 @@
 mod fleet;
 mod session;
 
-pub use fleet::{DeviceId, DeviceStats, Fleet, FleetConfig, FleetStats, PushResult};
-pub use session::{MonitorSession, SessionError, SessionSnapshot, StreamEvent};
+pub use fleet::{
+    DeviceId, DeviceStats, Fleet, FleetConfig, FleetConfigBuilder, FleetStats, PushResult,
+    ShedPolicy,
+};
+pub use session::{MonitorSession, SessionSnapshot, StreamEvent};

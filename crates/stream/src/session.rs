@@ -1,8 +1,7 @@
-use std::fmt;
 use std::sync::Arc;
 
-use eddie_core::{MonitorError, MonitorEvent, MonitorState, Sts, TrainedModel};
-use eddie_dsp::{DspError, StftConfig, StreamingStft, StreamingStftState};
+use eddie_core::{Error, ErrorKind, MonitorEvent, MonitorState, Sts, TrainedModel};
+use eddie_dsp::{StftConfig, StreamingStft, StreamingStftState};
 use eddie_isa::RegionId;
 use serde::{Deserialize, Serialize};
 
@@ -21,49 +20,6 @@ pub struct StreamEvent {
     pub alarm: bool,
     /// Region the monitor tracks after the window.
     pub tracked: RegionId,
-}
-
-/// Error from creating or restoring a session.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SessionError {
-    /// The trained model has no regions to track.
-    EmptyModel,
-    /// The model's STFT configuration is invalid, or a restored
-    /// streaming state failed its consistency checks.
-    Dsp(DspError),
-    /// A restored snapshot's components disagree with each other.
-    CorruptSnapshot {
-        /// What the consistency check found.
-        reason: &'static str,
-    },
-}
-
-impl fmt::Display for SessionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SessionError::EmptyModel => f.write_str("trained model has no regions"),
-            SessionError::Dsp(e) => write!(f, "invalid signal configuration: {e}"),
-            SessionError::CorruptSnapshot { reason } => {
-                write!(f, "corrupt session snapshot: {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
-
-impl From<DspError> for SessionError {
-    fn from(e: DspError) -> SessionError {
-        SessionError::Dsp(e)
-    }
-}
-
-impl From<MonitorError> for SessionError {
-    fn from(e: MonitorError) -> SessionError {
-        match e {
-            MonitorError::EmptyModel => SessionError::EmptyModel,
-        }
-    }
 }
 
 /// The serializable whole of a session's runtime state: the STFT
@@ -127,13 +83,10 @@ impl MonitorSession {
     ///
     /// # Errors
     ///
-    /// Returns [`SessionError::EmptyModel`] for models with no trained
-    /// regions and [`SessionError::Dsp`] when the model's STFT
-    /// configuration is invalid for the sample rate.
-    pub fn new(
-        model: Arc<TrainedModel>,
-        sample_rate_hz: f64,
-    ) -> Result<MonitorSession, SessionError> {
+    /// Returns an error of kind [`ErrorKind::EmptyModel`] for models
+    /// with no trained regions and [`ErrorKind::InvalidConfig`] when
+    /// the model's STFT configuration is invalid for the sample rate.
+    pub fn new(model: Arc<TrainedModel>, sample_rate_hz: f64) -> Result<MonitorSession, Error> {
         let monitor = MonitorState::try_new(&model)?;
         let stft = StreamingStft::new(stft_config(&model, sample_rate_hz))?;
         Ok(MonitorSession {
@@ -206,26 +159,32 @@ impl MonitorSession {
     ///
     /// # Errors
     ///
-    /// Returns [`SessionError::EmptyModel`] / [`SessionError::Dsp`] as
-    /// [`new`](MonitorSession::new) does, and
-    /// [`SessionError::CorruptSnapshot`] when the snapshot's STFT and
-    /// monitor components disagree about stream progress.
+    /// Returns errors of kind [`ErrorKind::EmptyModel`] /
+    /// [`ErrorKind::InvalidConfig`] as [`new`](MonitorSession::new)
+    /// does, and [`ErrorKind::CorruptSnapshot`] when the snapshot's
+    /// STFT and monitor components disagree about stream progress.
     pub fn restore(
         model: Arc<TrainedModel>,
         snapshot: SessionSnapshot,
-    ) -> Result<MonitorSession, SessionError> {
+    ) -> Result<MonitorSession, Error> {
         let SessionSnapshot {
             stft,
             monitor,
             sample_rate_hz,
         } = snapshot;
         if model.regions.is_empty() {
-            return Err(SessionError::EmptyModel);
+            return Err(Error::new(
+                ErrorKind::EmptyModel,
+                "eddie-stream",
+                "trained model has no regions",
+            ));
         }
         if stft.windows != monitor.windows_observed() {
-            return Err(SessionError::CorruptSnapshot {
-                reason: "STFT window count disagrees with monitor window count",
-            });
+            return Err(Error::new(
+                ErrorKind::CorruptSnapshot,
+                "eddie-stream",
+                "STFT window count disagrees with monitor window count",
+            ));
         }
         let stft = StreamingStft::from_state(stft_config(&model, sample_rate_hz), stft)?;
         Ok(MonitorSession {
@@ -297,18 +256,20 @@ mod tests {
             config: m.config.clone(),
         };
         assert_eq!(
-            MonitorSession::new(Arc::new(empty), 1000.0).err(),
-            Some(SessionError::EmptyModel)
+            MonitorSession::new(Arc::new(empty), 1000.0)
+                .err()
+                .map(|e| e.kind()),
+            Some(ErrorKind::EmptyModel)
         );
     }
 
     #[test]
     fn new_rejects_bad_sample_rate() {
         let m = Arc::new(tiny_model());
-        assert!(matches!(
-            MonitorSession::new(m, f64::NAN).err(),
-            Some(SessionError::Dsp(_))
-        ));
+        let err = MonitorSession::new(m, f64::NAN).err().expect("must fail");
+        assert_eq!(err.kind(), ErrorKind::InvalidConfig);
+        // The DSP cause survives in the source chain.
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
@@ -320,12 +281,9 @@ mod tests {
         // windows=1 with an empty tail is also internally consistent for
         // the STFT alone, so the cross-component check must catch it.
         snap.stft.base = snap.stft.windows * m.config.hop;
-        assert_eq!(
-            MonitorSession::restore(m, snap).err(),
-            Some(SessionError::CorruptSnapshot {
-                reason: "STFT window count disagrees with monitor window count"
-            })
-        );
+        let err = MonitorSession::restore(m, snap).err().expect("must fail");
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot);
+        assert!(err.message().contains("window count disagrees"));
     }
 
     #[test]

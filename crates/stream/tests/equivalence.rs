@@ -186,10 +186,13 @@ fn fleet_matches_batch_at_1_and_4_threads() {
 
     let run_fleet = || {
         // Small bounds so the feed loop actually exercises Full+drain.
-        let mut fleet = Fleet::new(FleetConfig {
-            max_pending_chunks: 8,
-            max_pending_samples: 1 << 14,
-        });
+        let mut fleet = Fleet::new(
+            FleetConfig::builder()
+                .with_max_pending_chunks(8)
+                .with_max_pending_samples(1 << 14)
+                .build()
+                .unwrap(),
+        );
         let devices: Vec<_> = runs
             .iter()
             .map(|r| {
@@ -275,10 +278,13 @@ fn full_shed_path_counts_and_preserves_accepted_prefix() {
     let signal = &result.power.samples;
     let rate = result.power.sample_rate_hz();
 
-    let mut fleet = Fleet::new(FleetConfig {
-        max_pending_chunks: 4,
-        max_pending_samples: usize::MAX,
-    });
+    let mut fleet = Fleet::new(
+        FleetConfig::builder()
+            .with_max_pending_chunks(4)
+            .with_max_pending_samples(usize::MAX)
+            .build()
+            .unwrap(),
+    );
     let dev = fleet.add_session(MonitorSession::new(model.clone(), rate).unwrap());
 
     // Offer chunks without ever draining: the first 4 are accepted,

@@ -24,6 +24,16 @@
 //! * [`obs`] — zero-dependency observability: metric registry, log2
 //!   latency histograms, bounded event journal, Prometheus-text
 //!   exposition (scraped over the wire via the `Stats` frame).
+//! * [`chaos`] — deterministic fault injection: seeded
+//!   [`FaultPlan`](chaos::FaultPlan)s, a frame-aware
+//!   [`ChaosProxy`](chaos::ChaosProxy), and server-side failpoints,
+//!   used by the chaos CI gate to prove the serve layer self-heals.
+//!
+//! The most common names are gathered in [`prelude`]:
+//!
+//! ```
+//! use eddie::prelude::*;
+//! ```
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -31,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub use eddie_cfg as cfg;
+pub use eddie_chaos as chaos;
 pub use eddie_core as core;
 pub use eddie_dsp as dsp;
 pub use eddie_em as em;
@@ -43,3 +54,29 @@ pub use eddie_sim as sim;
 pub use eddie_stats as stats;
 pub use eddie_stream as stream;
 pub use eddie_workloads as workloads;
+
+/// The one-line import for typical deployments: train and monitor
+/// ([`Pipeline`](crate::core::Pipeline)), run a fleet behind the TCP
+/// edge ([`Server`](crate::serve::Server) /
+/// [`ResilientClient`](crate::serve::ResilientClient)), and harden it
+/// all with fault injection ([`FaultPlan`](crate::chaos::FaultPlan)).
+///
+/// Builders and their config types come along with the things they
+/// configure; the workspace-wide [`Error`](crate::core::Error) /
+/// [`ErrorKind`](crate::core::ErrorKind) pair is what every fallible
+/// API here returns.
+pub mod prelude {
+    pub use eddie_chaos::{ChaosProxy, FaultPlan, FaultPlanBuilder, ServerFaults};
+    pub use eddie_core::{
+        EddieConfig, Error, ErrorKind, Monitor, MonitorEvent, MonitorOutcome, Pipeline,
+        SignalSource, TrainedModel,
+    };
+    pub use eddie_serve::{
+        ClientConfig, ClientConfigBuilder, ModelRegistry, ReplayClient, ResilientClient,
+        ResilientOutcome, Server, ServerConfig, ServerConfigBuilder, ServerHandle,
+    };
+    pub use eddie_stream::{
+        DeviceId, Fleet, FleetConfig, FleetConfigBuilder, MonitorSession, PushResult, ShedPolicy,
+        StreamEvent,
+    };
+}
