@@ -50,6 +50,7 @@
 
 mod config;
 mod error;
+pub mod kernel;
 mod label;
 pub mod metrics;
 mod monitor;
@@ -62,6 +63,7 @@ mod training;
 
 pub use config::EddieConfig;
 pub use error::{BoxedSource, Error, ErrorKind};
+pub use kernel::{kernel_mode, with_kernel_mode, KernelMode};
 pub use label::label_windows;
 pub use metrics::{MonitorOutcome, RunMetrics};
 pub use monitor::{Monitor, MonitorError, MonitorEvent, MonitorState};

@@ -4,8 +4,9 @@ use eddie_isa::RegionId;
 use eddie_stats::ks::{ks_test_sorted_ref, KsOutcome};
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{kernel_mode, rank_acceptances_quantized, KernelCache, KernelMode};
 use crate::sts::rank_sample;
-use crate::{Sts, TrainedModel};
+use crate::{RegionModel, Sts, TrainedModel};
 
 /// What the monitor concluded after one new STS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +60,12 @@ pub struct MonitorState {
     dropped: usize,
     anomaly_cnt: usize,
     alarm: bool,
+    /// Quantized-kernel tables and `u16` lanes. Pure cache: skipped by
+    /// serde, ignored by `PartialEq`, reset on `Clone`, rebuilt lazily
+    /// from `history` — so snapshots, equality and resume behave
+    /// exactly as they did before the kernel existed.
+    #[serde(skip)]
+    cache: KernelCache,
 }
 
 impl MonitorState {
@@ -77,6 +84,7 @@ impl MonitorState {
             dropped: 0,
             anomaly_cnt: 0,
             alarm: false,
+            cache: KernelCache::default(),
         })
     }
 
@@ -126,10 +134,40 @@ impl MonitorState {
         event
     }
 
+    /// Counts `(accepted, active)` per-rank outcomes for `rm`'s trailing
+    /// group, through whichever kernel `mode` selects. Both kernels
+    /// return identical counts (the quantized path is bit-exact, see
+    /// [`crate::kernel`]); only the work done per rank differs.
+    fn ranks(
+        &mut self,
+        model: &TrainedModel,
+        rm: &RegionModel,
+        end: usize,
+        mode: KernelMode,
+    ) -> (usize, usize) {
+        match mode {
+            KernelMode::Quantized => {
+                rank_acceptances_quantized(&mut self.cache, rm, &self.history, end, &model.config)
+            }
+            KernelMode::Reference => rank_acceptances(
+                &rm.reference,
+                &self.history,
+                end,
+                rm.group_size,
+                model.config.confidence,
+                model.config.num_peak_dims,
+            ),
+        }
+    }
+
     /// The Algorithm 1 decision for the window just pushed.
     fn decide(&mut self, model: &TrainedModel) -> MonitorEvent {
         let end = self.history.len() - 1;
         let cfg = &model.config;
+        let mode = kernel_mode();
+        if mode == KernelMode::Quantized {
+            self.cache.sync(model, &self.history);
+        }
 
         let current_model = match model.region(self.current) {
             Some(m) => m,
@@ -142,15 +180,10 @@ impl MonitorState {
         }
 
         // Per-rank K-S tests against the current region (Line 8-10).
-        let rejected = region_rejects(
-            &current_model.reference,
-            &self.history,
-            end,
-            current_model.group_size,
-            cfg.confidence,
-            cfg.reject_rank_threshold,
-            cfg.num_peak_dims,
-        );
+        let (cur_accepted, cur_active) = self.ranks(model, current_model, end, mode);
+        let cur_rejects = cur_active - cur_accepted;
+        let rejected = cur_active > 0
+            && (cur_rejects >= cfg.reject_rank_threshold || cur_rejects == cur_active);
 
         if !rejected {
             self.anomaly_cnt = 0;
@@ -168,14 +201,7 @@ impl MonitorState {
             if self.windows_observed() < sm.group_size {
                 continue;
             }
-            let (accepted, active) = rank_acceptances(
-                &sm.reference,
-                &self.history,
-                end,
-                sm.group_size,
-                cfg.confidence,
-                cfg.num_peak_dims,
-            );
+            let (accepted, active) = self.ranks(model, sm, end, mode);
             if active == 0 {
                 continue;
             }
@@ -207,7 +233,7 @@ impl MonitorState {
             // This is an implementation addition over Algorithm 1, which
             // has no recovery path out of a terminal region.
             if self.anomaly_cnt > cfg.report_threshold * 4 {
-                if let Some(region) = self.best_global_match(model, end) {
+                if let Some(region) = self.best_global_match(model, end, mode) {
                     self.current = region;
                     self.anomaly_cnt = 0;
                 }
@@ -227,27 +253,26 @@ impl MonitorState {
         if self.history.len() >= cap * 2 {
             let drop = self.history.len() - cap;
             self.history.drain(..drop);
+            self.cache.drain_front(drop);
             self.dropped += drop;
         }
     }
 
     /// The trained region whose references best accept the trailing
     /// windows, if any accepts at the change threshold.
-    fn best_global_match(&self, model: &TrainedModel, end: usize) -> Option<RegionId> {
+    fn best_global_match(
+        &mut self,
+        model: &TrainedModel,
+        end: usize,
+        mode: KernelMode,
+    ) -> Option<RegionId> {
         let cfg = &model.config;
         let mut best: Option<(RegionId, f64)> = None;
         for (&id, rm) in &model.regions {
             if self.windows_observed() < rm.group_size {
                 continue;
             }
-            let (accepted, active) = rank_acceptances(
-                &rm.reference,
-                &self.history,
-                end,
-                rm.group_size,
-                cfg.confidence,
-                cfg.num_peak_dims,
-            );
+            let (accepted, active) = self.ranks(model, rm, end, mode);
             if active == 0 {
                 continue;
             }
@@ -353,27 +378,13 @@ impl<'m> Monitor<'m> {
     }
 }
 
-/// Region-level rejection: at least `rank_threshold` active ranks
-/// reject (or the only active rank does). Algorithm 1 reacts per peak;
-/// this is the damped form described in [`EddieConfig`](crate::EddieConfig).
-fn region_rejects(
-    reference: &[Vec<f64>],
-    history: &[Sts],
-    end: usize,
-    n: usize,
-    confidence: f64,
-    rank_threshold: usize,
-    num_peak_dims: usize,
-) -> bool {
-    let (accepted, active) =
-        rank_acceptances(reference, history, end, n, confidence, num_peak_dims);
-    let rejects = active - accepted;
-    active > 0 && (rejects >= rank_threshold || rejects == active)
-}
-
 /// Counts `(accepted, active)` per-rank K-S outcomes for the trailing
-/// group of size `n` ending at `end`.
-fn rank_acceptances(
+/// group of size `n` ending at `end` — the reference (float) kernel.
+/// The region-level rejection rule (at least `reject_rank_threshold`
+/// active ranks reject, or every active rank does — the damped form
+/// described in [`EddieConfig`](crate::EddieConfig)) is applied by the
+/// caller on these counts, identically for both kernels.
+pub(crate) fn rank_acceptances(
     reference: &[Vec<f64>],
     history: &[Sts],
     end: usize,

@@ -1,0 +1,435 @@
+//! `bench-json`: fixed-iteration perf snapshots for the CI perf gate.
+//!
+//! Criterion's adaptive sampling is great for humans and useless for a
+//! regression gate: run counts vary, output is a report directory, and
+//! parsing it is fragile. This subcommand runs the three hot loops that
+//! matter — per-window **decide**, session **ingest**, fleet **drain** —
+//! a fixed number of times each and emits one flat JSON array with a
+//! stable schema:
+//!
+//! ```json
+//! [{"bench": "decide_hot_loop", "ns_per_iter": 401.2,
+//!   "throughput": 2492522.4, "threads": 1, "git_sha": "41acb28"}]
+//! ```
+//!
+//! * `ns_per_iter` — nanoseconds per unit of work (one window for
+//!   `decide_hot_loop`, one full signal pass for the ingest/drain
+//!   benches).
+//! * `throughput` — units per second: windows/s for decide, samples/s
+//!   for ingest and drain.
+//! * `threads` — the worker-pool width the bench forces.
+//! * `git_sha` — `git rev-parse --short HEAD`, overridable with
+//!   `EDDIE_GIT_SHA` (for checkouts without `.git`, e.g. tarballs).
+//!
+//! `--check FILE` re-runs the suite and fails (non-zero exit) when
+//! `decide_hot_loop` throughput regresses more than the tolerance
+//! (default 25 %, override with `EDDIE_BENCH_TOLERANCE=0.40`) against
+//! the committed snapshot — that is the CI perf-regression gate.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use eddie_core::{MonitorState, Sts, TrainedModel};
+use eddie_dsp::{Stft, StftConfig};
+use eddie_exec::with_threads;
+use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
+use eddie_workloads::Benchmark;
+use serde::Deserialize;
+
+use crate::harness::{sim_pipeline, train_benchmark};
+
+/// Workload scale / training runs: match `benches/stream.rs` so the
+/// numbers are comparable with the Criterion smoke fixtures.
+const WL_SCALE: u32 = 2;
+const TRAIN_RUNS: usize = 3;
+/// Simulation seed for the monitored signal (same as `benches/stream.rs`).
+const MONITOR_SEED: u64 = 1000;
+/// Devices in the fleet-drain bench.
+const DEVICES: usize = 8;
+
+/// The bench whose throughput the CI gate protects.
+pub const GATED_BENCH: &str = "decide_hot_loop";
+/// Default allowed relative throughput regression for the gate.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One measurement, serialised as one JSON object.
+///
+/// Field order here is the schema — `render_json` writes keys in
+/// declaration order and CI diffs depend on it staying put.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
+pub struct BenchRecord {
+    /// Bench identifier, e.g. `decide_hot_loop`.
+    pub bench: String,
+    /// Nanoseconds per unit of work (window or signal pass).
+    pub ns_per_iter: f64,
+    /// Units per second (windows/s or samples/s).
+    pub throughput: f64,
+    /// Worker-pool width the bench forced.
+    pub threads: usize,
+    /// Short git SHA of the measured tree.
+    pub git_sha: String,
+}
+
+struct Fixture {
+    model: Arc<TrainedModel>,
+    signal: Vec<f32>,
+    rate: f64,
+    /// The STS stream the monitor would see for `signal` — input to the
+    /// pure-decide hot loop.
+    stss: Vec<Sts>,
+}
+
+fn fixture() -> Fixture {
+    let pipeline = sim_pipeline();
+    let (w, model) = train_benchmark(&pipeline, Benchmark::Bitcount, WL_SCALE, TRAIN_RUNS);
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, MONITOR_SEED), None);
+    let rate = result.power.sample_rate_hz();
+    let signal = result.power.samples;
+
+    // Batch STFT is bit-identical to the streaming STFT the session
+    // runs, so this is exactly the STS stream `MonitorSession::push`
+    // would feed the monitor.
+    let stft = Stft::new(StftConfig {
+        window_len: model.config.window_len,
+        hop: model.config.hop,
+        window: model.config.window,
+        sample_rate_hz: rate,
+    })
+    .expect("fixture stft config");
+    let stss: Vec<Sts> = stft
+        .process_real(&signal)
+        .iter()
+        .enumerate()
+        .map(|(i, sp)| Sts::from_spectrum(i, sp, &model.config.peaks))
+        .collect();
+
+    Fixture {
+        model: Arc::new(model),
+        signal,
+        rate,
+        stss,
+    }
+}
+
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("EDDIE_GIT_SHA") {
+        return sha;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Times `passes` runs of `routine` after one untimed warmup pass and
+/// returns total elapsed nanoseconds.
+fn timed(passes: usize, mut routine: impl FnMut()) -> f64 {
+    routine();
+    let start = Instant::now();
+    for _ in 0..passes {
+        routine();
+    }
+    start.elapsed().as_nanos() as f64
+}
+
+/// Pure per-window decide throughput: `MonitorState::observe` over the
+/// precomputed STS stream. No STFT, no peak extraction — this isolates
+/// the K-S decide path the quantized kernel accelerates, and is the
+/// number the CI perf gate protects.
+fn bench_decide(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    let windows = fx.stss.len().max(1);
+    let total_ns = timed(passes, || {
+        let mut mon = MonitorState::try_new(&fx.model).expect("non-empty model");
+        for sts in &fx.stss {
+            black_box(mon.observe(&fx.model, sts.clone()));
+        }
+    });
+    let iters = (passes * windows) as f64;
+    BenchRecord {
+        bench: GATED_BENCH.to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
+/// End-to-end session ingest (STFT + peaks + decide) at one chunk size.
+fn bench_ingest(fx: &Fixture, chunk: usize, passes: usize, sha: &str) -> BenchRecord {
+    let total_ns = timed(passes, || {
+        let mut s = MonitorSession::new(fx.model.clone(), fx.rate).expect("session");
+        let mut events = 0usize;
+        for c in fx.signal.chunks(chunk) {
+            events += s.push(black_box(c)).len();
+        }
+        black_box(events);
+    });
+    let per_pass = total_ns / passes as f64;
+    BenchRecord {
+        bench: format!("session_ingest_chunk{chunk}"),
+        ns_per_iter: per_pass,
+        throughput: (passes * fx.signal.len()) as f64 / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
+/// Fleet drain: 8 devices ingesting the same signal through the shared
+/// worker pool at width 4.
+fn bench_fleet(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    const THREADS: usize = 4;
+    let total_ns = timed(passes, || {
+        with_threads(THREADS, || {
+            let mut fleet = Fleet::new(FleetConfig::default());
+            let devs: Vec<_> = (0..DEVICES)
+                .map(|_| fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).unwrap()))
+                .collect();
+            let mut events = 0usize;
+            for chunk in fx.signal.chunks(4096) {
+                for &d in &devs {
+                    while fleet.push_chunk(d, chunk.to_vec()) == PushResult::Full {
+                        events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+                    }
+                }
+            }
+            events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+            black_box(events)
+        });
+    });
+    let per_pass = total_ns / passes as f64;
+    BenchRecord {
+        bench: format!("fleet_{DEVICES}dev_drain_{THREADS}threads"),
+        ns_per_iter: per_pass,
+        throughput: (passes * fx.signal.len() * DEVICES) as f64 / (total_ns / 1e9),
+        threads: THREADS,
+        git_sha: sha.to_string(),
+    }
+}
+
+/// Renders records as the stable flat-array schema. Hand-rolled so the
+/// byte layout (key order, float formatting) does not depend on a
+/// serde implementation detail.
+pub fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"ns_per_iter\": {:.3}, \"throughput\": {:.3}, \
+             \"threads\": {}, \"git_sha\": \"{}\"}}{}\n",
+            r.bench,
+            r.ns_per_iter,
+            r.throughput,
+            r.threads,
+            r.git_sha,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Parses a snapshot previously written by `render_json` (or any JSON
+/// array of the same objects).
+pub fn parse_json(json: &str) -> Result<Vec<BenchRecord>, String> {
+    serde_json::from_str::<Vec<BenchRecord>>(json).map_err(|e| format!("malformed snapshot: {e}"))
+}
+
+fn tolerance() -> Result<f64, String> {
+    match std::env::var("EDDIE_BENCH_TOLERANCE") {
+        Err(_) => Ok(DEFAULT_TOLERANCE),
+        Ok(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|t| (0.0..1.0).contains(t))
+            .ok_or_else(|| {
+                format!("EDDIE_BENCH_TOLERANCE must be a fraction in [0, 1), got {raw:?}")
+            }),
+    }
+}
+
+/// Compares a fresh run against a committed snapshot. Only the
+/// decide-path bench gates; everything else is reported informationally
+/// (ingest/drain numbers include simulation-independent OS noise and
+/// pool scheduling, so they stay advisory).
+pub fn check(fresh: &[BenchRecord], committed: &[BenchRecord], tol: f64) -> Result<String, String> {
+    let mut out = String::new();
+    let baseline = committed
+        .iter()
+        .find(|r| r.bench == GATED_BENCH)
+        .ok_or_else(|| format!("snapshot has no `{GATED_BENCH}` record"))?;
+    let current = fresh
+        .iter()
+        .find(|r| r.bench == GATED_BENCH)
+        .ok_or_else(|| format!("fresh run produced no `{GATED_BENCH}` record"))?;
+
+    for f in fresh {
+        if let Some(c) = committed.iter().find(|c| c.bench == f.bench) {
+            let ratio = f.throughput / c.throughput;
+            out.push_str(&format!(
+                "{:<28} {:>14.0}/s vs committed {:>14.0}/s  ({:+.1}%)\n",
+                f.bench,
+                f.throughput,
+                c.throughput,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+
+    let floor = baseline.throughput * (1.0 - tol);
+    if current.throughput < floor {
+        return Err(format!(
+            "{out}\nperf gate FAILED: {GATED_BENCH} throughput {:.0}/s is below \
+             {:.0}/s ({}% tolerance under committed {:.0}/s from {})",
+            current.throughput,
+            floor,
+            (tol * 100.0).round(),
+            baseline.throughput,
+            baseline.git_sha,
+        ));
+    }
+    out.push_str(&format!(
+        "\nperf gate OK: {GATED_BENCH} {:.0}/s >= floor {:.0}/s \
+         ({}% tolerance under committed {:.0}/s from {})\n",
+        current.throughput,
+        floor,
+        (tol * 100.0).round(),
+        baseline.throughput,
+        baseline.git_sha,
+    ));
+    Ok(out)
+}
+
+/// `eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]`
+///
+/// Runs the fixed-iteration suite and prints the JSON snapshot to
+/// stdout (and `--out FILE`). With `--check FILE` it additionally
+/// compares against the committed snapshot and fails on a
+/// decide-throughput regression beyond the tolerance.
+pub fn bench_json(args: &[String]) -> Result<String, String> {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let passes: usize = match flag("--passes") {
+        None => 5,
+        Some(raw) => raw
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--passes wants a positive integer, got {raw:?}"))?,
+    };
+    let tol = tolerance()?;
+
+    eprintln!("# training fixture (Bitcount, scale {WL_SCALE}, {TRAIN_RUNS} runs)...");
+    let fx = fixture();
+    let sha = git_sha();
+    eprintln!(
+        "# signal: {} samples @ {:.0} Hz -> {} windows; {passes} passes/bench; sha {sha}",
+        fx.signal.len(),
+        fx.rate,
+        fx.stss.len()
+    );
+
+    let mut records = Vec::new();
+    for (name, f) in [
+        (
+            "decide",
+            bench_decide as fn(&Fixture, usize, &str) -> BenchRecord,
+        ),
+        ("ingest64", |fx, p, s| bench_ingest(fx, 64, p, s)),
+        ("ingest4096", |fx, p, s| bench_ingest(fx, 4096, p, s)),
+        ("fleet", bench_fleet),
+    ] {
+        eprintln!("# running {name}...");
+        let r = f(&fx, passes, &sha);
+        eprintln!(
+            "#   {}: {:.0} ns/iter, {:.0}/s",
+            r.bench, r.ns_per_iter, r.throughput
+        );
+        records.push(r);
+    }
+
+    let json = render_json(&records);
+    if let Some(path) = flag("--out") {
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    }
+
+    let mut output = json;
+    if let Some(path) = flag("--check") {
+        let committed =
+            std::fs::read_to_string(path).map_err(|e| format!("read snapshot {path}: {e}"))?;
+        let report = check(&records, &parse_json(&committed)?, tol)?;
+        output.push('\n');
+        output.push_str(&report);
+    }
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bench: &str, throughput: f64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_string(),
+            ns_per_iter: 1e9 / throughput,
+            throughput,
+            threads: 1,
+            git_sha: "deadbee".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_serde() {
+        let records = vec![
+            rec("decide_hot_loop", 2.5e6),
+            rec("session_ingest_chunk64", 1.9e7),
+        ];
+        let parsed = parse_json(&render_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].bench, "decide_hot_loop");
+        assert_eq!(parsed[0].threads, 1);
+        assert_eq!(parsed[0].git_sha, "deadbee");
+        assert!((parsed[0].throughput - 2.5e6).abs() < 1e-3);
+        assert!((parsed[1].throughput - 1.9e7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn check_passes_within_tolerance() {
+        let committed = vec![rec(GATED_BENCH, 1e6)];
+        let fresh = vec![rec(GATED_BENCH, 0.80e6)];
+        assert!(check(&fresh, &committed, 0.25).is_ok());
+    }
+
+    #[test]
+    fn check_fails_beyond_tolerance() {
+        let committed = vec![rec(GATED_BENCH, 1e6)];
+        let fresh = vec![rec(GATED_BENCH, 0.70e6)];
+        let err = check(&fresh, &committed, 0.25).unwrap_err();
+        assert!(err.contains("perf gate FAILED"), "{err}");
+    }
+
+    #[test]
+    fn check_improvements_always_pass() {
+        let committed = vec![rec(GATED_BENCH, 1e6)];
+        let fresh = vec![rec(GATED_BENCH, 7e6)];
+        let report = check(&fresh, &committed, 0.25).unwrap();
+        assert!(report.contains("perf gate OK"), "{report}");
+    }
+
+    #[test]
+    fn check_requires_the_gated_bench() {
+        let committed = vec![rec("other", 1e6)];
+        let fresh = vec![rec(GATED_BENCH, 1e6)];
+        assert!(check(&fresh, &committed, 0.25).is_err());
+        assert!(check(&committed, &fresh, 0.25).is_err());
+    }
+}

@@ -17,6 +17,7 @@
 //! how curves move with the swept parameter — is what reproduces the
 //! paper; `EXPERIMENTS.md` records paper-vs-measured for each artifact.
 
+pub mod benchjson;
 pub mod exps;
 pub mod harness;
 pub mod servecli;

@@ -7,12 +7,13 @@
 //! eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]
 //! eddie-experiments stats --addr HOST:PORT [--raw]
 //! eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]
+//! eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]
 //! eddie-experiments --list
 //! ```
 
 use std::process::ExitCode;
 
-use eddie_experiments::{exps, servecli, Scale};
+use eddie_experiments::{benchjson, exps, servecli, Scale};
 
 fn usage() -> String {
     format!(
@@ -21,6 +22,7 @@ fn usage() -> String {
          \x20      eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]\n\
          \x20      eddie-experiments stats --addr HOST:PORT [--raw]\n\
          \x20      eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]\n\
+         \x20      eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]\n\
          ids: {} | all\n\
          default scale: quick\n\
          env: EDDIE_THREADS=<n> sets the worker-pool width (default: all cores);\n\
@@ -38,6 +40,7 @@ fn run_servecli(cmd: &str, rest: &[String]) -> ExitCode {
         "replay-client" => servecli::replay_client(rest),
         "stats" => servecli::stats(rest),
         "chaos" => servecli::chaos(rest),
+        "bench-json" => benchjson::bench_json(rest),
         _ => unreachable!(),
     };
     match result {
@@ -70,11 +73,12 @@ fn main() -> ExitCode {
         println!("replay-client");
         println!("stats");
         println!("chaos");
+        println!("bench-json");
         return ExitCode::SUCCESS;
     }
     if matches!(
         args[0].as_str(),
-        "serve" | "replay-client" | "stats" | "chaos"
+        "serve" | "replay-client" | "stats" | "chaos" | "bench-json"
     ) {
         return run_servecli(&args[0], &args[1..]);
     }

@@ -41,4 +41,5 @@ pub mod ks;
 pub mod mixture;
 pub mod normal;
 pub mod special;
+pub mod tables;
 pub mod utest;

@@ -1,0 +1,222 @@
+//! Precomputed K-S rejection thresholds and the binary-search
+//! statistic — the lookup-table half of the quantized decide kernel.
+//!
+//! EDDIE's monitor runs one two-sample K-S test per window and peak
+//! rank. The test's verdict needs only two numbers: the statistic `D`
+//! and the threshold `c(α)·√((m+n)/(m·n))`. The threshold depends
+//! solely on the sample sizes `(m, n)` and the confidence — for a
+//! trained region, `m` (reference size) is fixed and `n` (monitored
+//! sample size) ranges over `0..=group_size`, so the whole decision
+//! surface fits in a tiny table computed once per model. The p-value
+//! the full [`ks_test`](crate::ks::ks_test) also reports costs a loop
+//! of `exp` calls per test and never influences a decision, so the
+//! table path skips it entirely.
+//!
+//! Bit-compatibility contract: [`KsThresholdTable::threshold`] returns
+//! *exactly* the `threshold` field [`ks_test`](crate::ks::ks_test)
+//! would compute for the same `(m, n, confidence)` — the same float
+//! expression evaluated in the same order — and
+//! [`ks_statistic_sorted_search`] returns *exactly* the statistic of
+//! [`ks_statistic_sorted`](crate::ks::ks_statistic_sorted) (both are
+//! f64 maxima over candidate sets of the form `|i/m − j/n|` that
+//! provably share the attaining pair). The quantized monitor kernel
+//! relies on this to keep decisions byte-identical to the float path.
+
+use crate::ks::c_alpha;
+
+/// Rejection thresholds for one fixed reference size `m` across every
+/// monitored sample size `n` in `0..=n_max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KsThresholdTable {
+    m: usize,
+    confidence: f64,
+    thresholds: Vec<f64>,
+}
+
+impl KsThresholdTable {
+    /// Builds the table for reference size `m` at the given confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is outside `[0, 1)` (same contract as
+    /// [`c_alpha`]).
+    pub fn new(m: usize, n_max: usize, confidence: f64) -> KsThresholdTable {
+        let ca = c_alpha(confidence);
+        let thresholds = (0..=n_max)
+            .map(|n| {
+                if m == 0 || n == 0 {
+                    f64::INFINITY
+                } else {
+                    // Exactly `finish_test`'s expression, in the same
+                    // evaluation order — bitwise equality is the point.
+                    let (m, n) = (m as f64, n as f64);
+                    let scale = ((m + n) / (m * n)).sqrt();
+                    ca * scale
+                }
+            })
+            .collect();
+        KsThresholdTable {
+            m,
+            confidence,
+            thresholds,
+        }
+    }
+
+    /// The reference sample size this table was built for.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The confidence level this table was built for.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Largest monitored sample size the table covers.
+    pub fn n_max(&self) -> usize {
+        self.thresholds.len() - 1
+    }
+
+    /// The rejection threshold for a monitored sample of size `n`
+    /// (`f64::INFINITY` when either sample is empty, so the verdict
+    /// `d > threshold` is `Accept` — matching the empty-sample rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the `n_max` the table was built with.
+    #[inline]
+    pub fn threshold(&self, n: usize) -> f64 {
+        self.thresholds[n]
+    }
+}
+
+/// Two-sample K-S statistic via binary search on the (sorted) reference
+/// instead of a full merge: `O(n log m)` for a monitored sample of `n`
+/// against a reference of `m`.
+///
+/// Works on any ordered element type, which is what lets the quantized
+/// kernel run it directly over `u16` lanes. Returns a bitwise-identical
+/// f64 to [`ks_statistic_sorted`](crate::ks::ks_statistic_sorted) on
+/// the same data: the supremum of `|R(x) − M(x)|` is attained at a jump
+/// of the monitored EDF (evaluating each side of every monitored jump
+/// covers the extreme candidate of every constant-`M` interval), and
+/// every candidate is computed with the identical
+/// `(i as f64 / m − j as f64 / n).abs()` expression, so the shared
+/// attaining pair yields the same bits.
+pub fn ks_statistic_sorted_search<T: PartialOrd>(sa: &[T], sb: &[T]) -> f64 {
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let (m, n) = (sa.len() as f64, sb.len() as f64);
+    let mut d: f64 = 0.0;
+    let mut j = 0usize;
+    while j < sb.len() {
+        let v = &sb[j];
+        // One run of equal monitored values: ranks [j, run_end).
+        let mut run_end = j + 1;
+        while run_end < sb.len() && sb[run_end] == *v {
+            run_end += 1;
+        }
+        let below = sa.partition_point(|r| r < v);
+        let through = below + sa[below..].partition_point(|r| r <= v);
+        // Just below the jump (x → v⁻) and at the jump (x = v).
+        d = d.max((below as f64 / m - j as f64 / n).abs());
+        d = d.max((through as f64 / m - run_end as f64 / n).abs());
+        j = run_end;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ks::{ks_statistic_sorted, ks_test};
+
+    fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+        v.sort_by(|x, y| x.total_cmp(y));
+        v
+    }
+
+    #[test]
+    fn thresholds_match_ks_test_bitwise() {
+        // Every (m, n) pair the monitor can reach: reference sizes up
+        // to a few hundred training windows, monitored sizes up to the
+        // largest candidate group size.
+        for confidence in [0.95, 0.99, 0.999] {
+            for m in [1usize, 2, 3, 7, 16, 48, 137, 400] {
+                let reference: Vec<f64> = (0..m).map(|i| i as f64).collect();
+                let table = KsThresholdTable::new(m, 48, confidence);
+                assert_eq!(table.m(), m);
+                assert_eq!(table.n_max(), 48);
+                for n in 1..=48usize {
+                    let monitored: Vec<f64> = (0..n).map(|i| (i as f64) + 0.25).collect();
+                    let expect = ks_test(&reference, &monitored, confidence).threshold;
+                    let got = table.threshold(n);
+                    assert_eq!(
+                        got.to_bits(),
+                        expect.to_bits(),
+                        "threshold mismatch at m={m} n={n} confidence={confidence}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sides_are_infinite() {
+        let t = KsThresholdTable::new(0, 8, 0.99);
+        assert_eq!(t.threshold(4), f64::INFINITY);
+        let t = KsThresholdTable::new(10, 8, 0.99);
+        assert_eq!(t.threshold(0), f64::INFINITY);
+    }
+
+    #[test]
+    fn binary_search_statistic_matches_merge_bitwise() {
+        // Deterministic pseudo-random fixtures with heavy ties — the
+        // regime the monitor actually runs (quantized peak
+        // frequencies collide constantly).
+        for seed in 0..50u64 {
+            let m = 3 + (seed as usize * 7) % 200;
+            let n = 2 + (seed as usize * 5) % 48;
+            let val = |k: u64| ((seed * 1_103_515_245 + k * 12_345) % 37) as f64 * 0.5;
+            let sa = sorted((0..m as u64).map(val).collect());
+            let sb = sorted((0..n as u64).map(|k| val(k * 3 + 1)).collect());
+            let merge = ks_statistic_sorted(&sa, &sb);
+            let search = ks_statistic_sorted_search(&sa, &sb);
+            assert_eq!(
+                search.to_bits(),
+                merge.to_bits(),
+                "statistic mismatch at seed={seed} m={m} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_search_statistic_on_integer_lanes() {
+        // The u16 path the kernel runs: same ranks, same statistic.
+        let sa_u: Vec<u16> = vec![0, 0, 1, 3, 3, 3, 9];
+        let sb_u: Vec<u16> = vec![1, 3, 4];
+        let sa_f: Vec<f64> = sa_u.iter().map(|&q| q as f64 * 0.5).collect();
+        let sb_f: Vec<f64> = sb_u.iter().map(|&q| q as f64 * 0.5).collect();
+        assert_eq!(
+            ks_statistic_sorted_search(&sa_u, &sb_u).to_bits(),
+            ks_statistic_sorted(&sa_f, &sb_f).to_bits()
+        );
+    }
+
+    #[test]
+    fn binary_search_handles_disjoint_and_identical() {
+        let a = sorted(vec![1.0, 2.0, 3.0]);
+        let b = sorted(vec![10.0, 11.0]);
+        assert_eq!(
+            ks_statistic_sorted_search(&a, &b).to_bits(),
+            ks_statistic_sorted(&a, &b).to_bits()
+        );
+        assert_eq!(
+            ks_statistic_sorted_search(&a, &a).to_bits(),
+            ks_statistic_sorted(&a, &a).to_bits()
+        );
+        assert_eq!(ks_statistic_sorted_search::<f64>(&[], &b), 0.0);
+        assert_eq!(ks_statistic_sorted_search::<f64>(&a, &[]), 0.0);
+    }
+}
