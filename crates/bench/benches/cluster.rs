@@ -1,0 +1,130 @@
+//! Cluster-layer benchmarks: what sharding costs per request.
+//!
+//! The router consults [`HashRing::lookup`] once per admission, so the
+//! lookup path bounds router throughput; a rebalance pays one
+//! export→import→finish round trip per moved session, so its latency
+//! bounds how fast a reseed can converge. Lookup is pure CPU; the
+//! migration bench uses two real servers on loopback but no streaming
+//! client, so it isolates the handoff from replay traffic.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eddie_cluster::{shard_token_base, HashRing, Membership, RingConfig};
+use eddie_experiments::harness::{sim_pipeline, train_benchmark};
+use eddie_serve::{
+    read_frame, write_frame, Frame, ModelRegistry, Server, ServerConfig, ServerHandle,
+};
+use eddie_workloads::Benchmark;
+
+const WL_SCALE: u32 = 2;
+const TRAIN_RUNS: usize = 3;
+const MODEL_ID: &str = "bench-model";
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_ring");
+    const KEYS: u64 = 100_000;
+    g.throughput(Throughput::Elements(KEYS));
+    for (members, label) in [
+        (3usize, "lookup_100k_members3"),
+        (16, "lookup_100k_members16"),
+    ] {
+        let names: Vec<String> = (0..members).map(|i| format!("s{i}")).collect();
+        let membership = Membership::new(names, RingConfig::default()).expect("membership");
+        let ring = HashRing::build(&membership);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut spread = 0usize;
+                for key in 0..KEYS {
+                    spread += ring.lookup(black_box(key));
+                }
+                black_box(spread)
+            })
+        });
+    }
+    g.finish();
+}
+
+struct ShardPair {
+    a: ServerHandle,
+    b: ServerHandle,
+    joins: Vec<std::thread::JoinHandle<std::io::Result<eddie_serve::ServerReport>>>,
+}
+
+fn shard_pair() -> ShardPair {
+    let pipeline = sim_pipeline();
+    let (_w, model) = train_benchmark(&pipeline, Benchmark::Bitcount, WL_SCALE, TRAIN_RUNS);
+    let model = Arc::new(model);
+    let mut handles = Vec::new();
+    let mut joins = Vec::new();
+    for i in 0..2usize {
+        let mut registry = ModelRegistry::new();
+        registry.insert(MODEL_ID, model.clone());
+        let config = ServerConfig::builder()
+            .with_token_base(shard_token_base(i))
+            .with_resume_linger(Duration::from_secs(60))
+            .build()
+            .expect("server config");
+        let server = Server::bind("127.0.0.1:0", registry, config).expect("bind shard");
+        handles.push(server.handle());
+        joins.push(std::thread::spawn(move || server.run()));
+    }
+    let b = handles.pop().expect("shard b");
+    let a = handles.pop().expect("shard a");
+    ShardPair { a, b, joins }
+}
+
+/// Parks one resumable session on shard A and returns its token.
+fn park_session(a: &ServerHandle) -> u64 {
+    let mut stream = TcpStream::connect(a.addr()).expect("connect shard a");
+    write_frame(
+        &mut stream,
+        &Frame::HelloResumable {
+            model_id: MODEL_ID.to_string(),
+            sample_rate: 1.0e6,
+        },
+    )
+    .expect("hello");
+    match read_frame(&mut stream).expect("read").expect("eof") {
+        Frame::Session { token, .. } => token,
+        other => panic!("expected Session, got {other:?}"),
+    }
+    // Dropping the connection parks the session; it stays resumable
+    // for the server's resume-linger window.
+}
+
+fn bench_migration_rtt(c: &mut Criterion) {
+    let pair = shard_pair();
+    let token = park_session(&pair.a);
+    let addr_a = pair.a.addr().to_string();
+    let addr_b = pair.b.addr().to_string();
+
+    let mut g = c.benchmark_group("cluster_migration");
+    g.sample_size(20);
+    g.bench_function("round_trip_a_to_b_to_a", |b| {
+        b.iter(|| {
+            // A → B: the forward leg of a rebalance.
+            let exported = pair.a.export_session(token).expect("export from a");
+            pair.b.import_session(exported).expect("import into b");
+            pair.a.finish_export(token, &addr_b);
+            // B → A: restore the invariant so every sample is identical.
+            let exported = pair.b.export_session(token).expect("export from b");
+            pair.a.import_session(exported).expect("import into a");
+            pair.b.finish_export(token, &addr_a);
+            black_box(token)
+        })
+    });
+    g.finish();
+
+    pair.a.shutdown();
+    pair.b.shutdown();
+    for join in pair.joins {
+        join.join().expect("server thread").expect("server run");
+    }
+}
+
+criterion_group!(benches, bench_ring_lookup, bench_migration_rtt);
+criterion_main!(benches);

@@ -93,13 +93,25 @@ impl ChaosProxy {
     /// socket, which is exactly the fault surface this crate exists
     /// to exercise.
     pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<ChaosProxy> {
+        ChaosProxy::start_shared(upstream, plan, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`start`](ChaosProxy::start), but with a caller-supplied
+    /// global frame counter. Proxies sharing one counter share one
+    /// fault schedule: a cluster test can interpose every shard and
+    /// still reason about `sever=40` as "the 40th frame the *fleet of
+    /// proxies* sees", whichever shard carries it.
+    pub fn start_shared(
+        upstream: SocketAddr,
+        plan: FaultPlan,
+        frame_counter: Arc<AtomicU64>,
+    ) -> io::Result<ChaosProxy> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatCells::default());
-        let frame_counter = Arc::new(AtomicU64::new(0));
 
         let accept_stop = Arc::clone(&stop);
         let accept_stats = Arc::clone(&stats);
@@ -491,6 +503,33 @@ mod tests {
                 _ => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn shared_counter_spans_proxies() {
+        let (upstream, rx) = echo_upstream();
+        // Drop exactly index 0 of the shared schedule: whichever proxy
+        // carries the first frame eats it; the other stays transparent.
+        let plan = FaultPlan::builder().with_sever_at(vec![0]).build().unwrap();
+        let counter = Arc::new(AtomicU64::new(1)); // index 0 already spent
+        let p1 = ChaosProxy::start_shared(upstream, plan.clone(), Arc::clone(&counter))
+            .expect("start p1");
+        let p2 = ChaosProxy::start_shared(upstream, plan, Arc::clone(&counter)).expect("start p2");
+
+        let mut c1 = TcpStream::connect(p1.addr()).expect("connect p1");
+        c1.write_all(&encode(0x02, b"a")).unwrap();
+        drop(c1);
+        let mut c2 = TcpStream::connect(p2.addr()).expect("connect p2");
+        c2.write_all(&encode(0x02, b"b")).unwrap();
+        drop(c2);
+
+        assert_eq!(recv_all(&rx).len(), 2, "sever index 0 was pre-spent");
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            3,
+            "both proxies advanced it"
+        );
+        assert_eq!(p1.stats().frames_seen + p2.stats().frames_seen, 2);
     }
 
     #[test]

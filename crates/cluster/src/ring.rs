@@ -1,0 +1,227 @@
+//! The consistent-hash ring: a pure function of the member list.
+//!
+//! Each member contributes [`RingConfig::vnodes`] points to a 64-bit
+//! hash circle; a key is owned by the member whose point is the key
+//! hash's clockwise successor. Point positions depend only on the
+//! member *name*, the virtual-node index, and the ring seed — never on
+//! the member's position in the list — so adding or removing one
+//! member disturbs only the keys whose successor changed (about `1/N`
+//! of the keyspace), which is the whole reason to use a ring instead
+//! of `hash % N`.
+
+use serde::{Deserialize, Serialize};
+
+use eddie_core::{Error as CoreError, ErrorKind};
+
+/// Shape of the hash ring: how many virtual nodes each member
+/// contributes and the seed that fixes every point position.
+///
+/// Two processes holding the same `RingConfig` and member list compute
+/// byte-identical rings — the router and a rebalance planner never
+/// need to exchange placement tables, only this config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Virtual nodes per member. More vnodes smooth the load split at
+    /// the cost of a larger (still tiny) point table.
+    pub vnodes: u32,
+    /// Seed mixed into every point and key hash. Changing the seed
+    /// reshuffles the whole placement — the lever a rebalance test
+    /// pulls to force migrations without changing membership.
+    pub seed: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> RingConfig {
+        RingConfig {
+            vnodes: 64,
+            seed: 0xEDD1E,
+        }
+    }
+}
+
+/// The cluster's membership: ordered shard names plus the ring shape.
+/// This pair is the entire placement input — serialize it, hand it to
+/// another process, and [`HashRing::build`] reproduces the same ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Membership {
+    /// Shard names, one per member. Order assigns the indices that
+    /// [`HashRing::lookup`] returns; names decide point positions.
+    pub members: Vec<String>,
+    /// Ring shape shared by every process in the cluster.
+    pub ring: RingConfig,
+}
+
+impl Membership {
+    /// A membership of `names` with the given ring config.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidConfig`] when `names` is empty, contains a
+    /// duplicate, or `ring.vnodes` is zero — all three would make
+    /// placement ambiguous or undefined.
+    pub fn new(
+        names: impl IntoIterator<Item = impl Into<String>>,
+        ring: RingConfig,
+    ) -> Result<Membership, CoreError> {
+        let invalid = |msg: String| CoreError::new(ErrorKind::InvalidConfig, "eddie-cluster", msg);
+        let members: Vec<String> = names.into_iter().map(Into::into).collect();
+        if members.is_empty() {
+            return Err(invalid("membership needs at least one member".to_string()));
+        }
+        if ring.vnodes == 0 {
+            return Err(invalid("ring.vnodes must be at least 1".to_string()));
+        }
+        let mut seen = members.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != members.len() {
+            return Err(invalid("member names must be unique".to_string()));
+        }
+        Ok(Membership { members, ring })
+    }
+}
+
+/// FNV-1a over `bytes` — the stable, dependency-free string hash the
+/// point table is built from.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: one cheap, well-mixed bijection on `u64`.
+/// Used to spread both point hashes and key hashes over the circle.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A built consistent-hash ring: the sorted point table for one
+/// [`Membership`]. Cheap to rebuild (`O(members × vnodes log ·)`), so
+/// membership changes just build a fresh ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(position, member index)`, sorted by position.
+    points: Vec<(u64, usize)>,
+    seed: u64,
+}
+
+impl HashRing {
+    /// Builds the ring for `membership`.
+    pub fn build(membership: &Membership) -> HashRing {
+        let cfg = membership.ring;
+        let mut points = Vec::with_capacity(membership.members.len() * cfg.vnodes as usize);
+        for (idx, name) in membership.members.iter().enumerate() {
+            let base = fnv1a(name.as_bytes()) ^ splitmix64(cfg.seed);
+            for vnode in 0..u64::from(cfg.vnodes) {
+                points.push((splitmix64(base.wrapping_add(vnode)), idx));
+            }
+        }
+        // Position collisions are astronomically rare; break them by
+        // member index so the ring is deterministic regardless.
+        points.sort_unstable();
+        HashRing {
+            points,
+            seed: cfg.seed,
+        }
+    }
+
+    /// The member index owning `key`: the clockwise successor of the
+    /// key's hash on the circle.
+    pub fn lookup(&self, key: u64) -> usize {
+        let h = splitmix64(key ^ self.seed);
+        let i = self.points.partition_point(|&(pos, _)| pos < h);
+        // Past the last point the circle wraps to the first.
+        let (_, member) = self.points[i % self.points.len()];
+        member
+    }
+
+    /// Total points on the circle (`members × vnodes`).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (never true for a ring built
+    /// from a validated [`Membership`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: usize) -> Membership {
+        Membership::new((0..n).map(|i| format!("s{i}")), RingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn membership_rejects_empty_duplicates_and_zero_vnodes() {
+        assert!(Membership::new(Vec::<String>::new(), RingConfig::default()).is_err());
+        assert!(Membership::new(["a", "b", "a"], RingConfig::default()).is_err());
+        let cfg = RingConfig { vnodes: 0, seed: 1 };
+        assert!(Membership::new(["a"], cfg).is_err());
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = HashRing::build(&members(1));
+        for key in 0..1000 {
+            assert_eq!(ring.lookup(key), 0);
+        }
+    }
+
+    #[test]
+    fn lookup_is_independent_of_member_list_order() {
+        // Same names, different list order: the owning *name* of every
+        // key must not change (indices differ by the permutation).
+        let a = Membership::new(["alpha", "beta", "gamma"], RingConfig::default()).unwrap();
+        let b = Membership::new(["gamma", "alpha", "beta"], RingConfig::default()).unwrap();
+        let ra = HashRing::build(&a);
+        let rb = HashRing::build(&b);
+        for key in 0..2000 {
+            let name_a = &a.members[ra.lookup(key)];
+            let name_b = &b.members[rb.lookup(key)];
+            assert_eq!(name_a, name_b, "key {key} changed owner under reordering");
+        }
+    }
+
+    #[test]
+    fn every_member_owns_a_share() {
+        let m = members(5);
+        let ring = HashRing::build(&m);
+        let mut counts = vec![0usize; 5];
+        for key in 0..10_000 {
+            counts[ring.lookup(key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "member {i} owns no keys");
+        }
+    }
+
+    #[test]
+    fn seed_change_reshuffles_placement() {
+        let m = members(4);
+        let reseeded = Membership::new(
+            m.members.clone(),
+            RingConfig {
+                seed: 0xDEAD_BEEF,
+                ..m.ring
+            },
+        )
+        .unwrap();
+        let r1 = HashRing::build(&m);
+        let r2 = HashRing::build(&reseeded);
+        let moved = (0..4000u64)
+            .filter(|&k| r1.lookup(k) != r2.lookup(k))
+            .count();
+        // A reseed is a full reshuffle: roughly (N-1)/N of keys move.
+        assert!(moved > 2000, "only {moved}/4000 keys moved on reseed");
+    }
+}

@@ -1,0 +1,252 @@
+//! Cluster gate: a 3-shard cluster behind chaos proxies, rebalanced
+//! mid-replay, audited for equivalence and conservation.
+//!
+//! Every run in the matrix drives a fleet of [`ResilientClient`]s
+//! through the router and requires:
+//!
+//! * **byte-identical streams** — each client's delivered event stream
+//!   equals `Pipeline::monitor_result` on the same signal, through
+//!   admission redirects, chaos faults, and live migration of its
+//!   session between shards mid-replay;
+//! * **a conserved ledger across shards** — summed over the cluster,
+//!   `chunks_received == chunks_accepted + chunks_busy +
+//!   duplicate_acks`, and on a fault-free transport the received total
+//!   equals exactly what the clients sent;
+//! * **evidence** — the rebalance actually migrated live sessions, the
+//!   router actually redirected every admission, and each shard's
+//!   serve and stream layers agree on what was accepted.
+//!
+//! CI runs this at `EDDIE_THREADS=1` and `4`: migration must not
+//! depend on worker-pool scheduling.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eddie_chaos::FaultPlan;
+use eddie_cluster::{Cluster, ClusterConfig, RingConfig};
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_inject::{LoopInjector, OpPattern};
+use eddie_serve::{ClientConfig, ModelRegistry, ResilientClient, ResilientOutcome, ServerConfig};
+use eddie_sim::{InjectionHook, SimConfig, SimResult};
+use eddie_stream::StreamEvent;
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const MODEL_ID: &str = "bitcount-power";
+const CHUNK: usize = 499; // deliberately off the STFT hop grid
+const CLIENTS: usize = 6;
+const SHARDS: usize = 3;
+
+fn power_pipeline() -> Pipeline {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+fn injected_hook(w: &Workload) -> Option<Box<dyn InjectionHook>> {
+    let region = w.program().declared_regions().next()?;
+    let pc = w.loop_branch_pc(region)?;
+    Some(Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(8),
+        1001,
+    )))
+}
+
+fn injected_run(
+    pipeline: &Pipeline,
+    w: &Workload,
+    model: &TrainedModel,
+) -> (SimResult, MonitorOutcome) {
+    let r = pipeline.simulate(w.program(), |m| w.prepare(m, 1001), injected_hook(w));
+    let batch = pipeline.monitor_result(model, &r, 0);
+    (r, batch)
+}
+
+fn assert_stream_matches_batch(name: &str, streamed: &[StreamEvent], batch: &MonitorOutcome) {
+    assert_eq!(
+        streamed.len(),
+        batch.events.len(),
+        "[{name}] window count differs"
+    );
+    for (w, ev) in streamed.iter().enumerate() {
+        assert_eq!(ev.window, w, "[{name}] window indices must be dense");
+        assert_eq!(ev.event, batch.events[w], "[{name}] event differs at {w}");
+        assert_eq!(ev.alarm, batch.alarms[w], "[{name}] alarm differs at {w}");
+        assert_eq!(
+            ev.tracked, batch.tracked[w],
+            "[{name}] tracking differs at {w}"
+        );
+    }
+}
+
+/// Boots a 3-shard cluster, replays `CLIENTS` parallel devices through
+/// the router, reseeds the ring mid-replay (forcing live migrations),
+/// and audits streams, ledger, and evidence.
+fn run_cluster(name: &str, plan_text: Option<&str>, fault_free_transport: bool) {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(
+        pipeline
+            .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+            .expect("train"),
+    );
+    let (r, batch) = injected_run(&pipeline, &w, &model);
+    let signal = Arc::new(r.power.samples.clone());
+    let rate = r.power.sample_rate_hz();
+
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL_ID, model);
+
+    let server = ServerConfig::builder()
+        .with_drain_idle(Duration::from_millis(1))
+        .with_idle_timeout(Duration::from_millis(800))
+        .with_resume_linger(Duration::from_secs(30))
+        .with_resume_tail(4096)
+        .build()
+        .expect("server config");
+    let mut builder = ClusterConfig::builder()
+        .with_shards(SHARDS)
+        .with_ring(RingConfig::default())
+        .with_server(server);
+    if let Some(text) = plan_text {
+        let plan = FaultPlan::parse(text).unwrap_or_else(|e| panic!("[{name}] plan: {e}"));
+        builder = builder.with_fault_plan(plan);
+    }
+    let config = builder.build().expect("cluster config");
+    let mut cluster = Cluster::start(config, registry).expect("cluster start");
+    let router_addr = cluster.router_addr();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let signal = signal.clone();
+            let client_config = ClientConfig::builder()
+                .with_read_timeout(Duration::from_millis(150))
+                .with_backoff(Duration::from_millis(2), 2.0, Duration::from_millis(50))
+                .with_jitter(0.1, 1000 + i as u64)
+                .with_max_reconnects(12)
+                .with_max_redirects(8)
+                .build()
+                .expect("client config");
+            std::thread::spawn(move || -> ResilientOutcome {
+                let client = ResilientClient::new(router_addr, client_config);
+                client
+                    .replay(MODEL_ID, rate, &signal, CHUNK)
+                    .unwrap_or_else(|e| panic!("client {i} replay failed: {e}"))
+            })
+        })
+        .collect();
+
+    // Wait until every client's session has been admitted somewhere,
+    // then reshuffle the ring: live sessions must follow.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while cluster.owned_sessions().len() < CLIENTS {
+        assert!(
+            Instant::now() < deadline,
+            "[{name}] clients never all admitted: {} of {CLIENTS}",
+            cluster.owned_sessions().len()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let rebalance = cluster
+        .rebalance_with_seed(0xC0FF_EE00 ^ 0x5EED)
+        .unwrap_or_else(|e| panic!("[{name}] rebalance: {e}"));
+    assert!(
+        !rebalance.migrated.is_empty(),
+        "[{name}] the reseed moved no live sessions"
+    );
+    for m in &rebalance.migrated {
+        assert_ne!(m.from, m.to, "[{name}] self-migration planned");
+    }
+
+    let outcomes: Vec<ResilientOutcome> = clients
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    // Headline: every stream byte-identical to batch, despite the
+    // admission redirect and any mid-replay migration.
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_stream_matches_batch(&format!("{name}/client{i}"), &outcome.events, &batch);
+        assert!(
+            outcome.redirects >= 1,
+            "[{name}] client {i} was never redirected by the router"
+        );
+    }
+
+    let migrated_tokens: Vec<u64> = rebalance.migrated.iter().map(|m| m.token).collect();
+    let report = cluster.shutdown().expect("cluster shutdown");
+
+    // Cross-shard ledger: conservation holds shard by shard and in sum.
+    let mut received = 0u64;
+    let mut accounted = 0u64;
+    for (i, shard) in report.shards.iter().enumerate() {
+        assert_eq!(
+            shard.chunks_received,
+            shard.chunks_accepted + shard.chunks_busy + shard.duplicate_acks,
+            "[{name}] shard {i} chunk conservation"
+        );
+        assert_eq!(
+            shard.final_stats.accepted_chunks, shard.chunks_accepted,
+            "[{name}] shard {i}: serve and stream layers agree on accepted chunks"
+        );
+        received += shard.chunks_received;
+        accounted += shard.chunks_accepted + shard.chunks_busy + shard.duplicate_acks;
+    }
+    assert_eq!(received, accounted, "[{name}] cluster-wide conservation");
+    if fault_free_transport {
+        let sent: u64 = outcomes.iter().map(|o| o.sent_chunks).sum();
+        assert_eq!(
+            received, sent,
+            "[{name}] on a clean transport every chunk written lands on exactly one shard"
+        );
+    }
+
+    // Migration evidence: both sides of every move were counted, and
+    // the per-shard totals match the plan that was executed.
+    let out_total: u64 = report.shards.iter().map(|s| s.sessions_migrated_out).sum();
+    let in_total: u64 = report.shards.iter().map(|s| s.sessions_migrated_in).sum();
+    assert_eq!(
+        out_total,
+        migrated_tokens.len() as u64,
+        "[{name}] exports counted"
+    );
+    assert_eq!(
+        in_total,
+        migrated_tokens.len() as u64,
+        "[{name}] imports counted"
+    );
+
+    // Router evidence: every admission was a redirect.
+    assert!(
+        report.router.redirects >= CLIENTS as u64,
+        "[{name}] router answered fewer redirects than admissions"
+    );
+}
+
+#[test]
+fn clean_cluster_rebalances_live_sessions_byte_identically() {
+    run_cluster("clean", None, true);
+}
+
+#[test]
+fn chaotic_cluster_rebalances_through_dup_and_reorder() {
+    // Duplication and reordering deliver every frame at least once:
+    // equivalence and conservation must hold, though received can
+    // exceed sent.
+    run_cluster("dup_reorder", Some("seed=23,dup=0.04,reorder=0.05"), false);
+}
+
+#[test]
+fn chaotic_cluster_rebalances_through_drops_and_severs() {
+    run_cluster(
+        "drops_sever",
+        Some("seed=41,drop=0.03,sever=120;260"),
+        false,
+    );
+}

@@ -2,10 +2,11 @@
 //!
 //! Criterion's adaptive sampling is great for humans and useless for a
 //! regression gate: run counts vary, output is a report directory, and
-//! parsing it is fragile. This subcommand runs the three hot loops that
-//! matter — per-window **decide**, session **ingest**, fleet **drain** —
-//! a fixed number of times each and emits one flat JSON array with a
-//! stable schema:
+//! parsing it is fragile. This subcommand runs the hot loops that
+//! matter — per-window **decide**, session **ingest**, fleet **drain**,
+//! ring **lookup**, and the live-migration **round trip** — a fixed
+//! number of times each and emits one flat JSON array with a stable
+//! schema:
 //!
 //! ```json
 //! [{"bench": "decide_hot_loop", "ns_per_iter": 401.2,
@@ -27,12 +28,15 @@
 //! the committed snapshot — that is the CI perf-regression gate.
 
 use std::hint::black_box;
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use eddie_cluster::{shard_token_base, HashRing, Membership, RingConfig};
 use eddie_core::{MonitorState, Sts, TrainedModel};
 use eddie_dsp::{Stft, StftConfig};
 use eddie_exec::with_threads;
+use eddie_serve::{read_frame, write_frame, Frame, ModelRegistry, Server, ServerConfig};
 use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
 use eddie_workloads::Benchmark;
 use serde::Deserialize;
@@ -212,6 +216,104 @@ fn bench_fleet(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
     }
 }
 
+/// Consistent-hash placement: one `lookup` per admission bounds router
+/// throughput. Pure CPU over a 16-member ring at the default vnode
+/// count.
+fn bench_ring(_fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    const MEMBERS: usize = 16;
+    const KEYS: u64 = 100_000;
+    let membership = Membership::new((0..MEMBERS).map(|i| format!("s{i}")), RingConfig::default())
+        .expect("bench membership");
+    let ring = HashRing::build(&membership);
+    let total_ns = timed(passes, || {
+        let mut spread = 0usize;
+        for key in 0..KEYS {
+            spread += ring.lookup(black_box(key));
+        }
+        black_box(spread);
+    });
+    let iters = passes as f64 * KEYS as f64;
+    BenchRecord {
+        bench: "cluster_ring_lookup".to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
+/// Live-migration round trip: export → import → finish_export between
+/// two real shards on loopback, with no client streaming — the latency
+/// a rebalance pays per moved session. Ping-pongs A→B→A so every
+/// measured pass starts from identical state.
+fn bench_migration(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    const MODEL_ID: &str = "bench-model";
+    const MOVES_PER_PASS: usize = 8;
+    let mut handles = Vec::new();
+    let mut joins = Vec::new();
+    for i in 0..2usize {
+        let mut registry = ModelRegistry::new();
+        registry.insert(MODEL_ID, fx.model.clone());
+        let config = ServerConfig::builder()
+            .with_token_base(shard_token_base(i))
+            .with_resume_linger(Duration::from_secs(60))
+            .build()
+            .expect("bench server config");
+        let server = Server::bind("127.0.0.1:0", registry, config).expect("bind bench shard");
+        handles.push(server.handle());
+        joins.push(std::thread::spawn(move || server.run()));
+    }
+    let (a, b) = (&handles[0], &handles[1]);
+    let (addr_a, addr_b) = (a.addr().to_string(), b.addr().to_string());
+
+    // Park one resumable session on A: handshake, then drop the
+    // connection.
+    let token = {
+        let mut stream = TcpStream::connect(a.addr()).expect("connect bench shard");
+        write_frame(
+            &mut stream,
+            &Frame::HelloResumable {
+                model_id: MODEL_ID.to_string(),
+                sample_rate: fx.rate,
+            },
+        )
+        .expect("hello");
+        match read_frame(&mut stream).expect("read").expect("eof") {
+            Frame::Session { token, .. } => token,
+            other => panic!("expected Session, got {other:?}"),
+        }
+    };
+
+    let total_ns = timed(passes, || {
+        for _ in 0..MOVES_PER_PASS / 2 {
+            let e = a.export_session(token).expect("export from a");
+            b.import_session(e).expect("import into b");
+            a.finish_export(token, &addr_b);
+            let e = b.export_session(token).expect("export from b");
+            a.import_session(e).expect("import into a");
+            b.finish_export(token, &addr_a);
+        }
+    });
+
+    for h in &handles {
+        h.shutdown();
+    }
+    for join in joins {
+        join.join()
+            .expect("bench shard thread")
+            .expect("bench shard run");
+    }
+
+    let iters = (passes * MOVES_PER_PASS) as f64;
+    BenchRecord {
+        bench: "cluster_migration_rtt".to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
 /// Renders records as the stable flat-array schema. Hand-rolled so the
 /// byte layout (key order, float formatting) does not depend on a
 /// serde implementation detail.
@@ -347,6 +449,8 @@ pub fn bench_json(args: &[String]) -> Result<String, String> {
         ("ingest64", |fx, p, s| bench_ingest(fx, 64, p, s)),
         ("ingest4096", |fx, p, s| bench_ingest(fx, 4096, p, s)),
         ("fleet", bench_fleet),
+        ("ring", bench_ring),
+        ("migration", bench_migration),
     ] {
         eprintln!("# running {name}...");
         let r = f(&fx, passes, &sha);

@@ -18,6 +18,7 @@
 //! paper; `EXPERIMENTS.md` records paper-vs-measured for each artifact.
 
 pub mod benchjson;
+pub mod clustercli;
 pub mod exps;
 pub mod harness;
 pub mod servecli;

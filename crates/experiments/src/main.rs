@@ -7,13 +7,14 @@
 //! eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]
 //! eddie-experiments stats --addr HOST:PORT [--raw]
 //! eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]
+//! eddie-experiments cluster [--shards N] [--clients N] [--chunk N] [--plan GRAMMAR] [--scale quick|full]
 //! eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]
 //! eddie-experiments --list
 //! ```
 
 use std::process::ExitCode;
 
-use eddie_experiments::{benchjson, exps, servecli, Scale};
+use eddie_experiments::{benchjson, clustercli, exps, servecli, Scale};
 
 fn usage() -> String {
     format!(
@@ -22,6 +23,7 @@ fn usage() -> String {
          \x20      eddie-experiments replay-client [--addr HOST:PORT] [--chunk N] [--scale quick|full]\n\
          \x20      eddie-experiments stats --addr HOST:PORT [--raw]\n\
          \x20      eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]\n\
+         \x20      eddie-experiments cluster [--shards N] [--clients N] [--chunk N] [--plan GRAMMAR] [--scale quick|full]\n\
          \x20      eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]\n\
          ids: {} | all\n\
          default scale: quick\n\
@@ -40,6 +42,7 @@ fn run_servecli(cmd: &str, rest: &[String]) -> ExitCode {
         "replay-client" => servecli::replay_client(rest),
         "stats" => servecli::stats(rest),
         "chaos" => servecli::chaos(rest),
+        "cluster" => clustercli::cluster(rest),
         "bench-json" => benchjson::bench_json(rest),
         _ => unreachable!(),
     };
@@ -78,7 +81,7 @@ fn main() -> ExitCode {
     }
     if matches!(
         args[0].as_str(),
-        "serve" | "replay-client" | "stats" | "chaos" | "bench-json"
+        "serve" | "replay-client" | "stats" | "chaos" | "cluster" | "bench-json"
     ) {
         return run_servecli(&args[0], &args[1..]);
     }

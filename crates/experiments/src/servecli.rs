@@ -450,7 +450,7 @@ fn stats_table(addr: &str, text: &str) -> String {
     out
 }
 
-fn events_match_batch(streamed: &[StreamEvent], batch: &MonitorOutcome) -> bool {
+pub(crate) fn events_match_batch(streamed: &[StreamEvent], batch: &MonitorOutcome) -> bool {
     streamed.len() == batch.events.len()
         && streamed.iter().enumerate().all(|(w, ev)| {
             ev.window == w

@@ -86,6 +86,16 @@ pub enum JournalEvent {
         /// Buffered event frames replayed to the client on reattach.
         replayed: u64,
     },
+    /// A live session was exported to another cluster shard.
+    SessionMigratedOut {
+        /// Fleet device id on the exporting shard.
+        device: u64,
+    },
+    /// A live session was imported from another cluster shard.
+    SessionMigratedIn {
+        /// Fleet device id assigned by the importing shard.
+        device: u64,
+    },
 }
 
 impl JournalEvent {
@@ -104,6 +114,8 @@ impl JournalEvent {
             JournalEvent::SnapshotWriteFailed { .. } => "snapshot_write_failed",
             JournalEvent::SessionParked { .. } => "session_parked",
             JournalEvent::SessionResumed { .. } => "session_resumed",
+            JournalEvent::SessionMigratedOut { .. } => "session_migrated_out",
+            JournalEvent::SessionMigratedIn { .. } => "session_migrated_in",
         }
     }
 }
@@ -166,6 +178,10 @@ impl JournalRecord {
             }
             JournalEvent::SessionResumed { device, replayed } => {
                 let _ = write!(s, ",\"device\":{device},\"replayed\":{replayed}");
+            }
+            JournalEvent::SessionMigratedOut { device }
+            | JournalEvent::SessionMigratedIn { device } => {
+                let _ = write!(s, ",\"device\":{device}");
             }
         }
         s.push('}');

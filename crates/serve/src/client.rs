@@ -43,6 +43,13 @@ pub enum ClientError {
     /// The server violated the protocol (e.g. a client-only frame, or
     /// EOF while replies were still owed).
     Protocol(&'static str),
+    /// Every handshake kept answering [`Frame::Moved`]: the client
+    /// followed more consecutive redirects than
+    /// [`ClientConfig::max_redirects`] allows without ever reaching a
+    /// shard that owned the session — a redirect loop or a cluster
+    /// whose ownership never settles. Not recoverable: retrying would
+    /// just walk the same loop again.
+    TooManyRedirects,
 }
 
 impl std::fmt::Display for ClientError {
@@ -52,6 +59,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "malformed server frame: {e}"),
             ClientError::Server(code) => write!(f, "server error: {code}"),
             ClientError::Protocol(what) => write!(f, "server protocol violation: {what}"),
+            ClientError::TooManyRedirects => f.write_str("redirect loop: Moved hop bound exceeded"),
         }
     }
 }
@@ -66,6 +74,7 @@ impl ClientError {
             ClientError::Wire(w) => w.kind(),
             ClientError::Server(code) => code.kind(),
             ClientError::Protocol(_) => ErrorKind::ProtocolViolation,
+            ClientError::TooManyRedirects => ErrorKind::ProtocolViolation,
         }
     }
 
@@ -82,6 +91,7 @@ impl ClientError {
                 code,
                 ErrCode::BadFrame | ErrCode::SnapshotFailed | ErrCode::ProtocolViolation
             ),
+            ClientError::TooManyRedirects => false,
         }
     }
 }
@@ -328,6 +338,11 @@ pub struct ClientConfig {
     pub max_reconnects: u32,
     /// Pause after a `Busy` reply, giving the drain loop room.
     pub busy_pause: Duration,
+    /// Consecutive [`Frame::Moved`] redirects the client will follow
+    /// without an intervening successful handshake, before refusing
+    /// with [`ClientError::TooManyRedirects`]. A successful `Session`
+    /// handshake resets the hop count; 0 refuses every redirect.
+    pub max_redirects: u32,
 }
 
 impl Default for ClientConfig {
@@ -342,6 +357,7 @@ impl Default for ClientConfig {
             backoff_seed: 0,
             max_reconnects: 8,
             busy_pause: Duration::from_micros(200),
+            max_redirects: 4,
         }
     }
 }
@@ -404,6 +420,12 @@ impl ClientConfigBuilder {
     /// Pause after a `Busy` reply.
     pub fn with_busy_pause(mut self, pause: Duration) -> ClientConfigBuilder {
         self.config.busy_pause = pause;
+        self
+    }
+
+    /// Consecutive `Moved` redirects followed before refusing.
+    pub fn with_max_redirects(mut self, max: u32) -> ClientConfigBuilder {
+        self.config.max_redirects = max;
         self
     }
 
@@ -514,6 +536,9 @@ pub struct ResilientOutcome {
     pub sent_chunks: u64,
     /// Idempotent acks for already-accepted chunks.
     pub duplicate_acks: u64,
+    /// [`Frame::Moved`] redirects followed — cluster routing hops plus
+    /// mid-stream migrations chased to a new shard.
+    pub redirects: u64,
 }
 
 /// Running tallies and the stream position shared across attempts.
@@ -526,6 +551,7 @@ struct ResumableReplay<'a> {
     busy_replies: u64,
     sent_chunks: u64,
     duplicate_acks: u64,
+    redirects: u64,
 }
 
 impl ResumableReplay<'_> {
@@ -565,6 +591,14 @@ impl ResumableReplay<'_> {
 /// client holds every window the server produced, so a completed
 /// [`replay`](ResilientClient::replay) is *known* complete, not
 /// assumed.
+///
+/// The client is also cluster-aware: a [`Frame::Moved`] reply at any
+/// point — a router bouncing a fresh `Hello`, or a shard whose session
+/// has been migrated away mid-stream — makes it reconnect to the named
+/// shard (adopting the carried resume token when nonzero) and continue
+/// there. Consecutive redirects without a successful handshake are
+/// bounded by [`ClientConfig::max_redirects`], so a redirect loop is
+/// refused instead of walked forever.
 pub struct ResilientClient {
     addr: SocketAddr,
     config: ClientConfig,
@@ -601,12 +635,22 @@ impl ResilientClient {
             busy_replies: 0,
             sent_chunks: 0,
             duplicate_acks: 0,
+            redirects: 0,
         };
         let mut backoff = Backoff::new(&self.config);
         let mut reconnects = 0u64;
+        let mut addr = self.addr;
+        let mut hops = 0u32;
         loop {
-            match self.attempt(model_id, sample_rate_hz, &mut replay, &mut backoff) {
-                Ok(windows) => {
+            match self.attempt(
+                model_id,
+                sample_rate_hz,
+                &mut replay,
+                &mut backoff,
+                &mut addr,
+                &mut hops,
+            ) {
+                Ok(Some(windows)) => {
                     return Ok(ResilientOutcome {
                         windows,
                         reconnects,
@@ -615,9 +659,14 @@ impl ResilientClient {
                         busy_replies: replay.busy_replies,
                         sent_chunks: replay.sent_chunks,
                         duplicate_acks: replay.duplicate_acks,
+                        redirects: replay.redirects,
                         events: replay.events,
                     });
                 }
+                // Redirected: reconnect at the new address right away —
+                // a `Moved` is routing, not a failure, so it costs
+                // neither a backoff delay nor a reconnect budget slot.
+                Ok(None) => {}
                 Err(e) if e.is_recoverable() && backoff.attempt() < self.config.max_reconnects => {
                     reconnects += 1;
                     std::thread::sleep(backoff.next_delay());
@@ -627,17 +676,46 @@ impl ResilientClient {
         }
     }
 
+    /// Applies a [`Frame::Moved`] redirect: bound the hop count, adopt
+    /// the advertised shard address (and resume token, when nonzero),
+    /// and count the hop in the outcome.
+    fn follow_moved(
+        &self,
+        replay: &mut ResumableReplay<'_>,
+        addr: &mut SocketAddr,
+        hops: &mut u32,
+        shard_addr: &str,
+        token: u64,
+    ) -> Result<(), ClientError> {
+        *hops += 1;
+        if *hops > self.config.max_redirects {
+            return Err(ClientError::TooManyRedirects);
+        }
+        *addr = shard_addr
+            .parse()
+            .map_err(|_| ClientError::Protocol("unparseable shard address in Moved"))?;
+        if token != 0 {
+            replay.token = Some(token);
+        }
+        replay.redirects += 1;
+        Ok(())
+    }
+
     /// One connection's worth of progress: handshake (hello or
     /// resume), stream remaining chunks, then the `Finish`
-    /// verification. Returns the server's total window count.
+    /// verification. Returns `Some(windows)` (the server's total
+    /// window count) on completion, or `None` when a [`Frame::Moved`]
+    /// redirect asks for an immediate reconnect at the updated `addr`.
     fn attempt(
         &self,
         model_id: &str,
         sample_rate_hz: f64,
         replay: &mut ResumableReplay<'_>,
         backoff: &mut Backoff,
-    ) -> Result<u64, ClientError> {
-        let stream = TcpStream::connect(self.addr)?;
+        addr: &mut SocketAddr,
+        hops: &mut u32,
+    ) -> Result<Option<u64>, ClientError> {
+        let stream = TcpStream::connect(*addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(self.config.read_timeout)?;
         let mut reader = BufReader::new(stream.try_clone()?);
@@ -668,6 +746,10 @@ impl ResilientClient {
                     break next_seq;
                 }
                 Some(f @ Frame::Event { .. }) => replay.accept_event(f)?,
+                Some(Frame::Moved { shard_addr, token }) => {
+                    self.follow_moved(replay, addr, hops, &shard_addr, token)?;
+                    return Ok(None);
+                }
                 Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
                 Some(_) => return Err(ClientError::Protocol("unexpected frame in handshake")),
             }
@@ -676,8 +758,11 @@ impl ResilientClient {
             replay.resumes += 1;
         }
         // The session is live again: future failures restart the
-        // backoff schedule from the base delay.
+        // backoff schedule from the base delay, and the redirect hop
+        // count starts over (only *consecutive* unresolved redirects
+        // indicate a loop).
         backoff.reset();
+        *hops = 0;
 
         // Stream the remaining chunks, go-back-N on Busy.
         let total = replay.chunks.len() as u64;
@@ -718,6 +803,14 @@ impl ResilientClient {
                     std::thread::sleep(self.config.busy_pause);
                 }
                 Some(f @ Frame::Event { .. }) => replay.accept_event(f)?,
+                Some(Frame::Moved { shard_addr, token }) => {
+                    // The session was migrated away mid-stream; chase
+                    // it. The new shard's `Session` reply rewinds the
+                    // chunk cursor to wherever the migrated session
+                    // actually is.
+                    self.follow_moved(replay, addr, hops, &shard_addr, token)?;
+                    return Ok(None);
+                }
                 Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
                 Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
             }
@@ -735,6 +828,10 @@ impl ResilientClient {
                 Some(f @ Frame::Event { .. }) => replay.accept_event(f)?,
                 Some(Frame::Ack { .. }) => replay.duplicate_acks += 1,
                 Some(Frame::Busy { .. }) => replay.busy_replies += 1,
+                Some(Frame::Moved { shard_addr, token }) => {
+                    self.follow_moved(replay, addr, hops, &shard_addr, token)?;
+                    return Ok(None);
+                }
                 Some(Frame::Err { code }) => return Err(ClientError::Server(code)),
                 Some(_) => return Err(ClientError::Protocol("unexpected client-side frame")),
             }
@@ -750,7 +847,7 @@ impl ResilientClient {
         // so failures here are not failures of the replay.
         let _ = write_frame(&mut writer, &Frame::Close);
         let _ = writer.flush();
-        Ok(windows)
+        Ok(Some(windows))
     }
 }
 
@@ -766,10 +863,12 @@ mod tests {
             .with_backoff(Duration::from_millis(5), 3.0, Duration::from_millis(500))
             .with_jitter(0.2, 42)
             .with_max_reconnects(3)
+            .with_max_redirects(7)
             .build()
             .expect("valid config");
         assert_eq!(c.pipeline_window, 4);
         assert_eq!(c.backoff_seed, 42);
+        assert_eq!(c.max_redirects, 7);
 
         for (broken, what) in [
             (ClientConfig::builder().with_pipeline_window(0), "window"),
@@ -898,6 +997,59 @@ mod tests {
                 "{code} must be fatal"
             );
         }
+        assert!(
+            !ClientError::TooManyRedirects.is_recoverable(),
+            "a redirect loop must not be retried"
+        );
+    }
+
+    /// A "cluster" whose only answer is `Moved` back to itself: the
+    /// client must refuse the loop after `max_redirects` hops instead
+    /// of bouncing forever.
+    #[test]
+    fn redirect_loops_are_refused_after_the_hop_bound() {
+        use std::net::TcpListener;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicU32::new(0));
+        let acc = accepted.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                acc.fetch_add(1, Ordering::SeqCst);
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                // Whatever the handshake is, bounce it back at us.
+                let _ = read_frame(&mut reader);
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Moved {
+                        shard_addr: addr.to_string(),
+                        token: 0,
+                    },
+                );
+                let _ = writer.flush();
+            }
+        });
+
+        let config = ClientConfig::builder()
+            .with_max_redirects(3)
+            .with_read_timeout(Duration::from_millis(500))
+            .build()
+            .unwrap();
+        let client = ResilientClient::new(addr, config);
+        let err = client
+            .replay("m", 1e6, &[0.0; 64], 8)
+            .expect_err("a redirect loop must be refused");
+        assert!(
+            matches!(err, ClientError::TooManyRedirects),
+            "got {err:?} instead of TooManyRedirects"
+        );
+        // One initial connection plus the three allowed hops.
+        assert_eq!(accepted.load(Ordering::SeqCst), 4);
     }
 
     #[test]

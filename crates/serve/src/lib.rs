@@ -55,8 +55,8 @@ pub use client::{
 };
 pub use server::{
     load_sessions, load_snapshot, persist_sessions, persist_snapshot, resume_journal,
-    ModelRegistry, PersistedSession, Server, ServerConfig, ServerConfigBuilder, ServerHandle,
-    ServerReport, SnapshotFile,
+    ExportedSession, ModelRegistry, PersistedSession, Server, ServerConfig, ServerConfigBuilder,
+    ServerHandle, ServerReport, SnapshotFile,
 };
 pub use wire::{
     read_frame, write_frame, ErrCode, EventKind, Frame, ReadError, WireError, MAX_CHUNK_SAMPLES,

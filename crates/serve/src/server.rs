@@ -117,6 +117,12 @@ pub struct ServerConfig {
     /// reattach. A client further behind than this window gets
     /// [`ErrCode::ResumeGap`].
     pub resume_tail: usize,
+    /// First resume token this server issues. A cluster gives each
+    /// shard a disjoint base (e.g. `(shard + 1) << 48`) so a token
+    /// minted on one shard never collides with another's when a live
+    /// migration carries it across. Must be nonzero — token `0` is the
+    /// wire-level "no session" sentinel in [`Frame::Moved`].
+    pub token_base: u64,
     /// Server-side failpoints (`Busy` storms, snapshot-write failures,
     /// slow drains) for chaos testing; `None` in production.
     pub faults: Option<Arc<ServerFaults>>,
@@ -133,6 +139,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             resume_linger: Duration::from_secs(30),
             resume_tail: 1024,
+            token_base: 1,
             faults: None,
         }
     }
@@ -203,6 +210,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// First resume token this server issues (cluster shards use
+    /// disjoint bases so migrated tokens never collide).
+    pub fn with_token_base(mut self, base: u64) -> ServerConfigBuilder {
+        self.config.token_base = base;
+        self
+    }
+
     /// Wires chaos failpoints into the server (tests only).
     pub fn with_faults(mut self, faults: Arc<ServerFaults>) -> ServerConfigBuilder {
         self.config.faults = Some(faults);
@@ -234,6 +248,11 @@ impl ServerConfigBuilder {
         }
         if c.idle_timeout.is_some_and(|t| t.is_zero()) {
             return Err(invalid("idle_timeout must be positive when set"));
+        }
+        if c.token_base == 0 {
+            return Err(invalid(
+                "token_base must be nonzero (0 is the wire's no-session sentinel)",
+            ));
         }
         Ok(self.config)
     }
@@ -314,6 +333,32 @@ pub fn load_sessions(path: &Path) -> io::Result<Vec<PersistedSession>> {
     Ok(load_snapshot(path)?.sessions)
 }
 
+/// A live resumable session captured by [`ServerHandle::export_session`]
+/// for restoration on another shard via
+/// [`ServerHandle::import_session`] — the live-migration envelope.
+/// Serde-serializable so it can cross a process boundary; the model
+/// itself rides separately by `model_id`, exactly as snapshots do.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportedSession {
+    /// The resume token the client holds; preserved across the
+    /// migration so the client's `Resume` works unchanged on the
+    /// destination shard.
+    pub token: u64,
+    /// Which hosted model the session monitors against.
+    pub model_id: String,
+    /// The session's complete runtime state.
+    pub snapshot: eddie_stream::SessionSnapshot,
+    /// Next chunk seq the server expects.
+    pub expected_seq: u64,
+    /// Total event frames produced for this device.
+    pub windows_sent: u64,
+    /// Window index of `tail[0]`.
+    pub tail_base: u64,
+    /// Replay tail: recently-produced events the client may not have
+    /// received yet.
+    pub tail: Vec<eddie_stream::StreamEvent>,
+}
+
 /// Counters the server accumulates over its lifetime. These are
 /// `eddie-obs` counters whether or not observability is installed;
 /// installation registers the same handles under `eddie_serve_*`, so
@@ -334,6 +379,8 @@ struct Counters {
     sessions_parked: Arc<Counter>,
     sessions_resumed: Arc<Counter>,
     events_replayed: Arc<Counter>,
+    sessions_migrated_out: Arc<Counter>,
+    sessions_migrated_in: Arc<Counter>,
     idle_disconnects: Arc<Counter>,
     open_connections: Arc<Gauge>,
     ingest_lag_ns: Arc<Histogram>,
@@ -356,6 +403,8 @@ impl Counters {
             sessions_parked: Arc::new(Counter::new()),
             sessions_resumed: Arc::new(Counter::new()),
             events_replayed: Arc::new(Counter::new()),
+            sessions_migrated_out: Arc::new(Counter::new()),
+            sessions_migrated_in: Arc::new(Counter::new()),
             idle_disconnects: Arc::new(Counter::new()),
             open_connections: Arc::new(Gauge::new()),
             ingest_lag_ns: Arc::new(Histogram::new()),
@@ -396,6 +445,14 @@ impl Counters {
             r.register_counter(
                 "eddie_serve_events_replayed_total",
                 c.events_replayed.clone(),
+            );
+            r.register_counter(
+                "eddie_serve_sessions_migrated_out_total",
+                c.sessions_migrated_out.clone(),
+            );
+            r.register_counter(
+                "eddie_serve_sessions_migrated_in_total",
+                c.sessions_migrated_in.clone(),
             );
             r.register_counter(
                 "eddie_serve_idle_disconnects_total",
@@ -442,6 +499,10 @@ pub struct ServerReport {
     pub sessions_resumed: u64,
     /// Buffered event frames replayed to reattaching clients.
     pub events_replayed: u64,
+    /// Live sessions exported to another shard.
+    pub sessions_migrated_out: u64,
+    /// Live sessions imported from another shard.
+    pub sessions_migrated_in: u64,
     /// Connections dropped by the idle timeout.
     pub idle_disconnects: u64,
     /// Fleet statistics at shutdown (shed totals survive eviction).
@@ -473,7 +534,19 @@ struct Core {
     resumables: HashMap<u64, Resumable>,
     /// Device index → resume token, for the drain loop's tail append.
     device_tokens: HashMap<usize, u64>,
+    /// Forwarding stubs for sessions migrated to another shard: any
+    /// frame arriving for one of these tokens is answered with
+    /// [`Frame::Moved`] naming the new owner. Pruned by the drain loop
+    /// on the same linger schedule as parked sessions.
+    moved_tokens: HashMap<u64, MovedStub>,
     next_token: u64,
+}
+
+/// Where a migrated-away session lives now, and since when (for
+/// linger-based pruning).
+struct MovedStub {
+    addr: String,
+    since: Instant,
 }
 
 /// The server-side half of a resumable session: where the chunk
@@ -496,6 +569,11 @@ struct Resumable {
     attached: bool,
     /// When the session was parked (`None` while attached).
     parked_at: Option<Instant>,
+    /// Set while [`ServerHandle::export_session`] is capturing this
+    /// session: chunks are refused with `Busy` (go-back-N absorbs the
+    /// stall) and resumes are deferred until the destination shard
+    /// owns the session and the redirect stub is installed.
+    migrating: bool,
 }
 
 /// Remote control for a running [`Server`]: request shutdown and read
@@ -538,6 +616,193 @@ impl ServerHandle {
         }
         scratch.clone()
     }
+
+    /// Tokens of the resumable sessions this server currently owns
+    /// (exports in flight excluded), sorted — what a rebalance planner
+    /// enumerates to decide who moves.
+    pub fn resumable_tokens(&self) -> Vec<u64> {
+        let core = self.shared.core.lock().expect("core lock");
+        let mut tokens: Vec<u64> = core
+            .resumables
+            .iter()
+            .filter(|(_, r)| !r.migrating)
+            .map(|(t, _)| *t)
+            .collect();
+        tokens.sort_unstable();
+        tokens
+    }
+
+    /// Captures a resumable session for live migration to another
+    /// shard: freezes its ingest (further chunks get `Busy`, which the
+    /// client's go-back-N absorbs), waits for the drain loop to consume
+    /// what was already accepted, then snapshots the session and
+    /// removes it from the fleet. A `migrating` tombstone keeps the
+    /// token answerable until [`finish_export`](Self::finish_export)
+    /// installs the redirect stub — call it once
+    /// [`import_session`](Self::import_session) has succeeded on the
+    /// destination, so a client is never redirected to a shard that
+    /// does not own its session yet.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownToken`] when no resumable session carries
+    /// `token` (or it expired while the export drained);
+    /// [`ErrorKind::ProtocolViolation`] when an export of the same
+    /// session is already in flight.
+    pub fn export_session(&self, token: u64) -> Result<ExportedSession, CoreError> {
+        let unknown =
+            |msg: &str| CoreError::new(ErrorKind::UnknownToken, "eddie-serve", msg.to_string());
+        // Phase 1: freeze ingest and unroute. Events drained from here
+        // on land only in the replay tail, which travels with the
+        // export; the client finds out via the redirect, not a
+        // dangling route.
+        let dev = {
+            let mut core = self.shared.core.lock().expect("core lock");
+            let core = &mut *core;
+            let Some(r) = core.resumables.get_mut(&token) else {
+                return Err(unknown("no resumable session for that token"));
+            };
+            if r.migrating {
+                return Err(CoreError::new(
+                    ErrorKind::ProtocolViolation,
+                    "eddie-serve",
+                    "an export of this session is already in flight".to_string(),
+                ));
+            }
+            r.migrating = true;
+            let dev = r.device;
+            core.routes.remove(&dev.index());
+            dev
+        };
+        // Phase 2: wait for the drain loop to consume every chunk that
+        // was accepted before the freeze, so the snapshot covers them.
+        loop {
+            let pending = {
+                let core = self.shared.core.lock().expect("core lock");
+                if core.fleet.contains(dev) {
+                    core.fleet.pending_chunks(dev)
+                } else {
+                    0
+                }
+            };
+            if pending == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // Phase 3: capture and tombstone.
+        let mut core = self.shared.core.lock().expect("core lock");
+        let core = &mut *core;
+        let Some(r) = core.resumables.get_mut(&token) else {
+            return Err(unknown("session expired while the export drained"));
+        };
+        let Some(session) = core.fleet.remove_session(dev) else {
+            return Err(unknown("session evicted while the export drained"));
+        };
+        let exported = ExportedSession {
+            token,
+            model_id: core.model_ids.remove(&dev.index()).unwrap_or_default(),
+            snapshot: session.snapshot(),
+            expected_seq: r.expected_seq,
+            windows_sent: r.windows_sent,
+            tail_base: r.tail_base,
+            tail: r.tail.iter().filter_map(Frame::to_stream_event).collect(),
+        };
+        core.device_tokens.remove(&dev.index());
+        // The migrating tombstone stays in `resumables` so a client
+        // that reconnects before `finish_export` is told to retry
+        // rather than refused with `UnknownToken`.
+        r.attached = false;
+        r.parked_at = Some(Instant::now());
+        self.shared.counters.sessions_migrated_out.inc();
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SessionMigratedOut {
+                device: dev.index() as u64,
+            });
+        }
+        Ok(exported)
+    }
+
+    /// Completes a migration begun by
+    /// [`export_session`](Self::export_session): drops the migrating
+    /// tombstone and installs the forwarding stub, after which every
+    /// frame arriving for `token` — from the still-attached connection
+    /// or a later resume — is answered with [`Frame::Moved`] naming
+    /// `new_addr`. The stub ages out on the resume-linger schedule.
+    pub fn finish_export(&self, token: u64, new_addr: &str) {
+        let mut core = self.shared.core.lock().expect("core lock");
+        core.resumables.remove(&token);
+        core.moved_tokens.insert(
+            token,
+            MovedStub {
+                addr: new_addr.to_string(),
+                since: Instant::now(),
+            },
+        );
+    }
+
+    /// Restores a session exported from another shard, keeping its
+    /// token (shards use disjoint [`ServerConfig::token_base`]
+    /// namespaces, so imports never collide with locally-minted
+    /// tokens). The session lands parked; the client's `Resume`
+    /// reattaches it exactly as after a disconnect.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::UnknownModel`] when this shard does not host the
+    /// session's model; [`ErrorKind::ProtocolViolation`] when a *live*
+    /// session with the same token already lives here (re-importing
+    /// over this shard's own migrating tombstone is allowed — that is
+    /// the rollback path when the destination refused the import);
+    /// restore errors (e.g. [`ErrorKind::CorruptSnapshot`]) pass
+    /// through.
+    pub fn import_session(&self, exported: ExportedSession) -> Result<(), CoreError> {
+        let Some(model) = self.shared.registry.get(&exported.model_id) else {
+            return Err(CoreError::new(
+                ErrorKind::UnknownModel,
+                "eddie-serve",
+                format!("shard does not host model {:?}", exported.model_id),
+            ));
+        };
+        let session = MonitorSession::restore(model.clone(), exported.snapshot)?;
+        let mut core = self.shared.core.lock().expect("core lock");
+        let core = &mut *core;
+        if core
+            .resumables
+            .get(&exported.token)
+            .map_or(false, |r| !r.migrating)
+        {
+            return Err(CoreError::new(
+                ErrorKind::ProtocolViolation,
+                "eddie-serve",
+                format!("token {} already lives on this shard", exported.token),
+            ));
+        }
+        let dev = core.fleet.add_session(session);
+        core.model_ids.insert(dev.index(), exported.model_id);
+        core.device_tokens.insert(dev.index(), exported.token);
+        core.moved_tokens.remove(&exported.token);
+        core.resumables.insert(
+            exported.token,
+            Resumable {
+                device: dev,
+                expected_seq: exported.expected_seq,
+                tail: exported.tail.iter().map(Frame::from_stream_event).collect(),
+                tail_base: exported.tail_base,
+                windows_sent: exported.windows_sent,
+                attached: false,
+                parked_at: Some(Instant::now()),
+                migrating: false,
+            },
+        );
+        self.shared.counters.sessions_migrated_in.inc();
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SessionMigratedIn {
+                device: dev.index() as u64,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A bound-but-not-yet-running ingestion server. Call
@@ -570,7 +835,8 @@ impl Server {
                     model_ids: HashMap::new(),
                     resumables: HashMap::new(),
                     device_tokens: HashMap::new(),
-                    next_token: 1,
+                    moved_tokens: HashMap::new(),
+                    next_token: config.token_base,
                 }),
                 registry,
                 shutdown: AtomicBool::new(false),
@@ -674,6 +940,8 @@ impl Server {
             sessions_parked: c.sessions_parked.value(),
             sessions_resumed: c.sessions_resumed.value(),
             events_replayed: c.events_replayed.value(),
+            sessions_migrated_out: c.sessions_migrated_out.value(),
+            sessions_migrated_in: c.sessions_migrated_in.value(),
             idle_disconnects: c.idle_disconnects.value(),
             final_stats,
         })
@@ -732,19 +1000,30 @@ fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
                 &mut core.model_ids,
                 &mut core.device_tokens,
             );
-            core.resumables.retain(|_, r| {
+            core.resumables.retain(|token, r| {
                 let expired = !r.attached
                     && r.parked_at
                         .is_some_and(|t| t.elapsed() >= config.resume_linger);
                 if expired {
-                    device_tokens.remove(&r.device.index());
-                    model_ids.remove(&r.device.index());
-                    if fleet.contains(r.device) {
-                        let _ = fleet.remove_session(r.device);
+                    // Only tear down fleet/bookkeeping this token still
+                    // owns: after a migration the device index may have
+                    // been re-admitted to a different session.
+                    let idx = r.device.index();
+                    if device_tokens.get(&idx) == Some(token) {
+                        device_tokens.remove(&idx);
+                        model_ids.remove(&idx);
+                        if fleet.contains(r.device) {
+                            let _ = fleet.remove_session(r.device);
+                        }
                     }
                 }
                 !expired
             });
+            // Forwarding stubs age out on the same linger schedule; a
+            // straggler asking afterwards gets `UnknownToken`, exactly
+            // as an expired parked session would.
+            core.moved_tokens
+                .retain(|_, stub| stub.since.elapsed() < config.resume_linger);
         }
         if config.snapshot_path.is_some() && last_snapshot.elapsed() >= config.snapshot_every {
             persist_now(shared, config);
@@ -937,25 +1216,39 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) 
         let park = reason == ExitReason::Abrupt && state.token.is_some();
         let mut core = shared.core.lock().expect("core lock");
         let core = &mut *core;
-        core.routes.remove(&dev.index());
-        if park {
-            if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
-                r.attached = false;
-                r.parked_at = Some(Instant::now());
-            }
-            shared.counters.sessions_parked.inc();
-            if let Some(o) = eddie_obs::global() {
-                o.journal().record(JournalEvent::SessionParked {
-                    device: dev.index() as u64,
-                });
-            }
-        } else {
-            core.model_ids.remove(&dev.index());
-            if let Some(token) = core.device_tokens.remove(&dev.index()) {
-                core.resumables.remove(&token);
-            }
-            if core.fleet.contains(dev) {
-                let _ = core.fleet.remove_session(dev);
+        // The connection only owns its slot while the device-token
+        // bookkeeping still agrees with it: after a live migration the
+        // export has already torn the session down, and the device
+        // index may since have been re-admitted to a different
+        // session whose route and token must not be touched here.
+        let owns = core.device_tokens.get(&dev.index()).copied() == state.token;
+        // An export in flight owns the teardown: parking or evicting
+        // underneath it would destroy the session mid-capture.
+        let migrating = state
+            .token
+            .and_then(|t| core.resumables.get(&t))
+            .is_some_and(|r| r.migrating);
+        if owns && !migrating {
+            core.routes.remove(&dev.index());
+            if park {
+                if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
+                    r.attached = false;
+                    r.parked_at = Some(Instant::now());
+                }
+                shared.counters.sessions_parked.inc();
+                if let Some(o) = eddie_obs::global() {
+                    o.journal().record(JournalEvent::SessionParked {
+                        device: dev.index() as u64,
+                    });
+                }
+            } else {
+                core.model_ids.remove(&dev.index());
+                if let Some(token) = core.device_tokens.remove(&dev.index()) {
+                    core.resumables.remove(&token);
+                }
+                if core.fleet.contains(dev) {
+                    let _ = core.fleet.remove_session(dev);
+                }
             }
         }
     }
@@ -1068,6 +1361,7 @@ fn read_loop(
                             windows_sent: 0,
                             attached: true,
                             parked_at: None,
+                            migrating: false,
                         },
                     );
                     state.token = Some(token);
@@ -1086,12 +1380,31 @@ fn read_loop(
                 }
                 let mut core = shared.core.lock().expect("core lock");
                 let core = &mut *core;
+                if let Some(stub) = core.moved_tokens.get(&token) {
+                    // The session lives on another shard now; point the
+                    // client there with its token intact.
+                    let _ = outbox.send(Frame::Moved {
+                        shard_addr: stub.addr.clone(),
+                        token,
+                    });
+                    return ExitReason::Clean;
+                }
                 let Some(r) = core.resumables.get_mut(&token) else {
                     let _ = outbox.send(Frame::Err {
                         code: ErrCode::UnknownToken,
                     });
                     return ExitReason::Clean;
                 };
+                if r.migrating {
+                    // Mid-export: the destination does not own the
+                    // session yet. A recoverable error makes the client
+                    // back off and retry, by which time the redirect
+                    // stub is installed.
+                    let _ = outbox.send(Frame::Err {
+                        code: ErrCode::ProtocolViolation,
+                    });
+                    return ExitReason::Clean;
+                }
                 if r.attached || have_windows > r.windows_sent {
                     // Another connection owns the session, or the
                     // client claims events we never sent.
@@ -1158,7 +1471,16 @@ fn read_loop(
                     shared.counters.chunks_busy.inc();
                     let _ = outbox.send(Frame::Busy { seq });
                 } else {
-                    let result = {
+                    // A session being exported (or already migrated)
+                    // must not accept chunks the destination shard will
+                    // never see; the gate below refuses or redirects
+                    // them instead of pushing.
+                    enum Ingest {
+                        Push(PushResult),
+                        Frozen,
+                        Moved(String),
+                    }
+                    let outcome = {
                         // Ingest lag: how long this chunk waits on the
                         // core lock (drain contention) plus the push.
                         let _span = Timer::start(
@@ -1166,26 +1488,51 @@ fn read_loop(
                         );
                         let mut core = shared.core.lock().expect("core lock");
                         let core = &mut *core;
-                        let result = core.fleet.push_chunk(dev, samples);
-                        if matches!(result, PushResult::Accepted) {
-                            // Keep the resumable cursor in sync under
-                            // the same lock, so a resume always sees
-                            // the post-push position.
-                            if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
-                                r.expected_seq = state.expected_seq + 1;
+                        match state.token {
+                            Some(t) if core.moved_tokens.contains_key(&t) => {
+                                Ingest::Moved(core.moved_tokens[&t].addr.clone())
+                            }
+                            Some(t) if core.resumables.get(&t).map_or(true, |r| r.migrating) => {
+                                Ingest::Frozen
+                            }
+                            _ => {
+                                let result = core.fleet.push_chunk(dev, samples);
+                                if matches!(result, PushResult::Accepted) {
+                                    // Keep the resumable cursor in sync
+                                    // under the same lock, so a resume
+                                    // always sees the post-push position.
+                                    if let Some(r) =
+                                        state.token.and_then(|t| core.resumables.get_mut(&t))
+                                    {
+                                        r.expected_seq = state.expected_seq + 1;
+                                    }
+                                }
+                                Ingest::Push(result)
                             }
                         }
-                        result
                     };
-                    match result {
-                        PushResult::Accepted => {
+                    match outcome {
+                        Ingest::Push(PushResult::Accepted) => {
                             shared.counters.chunks_accepted.inc();
                             let _ = outbox.send(Frame::Ack { seq });
                             state.expected_seq += 1;
                         }
-                        PushResult::Full => {
+                        Ingest::Push(PushResult::Full) | Ingest::Frozen => {
                             shared.counters.chunks_busy.inc();
                             let _ = outbox.send(Frame::Busy { seq });
+                        }
+                        Ingest::Moved(addr) => {
+                            // Counted as busy so the chunk ledger stays
+                            // conserved; the connection stays open so
+                            // every pipelined chunk still in flight is
+                            // read (and answered) rather than lost to
+                            // the close — the client disconnects once
+                            // it reads the first redirect.
+                            shared.counters.chunks_busy.inc();
+                            let _ = outbox.send(Frame::Moved {
+                                shard_addr: addr,
+                                token: state.token.unwrap_or(0),
+                            });
                         }
                     }
                 }
@@ -1218,6 +1565,26 @@ fn read_loop(
                     });
                     return ExitReason::Abrupt;
                 };
+                // A migrated (or mid-export) session finishes on the
+                // shard that owns it now, not here.
+                {
+                    let core = shared.core.lock().expect("core lock");
+                    if let Some(t) = state.token {
+                        if let Some(stub) = core.moved_tokens.get(&t) {
+                            let _ = outbox.send(Frame::Moved {
+                                shard_addr: stub.addr.clone(),
+                                token: t,
+                            });
+                            return ExitReason::Clean;
+                        }
+                        if core.resumables.get(&t).map_or(true, |r| r.migrating) {
+                            let _ = outbox.send(Frame::Err {
+                                code: ErrCode::ProtocolViolation,
+                            });
+                            return ExitReason::Clean;
+                        }
+                    }
+                }
                 // Flush, then tell the client the total window count
                 // so it can verify it holds the complete stream.
                 // Deliberately does not end the connection: Finish is
@@ -1264,7 +1631,8 @@ fn read_loop(
             | Frame::Err { .. }
             | Frame::StatsReply { .. }
             | Frame::Session { .. }
-            | Frame::Finished { .. } => {
+            | Frame::Finished { .. }
+            | Frame::Moved { .. } => {
                 let _ = outbox.send(Frame::Err {
                     code: ErrCode::ProtocolViolation,
                 });
@@ -1436,6 +1804,7 @@ mod tests {
         assert!(c.drain_idle > Duration::ZERO);
         assert!(c.idle_timeout.is_none());
         assert!(c.resume_tail > 0);
+        assert_eq!(c.token_base, 1);
         assert!(c.faults.is_none());
     }
 
@@ -1470,6 +1839,7 @@ mod tests {
                 ServerConfig::builder().with_idle_timeout(Duration::ZERO),
                 "idle",
             ),
+            (ServerConfig::builder().with_token_base(0), "token"),
         ] {
             let err = broken.build().expect_err(what);
             assert_eq!(err.kind(), ErrorKind::InvalidConfig, "{what}");

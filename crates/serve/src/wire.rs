@@ -55,6 +55,7 @@ const TAG_ERR: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_SESSION: u8 = 0x86;
 const TAG_FINISHED: u8 = 0x87;
+const TAG_MOVED: u8 = 0x88;
 
 /// Why the server is refusing a frame or a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +263,19 @@ pub enum Frame {
     Finished {
         /// Total STS windows the session has observed.
         windows: u64,
+    },
+    /// Redirect: this endpoint does not (or no longer does) own the
+    /// session — reconnect to `shard_addr`. Sent by a cluster router
+    /// answering a misrouted `Hello`/`HelloResumable`/`Resume`, and by
+    /// a shard whose session has been migrated away. A nonzero `token`
+    /// means "a resumable session awaits you there: `Resume` with this
+    /// token"; `token == 0` means "no session exists yet — start fresh
+    /// with `HelloResumable` at the new address".
+    Moved {
+        /// Address (`host:port`) of the shard that owns the session.
+        shard_addr: String,
+        /// Resume token valid at `shard_addr`, or 0 for none.
+        token: u64,
     },
 }
 
@@ -503,6 +517,13 @@ impl Frame {
                 buf.push(TAG_FINISHED);
                 buf.extend_from_slice(&windows.to_le_bytes());
             }
+            Frame::Moved { shard_addr, token } => {
+                buf.push(TAG_MOVED);
+                let addr = shard_addr.as_bytes();
+                buf.extend_from_slice(&(addr.len() as u32).to_le_bytes());
+                buf.extend_from_slice(addr);
+                buf.extend_from_slice(&token.to_le_bytes());
+            }
         }
         let len = (buf.len() - start - 4) as u32;
         buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
@@ -609,6 +630,18 @@ impl Frame {
                 next_seq: r.u64()?,
             },
             TAG_FINISHED => Frame::Finished { windows: r.u64()? },
+            TAG_MOVED => {
+                let addr_len = r.u32()? as usize;
+                if addr_len > r.remaining() {
+                    return Err(WireError::BadPayload("shard addr length exceeds payload"));
+                }
+                let addr = r.bytes(addr_len)?;
+                let shard_addr = std::str::from_utf8(addr)
+                    .map_err(|_| WireError::BadPayload("shard addr is not UTF-8"))?
+                    .to_owned();
+                let token = r.u64()?;
+                Frame::Moved { shard_addr, token }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -769,6 +802,39 @@ mod tests {
         round_trip(Frame::Err {
             code: ErrCode::UnknownToken,
         });
+        round_trip(Frame::Moved {
+            shard_addr: "127.0.0.1:9001".into(),
+            token: 0xfeed_f00d_dead_beef,
+        });
+        round_trip(Frame::Moved {
+            shard_addr: String::new(),
+            token: 0,
+        });
+    }
+
+    #[test]
+    fn moved_payload_is_validated() {
+        // Lying address length.
+        let mut lying = vec![TAG_MOVED];
+        lying.extend_from_slice(&100u32.to_le_bytes());
+        lying.extend_from_slice(b"short");
+        assert_eq!(
+            Frame::decode(&lying),
+            Err(WireError::BadPayload("shard addr length exceeds payload"))
+        );
+        // Non-UTF-8 address.
+        let mut bad_utf8 = vec![TAG_MOVED];
+        bad_utf8.extend_from_slice(&2u32.to_le_bytes());
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        bad_utf8.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bad_utf8),
+            Err(WireError::BadPayload("shard addr is not UTF-8"))
+        );
+        // Missing token.
+        let mut truncated = vec![TAG_MOVED];
+        truncated.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Frame::decode(&truncated), Err(WireError::Truncated));
     }
 
     #[test]

@@ -6,10 +6,13 @@ use eddie_obs::{Counter, Gauge, Histogram, JournalEvent, Timer};
 
 use crate::{MonitorSession, StreamEvent};
 
-/// Handle to one session inside a [`Fleet`]. Ids are dense indices in
-/// registration order and never reused — an evicted device's slot stays
-/// tombstoned, so indices into [`Fleet::drain`] results remain stable
-/// for the fleet's whole lifetime.
+/// Handle to one session inside a [`Fleet`]. Ids are dense slot
+/// indices: live devices never shift, so indices into [`Fleet::drain`]
+/// results are stable for as long as the device is registered. An
+/// evicted device's slot is *reused* by a later registration (lowest
+/// vacated index first), so churn — e.g. repeated migrate-out /
+/// migrate-in of cluster sessions — does not grow the slot table; a
+/// `DeviceId` is therefore only valid until its device is evicted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(usize);
 
@@ -192,7 +195,8 @@ pub struct FleetStats {
     pub devices: Vec<DeviceStats>,
     /// Devices currently registered (live slots).
     pub active_sessions: usize,
-    /// Devices ever registered, including evicted ones.
+    /// Slot-table size: the high-water mark of concurrently registered
+    /// devices (vacated slots are reused by later registrations).
     pub total_registered: usize,
     /// Queued chunks across all live devices.
     pub queued_chunks: usize,
@@ -260,12 +264,16 @@ struct Device {
 ///
 /// Long-lived services additionally need devices to *leave*:
 /// [`remove_session`](Fleet::remove_session) evicts a disconnected
-/// device (its queued chunks are discarded, its slot tombstoned so ids
-/// stay stable), and [`stats`](Fleet::stats) reports per-device load
-/// plus the cumulative shed counts that explicit backpressure produces.
+/// device (its queued chunks are discarded, its slot vacated for the
+/// next registration to reuse), and [`stats`](Fleet::stats) reports
+/// per-device load plus the cumulative shed counts that explicit
+/// backpressure produces.
 #[derive(Debug)]
 pub struct Fleet {
     devices: Vec<Option<Device>>,
+    /// Vacated slot indices, kept sorted descending so `pop` hands the
+    /// lowest index to the next registration.
+    free_slots: Vec<usize>,
     config: FleetConfig,
     // Lifetime counters are `eddie_obs` counters whether or not
     // observability is installed — the fleet is their owner and
@@ -323,6 +331,7 @@ impl Fleet {
         });
         Fleet {
             devices: Vec::new(),
+            free_slots: Vec::new(),
             config,
             shed_chunks,
             shed_samples,
@@ -332,9 +341,10 @@ impl Fleet {
         }
     }
 
-    /// Registers a session and returns its device handle.
+    /// Registers a session and returns its device handle, reusing the
+    /// lowest vacated slot if an earlier device was evicted.
     pub fn add_session(&mut self, session: MonitorSession) -> DeviceId {
-        let index = self.devices.len();
+        let index = self.free_slots.pop().unwrap_or(self.devices.len());
         let device_obs = eddie_obs::global().map(|o| {
             let r = o.registry();
             let queued_chunks = Arc::new(Gauge::new());
@@ -355,14 +365,19 @@ impl Fleet {
                 queued_samples,
             }
         });
-        self.devices.push(Some(Device {
+        let device = Device {
             session,
             queue: VecDeque::new(),
             queued_samples: 0,
             shed_chunks: 0,
             shed_samples: 0,
             obs: device_obs,
-        }));
+        };
+        if index == self.devices.len() {
+            self.devices.push(Some(device));
+        } else {
+            self.devices[index] = Some(device);
+        }
         if let Some(obs) = &self.obs {
             obs.active_sessions.set(self.len() as i64);
         }
@@ -372,10 +387,13 @@ impl Fleet {
     /// Evicts `device`, returning its session (for a final snapshot)
     /// or `None` if it was already removed. Queued chunks are
     /// discarded; the device's shed counts remain in the fleet-wide
-    /// totals of [`stats`](Fleet::stats). The slot is tombstoned — ids
-    /// of other devices do not shift and the id is never reused.
+    /// totals of [`stats`](Fleet::stats). Ids of other devices do not
+    /// shift; the vacated slot is reused by a later registration, so
+    /// churn does not grow the slot table.
     pub fn remove_session(&mut self, device: DeviceId) -> Option<MonitorSession> {
         let removed = self.devices.get_mut(device.0).and_then(Option::take)?;
+        self.free_slots.push(device.0);
+        self.free_slots.sort_unstable_by(|a, b| b.cmp(a));
         if let Some(fleet_obs) = &self.obs {
             fleet_obs.queued_chunks.sub(removed.queue.len() as i64);
             fleet_obs.queued_samples.sub(removed.queued_samples as i64);
@@ -415,8 +433,9 @@ impl Fleet {
         self.len() == 0
     }
 
-    /// Devices ever registered, including evicted ones. Equals the
-    /// length of the vector [`drain`](Fleet::drain) returns.
+    /// Size of the slot table — the high-water mark of concurrently
+    /// registered devices (vacated slots are reused, not dropped).
+    /// Equals the length of the vector [`drain`](Fleet::drain) returns.
     pub fn registered(&self) -> usize {
         self.devices.len()
     }
@@ -825,7 +844,7 @@ mod tests {
     }
 
     #[test]
-    fn remove_session_tombstones_without_shifting_ids() {
+    fn remove_session_vacates_slot_without_shifting_live_ids() {
         let model = tiny_model();
         let mut fleet = Fleet::new(FleetConfig::default());
         let a = fleet.add_session(session(&model));
@@ -848,14 +867,51 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert!(events[a.index()].is_empty());
 
-        // New registrations never reuse the tombstoned id.
+        // The next registration reuses the vacated slot, so the slot
+        // table does not grow.
         let c = fleet.add_session(session(&model));
-        assert_eq!(c.index(), 2);
+        assert_eq!(c.index(), a.index());
+        assert_eq!(fleet.registered(), 2);
 
-        // Stats reflect the eviction.
+        // Stats reflect the reuse.
         let stats = fleet.stats();
         assert_eq!(stats.active_sessions, 2);
-        assert_eq!(stats.total_registered, 3);
+        assert_eq!(stats.total_registered, 2);
+    }
+
+    /// Regression for the cluster-churn pattern: repeated migrate-out /
+    /// migrate-in of a session must reuse the vacated slot rather than
+    /// grow the slot table, so the `stats()` row count stays put.
+    #[test]
+    fn churn_reuses_slots_and_keeps_stats_row_count_stable() {
+        let model = tiny_model();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let stable = fleet.add_session(session(&model));
+        let rows_before = fleet.stats().devices.len();
+        for _ in 0..100 {
+            let dev = fleet.add_session(session(&model));
+            assert_eq!(dev.index(), 1, "the vacated slot is reused every cycle");
+            let _ = fleet.push_chunk(dev, vec![0.0; 16]);
+            assert!(fleet.remove_session(dev).is_some());
+        }
+        assert_eq!(
+            fleet.registered(),
+            2,
+            "slot table must not grow under churn"
+        );
+        let stats = fleet.stats();
+        assert_eq!(stats.devices.len(), rows_before);
+        assert_eq!(stats.total_registered, 2);
+        assert!(fleet.contains(stable));
+        assert_eq!(fleet.drain().len(), 2);
+
+        // Several vacancies hand out the lowest index first.
+        let x = fleet.add_session(session(&model));
+        let y = fleet.add_session(session(&model));
+        let _ = fleet.remove_session(y);
+        let _ = fleet.remove_session(x);
+        let z = fleet.add_session(session(&model));
+        assert_eq!(z.index(), x.index(), "lowest vacated slot is reused first");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub use eddie_cfg as cfg;
 pub use eddie_chaos as chaos;
+pub use eddie_cluster as cluster;
 pub use eddie_core as core;
 pub use eddie_dsp as dsp;
 pub use eddie_em as em;
