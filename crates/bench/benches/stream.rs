@@ -3,7 +3,8 @@
 //! Measures the cost the online runtime adds over the batch STFT path:
 //! session ingest throughput at small vs large chunks (the per-chunk
 //! bookkeeping amortises away with chunk size), fleet drain across
-//! pool widths, and the snapshot round-trip a migration pays.
+//! pool widths, the snapshot round-trip a migration pays, and the
+//! store tier's park/thaw spill latency plus a budget-churn mini-soak.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -109,10 +110,87 @@ fn bench_snapshot_round_trip(c: &mut Criterion) {
     g.finish();
 }
 
+/// One park + one thaw through the real spill log: snapshot →
+/// serialize → append, then read → parse → restore.
+fn bench_store_park_thaw(c: &mut Criterion) {
+    let fx = fixture();
+    let dir = std::env::temp_dir().join(format!("eddie-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = eddie_store::SessionStore::open(
+        eddie_store::StoreConfig::builder(&dir)
+            .resident_budget(8)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut fleet = Fleet::with_store(FleetConfig::default(), store);
+    let dev = fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).unwrap());
+    assert_eq!(
+        fleet.push_chunk(dev, fx.signal[..4096].to_vec()),
+        PushResult::Accepted
+    );
+    let _ = fleet.drain();
+
+    let mut g = c.benchmark_group("stream");
+    g.bench_function("store_park_thaw_round_trip", |b| {
+        b.iter(|| {
+            assert!(fleet.park(black_box(dev)).unwrap());
+            fleet.thaw(black_box(dev)).unwrap();
+        })
+    });
+    g.finish();
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Budget churn: 64 devices over a resident budget of 8, every round
+/// thawing one budget-sized window and parking the last — the steady
+/// state a memory-bounded fleet lives in.
+fn bench_store_mini_soak(c: &mut Criterion) {
+    let fx = fixture();
+    const DEVICES: usize = 64;
+    const BUDGET: usize = 8;
+    const ROUNDS: usize = 4;
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10);
+    g.bench_function("store_mini_soak_64dev_budget8", |b| {
+        b.iter(|| {
+            let dir = std::env::temp_dir().join(format!("eddie-bench-soak-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = eddie_store::SessionStore::open(
+                eddie_store::StoreConfig::builder(&dir)
+                    .resident_budget(BUDGET)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let mut fleet = Fleet::with_store(FleetConfig::default(), store);
+            let devs: Vec<_> = (0..DEVICES)
+                .map(|_| fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).unwrap()))
+                .collect();
+            let chunk = &fx.signal[..2048];
+            let mut events = 0usize;
+            for r in 0..ROUNDS {
+                let start = (r * BUDGET) % DEVICES;
+                for k in 0..BUDGET {
+                    let d = devs[(start + k) % DEVICES];
+                    assert_eq!(fleet.push_chunk(d, chunk.to_vec()), PushResult::Accepted);
+                }
+                events += fleet.drain().iter().map(Vec::len).sum::<usize>();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(events)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_session_ingest,
     bench_fleet_drain,
-    bench_snapshot_round_trip
+    bench_snapshot_round_trip,
+    bench_store_park_thaw,
+    bench_store_mini_soak
 );
 criterion_main!(benches);

@@ -111,6 +111,16 @@ impl MonitorState {
         self.history.len()
     }
 
+    /// Estimated resident bytes of this state: the struct itself plus
+    /// the retained history. The kernel cache is excluded on purpose —
+    /// it is a rebuild-on-demand artifact (dropped by snapshots,
+    /// absent right after a thaw), so including it would make the
+    /// estimate depend on whether a window arrived since restore.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<MonitorState>()
+            + self.history.iter().map(Sts::approx_bytes).sum::<usize>()
+    }
+
     /// Consumes the next STS and returns the monitoring decision —
     /// the paper's Algorithm 1 step, identical to
     /// [`Monitor::observe`] but with the model passed explicitly.

@@ -61,6 +61,14 @@ impl Sts {
     pub fn num_peaks(&self) -> usize {
         self.peaks.len()
     }
+
+    /// Estimated heap + inline size of this STS in bytes. Deliberately
+    /// a capacity-blind estimate (lengths, not `Vec` capacities) so the
+    /// number is identical for a freshly deserialized clone — the
+    /// store's memory ledger must not depend on allocation history.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Sts>() + self.peaks.len() * std::mem::size_of::<Peak>()
+    }
 }
 
 /// Converts a spectra sequence into an STS sequence.

@@ -133,6 +133,25 @@ impl TrainedModel {
         }
         self.regions.keys().next().copied()
     }
+
+    /// Estimated resident bytes of the model: per-region reference
+    /// samples (the dominant term at fleet scale) plus struct
+    /// overheads. Capacity-blind like
+    /// [`Sts::approx_bytes`](crate::Sts::approx_bytes), so shared and
+    /// freshly deserialized copies report the same number.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<TrainedModel>();
+        for rm in self.regions.values() {
+            bytes += std::mem::size_of::<RegionModel>();
+            bytes += rm.reference.len() * std::mem::size_of::<Vec<f64>>();
+            bytes += rm
+                .reference
+                .iter()
+                .map(|rank| rank.len() * std::mem::size_of::<f64>())
+                .sum::<usize>();
+        }
+        bytes
+    }
 }
 
 /// Trains EDDIE from labelled runs (§4.1's training procedure, with the

@@ -97,6 +97,12 @@ impl StreamingStft {
         self.base + self.pending.len()
     }
 
+    /// Samples currently buffered awaiting a complete window — the
+    /// resident tail a session-byte estimate has to account for.
+    pub fn pending_samples(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Appends a chunk of samples and returns every window that became
     /// complete, in order. `start_sample` fields are absolute indices in
     /// the concatenated signal, exactly as the batch path reports them.

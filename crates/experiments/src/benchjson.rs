@@ -4,7 +4,9 @@
 //! regression gate: run counts vary, output is a report directory, and
 //! parsing it is fragile. This subcommand runs the hot loops that
 //! matter — per-window **decide**, session **ingest**, fleet **drain**,
-//! ring **lookup**, and the live-migration **round trip** — a fixed
+//! ring **lookup**, the live-migration **round trip**, and the store
+//! tier's **park**/**thaw** spill path (plus its resident
+//! bytes-per-session footprint) — a fixed
 //! number of times each and emits one flat JSON array with a stable
 //! schema:
 //!
@@ -314,6 +316,83 @@ fn bench_migration(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
     }
 }
 
+/// Store tier: park and thaw latency over real spill-log I/O, plus the
+/// resident footprint. Three records ride the same flat schema:
+///
+/// * `store_park_ns` / `store_thaw_ns` — `ns_per_iter` is the latency
+///   of one park (snapshot + serialize + append) or one thaw (read +
+///   parse + restore); `throughput` is operations per second.
+/// * `store_bytes_per_session` — the ledger's resident-bytes estimate
+///   divided by session count. Not a duration: both `ns_per_iter` and
+///   `throughput` carry the byte figure (the schema is fixed; the soak
+///   budget in EXPERIMENTS.md is the authoritative consumer).
+fn bench_store(fx: &Fixture, passes: usize, sha: &str) -> Vec<BenchRecord> {
+    const SESSIONS: usize = 32;
+    let dir = std::env::temp_dir().join(format!("eddie-benchjson-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = eddie_store::SessionStore::open(
+        eddie_store::StoreConfig::builder(&dir)
+            .resident_budget(SESSIONS)
+            .build()
+            .expect("bench store config"),
+    )
+    .expect("open bench store");
+    let mut fleet = Fleet::with_store(FleetConfig::default(), store);
+    let devs: Vec<_> = (0..SESSIONS)
+        .map(|_| fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).unwrap()))
+        .collect();
+    // Give every session real state so snapshots have real weight.
+    let warm = &fx.signal[..fx.signal.len().min(4096)];
+    for &d in &devs {
+        assert_eq!(fleet.push_chunk(d, warm.to_vec()), PushResult::Accepted);
+    }
+    let _ = fleet.drain();
+    let bytes_per_session = fleet
+        .ledger_snapshot()
+        .map_or(0.0, |l| l.bytes_per_session());
+
+    // Warmup cycle, then timed park and thaw sweeps.
+    for &d in &devs {
+        assert!(fleet.park(d).expect("warmup park"), "park must succeed");
+    }
+    for &d in &devs {
+        fleet.thaw(d).expect("warmup thaw");
+    }
+    let (mut park_ns, mut thaw_ns) = (0f64, 0f64);
+    for _ in 0..passes {
+        let t = Instant::now();
+        for &d in &devs {
+            assert!(fleet.park(d).expect("park"), "park must succeed");
+        }
+        park_ns += t.elapsed().as_nanos() as f64;
+        let t = Instant::now();
+        for &d in &devs {
+            fleet.thaw(d).expect("thaw");
+        }
+        thaw_ns += t.elapsed().as_nanos() as f64;
+    }
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let iters = (passes * SESSIONS) as f64;
+    let rec = |bench: &str, ns: f64, tp: f64| BenchRecord {
+        bench: bench.to_string(),
+        ns_per_iter: ns,
+        throughput: tp,
+        threads: 1,
+        git_sha: sha.to_string(),
+    };
+    vec![
+        rec("store_park_ns", park_ns / iters, iters / (park_ns / 1e9)),
+        rec("store_thaw_ns", thaw_ns / iters, iters / (thaw_ns / 1e9)),
+        rec(
+            "store_bytes_per_session",
+            bytes_per_session,
+            bytes_per_session,
+        ),
+    ]
+}
+
 /// Renders records as the stable flat-array schema. Hand-rolled so the
 /// byte layout (key order, float formatting) does not depend on a
 /// serde implementation detail.
@@ -454,6 +533,14 @@ pub fn bench_json(args: &[String]) -> Result<String, String> {
     ] {
         eprintln!("# running {name}...");
         let r = f(&fx, passes, &sha);
+        eprintln!(
+            "#   {}: {:.0} ns/iter, {:.0}/s",
+            r.bench, r.ns_per_iter, r.throughput
+        );
+        records.push(r);
+    }
+    eprintln!("# running store...");
+    for r in bench_store(&fx, passes, &sha) {
         eprintln!(
             "#   {}: {:.0} ns/iter, {:.0}/s",
             r.bench, r.ns_per_iter, r.throughput

@@ -22,6 +22,7 @@ pub mod clustercli;
 pub mod exps;
 pub mod harness;
 pub mod servecli;
+pub mod soakcli;
 pub mod sweep;
 
 use std::fmt::Write as _;

@@ -9,12 +9,13 @@
 //! eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]
 //! eddie-experiments cluster [--shards N] [--clients N] [--chunk N] [--plan GRAMMAR] [--scale quick|full]
 //! eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]
+//! eddie-experiments soak [--devices N] [--programs P] [--budget N] [--chunk N] [--rounds N]
 //! eddie-experiments --list
 //! ```
 
 use std::process::ExitCode;
 
-use eddie_experiments::{benchjson, clustercli, exps, servecli, Scale};
+use eddie_experiments::{benchjson, clustercli, exps, servecli, soakcli, Scale};
 
 fn usage() -> String {
     format!(
@@ -25,6 +26,7 @@ fn usage() -> String {
          \x20      eddie-experiments chaos [--plan GRAMMAR] [--chunk N] [--scale quick|full]\n\
          \x20      eddie-experiments cluster [--shards N] [--clients N] [--chunk N] [--plan GRAMMAR] [--scale quick|full]\n\
          \x20      eddie-experiments bench-json [--out FILE] [--check FILE] [--passes N]\n\
+         \x20      eddie-experiments soak [--devices N] [--programs P] [--budget N] [--chunk N] [--rounds N]\n\
          ids: {} | all\n\
          default scale: quick\n\
          env: EDDIE_THREADS=<n> sets the worker-pool width (default: all cores);\n\
@@ -44,6 +46,7 @@ fn run_servecli(cmd: &str, rest: &[String]) -> ExitCode {
         "chaos" => servecli::chaos(rest),
         "cluster" => clustercli::cluster(rest),
         "bench-json" => benchjson::bench_json(rest),
+        "soak" => soakcli::soak(rest),
         _ => unreachable!(),
     };
     match result {
@@ -77,11 +80,12 @@ fn main() -> ExitCode {
         println!("stats");
         println!("chaos");
         println!("bench-json");
+        println!("soak");
         return ExitCode::SUCCESS;
     }
     if matches!(
         args[0].as_str(),
-        "serve" | "replay-client" | "stats" | "chaos" | "cluster" | "bench-json"
+        "serve" | "replay-client" | "stats" | "chaos" | "cluster" | "bench-json" | "soak"
     ) {
         return run_servecli(&args[0], &args[1..]);
     }

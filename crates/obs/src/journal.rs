@@ -86,6 +86,20 @@ pub enum JournalEvent {
         /// Buffered event frames replayed to the client on reattach.
         replayed: u64,
     },
+    /// A resident session was spilled to the cold store to stay inside
+    /// the fleet's memory budget (distinct from [`SessionParked`],
+    /// which is the serve layer's connection-drop parking).
+    ///
+    /// [`SessionParked`]: JournalEvent::SessionParked
+    SessionColdParked {
+        /// Fleet device id.
+        device: u64,
+    },
+    /// A cold-parked session was restored from the spill log.
+    SessionThawed {
+        /// Fleet device id.
+        device: u64,
+    },
     /// A live session was exported to another cluster shard.
     SessionMigratedOut {
         /// Fleet device id on the exporting shard.
@@ -114,6 +128,8 @@ impl JournalEvent {
             JournalEvent::SnapshotWriteFailed { .. } => "snapshot_write_failed",
             JournalEvent::SessionParked { .. } => "session_parked",
             JournalEvent::SessionResumed { .. } => "session_resumed",
+            JournalEvent::SessionColdParked { .. } => "session_cold_parked",
+            JournalEvent::SessionThawed { .. } => "session_thawed",
             JournalEvent::SessionMigratedOut { .. } => "session_migrated_out",
             JournalEvent::SessionMigratedIn { .. } => "session_migrated_in",
         }
@@ -179,7 +195,9 @@ impl JournalRecord {
             JournalEvent::SessionResumed { device, replayed } => {
                 let _ = write!(s, ",\"device\":{device},\"replayed\":{replayed}");
             }
-            JournalEvent::SessionMigratedOut { device }
+            JournalEvent::SessionColdParked { device }
+            | JournalEvent::SessionThawed { device }
+            | JournalEvent::SessionMigratedOut { device }
             | JournalEvent::SessionMigratedIn { device } => {
                 let _ = write!(s, ",\"device\":{device}");
             }

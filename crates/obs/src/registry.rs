@@ -191,6 +191,17 @@ impl Registry {
     /// series for histograms (empty trailing buckets elided).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        self.render_prometheus_into(&mut out);
+        out
+    }
+
+    /// [`render_prometheus`](Self::render_prometheus) into a
+    /// caller-owned scratch buffer. The buffer is cleared first but its
+    /// capacity is kept, so a periodic scraper (the serve `Stats`
+    /// handler, the experiments soak loop) re-renders without growing
+    /// the heap once the buffer has warmed up to the exposition size.
+    pub fn render_prometheus_into(&self, out: &mut String) {
+        out.clear();
         let mut last_base = String::new();
         for (name, value) in self.snapshot() {
             let (base, labels) = split_name(&name);
@@ -201,7 +212,8 @@ impl Registry {
             };
             if base != last_base {
                 let _ = writeln!(out, "# TYPE {base} {kind}");
-                last_base = base.to_owned();
+                last_base.clear();
+                last_base.push_str(base);
             }
             match value {
                 MetricValue::Counter(v) => {
@@ -230,7 +242,6 @@ impl Registry {
                 }
             }
         }
-        out
     }
 }
 
@@ -342,6 +353,33 @@ mod tests {
         assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("lat_ns_sum 103"));
         assert!(text.contains("lat_ns_count 3"));
+    }
+
+    /// The scratch-buffer render must match the allocating one and,
+    /// once warmed, re-render into the same heap allocation: a periodic
+    /// scraper should not grow memory scrape after scrape.
+    #[test]
+    fn scratch_render_matches_and_keeps_capacity() {
+        let r = Registry::new();
+        r.counter("reqs_total").add(5);
+        r.gauge("depth").set(-2);
+        let h = r.histogram("lat_ns");
+        h.record(0);
+        h.record(3);
+        h.record(100);
+
+        let mut scratch = String::new();
+        r.render_prometheus_into(&mut scratch);
+        assert_eq!(scratch, r.render_prometheus());
+
+        let warmed = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        for _ in 0..32 {
+            r.render_prometheus_into(&mut scratch);
+        }
+        assert_eq!(scratch, r.render_prometheus());
+        assert_eq!(scratch.capacity(), warmed, "re-render must not grow");
+        assert_eq!(scratch.as_ptr(), ptr, "re-render must not reallocate");
     }
 
     #[test]

@@ -54,9 +54,9 @@ pub use client::{
     ReplayOutcome, ResilientClient, ResilientOutcome, PIPELINE_WINDOW,
 };
 pub use server::{
-    load_sessions, load_snapshot, persist_sessions, persist_snapshot, resume_journal,
-    ExportedSession, ModelRegistry, PersistedSession, Server, ServerConfig, ServerConfigBuilder,
-    ServerHandle, ServerReport, SnapshotFile,
+    load_sessions, load_snapshot, persist_sessions, persist_sessions_spill, persist_snapshot,
+    resume_journal, ExportedSession, ModelRegistry, PersistedSession, Server, ServerConfig,
+    ServerConfigBuilder, ServerHandle, ServerReport, SnapshotFile,
 };
 pub use wire::{
     read_frame, write_frame, ErrCode, EventKind, Frame, ReadError, WireError, MAX_CHUNK_SAMPLES,

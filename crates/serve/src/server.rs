@@ -47,7 +47,11 @@ use std::time::{Duration, Instant};
 use eddie_chaos::{ServerFaults, SnapshotFate};
 use eddie_core::{Error as CoreError, ErrorKind, TrainedModel};
 use eddie_obs::{Counter, Gauge, Histogram, JournalEvent, Timer};
-use eddie_stream::{DeviceId, Fleet, FleetConfig, FleetStats, MonitorSession, PushResult};
+use eddie_store::snapshot::{parse_spill_snapshot, SpillSnapshotRecord, SPILL_SNAPSHOT_MAGIC};
+use eddie_store::{SessionStore, StoreConfig};
+use eddie_stream::{
+    DeviceId, Fleet, FleetConfig, FleetStats, MonitorSession, PushResult, SessionSnapshot,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::wire::{write_frame, ErrCode, Frame, WireError, MAX_FRAME_LEN};
@@ -126,6 +130,13 @@ pub struct ServerConfig {
     /// Server-side failpoints (`Busy` storms, snapshot-write failures,
     /// slow drains) for chaos testing; `None` in production.
     pub faults: Option<Arc<ServerFaults>>,
+    /// Cold-storage tier for the fleet: when set, registered sessions'
+    /// models are deduplicated and idle sessions beyond the store's
+    /// resident budget are parked to its spill log between drains.
+    /// Also switches snapshot files to the store's spill framing
+    /// ([`load_snapshot`] reads both formats). `None` keeps every
+    /// session resident, as before the store tier existed.
+    pub session_store: Option<StoreConfig>,
 }
 
 impl Default for ServerConfig {
@@ -141,6 +152,7 @@ impl Default for ServerConfig {
             resume_tail: 1024,
             token_base: 1,
             faults: None,
+            session_store: None,
         }
     }
 }
@@ -223,6 +235,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Attaches a cold-storage tier: model dedup, budgeted parking of
+    /// idle sessions, and spill-format snapshot files.
+    pub fn with_session_store(mut self, store: StoreConfig) -> ServerConfigBuilder {
+        self.config.session_store = Some(store);
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -295,11 +314,62 @@ pub fn persist_snapshot(path: &Path, file: &SnapshotFile) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// Loads a snapshot file written by [`persist_snapshot`].
+/// Loads a snapshot file written by [`persist_snapshot`] (legacy JSON)
+/// or [`persist_sessions_spill`] (the store's spill framing, written
+/// when [`ServerConfig::session_store`] is set) — the format is
+/// sniffed from the first line, so restore tooling reads either.
 pub fn load_snapshot(path: &Path) -> io::Result<SnapshotFile> {
-    let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    let bytes = std::fs::read(path)?;
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    if bytes.starts_with(SPILL_SNAPSHOT_MAGIC) {
+        let (journal_seq, records) =
+            parse_spill_snapshot(&bytes).map_err(|e| invalid(e.to_string()))?;
+        let mut sessions = Vec::with_capacity(records.len());
+        for r in records {
+            let json = String::from_utf8(r.payload)
+                .map_err(|e| invalid(format!("snapshot payload not utf-8: {e}")))?;
+            let snapshot = SessionSnapshot::from_json(&json).map_err(|e| invalid(e.to_string()))?;
+            sessions.push(PersistedSession {
+                device: r.slot as usize,
+                model_id: r.tag,
+                snapshot,
+            });
+        }
+        return Ok(SnapshotFile {
+            journal_seq,
+            sessions,
+        });
+    }
+    let json =
+        String::from_utf8(bytes).map_err(|e| invalid(format!("snapshot file not utf-8: {e}")))?;
+    serde_json::from_str(&json).map_err(|e| invalid(e.to_string()))
+}
+
+/// Converts persisted sessions to the spill-snapshot record form: the
+/// device index is the slot, the model id the tag, the JSON-serialized
+/// session snapshot the payload.
+fn spill_records(sessions: &[PersistedSession]) -> Vec<SpillSnapshotRecord> {
+    sessions
+        .iter()
+        .map(|s| SpillSnapshotRecord {
+            slot: s.device as u64,
+            tag: s.model_id.clone(),
+            payload: s.snapshot.to_json().unwrap_or_default().into_bytes(),
+        })
+        .collect()
+}
+
+/// Persists session snapshots in the store's spill framing, stamping
+/// the current journal sequence — the format the server writes when a
+/// session store is configured. [`load_snapshot`] reads it back.
+///
+/// # Errors
+///
+/// I/O errors writing or renaming the temp file.
+pub fn persist_sessions_spill(path: &Path, sessions: &[PersistedSession]) -> io::Result<()> {
+    let journal_seq = eddie_obs::global().map_or(0, |o| o.journal().next_seq());
+    eddie_store::snapshot::write_spill_snapshot(path, journal_seq, &spill_records(sessions))
+        .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))
 }
 
 /// Continues the installed journal's sequence numbering from a
@@ -826,11 +896,19 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let fleet = match config.session_store.clone() {
+            Some(store_config) => {
+                let store = SessionStore::open(store_config)
+                    .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))?;
+                Fleet::with_store(config.fleet, store)
+            }
+            None => Fleet::new(config.fleet),
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 core: Mutex::new(Core {
-                    fleet: Fleet::new(config.fleet),
+                    fleet,
                     routes: HashMap::new(),
                     model_ids: HashMap::new(),
                     resumables: HashMap::new(),
@@ -1055,21 +1133,35 @@ fn persist_now(shared: &Shared, config: &ServerConfig) {
         return;
     };
     let sessions: Vec<PersistedSession> = {
-        let core = shared.core.lock().expect("core lock");
-        core.fleet
-            .sessions()
-            .map(|(dev, session)| PersistedSession {
-                device: dev.index(),
-                model_id: core
-                    .model_ids
-                    .get(&dev.index())
-                    .cloned()
-                    .unwrap_or_default(),
-                snapshot: session.snapshot(),
-            })
-            .collect()
+        let mut core = shared.core.lock().expect("core lock");
+        collect_persisted(&mut core)
     };
     write_snapshot_with_faults(path, &sessions, shared, config);
+}
+
+/// Collects every live session's snapshot, cold-parked ones included
+/// (their spill payloads are parsed in place, without thawing).
+fn collect_persisted(core: &mut Core) -> Vec<PersistedSession> {
+    let devices = core.fleet.live_devices();
+    let mut out = Vec::with_capacity(devices.len());
+    for dev in devices {
+        let model_id = core
+            .model_ids
+            .get(&dev.index())
+            .cloned()
+            .unwrap_or_default();
+        // A parked session whose spill record cannot be read is
+        // skipped rather than failing the whole generation; its store
+        // ledger already counts the read failure.
+        if let Ok(snapshot) = core.fleet.snapshot_session(dev) {
+            out.push(PersistedSession {
+                device: dev.index(),
+                model_id,
+                snapshot,
+            });
+        }
+    }
+    out
 }
 
 /// Writes a snapshot generation, first consulting the configured
@@ -1089,24 +1181,35 @@ fn write_snapshot_with_faults(
         .faults
         .as_ref()
         .map_or(SnapshotFate::Write, |f| f.snapshot_fate());
+    let spill_format = config.session_store.is_some();
+    let write = |path: &Path| {
+        if spill_format {
+            persist_sessions_spill(path, sessions).is_ok()
+        } else {
+            persist_sessions(path, sessions).is_ok()
+        }
+    };
     let ok = match fate {
-        SnapshotFate::Write => persist_sessions(path, sessions).is_ok(),
+        SnapshotFate::Write => write(path),
         SnapshotFate::Fail => false,
         SnapshotFate::Truncate => {
             let journal_seq = eddie_obs::global().map_or(0, |o| o.journal().next_seq());
-            let file = SnapshotFile {
-                journal_seq,
-                sessions: sessions.to_vec(),
+            let bytes = if spill_format {
+                eddie_store::snapshot::render_spill_snapshot(journal_seq, &spill_records(sessions))
+            } else {
+                let file = SnapshotFile {
+                    journal_seq,
+                    sessions: sessions.to_vec(),
+                };
+                serde_json::to_string(&file)
+                    .unwrap_or_default()
+                    .into_bytes()
             };
-            let json = serde_json::to_string(&file).unwrap_or_default();
-            let _ = std::fs::write(
-                path.with_extension("tmp"),
-                &json.as_bytes()[..json.len() / 2],
-            );
+            let _ = std::fs::write(path.with_extension("tmp"), &bytes[..bytes.len() / 2]);
             false
         }
         // `SnapshotFate` is #[non_exhaustive]; unknown fates write.
-        _ => persist_sessions(path, sessions).is_ok(),
+        _ => write(path),
     };
     if ok {
         shared.counters.snapshots_written.inc();
@@ -1282,6 +1385,9 @@ fn read_loop(
     shared: &Shared,
     config: &ServerConfig,
 ) -> ExitReason {
+    // Scratch buffer for Stats scrapes: warmed on the first scrape,
+    // re-rendered in place after that (no per-scrape re-growth).
+    let mut stats_scratch = String::new();
     loop {
         let frame = match read_frame_idle_aware(reader, shared, config.idle_timeout) {
             FrameRead::Frame(f) => f,
@@ -1425,6 +1531,14 @@ fn read_loop(
                 r.parked_at = None;
                 let dev = r.device;
                 let next_seq = r.expected_seq;
+                // The budget enforcer may have cold-parked the session
+                // while the client was away; revive it now so the first
+                // chunk after the resume is not taxed with the thaw. A
+                // failure stays parked — push_chunk retries lazily and
+                // answers Busy until the spill record is readable.
+                if core.fleet.is_parked(dev) {
+                    let _ = core.fleet.thaw(dev);
+                }
                 let _ = outbox.send(Frame::Session { token, next_seq });
                 // Replay buffered events the client missed, under the
                 // core lock so the drain loop cannot interleave newer
@@ -1593,12 +1707,9 @@ fn read_loop(
                 flush_device(dev, shared, config);
                 let windows = {
                     let core = shared.core.lock().expect("core lock");
-                    let n = core
-                        .fleet
-                        .sessions()
-                        .find(|(d, _)| *d == dev)
-                        .map_or(0, |(_, s)| s.windows_observed() as u64);
-                    n
+                    // Parked-aware: a cold-parked session reports its
+                    // progress from resident metadata, no thaw needed.
+                    core.fleet.windows_observed(dev).map_or(0, |n| n as u64)
                 };
                 let _ = outbox.send(Frame::Finished { windows });
             }
@@ -1617,7 +1728,10 @@ fn read_loop(
                 // Allowed in any state, including before Hello, so an
                 // operator can scrape a server without a session.
                 let text = match eddie_obs::global() {
-                    Some(o) => o.registry().render_prometheus(),
+                    Some(o) => {
+                        o.registry().render_prometheus_into(&mut stats_scratch);
+                        stats_scratch.clone()
+                    }
                     None => String::from("# eddie-obs not installed\n"),
                 };
                 let _ = outbox.send(Frame::StatsReply {
@@ -1665,18 +1779,11 @@ fn persist_device(dev: DeviceId, shared: &Shared, config: &ServerConfig) -> bool
         return false;
     };
     let sessions: Vec<PersistedSession> = {
-        let core = shared.core.lock().expect("core lock");
+        let mut core = shared.core.lock().expect("core lock");
         if !core.fleet.contains(dev) {
             return false;
         }
-        core.fleet
-            .sessions()
-            .map(|(d, session)| PersistedSession {
-                device: d.index(),
-                model_id: core.model_ids.get(&d.index()).cloned().unwrap_or_default(),
-                snapshot: session.snapshot(),
-            })
-            .collect()
+        collect_persisted(&mut core)
     };
     write_snapshot_with_faults(path, &sessions, shared, config)
 }
@@ -1806,6 +1913,7 @@ mod tests {
         assert!(c.resume_tail > 0);
         assert_eq!(c.token_base, 1);
         assert!(c.faults.is_none());
+        assert!(c.session_store.is_none());
     }
 
     #[test]
@@ -1816,10 +1924,20 @@ mod tests {
             .with_idle_timeout(Duration::from_millis(200))
             .with_resume_linger(Duration::from_secs(2))
             .with_resume_tail(64)
+            .with_session_store(
+                StoreConfig::builder("/tmp/eddie-test-spill")
+                    .resident_budget(16)
+                    .build()
+                    .expect("valid store config"),
+            )
             .build()
             .expect("valid config");
         assert_eq!(c.resume_tail, 64);
         assert_eq!(c.idle_timeout, Some(Duration::from_millis(200)));
+        assert_eq!(
+            c.session_store.as_ref().map(|s| s.resident_budget),
+            Some(16)
+        );
 
         for (broken, what) in [
             (
@@ -1881,6 +1999,88 @@ mod tests {
         // A later successful write replaces it cleanly, stale tmp and all.
         persist_snapshot(&path, &gen_b).expect("write generation B");
         assert_eq!(load_snapshot(&path).expect("load B"), gen_b);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_model() -> std::sync::Arc<eddie_core::TrainedModel> {
+        use eddie_isa::{ProgramBuilder, Reg, RegionId};
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let graph = eddie_cfg::RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let run = eddie_core::LabeledRun {
+            stss: (0..60)
+                .map(|w| eddie_core::Sts {
+                    index: w,
+                    start_sample: w,
+                    peaks: vec![eddie_dsp::Peak {
+                        bin: 1,
+                        freq_hz: 100.0 + ((w * 7) % 5) as f64 * 0.5,
+                        power: 1.0,
+                        fraction: 0.5,
+                    }],
+                    centroid_hz: 100.0,
+                    spread_hz: 1.0,
+                })
+                .collect(),
+            labels: vec![RegionId::new(0); 60],
+        };
+        std::sync::Arc::new(
+            eddie_core::train_from_labeled(&[run], &graph, &eddie_core::EddieConfig::quick())
+                .unwrap(),
+        )
+    }
+
+    /// The spill-format snapshot file must round-trip a live session's
+    /// state byte-for-byte through `persist_sessions_spill`, and
+    /// `load_snapshot` must sniff the format so a server flipped between
+    /// JSON and spill snapshots reads either generation.
+    #[test]
+    fn spill_snapshot_round_trips_and_sniffs_format() {
+        let dir = std::env::temp_dir().join(format!("eddie-spillsnap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("sessions.snap");
+
+        let mut session = eddie_stream::MonitorSession::new(tiny_model(), 1000.0).unwrap();
+        let _ = session.push(&vec![0.25; 600]);
+        let snapshot = session.snapshot();
+        let sessions = vec![PersistedSession {
+            device: 3,
+            model_id: "bitcount".to_string(),
+            snapshot: snapshot.clone(),
+        }];
+
+        persist_sessions_spill(&path, &sessions).expect("write spill snapshot");
+        let loaded = load_snapshot(&path).expect("load spill snapshot");
+        assert_eq!(loaded.sessions.len(), 1);
+        assert_eq!(loaded.sessions[0].device, 3);
+        assert_eq!(loaded.sessions[0].model_id, "bitcount");
+        assert_eq!(
+            loaded.sessions[0].snapshot.to_json().unwrap(),
+            snapshot.to_json().unwrap(),
+            "spill round trip must be byte-identical"
+        );
+
+        // Same path, legacy JSON generation: the sniffer must still
+        // read it (a downgrade or a pre-store snapshot on disk).
+        let legacy = SnapshotFile {
+            journal_seq: loaded.journal_seq,
+            sessions,
+        };
+        persist_snapshot(&path, &legacy).expect("write legacy JSON");
+        let back = load_snapshot(&path).expect("load legacy JSON");
+        assert_eq!(back.sessions[0].device, 3);
+        assert_eq!(
+            back.sessions[0].snapshot.to_json().unwrap(),
+            snapshot.to_json().unwrap()
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
     }

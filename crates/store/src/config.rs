@@ -1,0 +1,139 @@
+//! Store configuration: where to spill and how much to keep resident.
+
+use eddie_core::{Error, ErrorKind};
+use std::path::PathBuf;
+
+const LAYER: &str = "eddie-store";
+
+/// Configuration for a [`SessionStore`](crate::SessionStore).
+///
+/// Build with [`StoreConfig::builder`]; the builder validates knob
+/// ranges the same way `FleetConfigBuilder` does, so a store can never
+/// be constructed with a zero resident budget or a nonsense compaction
+/// ratio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreConfig {
+    /// Directory the spill log lives in (created on open).
+    pub spill_dir: PathBuf,
+    /// Maximum sessions kept resident; beyond it the fleet parks the
+    /// least-recently-active idle sessions after each drain.
+    pub resident_budget: usize,
+    /// Spill files smaller than this are never compacted (compaction
+    /// below it costs more than the bytes it frees).
+    pub compact_min_bytes: u64,
+    /// Compact when dead bytes reach this percentage of the file.
+    pub compact_dead_ratio_pct: u32,
+}
+
+impl StoreConfig {
+    /// Starts a builder over the given spill directory with defaults:
+    /// resident budget 1024 sessions, compaction at ≥ 64 KiB file size
+    /// and ≥ 50 % dead bytes.
+    pub fn builder(spill_dir: impl Into<PathBuf>) -> StoreConfigBuilder {
+        StoreConfigBuilder {
+            spill_dir: spill_dir.into(),
+            resident_budget: 1024,
+            compact_min_bytes: 64 * 1024,
+            compact_dead_ratio_pct: 50,
+        }
+    }
+}
+
+/// Builder for [`StoreConfig`] with validation at [`build`](StoreConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct StoreConfigBuilder {
+    spill_dir: PathBuf,
+    resident_budget: usize,
+    compact_min_bytes: u64,
+    compact_dead_ratio_pct: u32,
+}
+
+impl StoreConfigBuilder {
+    /// Sets the maximum number of resident sessions.
+    pub fn resident_budget(mut self, sessions: usize) -> Self {
+        self.resident_budget = sessions;
+        self
+    }
+
+    /// Sets the minimum spill-file size before compaction triggers.
+    pub fn compact_min_bytes(mut self, bytes: u64) -> Self {
+        self.compact_min_bytes = bytes;
+        self
+    }
+
+    /// Sets the dead-byte percentage that triggers compaction.
+    pub fn compact_dead_ratio_pct(mut self, pct: u32) -> Self {
+        self.compact_dead_ratio_pct = pct;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::InvalidConfig`] when the resident budget is zero or
+    /// the compaction ratio is outside `1..=100`.
+    pub fn build(self) -> Result<StoreConfig, Error> {
+        if self.resident_budget == 0 {
+            return Err(Error::new(
+                ErrorKind::InvalidConfig,
+                LAYER,
+                "resident_budget must be at least 1",
+            ));
+        }
+        if self.compact_dead_ratio_pct == 0 || self.compact_dead_ratio_pct > 100 {
+            return Err(Error::new(
+                ErrorKind::InvalidConfig,
+                LAYER,
+                format!(
+                    "compact_dead_ratio_pct must be in 1..=100, got {}",
+                    self.compact_dead_ratio_pct
+                ),
+            ));
+        }
+        Ok(StoreConfig {
+            spill_dir: self.spill_dir,
+            resident_budget: self.resident_budget,
+            compact_min_bytes: self.compact_min_bytes,
+            compact_dead_ratio_pct: self.compact_dead_ratio_pct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let cfg = StoreConfig::builder("/tmp/x").build().unwrap();
+        assert_eq!(cfg.resident_budget, 1024);
+        assert_eq!(cfg.compact_dead_ratio_pct, 50);
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let err = StoreConfig::builder("/tmp/x")
+            .resident_budget(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidConfig);
+    }
+
+    #[test]
+    fn ratio_bounds_are_enforced() {
+        assert!(StoreConfig::builder("/tmp/x")
+            .compact_dead_ratio_pct(0)
+            .build()
+            .is_err());
+        assert!(StoreConfig::builder("/tmp/x")
+            .compact_dead_ratio_pct(101)
+            .build()
+            .is_err());
+        assert!(StoreConfig::builder("/tmp/x")
+            .compact_dead_ratio_pct(100)
+            .build()
+            .is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! Copy-on-write model dedup: one `Arc<TrainedModel>` per distinct
+//! model content, no matter how many sessions monitor that program.
+//!
+//! Sessions already share models through `Arc`, but nothing stopped N
+//! independent `add_session` calls from each deserialising their own
+//! copy of the *same* program's model — at fleet scale that multiplies
+//! the largest allocation in the system by the device count.
+//! [`ModelStore`] interns models by content: a 64-bit FNV-1a hash over
+//! the model's canonical JSON picks a bucket, and full `PartialEq`
+//! comparison inside the bucket resolves collisions, so two models are
+//! shared iff they are byte-equal. Interning is copy-on-write in the
+//! usual `Arc` sense — a holder who wants to mutate clones the inner
+//! model first, and the stored original is untouched.
+
+use eddie_core::TrainedModel;
+use eddie_obs::{Counter, Gauge};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit over a byte slice — the same cheap, dependency-free
+/// hash the obs registry uses for shard picks.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Interning store for [`TrainedModel`]s, keyed by content hash with
+/// bucket-local equality resolution.
+#[derive(Debug, Default)]
+pub struct ModelStore {
+    buckets: Mutex<HashMap<u64, Vec<Arc<TrainedModel>>>>,
+    distinct: Arc<Gauge>,
+    hits: Arc<Counter>,
+    requests: Arc<Counter>,
+}
+
+impl ModelStore {
+    /// Creates an empty store.
+    pub fn new() -> ModelStore {
+        ModelStore::default()
+    }
+
+    /// Registers the store's metrics into the process-wide registry, if
+    /// one is installed. The handles are owner-held, so values recorded
+    /// before installation are visible after.
+    pub fn install_metrics(&self) {
+        if let Some(obs) = eddie_obs::global() {
+            let r = obs.registry();
+            r.register_gauge("eddie_store_shared_models", self.distinct.clone());
+            r.register_counter("eddie_store_model_intern_hits_total", self.hits.clone());
+            r.register_counter(
+                "eddie_store_model_intern_requests_total",
+                self.requests.clone(),
+            );
+        }
+    }
+
+    /// Interns a model by value, returning the shared handle. If an
+    /// equal model is already stored, the new value is dropped and the
+    /// existing `Arc` returned.
+    pub fn intern(&self, model: TrainedModel) -> Arc<TrainedModel> {
+        self.intern_arc(Arc::new(model))
+    }
+
+    /// Interns an already-`Arc`ed model. The caller's `Arc` is kept as
+    /// the canonical handle when it is the first of its content.
+    pub fn intern_arc(&self, model: Arc<TrainedModel>) -> Arc<TrainedModel> {
+        self.requests.inc();
+        let key = content_key(&model);
+        let mut buckets = self.buckets.lock().expect("model store poisoned");
+        let bucket = buckets.entry(key).or_default();
+        if let Some(existing) = bucket.iter().find(|m| ***m == *model) {
+            self.hits.inc();
+            return existing.clone();
+        }
+        bucket.push(model.clone());
+        let total: usize = buckets.values().map(Vec::len).sum();
+        self.distinct.set(total as i64);
+        model
+    }
+
+    /// Number of distinct model contents stored.
+    pub fn distinct(&self) -> usize {
+        let buckets = self.buckets.lock().expect("model store poisoned");
+        buckets.values().map(Vec::len).sum()
+    }
+
+    /// Intern calls that found an existing model.
+    pub fn hits(&self) -> u64 {
+        self.hits.value()
+    }
+
+    /// Total intern calls.
+    pub fn requests(&self) -> u64 {
+        self.requests.value()
+    }
+}
+
+/// Canonical content key: FNV-1a over the model's JSON. Serialisation
+/// of a trained model is infallible in practice; a model that refuses
+/// to serialise (non-finite floats from a hand-built model) falls into
+/// a shared bucket and still dedups correctly via `PartialEq`.
+fn content_key(model: &TrainedModel) -> u64 {
+    match model.to_json() {
+        Ok(json) => fnv1a64(json.as_bytes()),
+        Err(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_core::{train_from_labeled, EddieConfig, LabeledRun, Sts};
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg, RegionId};
+
+    fn model(base: f64) -> TrainedModel {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("t");
+        b.addi(i, i, 1).blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let graph = eddie_cfg::RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let stss: Vec<Sts> = (0..60)
+            .map(|i| Sts {
+                index: i,
+                start_sample: i,
+                peaks: vec![Peak {
+                    bin: 1,
+                    freq_hz: base + ((i * 7) % 5) as f64 * 0.5,
+                    power: 1.0,
+                    fraction: 0.5,
+                }],
+                centroid_hz: base,
+                spread_hz: 1.0,
+            })
+            .collect();
+        let labels = vec![RegionId::new(0); 60];
+        train_from_labeled(
+            &[LabeledRun { stss, labels }],
+            &graph,
+            &EddieConfig::quick(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_models_share_one_allocation() {
+        let store = ModelStore::new();
+        let a = store.intern(model(100.0));
+        let b = store.intern(model(100.0));
+        assert!(Arc::ptr_eq(&a, &b), "equal content must intern to one Arc");
+        assert_eq!(store.distinct(), 1);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.requests(), 2);
+    }
+
+    #[test]
+    fn different_models_stay_distinct() {
+        let store = ModelStore::new();
+        let a = store.intern(model(100.0));
+        let b = store.intern(model(250.0));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(store.distinct(), 2);
+        assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn intern_arc_preserves_the_first_handle() {
+        let store = ModelStore::new();
+        let first = Arc::new(model(100.0));
+        let stored = store.intern_arc(first.clone());
+        assert!(
+            Arc::ptr_eq(&first, &stored),
+            "first intern keeps the caller's Arc"
+        );
+        let second = store.intern_arc(Arc::new(model(100.0)));
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "later equal interns resolve to it"
+        );
+    }
+}

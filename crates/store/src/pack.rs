@@ -1,0 +1,236 @@
+//! Packed on-disk form of a [`TrainedModel`]: interned region table +
+//! default-valued sparse scalar columns.
+//!
+//! A `TrainedModel` serialises each region as a self-contained record —
+//! the region id appears twice (map key and `RegionModel::region`), and
+//! the per-region scalars (`group_size`, `training_windows`,
+//! `training_frr`) repeat values that are almost always uniform across
+//! the program. [`PackedModel`] is a column-oriented rewrite: one
+//! sorted region-id table, the reference sets in table order, and the
+//! scalars as [`SparseUsize`]/[`SparseF64`] exception lists against a
+//! shared default. The transform is exact — `from_model` followed by
+//! [`PackedModel::into_model`] reproduces the original model
+//! bit-for-bit (`PartialEq`, and stable re-serialisation), so packed
+//! storage never changes a monitoring decision.
+
+use eddie_cfg::RegionGraph;
+use eddie_core::{EddieConfig, RegionModel, TrainedModel};
+use eddie_isa::RegionId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::sparse::{DefaultedMap, SparseF64, SparseUsize};
+
+/// Column-oriented, deduplicated serial form of a [`TrainedModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackedModel {
+    /// Interned region-id table, sorted ascending (the `BTreeMap`
+    /// iteration order of the source model). Every other column is
+    /// indexed by position in this table.
+    regions: Vec<RegionId>,
+    /// Reference peak frequencies per table slot, `[slot][rank][sample]`.
+    references: Vec<Vec<Vec<f64>>>,
+    /// Per-slot K-S group size, sparse against the modal value.
+    group_size: SparseUsize,
+    /// Per-slot training window count, sparse against the modal value.
+    training_windows: SparseUsize,
+    /// Per-slot training FRR, sparse against `0.0` (pinned so the JSON
+    /// encoding never needs a non-finite default).
+    training_frr: SparseF64,
+    /// The program's region-level state machine, passed through.
+    graph: RegionGraph,
+    /// The configuration the model was trained under, passed through.
+    config: EddieConfig,
+}
+
+impl PackedModel {
+    /// Packs a trained model. Lossless: see [`PackedModel::into_model`].
+    pub fn from_model(model: &TrainedModel) -> PackedModel {
+        let regions: Vec<RegionId> = model.regions.keys().copied().collect();
+        let mut references = Vec::with_capacity(regions.len());
+        let mut group_sizes = Vec::with_capacity(regions.len());
+        let mut windows = Vec::with_capacity(regions.len());
+        let mut frrs = Vec::with_capacity(regions.len());
+        for rm in model.regions.values() {
+            references.push(rm.reference.clone());
+            group_sizes.push(rm.group_size);
+            windows.push(rm.training_windows);
+            frrs.push(rm.training_frr);
+        }
+        let group_size = if group_sizes.is_empty() {
+            DefaultedMap::from_dense_with_default(&group_sizes, 0)
+        } else {
+            DefaultedMap::from_dense(&group_sizes)
+        };
+        let training_windows = if windows.is_empty() {
+            DefaultedMap::from_dense_with_default(&windows, 0)
+        } else {
+            DefaultedMap::from_dense(&windows)
+        };
+        PackedModel {
+            regions,
+            references,
+            group_size: SparseUsize::from(&group_size),
+            training_windows: SparseUsize::from(&training_windows),
+            training_frr: SparseF64::from(&DefaultedMap::from_dense_with_default(&frrs, 0.0)),
+            graph: model.graph.clone(),
+            config: model.config.clone(),
+        }
+    }
+
+    /// Reconstructs the original [`TrainedModel`]. Exact inverse of
+    /// [`PackedModel::from_model`] — equal by `PartialEq` and by
+    /// re-serialised bytes.
+    pub fn into_model(&self) -> TrainedModel {
+        let group_size = DefaultedMap::from(&self.group_size);
+        let training_windows = DefaultedMap::from(&self.training_windows);
+        let training_frr = DefaultedMap::from(&self.training_frr);
+        let mut regions = BTreeMap::new();
+        for (slot, &region) in self.regions.iter().enumerate() {
+            regions.insert(
+                region,
+                RegionModel {
+                    region,
+                    reference: self.references.get(slot).cloned().unwrap_or_default(),
+                    group_size: *group_size.get(slot as u32),
+                    training_windows: *training_windows.get(slot as u32),
+                    training_frr: *training_frr.get(slot as u32),
+                },
+            );
+        }
+        TrainedModel {
+            regions,
+            graph: self.graph.clone(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// The interned region-id table.
+    pub fn regions(&self) -> &[RegionId] {
+        &self.regions
+    }
+
+    /// Scalar entries actually stored across the three sparse columns —
+    /// the compression headline is `3 * regions().len()` minus this.
+    pub fn stored_exceptions(&self) -> usize {
+        self.group_size.entries.len()
+            + self.training_windows.entries.len()
+            + self.training_frr.entries.len()
+    }
+
+    /// Serialises the packed form to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] if serialisation fails (it does
+    /// not for models produced by training).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialises a packed model previously produced by
+    /// [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<PackedModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_core::{train_from_labeled, LabeledRun, Sts};
+    use eddie_dsp::Peak;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    fn sts(index: usize, freq: f64) -> Sts {
+        Sts {
+            index,
+            start_sample: index,
+            peaks: vec![Peak {
+                bin: 1,
+                freq_hz: freq,
+                power: 1.0,
+                fraction: 0.5,
+            }],
+            centroid_hz: freq,
+            spread_hz: 1.0,
+        }
+    }
+
+    fn model(regions: u32) -> TrainedModel {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::R1, Reg::R2);
+        b.li(n, 8);
+        for r in 0..regions {
+            b.li(i, 0);
+            b.region_enter(RegionId::new(r));
+            let top = b.label_here("t");
+            b.addi(i, i, 1).blt_label(i, n, top);
+            b.region_exit(RegionId::new(r));
+        }
+        b.halt();
+        let graph = RegionGraph::from_program(&b.build().unwrap()).unwrap();
+        let jitter = |i: usize| ((i * 7) % 5) as f64 * 0.5;
+        let runs: Vec<LabeledRun> = (0..regions)
+            .map(|r| LabeledRun {
+                stss: (0..80)
+                    .map(|i| sts(i, 100.0 * (r + 1) as f64 + jitter(i)))
+                    .collect(),
+                labels: vec![RegionId::new(r); 80],
+            })
+            .collect();
+        train_from_labeled(&runs, &graph, &EddieConfig::quick()).unwrap()
+    }
+
+    #[test]
+    fn pack_round_trip_is_exact() {
+        let m = model(3);
+        let packed = PackedModel::from_model(&m);
+        let back = packed.into_model();
+        assert_eq!(m, back);
+        // And bit-stable through the model's own serialiser: packing
+        // can substitute for direct model persistence.
+        assert_eq!(m.to_json().unwrap(), back.to_json().unwrap());
+    }
+
+    #[test]
+    fn packed_json_round_trip_is_exact() {
+        let m = model(2);
+        let packed = PackedModel::from_model(&m);
+        let json = packed.to_json().unwrap();
+        let reloaded = PackedModel::from_json(&json).unwrap();
+        assert_eq!(packed, reloaded);
+        assert_eq!(reloaded.into_model(), m);
+    }
+
+    #[test]
+    fn uniform_scalars_pack_to_few_exceptions() {
+        let m = model(3);
+        let packed = PackedModel::from_model(&m);
+        assert_eq!(packed.regions().len(), 3);
+        // Identical training shape per region: the modal default should
+        // absorb (almost) everything. Dense storage would be 9 scalars.
+        assert!(
+            packed.stored_exceptions() < 3 * packed.regions().len(),
+            "expected sparse win, stored {} exceptions",
+            packed.stored_exceptions()
+        );
+    }
+
+    #[test]
+    fn region_table_is_sorted_and_indexed() {
+        let m = model(3);
+        let packed = PackedModel::from_model(&m);
+        let mut sorted = packed.regions().to_vec();
+        sorted.sort();
+        assert_eq!(packed.regions(), &sorted[..]);
+        let back = packed.into_model();
+        for (id, rm) in &back.regions {
+            assert_eq!(rm.region, *id, "region field rebuilt from the table");
+        }
+    }
+}

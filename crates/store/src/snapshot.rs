@@ -1,0 +1,236 @@
+//! Whole-file session snapshots in the store's spill framing.
+//!
+//! `eddie-serve` periodically persists every session so a restarted
+//! server can resume its fleet. With the store tier those snapshot
+//! files move from one big JSON document to the spill framing — the
+//! same self-describing text records the spill log uses, plus a
+//! sequence line carrying the journal cursor:
+//!
+//! ```text
+//! eddie-snap v1\n
+//! seq <journal_seq>\n
+//! S <slot> <tag_len> <payload_len>\n<tag bytes><payload bytes>\n
+//! ```
+//!
+//! `tag` is an opaque caller string (serve stores the model id there);
+//! `payload` is the serialized session snapshot. Unlike the spill log,
+//! a snapshot file is written atomically (render → temp file → rename),
+//! so parsing is strict: any malformed byte fails the whole file and
+//! the caller falls back to a cold start, exactly like the JSON loader
+//! it replaces.
+
+use eddie_core::{Error, ErrorKind};
+use std::path::Path;
+
+const LAYER: &str = "eddie-store";
+
+/// The first line of every spill-format snapshot file. Callers sniff
+/// this to tell a spill-format file from a legacy JSON one.
+pub const SPILL_SNAPSHOT_MAGIC: &[u8] = b"eddie-snap v1\n";
+const MAGIC: &[u8] = SPILL_SNAPSHOT_MAGIC;
+
+/// One session record in a spill-format snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillSnapshotRecord {
+    /// Device slot the session occupied.
+    pub slot: u64,
+    /// Opaque caller tag (serve: the model id).
+    pub tag: String,
+    /// Serialized session snapshot bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Renders a snapshot file image: magic, sequence line, then one `S`
+/// record per session in the order given.
+pub fn render_spill_snapshot(seq: u64, records: &[SpillSnapshotRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        MAGIC.len()
+            + 24
+            + records
+                .iter()
+                .map(|r| 32 + r.tag.len() + r.payload.len())
+                .sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(format!("seq {seq}\n").as_bytes());
+    for r in records {
+        out.extend_from_slice(
+            format!("S {} {} {}\n", r.slot, r.tag.len(), r.payload.len()).as_bytes(),
+        );
+        out.extend_from_slice(r.tag.as_bytes());
+        out.extend_from_slice(&r.payload);
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Parses a snapshot file image produced by [`render_spill_snapshot`].
+///
+/// # Errors
+///
+/// [`ErrorKind::Serialization`] on bad magic or any malformed record —
+/// snapshot files are atomic, so partial content means corruption, not
+/// a torn tail to salvage.
+pub fn parse_spill_snapshot(bytes: &[u8]) -> Result<(u64, Vec<SpillSnapshotRecord>), Error> {
+    let bad = |what: &str| Error::new(ErrorKind::Serialization, LAYER, what.to_string());
+    let rest = bytes
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| bad("missing eddie-snap v1 magic"))?;
+    let nl = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| bad("missing seq line"))?;
+    let seq_line = std::str::from_utf8(&rest[..nl]).map_err(|_| bad("seq line not utf-8"))?;
+    let seq: u64 = seq_line
+        .strip_prefix("seq ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed seq line"))?;
+
+    let mut records = Vec::new();
+    let mut pos = nl + 1;
+    while pos < rest.len() {
+        let nl = rest[pos..]
+            .iter()
+            .take(96)
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| bad("unterminated record header"))?;
+        let line = std::str::from_utf8(&rest[pos..pos + nl])
+            .map_err(|_| bad("record header not utf-8"))?;
+        let mut parts = line.split(' ');
+        if parts.next() != Some("S") {
+            return Err(bad("unknown record kind"));
+        }
+        let slot: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed record slot"))?;
+        let tag_len: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed record tag length"))?;
+        let payload_len: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed record payload length"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields in record header"));
+        }
+        let body = pos + nl + 1;
+        let end = body
+            .checked_add(tag_len)
+            .and_then(|t| t.checked_add(payload_len))
+            .ok_or_else(|| bad("record length overflow"))?;
+        if end + 1 > rest.len() || rest[end] != b'\n' {
+            return Err(bad("record truncated"));
+        }
+        let tag = std::str::from_utf8(&rest[body..body + tag_len])
+            .map_err(|_| bad("record tag not utf-8"))?
+            .to_string();
+        let payload = rest[body + tag_len..end].to_vec();
+        records.push(SpillSnapshotRecord { slot, tag, payload });
+        pos = end + 1;
+    }
+    Ok((seq, records))
+}
+
+/// Atomically writes a snapshot file (temp + rename, like the JSON
+/// snapshots it replaces).
+///
+/// # Errors
+///
+/// [`ErrorKind::Io`] on filesystem failures.
+pub fn write_spill_snapshot(
+    path: &Path,
+    seq: u64,
+    records: &[SpillSnapshotRecord],
+) -> Result<(), Error> {
+    let io = |what: &str, e: std::io::Error| {
+        Error::with_source(Error::from_io_kind(e.kind()), LAYER, what.to_string(), e)
+    };
+    let bytes = render_spill_snapshot(seq, records);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| io("write snapshot temp", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io("swap snapshot file", e))
+}
+
+/// Reads and parses a snapshot file.
+///
+/// # Errors
+///
+/// [`ErrorKind::Io`] when the file cannot be read,
+/// [`ErrorKind::Serialization`] when its content is malformed.
+pub fn read_spill_snapshot(path: &Path) -> Result<(u64, Vec<SpillSnapshotRecord>), Error> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        Error::with_source(
+            Error::from_io_kind(e.kind()),
+            LAYER,
+            format!("read snapshot {}", path.display()),
+            e,
+        )
+    })?;
+    parse_spill_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpillSnapshotRecord> {
+        vec![
+            SpillSnapshotRecord {
+                slot: 0,
+                tag: "bitcount".to_string(),
+                payload: b"{\"w\":1}".to_vec(),
+            },
+            SpillSnapshotRecord {
+                slot: 7,
+                tag: "crc32".to_string(),
+                payload: b"binary\nwith\nnewlines".to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let records = sample();
+        let bytes = render_spill_snapshot(42, &records);
+        let (seq, back) = parse_spill_snapshot(&bytes).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let bytes = render_spill_snapshot(0, &[]);
+        let (seq, back) = parse_spill_snapshot(&bytes).unwrap();
+        assert_eq!(seq, 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let bytes = render_spill_snapshot(1, &sample());
+        for cut in [bytes.len() - 1, bytes.len() - 10, MAGIC.len() + 3] {
+            let err = parse_spill_snapshot(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Serialization, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        assert!(parse_spill_snapshot(b"{\"journal_seq\":0}").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("eddie-snap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sessions.snap");
+        write_spill_snapshot(&path, 9, &sample()).unwrap();
+        let (seq, back) = read_spill_snapshot(&path).unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(back, sample());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

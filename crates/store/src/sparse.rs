@@ -1,0 +1,242 @@
+//! Default-valued sparse maps: store only the entries that *differ*
+//! from a shared default.
+//!
+//! Packed models ([`crate::pack::PackedModel`]) hold one scalar per
+//! region for several fields (`group_size`, `training_windows`,
+//! `training_frr`). In a real fleet those values are overwhelmingly
+//! uniform — the trainer picks one group size per program, every
+//! region saw the same number of training windows — so a dense
+//! `Vec<usize>` with 10k identical entries is pure waste. A
+//! [`DefaultedMap`] keeps the common value once and an ordered list of
+//! the exceptions; lookups fall back to the default.
+//!
+//! The generic map is deliberately **not** serializable: the on-disk
+//! mirror types [`SparseUsize`] and [`SparseF64`] are concrete structs
+//! with plain `(index, value)` entry vectors, which keeps the wire
+//! format self-describing and the serde surface monomorphic.
+
+use serde::{Deserialize, Serialize};
+
+/// A total map from `u32` slots to `V`, stored as a default plus the
+/// entries that deviate from it.
+///
+/// `len` is the size of the conceptual dense domain `0..len`; reads
+/// outside it return the default too (the map is total), but
+/// [`DefaultedMap::to_dense`] materialises exactly `len` slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefaultedMap<V> {
+    default: V,
+    len: u32,
+    /// Sorted by slot, strictly increasing; never contains the default.
+    entries: Vec<(u32, V)>,
+}
+
+impl<V: Clone + PartialEq> DefaultedMap<V> {
+    /// Builds the map from a dense slice, choosing `default` as the
+    /// most frequent value (ties broken by first occurrence) so the
+    /// entry list is as short as possible.
+    pub fn from_dense(values: &[V]) -> Self {
+        let default = mode(values);
+        Self::from_dense_with_default(values, default)
+    }
+
+    /// Builds the map from a dense slice against a caller-chosen
+    /// default (used when the default is fixed by the format, e.g.
+    /// `0.0` for FRR so the spill file never has to encode NaN).
+    pub fn from_dense_with_default(values: &[V], default: V) -> Self {
+        let entries = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != default)
+            .map(|(i, v)| (i as u32, v.clone()))
+            .collect();
+        DefaultedMap {
+            default,
+            len: values.len() as u32,
+            entries,
+        }
+    }
+
+    /// The value at `slot`: a stored exception, or the default.
+    pub fn get(&self, slot: u32) -> &V {
+        match self.entries.binary_search_by_key(&slot, |(i, _)| *i) {
+            Ok(pos) => &self.entries[pos].1,
+            Err(_) => &self.default,
+        }
+    }
+
+    /// The shared default value.
+    pub fn default_value(&self) -> &V {
+        &self.default
+    }
+
+    /// Size of the dense domain this map covers.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the dense domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored (non-default) entries — the compression win is
+    /// `len() - stored()`.
+    pub fn stored(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Materialises the dense `0..len` image.
+    pub fn to_dense(&self) -> Vec<V> {
+        let mut out = vec![self.default.clone(); self.len as usize];
+        for (i, v) in &self.entries {
+            if let Some(slot) = out.get_mut(*i as usize) {
+                *slot = v.clone();
+            }
+        }
+        out
+    }
+}
+
+/// Most frequent value in `values` (first occurrence wins ties).
+/// Quadratic, but region counts are small (tens) and this runs once
+/// per model pack.
+fn mode<V: Clone + PartialEq>(values: &[V]) -> V {
+    assert!(
+        !values.is_empty(),
+        "DefaultedMap over an empty domain has no mode"
+    );
+    let mut best = 0usize;
+    let mut best_count = 0usize;
+    for (i, v) in values.iter().enumerate() {
+        let count = values.iter().filter(|w| *w == v).count();
+        if count > best_count {
+            best = i;
+            best_count = count;
+        }
+    }
+    values[best].clone()
+}
+
+/// Serializable mirror of a `DefaultedMap<usize>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseUsize {
+    /// The shared default value.
+    pub default: usize,
+    /// Dense domain size.
+    pub len: u32,
+    /// `(slot, value)` exceptions, sorted by slot.
+    pub entries: Vec<(u32, usize)>,
+}
+
+/// Serializable mirror of a `DefaultedMap<f64>`.
+///
+/// The default is pinned by the caller (not the mode) so that formats
+/// can guarantee a JSON-safe default — `serde_json` refuses NaN, and
+/// untrained regions report `training_frr` as NaN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseF64 {
+    /// The shared default value.
+    pub default: f64,
+    /// Dense domain size.
+    pub len: u32,
+    /// `(slot, value)` exceptions, sorted by slot.
+    pub entries: Vec<(u32, f64)>,
+}
+
+impl From<&DefaultedMap<usize>> for SparseUsize {
+    fn from(map: &DefaultedMap<usize>) -> Self {
+        SparseUsize {
+            default: map.default.clone(),
+            len: map.len,
+            entries: map.entries.clone(),
+        }
+    }
+}
+
+impl From<&SparseUsize> for DefaultedMap<usize> {
+    fn from(mirror: &SparseUsize) -> Self {
+        DefaultedMap {
+            default: mirror.default,
+            len: mirror.len,
+            entries: mirror.entries.clone(),
+        }
+    }
+}
+
+impl From<&DefaultedMap<f64>> for SparseF64 {
+    fn from(map: &DefaultedMap<f64>) -> Self {
+        SparseF64 {
+            default: map.default,
+            len: map.len,
+            entries: map.entries.clone(),
+        }
+    }
+}
+
+impl From<&SparseF64> for DefaultedMap<f64> {
+    fn from(mirror: &SparseF64) -> Self {
+        DefaultedMap {
+            default: mirror.default,
+            len: mirror.len,
+            entries: mirror.entries.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_default_minimises_entries() {
+        let dense = vec![8usize, 8, 8, 12, 8, 16];
+        let map = DefaultedMap::from_dense(&dense);
+        assert_eq!(*map.default_value(), 8);
+        assert_eq!(map.stored(), 2);
+        assert_eq!(map.to_dense(), dense);
+    }
+
+    #[test]
+    fn get_falls_back_to_default() {
+        let map = DefaultedMap::from_dense(&[3usize, 3, 7]);
+        assert_eq!(*map.get(0), 3);
+        assert_eq!(*map.get(2), 7);
+        // Out of the dense domain: still total.
+        assert_eq!(*map.get(99), 3);
+    }
+
+    #[test]
+    fn uniform_input_stores_nothing() {
+        let map = DefaultedMap::from_dense(&vec![42usize; 1000]);
+        assert_eq!(map.stored(), 0);
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.to_dense(), vec![42usize; 1000]);
+    }
+
+    #[test]
+    fn pinned_default_keeps_nan_out_of_entries() {
+        // NaN != NaN, so with a pinned 0.0 default every NaN would be
+        // "different" — the caller must map NaN to the default before
+        // packing. This test documents the contract on clean input.
+        let dense = vec![0.0f64, 0.01, 0.0, 0.0];
+        let map = DefaultedMap::from_dense_with_default(&dense, 0.0);
+        assert_eq!(map.stored(), 1);
+        assert_eq!(map.to_dense(), dense);
+    }
+
+    #[test]
+    fn mirror_round_trip() {
+        let map = DefaultedMap::from_dense(&[5usize, 5, 9, 5]);
+        let mirror = SparseUsize::from(&map);
+        let json = serde_json::to_string(&mirror).expect("serialize");
+        let back: SparseUsize = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(DefaultedMap::from(&back), map);
+
+        let fmap = DefaultedMap::from_dense_with_default(&[0.5f64, 0.0, 0.0], 0.0);
+        let fmirror = SparseF64::from(&fmap);
+        let fjson = serde_json::to_string(&fmirror).expect("serialize");
+        let fback: SparseF64 = serde_json::from_str(&fjson).expect("deserialize");
+        assert_eq!(DefaultedMap::from(&fback), fmap);
+    }
+}

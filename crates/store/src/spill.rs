@@ -1,0 +1,508 @@
+//! The append-compacted spill log cold parking writes to.
+//!
+//! One flat file per store, text-framed so a truncated tail is
+//! recoverable by inspection:
+//!
+//! ```text
+//! eddie-spill v1\n
+//! P <slot> <gen> <len>\n<len payload bytes>\n      park record
+//! E <slot> <gen> 0\n\n                             eviction tombstone
+//! ```
+//!
+//! Parks and evictions only ever *append*; a slot's previous record
+//! becomes dead weight in place. `gen` is a per-file monotonic
+//! sequence, so replaying the log front to back (last record per slot
+//! wins) reconstructs the live set — that is exactly what
+//! [`SpillLog::open`] does, truncating a torn tail at the last whole
+//! record instead of failing. When the dead fraction crosses the
+//! configured ratio (and the file is big enough to care), the log
+//! compacts: live records are rewritten slot-ordered to a temp file
+//! which atomically replaces the log.
+//!
+//! Durability stance: the log is an overflow tier for *resident* state,
+//! not a write-ahead log — records are flushed but not fsynced, the
+//! same stance the serve snapshots take.
+
+use eddie_core::{Error, ErrorKind};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+const LAYER: &str = "eddie-store";
+const HEADER: &[u8] = b"eddie-spill v1\n";
+
+/// A live record's location in the file.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Offset of the payload bytes (just past the record's header line).
+    payload_at: u64,
+    len: u32,
+    gen: u64,
+    /// Whole-record size including header line and trailing newline.
+    frame: u64,
+}
+
+/// Append-only spill file with an in-memory slot index and
+/// threshold-triggered compaction.
+#[derive(Debug)]
+pub struct SpillLog {
+    path: PathBuf,
+    file: File,
+    index: HashMap<u64, IndexEntry>,
+    next_gen: u64,
+    file_bytes: u64,
+    live_bytes: u64,
+    dead_bytes: u64,
+    compactions: u64,
+    compact_min_bytes: u64,
+    compact_dead_ratio_pct: u32,
+}
+
+fn io_err(msg: &str, e: std::io::Error) -> Error {
+    Error::with_source(Error::from_io_kind(e.kind()), LAYER, msg.to_string(), e)
+}
+
+impl SpillLog {
+    /// Opens (or creates) the spill log at `path`, replaying existing
+    /// records to rebuild the live index. A torn tail — a crash mid
+    /// append — is truncated at the last whole record. A file that does
+    /// not start with the spill magic is refused rather than clobbered.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] on filesystem failures, or
+    /// [`ErrorKind::Serialization`] when `path` holds non-spill data.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        compact_min_bytes: u64,
+        compact_dead_ratio_pct: u32,
+    ) -> Result<SpillLog, Error> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io_err("open spill log", e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| io_err("read spill log", e))?;
+
+        if bytes.is_empty() {
+            file.write_all(HEADER)
+                .map_err(|e| io_err("write spill header", e))?;
+            bytes.extend_from_slice(HEADER);
+        } else if !bytes.starts_with(HEADER) {
+            return Err(Error::new(
+                ErrorKind::Serialization,
+                LAYER,
+                format!("{} is not an eddie-spill v1 file", path.display()),
+            ));
+        }
+
+        let (index, next_gen, good) = replay(&bytes);
+        if good < bytes.len() as u64 {
+            // Torn tail from a crash mid-append: drop it.
+            file.set_len(good)
+                .map_err(|e| io_err("truncate torn spill tail", e))?;
+        }
+        let live_bytes: u64 = index.values().map(|e| e.frame).sum();
+        Ok(SpillLog {
+            path,
+            file,
+            index,
+            next_gen,
+            file_bytes: good,
+            live_bytes,
+            dead_bytes: good - HEADER.len() as u64 - live_bytes,
+            compactions: 0,
+            compact_min_bytes,
+            compact_dead_ratio_pct,
+        })
+    }
+
+    /// Appends a park record for `slot`, superseding any previous one.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] on write failure; the in-memory index is only
+    /// updated after the bytes are fully written.
+    pub fn append(&mut self, slot: u64, payload: &[u8]) -> Result<(), Error> {
+        let gen = self.next_gen;
+        let line = format!("P {slot} {gen} {len}\n", len = payload.len());
+        let mut record = Vec::with_capacity(line.len() + payload.len() + 1);
+        record.extend_from_slice(line.as_bytes());
+        record.extend_from_slice(payload);
+        record.push(b'\n');
+        self.file
+            .write_all(&record)
+            .map_err(|e| io_err("append park record", e))?;
+        self.next_gen += 1;
+        let frame = record.len() as u64;
+        let entry = IndexEntry {
+            payload_at: self.file_bytes + line.len() as u64,
+            len: payload.len() as u32,
+            gen,
+            frame,
+        };
+        if let Some(old) = self.index.insert(slot, entry) {
+            self.live_bytes -= old.frame;
+            self.dead_bytes += old.frame;
+        }
+        self.file_bytes += frame;
+        self.live_bytes += frame;
+        self.maybe_compact()
+    }
+
+    /// Appends an eviction tombstone for `slot` if it is live. Returns
+    /// whether a record was actually retired.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] on write failure.
+    pub fn remove(&mut self, slot: u64) -> Result<bool, Error> {
+        let Some(old) = self.index.remove(&slot) else {
+            return Ok(false);
+        };
+        let gen = self.next_gen;
+        let record = format!("E {slot} {gen} 0\n\n");
+        self.file
+            .write_all(record.as_bytes())
+            .map_err(|e| io_err("append eviction tombstone", e))?;
+        self.next_gen += 1;
+        self.live_bytes -= old.frame;
+        self.dead_bytes += old.frame + record.len() as u64;
+        self.file_bytes += record.len() as u64;
+        self.maybe_compact()?;
+        Ok(true)
+    }
+
+    /// Reads the live payload for `slot`, or `None` when it is not
+    /// parked here.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] on read failure.
+    pub fn read(&mut self, slot: u64) -> Result<Option<Vec<u8>>, Error> {
+        let Some(entry) = self.index.get(&slot).copied() else {
+            return Ok(None);
+        };
+        self.file
+            .seek(SeekFrom::Start(entry.payload_at))
+            .map_err(|e| io_err("seek park record", e))?;
+        let mut payload = vec![0u8; entry.len as usize];
+        self.file
+            .read_exact(&mut payload)
+            .map_err(|e| io_err("read park record", e))?;
+        Ok(Some(payload))
+    }
+
+    /// Whether `slot` has a live record.
+    pub fn contains(&self, slot: u64) -> bool {
+        self.index.contains_key(&slot)
+    }
+
+    /// Live slots, sorted ascending.
+    pub fn slots(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.index.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Current on-disk size of the log, framing included.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Bytes occupied by live records.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Bytes occupied by superseded records and tombstones.
+    pub fn dead_bytes(&self) -> u64 {
+        self.dead_bytes
+    }
+
+    /// Compactions performed over this handle's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), Error> {
+        if self.file_bytes >= self.compact_min_bytes
+            && self.dead_bytes * 100 >= self.file_bytes * self.compact_dead_ratio_pct as u64
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log with live records only (slot order, generations
+    /// preserved) and atomically replaces the file.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] on read/write/rename failure; the original log
+    /// is untouched until the final rename.
+    pub fn compact(&mut self) -> Result<(), Error> {
+        let slots = self.slots();
+        let mut records: Vec<(u64, u64, Vec<u8>)> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let gen = self.index[&slot].gen;
+            let payload = self
+                .read(slot)?
+                .expect("indexed slot must read back during compaction");
+            records.push((slot, gen, payload));
+        }
+
+        let tmp = self.path.with_extension("tmp");
+        let mut out = File::create(&tmp).map_err(|e| io_err("create compaction temp", e))?;
+        out.write_all(HEADER)
+            .map_err(|e| io_err("write compacted header", e))?;
+        let mut index = HashMap::with_capacity(records.len());
+        let mut offset = HEADER.len() as u64;
+        for (slot, gen, payload) in &records {
+            let line = format!("P {slot} {gen} {len}\n", len = payload.len());
+            out.write_all(line.as_bytes())
+                .map_err(|e| io_err("write compacted record", e))?;
+            out.write_all(payload)
+                .map_err(|e| io_err("write compacted record", e))?;
+            out.write_all(b"\n")
+                .map_err(|e| io_err("write compacted record", e))?;
+            let frame = line.len() as u64 + payload.len() as u64 + 1;
+            index.insert(
+                *slot,
+                IndexEntry {
+                    payload_at: offset + line.len() as u64,
+                    len: payload.len() as u32,
+                    gen: *gen,
+                    frame,
+                },
+            );
+            offset += frame;
+        }
+        drop(out);
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("swap compacted spill log", e))?;
+
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reopen compacted spill log", e))?;
+        self.index = index;
+        self.file_bytes = offset;
+        self.live_bytes = offset - HEADER.len() as u64;
+        self.dead_bytes = 0;
+        self.compactions += 1;
+        Ok(())
+    }
+}
+
+/// Replays `bytes` (which start with the header) into the live index.
+/// Returns `(index, next_gen, good_bytes)` where `good_bytes` is the
+/// offset just past the last whole record.
+fn replay(bytes: &[u8]) -> (HashMap<u64, IndexEntry>, u64, u64) {
+    let mut index: HashMap<u64, IndexEntry> = HashMap::new();
+    let mut pos = HEADER.len();
+    let mut max_gen = 0u64;
+    while pos < bytes.len() {
+        let Some((kind, slot, gen, len, line_len)) = parse_record_line(&bytes[pos..]) else {
+            break;
+        };
+        let frame = line_len + len + 1;
+        if pos + frame > bytes.len() || bytes[pos + frame - 1] != b'\n' {
+            break; // torn tail
+        }
+        max_gen = max_gen.max(gen);
+        match kind {
+            b'P' => {
+                let entry = IndexEntry {
+                    payload_at: (pos + line_len) as u64,
+                    len: len as u32,
+                    gen,
+                    frame: frame as u64,
+                };
+                let stale = index.get(&slot).is_some_and(|e| e.gen > gen);
+                if !stale {
+                    index.insert(slot, entry);
+                }
+            }
+            _ => {
+                if index.get(&slot).is_some_and(|e| e.gen < gen) {
+                    index.remove(&slot);
+                }
+            }
+        }
+        pos += frame;
+    }
+    (index, max_gen + 1, pos as u64)
+}
+
+/// Parses one record header line: `<kind> <slot> <gen> <len>\n`.
+/// Returns `(kind, slot, gen, len, line_len)`, or `None` when the line
+/// is incomplete or malformed (treated as a torn tail by the caller).
+fn parse_record_line(bytes: &[u8]) -> Option<(u8, u64, u64, usize, usize)> {
+    // A header line is short; cap the newline scan so a corrupt blob
+    // cannot make recovery quadratic.
+    let nl = bytes.iter().take(96).position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&bytes[..nl]).ok()?;
+    let mut parts = line.split(' ');
+    let kind = parts.next()?;
+    if kind != "P" && kind != "E" {
+        return None;
+    }
+    let slot: u64 = parts.next()?.parse().ok()?;
+    let gen: u64 = parts.next()?.parse().ok()?;
+    let len: usize = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((kind.as_bytes()[0], slot, gen, len, nl + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eddie-store-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_read_remove_round_trip() {
+        let dir = tmpdir("rw");
+        let mut log = SpillLog::open(dir.join("s.spill"), u64::MAX, 50).unwrap();
+        log.append(3, b"hello").unwrap();
+        log.append(9, b"world!").unwrap();
+        assert_eq!(log.read(3).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(log.read(9).unwrap().as_deref(), Some(&b"world!"[..]));
+        assert_eq!(log.read(4).unwrap(), None);
+        assert_eq!(log.slots(), vec![3, 9]);
+        assert!(log.remove(3).unwrap());
+        assert!(!log.remove(3).unwrap());
+        assert_eq!(log.read(3).unwrap(), None);
+        assert_eq!(log.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supersede_marks_dead_bytes_and_reads_latest() {
+        let dir = tmpdir("supersede");
+        let mut log = SpillLog::open(dir.join("s.spill"), u64::MAX, 50).unwrap();
+        log.append(1, b"old-old-old").unwrap();
+        assert_eq!(log.dead_bytes(), 0);
+        log.append(1, b"new").unwrap();
+        assert!(log.dead_bytes() > 0);
+        assert_eq!(log.read(1).unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(log.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_replays_live_records() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("s.spill");
+        {
+            let mut log = SpillLog::open(&path, u64::MAX, 50).unwrap();
+            log.append(1, b"one").unwrap();
+            log.append(2, b"two").unwrap();
+            log.append(1, b"uno").unwrap();
+            log.remove(2).unwrap();
+            log.append(7, b"seven").unwrap();
+        }
+        let mut log = SpillLog::open(&path, u64::MAX, 50).unwrap();
+        assert_eq!(log.slots(), vec![1, 7]);
+        assert_eq!(log.read(1).unwrap().as_deref(), Some(&b"uno"[..]));
+        assert_eq!(log.read(7).unwrap().as_deref(), Some(&b"seven"[..]));
+        // New generations continue past the replayed maximum.
+        log.append(8, b"eight").unwrap();
+        assert_eq!(log.read(8).unwrap().as_deref(), Some(&b"eight"[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmpdir("torn");
+        let path = dir.join("s.spill");
+        {
+            let mut log = SpillLog::open(&path, u64::MAX, 50).unwrap();
+            log.append(1, b"keep-me").unwrap();
+        }
+        // Simulate a crash mid-append: a header line promising more
+        // payload than the file holds.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"P 2 99 4096\npartial").unwrap();
+        }
+        let mut log = SpillLog::open(&path, u64::MAX, 50).unwrap();
+        assert_eq!(log.slots(), vec![1]);
+        assert_eq!(log.read(1).unwrap().as_deref(), Some(&b"keep-me"[..]));
+        // The torn bytes are gone from disk too.
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, log.file_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("s.spill");
+        std::fs::write(&path, b"definitely not a spill log").unwrap();
+        let err = SpillLog::open(&path, u64::MAX, 50).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Serialization);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_dead_weight_and_preserves_live() {
+        let dir = tmpdir("compact");
+        let path = dir.join("s.spill");
+        // Tiny min size + 1% ratio: compaction triggers aggressively.
+        let mut log = SpillLog::open(&path, 1, 1).unwrap();
+        for round in 0..10u8 {
+            for slot in 0..5u64 {
+                log.append(slot, &[round; 64]).unwrap();
+            }
+        }
+        assert!(log.compactions() > 0, "threshold compaction must fire");
+        assert_eq!(log.len(), 5);
+        for slot in 0..5u64 {
+            assert_eq!(log.read(slot).unwrap().as_deref(), Some(&[9u8; 64][..]));
+        }
+        // The file holds only the live frames.
+        assert_eq!(log.dead_bytes(), 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), log.file_bytes());
+        // And a reopen agrees.
+        let mut reopened = SpillLog::open(&path, u64::MAX, 50).unwrap();
+        assert_eq!(reopened.slots(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(reopened.read(2).unwrap().as_deref(), Some(&[9u8; 64][..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_with_newlines_survives() {
+        let dir = tmpdir("binary");
+        let mut log = SpillLog::open(dir.join("s.spill"), u64::MAX, 50).unwrap();
+        let payload = b"line1\nline2\nP 9 9 9\n";
+        log.append(1, payload).unwrap();
+        assert_eq!(log.read(1).unwrap().as_deref(), Some(&payload[..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

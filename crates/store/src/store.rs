@@ -1,0 +1,341 @@
+//! The [`SessionStore`] facade the fleet plugs in: spill log + model
+//! interner + ledger behind one handle.
+//!
+//! The store deliberately sits *below* the session layer: it parks and
+//! thaws opaque serialized payloads keyed by device slot, and never
+//! deserialises them itself. That keeps the dependency arrow pointing
+//! the right way (`eddie-stream` depends on `eddie-store`, not the
+//! reverse) and means the store can spill anything the owner can
+//! serialize — today a `SessionSnapshot` JSON, tomorrow whatever the
+//! snapshot format evolves into.
+//!
+//! Ledger discipline: every state transition goes through exactly one
+//! `note_*`/`park`/`confirm_thaw` call, so the conservation law
+//! `resident + parked == added − evicted` holds at every quiescent
+//! point. Thaw is two-phase — [`read_parked`](SessionStore::read_parked)
+//! then [`confirm_thaw`](SessionStore::confirm_thaw) — so a payload
+//! that fails to deserialize leaves the books (and the spill record)
+//! untouched.
+
+use eddie_core::Error;
+use std::collections::HashMap;
+
+use crate::budget::{LedgerSnapshot, MemoryBudget};
+use crate::config::StoreConfig;
+use crate::dedup::ModelStore;
+use crate::spill::SpillLog;
+
+const SPILL_FILE: &str = "sessions.spill";
+
+/// Memory-bounded session storage: resident-byte accounting, cold
+/// parking to an append-compacted spill log, and model interning.
+#[derive(Debug)]
+pub struct SessionStore {
+    config: StoreConfig,
+    spill: SpillLog,
+    models: ModelStore,
+    ledger: MemoryBudget,
+    resident_bytes: HashMap<u64, u64>,
+    resident_total: u64,
+    synced_compactions: u64,
+}
+
+impl SessionStore {
+    /// Opens the store: creates the spill directory, replays any
+    /// existing spill log (recovered sessions enter the ledger as
+    /// added-and-parked), and publishes the ledger metrics when an
+    /// observer is installed.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corrupt-spill errors from
+    /// [`SpillLog::open`](crate::SpillLog::open).
+    pub fn open(config: StoreConfig) -> Result<SessionStore, Error> {
+        std::fs::create_dir_all(&config.spill_dir).map_err(|e| {
+            Error::with_source(
+                Error::from_io_kind(e.kind()),
+                "eddie-store",
+                format!("create spill dir {}", config.spill_dir.display()),
+                e,
+            )
+        })?;
+        let spill = SpillLog::open(
+            config.spill_dir.join(SPILL_FILE),
+            config.compact_min_bytes,
+            config.compact_dead_ratio_pct,
+        )?;
+        let ledger = MemoryBudget::new();
+        ledger.adopt_parked(spill.len() as u64);
+        ledger.set_spill_bytes(spill.file_bytes());
+        ledger.install_metrics();
+        let models = ModelStore::new();
+        models.install_metrics();
+        Ok(SessionStore {
+            config,
+            spill,
+            models,
+            ledger,
+            resident_bytes: HashMap::new(),
+            resident_total: 0,
+            synced_compactions: 0,
+        })
+    }
+
+    /// The configuration the store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Maximum sessions the owner should keep resident.
+    pub fn resident_budget(&self) -> usize {
+        self.config.resident_budget
+    }
+
+    /// The model interner (shared `Arc` per distinct model content).
+    pub fn models(&self) -> &ModelStore {
+        &self.models
+    }
+
+    /// The accounting ledger.
+    pub fn ledger(&self) -> &MemoryBudget {
+        &self.ledger
+    }
+
+    /// A point-in-time copy of the ledger.
+    pub fn ledger_snapshot(&self) -> LedgerSnapshot {
+        self.ledger.snapshot()
+    }
+
+    /// A new session became resident at `slot` with an estimated
+    /// `bytes` footprint.
+    pub fn note_added(&mut self, slot: u64, bytes: u64) {
+        self.ledger.on_add();
+        self.set_bytes(slot, bytes);
+    }
+
+    /// Refreshes the resident-byte estimate for `slot` (history grows
+    /// as windows accumulate).
+    pub fn note_resident_bytes(&mut self, slot: u64, bytes: u64) {
+        self.set_bytes(slot, bytes);
+    }
+
+    /// The session at `slot` left the store for good (device eviction).
+    /// Works on both resident and parked sessions; a parked one gets a
+    /// spill tombstone.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the tombstone; the ledger still records the
+    /// eviction so the books stay balanced.
+    pub fn note_evicted(&mut self, slot: u64) -> Result<(), Error> {
+        if self.spill.contains(slot) {
+            self.ledger.on_evict_parked();
+            let result = self.spill.remove(slot).map(|_| ());
+            self.sync_spill_gauges();
+            result
+        } else {
+            self.ledger.on_evict_resident();
+            self.clear_bytes(slot);
+            Ok(())
+        }
+    }
+
+    /// Parks the session at `slot`: appends `payload` to the spill log
+    /// and flips the ledger. On error the session is still resident and
+    /// the ledger unchanged (the failure is counted).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to the spill log.
+    pub fn park(&mut self, slot: u64, payload: &[u8]) -> Result<(), Error> {
+        match self.spill.append(slot, payload) {
+            Ok(()) => {
+                self.ledger.on_park();
+                self.clear_bytes(slot);
+                self.sync_spill_gauges();
+                Ok(())
+            }
+            Err(e) => {
+                self.ledger.on_park_failure();
+                self.sync_spill_gauges();
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase one of a thaw: reads the parked payload without changing
+    /// any state. Returns `None` when `slot` is not parked.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the spill log (counted as a thaw failure).
+    pub fn read_parked(&mut self, slot: u64) -> Result<Option<Vec<u8>>, Error> {
+        match self.spill.read(slot) {
+            Ok(p) => Ok(p),
+            Err(e) => {
+                self.ledger.on_thaw_failure();
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase two of a thaw, after the payload deserialized and the
+    /// session is resident again: retires the spill record and flips
+    /// the ledger. `bytes` is the restored session's resident estimate.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the tombstone (the thaw itself has already
+    /// happened; the ledger is flipped regardless so it keeps matching
+    /// the owner's view).
+    pub fn confirm_thaw(&mut self, slot: u64, bytes: u64) -> Result<(), Error> {
+        self.ledger.on_thaw();
+        self.set_bytes(slot, bytes);
+        let result = self.spill.remove(slot).map(|_| ());
+        self.sync_spill_gauges();
+        result
+    }
+
+    /// The owner's thaw attempt failed after
+    /// [`read_parked`](Self::read_parked) (deserialize or restore
+    /// error): count it; the spill record stays live.
+    pub fn note_thaw_failure(&self) {
+        self.ledger.on_thaw_failure();
+    }
+
+    /// Whether `slot` currently has a parked payload.
+    pub fn is_parked(&self, slot: u64) -> bool {
+        self.spill.contains(slot)
+    }
+
+    /// Parked slots, sorted ascending.
+    pub fn parked_slots(&self) -> Vec<u64> {
+        self.spill.slots()
+    }
+
+    /// Number of parked sessions.
+    pub fn parked_count(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Current spill-file size on disk, framing included.
+    pub fn spill_file_bytes(&self) -> u64 {
+        self.spill.file_bytes()
+    }
+
+    /// Estimated total bytes of resident session state.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_total
+    }
+
+    fn set_bytes(&mut self, slot: u64, bytes: u64) {
+        let old = self.resident_bytes.insert(slot, bytes).unwrap_or(0);
+        self.resident_total = self.resident_total - old + bytes;
+        self.ledger.set_resident_bytes(self.resident_total);
+    }
+
+    fn clear_bytes(&mut self, slot: u64) {
+        if let Some(old) = self.resident_bytes.remove(&slot) {
+            self.resident_total -= old;
+            self.ledger.set_resident_bytes(self.resident_total);
+        }
+    }
+
+    fn sync_spill_gauges(&mut self) {
+        self.ledger.set_spill_bytes(self.spill.file_bytes());
+        let c = self.spill.compactions();
+        if c > self.synced_compactions {
+            self.ledger.on_compactions(c - self.synced_compactions);
+            self.synced_compactions = c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eddie-store-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &PathBuf) -> SessionStore {
+        SessionStore::open(
+            StoreConfig::builder(dir)
+                .resident_budget(4)
+                .build()
+                .unwrap(),
+        )
+        .expect("open store")
+    }
+
+    #[test]
+    fn park_thaw_evict_keeps_the_books_balanced() {
+        let dir = tmpdir("books");
+        let mut store = open(&dir);
+        for slot in 0..6u64 {
+            store.note_added(slot, 1000);
+        }
+        assert_eq!(store.resident_bytes(), 6000);
+        store.park(0, b"payload-0").unwrap();
+        store.park(1, b"payload-1").unwrap();
+        let snap = store.ledger_snapshot();
+        assert!(snap.conserved());
+        assert_eq!(snap.resident, 4);
+        assert_eq!(snap.parked, 2);
+        assert_eq!(store.resident_bytes(), 4000);
+
+        let payload = store.read_parked(0).unwrap().expect("parked");
+        assert_eq!(payload, b"payload-0");
+        store.confirm_thaw(0, 1200).unwrap();
+        assert!(!store.is_parked(0));
+        assert_eq!(store.resident_bytes(), 5200);
+
+        store.note_evicted(1).unwrap(); // parked eviction
+        store.note_evicted(5).unwrap(); // resident eviction
+        let snap = store.ledger_snapshot();
+        assert!(snap.conserved());
+        assert_eq!(snap.added, 6);
+        assert_eq!(snap.evicted, 2);
+        assert_eq!(snap.resident, 4);
+        assert_eq!(snap.parked, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_adopts_parked_sessions() {
+        let dir = tmpdir("adopt");
+        {
+            let mut store = open(&dir);
+            store.note_added(3, 500);
+            store.park(3, b"sleeper").unwrap();
+        }
+        let mut store = open(&dir);
+        let snap = store.ledger_snapshot();
+        assert_eq!(snap.added, 1, "recovered spill entries are adopted");
+        assert_eq!(snap.parked, 1);
+        assert!(snap.conserved());
+        assert_eq!(
+            store.read_parked(3).unwrap().as_deref(),
+            Some(&b"sleeper"[..])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_byte_estimates_track_updates() {
+        let dir = tmpdir("bytes");
+        let mut store = open(&dir);
+        store.note_added(0, 100);
+        store.note_resident_bytes(0, 250);
+        assert_eq!(store.resident_bytes(), 250);
+        assert_eq!(store.ledger_snapshot().resident_bytes, 250);
+        store.note_evicted(0).unwrap();
+        assert_eq!(store.resident_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,10 +1,13 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
-use eddie_core::MonitorEvent;
+use eddie_core::{Error, ErrorKind, MonitorEvent, TrainedModel};
+use eddie_isa::RegionId;
 use eddie_obs::{Counter, Gauge, Histogram, JournalEvent, Timer};
+use eddie_store::SessionStore;
 
-use crate::{MonitorSession, StreamEvent};
+use crate::{MonitorSession, SessionSnapshot, StreamEvent};
 
 /// Handle to one session inside a [`Fleet`]. Ids are dense slot
 /// indices: live devices never shift, so indices into [`Fleet::drain`]
@@ -235,14 +238,64 @@ struct FleetObs {
     active_sessions: Arc<Gauge>,
 }
 
+/// What a parked session leaves behind in memory: the shared model
+/// handle (needed to restore) plus the few scalars `stats()` and the
+/// serve layer's `Finish` path read without forcing a thaw.
+#[derive(Debug)]
+struct ParkedMeta {
+    model: Arc<TrainedModel>,
+    windows_observed: usize,
+    samples_seen: usize,
+    current_region: RegionId,
+    alarm: bool,
+}
+
+/// Where a device's session state lives right now.
+#[derive(Debug)]
+enum SessionState {
+    /// In memory, ready to process chunks.
+    Resident(Box<MonitorSession>),
+    /// Spilled to the store's log; only [`ParkedMeta`] stays resident.
+    Parked(ParkedMeta),
+}
+
 #[derive(Debug)]
 struct Device {
-    session: MonitorSession,
+    state: SessionState,
     queue: VecDeque<Vec<f32>>,
     queued_samples: usize,
     shed_chunks: u64,
     shed_samples: u64,
     obs: Option<DeviceObs>,
+    /// Logical-tick of the device's last accepted chunk (or its
+    /// registration) — the LRU key for budget parking. A logical
+    /// counter, not wall time, so park decisions are a pure function
+    /// of the push/drain sequence and the determinism gates can
+    /// replay them.
+    last_active: u64,
+}
+
+impl Device {
+    fn windows_observed(&self) -> usize {
+        match &self.state {
+            SessionState::Resident(s) => s.windows_observed(),
+            SessionState::Parked(m) => m.windows_observed,
+        }
+    }
+
+    fn samples_seen(&self) -> usize {
+        match &self.state {
+            SessionState::Resident(s) => s.samples_seen(),
+            SessionState::Parked(m) => m.samples_seen,
+        }
+    }
+
+    fn alarm(&self) -> bool {
+        match &self.state {
+            SessionState::Resident(s) => s.alarm(),
+            SessionState::Parked(m) => m.alarm,
+        }
+    }
 }
 
 /// Many monitor sessions behind one bounded ingress API, drained in
@@ -285,6 +338,13 @@ pub struct Fleet {
     accepted_chunks: Arc<Counter>,
     accepted_samples: Arc<Counter>,
     obs: Option<FleetObs>,
+    /// The optional cold-storage tier. `None` (plain [`Fleet::new`])
+    /// keeps every session resident forever — bit-identical to the
+    /// pre-store behaviour.
+    store: Option<SessionStore>,
+    /// Logical clock driving the LRU: bumped once per accepted chunk
+    /// and per registration.
+    tick: u64,
 }
 
 impl Fleet {
@@ -295,6 +355,20 @@ impl Fleet {
     /// previous fleet's registration) together with queue-depth gauges
     /// and the drain-latency histogram.
     pub fn new(config: FleetConfig) -> Fleet {
+        Fleet::build(config, None)
+    }
+
+    /// Creates a fleet backed by a cold-storage tier: sessions beyond
+    /// the store's resident budget are parked (spilled to disk) at the
+    /// end of each [`drain`](Fleet::drain), least-recently-active
+    /// first, and transparently thawed on their next chunk. Registered
+    /// sessions' models are interned through the store, so N sessions
+    /// of the same program share one `TrainedModel` allocation.
+    pub fn with_store(config: FleetConfig, store: SessionStore) -> Fleet {
+        Fleet::build(config, Some(store))
+    }
+
+    fn build(config: FleetConfig, store: Option<SessionStore>) -> Fleet {
         let shed_chunks = Arc::new(Counter::new());
         let shed_samples = Arc::new(Counter::new());
         let accepted_chunks = Arc::new(Counter::new());
@@ -338,13 +412,23 @@ impl Fleet {
             accepted_chunks,
             accepted_samples,
             obs,
+            store,
+            tick: 0,
         }
     }
 
     /// Registers a session and returns its device handle, reusing the
     /// lowest vacated slot if an earlier device was evicted.
     pub fn add_session(&mut self, session: MonitorSession) -> DeviceId {
+        let mut session = session;
         let index = self.free_slots.pop().unwrap_or(self.devices.len());
+        if let Some(store) = self.store.as_mut() {
+            let shared = store.models().intern_arc(session.model().clone());
+            if !Arc::ptr_eq(session.model(), &shared) {
+                session.share_model(shared);
+            }
+            store.note_added(index as u64, session.approx_bytes() as u64);
+        }
         let device_obs = eddie_obs::global().map(|o| {
             let r = o.registry();
             let queued_chunks = Arc::new(Gauge::new());
@@ -365,13 +449,15 @@ impl Fleet {
                 queued_samples,
             }
         });
+        self.tick += 1;
         let device = Device {
-            session,
+            state: SessionState::Resident(Box::new(session)),
             queue: VecDeque::new(),
             queued_samples: 0,
             shed_chunks: 0,
             shed_samples: 0,
             obs: device_obs,
+            last_active: self.tick,
         };
         if index == self.devices.len() {
             self.devices.push(Some(device));
@@ -390,8 +476,19 @@ impl Fleet {
     /// totals of [`stats`](Fleet::stats). Ids of other devices do not
     /// shift; the vacated slot is reused by a later registration, so
     /// churn does not grow the slot table.
+    ///
+    /// A cold-parked device is thawed first so the caller still gets
+    /// the session back; if that restore fails the device is evicted
+    /// anyway (its spill record tombstoned, the failure counted in the
+    /// store ledger) and `None` is returned.
     pub fn remove_session(&mut self, device: DeviceId) -> Option<MonitorSession> {
+        if self.is_parked(device) {
+            let _ = self.thaw(device);
+        }
         let removed = self.devices.get_mut(device.0).and_then(Option::take)?;
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.note_evicted(device.0 as u64);
+        }
         self.free_slots.push(device.0);
         self.free_slots.sort_unstable_by(|a, b| b.cmp(a));
         if let Some(fleet_obs) = &self.obs {
@@ -415,7 +512,10 @@ impl Fleet {
                 });
             }
         }
-        Some(removed.session)
+        match removed.state {
+            SessionState::Resident(s) => Some(*s),
+            SessionState::Parked(_) => None,
+        }
     }
 
     /// Whether `device` is currently registered (not evicted).
@@ -445,9 +545,19 @@ impl Fleet {
     ///
     /// # Panics
     ///
-    /// Panics if `device` was never registered or has been evicted.
+    /// Panics if `device` was never registered, has been evicted, or is
+    /// currently cold-parked. Parked-tolerant callers should use
+    /// [`windows_observed`](Fleet::windows_observed) /
+    /// [`alarm`](Fleet::alarm) /
+    /// [`snapshot_session`](Fleet::snapshot_session), or
+    /// [`thaw`](Fleet::thaw) first.
     pub fn session(&self, device: DeviceId) -> &MonitorSession {
-        &self.device(device).session
+        match &self.device(device).state {
+            SessionState::Resident(s) => s,
+            SessionState::Parked(_) => {
+                panic!("device {} is cold-parked; thaw it first", device.0)
+            }
+        }
     }
 
     /// Queued (undrained) chunks of `device`.
@@ -498,8 +608,8 @@ impl Fleet {
             queued_samples: d.queued_samples,
             shed_chunks: d.shed_chunks,
             shed_samples: d.shed_samples,
-            windows_observed: d.session.windows_observed(),
-            alarm: d.session.alarm(),
+            windows_observed: d.windows_observed(),
+            alarm: d.alarm(),
         }));
         out.active_sessions = out.devices.len();
         out.total_registered = self.devices.len();
@@ -511,11 +621,16 @@ impl Fleet {
         out.shed_samples = self.shed_samples.value();
     }
 
-    /// Live sessions in [`DeviceId`] order, without building
+    /// Live *resident* sessions in [`DeviceId`] order, without building
     /// [`DeviceStats`] rows — for callers (e.g. snapshot persistence)
-    /// that only need the sessions themselves.
+    /// that only need the sessions themselves. Cold-parked devices are
+    /// skipped; use [`snapshot_session`](Fleet::snapshot_session) over
+    /// [`live_devices`](Fleet::live_devices) to cover them too.
     pub fn sessions(&self) -> impl Iterator<Item = (DeviceId, &MonitorSession)> {
-        self.live().map(|(i, d)| (DeviceId(i), &d.session))
+        self.live().filter_map(|(i, d)| match &d.state {
+            SessionState::Resident(s) => Some((DeviceId(i), &**s)),
+            SessionState::Parked(_) => None,
+        })
     }
 
     /// Offers a signal chunk to `device`'s ingress queue.
@@ -535,17 +650,30 @@ impl Fleet {
     /// device's and the fleet's shed statistics. Empty chunks are
     /// accepted and ignored.
     ///
+    /// A cold-parked device is thawed before its chunk is queued; a
+    /// thaw failure (unreadable spill record) is reported as
+    /// [`PushResult::Full`] so a resending transport retries instead of
+    /// losing the chunk, and is counted in the store ledger.
+    ///
     /// # Panics
     ///
     /// Panics if `device` was never registered or has been evicted.
     pub fn push_chunk(&mut self, device: DeviceId, chunk: Vec<f32>) -> PushResult {
         let bounds = self.config;
+        {
+            let d = self.devices[device.0]
+                .as_mut()
+                .expect("device has been evicted from the fleet");
+            if chunk.is_empty() {
+                return PushResult::Accepted;
+            }
+            if matches!(d.state, SessionState::Parked(_)) && self.thaw(device).is_err() {
+                return PushResult::Full;
+            }
+        }
         let d = self.devices[device.0]
             .as_mut()
             .expect("device has been evicted from the fleet");
-        if chunk.is_empty() {
-            return PushResult::Accepted;
-        }
         let over = |d: &Device| {
             d.queue.len() >= bounds.max_pending_chunks
                 || d.queued_samples + chunk.len() > bounds.max_pending_samples
@@ -595,6 +723,8 @@ impl Fleet {
             }
         }
         d.queued_samples += chunk.len();
+        self.tick += 1;
+        d.last_active = self.tick;
         self.accepted_chunks.inc();
         self.accepted_samples.add(chunk.len() as u64);
         if let Some(obs) = &self.obs {
@@ -623,11 +753,17 @@ impl Fleet {
             .filter_map(|(i, slot)| slot.as_mut().map(|d| (i, d)))
             .collect();
         let drained = eddie_exec::par_map_mut(&mut live, |_, (i, d)| {
-            let pre_region = d.session.current_region();
+            let session = match &mut d.state {
+                SessionState::Resident(s) => s,
+                // Parking requires an empty queue and pushes thaw
+                // first, so a parked device has nothing to process.
+                SessionState::Parked(m) => return (*i, m.current_region, Vec::new()),
+            };
+            let pre_region = session.current_region();
             let mut events = Vec::new();
             while let Some(chunk) = d.queue.pop_front() {
                 d.queued_samples -= chunk.len();
-                events.extend(d.session.push(&chunk));
+                events.extend(session.push(&chunk));
             }
             if let Some(dobs) = &d.obs {
                 dobs.queued_chunks.set(0);
@@ -673,7 +809,273 @@ impl Fleet {
                 .add(out.iter().map(|e| e.len() as u64).sum());
         }
         drop(span);
+        self.enforce_budget();
         out
+    }
+
+    /// Whether `device` is currently cold-parked (registered, but its
+    /// session state lives in the store's spill log).
+    pub fn is_parked(&self, device: DeviceId) -> bool {
+        matches!(
+            self.devices.get(device.0).and_then(Option::as_ref),
+            Some(Device {
+                state: SessionState::Parked(_),
+                ..
+            })
+        )
+    }
+
+    /// Number of currently cold-parked devices.
+    pub fn parked_count(&self) -> usize {
+        self.live()
+            .filter(|(_, d)| matches!(d.state, SessionState::Parked(_)))
+            .count()
+    }
+
+    /// STS windows `device`'s session has observed, whether resident or
+    /// parked — `None` if the device was never registered or has been
+    /// evicted.
+    pub fn windows_observed(&self, device: DeviceId) -> Option<usize> {
+        self.devices
+            .get(device.0)
+            .and_then(Option::as_ref)
+            .map(Device::windows_observed)
+    }
+
+    /// Signal samples `device`'s session has consumed, whether resident
+    /// or parked — `None` if never registered or evicted.
+    pub fn samples_seen(&self, device: DeviceId) -> Option<usize> {
+        self.devices
+            .get(device.0)
+            .and_then(Option::as_ref)
+            .map(Device::samples_seen)
+    }
+
+    /// Whether `device`'s alarm is latched, whether resident or parked
+    /// — `None` if never registered or evicted.
+    pub fn alarm(&self, device: DeviceId) -> Option<bool> {
+        self.devices
+            .get(device.0)
+            .and_then(Option::as_ref)
+            .map(Device::alarm)
+    }
+
+    /// Live device ids in order — both resident and parked.
+    pub fn live_devices(&self) -> Vec<DeviceId> {
+        self.live().map(|(i, _)| DeviceId(i)).collect()
+    }
+
+    /// The cold-storage tier, if one was attached.
+    pub fn store(&self) -> Option<&SessionStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the cold-storage tier, if one was attached.
+    pub fn store_mut(&mut self) -> Option<&mut SessionStore> {
+        self.store.as_mut()
+    }
+
+    /// A point-in-time copy of the store ledger, if a store is
+    /// attached.
+    pub fn ledger_snapshot(&self) -> Option<eddie_store::LedgerSnapshot> {
+        self.store.as_ref().map(SessionStore::ledger_snapshot)
+    }
+
+    /// Captures `device`'s session snapshot without changing its
+    /// residency: a resident session is snapshotted directly, a parked
+    /// one has its spill payload parsed in place (and stays parked).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the spill log and
+    /// [`ErrorKind::CorruptSnapshot`] for an unparseable payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
+    pub fn snapshot_session(&mut self, device: DeviceId) -> Result<SessionSnapshot, Error> {
+        match &self.device(device).state {
+            SessionState::Resident(s) => Ok(s.snapshot()),
+            SessionState::Parked(_) => {
+                let payload = self.read_parked_payload(device.0)?;
+                parse_parked_snapshot(&payload)
+            }
+        }
+    }
+
+    /// Explicitly parks `device` now (tests, benchmarks, and operators
+    /// draining a host). Returns `Ok(false)` when there is nothing to
+    /// do: no store attached, already parked, or the device still has
+    /// queued chunks (parking only applies to idle devices).
+    ///
+    /// # Errors
+    ///
+    /// Serialization or spill-append errors; the session stays
+    /// resident and the failure is counted in the store ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
+    pub fn park(&mut self, device: DeviceId) -> Result<bool, Error> {
+        let _ = self.device(device);
+        self.park_slot(device.0)
+    }
+
+    /// Restores a cold-parked `device` to residency. A no-op `Ok` when
+    /// the device is already resident or no store is attached.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the spill log, [`ErrorKind::CorruptSnapshot`]
+    /// for an unparseable payload, and restore errors from
+    /// [`MonitorSession::restore`]. The device stays parked (and its
+    /// spill record live) on error; every failure is counted in the
+    /// store ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` was never registered or has been evicted.
+    pub fn thaw(&mut self, device: DeviceId) -> Result<(), Error> {
+        let index = device.0;
+        if !matches!(self.device(device).state, SessionState::Parked(_)) {
+            return Ok(());
+        }
+        let started = Instant::now();
+        let payload = self.read_parked_payload(index)?;
+        let store = self.store.as_mut().expect("parked device implies a store");
+        let snapshot = match parse_parked_snapshot(&payload) {
+            Ok(s) => s,
+            Err(e) => {
+                store.note_thaw_failure();
+                return Err(e);
+            }
+        };
+        let d = self.devices[index].as_mut().expect("checked live above");
+        let SessionState::Parked(meta) = &d.state else {
+            unreachable!("checked parked above");
+        };
+        let session = match MonitorSession::restore(meta.model.clone(), snapshot) {
+            Ok(s) => s,
+            Err(e) => {
+                store.note_thaw_failure();
+                return Err(e);
+            }
+        };
+        // The session is resident again from here on: flip the state
+        // first, then retire the spill record. A tombstone-write error
+        // is reported but leaves the fleet consistent (the stale
+        // record is superseded by any later park of the same slot).
+        let bytes = session.approx_bytes() as u64;
+        d.state = SessionState::Resident(Box::new(session));
+        let confirm = store.confirm_thaw(index as u64, bytes);
+        store
+            .ledger()
+            .record_thaw_ns(started.elapsed().as_nanos() as u64);
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SessionThawed {
+                device: index as u64,
+            });
+        }
+        confirm
+    }
+
+    /// Reads and returns the spill payload of the parked device at
+    /// `index`, counting read failures in the ledger.
+    fn read_parked_payload(&mut self, index: usize) -> Result<Vec<u8>, Error> {
+        let store = self.store.as_mut().expect("parked device implies a store");
+        store.read_parked(index as u64)?.ok_or_else(|| {
+            Error::new(
+                ErrorKind::CorruptSnapshot,
+                "eddie-stream",
+                "parked device has no spill record",
+            )
+        })
+    }
+
+    /// Parks the idle resident device at `index`, if any.
+    fn park_slot(&mut self, index: usize) -> Result<bool, Error> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(false);
+        };
+        let Some(d) = self.devices.get_mut(index).and_then(Option::as_mut) else {
+            return Ok(false);
+        };
+        let SessionState::Resident(session) = &d.state else {
+            return Ok(false);
+        };
+        if !d.queue.is_empty() {
+            return Ok(false);
+        }
+        let started = Instant::now();
+        let json = match session.snapshot().to_json() {
+            Ok(j) => j,
+            Err(e) => {
+                store.ledger().on_park_failure();
+                return Err(Error::with_source(
+                    ErrorKind::Serialization,
+                    "eddie-stream",
+                    "serialize session snapshot for parking",
+                    e,
+                ));
+            }
+        };
+        store.park(index as u64, json.as_bytes())?;
+        store
+            .ledger()
+            .record_park_ns(started.elapsed().as_nanos() as u64);
+        let meta = ParkedMeta {
+            model: session.model().clone(),
+            windows_observed: session.windows_observed(),
+            samples_seen: session.samples_seen(),
+            current_region: session.current_region(),
+            alarm: session.alarm(),
+        };
+        d.state = SessionState::Parked(meta);
+        if let Some(o) = eddie_obs::global() {
+            o.journal().record(JournalEvent::SessionColdParked {
+                device: index as u64,
+            });
+        }
+        Ok(true)
+    }
+
+    /// Refreshes resident-byte estimates and parks least-recently
+    /// active idle devices until the resident count is inside the
+    /// store's budget. Runs at the end of every drain; with no store
+    /// attached it is a no-op. Victims are chosen by
+    /// `(last_active, slot)` ascending — a pure function of the
+    /// push/drain sequence, so the park schedule is identical for
+    /// every `EDDIE_THREADS` value.
+    fn enforce_budget(&mut self) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let mut resident_total = 0usize;
+        // (last_active, slot) of parkable devices: resident with an
+        // empty queue.
+        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        for (i, slot) in self.devices.iter().enumerate() {
+            let Some(d) = slot else { continue };
+            if let SessionState::Resident(session) = &d.state {
+                resident_total += 1;
+                store.note_resident_bytes(i as u64, session.approx_bytes() as u64);
+                if d.queue.is_empty() {
+                    candidates.push((d.last_active, i));
+                }
+            }
+        }
+        let budget = store.resident_budget();
+        if resident_total <= budget {
+            return;
+        }
+        let excess = resident_total - budget;
+        candidates.sort_unstable();
+        let victims: Vec<usize> = candidates.iter().take(excess).map(|&(_, i)| i).collect();
+        for index in victims {
+            // Best effort: a failed park leaves the session resident
+            // and the failure in the ledger; the next drain retries.
+            let _ = self.park_slot(index);
+        }
     }
 
     fn device(&self, device: DeviceId) -> &Device {
@@ -689,6 +1091,26 @@ impl Fleet {
             .enumerate()
             .filter_map(|(i, slot)| slot.as_ref().map(|d| (i, d)))
     }
+}
+
+/// Decodes a spill payload back into a [`SessionSnapshot`].
+fn parse_parked_snapshot(payload: &[u8]) -> Result<SessionSnapshot, Error> {
+    let json = std::str::from_utf8(payload).map_err(|e| {
+        Error::with_source(
+            ErrorKind::CorruptSnapshot,
+            "eddie-stream",
+            "parked session payload is not UTF-8",
+            e,
+        )
+    })?;
+    SessionSnapshot::from_json(json).map_err(|e| {
+        Error::with_source(
+            ErrorKind::CorruptSnapshot,
+            "eddie-stream",
+            "parse parked session snapshot",
+            e,
+        )
+    })
 }
 
 #[cfg(test)]
@@ -1103,6 +1525,119 @@ mod tests {
         assert_eq!(fleet.pending_chunks(dev), 1);
         assert_eq!(fleet.stats().shed_chunks, 1, "the refused chunk is shed");
         assert_eq!(fleet.stats().shed_samples, 26);
+    }
+
+    fn store_in(dir: &std::path::Path, budget: usize) -> eddie_store::SessionStore {
+        eddie_store::SessionStore::open(
+            eddie_store::StoreConfig::builder(dir)
+                .resident_budget(budget)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eddie-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn budget_parks_lru_and_thaw_on_push_is_transparent() {
+        let model = tiny_model();
+        let dir = tmpdir("lru");
+        let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 2));
+        let signal: Vec<f32> = (0..2000).map(|i| (i as f32 * 0.01).sin()).collect();
+
+        let devs: Vec<DeviceId> = (0..4).map(|_| fleet.add_session(session(&model))).collect();
+        for &d in &devs {
+            let _ = fleet.push_chunk(d, signal[..1000].to_vec());
+        }
+        let _ = fleet.drain();
+        // Four resident, budget two: the two least recently active
+        // (lowest push order → devs[0], devs[1]) get parked.
+        assert_eq!(fleet.parked_count(), 2);
+        assert!(fleet.is_parked(devs[0]) && fleet.is_parked(devs[1]));
+        assert!(!fleet.is_parked(devs[2]) && !fleet.is_parked(devs[3]));
+        let ledger = fleet.ledger_snapshot().unwrap();
+        assert!(ledger.conserved());
+        assert_eq!(ledger.parked, 2);
+
+        // Parked devices still report progress without a thaw.
+        assert_eq!(
+            fleet.windows_observed(devs[0]),
+            fleet.windows_observed(devs[2])
+        );
+
+        // Pushing to a parked device thaws it; the continued stream is
+        // identical to a never-parked one.
+        assert_eq!(
+            fleet.push_chunk(devs[0], signal[1000..].to_vec()),
+            PushResult::Accepted
+        );
+        assert!(!fleet.is_parked(devs[0]));
+        let _ = fleet.push_chunk(devs[3], signal[1000..].to_vec());
+        let events = fleet.drain();
+        assert_eq!(events[devs[0].index()], events[devs[3].index()]);
+        assert!(fleet.ledger_snapshot().unwrap().conserved());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interned_models_share_one_allocation() {
+        let dir = tmpdir("dedup");
+        let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 1024));
+        // Each session gets its own freshly trained Arc — identical
+        // content, distinct allocations — and the fleet dedups them.
+        let devs: Vec<DeviceId> = (0..4)
+            .map(|_| fleet.add_session(session(&tiny_model())))
+            .collect();
+        let first = fleet.session(devs[0]).model().clone();
+        for &d in &devs[1..] {
+            assert!(
+                Arc::ptr_eq(fleet.session(d).model(), &first),
+                "same-content models must share one allocation"
+            );
+        }
+        assert_eq!(fleet.store().unwrap().models().distinct(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_session_thaws_parked_devices() {
+        let model = tiny_model();
+        let dir = tmpdir("rm");
+        let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 8));
+        let dev = fleet.add_session(session(&model));
+        let _ = fleet.push_chunk(dev, vec![0.5; 700]);
+        let _ = fleet.drain();
+        let windows = fleet.windows_observed(dev).unwrap();
+        assert!(fleet.park(dev).unwrap(), "explicit park of an idle device");
+        assert!(fleet.is_parked(dev));
+
+        let removed = fleet.remove_session(dev).expect("session restored");
+        assert_eq!(removed.windows_observed(), windows);
+        let ledger = fleet.ledger_snapshot().unwrap();
+        assert!(ledger.conserved());
+        assert_eq!(ledger.resident + ledger.parked, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_session_reads_parked_without_thawing() {
+        let model = tiny_model();
+        let dir = tmpdir("snap");
+        let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 8));
+        let dev = fleet.add_session(session(&model));
+        let _ = fleet.push_chunk(dev, vec![0.25; 900]);
+        let _ = fleet.drain();
+        let live = fleet.snapshot_session(dev).unwrap();
+        assert!(fleet.park(dev).unwrap());
+        let parked = fleet.snapshot_session(dev).unwrap();
+        assert_eq!(live, parked, "parked snapshot equals the live one");
+        assert!(fleet.is_parked(dev), "snapshotting must not thaw");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   [`PushResult::Full`] instead of blocking — explicit backpressure),
 //!   and [`Fleet::drain`] shards the queued work across the
 //!   [`eddie_exec`] worker pool, one device per worker at a time.
+//!   [`Fleet::with_store`] attaches an [`eddie_store::SessionStore`]
+//!   cold tier: models are interned (one allocation per distinct
+//!   program) and idle sessions beyond the resident budget are parked
+//!   to the spill log after each drain, thawing transparently on their
+//!   next chunk.
 //!
 //! # Equivalence guarantee
 //!

@@ -122,6 +122,32 @@ impl MonitorSession {
         self.monitor.alarm()
     }
 
+    /// The sample rate the session was created with, in hertz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Estimated resident bytes of the session's *private* state: the
+    /// monitor history plus the STFT overlap tail. The shared model is
+    /// excluded — with the store's dedup it is amortised across every
+    /// session of the program and accounted once, not per device.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<MonitorSession>()
+            + self.monitor.approx_bytes()
+            + self.stft.pending_samples() * std::mem::size_of::<f32>()
+    }
+
+    /// Replaces the session's model handle with a content-equal shared
+    /// one — the store tier's dedup hook. Monitoring behaviour is
+    /// unchanged by construction; only the allocation is shared.
+    pub(crate) fn share_model(&mut self, model: Arc<TrainedModel>) {
+        debug_assert!(
+            *self.model == *model,
+            "share_model requires a content-equal model"
+        );
+        self.model = model;
+    }
+
     /// Consumes the next signal chunk (any size, including empty) and
     /// returns the monitoring events of every window that completed.
     pub fn push(&mut self, samples: &[f32]) -> Vec<StreamEvent> {

@@ -1,0 +1,222 @@
+//! Store-tier CI gate: park → thaw → replay byte-identity and ledger
+//! conservation, at every worker-pool width and across decide kernels.
+//!
+//! The contract under test extends the streaming equivalence guarantee
+//! through the cold tier: a session that crosses the spill log — parked
+//! mid-stream, restored from its snapshot on the next chunk — must emit
+//! exactly the events the batch path computes for the whole signal. CI
+//! runs this suite under `EDDIE_THREADS=1` and `EDDIE_THREADS=4`, and
+//! under both `EDDIE_KERNEL` values; the cross-kernel tests additionally
+//! flip the kernel *between* park and thaw, proving the spill snapshot
+//! is kernel-agnostic (a fleet upgraded or downgraded across a restart
+//! replays identically).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use eddie_core::{with_kernel_mode, EddieConfig, KernelMode, Pipeline, SignalSource, TrainedModel};
+use eddie_sim::SimConfig;
+use eddie_store::{SessionStore, StoreConfig};
+use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult, StreamEvent};
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+const MONITOR_SEED: u64 = 1000;
+
+fn quick_sim() -> SimConfig {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    sim
+}
+
+fn power_pipeline() -> Pipeline {
+    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+struct Fixture {
+    model: Arc<TrainedModel>,
+    signal: Vec<f32>,
+    rate: f64,
+}
+
+fn fixture() -> Fixture {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = pipeline
+        .train(w.program(), |m, s| w.prepare(m, s), &SEEDS)
+        .expect("training succeeds");
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, MONITOR_SEED), None);
+    Fixture {
+        model: Arc::new(model),
+        rate: result.power.sample_rate_hz(),
+        signal: result.power.samples,
+    }
+}
+
+fn spill_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eddie-store-gate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_in(dir: &PathBuf, budget: usize) -> SessionStore {
+    SessionStore::open(
+        StoreConfig::builder(dir)
+            .resident_budget(budget)
+            .build()
+            .expect("store config"),
+    )
+    .expect("open store")
+}
+
+/// Batch twin: the whole signal through one never-parked session.
+fn batch_events(fx: &Fixture, chunk: usize) -> Vec<StreamEvent> {
+    let mut session = MonitorSession::new(fx.model.clone(), fx.rate).expect("twin session");
+    let mut out = Vec::new();
+    for c in fx.signal.chunks(chunk) {
+        out.extend(session.push(c));
+    }
+    out
+}
+
+/// Streams the signal through a store-backed fleet, force-parking the
+/// device after every drain so each chunk boundary crosses the spill
+/// log, and returns the accumulated events.
+fn stream_with_parks(fx: &Fixture, fleet: &mut Fleet, chunk: usize) -> Vec<StreamEvent> {
+    let dev = fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).expect("session"));
+    let mut out = Vec::new();
+    for c in fx.signal.chunks(chunk) {
+        assert_eq!(fleet.push_chunk(dev, c.to_vec()), PushResult::Accepted);
+        for events in fleet.drain() {
+            out.extend(events);
+        }
+        assert!(
+            fleet.park(dev).expect("park"),
+            "idle device must park on demand"
+        );
+    }
+    out
+}
+
+/// Park → thaw → replay equals batch: every chunk boundary crosses the
+/// spill log, the final stream is still byte-identical.
+#[test]
+fn park_thaw_replay_is_byte_identical_to_batch() {
+    let fx = fixture();
+    let dir = spill_dir("replay");
+    let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 1));
+    let streamed = stream_with_parks(&fx, &mut fleet, 2048);
+    assert!(!streamed.is_empty(), "fixture must produce events");
+    assert_eq!(streamed, batch_events(&fx, 2048));
+
+    let ledger = fleet.ledger_snapshot().expect("store attached");
+    assert!(ledger.conserved(), "ledger must conserve: {ledger:?}");
+    assert!(ledger.parks > 0 && ledger.thaws > 0);
+    assert_eq!(ledger.park_failures + ledger.thaw_failures, 0);
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ledger's conservation law holds through add / park / thaw /
+/// evict churn over many devices under a tight budget.
+#[test]
+fn ledger_conserves_through_churn() {
+    let fx = fixture();
+    let dir = spill_dir("churn");
+    let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 2));
+    let devs: Vec<_> = (0..8)
+        .map(|_| {
+            fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).expect("session"))
+        })
+        .collect();
+    for round in 0..3 {
+        for &d in &devs {
+            assert_eq!(
+                fleet.push_chunk(d, fx.signal[..1024].to_vec()),
+                PushResult::Accepted,
+                "round {round}"
+            );
+        }
+        let _ = fleet.drain();
+        let ledger = fleet.ledger_snapshot().expect("store attached");
+        assert!(ledger.conserved(), "round {round}: {ledger:?}");
+        assert_eq!(ledger.resident, 2, "round {round}: budget enforced");
+    }
+    for &d in &devs {
+        assert!(fleet.remove_session(d).is_some());
+    }
+    let ledger = fleet.ledger_snapshot().expect("store attached");
+    assert!(ledger.conserved(), "after eviction: {ledger:?}");
+    assert_eq!(ledger.resident + ledger.parked, 0);
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// First half streamed (and parked) under `first`, second half thawed
+/// and streamed under `second`.
+fn split_kernel_events(
+    fx: &Fixture,
+    first: KernelMode,
+    second: KernelMode,
+    tag: &str,
+) -> Vec<StreamEvent> {
+    let dir = spill_dir(tag);
+    let mut fleet = Fleet::with_store(FleetConfig::default(), store_in(&dir, 1));
+    let dev = fleet.add_session(MonitorSession::new(fx.model.clone(), fx.rate).expect("session"));
+    let chunks: Vec<&[f32]> = fx.signal.chunks(2048).collect();
+    let mid = chunks.len() / 2;
+
+    let mut out = with_kernel_mode(first, || {
+        let mut events = Vec::new();
+        for c in &chunks[..mid] {
+            assert_eq!(fleet.push_chunk(dev, c.to_vec()), PushResult::Accepted);
+            for e in fleet.drain() {
+                events.extend(e);
+            }
+        }
+        assert!(fleet.park(dev).expect("park"), "device must park");
+        events
+    });
+    out.extend(with_kernel_mode(second, || {
+        let mut events = Vec::new();
+        for c in &chunks[mid..] {
+            // The first push thaws the snapshot written under `first`.
+            assert_eq!(fleet.push_chunk(dev, c.to_vec()), PushResult::Accepted);
+            for e in fleet.drain() {
+                events.extend(e);
+            }
+        }
+        events
+    }));
+
+    let ledger = fleet.ledger_snapshot().expect("store attached");
+    assert_eq!(
+        ledger.thaw_failures, 0,
+        "cross-kernel thaw must not fail ({tag})"
+    );
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Park under the quantized kernel, thaw under the reference kernel —
+/// the spill snapshot carries no kernel-specific state, so the replayed
+/// stream still matches the batch path bit for bit.
+#[test]
+fn park_quantized_thaw_reference_is_byte_identical() {
+    let fx = fixture();
+    let streamed = split_kernel_events(&fx, KernelMode::Quantized, KernelMode::Reference, "q2r");
+    assert_eq!(streamed, batch_events(&fx, 2048));
+}
+
+/// The reverse direction: park under reference, thaw under quantized.
+#[test]
+fn park_reference_thaw_quantized_is_byte_identical() {
+    let fx = fixture();
+    let streamed = split_kernel_events(&fx, KernelMode::Reference, KernelMode::Quantized, "r2q");
+    assert_eq!(streamed, batch_events(&fx, 2048));
+}
