@@ -7,11 +7,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::net::TcpStream;
 use std::sync::Arc;
 
 use eddie_core::TrainedModel;
 use eddie_experiments::harness::{sim_pipeline, train_benchmark};
-use eddie_serve::{Frame, ModelRegistry, ReplayClient, Server, ServerConfig};
+use eddie_serve::{
+    read_frame, write_frame, Backend, Frame, ModelRegistry, ReplayClient, Server, ServerConfig,
+};
 use eddie_workloads::Benchmark;
 
 const WL_SCALE: u32 = 2;
@@ -87,5 +90,74 @@ fn bench_loopback_ingest(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_frame_codec, bench_loopback_ingest);
+/// High-fanout dispatch: 1k connections idle while 64 active ones
+/// round-trip `Stats` frames — the shape a fleet ingestion tier
+/// actually sees (most devices quiet, a working set hot). Run for both
+/// backends so the reactor's O(reactors)-thread dispatch can be read
+/// against thread-per-connection directly.
+fn bench_high_fanout(c: &mut Criterion) {
+    const IDLE_CONNS: usize = 1000;
+    const ACTIVE_CONNS: usize = 64;
+    // Idle + active sockets, both ends, plus slack for the harness.
+    let _ = eddie_net::sys::raise_nofile_limit(8192);
+
+    let fx = fixture();
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ACTIVE_CONNS as u64));
+    for (backend, name) in [
+        (Backend::Reactor, "reactor"),
+        (Backend::Threaded, "threaded"),
+    ] {
+        let mut registry = ModelRegistry::new();
+        registry.insert(MODEL_ID, fx.model.clone());
+        let config = ServerConfig::builder()
+            .with_backend(backend)
+            .build()
+            .expect("bench config");
+        let server = Server::bind("127.0.0.1:0", registry, config).expect("bind fanout bench");
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        let addr = handle.addr();
+
+        let connect = || loop {
+            // The accept backlog can lag a 1k fanout; retry transient
+            // refusals instead of failing the bench.
+            match TcpStream::connect(addr) {
+                Ok(s) => return s,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        };
+        let idle: Vec<TcpStream> = (0..IDLE_CONNS).map(|_| connect()).collect();
+        let mut active: Vec<TcpStream> = (0..ACTIVE_CONNS).map(|_| connect()).collect();
+
+        g.bench_function(format!("fanout1k_{name}"), |b| {
+            b.iter(|| {
+                for s in active.iter_mut() {
+                    write_frame(s, &Frame::Stats).expect("stats");
+                }
+                for s in active.iter_mut() {
+                    match read_frame(s).expect("reply").expect("eof") {
+                        Frame::StatsReply { .. } => {}
+                        other => panic!("expected StatsReply, got {other:?}"),
+                    }
+                }
+                black_box(active.len())
+            })
+        });
+
+        drop(active);
+        drop(idle);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_loopback_ingest,
+    bench_high_fanout
+);
 criterion_main!(benches);

@@ -4,9 +4,10 @@
 //! regression gate: run counts vary, output is a report directory, and
 //! parsing it is fragile. This subcommand runs the hot loops that
 //! matter — per-window **decide**, session **ingest**, fleet **drain**,
-//! ring **lookup**, the live-migration **round trip**, and the store
-//! tier's **park**/**thaw** spill path (plus its resident
-//! bytes-per-session footprint) — a fixed
+//! ring **lookup**, the live-migration **round trip**, the store tier's
+//! **park**/**thaw** spill path (plus its resident bytes-per-session
+//! footprint), and the reactor tier's connection **churn** and poll
+//! **dispatch** — a fixed
 //! number of times each and emits one flat JSON array with a stable
 //! schema:
 //!
@@ -38,7 +39,7 @@ use eddie_cluster::{shard_token_base, HashRing, Membership, RingConfig};
 use eddie_core::{MonitorState, Sts, TrainedModel};
 use eddie_dsp::{Stft, StftConfig};
 use eddie_exec::with_threads;
-use eddie_serve::{read_frame, write_frame, Frame, ModelRegistry, Server, ServerConfig};
+use eddie_serve::{read_frame, write_frame, Backend, Frame, ModelRegistry, Server, ServerConfig};
 use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
 use eddie_workloads::Benchmark;
 use serde::Deserialize;
@@ -316,6 +317,94 @@ fn bench_migration(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
     }
 }
 
+/// Reactor connection churn: the full accept → register → decode →
+/// reply → teardown cycle through the live reactor backend. One
+/// iteration connects, round-trips a `Stats` frame (so the accept and
+/// the registered readable interest are both provably live), and drops
+/// the socket — the per-connection cost the epoll tier pays at fleet
+/// scale.
+fn bench_net_churn(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    const MODEL_ID: &str = "bench-model";
+    const CONNS_PER_PASS: usize = 64;
+    let mut registry = ModelRegistry::new();
+    registry.insert(MODEL_ID, fx.model.clone());
+    let config = ServerConfig::builder()
+        .with_backend(Backend::Reactor)
+        .build()
+        .expect("bench net config");
+    let server = Server::bind("127.0.0.1:0", registry, config).expect("bind bench net");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let addr = handle.addr();
+
+    let total_ns = timed(passes, || {
+        for _ in 0..CONNS_PER_PASS {
+            let mut s = TcpStream::connect(addr).expect("bench net connect");
+            write_frame(&mut s, &Frame::Stats).expect("stats frame");
+            match read_frame(&mut s).expect("stats reply").expect("eof") {
+                Frame::StatsReply { .. } => {}
+                other => panic!("expected StatsReply, got {other:?}"),
+            }
+        }
+    });
+
+    handle.shutdown();
+    join.join()
+        .expect("bench net thread")
+        .expect("bench net run");
+
+    let iters = (passes * CONNS_PER_PASS) as f64;
+    BenchRecord {
+        bench: "net_conn_churn_ns".to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
+/// Raw poller dispatch: one always-ready descriptor, one
+/// `Reactor::poll` round trip per iteration — the floor under every
+/// readiness event the ingestion tier dispatches. Uses a private
+/// registry so the bench does not pollute the process-wide
+/// `eddie_net_*` books more than it must (the metric handles
+/// themselves are global by design).
+fn bench_net_dispatch(_fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    const WAKES_PER_PASS: usize = 4096;
+    let registry = eddie_obs::Registry::new();
+    let mut reactor = eddie_net::Reactor::new(&registry).expect("bench reactor");
+    let (r, w) = eddie_net::sys::nonblocking_pipe().expect("bench pipe");
+    reactor
+        .register(r, 7, eddie_net::Interest::READABLE)
+        .expect("bench register");
+    let mut events = Vec::new();
+    let mut buf = [0u8; 8];
+
+    let total_ns = timed(passes, || {
+        for _ in 0..WAKES_PER_PASS {
+            eddie_net::sys::write_fd(w, b"x").expect("bench wake write");
+            let woken = reactor
+                .poll(&mut events, Some(Duration::from_secs(1)))
+                .expect("bench poll");
+            assert!(!woken && events.len() == 1, "pipe readiness expected");
+            eddie_net::sys::read_fd(r, &mut buf).expect("bench drain");
+        }
+    });
+
+    reactor.deregister(r).expect("bench deregister");
+    eddie_net::sys::close_fd(r);
+    eddie_net::sys::close_fd(w);
+
+    let iters = (passes * WAKES_PER_PASS) as f64;
+    BenchRecord {
+        bench: "net_poll_dispatch_ns".to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
 /// Store tier: park and thaw latency over real spill-log I/O, plus the
 /// resident footprint. Three records ride the same flat schema:
 ///
@@ -530,6 +619,8 @@ pub fn bench_json(args: &[String]) -> Result<String, String> {
         ("fleet", bench_fleet),
         ("ring", bench_ring),
         ("migration", bench_migration),
+        ("net_churn", bench_net_churn),
+        ("net_dispatch", bench_net_dispatch),
     ] {
         eprintln!("# running {name}...");
         let r = f(&fx, passes, &sha);

@@ -1,0 +1,225 @@
+//! Generation-tagged registration slab.
+//!
+//! The reactor names every registered connection by a [`Token`]: a
+//! dense slot index (what the poller's `u64` user-data carries) plus a
+//! generation counter. Slots are reused after removal — a
+//! million-connection churn does not grow the slab — but the
+//! generation bump means a stale token from a closed connection can
+//! never alias the slot's next occupant: `get` on a reused slot with
+//! an old token misses instead of handing out the wrong connection.
+
+/// A slab key: slot index plus the slot generation at insert time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token {
+    idx: u32,
+    gen: u32,
+}
+
+impl Token {
+    /// The dense slot index (stable for the entry's lifetime).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+
+    /// Packs the token into the `u64` the poller's user-data carries.
+    pub fn as_u64(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.idx)
+    }
+
+    /// Reverses [`as_u64`](Self::as_u64).
+    pub fn from_u64(raw: u64) -> Token {
+        Token {
+            idx: raw as u32,
+            gen: (raw >> 32) as u32,
+        }
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    value: Option<T>,
+}
+
+/// A vector-backed slab with free-list reuse and generation tags.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`, reusing the most recently freed slot if any.
+    pub fn insert(&mut self, value: T) -> Token {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            return Token { idx, gen: slot.gen };
+        }
+        let idx = self.slots.len() as u32;
+        self.slots.push(Slot {
+            gen: 0,
+            value: Some(value),
+        });
+        Token { idx, gen: 0 }
+    }
+
+    /// Inserts the value produced by `f`, which receives the token the
+    /// entry will occupy — for values that must carry their own key
+    /// (e.g. an outbox that names its connection in a wakeup mailbox).
+    pub fn insert_with<F: FnOnce(Token) -> T>(&mut self, f: F) -> Token {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let gen = self.slots[idx as usize].gen;
+            let token = Token { idx, gen };
+            let value = f(token);
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.value.is_none());
+            slot.value = Some(value);
+            return token;
+        }
+        let idx = self.slots.len() as u32;
+        let token = Token { idx, gen: 0 };
+        let value = f(token);
+        self.slots.push(Slot {
+            gen: 0,
+            value: Some(value),
+        });
+        token
+    }
+
+    /// Removes and returns the entry for `token`; `None` when the
+    /// token is stale (slot freed, or freed and reused since).
+    pub fn remove(&mut self, token: Token) -> Option<T> {
+        let slot = self.slots.get_mut(token.idx as usize)?;
+        if slot.gen != token.gen || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        // Bump the generation at free time so every outstanding copy
+        // of this token goes stale immediately.
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(token.idx);
+        self.len -= 1;
+        value
+    }
+
+    /// The entry for `token`, unless the token is stale.
+    pub fn get(&self, token: Token) -> Option<&T> {
+        let slot = self.slots.get(token.idx as usize)?;
+        if slot.gen != token.gen {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable access to the entry for `token`.
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut T> {
+        let slot = self.slots.get_mut(token.idx as usize)?;
+        if slot.gen != token.gen {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Tokens of every live entry, in slot order.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.value.is_some())
+            .map(|(i, s)| Token {
+                idx: i as u32,
+                gen: s.gen,
+            })
+            .collect()
+    }
+
+    /// Allocated slot capacity (live + free), for tests asserting that
+    /// churn reuses slots instead of growing the slab.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_and_stale_tokens_miss() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u32);
+        assert_eq!(slab.remove(a), Some(1));
+        let b = slab.insert(2u32);
+        // Same slot, new generation: the dense index is reused...
+        assert_eq!(b.index(), a.index());
+        assert_eq!(slab.capacity(), 1, "churn must not grow the slab");
+        // ...but the stale token cannot reach the new occupant.
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.get(b), Some(&2));
+    }
+
+    #[test]
+    fn insert_with_hands_the_value_its_own_token() {
+        let mut slab = Slab::new();
+        let a = slab.insert_with(|t| t.as_u64());
+        assert_eq!(slab.get(a), Some(&a.as_u64()));
+        slab.remove(a);
+        let b = slab.insert_with(|t| t.as_u64());
+        assert_eq!(b.index(), a.index(), "freed slot is reused");
+        assert_eq!(slab.get(b), Some(&b.as_u64()), "new generation baked in");
+    }
+
+    #[test]
+    fn token_u64_round_trip() {
+        let mut slab = Slab::new();
+        let a = slab.insert(());
+        slab.remove(a);
+        let b = slab.insert(());
+        for t in [a, b] {
+            assert_eq!(Token::from_u64(t.as_u64()), t);
+        }
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+}

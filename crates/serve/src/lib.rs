@@ -19,7 +19,12 @@
 //!   connections onto one [`eddie_stream::Fleet`], with a drain loop
 //!   over the [`eddie_exec`] worker pool, periodic JSON session
 //!   snapshots, and graceful shutdown. Plain threads only — no async
-//!   runtime.
+//!   runtime. Two interchangeable connection tiers share one protocol
+//!   core ([`server::Backend`], `EDDIE_SERVE_BACKEND`): the classic
+//!   thread-per-connection pair, and the default *reactor* tier —
+//!   `EDDIE_REACTORS` nonblocking [`eddie_net`] event-loop threads
+//!   owning every socket, where fleet backpressure becomes an epoll
+//!   interest-set flip instead of a blocked reader.
 //! * [`client`] — a blocking replay client with go-back-N
 //!   retransmission on `Busy`, used by the `replay-client` experiment
 //!   and the loopback CI gates; plus [`ResilientClient`], a
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod reactor;
 pub mod server;
 pub mod wire;
 
@@ -55,8 +61,8 @@ pub use client::{
 };
 pub use server::{
     load_sessions, load_snapshot, persist_sessions, persist_sessions_spill, persist_snapshot,
-    resume_journal, ExportedSession, ModelRegistry, PersistedSession, Server, ServerConfig,
-    ServerConfigBuilder, ServerHandle, ServerReport, SnapshotFile,
+    resume_journal, Backend, ExportedSession, ModelRegistry, PersistedSession, Server,
+    ServerConfig, ServerConfigBuilder, ServerHandle, ServerReport, SnapshotFile,
 };
 pub use wire::{
     read_frame, write_frame, ErrCode, EventKind, Frame, ReadError, WireError, MAX_CHUNK_SAMPLES,

@@ -1,0 +1,813 @@
+//! Reactor backend: every socket on `EDDIE_REACTORS` event-loop
+//! threads.
+//!
+//! The threaded backend spends two OS threads per connection; this
+//! backend spends a fixed pool. Each reactor thread owns an
+//! [`eddie_net::Reactor`] (epoll on Linux, `poll(2)` fallback) plus a
+//! slab of connection state machines, and drives the same protocol
+//! core as the threaded path: [`handle_frame`] is shared verbatim, so
+//! the two backends cannot drift.
+//!
+//! ## How the pieces meet
+//!
+//! * **Accept** — reactor 0 registers the listener in its poller and
+//!   deals new sockets round-robin: locally, or into a peer's `inbox`
+//!   mailbox followed by a wakeup.
+//! * **Events out** — the fleet drain loop holds [`Route::Outbox`]
+//!   clones. A send pushes the frame into the connection's
+//!   [`ConnOutbox`] and, once per batch, marks the connection dirty in
+//!   its reactor's mailbox and wakes it; the reactor moves outbox
+//!   frames into the connection's write buffer and flushes as the
+//!   socket allows, resuming partial writes on writable readiness.
+//! * **Backpressure** — a real `PushResult::Full` surfaces as
+//!   [`Step::BackpressurePause`]: the connection drops readable
+//!   interest (already-buffered frames stay buffered) and a
+//!   once-per-tick recheck under the core lock restores it when the
+//!   device's queue has room. TCP then pushes back on the capture
+//!   device, exactly like a blocked threaded reader — without freezing
+//!   a thread.
+//! * **Flush** — `Finish`/`Close` become a `Flushing` mode: stop
+//!   reading, wait for the device's queue to hit zero (checked each
+//!   tick), then run [`after_flush`]. Because events are routed to
+//!   outboxes under the same lock as draining, an empty queue means
+//!   every event already sits in this connection's outbox — none can
+//!   be lost, and the stream a client sees stays byte-identical to the
+//!   threaded backend's.
+//! * **Goodbye** — a finished connection enters `Closing`: flush what
+//!   is owed, courteously drain inbound bytes (bounded) so the close
+//!   is a FIN rather than a RST destroying the final reply, then close
+//!   after a quiet period of one poll interval.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use eddie_net::{BufferedConn, Event, FrameDefect, Interest, Reactor, Slab, Token, Waker};
+use eddie_obs::JournalEvent;
+
+use crate::server::{
+    after_flush, finish_connection, handle_frame, ConnState, ExitReason, Route, ServerConfig,
+    Shared, Step,
+};
+use crate::wire::{ErrCode, Frame, MAX_FRAME_LEN};
+
+/// Poller user-data word for the listener (reactor 0 only). Far above
+/// any practical slab token (slot `u32::MAX - 1` at generation
+/// `u32::MAX`), and distinct from [`eddie_net::WAKE_DATA`].
+const LISTENER_DATA: u64 = u64::MAX - 1;
+
+/// Per-connection inbound accumulator bound: one maximum frame plus
+/// a read burst. `fill` stops there, so a flooding peer costs bounded
+/// memory and TCP pushes back.
+const MAX_READ_BUFFER: usize = MAX_FRAME_LEN + 64 * 1024;
+
+/// How many reactor threads `run_reactors` spawns: `EDDIE_REACTORS`,
+/// default 1, clamped to `1..=64`.
+fn reactor_count() -> usize {
+    std::env::var("EDDIE_REACTORS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .clamp(1, 64)
+}
+
+/// What the drain loop (and the protocol core) sees of a reactor-owned
+/// connection: an unbounded frame queue plus the address of the
+/// reactor to poke. The mirror of the threaded backend's
+/// `mpsc::Sender<Frame>`.
+pub(crate) struct ConnOutbox {
+    frames: Mutex<VecDeque<Frame>>,
+    /// Whether the connection already sits in its reactor's dirty
+    /// mailbox — batches of sends cost one mailbox entry and wakeup.
+    queued: AtomicBool,
+    /// Set at teardown so late routed frames are dropped instead of
+    /// accumulating against a connection that will never flush again.
+    dead: AtomicBool,
+    /// The connection's slab token (`Token::as_u64`).
+    token: u64,
+    /// The owning reactor's mailboxes and waker.
+    reactor: Arc<ReactorShared>,
+}
+
+impl ConnOutbox {
+    /// Queues a frame and, if this is the first since the reactor last
+    /// drained the outbox, marks the connection dirty and wakes the
+    /// reactor. Frames sent after teardown are dropped.
+    pub(crate) fn send(&self, frame: Frame) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        self.frames.lock().expect("conn outbox").push_back(frame);
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            self.reactor
+                .dirty
+                .lock()
+                .expect("reactor dirty mailbox")
+                .push(self.token);
+            self.reactor.waker.wake();
+        }
+    }
+}
+
+/// The cross-thread face of one reactor: mailboxes other threads fill,
+/// plus the waker that interrupts its blocked poll.
+struct ReactorShared {
+    /// Tokens of connections with undrained outbox frames.
+    dirty: Mutex<Vec<u64>>,
+    /// Sockets handed off by the accepting reactor.
+    inbox: Mutex<Vec<TcpStream>>,
+    waker: Waker,
+}
+
+/// Where a connection is in its lifecycle. `Open` is the only mode
+/// that consumes inbound frames.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnMode {
+    /// Reading and handling frames.
+    Open,
+    /// The fleet refused a chunk with a real `Full`: readable interest
+    /// is dropped until the device's queue has room (tick recheck).
+    PausedFull,
+    /// `Finish`/`Close` in progress: reading stopped until the
+    /// device's queue drains, then [`after_flush`] runs.
+    Flushing(crate::server::FlushThen),
+    /// Exit bookkeeping done; flushing final frames and courteously
+    /// draining inbound bytes, then close.
+    Closing,
+}
+
+/// One reactor-owned connection.
+struct RConn {
+    conn: BufferedConn,
+    state: ConnState,
+    outbox: Arc<ConnOutbox>,
+    mode: ConnMode,
+    /// Interest set currently installed in the poller.
+    interest: Interest,
+    conn_id: u64,
+    /// Last inbound progress, for the frame-boundary idle timeout.
+    last_activity: Instant,
+    saw_eof: bool,
+    /// Whether [`finish_connection`] ran (exactly once per connection).
+    finished: bool,
+    /// Closing-mode quiet deadline, armed once everything owed is
+    /// flushed and re-armed while courtesy bytes keep arriving.
+    close_deadline: Option<Instant>,
+    /// Courtesy-drain byte budget consumed.
+    drained: usize,
+}
+
+/// Scratch buffers reused across every connection of one reactor.
+#[derive(Default)]
+struct Scratch {
+    /// Stats-scrape rendering buffer (see [`handle_frame`]).
+    stats: String,
+    /// Frame encoding buffer.
+    encode: Vec<u8>,
+}
+
+/// Runs the reactor backend until shutdown: builds `EDDIE_REACTORS`
+/// reactors, runs reactor 0 (which owns the listener) on the calling
+/// thread and the rest on spawned threads, and returns once every
+/// connection is closed. Fatal listener/poller errors initiate a
+/// server-wide shutdown and surface here, mirroring the threaded
+/// accept loop.
+pub(crate) fn run_reactors(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    config: &Arc<ServerConfig>,
+) -> io::Result<()> {
+    // High-fanout headroom: a stock 1024-descriptor soft limit dies at
+    // ~1k connections. Best effort — the hard limit still rules.
+    let _ = eddie_net::sys::raise_nofile_limit(16_384);
+
+    let n = reactor_count();
+    let local_registry;
+    let registry = match eddie_obs::global() {
+        Some(o) => o.registry(),
+        None => {
+            local_registry = eddie_obs::Registry::new();
+            &local_registry
+        }
+    };
+
+    let mut reactors = Vec::with_capacity(n);
+    let mut peers: Vec<Arc<ReactorShared>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let reactor = Reactor::new(registry)?;
+        peers.push(Arc::new(ReactorShared {
+            dirty: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
+            waker: reactor.waker(),
+        }));
+        reactors.push(reactor);
+    }
+    {
+        // Publish the wakers so `ServerHandle::shutdown` interrupts
+        // blocked polls instead of waiting out their timeout.
+        let mut wakers = shared.reactor_wakers.lock().expect("reactor wakers");
+        wakers.clear();
+        wakers.extend(reactors.iter().map(|r| r.waker()));
+    }
+
+    let mut handles = Vec::with_capacity(n - 1);
+    let mut iter = reactors.into_iter();
+    let reactor0 = iter.next().expect("at least one reactor");
+    for (i, reactor) in iter.enumerate() {
+        let rs = peers[i + 1].clone();
+        let all = peers.clone();
+        let shared = shared.clone();
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            // A fatal poller error already initiated shutdown inside
+            // the loop; nothing more to do with it here.
+            let _ = reactor_loop(reactor, rs, all, None, &shared, &config);
+        }));
+    }
+    let served = reactor_loop(
+        reactor0,
+        peers[0].clone(),
+        peers.clone(),
+        Some(listener),
+        shared,
+        config,
+    );
+    for h in handles {
+        let _ = h.join();
+    }
+    served
+}
+
+/// One reactor thread: poll, adopt handoffs, accept, drive readiness,
+/// tick timers/rechecks, flush dirty outboxes — until shutdown has
+/// been observed and every owned connection is gone.
+fn reactor_loop(
+    mut reactor: Reactor,
+    rs: Arc<ReactorShared>,
+    peers: Vec<Arc<ReactorShared>>,
+    listener: Option<TcpListener>,
+    shared: &Shared,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    let mut slab: Slab<RConn> = Slab::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = Scratch::default();
+    let mut next_rr = 0usize;
+    let mut shutdown_seen = false;
+    let mut served: io::Result<()> = Ok(());
+
+    if let Some(l) = &listener {
+        l.set_nonblocking(true)?;
+        reactor.register_untracked(l.as_raw_fd(), LISTENER_DATA, Interest::READABLE)?;
+    }
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && !shutdown_seen {
+            shutdown_seen = true;
+            begin_shutdown(&mut slab, shared);
+        }
+        if shutdown_seen && slab.is_empty() {
+            break;
+        }
+
+        if let Err(e) = reactor.poll(&mut events, Some(config.poll_interval)) {
+            // A broken poller strands every connection this thread
+            // owns: take the whole server down and park what we can.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            for p in &peers {
+                p.waker.wake();
+            }
+            abort_connections(&mut slab, &reactor, shared);
+            return Err(e);
+        }
+
+        // Sockets dealt to us by the accepting reactor.
+        let adopted: Vec<TcpStream> = std::mem::take(&mut *rs.inbox.lock().expect("reactor inbox"));
+        for stream in adopted {
+            add_conn(stream, &mut slab, &reactor, &rs, shared);
+        }
+
+        if let Some(l) = &listener {
+            if !shutdown_seen {
+                if let Some(e) =
+                    accept_burst(l, &mut next_rr, &peers, &rs, &mut slab, &reactor, shared)
+                {
+                    // Fatal listener error: same contract as the
+                    // threaded accept loop — shut down, drain, report.
+                    served = Err(e);
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    for p in &peers {
+                        p.waker.wake();
+                    }
+                }
+            }
+        }
+
+        // Readiness events.
+        let batch = std::mem::take(&mut events);
+        for ev in &batch {
+            if ev.data == LISTENER_DATA {
+                continue; // accept burst above runs every tick
+            }
+            let token = Token::from_u64(ev.data);
+            let keep = match slab.get_mut(token) {
+                Some(rc) => drive_event(rc, *ev, shared, config, &mut scratch),
+                None => continue, // stale: closed earlier this tick
+            };
+            finish_pass(&mut slab, &reactor, token, keep, shared, config);
+        }
+        events = batch;
+
+        // Tick: idle timeouts, backpressure unpause, flush completion,
+        // closing deadlines.
+        tick(&mut slab, &reactor, shared, config, &mut scratch);
+
+        // Dirty outboxes last, so frames produced by this tick's
+        // events and rechecks go out without waiting for the self-wake.
+        let dirty: Vec<u64> = std::mem::take(&mut *rs.dirty.lock().expect("dirty mailbox"));
+        for raw in dirty {
+            let token = Token::from_u64(raw);
+            let keep = match slab.get_mut(token) {
+                Some(rc) => {
+                    rc.outbox.queued.store(false, Ordering::Release);
+                    pump_outbox(rc, &mut scratch);
+                    rc.conn.flush().is_ok()
+                }
+                None => continue,
+            };
+            finish_pass(&mut slab, &reactor, token, keep, shared, config);
+        }
+    }
+
+    if let Some(l) = &listener {
+        let _ = reactor.deregister_untracked(l.as_raw_fd());
+    }
+    served
+}
+
+/// Accepts until the listener would block, dealing sockets round-robin
+/// across the reactor pool. Returns a fatal listener error, if any.
+fn accept_burst(
+    listener: &TcpListener,
+    next_rr: &mut usize,
+    peers: &[Arc<ReactorShared>],
+    rs: &Arc<ReactorShared>,
+    slab: &mut Slab<RConn>,
+    reactor: &Reactor,
+    shared: &Shared,
+) -> Option<io::Error> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.connections.inc();
+                let target = &peers[*next_rr % peers.len()];
+                *next_rr += 1;
+                if Arc::ptr_eq(target, rs) {
+                    add_conn(stream, slab, reactor, rs, shared);
+                } else {
+                    target.inbox.lock().expect("reactor inbox").push(stream);
+                    target.waker.wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return None,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Some(e),
+        }
+    }
+}
+
+/// Registers one fresh socket in this reactor: lifecycle counters and
+/// journal, nonblocking conversion, slab slot, poller registration.
+fn add_conn(
+    stream: TcpStream,
+    slab: &mut Slab<RConn>,
+    reactor: &Reactor,
+    rs: &Arc<ReactorShared>,
+    shared: &Shared,
+) {
+    let conn_id = shared.counters.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    shared.counters.open_connections.add(1);
+    if let Some(o) = eddie_obs::global() {
+        o.journal()
+            .record(JournalEvent::ConnectionOpened { id: conn_id });
+    }
+    let close_books = |shared: &Shared| {
+        shared.counters.open_connections.sub(1);
+        if let Some(o) = eddie_obs::global() {
+            o.journal()
+                .record(JournalEvent::ConnectionClosed { id: conn_id });
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let conn = match BufferedConn::new(stream) {
+        Ok(c) => c,
+        Err(_) => {
+            close_books(shared);
+            return;
+        }
+    };
+    let fd = conn.raw_fd();
+    let token = slab.insert_with(|t| RConn {
+        outbox: Arc::new(ConnOutbox {
+            frames: Mutex::new(VecDeque::new()),
+            queued: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            token: t.as_u64(),
+            reactor: rs.clone(),
+        }),
+        conn,
+        state: ConnState::new(),
+        mode: ConnMode::Open,
+        interest: Interest::READABLE,
+        conn_id,
+        last_activity: Instant::now(),
+        saw_eof: false,
+        finished: false,
+        close_deadline: None,
+        drained: 0,
+    });
+    if reactor
+        .register(fd, token.as_u64(), Interest::READABLE)
+        .is_err()
+    {
+        // The poller refused the descriptor (fd exhaustion): balance
+        // the books and drop the socket.
+        drop(slab.remove(token));
+        close_books(shared);
+    }
+}
+
+/// Applies the outcome of driving a connection: re-sync the poller
+/// interest set, check the closing drop condition, and tear down when
+/// the connection is done.
+fn finish_pass(
+    slab: &mut Slab<RConn>,
+    reactor: &Reactor,
+    token: Token,
+    keep: bool,
+    shared: &Shared,
+    config: &ServerConfig,
+) {
+    let keep = keep
+        && match slab.get_mut(token) {
+            Some(rc) => {
+                arm_close_deadline(rc, config);
+                !closing_complete(rc)
+            }
+            None => return,
+        };
+    if !keep {
+        teardown(slab, reactor, token, shared);
+        return;
+    }
+    if let Some(rc) = slab.get_mut(token) {
+        let want = desired_interest(rc);
+        if want != rc.interest
+            && reactor
+                .reregister(rc.conn.raw_fd(), token.as_u64(), want)
+                .is_ok()
+        {
+            rc.interest = want;
+        }
+    }
+}
+
+/// The interest set a connection's current state calls for.
+fn desired_interest(rc: &RConn) -> Interest {
+    let write = if rc.conn.wants_write() {
+        Interest::WRITABLE
+    } else {
+        Interest::NONE
+    };
+    match rc.mode {
+        // Closing stays readable for the courtesy drain.
+        ConnMode::Open | ConnMode::Closing => Interest::READABLE.or(write),
+        // Backpressure / flushing: reading is paused, errors still
+        // surface through the write side or the tick recheck.
+        ConnMode::PausedFull | ConnMode::Flushing(_) => write,
+    }
+}
+
+/// Handles one readiness event. Returns whether the connection stays.
+fn drive_event(
+    rc: &mut RConn,
+    ev: Event,
+    shared: &Shared,
+    config: &ServerConfig,
+    scratch: &mut Scratch,
+) -> bool {
+    if ev.readable || ev.error {
+        if rc.mode == ConnMode::Closing {
+            drain_courtesy(rc, config);
+        } else {
+            match rc.conn.fill(MAX_READ_BUFFER) {
+                Ok(pass) => {
+                    if pass.bytes > 0 {
+                        rc.last_activity = Instant::now();
+                    }
+                    if pass.eof {
+                        rc.saw_eof = true;
+                    }
+                    pump_frames(rc, shared, config, scratch);
+                    if rc.saw_eof && matches!(rc.mode, ConnMode::Open | ConnMode::PausedFull) {
+                        if rc.conn.mid_frame() {
+                            // EOF inside a frame: the peer died
+                            // mid-send. Same books as a malformed
+                            // frame on the threaded path.
+                            shared.counters.bad_frames.inc();
+                            rc.outbox.send(Frame::Err {
+                                code: ErrCode::BadFrame,
+                            });
+                        }
+                        begin_close(rc, ExitReason::Abrupt, shared);
+                    }
+                }
+                Err(_) => {
+                    // Transport error: nothing left to flush to.
+                    return false;
+                }
+            }
+        }
+    }
+    if ev.writable && rc.conn.flush().is_err() {
+        return false;
+    }
+    true
+}
+
+/// Extracts and handles every complete frame while the connection is
+/// `Open`. Mode transitions out of `Open` stop consumption with the
+/// remainder left buffered.
+fn pump_frames(rc: &mut RConn, shared: &Shared, config: &ServerConfig, scratch: &mut Scratch) {
+    while rc.mode == ConnMode::Open {
+        match rc.conn.next_frame(MAX_FRAME_LEN) {
+            Ok(Some(body)) => {
+                rc.last_activity = Instant::now();
+                match Frame::decode(&body) {
+                    Ok(frame) => {
+                        shared.counters.frames_decoded.inc();
+                        let route = Route::Outbox(rc.outbox.clone());
+                        let step = handle_frame(
+                            frame,
+                            &route,
+                            &mut rc.state,
+                            shared,
+                            config,
+                            &mut scratch.stats,
+                        );
+                        apply_step(rc, step, shared);
+                    }
+                    Err(_) => {
+                        shared.counters.bad_frames.inc();
+                        rc.outbox.send(Frame::Err {
+                            code: ErrCode::BadFrame,
+                        });
+                        // Corruption is a transport fault: park a
+                        // resumable session, as the threaded path does.
+                        begin_close(rc, ExitReason::Abrupt, shared);
+                    }
+                }
+            }
+            Ok(None) => return,
+            Err(FrameDefect::BadLength(_)) => {
+                shared.counters.bad_frames.inc();
+                rc.outbox.send(Frame::Err {
+                    code: ErrCode::BadFrame,
+                });
+                begin_close(rc, ExitReason::Abrupt, shared);
+            }
+        }
+    }
+}
+
+/// Applies a [`Step`] from the shared protocol core to reactor state.
+fn apply_step(rc: &mut RConn, step: Step, shared: &Shared) {
+    match step {
+        Step::Continue => {}
+        Step::BackpressurePause => {
+            shared.counters.backpressure_pauses.inc();
+            rc.mode = ConnMode::PausedFull;
+        }
+        Step::Flush(then) => {
+            rc.mode = ConnMode::Flushing(then);
+            // The queue may already be empty — complete inline.
+            check_flushing(rc, shared);
+        }
+        Step::End(reason) => begin_close(rc, reason, shared),
+    }
+}
+
+/// If a `Flushing` connection's device queue has drained, runs
+/// [`after_flush`] and applies the resulting step.
+fn check_flushing(rc: &mut RConn, shared: &Shared) {
+    let ConnMode::Flushing(then) = rc.mode else {
+        return;
+    };
+    let Some(dev) = rc.state.device else {
+        begin_close(rc, ExitReason::Clean, shared);
+        return;
+    };
+    let drained = {
+        let core = shared.core.lock().expect("core lock");
+        !core.fleet.contains(dev) || core.fleet.pending_chunks(dev) == 0
+    };
+    if !drained {
+        return;
+    }
+    let route = Route::Outbox(rc.outbox.clone());
+    match after_flush(then, dev, &route, shared) {
+        Step::Continue => rc.mode = ConnMode::Open,
+        Step::End(reason) => begin_close(rc, reason, shared),
+        Step::BackpressurePause | Step::Flush(_) => {
+            unreachable!("after_flush returns Continue or End")
+        }
+    }
+}
+
+/// Runs the exit bookkeeping (once) and switches to `Closing`.
+fn begin_close(rc: &mut RConn, reason: ExitReason, shared: &Shared) {
+    if !rc.finished {
+        finish_connection(&rc.state, reason, shared);
+        rc.finished = true;
+    }
+    // No new frames can matter now (the route is gone); frames already
+    // queued — the goodbye — still flush below.
+    rc.outbox.dead.store(true, Ordering::Release);
+    if rc.mode != ConnMode::Closing {
+        rc.mode = ConnMode::Closing;
+        // Bytes already buffered count against the courtesy budget.
+        rc.drained = rc.drained.saturating_add(rc.conn.buffered_len());
+    }
+}
+
+/// Moves queued outbox frames into the connection's write buffer.
+fn pump_outbox(rc: &mut RConn, scratch: &mut Scratch) {
+    let mut frames = rc.outbox.frames.lock().expect("conn outbox");
+    while let Some(frame) = frames.pop_front() {
+        scratch.encode.clear();
+        frame.encode_into(&mut scratch.encode);
+        rc.conn.queue(&scratch.encode);
+    }
+}
+
+/// Closing-mode courtesy drain: read and discard inbound bytes so the
+/// close is a FIN, not a RST that could destroy the final reply.
+/// Bounded by one maximum frame; arrival re-arms the quiet deadline.
+fn drain_courtesy(rc: &mut RConn, config: &ServerConfig) {
+    let mut buf = [0u8; 4096];
+    while rc.drained < MAX_FRAME_LEN {
+        let mut stream = rc.conn.stream();
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                rc.saw_eof = true;
+                return;
+            }
+            Ok(n) => {
+                rc.drained += n;
+                if rc.close_deadline.is_some() {
+                    rc.close_deadline = Some(Instant::now() + config.poll_interval);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                rc.saw_eof = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Arms the closing quiet deadline once everything owed has reached
+/// the socket.
+fn arm_close_deadline(rc: &mut RConn, config: &ServerConfig) {
+    if rc.mode == ConnMode::Closing
+        && rc.close_deadline.is_none()
+        && !rc.conn.wants_write()
+        && rc.outbox.frames.lock().expect("conn outbox").is_empty()
+    {
+        rc.close_deadline = Some(Instant::now() + config.poll_interval);
+    }
+}
+
+/// Whether a closing connection is done: everything flushed, and the
+/// peer hung up, exhausted the courtesy budget, or went quiet.
+fn closing_complete(rc: &RConn) -> bool {
+    rc.mode == ConnMode::Closing
+        && !rc.conn.wants_write()
+        && rc.outbox.frames.lock().expect("conn outbox").is_empty()
+        && (rc.saw_eof
+            || rc.drained >= MAX_FRAME_LEN
+            || rc.close_deadline.is_some_and(|d| Instant::now() >= d))
+}
+
+/// Once-per-poll maintenance across all owned connections.
+fn tick(
+    slab: &mut Slab<RConn>,
+    reactor: &Reactor,
+    shared: &Shared,
+    config: &ServerConfig,
+    scratch: &mut Scratch,
+) {
+    let now = Instant::now();
+    for token in slab.tokens() {
+        let keep = match slab.get_mut(token) {
+            Some(rc) => {
+                match rc.mode {
+                    ConnMode::Open => {
+                        // Idle budget applies only at a frame boundary:
+                        // a mid-frame stall is a slow sender.
+                        if let Some(limit) = config.idle_timeout {
+                            if !rc.conn.mid_frame() && now.duration_since(rc.last_activity) >= limit
+                            {
+                                shared.counters.idle_disconnects.inc();
+                                begin_close(rc, ExitReason::Abrupt, shared);
+                            }
+                        }
+                    }
+                    ConnMode::PausedFull => {
+                        let resume = match rc.state.device {
+                            Some(dev) => {
+                                let core = shared.core.lock().expect("core lock");
+                                !core.fleet.contains(dev)
+                                    || core.fleet.pending_chunks(dev)
+                                        < config.fleet.max_pending_chunks
+                            }
+                            None => true,
+                        };
+                        if resume {
+                            rc.mode = ConnMode::Open;
+                            // Frames buffered while paused are live.
+                            pump_frames(rc, shared, config, scratch);
+                            if rc.saw_eof
+                                && matches!(rc.mode, ConnMode::Open | ConnMode::PausedFull)
+                            {
+                                begin_close(rc, ExitReason::Abrupt, shared);
+                            }
+                        }
+                    }
+                    ConnMode::Flushing(_) => {
+                        check_flushing(rc, shared);
+                        if rc.mode == ConnMode::Open {
+                            pump_frames(rc, shared, config, scratch);
+                        }
+                    }
+                    ConnMode::Closing => {}
+                }
+                true
+            }
+            None => continue,
+        };
+        finish_pass(slab, reactor, token, keep, shared, config);
+    }
+}
+
+/// Removes a connection: route sends become no-ops, the descriptor
+/// leaves the poller, lifecycle books balance, and — if the protocol
+/// never concluded — the session is parked or evicted as an abrupt
+/// disconnect.
+fn teardown(slab: &mut Slab<RConn>, reactor: &Reactor, token: Token, shared: &Shared) {
+    let Some(rc) = slab.remove(token) else {
+        return;
+    };
+    rc.outbox.dead.store(true, Ordering::Release);
+    let _ = reactor.deregister(rc.conn.raw_fd());
+    if !rc.finished {
+        finish_connection(&rc.state, ExitReason::Abrupt, shared);
+    }
+    shared.counters.open_connections.sub(1);
+    if let Some(o) = eddie_obs::global() {
+        o.journal()
+            .record(JournalEvent::ConnectionClosed { id: rc.conn_id });
+    }
+    // Dropping `rc` closes the socket (FIN — the courtesy drain and
+    // flush already happened for graceful exits).
+}
+
+/// Shutdown sweep: every connection still running gets the shutdown
+/// error and a graceful close, mirroring the threaded reader's
+/// response to the flag.
+fn begin_shutdown(slab: &mut Slab<RConn>, shared: &Shared) {
+    for token in slab.tokens() {
+        if let Some(rc) = slab.get_mut(token) {
+            if rc.mode != ConnMode::Closing {
+                rc.outbox.send(Frame::Err {
+                    code: ErrCode::Shutdown,
+                });
+                begin_close(rc, ExitReason::Shutdown, shared);
+            }
+        }
+    }
+}
+
+/// Fatal-poller bailout: run exit bookkeeping for every connection so
+/// sessions are parked/evicted rather than leaked, then drop sockets.
+fn abort_connections(slab: &mut Slab<RConn>, reactor: &Reactor, shared: &Shared) {
+    for token in slab.tokens() {
+        teardown(slab, reactor, token, shared);
+    }
+}

@@ -38,6 +38,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -91,12 +92,42 @@ impl ModelRegistry {
     }
 }
 
+/// How the server maps connections onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Two threads per connection (reader + writer), as the original
+    /// server ran. Simple, but connection count is thread count.
+    Threaded,
+    /// `EDDIE_REACTORS` (default 1) [`eddie_net`] reactor threads own
+    /// every socket; connection state machines are driven by epoll
+    /// readiness, so thousands of connections cost O(reactors)
+    /// threads. Fleet backpressure becomes an interest-set flip
+    /// instead of a blocked reader.
+    Reactor,
+}
+
+impl Backend {
+    /// The backend `EDDIE_SERVE_BACKEND` selects: `threaded` or
+    /// `reactor` (case-insensitive). Unset or unrecognized values pick
+    /// the reactor — the production default — so every gate exercises
+    /// it unless a run opts out explicitly.
+    pub fn from_env() -> Backend {
+        match std::env::var("EDDIE_SERVE_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("threaded") => Backend::Threaded,
+            _ => Backend::Reactor,
+        }
+    }
+}
+
 /// Tunables of a [`Server`]. Construct via [`ServerConfig::builder`];
 /// the struct is `#[non_exhaustive]` so new tunables (as the chaos and
 /// recovery work added) are not breaking changes.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ServerConfig {
+    /// Threading model for the socket tier; defaults to
+    /// [`Backend::from_env`].
+    pub backend: Backend,
     /// Ingress bounds of the shared fleet (per-device queue caps).
     pub fleet: FleetConfig,
     /// Where to persist periodic session snapshots; `None` disables
@@ -142,6 +173,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            backend: Backend::from_env(),
             fleet: FleetConfig::default(),
             snapshot_path: None,
             snapshot_every: Duration::from_secs(5),
@@ -174,6 +206,13 @@ pub struct ServerConfigBuilder {
 }
 
 impl ServerConfigBuilder {
+    /// Threading model for the socket tier (overrides the
+    /// `EDDIE_SERVE_BACKEND` default).
+    pub fn with_backend(mut self, backend: Backend) -> ServerConfigBuilder {
+        self.config.backend = backend;
+        self
+    }
+
     /// Ingress bounds of the shared fleet.
     pub fn with_fleet(mut self, fleet: FleetConfig) -> ServerConfigBuilder {
         self.config.fleet = fleet;
@@ -435,26 +474,27 @@ pub struct ExportedSession {
 /// the Prometheus exposition and [`ServerReport`] are views of one set
 /// of books.
 #[derive(Debug)]
-struct Counters {
-    connections: Arc<Counter>,
-    bad_frames: Arc<Counter>,
+pub(crate) struct Counters {
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) bad_frames: Arc<Counter>,
     events_sent: Arc<Counter>,
-    chunks_received: Arc<Counter>,
-    chunks_accepted: Arc<Counter>,
-    chunks_busy: Arc<Counter>,
-    duplicate_acks: Arc<Counter>,
+    pub(crate) chunks_received: Arc<Counter>,
+    pub(crate) chunks_accepted: Arc<Counter>,
+    pub(crate) chunks_busy: Arc<Counter>,
+    pub(crate) duplicate_acks: Arc<Counter>,
     snapshots_written: Arc<Counter>,
     snapshots_failed: Arc<Counter>,
-    frames_decoded: Arc<Counter>,
+    pub(crate) frames_decoded: Arc<Counter>,
     sessions_parked: Arc<Counter>,
-    sessions_resumed: Arc<Counter>,
-    events_replayed: Arc<Counter>,
+    pub(crate) sessions_resumed: Arc<Counter>,
+    pub(crate) events_replayed: Arc<Counter>,
     sessions_migrated_out: Arc<Counter>,
     sessions_migrated_in: Arc<Counter>,
-    idle_disconnects: Arc<Counter>,
-    open_connections: Arc<Gauge>,
-    ingest_lag_ns: Arc<Histogram>,
-    next_conn_id: AtomicU64,
+    pub(crate) idle_disconnects: Arc<Counter>,
+    pub(crate) backpressure_pauses: Arc<Counter>,
+    pub(crate) open_connections: Arc<Gauge>,
+    pub(crate) ingest_lag_ns: Arc<Histogram>,
+    pub(crate) next_conn_id: AtomicU64,
 }
 
 impl Counters {
@@ -476,6 +516,7 @@ impl Counters {
             sessions_migrated_out: Arc::new(Counter::new()),
             sessions_migrated_in: Arc::new(Counter::new()),
             idle_disconnects: Arc::new(Counter::new()),
+            backpressure_pauses: Arc::new(Counter::new()),
             open_connections: Arc::new(Gauge::new()),
             ingest_lag_ns: Arc::new(Histogram::new()),
             next_conn_id: AtomicU64::new(0),
@@ -528,6 +569,10 @@ impl Counters {
                 "eddie_serve_idle_disconnects_total",
                 c.idle_disconnects.clone(),
             );
+            r.register_counter(
+                "eddie_serve_backpressure_pauses_total",
+                c.backpressure_pauses.clone(),
+            );
             r.register_gauge("eddie_serve_open_connections", c.open_connections.clone());
             r.register_histogram("eddie_serve_ingest_lag_ns", c.ingest_lag_ns.clone());
         }
@@ -575,28 +620,63 @@ pub struct ServerReport {
     pub sessions_migrated_in: u64,
     /// Connections dropped by the idle timeout.
     pub idle_disconnects: u64,
+    /// Reactor-backend connections that dropped read interest after a
+    /// real `Full` refusal (backpressure as an interest-set flip).
+    /// Always zero on the threaded backend, whose blocked reader *is*
+    /// the backpressure.
+    pub backpressure_pauses: u64,
     /// Fleet statistics at shutdown (shed totals survive eviction).
     pub final_stats: FleetStats,
 }
 
+/// Where a device's event frames go: the connection that owns it.
+/// The threaded backend routes to the writer thread's channel; the
+/// reactor backend routes to a [`crate::reactor::ConnOutbox`], whose
+/// send marks the connection dirty and wakes its reactor.
+#[derive(Clone)]
+pub(crate) enum Route {
+    /// Unbounded channel drained by a per-connection writer thread.
+    Channel(mpsc::Sender<Frame>),
+    /// Reactor-owned outbox flushed by the connection's event loop.
+    Outbox(Arc<crate::reactor::ConnOutbox>),
+}
+
+impl Route {
+    /// Queues a frame for the connection. Errors (a connection torn
+    /// down mid-route) are dropped — the exit bookkeeping evicts or
+    /// parks the session regardless.
+    pub(crate) fn send(&self, frame: Frame) {
+        match self {
+            Route::Channel(tx) => {
+                let _ = tx.send(frame);
+            }
+            Route::Outbox(outbox) => outbox.send(frame),
+        }
+    }
+}
+
 /// Everything the server's threads share.
-struct Shared {
-    core: Mutex<Core>,
-    registry: ModelRegistry,
-    shutdown: AtomicBool,
-    counters: Counters,
+pub(crate) struct Shared {
+    pub(crate) core: Mutex<Core>,
+    pub(crate) registry: ModelRegistry,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) counters: Counters,
     /// Scratch buffer for [`ServerHandle::fleet_stats`], so polling
     /// stats allocates outside the core lock (and, steady-state, not
     /// at all inside it).
     stats_scratch: Mutex<FleetStats>,
+    /// Wakers of the live reactor threads (empty on the threaded
+    /// backend), so [`ServerHandle::shutdown`] interrupts blocked
+    /// polls instead of waiting out their timeout.
+    pub(crate) reactor_wakers: Mutex<Vec<eddie_net::Waker>>,
 }
 
 /// The single-mutex heart of the server: the fleet plus the routing
 /// table from device index to connection outbox, plus the book of
 /// resumable sessions.
-struct Core {
-    fleet: Fleet,
-    routes: HashMap<usize, mpsc::Sender<Frame>>,
+pub(crate) struct Core {
+    pub(crate) fleet: Fleet,
+    pub(crate) routes: HashMap<usize, Route>,
     model_ids: HashMap<usize, String>,
     /// Resumable sessions by token. Entries persist across the
     /// connections that carry them; the tail keeps filling while the
@@ -665,6 +745,11 @@ impl ServerHandle {
     /// from [`Server::run`].
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Reactor threads may be parked in a poll; wake them so the
+        // flag is observed immediately.
+        for waker in self.shared.reactor_wakers.lock().expect("wakers").iter() {
+            waker.wake();
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -920,6 +1005,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 counters: Counters::new(),
                 stats_scratch: Mutex::new(FleetStats::default()),
+                reactor_wakers: Mutex::new(Vec::new()),
             }),
             config,
             addr,
@@ -943,7 +1029,9 @@ impl Server {
     /// Serves until [`ServerHandle::shutdown`]: accepts connections,
     /// runs the drain loop, persists periodic snapshots, and on
     /// shutdown joins every connection before returning the final
-    /// report.
+    /// report. The connection tier is chosen by
+    /// [`ServerConfig::backend`]: thread-per-connection, or a fixed
+    /// pool of nonblocking reactor threads.
     pub fn run(self) -> io::Result<ServerReport> {
         let Server {
             listener,
@@ -951,6 +1039,7 @@ impl Server {
             config,
             ..
         } = self;
+        let config = Arc::new(config);
 
         let drain_stop = Arc::new(AtomicBool::new(false));
         let drain_thread = {
@@ -960,42 +1049,14 @@ impl Server {
             std::thread::spawn(move || drain_loop(&shared, &config, &stop))
         };
 
-        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !shared.shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    shared.counters.connections.inc();
-                    let shared = shared.clone();
-                    let config = config.clone();
-                    conns.push(std::thread::spawn(move || {
-                        handle_connection(stream, &shared, &config);
-                    }));
-                    conns.retain(|h| !h.is_finished());
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(config.poll_interval);
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    // Fatal listener error: initiate shutdown, then report.
-                    shared.shutdown.store(true, Ordering::SeqCst);
-                    for h in conns {
-                        let _ = h.join();
-                    }
-                    drain_stop.store(true, Ordering::SeqCst);
-                    let _ = drain_thread.join();
-                    return Err(e);
-                }
-            }
-        }
+        let served = match config.backend {
+            Backend::Threaded => run_threaded(listener, &shared, &config),
+            Backend::Reactor => crate::reactor::run_reactors(listener, &shared, &config),
+        };
 
-        // Graceful shutdown: connections observe the flag within one
-        // read timeout, evict their sessions, and exit.
-        for h in conns {
-            let _ = h.join();
-        }
         drain_stop.store(true, Ordering::SeqCst);
         let _ = drain_thread.join();
+        served?;
 
         // Final snapshot generation (normally empty after clean
         // eviction, but crash-recovery readers expect the file).
@@ -1003,26 +1064,79 @@ impl Server {
             persist_now(&shared, &config);
         }
 
-        let final_stats = shared.core.lock().expect("core lock").fleet.stats();
-        let c = &shared.counters;
-        Ok(ServerReport {
-            connections: c.connections.value(),
-            bad_frames: c.bad_frames.value(),
-            events_sent: c.events_sent.value(),
-            chunks_received: c.chunks_received.value(),
-            chunks_accepted: c.chunks_accepted.value(),
-            chunks_busy: c.chunks_busy.value(),
-            duplicate_acks: c.duplicate_acks.value(),
-            snapshots_written: c.snapshots_written.value(),
-            snapshots_failed: c.snapshots_failed.value(),
-            sessions_parked: c.sessions_parked.value(),
-            sessions_resumed: c.sessions_resumed.value(),
-            events_replayed: c.events_replayed.value(),
-            sessions_migrated_out: c.sessions_migrated_out.value(),
-            sessions_migrated_in: c.sessions_migrated_in.value(),
-            idle_disconnects: c.idle_disconnects.value(),
-            final_stats,
-        })
+        Ok(build_report(&shared))
+    }
+}
+
+/// Accept loop for the thread-per-connection backend: a reader and a
+/// writer thread per connection, torn down as clients leave.
+fn run_threaded(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    config: &Arc<ServerConfig>,
+) -> io::Result<()> {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut served = Ok(());
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.connections.inc();
+                let shared = shared.clone();
+                let config = config.clone();
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, &shared, &config);
+                }));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Park in the kernel until a connection is pending
+                // (bounded so the shutdown flag is still polled),
+                // instead of sleeping blind between accept attempts.
+                let timeout_ms = config.poll_interval.as_millis().clamp(1, 50) as i32;
+                let _ = eddie_net::sys::wait_readable(listener.as_raw_fd(), timeout_ms);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Fatal listener error: initiate shutdown, join
+                // everything below, then report.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                served = Err(e);
+                break;
+            }
+        }
+    }
+
+    // Graceful shutdown: connections observe the flag within one
+    // read timeout, evict their sessions, and exit.
+    for h in conns {
+        let _ = h.join();
+    }
+    served
+}
+
+/// Snapshots every counter (plus the fleet's own statistics) into the
+/// final [`ServerReport`]. Shared by both backends.
+fn build_report(shared: &Shared) -> ServerReport {
+    let final_stats = shared.core.lock().expect("core lock").fleet.stats();
+    let c = &shared.counters;
+    ServerReport {
+        connections: c.connections.value(),
+        bad_frames: c.bad_frames.value(),
+        events_sent: c.events_sent.value(),
+        chunks_received: c.chunks_received.value(),
+        chunks_accepted: c.chunks_accepted.value(),
+        chunks_busy: c.chunks_busy.value(),
+        duplicate_acks: c.duplicate_acks.value(),
+        snapshots_written: c.snapshots_written.value(),
+        snapshots_failed: c.snapshots_failed.value(),
+        sessions_parked: c.sessions_parked.value(),
+        sessions_resumed: c.sessions_resumed.value(),
+        events_replayed: c.events_replayed.value(),
+        sessions_migrated_out: c.sessions_migrated_out.value(),
+        sessions_migrated_in: c.sessions_migrated_in.value(),
+        idle_disconnects: c.idle_disconnects.value(),
+        backpressure_pauses: c.backpressure_pauses.value(),
+        final_stats,
     }
 }
 
@@ -1060,11 +1174,11 @@ fn drain_loop(shared: &Shared, config: &ServerConfig, stop: &AtomicBool) {
                             }
                         }
                     }
-                    if let Some(tx) = core.routes.get(&idx) {
+                    if let Some(route) = core.routes.get(&idx) {
                         for ev in evs {
-                            // A send error means the writer is gone
-                            // (connection died); the reader will evict.
-                            let _ = tx.send(Frame::from_stream_event(ev));
+                            // A dead connection swallows the frame;
+                            // its exit bookkeeping evicts or parks.
+                            route.send(Frame::from_stream_event(ev));
                         }
                         shared.counters.events_sent.add(evs.len() as u64);
                     }
@@ -1229,18 +1343,29 @@ fn write_snapshot_with_faults(
     ok
 }
 
-/// Per-connection protocol state.
-struct ConnState {
-    device: Option<DeviceId>,
+/// Per-connection protocol state, shared by both backends.
+pub(crate) struct ConnState {
+    pub(crate) device: Option<DeviceId>,
     /// Resume token when the session was opened with
     /// `HelloResumable` or reclaimed with `Resume`.
-    token: Option<u64>,
-    expected_seq: u64,
+    pub(crate) token: Option<u64>,
+    pub(crate) expected_seq: u64,
+}
+
+impl ConnState {
+    /// A fresh connection: no session yet.
+    pub(crate) fn new() -> ConnState {
+        ConnState {
+            device: None,
+            token: None,
+            expected_seq: 0,
+        }
+    }
 }
 
 /// How a connection's read loop ended — decides eviction vs parking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ExitReason {
+pub(crate) enum ExitReason {
     /// The client said goodbye (`Close`) or never had a session;
     /// evict.
     Clean,
@@ -1250,6 +1375,105 @@ enum ExitReason {
     Abrupt,
     /// Server shutdown; evict.
     Shutdown,
+}
+
+/// What to run once a [`Step::Flush`] completes (the device's queue
+/// has fully drained and every event is in the outbox).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlushThen {
+    /// Report the total window count (`Finish`); the connection
+    /// continues afterwards.
+    Finished,
+    /// Graceful goodbye (`Close`); the connection ends cleanly.
+    Close,
+}
+
+/// What [`handle_frame`] asks the driving backend to do next. The
+/// protocol state machine is backend-agnostic: the threaded reader
+/// maps `Flush` to a blocking wait and ignores `BackpressurePause`
+/// (its blocked read *is* the backpressure); the reactor maps `Flush`
+/// to a `Flushing` connection mode and `BackpressurePause` to dropping
+/// readable interest until the queue drains.
+pub(crate) enum Step {
+    /// Keep reading frames.
+    Continue,
+    /// Keep the connection, but the fleet refused a chunk with a real
+    /// `Full` (not an injected storm): stop reading until the device's
+    /// queue has room again, converting go-back-N retry storms into
+    /// TCP backpressure.
+    BackpressurePause,
+    /// Wait until the device's pending chunks hit zero, then apply
+    /// [`after_flush`].
+    Flush(FlushThen),
+    /// The connection is over; run exit bookkeeping with this reason.
+    End(ExitReason),
+}
+
+/// Completes a [`Step::Flush`]: the queue is empty, so every event for
+/// accepted chunks is already in the outbox (events are routed under
+/// the same lock as draining).
+pub(crate) fn after_flush(then: FlushThen, dev: DeviceId, route: &Route, shared: &Shared) -> Step {
+    match then {
+        FlushThen::Finished => {
+            let windows = {
+                let core = shared.core.lock().expect("core lock");
+                // Parked-aware: a cold-parked session reports its
+                // progress from resident metadata, no thaw needed.
+                core.fleet.windows_observed(dev).map_or(0, |n| n as u64)
+            };
+            route.send(Frame::Finished { windows });
+            Step::Continue
+        }
+        FlushThen::Close => Step::End(ExitReason::Clean),
+    }
+}
+
+/// Exit bookkeeping, atomic with routing so no events go to a dead
+/// connection: an abrupt exit *parks* a resumable session (it stays
+/// in the fleet, its tail keeps filling, and a `Resume` can reclaim
+/// it until the linger expires); everything else evicts.
+pub(crate) fn finish_connection(state: &ConnState, reason: ExitReason, shared: &Shared) {
+    let Some(dev) = state.device else {
+        return;
+    };
+    let park = reason == ExitReason::Abrupt && state.token.is_some();
+    let mut core = shared.core.lock().expect("core lock");
+    let core = &mut *core;
+    // The connection only owns its slot while the device-token
+    // bookkeeping still agrees with it: after a live migration the
+    // export has already torn the session down, and the device
+    // index may since have been re-admitted to a different
+    // session whose route and token must not be touched here.
+    let owns = core.device_tokens.get(&dev.index()).copied() == state.token;
+    // An export in flight owns the teardown: parking or evicting
+    // underneath it would destroy the session mid-capture.
+    let migrating = state
+        .token
+        .and_then(|t| core.resumables.get(&t))
+        .is_some_and(|r| r.migrating);
+    if owns && !migrating {
+        core.routes.remove(&dev.index());
+        if park {
+            if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
+                r.attached = false;
+                r.parked_at = Some(Instant::now());
+            }
+            shared.counters.sessions_parked.inc();
+            if let Some(o) = eddie_obs::global() {
+                o.journal().record(JournalEvent::SessionParked {
+                    device: dev.index() as u64,
+                });
+            }
+        } else {
+            core.model_ids.remove(&dev.index());
+            if let Some(token) = core.device_tokens.remove(&dev.index()) {
+                core.resumables.remove(&token);
+            }
+            if core.fleet.contains(dev) {
+                let _ = core.fleet.remove_session(dev);
+            }
+        }
+    }
 }
 
 /// Runs one connection: protocol state machine on this thread, writer
@@ -1304,57 +1528,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) 
     });
 
     let mut reader = stream;
-    let mut state = ConnState {
-        device: None,
-        token: None,
-        expected_seq: 0,
-    };
-    let reason = read_loop(&mut reader, &outbox, &mut state, shared, config);
+    let mut state = ConnState::new();
+    let route = Route::Channel(outbox.clone());
+    let reason = read_loop(&mut reader, &route, &mut state, shared, config);
 
-    // Exit bookkeeping, atomic with routing so no events go to a dead
-    // connection: an abrupt exit *parks* a resumable session (it stays
-    // in the fleet, its tail keeps filling, and a `Resume` can reclaim
-    // it until the linger expires); everything else evicts.
-    if let Some(dev) = state.device {
-        let park = reason == ExitReason::Abrupt && state.token.is_some();
-        let mut core = shared.core.lock().expect("core lock");
-        let core = &mut *core;
-        // The connection only owns its slot while the device-token
-        // bookkeeping still agrees with it: after a live migration the
-        // export has already torn the session down, and the device
-        // index may since have been re-admitted to a different
-        // session whose route and token must not be touched here.
-        let owns = core.device_tokens.get(&dev.index()).copied() == state.token;
-        // An export in flight owns the teardown: parking or evicting
-        // underneath it would destroy the session mid-capture.
-        let migrating = state
-            .token
-            .and_then(|t| core.resumables.get(&t))
-            .is_some_and(|r| r.migrating);
-        if owns && !migrating {
-            core.routes.remove(&dev.index());
-            if park {
-                if let Some(r) = state.token.and_then(|t| core.resumables.get_mut(&t)) {
-                    r.attached = false;
-                    r.parked_at = Some(Instant::now());
-                }
-                shared.counters.sessions_parked.inc();
-                if let Some(o) = eddie_obs::global() {
-                    o.journal().record(JournalEvent::SessionParked {
-                        device: dev.index() as u64,
-                    });
-                }
-            } else {
-                core.model_ids.remove(&dev.index());
-                if let Some(token) = core.device_tokens.remove(&dev.index()) {
-                    core.resumables.remove(&token);
-                }
-                if core.fleet.contains(dev) {
-                    let _ = core.fleet.remove_session(dev);
-                }
-            }
-        }
-    }
+    finish_connection(&state, reason, shared);
+    drop(route);
     drop(outbox); // writer drains the outbox, flushes, then exits
     let _ = writer.join();
 
@@ -1375,12 +1554,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, config: &ServerConfig) 
     }
 }
 
-/// The reader side of a connection. Returns when the client closes,
-/// errs, times out, or the server shuts down; the reason decides
-/// whether a resumable session is parked or evicted.
+/// The reader side of a threaded connection. Returns when the client
+/// closes, errs, times out, or the server shuts down; the reason
+/// decides whether a resumable session is parked or evicted.
 fn read_loop(
     reader: &mut TcpStream,
-    outbox: &mpsc::Sender<Frame>,
+    route: &Route,
     state: &mut ConnState,
     shared: &Shared,
     config: &ServerConfig,
@@ -1397,14 +1576,14 @@ fn read_loop(
                 return ExitReason::Abrupt;
             }
             FrameRead::Shutdown => {
-                let _ = outbox.send(Frame::Err {
+                route.send(Frame::Err {
                     code: ErrCode::Shutdown,
                 });
                 return ExitReason::Shutdown;
             }
             FrameRead::Malformed => {
                 shared.counters.bad_frames.inc();
-                let _ = outbox.send(Frame::Err {
+                route.send(Frame::Err {
                     code: ErrCode::BadFrame,
                 });
                 // Corruption is a transport fault, not a goodbye: park
@@ -1412,346 +1591,380 @@ fn read_loop(
                 return ExitReason::Abrupt;
             }
         };
-        match frame {
-            hello @ (Frame::Hello { .. } | Frame::HelloResumable { .. }) => {
-                let resumable = matches!(hello, Frame::HelloResumable { .. });
-                let (Frame::Hello {
-                    model_id,
-                    sample_rate,
-                }
-                | Frame::HelloResumable {
-                    model_id,
-                    sample_rate,
-                }) = hello
-                else {
-                    unreachable!("outer arm matched a hello variant")
-                };
-                if state.device.is_some() {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Abrupt;
-                }
-                let Some(model) = shared.registry.get(&model_id) else {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::UnknownModel,
-                    });
-                    return ExitReason::Clean;
-                };
-                let session = match MonitorSession::new(model.clone(), sample_rate) {
-                    Ok(s) => s,
-                    Err(_) => {
-                        let _ = outbox.send(Frame::Err {
-                            code: ErrCode::BadHello,
-                        });
-                        return ExitReason::Clean;
-                    }
-                };
-                let mut core = shared.core.lock().expect("core lock");
-                let core = &mut *core;
-                let dev = core.fleet.add_session(session);
-                core.routes.insert(dev.index(), outbox.clone());
-                core.model_ids.insert(dev.index(), model_id);
-                state.device = Some(dev);
-                if resumable {
-                    let token = core.next_token;
-                    core.next_token += 1;
-                    core.device_tokens.insert(dev.index(), token);
-                    core.resumables.insert(
-                        token,
-                        Resumable {
-                            device: dev,
-                            expected_seq: 0,
-                            tail: VecDeque::new(),
-                            tail_base: 0,
-                            windows_sent: 0,
-                            attached: true,
-                            parked_at: None,
-                            migrating: false,
-                        },
-                    );
-                    state.token = Some(token);
-                    let _ = outbox.send(Frame::Session { token, next_seq: 0 });
-                }
-            }
-            Frame::Resume {
-                token,
-                have_windows,
-            } => {
-                if state.device.is_some() {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Abrupt;
-                }
-                let mut core = shared.core.lock().expect("core lock");
-                let core = &mut *core;
-                if let Some(stub) = core.moved_tokens.get(&token) {
-                    // The session lives on another shard now; point the
-                    // client there with its token intact.
-                    let _ = outbox.send(Frame::Moved {
-                        shard_addr: stub.addr.clone(),
-                        token,
-                    });
-                    return ExitReason::Clean;
-                }
-                let Some(r) = core.resumables.get_mut(&token) else {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::UnknownToken,
-                    });
-                    return ExitReason::Clean;
-                };
-                if r.migrating {
-                    // Mid-export: the destination does not own the
-                    // session yet. A recoverable error makes the client
-                    // back off and retry, by which time the redirect
-                    // stub is installed.
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Clean;
-                }
-                if r.attached || have_windows > r.windows_sent {
-                    // Another connection owns the session, or the
-                    // client claims events we never sent.
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Clean;
-                }
-                if have_windows < r.tail_base {
-                    // The replay window has already dropped events the
-                    // client is missing; a resume would leave a hole.
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ResumeGap,
-                    });
-                    return ExitReason::Clean;
-                }
-                r.attached = true;
-                r.parked_at = None;
-                let dev = r.device;
-                let next_seq = r.expected_seq;
-                // The budget enforcer may have cold-parked the session
-                // while the client was away; revive it now so the first
-                // chunk after the resume is not taxed with the thaw. A
-                // failure stays parked — push_chunk retries lazily and
-                // answers Busy until the spill record is readable.
-                if core.fleet.is_parked(dev) {
-                    let _ = core.fleet.thaw(dev);
-                }
-                let _ = outbox.send(Frame::Session { token, next_seq });
-                // Replay buffered events the client missed, under the
-                // core lock so the drain loop cannot interleave newer
-                // events out of order.
-                let replay_from = (have_windows - r.tail_base) as usize;
-                let mut replayed = 0u64;
-                for f in r.tail.iter().skip(replay_from) {
-                    let _ = outbox.send(f.clone());
-                    replayed += 1;
-                }
-                core.routes.insert(dev.index(), outbox.clone());
-                state.device = Some(dev);
-                state.token = Some(token);
-                state.expected_seq = next_seq;
-                shared.counters.sessions_resumed.inc();
-                shared.counters.events_replayed.add(replayed);
-                if let Some(o) = eddie_obs::global() {
-                    o.journal().record(JournalEvent::SessionResumed {
-                        device: dev.index() as u64,
-                        replayed,
-                    });
-                }
-            }
-            Frame::Chunk { seq, samples } => {
-                shared.counters.chunks_received.inc();
-                let Some(dev) = state.device else {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Abrupt;
-                };
-                if seq < state.expected_seq {
-                    // Duplicate of an accepted chunk: idempotent ack.
-                    shared.counters.duplicate_acks.inc();
-                    let _ = outbox.send(Frame::Ack { seq });
-                } else if seq > state.expected_seq {
-                    // A gap means an earlier chunk was refused; the
-                    // client must resend in order (go-back-N).
-                    shared.counters.chunks_busy.inc();
-                    let _ = outbox.send(Frame::Busy { seq });
-                } else if config.faults.as_ref().is_some_and(|f| f.busy_storm()) {
-                    // Injected busy storm: refuse a chunk the fleet
-                    // would have taken; go-back-N absorbs it.
-                    shared.counters.chunks_busy.inc();
-                    let _ = outbox.send(Frame::Busy { seq });
-                } else {
-                    // A session being exported (or already migrated)
-                    // must not accept chunks the destination shard will
-                    // never see; the gate below refuses or redirects
-                    // them instead of pushing.
-                    enum Ingest {
-                        Push(PushResult),
-                        Frozen,
-                        Moved(String),
-                    }
-                    let outcome = {
-                        // Ingest lag: how long this chunk waits on the
-                        // core lock (drain contention) plus the push.
-                        let _span = Timer::start(
-                            eddie_obs::enabled().then(|| shared.counters.ingest_lag_ns.as_ref()),
-                        );
-                        let mut core = shared.core.lock().expect("core lock");
-                        let core = &mut *core;
-                        match state.token {
-                            Some(t) if core.moved_tokens.contains_key(&t) => {
-                                Ingest::Moved(core.moved_tokens[&t].addr.clone())
-                            }
-                            Some(t) if core.resumables.get(&t).map_or(true, |r| r.migrating) => {
-                                Ingest::Frozen
-                            }
-                            _ => {
-                                let result = core.fleet.push_chunk(dev, samples);
-                                if matches!(result, PushResult::Accepted) {
-                                    // Keep the resumable cursor in sync
-                                    // under the same lock, so a resume
-                                    // always sees the post-push position.
-                                    if let Some(r) =
-                                        state.token.and_then(|t| core.resumables.get_mut(&t))
-                                    {
-                                        r.expected_seq = state.expected_seq + 1;
-                                    }
-                                }
-                                Ingest::Push(result)
-                            }
-                        }
-                    };
-                    match outcome {
-                        Ingest::Push(PushResult::Accepted) => {
-                            shared.counters.chunks_accepted.inc();
-                            let _ = outbox.send(Frame::Ack { seq });
-                            state.expected_seq += 1;
-                        }
-                        Ingest::Push(PushResult::Full) | Ingest::Frozen => {
-                            shared.counters.chunks_busy.inc();
-                            let _ = outbox.send(Frame::Busy { seq });
-                        }
-                        Ingest::Moved(addr) => {
-                            // Counted as busy so the chunk ledger stays
-                            // conserved; the connection stays open so
-                            // every pipelined chunk still in flight is
-                            // read (and answered) rather than lost to
-                            // the close — the client disconnects once
-                            // it reads the first redirect.
-                            shared.counters.chunks_busy.inc();
-                            let _ = outbox.send(Frame::Moved {
-                                shard_addr: addr,
-                                token: state.token.unwrap_or(0),
-                            });
-                        }
-                    }
-                }
-            }
-            Frame::Snapshot => {
-                let Some(dev) = state.device else {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Abrupt;
-                };
-                let persisted =
-                    config.snapshot_path.is_some() && { persist_device(dev, shared, config) };
-                let _ = outbox.send(if persisted {
-                    // Ack carries the count of accepted chunks: the
-                    // stream position the snapshot covers at most.
-                    Frame::Ack {
-                        seq: state.expected_seq,
-                    }
-                } else {
-                    Frame::Err {
-                        code: ErrCode::SnapshotFailed,
-                    }
-                });
-            }
-            Frame::Finish => {
-                let Some(dev) = state.device else {
-                    let _ = outbox.send(Frame::Err {
-                        code: ErrCode::ProtocolViolation,
-                    });
-                    return ExitReason::Abrupt;
-                };
-                // A migrated (or mid-export) session finishes on the
-                // shard that owns it now, not here.
-                {
-                    let core = shared.core.lock().expect("core lock");
-                    if let Some(t) = state.token {
-                        if let Some(stub) = core.moved_tokens.get(&t) {
-                            let _ = outbox.send(Frame::Moved {
-                                shard_addr: stub.addr.clone(),
-                                token: t,
-                            });
-                            return ExitReason::Clean;
-                        }
-                        if core.resumables.get(&t).map_or(true, |r| r.migrating) {
-                            let _ = outbox.send(Frame::Err {
-                                code: ErrCode::ProtocolViolation,
-                            });
-                            return ExitReason::Clean;
-                        }
-                    }
-                }
-                // Flush, then tell the client the total window count
-                // so it can verify it holds the complete stream.
-                // Deliberately does not end the connection: Finish is
-                // idempotent (a duplicated frame just reports the same
-                // total again) and the client follows up with Close.
+        match handle_frame(frame, route, state, shared, config, &mut stats_scratch) {
+            // A blocked reader *is* this backend's backpressure: the
+            // refused chunk got its `Busy`, and go-back-N handles the
+            // rest, so a pause request needs no extra action here.
+            Step::Continue | Step::BackpressurePause => {}
+            Step::Flush(then) => {
+                let dev = state.device.expect("flush steps require a session");
                 flush_device(dev, shared, config);
-                let windows = {
-                    let core = shared.core.lock().expect("core lock");
-                    // Parked-aware: a cold-parked session reports its
-                    // progress from resident metadata, no thaw needed.
-                    core.fleet.windows_observed(dev).map_or(0, |n| n as u64)
-                };
-                let _ = outbox.send(Frame::Finished { windows });
+                if let Step::End(reason) = after_flush(then, dev, route, shared) {
+                    return reason;
+                }
             }
-            Frame::Close => {
-                let Some(dev) = state.device else {
-                    return ExitReason::Clean;
-                };
-                // Flush: wait until the drain loop has consumed the
-                // device's queue. Because events are routed under the
-                // same lock, an empty queue means every event is
-                // already in our outbox.
-                flush_device(dev, shared, config);
-                return ExitReason::Clean;
+            Step::End(reason) => return reason,
+        }
+    }
+}
+
+/// Drives the protocol state machine one frame forward, emitting reply
+/// frames through `route`. Backend-agnostic: everything blocking or
+/// readiness-related is delegated back to the caller via [`Step`].
+pub(crate) fn handle_frame(
+    frame: Frame,
+    route: &Route,
+    state: &mut ConnState,
+    shared: &Shared,
+    config: &ServerConfig,
+    stats_scratch: &mut String,
+) -> Step {
+    match frame {
+        hello @ (Frame::Hello { .. } | Frame::HelloResumable { .. }) => {
+            let resumable = matches!(hello, Frame::HelloResumable { .. });
+            let (Frame::Hello {
+                model_id,
+                sample_rate,
             }
-            Frame::Stats => {
-                // Allowed in any state, including before Hello, so an
-                // operator can scrape a server without a session.
-                let text = match eddie_obs::global() {
-                    Some(o) => {
-                        o.registry().render_prometheus_into(&mut stats_scratch);
-                        stats_scratch.clone()
-                    }
-                    None => String::from("# eddie-obs not installed\n"),
-                };
-                let _ = outbox.send(Frame::StatsReply {
-                    text: clamp_stats_text(text),
-                });
-            }
-            // Server-only frames from a client are protocol violations.
-            Frame::Ack { .. }
-            | Frame::Busy { .. }
-            | Frame::Event { .. }
-            | Frame::Err { .. }
-            | Frame::StatsReply { .. }
-            | Frame::Session { .. }
-            | Frame::Finished { .. }
-            | Frame::Moved { .. } => {
-                let _ = outbox.send(Frame::Err {
+            | Frame::HelloResumable {
+                model_id,
+                sample_rate,
+            }) = hello
+            else {
+                unreachable!("outer arm matched a hello variant")
+            };
+            if state.device.is_some() {
+                route.send(Frame::Err {
                     code: ErrCode::ProtocolViolation,
                 });
-                return ExitReason::Abrupt;
+                return Step::End(ExitReason::Abrupt);
             }
+            let Some(model) = shared.registry.get(&model_id) else {
+                route.send(Frame::Err {
+                    code: ErrCode::UnknownModel,
+                });
+                return Step::End(ExitReason::Clean);
+            };
+            let session = match MonitorSession::new(model.clone(), sample_rate) {
+                Ok(s) => s,
+                Err(_) => {
+                    route.send(Frame::Err {
+                        code: ErrCode::BadHello,
+                    });
+                    return Step::End(ExitReason::Clean);
+                }
+            };
+            let mut core = shared.core.lock().expect("core lock");
+            let core = &mut *core;
+            let dev = core.fleet.add_session(session);
+            core.routes.insert(dev.index(), route.clone());
+            core.model_ids.insert(dev.index(), model_id);
+            state.device = Some(dev);
+            if resumable {
+                let token = core.next_token;
+                core.next_token += 1;
+                core.device_tokens.insert(dev.index(), token);
+                core.resumables.insert(
+                    token,
+                    Resumable {
+                        device: dev,
+                        expected_seq: 0,
+                        tail: VecDeque::new(),
+                        tail_base: 0,
+                        windows_sent: 0,
+                        attached: true,
+                        parked_at: None,
+                        migrating: false,
+                    },
+                );
+                state.token = Some(token);
+                route.send(Frame::Session { token, next_seq: 0 });
+            }
+            Step::Continue
+        }
+        Frame::Resume {
+            token,
+            have_windows,
+        } => {
+            if state.device.is_some() {
+                route.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return Step::End(ExitReason::Abrupt);
+            }
+            let mut core = shared.core.lock().expect("core lock");
+            let core = &mut *core;
+            if let Some(stub) = core.moved_tokens.get(&token) {
+                // The session lives on another shard now; point the
+                // client there with its token intact.
+                route.send(Frame::Moved {
+                    shard_addr: stub.addr.clone(),
+                    token,
+                });
+                return Step::End(ExitReason::Clean);
+            }
+            let Some(r) = core.resumables.get_mut(&token) else {
+                route.send(Frame::Err {
+                    code: ErrCode::UnknownToken,
+                });
+                return Step::End(ExitReason::Clean);
+            };
+            if r.migrating {
+                // Mid-export: the destination does not own the
+                // session yet. A recoverable error makes the client
+                // back off and retry, by which time the redirect
+                // stub is installed.
+                route.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return Step::End(ExitReason::Clean);
+            }
+            if r.attached || have_windows > r.windows_sent {
+                // Another connection owns the session, or the
+                // client claims events we never sent.
+                route.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return Step::End(ExitReason::Clean);
+            }
+            if have_windows < r.tail_base {
+                // The replay window has already dropped events the
+                // client is missing; a resume would leave a hole.
+                route.send(Frame::Err {
+                    code: ErrCode::ResumeGap,
+                });
+                return Step::End(ExitReason::Clean);
+            }
+            r.attached = true;
+            r.parked_at = None;
+            let dev = r.device;
+            let next_seq = r.expected_seq;
+            // The budget enforcer may have cold-parked the session
+            // while the client was away; revive it now so the first
+            // chunk after the resume is not taxed with the thaw. A
+            // failure stays parked — push_chunk retries lazily and
+            // answers Busy until the spill record is readable.
+            if core.fleet.is_parked(dev) {
+                let _ = core.fleet.thaw(dev);
+            }
+            route.send(Frame::Session { token, next_seq });
+            // Replay buffered events the client missed, under the
+            // core lock so the drain loop cannot interleave newer
+            // events out of order.
+            let replay_from = (have_windows - r.tail_base) as usize;
+            let mut replayed = 0u64;
+            for f in r.tail.iter().skip(replay_from) {
+                route.send(f.clone());
+                replayed += 1;
+            }
+            core.routes.insert(dev.index(), route.clone());
+            state.device = Some(dev);
+            state.token = Some(token);
+            state.expected_seq = next_seq;
+            shared.counters.sessions_resumed.inc();
+            shared.counters.events_replayed.add(replayed);
+            if let Some(o) = eddie_obs::global() {
+                o.journal().record(JournalEvent::SessionResumed {
+                    device: dev.index() as u64,
+                    replayed,
+                });
+            }
+            Step::Continue
+        }
+        Frame::Chunk { seq, samples } => {
+            shared.counters.chunks_received.inc();
+            let Some(dev) = state.device else {
+                route.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return Step::End(ExitReason::Abrupt);
+            };
+            if seq < state.expected_seq {
+                // Duplicate of an accepted chunk: idempotent ack.
+                shared.counters.duplicate_acks.inc();
+                route.send(Frame::Ack { seq });
+            } else if seq > state.expected_seq {
+                // A gap means an earlier chunk was refused; the
+                // client must resend in order (go-back-N).
+                shared.counters.chunks_busy.inc();
+                route.send(Frame::Busy { seq });
+            } else if config.faults.as_ref().is_some_and(|f| f.busy_storm()) {
+                // Injected busy storm: refuse a chunk the fleet
+                // would have taken; go-back-N absorbs it. Not real
+                // fleet pressure, so no backpressure pause: the
+                // storm must not freeze an event-driven reader.
+                shared.counters.chunks_busy.inc();
+                route.send(Frame::Busy { seq });
+            } else {
+                // A session being exported (or already migrated)
+                // must not accept chunks the destination shard will
+                // never see; the gate below refuses or redirects
+                // them instead of pushing.
+                enum Ingest {
+                    Push(PushResult),
+                    Frozen,
+                    Moved(String),
+                }
+                let outcome = {
+                    // Ingest lag: how long this chunk waits on the
+                    // core lock (drain contention) plus the push.
+                    let _span = Timer::start(
+                        eddie_obs::enabled().then(|| shared.counters.ingest_lag_ns.as_ref()),
+                    );
+                    let mut core = shared.core.lock().expect("core lock");
+                    let core = &mut *core;
+                    match state.token {
+                        Some(t) if core.moved_tokens.contains_key(&t) => {
+                            Ingest::Moved(core.moved_tokens[&t].addr.clone())
+                        }
+                        Some(t) if core.resumables.get(&t).map_or(true, |r| r.migrating) => {
+                            Ingest::Frozen
+                        }
+                        _ => {
+                            let result = core.fleet.push_chunk(dev, samples);
+                            if matches!(result, PushResult::Accepted) {
+                                // Keep the resumable cursor in sync
+                                // under the same lock, so a resume
+                                // always sees the post-push position.
+                                if let Some(r) =
+                                    state.token.and_then(|t| core.resumables.get_mut(&t))
+                                {
+                                    r.expected_seq = state.expected_seq + 1;
+                                }
+                            }
+                            Ingest::Push(result)
+                        }
+                    }
+                };
+                match outcome {
+                    Ingest::Push(PushResult::Accepted) => {
+                        shared.counters.chunks_accepted.inc();
+                        route.send(Frame::Ack { seq });
+                        state.expected_seq += 1;
+                    }
+                    Ingest::Push(PushResult::Full) => {
+                        // Real fleet backpressure: refuse the chunk
+                        // and ask the backend to stop reading until
+                        // the queue drains.
+                        shared.counters.chunks_busy.inc();
+                        route.send(Frame::Busy { seq });
+                        return Step::BackpressurePause;
+                    }
+                    Ingest::Frozen => {
+                        shared.counters.chunks_busy.inc();
+                        route.send(Frame::Busy { seq });
+                    }
+                    Ingest::Moved(addr) => {
+                        // Counted as busy so the chunk ledger stays
+                        // conserved; the connection stays open so
+                        // every pipelined chunk still in flight is
+                        // read (and answered) rather than lost to
+                        // the close — the client disconnects once
+                        // it reads the first redirect.
+                        shared.counters.chunks_busy.inc();
+                        route.send(Frame::Moved {
+                            shard_addr: addr,
+                            token: state.token.unwrap_or(0),
+                        });
+                    }
+                }
+            }
+            Step::Continue
+        }
+        Frame::Snapshot => {
+            let Some(dev) = state.device else {
+                route.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return Step::End(ExitReason::Abrupt);
+            };
+            let persisted =
+                config.snapshot_path.is_some() && { persist_device(dev, shared, config) };
+            route.send(if persisted {
+                // Ack carries the count of accepted chunks: the
+                // stream position the snapshot covers at most.
+                Frame::Ack {
+                    seq: state.expected_seq,
+                }
+            } else {
+                Frame::Err {
+                    code: ErrCode::SnapshotFailed,
+                }
+            });
+            Step::Continue
+        }
+        Frame::Finish => {
+            if state.device.is_none() {
+                route.send(Frame::Err {
+                    code: ErrCode::ProtocolViolation,
+                });
+                return Step::End(ExitReason::Abrupt);
+            }
+            // A migrated (or mid-export) session finishes on the
+            // shard that owns it now, not here.
+            {
+                let core = shared.core.lock().expect("core lock");
+                if let Some(t) = state.token {
+                    if let Some(stub) = core.moved_tokens.get(&t) {
+                        route.send(Frame::Moved {
+                            shard_addr: stub.addr.clone(),
+                            token: t,
+                        });
+                        return Step::End(ExitReason::Clean);
+                    }
+                    if core.resumables.get(&t).map_or(true, |r| r.migrating) {
+                        route.send(Frame::Err {
+                            code: ErrCode::ProtocolViolation,
+                        });
+                        return Step::End(ExitReason::Clean);
+                    }
+                }
+            }
+            // Flush, then tell the client the total window count
+            // so it can verify it holds the complete stream.
+            // Deliberately does not end the connection: Finish is
+            // idempotent (a duplicated frame just reports the same
+            // total again) and the client follows up with Close.
+            Step::Flush(FlushThen::Finished)
+        }
+        Frame::Close => {
+            if state.device.is_none() {
+                return Step::End(ExitReason::Clean);
+            }
+            // Flush: wait until the drain loop has consumed the
+            // device's queue. Because events are routed under the
+            // same lock, an empty queue means every event is
+            // already in our outbox.
+            Step::Flush(FlushThen::Close)
+        }
+        Frame::Stats => {
+            // Allowed in any state, including before Hello, so an
+            // operator can scrape a server without a session.
+            let text = match eddie_obs::global() {
+                Some(o) => {
+                    o.registry().render_prometheus_into(stats_scratch);
+                    stats_scratch.clone()
+                }
+                None => String::from("# eddie-obs not installed\n"),
+            };
+            route.send(Frame::StatsReply {
+                text: clamp_stats_text(text),
+            });
+            Step::Continue
+        }
+        // Server-only frames from a client are protocol violations.
+        Frame::Ack { .. }
+        | Frame::Busy { .. }
+        | Frame::Event { .. }
+        | Frame::Err { .. }
+        | Frame::StatsReply { .. }
+        | Frame::Session { .. }
+        | Frame::Finished { .. }
+        | Frame::Moved { .. } => {
+            route.send(Frame::Err {
+                code: ErrCode::ProtocolViolation,
+            });
+            Step::End(ExitReason::Abrupt)
         }
     }
 }

@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
 use eddie_inject::{LoopInjector, OpPattern};
 use eddie_serve::{
-    load_sessions, read_frame, write_frame, ErrCode, Frame, ModelRegistry, ReplayClient, Server,
-    ServerConfig, ServerHandle, ServerReport,
+    load_sessions, read_frame, write_frame, Backend, ErrCode, Frame, ModelRegistry, ReplayClient,
+    Server, ServerConfig, ServerHandle, ServerReport,
 };
 use eddie_sim::{InjectionHook, SimConfig, SimResult};
 use eddie_stream::{FleetConfig, MonitorSession, StreamEvent};
@@ -209,6 +209,60 @@ fn busy_backpressure_preserves_equivalence() {
     // come from a Full, so the shed ledger must be non-empty here.
     assert!(report.final_stats.shed_chunks >= 1);
     assert!(report.final_stats.shed_chunks <= report.chunks_busy);
+}
+
+/// On the reactor backend a real `Full` refusal must flip the
+/// connection's interest set (drop readable) rather than block a
+/// thread: the `backpressure_pauses` counter proves the flip happened,
+/// and the resumed stream must still be byte-identical to batch.
+#[test]
+fn reactor_full_queue_flips_interest_and_recovers() {
+    let pipeline = power_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let runs = runs_and_batches(&pipeline, &w, &model);
+    let (r, batch) = &runs[1];
+
+    let config = ServerConfig::builder()
+        .with_backend(Backend::Reactor)
+        .with_fleet(
+            FleetConfig::builder()
+                .with_max_pending_chunks(1)
+                .with_max_pending_samples(1 << 12)
+                .build()
+                .expect("fleet config"),
+        )
+        // Slow the drain loop down so the one-slot queue really fills.
+        .with_drain_idle(Duration::from_millis(2))
+        .build()
+        .expect("server config");
+    let (handle, join) = start_server(model, config);
+
+    let mut client = ReplayClient::connect(handle.addr()).expect("connect");
+    client
+        .hello(MODEL_ID, r.power.sample_rate_hz())
+        .expect("hello");
+    let outcome = client.replay(&r.power.samples, 733).expect("replay");
+
+    assert_stream_matches_batch(&outcome.events, batch);
+    assert!(
+        outcome.busy_replies > 0,
+        "a one-slot queue must refuse at least one chunk"
+    );
+
+    handle.shutdown();
+    let report = join.join().unwrap();
+    assert!(
+        report.backpressure_pauses >= 1,
+        "every real Full must pause reads via an interest-set flip \
+         (busy={}, pauses={})",
+        report.chunks_busy,
+        report.backpressure_pauses
+    );
+    // Pauses come only from real Full refusals, each of which also
+    // counted a Busy reply.
+    assert!(report.backpressure_pauses <= report.chunks_busy);
+    assert_eq!(report.final_stats.active_sessions, 0);
 }
 
 /// Random garbage, zero/oversized length prefixes, bad tags, truncated

@@ -49,6 +49,7 @@ pub use eddie_em as em;
 pub use eddie_exec as exec;
 pub use eddie_inject as inject;
 pub use eddie_isa as isa;
+pub use eddie_net as net;
 pub use eddie_obs as obs;
 pub use eddie_serve as serve;
 pub use eddie_sim as sim;
