@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use eddie_core::{label_windows, raw_rejection_rate, EddieConfig, Pipeline, SignalSource};
+use eddie_core::{label_windows, raw_rejection_rate, EddieConfig, Pipeline};
 use eddie_em::{EmChannel, EmChannelConfig};
 use eddie_inject::{BurstInjector, LoopInjector, OpPattern};
 use eddie_sim::{SimConfig, Simulator};
@@ -24,7 +24,12 @@ fn pipeline() -> Pipeline {
     cfg.hop = 128;
     cfg.candidate_group_sizes = vec![8, 16];
     cfg.min_region_windows = 6;
-    Pipeline::new(sim, cfg, SignalSource::Power)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 /// Figure 1: EM spectrum of one loop (simulate + modulate + STFT).
@@ -137,11 +142,12 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| black_box(table_kernel(&power, Benchmark::Bitcount)))
     });
     let mut em = pipeline();
-    em = Pipeline::new(
-        em.sim_config().clone(),
-        em.eddie_config().clone(),
-        SignalSource::Em(EmChannelConfig::oscilloscope(1)),
-    );
+    em = Pipeline::builder()
+        .sim(em.sim_config().clone())
+        .eddie(em.eddie_config().clone())
+        .em(EmChannelConfig::oscilloscope(1))
+        .build()
+        .expect("valid pipeline");
     g.bench_function("tab1_kernel_em", |b| {
         b.iter(|| black_box(table_kernel(&em, Benchmark::Bitcount)))
     });

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use eddie_core::{EddieConfig, Monitor, Pipeline, SignalSource};
+use eddie_core::{EddieConfig, Monitor, Pipeline};
 use eddie_sim::SimConfig;
 use eddie_workloads::{Benchmark, WorkloadParams};
 
@@ -15,7 +15,12 @@ fn pipeline() -> Pipeline {
     cfg.window_len = 512;
     cfg.hop = 256;
     cfg.candidate_group_sizes = vec![8, 16];
-    Pipeline::new(sim, cfg, SignalSource::Power)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn bench_training(c: &mut Criterion) {

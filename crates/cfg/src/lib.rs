@@ -44,9 +44,11 @@
 mod cfg;
 mod dom;
 mod loops;
+mod region_body;
 mod region_graph;
 
 pub use cfg::{BasicBlock, BlockId, Cfg, CfgError};
 pub use dom::Dominators;
 pub use loops::{LoopForest, NaturalLoop};
+pub use region_body::{RegionBody, RegionBodyError};
 pub use region_graph::{RegionGraph, RegionGraphError, RegionKind, RegionNode};

@@ -1,0 +1,247 @@
+//! Static per-iteration path enumeration for instrumented loop
+//! regions.
+//!
+//! Synthetic fingerprinting (Vedros et al., arXiv 2302.02324) trains
+//! EDDIE's reference sets from CFG-derived signals instead of
+//! instrumented runs of the monitoring target. The static analysis it
+//! needs from this crate is: *which instruction sequences can one loop
+//! iteration of a region execute?* [`RegionBody::analyze`] answers
+//! that by enumerating the simple cycles reachable from the region's
+//! `RegionEnter` marker — each cycle is one candidate per-iteration
+//! instruction path, which `eddie-core` turns into a synthetic power
+//! waveform via the static timing/energy model.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use eddie_isa::{Instr, Program, RegionId};
+
+/// Cap on enumerated per-iteration paths. Data-dependent loops can
+/// have combinatorially many simple cycles; the synthesizer only needs
+/// a representative sample, taken in deterministic DFS order.
+const MAX_PATHS: usize = 16;
+
+/// Cap on DFS work, as explored (path, successor) steps.
+const MAX_STEPS: usize = 100_000;
+
+/// Error from [`RegionBody::analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionBodyError {
+    /// The program declares no `RegionEnter` marker for the region.
+    UnknownRegion(RegionId),
+    /// No cycle is reachable from the marker before the region exit:
+    /// the marker does not bracket a loop.
+    NoCycle(RegionId),
+}
+
+impl fmt::Display for RegionBodyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionBodyError::UnknownRegion(r) => {
+                write!(f, "program declares no RegionEnter marker for {r:?}")
+            }
+            RegionBodyError::NoCycle(r) => {
+                write!(f, "no loop cycle reachable from the {r:?} marker")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionBodyError {}
+
+/// The statically enumerated per-iteration instruction paths of one
+/// instrumented loop region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionBody {
+    /// The analyzed region.
+    pub region: RegionId,
+    /// The `RegionEnter` marker's pc.
+    pub enter_pc: usize,
+    /// Candidate per-iteration paths: each is the pc sequence of one
+    /// simple cycle, rotated to start at its smallest pc, in
+    /// deterministic DFS discovery order, deduplicated, capped at an
+    /// internal limit. Region markers are excluded (timing-neutral).
+    pub paths: Vec<Vec<usize>>,
+    /// Union of the pcs appearing in `paths`.
+    pub pcs: BTreeSet<usize>,
+}
+
+impl RegionBody {
+    /// Enumerates the per-iteration paths of `region`.
+    ///
+    /// Walks control flow from the region's `RegionEnter` marker,
+    /// forking at conditional branches; every simple cycle found
+    /// before the matching `RegionExit` becomes one candidate path.
+    /// The walk is bounded and fully deterministic.
+    pub fn analyze(program: &Program, region: RegionId) -> Result<RegionBody, RegionBodyError> {
+        let enter_pc = program
+            .region_entry(region)
+            .ok_or(RegionBodyError::UnknownRegion(region))?;
+
+        let mut canonical: BTreeSet<Vec<usize>> = BTreeSet::new();
+        let mut paths: Vec<Vec<usize>> = Vec::new();
+        let mut steps = 0usize;
+        // Explicit DFS; each frame owns its path so forks are
+        // independent. Successors are pushed in reverse so the
+        // fall-through/first successor is explored first.
+        let mut stack: Vec<Vec<usize>> = vec![vec![enter_pc]];
+        while let Some(path) = stack.pop() {
+            if paths.len() >= MAX_PATHS || steps >= MAX_STEPS {
+                break;
+            }
+            let &pc = path.last().expect("paths are non-empty");
+            match program[pc] {
+                Instr::RegionExit(r) if r == region => continue,
+                Instr::Halt => continue,
+                _ => {}
+            }
+            let succs = instr_succs(program, pc);
+            for &next in succs.iter().rev() {
+                steps += 1;
+                if let Some(pos) = path.iter().position(|&p| p == next) {
+                    // Cycle closed: the tail from the first occurrence
+                    // of `next` is one iteration.
+                    let cycle = canonical_cycle(program, &path[pos..]);
+                    if !cycle.is_empty() && canonical.insert(cycle.clone()) {
+                        paths.push(cycle);
+                    }
+                } else {
+                    let mut fork = path.clone();
+                    fork.push(next);
+                    stack.push(fork);
+                }
+            }
+        }
+
+        if paths.is_empty() {
+            return Err(RegionBodyError::NoCycle(region));
+        }
+        let pcs = paths.iter().flatten().copied().collect();
+        Ok(RegionBody {
+            region,
+            enter_pc,
+            paths,
+            pcs,
+        })
+    }
+}
+
+/// Rotates a cycle to start at its smallest pc and drops the
+/// timing-neutral region markers, giving a canonical form for
+/// deduplication.
+fn canonical_cycle(program: &Program, cycle: &[usize]) -> Vec<usize> {
+    let Some(min_at) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &pc)| pc)
+        .map(|(i, _)| i)
+    else {
+        return Vec::new();
+    };
+    cycle[min_at..]
+        .iter()
+        .chain(&cycle[..min_at])
+        .copied()
+        .filter(|&pc| !program[pc].is_marker())
+        .collect()
+}
+
+/// Static control-flow successors of the instruction at `pc`.
+fn instr_succs(program: &Program, pc: usize) -> Vec<usize> {
+    match program[pc] {
+        Instr::Halt => Vec::new(),
+        Instr::Jump(t) | Instr::Jal(_, t) => vec![t],
+        Instr::Branch(_, _, _, t) => {
+            if pc + 1 < program.len() {
+                vec![t, pc + 1]
+            } else {
+                vec![t]
+            }
+        }
+        // Indirect jumps are not statically resolvable; treat them as
+        // path terminators (no workload uses them inside regions).
+        Instr::Jr(_) => Vec::new(),
+        _ => {
+            if pc + 1 < program.len() {
+                vec![pc + 1]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eddie_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn single_loop_yields_one_path() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, 8);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let program = b.build().unwrap();
+
+        let body = RegionBody::analyze(&program, RegionId::new(0)).unwrap();
+        assert_eq!(body.paths.len(), 1);
+        // addi + blt, markers excluded.
+        assert_eq!(body.paths[0].len(), 2);
+        assert!(body.pcs.len() == 2);
+    }
+
+    #[test]
+    fn two_sided_branch_yields_two_paths() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, 32);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        b.andi(Reg::R3, Reg::R1, 1);
+        // Even iterations take the long arm, odd the short one.
+        let skip = b.label("skip");
+        b.beq_label(Reg::R3, Reg::R0, skip);
+        b.mul(Reg::R4, Reg::R1, Reg::R1);
+        b.mul(Reg::R4, Reg::R4, Reg::R1);
+        b.bind(skip);
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let program = b.build().unwrap();
+
+        let body = RegionBody::analyze(&program, RegionId::new(0)).unwrap();
+        assert_eq!(body.paths.len(), 2, "{:?}", body.paths);
+        let mut lens: Vec<usize> = body.paths.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![4, 6]);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0).li(Reg::R2, 8);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        b.addi(Reg::R1, Reg::R1, 1).blt_label(Reg::R1, Reg::R2, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let program = b.build().unwrap();
+        let a = RegionBody::analyze(&program, RegionId::new(0)).unwrap();
+        let b2 = RegionBody::analyze(&program, RegionId::new(0)).unwrap();
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn unknown_region_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let program = b.build().unwrap();
+        assert_eq!(
+            RegionBody::analyze(&program, RegionId::new(3)),
+            Err(RegionBodyError::UnknownRegion(RegionId::new(3)))
+        );
+    }
+}

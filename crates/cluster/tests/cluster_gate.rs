@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use eddie_chaos::FaultPlan;
 use eddie_cluster::{Cluster, ClusterConfig, RingConfig};
-use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, TrainedModel};
 use eddie_inject::{LoopInjector, OpPattern};
 use eddie_serve::{ClientConfig, ModelRegistry, ResilientClient, ResilientOutcome, ServerConfig};
 use eddie_sim::{InjectionHook, SimConfig, SimResult};
@@ -40,7 +40,12 @@ const SHARDS: usize = 3;
 fn power_pipeline() -> Pipeline {
     let mut sim = SimConfig::iot_inorder();
     sim.sample_interval = 8;
-    Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {

@@ -32,11 +32,16 @@
 //! the repository root for complete programs):
 //!
 //! ```no_run
-//! use eddie_core::{EddieConfig, Pipeline, SignalSource};
+//! use eddie_core::{EddieConfig, Pipeline};
 //! use eddie_sim::SimConfig;
 //! use eddie_workloads::{loop_shapes, prepare_shapes};
 //!
-//! let pipeline = Pipeline::new(SimConfig::sesc_ooo(), EddieConfig::default(), SignalSource::Power);
+//! let pipeline = Pipeline::builder()
+//!     .sim(SimConfig::sesc_ooo())
+//!     .eddie(EddieConfig::default())
+//!     .power()
+//!     .build()
+//!     .unwrap();
 //! let program = loop_shapes(8);
 //! let model = pipeline
 //!     .train(&program, |m, seed| prepare_shapes(m, seed, 8), &[1, 2, 3, 4, 5])
@@ -59,7 +64,9 @@ mod parametric;
 mod pipeline;
 mod signal;
 mod sts;
+mod synthetic;
 mod training;
+mod training_source;
 
 pub use config::EddieConfig;
 pub use error::{BoxedSource, Error, ErrorKind};
@@ -68,9 +75,11 @@ pub use label::label_windows;
 pub use metrics::{MonitorOutcome, RunMetrics};
 pub use monitor::{Monitor, MonitorError, MonitorEvent, MonitorState};
 pub use parametric::ParametricDetector;
-pub use pipeline::{Pipeline, SignalSource};
+pub use pipeline::{Pipeline, PipelineBuilder, SignalSource};
 pub use signal::WindowMapping;
 pub use sts::Sts;
+pub use synthetic::{Synthetic, SyntheticTrainConfig};
 pub use training::{
     raw_rejection_rate, train_from_labeled, LabeledRun, RegionModel, TrainError, TrainedModel,
 };
+pub use training_source::{Instrumented, TrainingSource};

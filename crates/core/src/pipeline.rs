@@ -1,18 +1,25 @@
+use std::sync::{Arc, Mutex};
+
+use eddie_cfg::RegionGraph;
+use eddie_dsp::{DspStage, SvdDenoiser, SvdDenoiserConfig};
 use eddie_em::{EmChannel, EmChannelConfig};
 use eddie_isa::Program;
-use eddie_sim::{InjectionHook, Machine, SimConfig, SimResult, Simulator};
+use eddie_sim::{InjectionHook, Machine, PowerTrace, SimConfig, SimResult, Simulator};
 
+use crate::error::{Error, ErrorKind};
 use crate::label::label_windows;
 use crate::metrics::{compute_metrics, MonitorOutcome};
 use crate::signal::{stss_from_em, stss_from_power};
-use crate::training::{train_from_labeled, LabeledRun, TrainError, TrainedModel};
+use crate::training::{TrainError, TrainedModel};
+use crate::training_source::{Instrumented, TrainingSource};
 use crate::{EddieConfig, Monitor, MonitorEvent, Sts, WindowMapping};
 
 /// Which signal EDDIE observes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SignalSource {
     /// The simulator's power trace directly — the paper's §5.3 setup
     /// ("EDDIE's analysis of the simulator-generated power signal").
+    #[default]
     Power,
     /// Through the equivalent-baseband EM channel — the paper's §5.1
     /// device setup. Each run derives its own noise seed from the
@@ -20,23 +27,166 @@ pub enum SignalSource {
     Em(EmChannelConfig),
 }
 
-/// The end-to-end EDDIE harness: simulate → signal → STS → train /
-/// monitor, mirroring the paper's experimental flow.
+/// The region graph derived for the most recent program, so repeated
+/// `train`/`monitor` calls on the same program skip the CFG analysis.
+#[derive(Debug)]
+struct CachedGraph {
+    program: Program,
+    graph: Arc<RegionGraph>,
+}
+
+/// The end-to-end EDDIE harness: simulate → signal → DSP stage chain →
+/// STS → train / monitor, mirroring the paper's experimental flow.
+///
+/// Construct with [`Pipeline::builder`]:
+///
+/// ```no_run
+/// use eddie_core::{EddieConfig, Pipeline};
+/// use eddie_dsp::SvdDenoiserConfig;
+/// use eddie_sim::SimConfig;
+///
+/// let pipeline = Pipeline::builder()
+///     .sim(SimConfig::iot_inorder())
+///     .eddie(EddieConfig::quick())
+///     .em(eddie_em::EmChannelConfig::sdr(7))
+///     .denoise(SvdDenoiserConfig::new())
+///     .build()?;
+/// # Ok::<(), eddie_core::Error>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     sim_config: SimConfig,
     eddie: EddieConfig,
     source: SignalSource,
+    stages: Vec<Arc<dyn DspStage>>,
+    // Shared across clones: a sweep cloning one template pipeline per
+    // variant still derives each program's graph once.
+    graph_cache: Arc<Mutex<Option<CachedGraph>>>,
+}
+
+/// One queued entry of the builder's stage chain. Denoiser configs are
+/// kept unvalidated until [`PipelineBuilder::build`] so the builder
+/// itself never fails.
+#[derive(Debug, Clone)]
+enum StagePlan {
+    Custom(Arc<dyn DspStage>),
+    Denoise(SvdDenoiserConfig),
+}
+
+/// Builder for [`Pipeline`]: set the simulator and detector
+/// configurations, pick a signal source (default: the raw power
+/// trace), append DSP stages, then [`build`](PipelineBuilder::build).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    sim_config: Option<SimConfig>,
+    eddie: Option<EddieConfig>,
+    source: SignalSource,
+    stages: Vec<StagePlan>,
+}
+
+impl PipelineBuilder {
+    /// Sets the simulator configuration (required).
+    pub fn sim(mut self, sim_config: SimConfig) -> PipelineBuilder {
+        self.sim_config = Some(sim_config);
+        self
+    }
+
+    /// Sets the detector configuration (required).
+    pub fn eddie(mut self, eddie: EddieConfig) -> PipelineBuilder {
+        self.eddie = Some(eddie);
+        self
+    }
+
+    /// Sets the signal source explicitly.
+    pub fn source(mut self, source: SignalSource) -> PipelineBuilder {
+        self.source = source;
+        self
+    }
+
+    /// Observes the simulator's power trace directly (§5.3 setup).
+    /// This is the default.
+    pub fn power(self) -> PipelineBuilder {
+        self.source(SignalSource::Power)
+    }
+
+    /// Observes the signal through the equivalent-baseband EM channel
+    /// (§5.1 setup).
+    pub fn em(self, channel: EmChannelConfig) -> PipelineBuilder {
+        self.source(SignalSource::Em(channel))
+    }
+
+    /// Appends a custom DSP stage to the chain. Stages run between the
+    /// STFT and peak extraction, in the order they were added.
+    pub fn stage(mut self, stage: Arc<dyn DspStage>) -> PipelineBuilder {
+        self.stages.push(StagePlan::Custom(stage));
+        self
+    }
+
+    /// Appends an SVD spectrogram denoiser stage (Miller et al., arXiv
+    /// 2212.05643). The config is validated at [`build`] time.
+    ///
+    /// [`build`]: PipelineBuilder::build
+    pub fn denoise(mut self, config: SvdDenoiserConfig) -> PipelineBuilder {
+        self.stages.push(StagePlan::Denoise(config));
+        self
+    }
+
+    /// Validates the configuration and builds the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error of kind [`ErrorKind::InvalidConfig`] when the
+    /// simulator or detector configuration is missing, the detector
+    /// configuration fails [`EddieConfig::validate`], or a queued
+    /// denoiser config is invalid.
+    pub fn build(self) -> Result<Pipeline, Error> {
+        let invalid = |msg: String| Error::new(ErrorKind::InvalidConfig, "eddie-core", msg);
+        let sim_config = self
+            .sim_config
+            .ok_or_else(|| invalid("PipelineBuilder::sim is required".to_string()))?;
+        let eddie = self
+            .eddie
+            .ok_or_else(|| invalid("PipelineBuilder::eddie is required".to_string()))?;
+        eddie.validate().map_err(invalid)?;
+        let mut stages: Vec<Arc<dyn DspStage>> = Vec::with_capacity(self.stages.len());
+        for plan in self.stages {
+            match plan {
+                StagePlan::Custom(stage) => stages.push(stage),
+                StagePlan::Denoise(config) => {
+                    let denoiser = SvdDenoiser::new(config)
+                        .map_err(|e| invalid(format!("denoise stage: {e}")))?;
+                    stages.push(Arc::new(denoiser));
+                }
+            }
+        }
+        Ok(Pipeline {
+            sim_config,
+            eddie,
+            source: self.source,
+            stages,
+            graph_cache: Arc::new(Mutex::new(None)),
+        })
+    }
 }
 
 impl Pipeline {
-    /// Creates a pipeline from a simulator configuration, detector
-    /// configuration and signal source.
+    /// Starts a [`PipelineBuilder`].
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// Positional constructor from the pre-builder API.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Pipeline::builder().sim(..).eddie(..).source(..).build()"
+    )]
     pub fn new(sim_config: SimConfig, eddie: EddieConfig, source: SignalSource) -> Pipeline {
         Pipeline {
             sim_config,
             eddie,
             source,
+            stages: Vec::new(),
+            graph_cache: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -48,6 +198,41 @@ impl Pipeline {
     /// The simulator configuration.
     pub fn sim_config(&self) -> &SimConfig {
         &self.sim_config
+    }
+
+    /// The signal source.
+    pub fn source(&self) -> &SignalSource {
+        &self.source
+    }
+
+    /// The DSP stage chain applied between STFT and peak extraction.
+    pub fn stages(&self) -> &[Arc<dyn DspStage>] {
+        &self.stages
+    }
+
+    /// The region graph for `program`, derived on first use and cached
+    /// on the pipeline (shared across clones) so repeated `train` /
+    /// `monitor` calls skip the CFG analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::BadConfig`] when the region graph cannot
+    /// be derived from the program.
+    pub fn region_graph(&self, program: &Program) -> Result<Arc<RegionGraph>, TrainError> {
+        let mut cache = self.graph_cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cached) = cache.as_ref() {
+            if cached.program == *program {
+                return Ok(Arc::clone(&cached.graph));
+            }
+        }
+        let graph = Arc::new(
+            RegionGraph::from_program(program).map_err(|e| TrainError::BadConfig(e.to_string()))?,
+        );
+        *cache = Some(CachedGraph {
+            program: program.clone(),
+            graph: Arc::clone(&graph),
+        });
+        Ok(graph)
     }
 
     /// Runs the program once (optionally with an injection hook) and
@@ -69,28 +254,35 @@ impl Pipeline {
     /// Converts a simulation result into the STS stream EDDIE analyses.
     /// `run_seed` decorrelates EM channel noise across runs.
     pub fn stss(&self, result: &SimResult, run_seed: u64) -> (Vec<Sts>, WindowMapping) {
+        self.stss_from_trace(&result.power, run_seed)
+    }
+
+    /// Converts a bare power trace into the STS stream EDDIE analyses,
+    /// routing it through the configured signal source and DSP stage
+    /// chain. This is the entry point for signals that did not come
+    /// from a simulation — synthetic fingerprinting feeds its
+    /// CFG-derived waveforms through here so they see the exact same
+    /// receiver and denoising path as instrumented runs.
+    pub fn stss_from_trace(&self, trace: &PowerTrace, run_seed: u64) -> (Vec<Sts>, WindowMapping) {
         match &self.source {
-            SignalSource::Power => stss_from_power(result, &self.eddie),
+            SignalSource::Power => stss_from_power(trace, &self.eddie, &self.stages),
             SignalSource::Em(template) => {
-                let mut cfg = template.clone();
-                cfg.seed = cfg
-                    .seed
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(run_seed);
-                let channel = EmChannel::new(cfg);
-                stss_from_em(result, &channel, &self.eddie)
+                let channel = EmChannel::new(template.for_run(run_seed));
+                stss_from_em(trace, &channel, &self.eddie, &self.stages)
             }
         }
     }
 
-    /// Trains EDDIE: one instrumented run per seed, windows labelled via
-    /// the region trace, then [`train_from_labeled`].
+    /// Trains EDDIE from instrumented runs: one run per seed, windows
+    /// labelled via the region trace, then
+    /// [`train_from_labeled`](crate::train_from_labeled).
     ///
-    /// The per-seed runs execute on the [`eddie_exec`] worker pool
-    /// (width from `EDDIE_THREADS`, see [`eddie_exec::num_threads`]).
-    /// Each run is fully determined by its seed and results are
-    /// collected in seed order, so the trained model is byte-identical
-    /// for every thread count.
+    /// Equivalent to [`Pipeline::train_with`] with an
+    /// [`Instrumented`] source. The per-seed runs execute on the
+    /// [`eddie_exec`] worker pool (width from `EDDIE_THREADS`, see
+    /// [`eddie_exec::num_threads`]). Each run is fully determined by
+    /// its seed and results are collected in seed order, so the
+    /// trained model is byte-identical for every thread count.
     ///
     /// # Errors
     ///
@@ -102,15 +294,22 @@ impl Pipeline {
         prepare: impl Fn(&mut Machine, u64) + Sync,
         seeds: &[u64],
     ) -> Result<TrainedModel, TrainError> {
-        let graph = eddie_cfg::RegionGraph::from_program(program)
-            .map_err(|e| TrainError::BadConfig(e.to_string()))?;
-        let runs = eddie_exec::par_map(seeds, |&seed| {
-            let result = self.simulate(program, |m| prepare(m, seed), None);
-            let (stss, mapping) = self.stss(&result, seed);
-            let labels = label_windows(&result, &graph, &mapping, stss.len());
-            LabeledRun { stss, labels }
-        });
-        train_from_labeled(&runs, &graph, &self.eddie)
+        self.train_with(program, &Instrumented::new(seeds.to_vec(), prepare))
+    }
+
+    /// Trains EDDIE from any [`TrainingSource`] — instrumented runs,
+    /// CFG-derived synthetic signals, or a custom source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] if the source cannot produce sufficient
+    /// training data for this pipeline and program.
+    pub fn train_with(
+        &self,
+        program: &Program,
+        source: &impl TrainingSource,
+    ) -> Result<TrainedModel, TrainError> {
+        source.train(self, program)
     }
 
     /// Monitors one run (optionally under attack) and computes all §5.2
@@ -225,7 +424,12 @@ mod tests {
     fn quick_pipeline() -> Pipeline {
         let mut sim = SimConfig::iot_inorder();
         sim.sample_interval = 8;
-        Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+        Pipeline::builder()
+            .sim(sim)
+            .eddie(EddieConfig::quick())
+            .power()
+            .build()
+            .expect("valid quick pipeline")
     }
 
     #[test]
@@ -302,11 +506,12 @@ mod tests {
     fn em_source_produces_stss_too() {
         let mut sim = SimConfig::iot_inorder();
         sim.sample_interval = 8;
-        let pipeline = Pipeline::new(
-            sim,
-            EddieConfig::quick(),
-            SignalSource::Em(eddie_em::EmChannelConfig::oscilloscope(3)),
-        );
+        let pipeline = Pipeline::builder()
+            .sim(sim)
+            .eddie(EddieConfig::quick())
+            .em(eddie_em::EmChannelConfig::oscilloscope(3))
+            .build()
+            .expect("valid EM pipeline");
         let program = loop_shapes(2);
         let result = pipeline.simulate(&program, |m| prepare_shapes(m, 7, 2), None);
         let (stss, _) = pipeline.stss(&result, 1);
@@ -315,5 +520,82 @@ mod tests {
             stss.iter().any(|s| s.num_peaks() > 0),
             "EM path must surface peaks"
         );
+    }
+
+    #[test]
+    fn builder_requires_sim_and_eddie() {
+        let err = Pipeline::builder().build().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidConfig);
+        let err = Pipeline::builder()
+            .sim(SimConfig::iot_inorder())
+            .build()
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidConfig);
+    }
+
+    #[test]
+    fn builder_rejects_bad_denoiser_config() {
+        let err = Pipeline::builder()
+            .sim(SimConfig::iot_inorder())
+            .eddie(EddieConfig::quick())
+            .denoise(SvdDenoiserConfig::new().with_block_windows(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidConfig);
+    }
+
+    #[test]
+    fn deprecated_constructor_matches_builder() {
+        let mut sim = SimConfig::iot_inorder();
+        sim.sample_interval = 8;
+        #[allow(deprecated)]
+        let old = Pipeline::new(sim.clone(), EddieConfig::quick(), SignalSource::Power);
+        let new = quick_pipeline();
+        let program = loop_shapes(2);
+        let result = old.simulate(&program, |m| prepare_shapes(m, 7, 2), None);
+        assert_eq!(old.stss(&result, 0), new.stss(&result, 0));
+    }
+
+    #[test]
+    fn region_graph_is_cached_and_models_identical() {
+        let pipeline = quick_pipeline();
+        let program = loop_shapes(3);
+        let g1 = pipeline.region_graph(&program).expect("graph derives");
+        let g2 = pipeline.region_graph(&program).expect("graph cached");
+        assert!(Arc::ptr_eq(&g1, &g2), "second call must hit the cache");
+        // A clone shares the cache.
+        let g3 = pipeline.clone().region_graph(&program).expect("shared");
+        assert!(Arc::ptr_eq(&g1, &g3), "clones share the cache");
+
+        // Regression: the cached-graph path trains the same model as a
+        // cold pipeline.
+        let warm = pipeline
+            .train(&program, |m, s| prepare_shapes(m, s, 3), &[1, 2])
+            .expect("warm training succeeds");
+        let cold = quick_pipeline()
+            .train(&program, |m, s| prepare_shapes(m, s, 3), &[1, 2])
+            .expect("cold training succeeds");
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn denoise_stage_runs_in_signal_path() {
+        let mut sim = SimConfig::iot_inorder();
+        sim.sample_interval = 8;
+        let plain = quick_pipeline();
+        let denoised = Pipeline::builder()
+            .sim(sim)
+            .eddie(EddieConfig::quick())
+            .denoise(SvdDenoiserConfig::new().with_rank(1))
+            .build()
+            .expect("valid denoised pipeline");
+        assert_eq!(denoised.stages().len(), 1);
+        assert_eq!(denoised.stages()[0].name(), "svd-denoise");
+        let program = loop_shapes(2);
+        let result = plain.simulate(&program, |m| prepare_shapes(m, 7, 2), None);
+        let (raw, _) = plain.stss(&result, 0);
+        let (den, _) = denoised.stss(&result, 0);
+        assert_eq!(raw.len(), den.len(), "stages must preserve window count");
+        assert_ne!(raw, den, "rank-1 truncation must change the spectra");
     }
 }

@@ -1,6 +1,8 @@
-use eddie_dsp::{Spectrum, Stft, StftConfig};
+use std::sync::Arc;
+
+use eddie_dsp::{DspStage, Spectrum, Stft, StftConfig};
 use eddie_em::EmChannel;
-use eddie_sim::SimResult;
+use eddie_sim::PowerTrace;
 use serde::{Deserialize, Serialize};
 
 use crate::{EddieConfig, Sts};
@@ -49,26 +51,31 @@ impl WindowMapping {
     }
 }
 
-/// Computes the STS stream of a run from its power trace (§5.3 setup).
+/// Computes the STS stream of a power trace (§5.3 setup), applying the
+/// pipeline's DSP stage chain between the STFT and peak extraction.
 pub(crate) fn stss_from_power(
-    result: &SimResult,
+    trace: &PowerTrace,
     config: &EddieConfig,
+    stages: &[Arc<dyn DspStage>],
 ) -> (Vec<Sts>, WindowMapping) {
-    let stft = make_stft(config, result.power.sample_rate_hz());
-    let spectra = stft.process_real(&result.power.samples);
-    finish(result, config, spectra)
+    let stft = make_stft(config, trace.sample_rate_hz());
+    let spectra = stft.process_real(&trace.samples);
+    finish(trace, config, stages, spectra)
 }
 
-/// Computes the STS stream of a run through the EM channel (§5.1 setup).
+/// Computes the STS stream of a power trace through the EM channel
+/// (§5.1 setup), applying the pipeline's DSP stage chain between the
+/// STFT and peak extraction.
 pub(crate) fn stss_from_em(
-    result: &SimResult,
+    trace: &PowerTrace,
     channel: &EmChannel,
     config: &EddieConfig,
+    stages: &[Arc<dyn DspStage>],
 ) -> (Vec<Sts>, WindowMapping) {
-    let baseband = channel.receive(&result.power);
-    let stft = make_stft(config, result.power.sample_rate_hz());
+    let baseband = channel.receive(trace);
+    let stft = make_stft(config, trace.sample_rate_hz());
     let spectra = stft.process_complex(&baseband);
-    finish(result, config, spectra)
+    finish(trace, config, stages, spectra)
 }
 
 fn make_stft(config: &EddieConfig, sample_rate_hz: f64) -> Stft {
@@ -82,16 +89,20 @@ fn make_stft(config: &EddieConfig, sample_rate_hz: f64) -> Stft {
 }
 
 fn finish(
-    result: &SimResult,
+    trace: &PowerTrace,
     config: &EddieConfig,
-    spectra: Vec<Spectrum>,
+    stages: &[Arc<dyn DspStage>],
+    mut spectra: Vec<Spectrum>,
 ) -> (Vec<Sts>, WindowMapping) {
+    for stage in stages {
+        spectra = stage.apply(spectra);
+    }
     let stss = crate::sts::stss_from_spectra(&spectra, &config.peaks);
     let mapping = WindowMapping {
         window_len: config.window_len,
         hop: config.hop,
-        sample_interval: result.power.sample_interval,
-        clock_hz: result.power.clock_hz,
+        sample_interval: trace.sample_interval,
+        clock_hz: trace.clock_hz,
     };
     (stss, mapping)
 }

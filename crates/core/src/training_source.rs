@@ -1,0 +1,105 @@
+//! Pluggable sources of training data for EDDIE's reference sets.
+//!
+//! The paper trains from *instrumented runs*: execute the monitored
+//! program with region markers, label every STS window with the region
+//! that produced it, and build per-region reference sets. That is
+//! [`Instrumented`] — the default behind [`Pipeline::train`].
+//!
+//! Synthetic fingerprinting (Vedros et al., arXiv 2302.02324) replaces
+//! the instrumented runs with CFG-derived synthetic region signals —
+//! see [`Synthetic`](crate::Synthetic) — cutting per-program training
+//! cost to a static analysis plus waveform synthesis, with zero runs
+//! of the monitoring target. Both implement [`TrainingSource`], so
+//! [`Pipeline::train_with`] accepts either (or a custom source).
+
+use eddie_isa::Program;
+use eddie_sim::Machine;
+
+use crate::label::label_windows;
+use crate::pipeline::Pipeline;
+use crate::training::{train_from_labeled, LabeledRun, TrainError, TrainedModel};
+
+/// A strategy for producing a [`TrainedModel`] for a program on a
+/// given pipeline.
+///
+/// Implementations must be deterministic: the same pipeline, program
+/// and source state must produce a byte-identical model at every
+/// worker-pool width.
+pub trait TrainingSource {
+    /// A short stable name for logs and tables.
+    fn name(&self) -> &str;
+
+    /// Trains a model for `program` using `pipeline`'s simulator,
+    /// signal path and detector configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the region graph cannot be derived
+    /// or the source cannot produce sufficient training data.
+    fn train(&self, pipeline: &Pipeline, program: &Program) -> Result<TrainedModel, TrainError>;
+}
+
+/// The paper's training path: one instrumented simulation per seed,
+/// windows labelled from the region trace.
+pub struct Instrumented<F> {
+    seeds: Vec<u64>,
+    prepare: F,
+}
+
+impl<F: Fn(&mut Machine, u64) + Sync> Instrumented<F> {
+    /// Creates an instrumented source running one simulation per seed;
+    /// `prepare(machine, seed)` readies each run's initial state.
+    pub fn new(seeds: Vec<u64>, prepare: F) -> Instrumented<F> {
+        Instrumented { seeds, prepare }
+    }
+
+    /// The training seeds, one simulated run each.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+}
+
+impl<F: Fn(&mut Machine, u64) + Sync> TrainingSource for Instrumented<F> {
+    fn name(&self) -> &str {
+        "instrumented"
+    }
+
+    fn train(&self, pipeline: &Pipeline, program: &Program) -> Result<TrainedModel, TrainError> {
+        let graph = pipeline.region_graph(program)?;
+        let runs = eddie_exec::par_map(&self.seeds, |&seed| {
+            let result = pipeline.simulate(program, |m| (self.prepare)(m, seed), None);
+            let (stss, mapping) = pipeline.stss(&result, seed);
+            let labels = label_windows(&result, &graph, &mapping, stss.len());
+            LabeledRun { stss, labels }
+        });
+        train_from_labeled(&runs, &graph, pipeline.eddie_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EddieConfig;
+    use eddie_sim::SimConfig;
+    use eddie_workloads::{loop_shapes, prepare_shapes};
+
+    #[test]
+    fn instrumented_source_matches_pipeline_train() {
+        let mut sim = SimConfig::iot_inorder();
+        sim.sample_interval = 8;
+        let pipeline = Pipeline::builder()
+            .sim(sim)
+            .eddie(EddieConfig::quick())
+            .build()
+            .unwrap();
+        let program = loop_shapes(3);
+        let source = Instrumented::new(vec![1, 2, 3], |m: &mut Machine, s| prepare_shapes(m, s, 3));
+        assert_eq!(source.name(), "instrumented");
+        assert_eq!(source.seeds(), &[1, 2, 3]);
+        let via_source = pipeline.train_with(&program, &source).unwrap();
+        let via_train = pipeline
+            .train(&program, |m, s| prepare_shapes(m, s, 3), &[1, 2, 3])
+            .unwrap();
+        assert_eq!(via_source, via_train);
+    }
+}

@@ -10,7 +10,7 @@
 //! so the ambient-environment path is proven as well as the
 //! programmatic `with_threads` overrides exercised here.
 
-use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, TrainedModel};
 use eddie_em::EmChannelConfig;
 use eddie_exec::with_threads;
 use eddie_inject::{LoopInjector, OpPattern};
@@ -27,15 +27,21 @@ fn quick_sim() -> SimConfig {
 }
 
 fn power_pipeline() -> Pipeline {
-    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn em_pipeline() -> Pipeline {
-    Pipeline::new(
-        quick_sim(),
-        EddieConfig::quick(),
-        SignalSource::Em(EmChannelConfig::oscilloscope(3)),
-    )
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .em(EmChannelConfig::oscilloscope(3))
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {

@@ -13,7 +13,7 @@
 use eddie_cfg::RegionGraph;
 use eddie_core::{
     train_from_labeled, with_kernel_mode, EddieConfig, KernelMode, LabeledRun, Monitor,
-    MonitorEvent, MonitorOutcome, Pipeline, SignalSource, Sts, TrainedModel,
+    MonitorEvent, MonitorOutcome, Pipeline, Sts, TrainedModel,
 };
 use eddie_dsp::Peak;
 use eddie_exec::with_threads;
@@ -220,7 +220,12 @@ fn hook_for(w: &Workload, k: usize) -> Option<Box<dyn InjectionHook>> {
 fn full_pipeline_outcomes_identical_across_kernels_and_threads() {
     // End to end: simulate, STFT, peaks, monitor — clean and injected
     // runs — under every (kernel, worker-pool width) combination.
-    let pipeline = Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power);
+    let pipeline = Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline");
     let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 });
     let model = with_threads(1, || {
         pipeline

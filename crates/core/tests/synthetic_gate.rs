@@ -1,0 +1,111 @@
+//! Synthetic-vs-instrumented training comparison.
+//!
+//! The claim under test (Vedros et al., arXiv 2302.02324, adapted):
+//! a model trained purely from CFG-derived synthetic region signals —
+//! zero instrumented runs of the monitoring target — is *usable*: it
+//! tracks the real program's regions, detects real injections, and its
+//! clean-run behaviour stays within an asserted tolerance of the
+//! instrumented baseline.
+
+use eddie_core::{
+    EddieConfig, MonitorOutcome, Pipeline, Synthetic, SyntheticTrainConfig, TrainedModel,
+};
+use eddie_inject::{LoopInjector, OpPattern};
+use eddie_sim::{InjectionHook, SimConfig};
+use eddie_workloads::{Benchmark, Workload, WorkloadParams};
+
+/// Clean-run false-positive budget for the synthetic model, in
+/// percentage points above the instrumented baseline.
+const FP_TOLERANCE_PCT: f64 = 10.0;
+
+fn quick_sim() -> SimConfig {
+    let mut sim = SimConfig::iot_inorder();
+    sim.sample_interval = 8;
+    sim
+}
+
+fn pipeline() -> Pipeline {
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
+}
+
+fn workload() -> Workload {
+    Benchmark::Bitcount.workload(&WorkloadParams { scale: 1 })
+}
+
+fn strong_hook(w: &Workload, seed: u64) -> Option<Box<dyn InjectionHook>> {
+    let region = w.program().declared_regions().next()?;
+    let pc = w.loop_branch_pc(region)?;
+    Some(Box::new(LoopInjector::new(
+        pc,
+        1.0,
+        OpPattern::loop_payload(8),
+        seed,
+    )))
+}
+
+fn clean_fp_pct(p: &Pipeline, w: &Workload, model: &TrainedModel) -> f64 {
+    let runs: Vec<MonitorOutcome> = (0..3u64)
+        .map(|k| p.monitor(model, w.program(), |m| w.prepare(m, 5001 + k), None))
+        .collect();
+    let total: f64 = runs.iter().map(|r| r.metrics.false_positive_pct).sum();
+    total / runs.len() as f64
+}
+
+#[test]
+fn synthetic_model_usable_within_tolerance_of_instrumented() {
+    let p = pipeline();
+    let w = workload();
+
+    let instrumented = p
+        .train(w.program(), |m, s| w.prepare(m, s), &[1, 2, 3, 4])
+        .expect("instrumented training succeeds");
+    let synthetic = p
+        .train_with(
+            &w.program().clone(),
+            &Synthetic::new(SyntheticTrainConfig::new()),
+        )
+        .expect("synthetic training succeeds");
+
+    // Both models cover the same trained regions.
+    let mut inst_regions: Vec<_> = instrumented.regions.keys().collect();
+    let mut synth_regions: Vec<_> = synthetic.regions.keys().collect();
+    inst_regions.sort();
+    synth_regions.sort();
+    for r in &synth_regions {
+        assert!(
+            inst_regions.contains(r),
+            "synthetic model trained a region the instrumented one did not"
+        );
+    }
+    assert!(
+        !synth_regions.is_empty(),
+        "synthetic model must train at least one region"
+    );
+
+    // Clean-run behaviour: within the asserted tolerance.
+    let inst_fp = clean_fp_pct(&p, &w, &instrumented);
+    let synth_fp = clean_fp_pct(&p, &w, &synthetic);
+    assert!(
+        synth_fp <= inst_fp + FP_TOLERANCE_PCT,
+        "synthetic clean FP {synth_fp:.2}% exceeds instrumented {inst_fp:.2}% + {FP_TOLERANCE_PCT}%"
+    );
+
+    // Detection: the synthetic model catches a real injection.
+    for k in 0..2u64 {
+        let attacked = p.monitor(
+            &synthetic,
+            w.program(),
+            |m| w.prepare(m, 6001 + k),
+            strong_hook(&w, 901 + k),
+        );
+        assert!(
+            attacked.first_anomaly().is_some(),
+            "synthetic model misses injection in attacked run {k}"
+        );
+    }
+}

@@ -25,6 +25,11 @@ pub enum DspError {
         /// What the consistency check found.
         reason: &'static str,
     },
+    /// A stage configuration value failed validation.
+    BadConfig {
+        /// What the validation check found.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DspError {
@@ -38,6 +43,7 @@ impl fmt::Display for DspError {
             }
             DspError::BadSampleRate { rate } => write!(f, "invalid sample rate {rate}"),
             DspError::BadState { reason } => write!(f, "inconsistent streaming state: {reason}"),
+            DspError::BadConfig { reason } => write!(f, "invalid stage configuration: {reason}"),
         }
     }
 }

@@ -53,8 +53,10 @@ mod goertzel;
 mod obs;
 mod peaks;
 mod spectrum;
+mod stage;
 mod stft;
 mod stream;
+mod svd;
 mod window;
 
 pub use cache::{fft_planner, window_coefficients};
@@ -64,6 +66,8 @@ pub use fft::Fft;
 pub use goertzel::{Goertzel, GoertzelBank};
 pub use peaks::{find_peaks, Peak, PeakConfig};
 pub use spectrum::Spectrum;
+pub use stage::{DspStage, StreamingDenoiser, StreamingDenoiserState};
 pub use stft::{Stft, StftConfig};
 pub use stream::{StreamingStft, StreamingStftState};
+pub use svd::{Svd, SvdDenoiser, SvdDenoiserConfig};
 pub use window::WindowKind;

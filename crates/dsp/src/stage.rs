@@ -1,0 +1,211 @@
+//! Composable spectrum-processing stages.
+//!
+//! A [`DspStage`] sits between the STFT and peak extraction: it takes
+//! the spectrum sequence and returns a transformed sequence of the
+//! same length and alignment. `eddie-core` pipelines hold an ordered
+//! chain of stages (`Arc<dyn DspStage>`), so denoisers, whitening
+//! filters or future transforms can be spliced in without touching
+//! the pipeline itself.
+//!
+//! Stages must be *deterministic* (same input, same output, at any
+//! thread count) and *chunk-invariant when wrapped for streaming*:
+//! [`StreamingDenoiser`] shows the pattern, buffering windows until a
+//! full block is available so arbitrary chunking emits byte-identical
+//! spectra to the batch path.
+
+use crate::error::DspError;
+use crate::spectrum::Spectrum;
+use crate::svd::SvdDenoiser;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic transform over the STFT spectrum sequence.
+///
+/// Implementations must preserve the window count and each spectrum's
+/// metadata (`start_sample`, `bin_hz`): downstream short-term-spectrum
+/// extraction indexes windows positionally.
+pub trait DspStage: std::fmt::Debug + Send + Sync {
+    /// A short stable name for logs, tables and debugging.
+    fn name(&self) -> &str;
+
+    /// Transforms the full spectrum sequence (batch path).
+    fn apply(&self, spectra: Vec<Spectrum>) -> Vec<Spectrum>;
+}
+
+/// Serializable state of a [`StreamingDenoiser`], for session
+/// snapshot/restore.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamingDenoiserState {
+    /// Windows received but not yet part of a complete block.
+    pub buffered: Vec<Spectrum>,
+}
+
+/// Streaming wrapper around [`SvdDenoiser`]: buffers spectra until a
+/// full block is available, then emits the denoised block.
+///
+/// Because the batch denoiser is block-based, this wrapper is
+/// chunk-invariant: for any way of splitting a spectrum sequence into
+/// `push` calls, the concatenated output (after [`flush`]) is
+/// byte-identical to [`DspStage::apply`] on the whole sequence.
+/// Without the final `flush`, the emitted spectra are a strict prefix
+/// of the batch output.
+///
+/// [`flush`]: StreamingDenoiser::flush
+#[derive(Debug, Clone)]
+pub struct StreamingDenoiser {
+    denoiser: SvdDenoiser,
+    buffered: Vec<Spectrum>,
+}
+
+impl StreamingDenoiser {
+    /// Wraps a batch denoiser for streaming use.
+    pub fn new(denoiser: SvdDenoiser) -> StreamingDenoiser {
+        StreamingDenoiser {
+            denoiser,
+            buffered: Vec::new(),
+        }
+    }
+
+    /// The wrapped batch denoiser.
+    pub fn denoiser(&self) -> &SvdDenoiser {
+        &self.denoiser
+    }
+
+    /// Number of windows buffered awaiting a complete block.
+    pub fn pending(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Feeds spectra in; returns every complete denoised block they
+    /// unlock (possibly empty).
+    pub fn push(&mut self, spectra: Vec<Spectrum>) -> Vec<Spectrum> {
+        self.buffered.extend(spectra);
+        let block = self.denoiser.config().block_windows;
+        let complete = (self.buffered.len() / block) * block;
+        if complete == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Spectrum> = self.buffered.drain(..complete).collect();
+        for chunk in out.chunks_mut(block) {
+            self.denoiser.denoise_block(chunk);
+        }
+        out
+    }
+
+    /// Denoises and emits the final partial block. After this the
+    /// concatenated `push` + `flush` output equals the batch output.
+    pub fn flush(&mut self) -> Vec<Spectrum> {
+        let mut tail: Vec<Spectrum> = std::mem::take(&mut self.buffered);
+        self.denoiser.denoise_block(&mut tail);
+        tail
+    }
+
+    /// Captures the serializable state (the buffered tail).
+    pub fn state(&self) -> StreamingDenoiserState {
+        StreamingDenoiserState {
+            buffered: self.buffered.clone(),
+        }
+    }
+
+    /// Restores a denoiser from a snapshot taken by
+    /// [`StreamingDenoiser::state`].
+    ///
+    /// Returns [`DspError::BadState`] when the snapshot holds a full
+    /// block or more — a live denoiser would already have emitted it.
+    pub fn from_state(
+        denoiser: SvdDenoiser,
+        state: StreamingDenoiserState,
+    ) -> Result<StreamingDenoiser, DspError> {
+        if state.buffered.len() >= denoiser.config().block_windows {
+            return Err(DspError::BadState {
+                reason: "denoiser snapshot buffers a complete block",
+            });
+        }
+        Ok(StreamingDenoiser {
+            denoiser,
+            buffered: state.buffered,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::SvdDenoiserConfig;
+
+    fn denoiser(block: usize) -> SvdDenoiser {
+        SvdDenoiser::new(
+            SvdDenoiserConfig::new()
+                .with_block_windows(block)
+                .with_rank(1),
+        )
+        .unwrap()
+    }
+
+    fn spectra(n: usize) -> Vec<Spectrum> {
+        let mut state = 1u64;
+        (0..n)
+            .map(|w| Spectrum {
+                power: (0..8)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 40) as f64 / 1e6
+                    })
+                    .collect(),
+                bin_hz: 4.0,
+                start_sample: w * 16,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_any_chunking() {
+        let input = spectra(23);
+        let batch = denoiser(5).apply(input.clone());
+        for chunk in [1usize, 2, 3, 5, 7, 23] {
+            let mut s = StreamingDenoiser::new(denoiser(5));
+            let mut out = Vec::new();
+            for piece in input.chunks(chunk) {
+                out.extend(s.push(piece.to_vec()));
+            }
+            // Pre-flush output is a strict prefix of batch.
+            assert_eq!(out, batch[..out.len()], "chunk {chunk} prefix");
+            out.extend(s.flush());
+            assert_eq!(out, batch, "chunk {chunk} full");
+            assert_eq!(s.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_mid_block() {
+        let input = spectra(13);
+        let batch = denoiser(4).apply(input.clone());
+        let mut s = StreamingDenoiser::new(denoiser(4));
+        let mut out = s.push(input[..6].to_vec());
+        let snap = s.state();
+        assert_eq!(snap.buffered.len(), 2);
+        let mut resumed = StreamingDenoiser::from_state(denoiser(4), snap).unwrap();
+        out.extend(resumed.push(input[6..].to_vec()));
+        out.extend(resumed.flush());
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn from_state_rejects_complete_block() {
+        let state = StreamingDenoiserState {
+            buffered: spectra(4),
+        };
+        assert!(matches!(
+            StreamingDenoiser::from_state(denoiser(4), state),
+            Err(DspError::BadState { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_handles_empty_and_partial_tails() {
+        let mut s = StreamingDenoiser::new(denoiser(4));
+        assert!(s.flush().is_empty());
+        s.push(spectra(2));
+        assert_eq!(s.flush().len(), 2);
+        assert_eq!(s.pending(), 0);
+    }
+}

@@ -1,0 +1,596 @@
+//! Dependency-free singular value decomposition and rank-k
+//! spectrogram denoising.
+//!
+//! Miller et al. (arXiv 2212.05643) recover EM side-channel detection
+//! in noisy RF environments by treating a block of consecutive STFT
+//! windows as a windows×bins *magnitude* matrix, computing its SVD and
+//! keeping only the top-k singular components: program activity is
+//! strongly periodic and concentrates in a few components, while
+//! wideband noise and narrowband interferers spread across the rest.
+//!
+//! The decomposition here is a one-sided (Hestenes) Jacobi SVD —
+//! cyclic plane rotations that orthogonalize the columns of the input,
+//! after which the column norms are the singular values. It needs no
+//! external linear-algebra crate, converges quadratically on the small
+//! blocks the denoiser feeds it, and is bit-deterministic for a fixed
+//! input: the sweep order is fixed, there is no pivoting on runtime
+//! noise, and no randomness anywhere.
+//!
+//! [`SvdDenoiser`] packages the rank-k truncation behind the
+//! [`DspStage`](crate::DspStage) trait so `eddie-core` pipelines can
+//! splice it between the STFT and peak extraction. Denoising is
+//! *block-based* (fixed [`SvdDenoiserConfig::block_windows`] windows
+//! per SVD) which makes the streaming path chunk-invariant by
+//! construction: any chunking of the input produces byte-identical
+//! denoised spectra once the tail is flushed.
+
+use crate::error::DspError;
+use crate::spectrum::Spectrum;
+use crate::stage::DspStage;
+use serde::{Deserialize, Serialize};
+
+/// Convergence tolerance for the Jacobi sweeps: a column pair is
+/// considered orthogonal when `|a_j . a_k| <= EPS * |a_j| * |a_k|`.
+const JACOBI_EPS: f64 = 1e-12;
+
+/// Upper bound on Jacobi sweeps; convergence is quadratic, so the
+/// small spectrogram blocks settle in a handful of sweeps and this is
+/// purely a safety net against pathological inputs.
+const MAX_SWEEPS: usize = 60;
+
+/// A thin singular value decomposition `A ≈ U Σ Vᵀ`.
+///
+/// For an `rows × cols` input with `r = min(rows, cols)`:
+/// `u` is `rows × r`, `sigma` holds the `r` singular values in
+/// descending order, and `v` is `cols × r` (both factors row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `rows × rank` row-major.
+    pub u: Vec<f64>,
+    /// Singular values, descending; length `rank`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `cols × rank` row-major.
+    pub v: Vec<f64>,
+    /// `min(rows, cols)` — the column count of `u` and `v`.
+    pub rank: usize,
+}
+
+impl Svd {
+    /// Computes the thin SVD of a row-major `rows × cols` matrix.
+    ///
+    /// Deterministic for a fixed input: the same bytes in always
+    /// produce the same bytes out, independent of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len() != rows * cols` or either dimension is 0.
+    pub fn compute(a: &[f64], rows: usize, cols: usize) -> Svd {
+        assert!(rows > 0 && cols > 0, "empty matrix");
+        assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+
+        // One-sided Jacobi orthogonalizes *columns*; work on whichever
+        // orientation has the fewer columns so a sweep costs
+        // O(thin² · long) instead of O(long² · thin).
+        let transpose = cols > rows;
+        let (m, n) = if transpose {
+            (cols, rows)
+        } else {
+            (rows, cols)
+        };
+
+        // Column-major working copy: g[j][i] = G[i][j].
+        let mut g: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                (0..m)
+                    .map(|i| {
+                        if transpose {
+                            a[j * cols + i]
+                        } else {
+                            a[i * cols + j]
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Accumulated right factor, also column-major, starts as I.
+        let mut w: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..n).map(|i| f64::from(u8::from(i == j))).collect())
+            .collect();
+
+        for _ in 0..MAX_SWEEPS {
+            let mut converged = true;
+            for j in 0..n.saturating_sub(1) {
+                for k in (j + 1)..n {
+                    let (alpha, beta, gamma) = {
+                        let (cj, ck) = (&g[j], &g[k]);
+                        let mut a2 = 0.0;
+                        let mut b2 = 0.0;
+                        let mut ab = 0.0;
+                        for i in 0..m {
+                            a2 += cj[i] * cj[i];
+                            b2 += ck[i] * ck[i];
+                            ab += cj[i] * ck[i];
+                        }
+                        (a2, b2, ab)
+                    };
+                    if gamma.abs() <= JACOBI_EPS * (alpha * beta).sqrt() || gamma == 0.0 {
+                        continue;
+                    }
+                    converged = false;
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    rotate_pair(&mut g, j, k, c, s);
+                    rotate_pair(&mut w, j, k, c, s);
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+
+        // Column norms are the singular values; normalized columns the
+        // left factor. Sort by descending σ with the original column
+        // index as a deterministic tie-break.
+        let mut order: Vec<(f64, usize)> = g
+            .iter()
+            .enumerate()
+            .map(|(j, col)| (col.iter().map(|x| x * x).sum::<f64>().sqrt(), j))
+            .collect();
+        order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+
+        let r = n;
+        let mut sigma = Vec::with_capacity(r);
+        let mut big = vec![0.0f64; m * r]; // m × r: normalized G columns
+        let mut small = vec![0.0f64; n * r]; // n × r: accumulated rotations
+        for (slot, &(s, j)) in order.iter().enumerate() {
+            sigma.push(s);
+            if s > 0.0 {
+                for i in 0..m {
+                    big[i * r + slot] = g[j][i] / s;
+                }
+            }
+            for i in 0..n {
+                small[i * r + slot] = w[j][i];
+            }
+        }
+
+        if transpose {
+            // We decomposed Aᵀ = big · Σ · smallᵀ, so A = small · Σ · bigᵀ.
+            Svd {
+                u: small,
+                sigma,
+                v: big,
+                rank: r,
+            }
+        } else {
+            Svd {
+                u: big,
+                sigma,
+                v: small,
+                rank: r,
+            }
+        }
+    }
+
+    /// Reconstructs the rank-`k` approximation as a row-major
+    /// `rows × cols` matrix (`k` is clamped to the available rank).
+    pub fn reconstruct(&self, rows: usize, cols: usize, k: usize) -> Vec<f64> {
+        let r = self.rank;
+        assert_eq!(self.u.len(), rows * r, "u shape mismatch");
+        assert_eq!(self.v.len(), cols * r, "v shape mismatch");
+        let k = k.min(r);
+        let mut out = vec![0.0f64; rows * cols];
+        for (i, row) in out.chunks_mut(cols).enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for t in 0..k {
+                    acc += self.sigma[t] * self.u[i * r + t] * self.v[j * r + t];
+                }
+                *cell = acc;
+            }
+        }
+        out
+    }
+
+    /// Smallest rank whose cumulative squared singular values reach
+    /// `threshold` (a fraction in `(0, 1]`) of the total energy.
+    /// Returns at least 1; returns 0 only for an all-zero matrix.
+    pub fn rank_for_energy(&self, threshold: f64) -> usize {
+        let total: f64 = self.sigma.iter().map(|s| s * s).sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let target = threshold * total;
+        let mut acc = 0.0;
+        for (k, s) in self.sigma.iter().enumerate() {
+            acc += s * s;
+            if acc >= target {
+                return k + 1;
+            }
+        }
+        self.rank
+    }
+}
+
+/// Applies the plane rotation `(c, s)` to columns `j` and `k` of a
+/// column-major matrix.
+fn rotate_pair(cols: &mut [Vec<f64>], j: usize, k: usize, c: f64, s: f64) {
+    debug_assert!(j < k);
+    let (head, tail) = cols.split_at_mut(k);
+    let (cj, ck) = (&mut head[j], &mut tail[0]);
+    for i in 0..cj.len() {
+        let x = cj[i];
+        let y = ck[i];
+        cj[i] = c * x - s * y;
+        ck[i] = s * x + c * y;
+    }
+}
+
+/// Configuration for [`SvdDenoiser`].
+///
+/// Marked `#[non_exhaustive]`: construct with [`SvdDenoiserConfig::new`]
+/// (or `default()`) and adjust via the `with_*` builders so future
+/// fields can be added without breaking callers.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvdDenoiserConfig {
+    /// Windows per SVD block. Larger blocks average more noise but add
+    /// latency on the streaming path (a block is emitted only once all
+    /// its windows have arrived).
+    pub block_windows: usize,
+    /// Fixed truncation rank. `None` selects the rank per block via
+    /// [`SvdDenoiserConfig::energy_threshold`].
+    pub rank: Option<usize>,
+    /// When [`SvdDenoiserConfig::rank`] is `None`: keep the smallest
+    /// rank capturing this fraction of squared singular-value energy.
+    pub energy_threshold: f64,
+}
+
+impl Default for SvdDenoiserConfig {
+    fn default() -> SvdDenoiserConfig {
+        SvdDenoiserConfig {
+            block_windows: 32,
+            rank: None,
+            energy_threshold: 0.95,
+        }
+    }
+}
+
+impl SvdDenoiserConfig {
+    /// Default denoiser configuration (32-window blocks, automatic
+    /// rank at 95 % energy).
+    pub fn new() -> SvdDenoiserConfig {
+        SvdDenoiserConfig::default()
+    }
+
+    /// Sets the number of windows per SVD block.
+    pub fn with_block_windows(mut self, block_windows: usize) -> SvdDenoiserConfig {
+        self.block_windows = block_windows;
+        self
+    }
+
+    /// Fixes the truncation rank instead of the energy-based auto rank.
+    pub fn with_rank(mut self, rank: usize) -> SvdDenoiserConfig {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Sets the auto-rank energy threshold (fraction in `(0, 1]`).
+    pub fn with_energy_threshold(mut self, threshold: f64) -> SvdDenoiserConfig {
+        self.energy_threshold = threshold;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), DspError> {
+        if self.block_windows == 0 {
+            return Err(DspError::BadConfig {
+                reason: "block_windows must be at least 1",
+            });
+        }
+        if self.rank == Some(0) {
+            return Err(DspError::BadConfig {
+                reason: "rank must be at least 1",
+            });
+        }
+        if !(self.energy_threshold > 0.0 && self.energy_threshold <= 1.0) {
+            return Err(DspError::BadConfig {
+                reason: "energy_threshold must be in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Rank-k SVD spectrogram denoiser (Miller et al., arXiv 2212.05643).
+///
+/// Splits the spectrum sequence into fixed-size blocks, forms each
+/// block's windows×bins *amplitude* matrix (square root of the power
+/// spectrogram), truncates it to the top-k singular components and
+/// squares back to power. The final partial block is denoised as its
+/// own (smaller) matrix, so batch output depends only on the input
+/// sequence — never on how it was chunked.
+#[derive(Debug, Clone)]
+pub struct SvdDenoiser {
+    config: SvdDenoiserConfig,
+}
+
+impl SvdDenoiser {
+    /// Creates a denoiser, validating the configuration.
+    pub fn new(config: SvdDenoiserConfig) -> Result<SvdDenoiser, DspError> {
+        config.validate()?;
+        Ok(SvdDenoiser { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &SvdDenoiserConfig {
+        &self.config
+    }
+
+    /// Denoises one block of spectra in place.
+    ///
+    /// All spectra in a block must have the same bin count (always
+    /// true for STFT output); a ragged or empty block is returned
+    /// unchanged.
+    pub fn denoise_block(&self, block: &mut [Spectrum]) {
+        let Some(first) = block.first() else { return };
+        let n = first.power.len();
+        if n == 0 || block.iter().any(|s| s.power.len() != n) {
+            return;
+        }
+        let m = block.len();
+        let mut amp = Vec::with_capacity(m * n);
+        for s in block.iter() {
+            amp.extend(s.power.iter().map(|&p| p.max(0.0).sqrt()));
+        }
+        let svd = Svd::compute(&amp, m, n);
+        let k = match self.config.rank {
+            Some(k) => k.min(svd.rank),
+            None => svd.rank_for_energy(self.config.energy_threshold),
+        };
+        if k == 0 {
+            // All-zero block: nothing to denoise.
+            return;
+        }
+        if k >= svd.rank {
+            // Full rank reproduces the input up to rounding; keep the
+            // original bytes so full-rank truncation is an exact
+            // identity.
+            return;
+        }
+        let low = svd.reconstruct(m, n, k);
+        for (s, row) in block.iter_mut().zip(low.chunks(n)) {
+            for (p, &a) in s.power.iter_mut().zip(row) {
+                let a = a.max(0.0);
+                *p = a * a;
+            }
+        }
+    }
+}
+
+impl DspStage for SvdDenoiser {
+    fn name(&self) -> &str {
+        "svd-denoise"
+    }
+
+    fn apply(&self, mut spectra: Vec<Spectrum>) -> Vec<Spectrum> {
+        for block in spectra.chunks_mut(self.config.block_windows) {
+            self.denoise_block(block);
+        }
+        spectra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spectrum(power: Vec<f64>, start: usize) -> Spectrum {
+        Spectrum {
+            power,
+            bin_hz: 10.0,
+            start_sample: start,
+        }
+    }
+
+    /// Deterministic pseudo-noise so tests need no RNG crate.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 32) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+
+    fn frobenius(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn svd_reconstructs_known_matrix() {
+        // Rank-2 matrix with known singular values 5 and 3:
+        // diag(5, 3) embedded in 4x3.
+        let a = vec![
+            5.0, 0.0, 0.0, //
+            0.0, 3.0, 0.0, //
+            0.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0,
+        ];
+        let svd = Svd::compute(&a, 4, 3);
+        assert!((svd.sigma[0] - 5.0).abs() < 1e-9, "{:?}", svd.sigma);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-9, "{:?}", svd.sigma);
+        assert!(svd.sigma[2].abs() < 1e-9, "{:?}", svd.sigma);
+        let back = svd.reconstruct(4, 3, svd.rank);
+        assert!(frobenius(&a, &back) < 1e-9);
+    }
+
+    #[test]
+    fn svd_full_rank_reconstruction_is_near_identity() {
+        for (rows, cols) in [(6, 4), (4, 6), (5, 5), (1, 7), (7, 1)] {
+            let mut seed = 42;
+            let a: Vec<f64> = (0..rows * cols).map(|_| lcg(&mut seed)).collect();
+            let svd = Svd::compute(&a, rows, cols);
+            let back = svd.reconstruct(rows, cols, svd.rank);
+            let norm = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(1.0);
+            assert!(
+                frobenius(&a, &back) / norm < 1e-9,
+                "{rows}x{cols}: {}",
+                frobenius(&a, &back)
+            );
+        }
+    }
+
+    #[test]
+    fn svd_factors_are_orthonormal() {
+        let mut seed = 7;
+        let (rows, cols) = (8, 5);
+        let a: Vec<f64> = (0..rows * cols).map(|_| lcg(&mut seed)).collect();
+        let svd = Svd::compute(&a, rows, cols);
+        let r = svd.rank;
+        for j in 0..r {
+            for k in j..r {
+                let dot_u: f64 = (0..rows).map(|i| svd.u[i * r + j] * svd.u[i * r + k]).sum();
+                let dot_v: f64 = (0..cols).map(|i| svd.v[i * r + j] * svd.v[i * r + k]).sum();
+                let want = f64::from(u8::from(j == k));
+                assert!((dot_u - want).abs() < 1e-9, "u[{j}].u[{k}] = {dot_u}");
+                assert!((dot_v - want).abs() < 1e-9, "v[{j}].v[{k}] = {dot_v}");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_is_deterministic() {
+        let mut seed = 99;
+        let a: Vec<f64> = (0..48).map(|_| lcg(&mut seed)).collect();
+        let s1 = Svd::compute(&a, 8, 6);
+        let s2 = Svd::compute(&a, 8, 6);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn svd_handles_zero_matrix() {
+        let a = vec![0.0; 12];
+        let svd = Svd::compute(&a, 4, 3);
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+        assert_eq!(svd.rank_for_energy(0.95), 0);
+        assert_eq!(svd.reconstruct(4, 3, 3), vec![0.0; 12]);
+    }
+
+    #[test]
+    fn energy_rank_prefers_dominant_component() {
+        // sigma = [10, 1, 0.1]: 10^2 / (100 + 1 + 0.01) > 0.95.
+        let a = vec![
+            10.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, //
+            0.0, 0.0, 0.1,
+        ];
+        let svd = Svd::compute(&a, 3, 3);
+        assert_eq!(svd.rank_for_energy(0.95), 1);
+        assert_eq!(svd.rank_for_energy(0.999), 2);
+        assert_eq!(svd.rank_for_energy(1.0), 3);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SvdDenoiserConfig::new().validate().is_ok());
+        assert!(SvdDenoiserConfig::new()
+            .with_block_windows(0)
+            .validate()
+            .is_err());
+        assert!(SvdDenoiserConfig::new()
+            .with_energy_threshold(0.0)
+            .validate()
+            .is_err());
+        assert!(SvdDenoiserConfig::new()
+            .with_energy_threshold(1.5)
+            .validate()
+            .is_err());
+        let mut cfg = SvdDenoiserConfig::new();
+        cfg.rank = Some(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn full_rank_denoise_is_identity_on_clean_input() {
+        let denoiser = SvdDenoiser::new(
+            SvdDenoiserConfig::new()
+                .with_block_windows(4)
+                .with_rank(usize::MAX),
+        )
+        .unwrap();
+        let mut seed = 5;
+        let spectra: Vec<Spectrum> = (0..10)
+            .map(|w| spectrum((0..16).map(|_| lcg(&mut seed).abs()).collect(), w * 64))
+            .collect();
+        let out = denoiser.apply(spectra.clone());
+        assert_eq!(out, spectra);
+    }
+
+    #[test]
+    fn rank1_truncation_removes_uncorrelated_noise() {
+        // A rank-1 "program" spectrogram (same spectral shape every
+        // window, varying gain) plus white noise: rank-1 truncation
+        // must land closer to the clean signal than the noisy input.
+        let bins = 24;
+        let windows = 16;
+        let shape: Vec<f64> = (0..bins)
+            .map(|b| (1.0 + (b as f64 * 0.7).sin()).powi(2) + 0.1)
+            .collect();
+        let mut seed = 11;
+        let mut clean = Vec::new();
+        let mut noisy = Vec::new();
+        for w in 0..windows {
+            let gain = 1.0 + 0.2 * (w as f64 * 0.5).cos();
+            let c: Vec<f64> = shape.iter().map(|s| gain * s).collect();
+            let n: Vec<f64> = c
+                .iter()
+                .map(|&x| {
+                    let a = x.sqrt() + 0.3 * lcg(&mut seed);
+                    a.max(0.0) * a.max(0.0)
+                })
+                .collect();
+            clean.push(spectrum(c, w * 64));
+            noisy.push(spectrum(n, w * 64));
+        }
+        let denoiser = SvdDenoiser::new(
+            SvdDenoiserConfig::new()
+                .with_block_windows(windows)
+                .with_rank(1),
+        )
+        .unwrap();
+        let denoised = denoiser.apply(noisy.clone());
+        let amp = |ss: &[Spectrum]| -> Vec<f64> {
+            ss.iter()
+                .flat_map(|s| s.power.iter().map(|p| p.sqrt()))
+                .collect()
+        };
+        let err_noisy = frobenius(&amp(&clean), &amp(&noisy));
+        let err_denoised = frobenius(&amp(&clean), &amp(&denoised));
+        assert!(
+            err_denoised < 0.5 * err_noisy,
+            "denoised {err_denoised} vs noisy {err_noisy}"
+        );
+    }
+
+    #[test]
+    fn denoise_preserves_metadata_and_is_deterministic() {
+        let denoiser = SvdDenoiser::new(SvdDenoiserConfig::new().with_block_windows(3)).unwrap();
+        let mut seed = 3;
+        let spectra: Vec<Spectrum> = (0..8)
+            .map(|w| spectrum((0..12).map(|_| lcg(&mut seed).abs()).collect(), w * 32))
+            .collect();
+        let a = denoiser.apply(spectra.clone());
+        let b = denoiser.apply(spectra.clone());
+        assert_eq!(a, b);
+        for (orig, out) in spectra.iter().zip(&a) {
+            assert_eq!(orig.start_sample, out.start_sample);
+            assert_eq!(orig.bin_hz, out.bin_hz);
+            assert_eq!(orig.power.len(), out.power.len());
+        }
+    }
+}

@@ -38,6 +38,20 @@ pub struct EmChannelConfig {
 }
 
 impl EmChannelConfig {
+    /// Derives a per-run channel from this template: the same RF
+    /// environment, but with the noise seed mixed with `run_seed` (via
+    /// a splitmix-style multiply) so independent runs see decorrelated
+    /// noise while any given `(template, run)` pair stays
+    /// deterministic.
+    pub fn for_run(&self, run_seed: u64) -> EmChannelConfig {
+        let mut cfg = self.clone();
+        cfg.seed = cfg
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(run_seed);
+        cfg
+    }
+
     /// Receiver grade matching the paper's Keysight oscilloscope setup:
     /// clean band, high SNR (§5.1).
     pub fn oscilloscope(seed: u64) -> EmChannelConfig {

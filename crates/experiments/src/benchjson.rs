@@ -6,8 +6,9 @@
 //! matter — per-window **decide**, session **ingest**, fleet **drain**,
 //! ring **lookup**, the live-migration **round trip**, the store tier's
 //! **park**/**thaw** spill path (plus its resident bytes-per-session
-//! footprint), and the reactor tier's connection **churn** and poll
-//! **dispatch** — a fixed
+//! footprint), the reactor tier's connection **churn** and poll
+//! **dispatch**, and the noise-robust training tier's SVD
+//! **denoise** pass and CFG-derived **synthetic training** — a fixed
 //! number of times each and emits one flat JSON array with a stable
 //! schema:
 //!
@@ -36,12 +37,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eddie_cluster::{shard_token_base, HashRing, Membership, RingConfig};
-use eddie_core::{MonitorState, Sts, TrainedModel};
-use eddie_dsp::{Stft, StftConfig};
+use eddie_core::{
+    MonitorState, Sts, Synthetic, SyntheticTrainConfig, TrainedModel, TrainingSource,
+};
+use eddie_dsp::{DspStage, Spectrum, Stft, StftConfig, SvdDenoiser, SvdDenoiserConfig};
 use eddie_exec::with_threads;
 use eddie_serve::{read_frame, write_frame, Backend, Frame, ModelRegistry, Server, ServerConfig};
 use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult};
-use eddie_workloads::Benchmark;
+use eddie_workloads::{Benchmark, WorkloadParams};
 use serde::Deserialize;
 
 use crate::harness::{sim_pipeline, train_benchmark};
@@ -482,6 +485,61 @@ fn bench_store(fx: &Fixture, passes: usize, sha: &str) -> Vec<BenchRecord> {
     ]
 }
 
+/// PR 10's DSP tier: rank-1 SVD denoising over the fixture's full STFT
+/// spectrum sequence at the noise gate's block size. `ns_per_iter` is
+/// per window, `throughput` windows/s — the per-window tax a denoised
+/// pipeline pays on top of plain STFT + peaks.
+fn bench_svd_denoise(fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    let stft = Stft::new(StftConfig {
+        window_len: fx.model.config.window_len,
+        hop: fx.model.config.hop,
+        window: fx.model.config.window,
+        sample_rate_hz: fx.rate,
+    })
+    .expect("svd bench stft config");
+    let spectra: Vec<Spectrum> = stft.process_real(&fx.signal);
+    let windows = spectra.len().max(1);
+    let denoiser = SvdDenoiser::new(SvdDenoiserConfig::new().with_block_windows(16).with_rank(1))
+        .expect("svd bench denoiser");
+    let total_ns = timed(passes, || {
+        black_box(denoiser.apply(black_box(spectra.clone())));
+    });
+    let iters = (passes * windows) as f64;
+    BenchRecord {
+        bench: "svd_denoise_ns".to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
+/// PR 10's synthetic training source: one full CFG-derived training
+/// (replay + signal + reference build) at the default config.
+/// `ns_per_iter` is one complete `train_with` call; `throughput` is
+/// trainings/s — what a fleet pays to fingerprint a new firmware image
+/// without ever running it instrumented.
+fn bench_synthetic_train(_fx: &Fixture, passes: usize, sha: &str) -> BenchRecord {
+    let pipeline = sim_pipeline();
+    let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: WL_SCALE });
+    let source = Synthetic::new(SyntheticTrainConfig::new());
+    let total_ns = timed(passes, || {
+        black_box(
+            source
+                .train(&pipeline, w.program())
+                .expect("synthetic bench training"),
+        );
+    });
+    let iters = passes as f64;
+    BenchRecord {
+        bench: "synthetic_train_ns".to_string(),
+        ns_per_iter: total_ns / iters,
+        throughput: iters / (total_ns / 1e9),
+        threads: 1,
+        git_sha: sha.to_string(),
+    }
+}
+
 /// Renders records as the stable flat-array schema. Hand-rolled so the
 /// byte layout (key order, float formatting) does not depend on a
 /// serde implementation detail.
@@ -621,6 +679,8 @@ pub fn bench_json(args: &[String]) -> Result<String, String> {
         ("migration", bench_migration),
         ("net_churn", bench_net_churn),
         ("net_dispatch", bench_net_dispatch),
+        ("svd_denoise", bench_svd_denoise),
+        ("synthetic_train", bench_synthetic_train),
     ] {
         eprintln!("# running {name}...");
         let r = f(&fx, passes, &sha);

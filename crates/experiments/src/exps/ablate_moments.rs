@@ -11,18 +11,19 @@
 
 use std::fmt::Write as _;
 
-use eddie_core::{EddieConfig, Pipeline, SignalSource};
+use eddie_core::{EddieConfig, Pipeline};
 use eddie_workloads::Benchmark;
 
 use crate::harness::{eddie_config, injection_targets, iot_sim_config, make_hook, InjectPlan};
 use crate::{f1, f2, format_table, Scale};
 
 fn eval(b: Benchmark, cfg: EddieConfig, scale: Scale) -> Vec<String> {
-    let pipeline = Pipeline::new(
-        iot_sim_config(),
-        cfg,
-        SignalSource::Em(eddie_em::EmChannelConfig::oscilloscope(1)),
-    );
+    let pipeline = Pipeline::builder()
+        .sim(iot_sim_config())
+        .eddie(cfg)
+        .em(eddie_em::EmChannelConfig::oscilloscope(1))
+        .build()
+        .expect("valid pipeline");
     let w = b.workload(&eddie_workloads::WorkloadParams {
         scale: scale.workload_scale(),
     });

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use eddie_core::{Pipeline, SignalSource};
+use eddie_core::Pipeline;
 use eddie_em::EmChannelConfig;
 use eddie_workloads::{Benchmark, WorkloadParams};
 
@@ -29,7 +29,12 @@ pub fn run(scale: Scale) -> String {
 
     let mut rows = Vec::new();
     for (label, channel) in grades {
-        let pipeline = Pipeline::new(iot_sim_config(), eddie_config(), SignalSource::Em(channel));
+        let pipeline = Pipeline::builder()
+            .sim(iot_sim_config())
+            .eddie(eddie_config())
+            .em(channel)
+            .build()
+            .expect("valid pipeline");
         let w = Benchmark::Bitcount.workload(&WorkloadParams {
             scale: scale.workload_scale(),
         });

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-use eddie_core::{Pipeline, SignalSource};
+use eddie_core::Pipeline;
 use eddie_workloads::Benchmark;
 
 use crate::harness::{eddie_config, injection_targets, make_hook, sesc_sim_config, InjectPlan};
@@ -21,7 +21,12 @@ pub fn run(scale: Scale) -> String {
     for (label, prefetch) in [("no prefetcher", false), ("next-line prefetcher", true)] {
         let mut sim = sesc_sim_config();
         sim.caches.next_line_prefetch = prefetch;
-        let pipeline = Pipeline::new(sim, eddie_config(), SignalSource::Power);
+        let pipeline = Pipeline::builder()
+            .sim(sim)
+            .eddie(eddie_config())
+            .power()
+            .build()
+            .expect("valid pipeline");
 
         for b in [Benchmark::Rijndael, Benchmark::Susan] {
             let w = b.workload(&eddie_workloads::WorkloadParams {

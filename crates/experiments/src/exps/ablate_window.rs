@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use eddie_core::{EddieConfig, Pipeline, SignalSource};
+use eddie_core::{EddieConfig, Pipeline};
 use eddie_em::EmChannelConfig;
 use eddie_workloads::{Benchmark, WorkloadParams};
 
@@ -25,11 +25,12 @@ pub fn run(scale: Scale) -> String {
             hop: win / 2,
             ..eddie_config()
         };
-        let pipeline = Pipeline::new(
-            iot_sim_config(),
-            cfg,
-            SignalSource::Em(EmChannelConfig::oscilloscope(1)),
-        );
+        let pipeline = Pipeline::builder()
+            .sim(iot_sim_config())
+            .eddie(cfg)
+            .em(EmChannelConfig::oscilloscope(1))
+            .build()
+            .expect("valid pipeline");
         let w = Benchmark::Bitcount.workload(&WorkloadParams {
             scale: scale.workload_scale(),
         });

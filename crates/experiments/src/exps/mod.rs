@@ -20,7 +20,9 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod noise_sweep;
 pub mod stream;
+pub mod synthetic_train;
 pub mod tab1;
 pub mod tab2;
 
@@ -48,6 +50,8 @@ pub const ALL: &[&str] = &[
     "ablate-moments",
     "ablate-asic",
     "ablate-prefetch",
+    "noise-sweep",
+    "synthetic-train",
     "stream",
 ];
 
@@ -74,6 +78,8 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "ablate-parametric" => ablate_parametric::run(scale),
         "ablate-window" => ablate_window::run(scale),
         "ablate-noise" => ablate_noise::run(scale),
+        "noise-sweep" => noise_sweep::run(scale),
+        "synthetic-train" => synthetic_train::run(scale),
         "stream" => stream::run(scale),
         _ => return None,
     };

@@ -1,9 +1,7 @@
 //! Shared runners: build pipelines, train models, and evaluate
 //! benchmarks under the injection plans of §5.
 
-use eddie_core::{
-    metrics, EddieConfig, MonitorOutcome, Pipeline, RunMetrics, SignalSource, TrainedModel,
-};
+use eddie_core::{metrics, EddieConfig, MonitorOutcome, Pipeline, RunMetrics, TrainedModel};
 use eddie_em::EmChannelConfig;
 use eddie_inject::{BurstInjector, LoopInjector, OpPattern};
 use eddie_isa::RegionId;
@@ -42,16 +40,22 @@ pub fn sesc_sim_config() -> SimConfig {
 
 /// Pipeline for the IoT (EM-channel) experiments.
 pub fn iot_pipeline() -> Pipeline {
-    Pipeline::new(
-        iot_sim_config(),
-        eddie_config(),
-        SignalSource::Em(EmChannelConfig::oscilloscope(1)),
-    )
+    Pipeline::builder()
+        .sim(iot_sim_config())
+        .eddie(eddie_config())
+        .em(EmChannelConfig::oscilloscope(1))
+        .build()
+        .expect("valid IoT pipeline")
 }
 
 /// Pipeline for the simulator (power-signal) experiments.
 pub fn sim_pipeline() -> Pipeline {
-    Pipeline::new(sesc_sim_config(), eddie_config(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(sesc_sim_config())
+        .eddie(eddie_config())
+        .power()
+        .build()
+        .expect("valid simulator pipeline")
 }
 
 /// Pipeline for an arbitrary core configuration on the power signal
@@ -59,7 +63,12 @@ pub fn sim_pipeline() -> Pipeline {
 pub fn pipeline_for_core(core: CoreConfig) -> Pipeline {
     let mut cfg = sesc_sim_config();
     cfg.core = core;
-    Pipeline::new(cfg, eddie_config(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(cfg)
+        .eddie(eddie_config())
+        .power()
+        .build()
+        .expect("valid per-core pipeline")
 }
 
 /// Trains a model for `benchmark` on `pipeline`.

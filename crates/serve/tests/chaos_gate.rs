@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use eddie_chaos::{ChaosProxy, FaultPlan};
-use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, TrainedModel};
 use eddie_inject::{LoopInjector, OpPattern};
 use eddie_serve::{
     load_snapshot, read_frame, write_frame, ClientConfig, ErrCode, Frame, ModelRegistry,
@@ -42,7 +42,12 @@ const CHUNK: usize = 499; // deliberately off the STFT hop grid
 fn power_pipeline() -> Pipeline {
     let mut sim = SimConfig::iot_inorder();
     sim.sample_interval = 8;
-    Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {

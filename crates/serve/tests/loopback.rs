@@ -14,7 +14,7 @@ use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, TrainedModel};
 use eddie_inject::{LoopInjector, OpPattern};
 use eddie_serve::{
     load_sessions, read_frame, write_frame, Backend, ErrCode, Frame, ModelRegistry, ReplayClient,
@@ -34,7 +34,12 @@ fn quick_sim() -> SimConfig {
 }
 
 fn power_pipeline() -> Pipeline {
-    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use eddie_core::{EddieConfig, MonitorEvent, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_core::{EddieConfig, MonitorEvent, MonitorOutcome, Pipeline, TrainedModel};
 use eddie_inject::{LoopInjector, OpPattern};
 use eddie_serve::{
     fetch_stats, load_snapshot, read_frame, resume_journal, write_frame, Frame, ModelRegistry,
@@ -38,7 +38,12 @@ const MODEL_ID: &str = "bitcount-power";
 fn power_pipeline() -> Pipeline {
     let mut sim = SimConfig::iot_inorder();
     sim.sample_interval = 8;
-    Pipeline::new(sim, EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {

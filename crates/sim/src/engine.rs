@@ -25,7 +25,7 @@ pub struct Simulator {
 /// latency; stores are free on an L1 hit (write buffer) but charge half
 /// the miss path when they allocate, modelling write-buffer
 /// back-pressure under sustained store misses.
-fn store_latency(a: &crate::MemAccess, is_load: bool) -> u64 {
+pub(crate) fn store_latency(a: &crate::MemAccess, is_load: bool) -> u64 {
     if is_load {
         a.latency
     } else if a.l1_hit {

@@ -53,6 +53,7 @@ mod engine;
 mod inject;
 mod machine;
 mod power;
+mod replay;
 mod result;
 mod timing;
 
@@ -63,4 +64,16 @@ pub use engine::Simulator;
 pub use inject::{InjectedOp, InjectedOpKind, InjectionHook, NoInjection};
 pub use machine::Machine;
 pub use power::{PowerConfig, PowerTrace};
+pub use replay::{PathReplayer, ReplayStep};
 pub use result::{RegionSpan, SimResult, SimStats};
+
+/// Functional-unit latency of an instruction class, excluding the
+/// memory hierarchy (cache hit/miss cycles are added separately).
+///
+/// This is the exact latency table the cycle-level engine uses, so
+/// static models built on top of it (synthetic fingerprinting in
+/// `eddie-core`) agree with simulated timing for dependency-bound
+/// code.
+pub fn static_latency(class: eddie_isa::InstrClass) -> u64 {
+    timing::exec_latency(class)
+}

@@ -1,0 +1,256 @@
+//! Static path replay: the synthetic-fingerprinting timing engine.
+//!
+//! Synthetic fingerprinting (Vedros et al., arXiv 2302.02324) trains
+//! EDDIE from CFG-derived region signals instead of instrumented runs.
+//! For those signals to be spectrally faithful, the synthesized
+//! waveform must reproduce the *timing* microstructure of real
+//! execution — issue-width contention, dependency stalls, cache-line
+//! miss periodicity, branch behaviour — not just the instruction mix.
+//!
+//! [`PathReplayer`] guarantees that by construction: it drives the
+//! *same* pipeline timing model, cache hierarchy, branch predictor and
+//! power accounting the cycle-level [`Simulator`](crate::Simulator)
+//! uses, but is fed statically enumerated instructions (with synthetic
+//! data addresses) instead of functionally executed ones. Anything the
+//! engine would charge for a given instruction stream, the replayer
+//! charges identically.
+
+use eddie_isa::Instr;
+
+use crate::engine::store_latency;
+use crate::power::PowerRecorder;
+use crate::timing::{make_model, TimingEvent, TimingModel};
+use crate::{BranchPredictor, CacheHierarchy, PowerTrace, SimConfig};
+
+/// Timing and energy outcome of one replayed instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayStep {
+    /// Cycle the instruction issued at (where its energy lands).
+    pub issue_cycle: u64,
+    /// Energy deposited, in the power model's units.
+    pub energy: f32,
+    /// The instruction's data access missed L1 (always `false` for
+    /// non-memory instructions).
+    pub l1d_miss: bool,
+}
+
+/// Replays an instruction sequence through the real timing, cache,
+/// branch-prediction and power models, producing a [`PowerTrace`]
+/// indistinguishable in form from a simulated run's.
+///
+/// The caller supplies the dynamic facts static analysis must invent:
+/// the data address of each memory operation and the outcome of each
+/// conditional branch. Everything else — issue scheduling, hierarchy
+/// latencies, mispredict penalties, per-event energies, leakage —
+/// comes from the same code paths the cycle-level engine uses.
+pub struct PathReplayer {
+    timing: Box<dyn TimingModel>,
+    caches: CacheHierarchy,
+    predictor: BranchPredictor,
+    power: PowerRecorder,
+    leakage_per_cycle: f32,
+    pcfg: crate::PowerConfig,
+}
+
+impl std::fmt::Debug for PathReplayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathReplayer")
+            .field("now", &self.timing.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PathReplayer {
+    /// Creates a replayer with cold caches and an untrained predictor,
+    /// exactly like a freshly constructed simulator.
+    pub fn new(config: &SimConfig) -> PathReplayer {
+        PathReplayer {
+            timing: make_model(&config.core),
+            caches: CacheHierarchy::new(&config.caches),
+            predictor: BranchPredictor::new(4096),
+            power: PowerRecorder::new(config.sample_interval, config.core.clock_hz),
+            leakage_per_cycle: config.power.leakage_per_cycle,
+            pcfg: config.power,
+        }
+    }
+
+    /// Replays one instruction.
+    ///
+    /// `pc` is the instruction's program counter (drives the I-cache
+    /// and the branch predictor's indexing). `mem_byte_addr` is the
+    /// synthetic data address for loads/stores (ignored otherwise).
+    /// `taken` is the branch outcome for conditional branches (ignored
+    /// otherwise). Region markers are timing- and power-neutral, as in
+    /// the engine.
+    pub fn step(
+        &mut self,
+        pc: usize,
+        instr: &Instr,
+        mem_byte_addr: Option<u64>,
+        taken: bool,
+    ) -> ReplayStep {
+        if instr.is_marker() {
+            return ReplayStep {
+                issue_cycle: self.timing.now(),
+                energy: 0.0,
+                l1d_miss: false,
+            };
+        }
+
+        // Instruction fetch through the I-cache.
+        let ifetch = self.caches.access_instr(pc as u64 * 4);
+        let fetch_latency = if ifetch.l1_hit { 0 } else { ifetch.latency };
+
+        // Data access through the D-cache.
+        let is_load = matches!(instr, Instr::Load(..));
+        let is_mem = is_load || matches!(instr, Instr::Store(..));
+        let (mem_latency, daccess) = if is_mem {
+            let a = self.caches.access_data(mem_byte_addr.unwrap_or(0));
+            (store_latency(&a, is_load), Some(a))
+        } else {
+            (0, None)
+        };
+
+        // Branch prediction.
+        let mispredict = match instr {
+            Instr::Branch(..) => !self.predictor.predict_and_update(pc, taken),
+            Instr::Jump(_) | Instr::Jal(..) | Instr::Jr(_) => !self.predictor.jump(pc),
+            _ => false,
+        };
+
+        let ev = TimingEvent {
+            class: instr.class(),
+            mem_latency,
+            fetch_latency,
+            mispredict,
+            srcs: instr.uses(),
+            dst: instr.def(),
+        };
+        let issue = self.timing.step(&ev);
+
+        let mut energy = self.pcfg.instr_energy(instr.class());
+        if !ifetch.l1_hit {
+            energy += self.pcfg.access_energy(&ifetch);
+        }
+        if let Some(a) = daccess {
+            energy += self.pcfg.access_energy(&a);
+        }
+        if mispredict {
+            energy += self.pcfg.flush;
+        }
+        self.power.add(issue, energy);
+
+        ReplayStep {
+            issue_cycle: issue,
+            energy,
+            l1d_miss: daccess.is_some_and(|a| !a.l1_hit),
+        }
+    }
+
+    /// Inserts `cycles` idle cycles — a front-end bubble modelling
+    /// data-dependent iteration variation (only leakage accrues).
+    pub fn stall(&mut self, cycles: u64) {
+        self.timing.advance(cycles);
+    }
+
+    /// The replay's current end-of-pipeline cycle.
+    pub fn now(&self) -> u64 {
+        self.timing.now()
+    }
+
+    /// Finalises the trace: leakage in every bucket, energies converted
+    /// to average power — the same conversion a simulated run gets.
+    pub fn finish(self) -> PowerTrace {
+        let end = self.timing.now();
+        self.power.finish(end, self.leakage_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use eddie_isa::{ProgramBuilder, Reg, RegionId};
+
+    fn quick_sim() -> SimConfig {
+        let mut cfg = SimConfig::iot_inorder();
+        cfg.sample_interval = 8;
+        cfg
+    }
+
+    /// Replaying the exact dynamic instruction stream of a real run
+    /// must produce the identical power trace: the replayer is the
+    /// engine minus functional execution, nothing more.
+    #[test]
+    fn replay_of_real_stream_matches_simulator_trace() {
+        // A loop whose dynamic behaviour is statically known: 64
+        // iterations, stride-1 loads over one array.
+        let mut b = ProgramBuilder::new();
+        let (i, n, x, t, base) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        b.li(base, 4096).li(n, 64).li(i, 0);
+        b.region_enter(RegionId::new(0));
+        let top = b.label_here("top");
+        b.add(t, base, i)
+            .load(x, t, 0)
+            .add(x, x, x)
+            .addi(i, i, 1)
+            .blt_label(i, n, top);
+        b.region_exit(RegionId::new(0));
+        b.halt();
+        let program = b.build().unwrap();
+
+        let cfg = quick_sim();
+        let mut sim = Simulator::new(cfg.clone(), program.clone());
+        let real = sim.run();
+
+        // Re-derive the dynamic stream statically and replay it.
+        let mut replay = PathReplayer::new(&cfg);
+        // Prologue: li, li, li (then the enter marker).
+        for pc in 0..3 {
+            replay.step(pc, &program[pc], None, false);
+        }
+        replay.step(3, &program[3], None, false); // RegionEnter
+        for iter in 0..64u64 {
+            // add, load, add, addi, blt at pcs 4..9.
+            replay.step(4, &program[4], None, false);
+            replay.step(5, &program[5], Some((4096 + iter as u64) * 8), false);
+            replay.step(6, &program[6], None, false);
+            replay.step(7, &program[7], None, false);
+            replay.step(8, &program[8], None, iter != 63);
+        }
+        replay.step(9, &program[9], None, false); // RegionExit
+        let synth = replay.finish();
+
+        assert_eq!(synth.sample_interval, real.power.sample_interval);
+        assert_eq!(synth.clock_hz, real.power.clock_hz);
+        assert_eq!(
+            synth.samples, real.power.samples,
+            "replayed trace must be bit-identical to the simulated one"
+        );
+    }
+
+    #[test]
+    fn stall_advances_time_and_only_leaks() {
+        let cfg = quick_sim();
+        let mut replay = PathReplayer::new(&cfg);
+        replay.stall(80);
+        assert!(replay.now() >= 80);
+        let trace = replay.finish();
+        let leak_power = cfg.power.leakage_per_cycle;
+        for s in &trace.samples {
+            assert!(
+                (s - leak_power).abs() < 1e-6,
+                "stall buckets hold leakage only"
+            );
+        }
+    }
+
+    #[test]
+    fn markers_are_free() {
+        let cfg = quick_sim();
+        let mut replay = PathReplayer::new(&cfg);
+        let step = replay.step(0, &Instr::RegionEnter(RegionId::new(0)), None, false);
+        assert_eq!(step.energy, 0.0);
+        assert_eq!(replay.now(), 0);
+    }
+}

@@ -11,7 +11,12 @@ use eddie_isa::{InstrClass, Reg};
 use crate::config::CoreConfig;
 
 /// Latency of a functional operation, excluding the memory hierarchy.
-fn exec_latency(class: InstrClass) -> u64 {
+///
+/// Public as [`static_latency`](crate::static_latency): the synthetic
+/// fingerprinting path in `eddie-core` replays these same latencies in
+/// its static timing model, so CFG-derived waveforms stay consistent
+/// with what the cycle-level engine would produce.
+pub(crate) fn exec_latency(class: InstrClass) -> u64 {
     match class {
         InstrClass::IntAlu => 1,
         InstrClass::Mul => 4,
@@ -44,6 +49,9 @@ pub(crate) trait TimingModel {
     /// The current end-of-pipeline cycle (used as the run's final cycle
     /// count and for timestamping markers).
     fn now(&self) -> u64;
+    /// Inserts a front-end bubble of `cycles` idle cycles — used by the
+    /// path replayer to model data-dependent iteration variation.
+    fn advance(&mut self, cycles: u64);
 }
 
 /// Creates the timing model selected by `core`.
@@ -121,6 +129,11 @@ impl TimingModel for InOrder {
 
     fn now(&self) -> u64 {
         self.cycle.max(self.last_complete)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        self.cycle += cycles;
+        self.issued_this_cycle = 0;
     }
 }
 
@@ -230,6 +243,11 @@ impl TimingModel for OutOfOrder {
 
     fn now(&self) -> u64 {
         self.fetch_cycle.max(self.last_commit)
+    }
+
+    fn advance(&mut self, cycles: u64) {
+        self.fetch_cycle += cycles;
+        self.dispatched_this_cycle = 0;
     }
 }
 

@@ -91,4 +91,4 @@ pub use fleet::{
     DeviceId, DeviceStats, Fleet, FleetConfig, FleetConfigBuilder, FleetStats, PushResult,
     ShedPolicy,
 };
-pub use session::{MonitorSession, SessionSnapshot, StreamEvent};
+pub use session::{DenoiseSnapshot, MonitorSession, SessionSnapshot, StreamEvent};

@@ -1,7 +1,10 @@
 use std::sync::Arc;
 
 use eddie_core::{Error, ErrorKind, MonitorEvent, MonitorState, Sts, TrainedModel};
-use eddie_dsp::{StftConfig, StreamingStft, StreamingStftState};
+use eddie_dsp::{
+    Spectrum, StftConfig, StreamingDenoiser, StreamingDenoiserState, StreamingStft,
+    StreamingStftState, SvdDenoiser, SvdDenoiserConfig,
+};
 use eddie_isa::RegionId;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +25,16 @@ pub struct StreamEvent {
     pub tracked: RegionId,
 }
 
+/// Serializable state of a session's optional denoising stage: the
+/// stage configuration plus the buffered partial block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenoiseSnapshot {
+    /// The denoiser configuration the session was created with.
+    pub config: SvdDenoiserConfig,
+    /// Windows buffered awaiting a complete denoising block.
+    pub state: StreamingDenoiserState,
+}
+
 /// The serializable whole of a session's runtime state: the STFT
 /// overlap tail plus the monitor state. Together with the trained
 /// model (persisted separately via [`TrainedModel::to_json`]) this is
@@ -34,6 +47,11 @@ pub struct SessionSnapshot {
     pub monitor: MonitorState,
     /// Sample rate the session was created with, in hertz.
     pub sample_rate_hz: f64,
+    /// Denoising-stage state, for sessions created with
+    /// [`MonitorSession::with_denoiser`]. Defaults to `None` so
+    /// snapshots from before the denoising tier still load.
+    #[serde(default)]
+    pub denoise: Option<DenoiseSnapshot>,
 }
 
 impl SessionSnapshot {
@@ -71,6 +89,7 @@ impl SessionSnapshot {
 pub struct MonitorSession {
     model: Arc<TrainedModel>,
     stft: StreamingStft,
+    denoise: Option<StreamingDenoiser>,
     monitor: MonitorState,
     sample_rate_hz: f64,
 }
@@ -92,9 +111,42 @@ impl MonitorSession {
         Ok(MonitorSession {
             model,
             stft,
+            denoise: None,
             monitor,
             sample_rate_hz,
         })
+    }
+
+    /// Creates a session whose spectra pass through an SVD denoising
+    /// stage before peak extraction — the streaming twin of a batch
+    /// pipeline built with `PipelineBuilder::denoise`.
+    ///
+    /// Denoising is block-based, so events lag the signal by up to one
+    /// block of windows; call [`finish`](MonitorSession::finish) at
+    /// end-of-stream to drain the final partial block. For any
+    /// chunking, `push` events (plus `finish`) are byte-identical to
+    /// the batch denoised pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](MonitorSession::new), plus
+    /// [`ErrorKind::InvalidConfig`] for an invalid denoiser config.
+    pub fn with_denoiser(
+        model: Arc<TrainedModel>,
+        sample_rate_hz: f64,
+        config: SvdDenoiserConfig,
+    ) -> Result<MonitorSession, Error> {
+        let mut session = MonitorSession::new(model, sample_rate_hz)?;
+        let denoiser = SvdDenoiser::new(config).map_err(|e| {
+            Error::with_source(
+                ErrorKind::InvalidConfig,
+                "eddie-stream",
+                "invalid denoiser configuration",
+                e,
+            )
+        })?;
+        session.denoise = Some(StreamingDenoiser::new(denoiser));
+        Ok(session)
     }
 
     /// The trained model this session monitors against.
@@ -132,9 +184,11 @@ impl MonitorSession {
     /// excluded — with the store's dedup it is amortised across every
     /// session of the program and accounted once, not per device.
     pub fn approx_bytes(&self) -> usize {
+        let spectrum_bytes = (self.model.config.window_len / 2 + 1) * std::mem::size_of::<f64>();
         std::mem::size_of::<MonitorSession>()
             + self.monitor.approx_bytes()
             + self.stft.pending_samples() * std::mem::size_of::<f32>()
+            + self.denoise.as_ref().map_or(0, |d| d.pending()) * spectrum_bytes
     }
 
     /// Replaces the session's model handle with a content-equal shared
@@ -150,10 +204,35 @@ impl MonitorSession {
 
     /// Consumes the next signal chunk (any size, including empty) and
     /// returns the monitoring events of every window that completed.
+    ///
+    /// With a denoising stage, "completed" means the window's whole
+    /// denoising block has arrived; [`finish`](MonitorSession::finish)
+    /// drains the final partial block at end-of-stream.
     pub fn push(&mut self, samples: &[f32]) -> Vec<StreamEvent> {
-        let spectra = self.stft.push(samples);
+        let mut spectra = self.stft.push(samples);
+        if let Some(denoise) = &mut self.denoise {
+            spectra = denoise.push(spectra);
+        }
+        self.observe_spectra(&spectra)
+    }
+
+    /// Declares end-of-stream: denoises and observes the final partial
+    /// block. Sessions without a denoising stage emit nothing here.
+    /// After `finish`, the concatenated `push` + `finish` events equal
+    /// the batch denoised pipeline's events for the same signal.
+    pub fn finish(&mut self) -> Vec<StreamEvent> {
+        match &mut self.denoise {
+            Some(denoise) => {
+                let spectra = denoise.flush();
+                self.observe_spectra(&spectra)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn observe_spectra(&mut self, spectra: &[Spectrum]) -> Vec<StreamEvent> {
         let mut events = Vec::with_capacity(spectra.len());
-        for spectrum in &spectra {
+        for spectrum in spectra {
             let window = self.monitor.windows_observed();
             let sts = Sts::from_spectrum(window, spectrum, &self.model.config.peaks);
             let event = self.monitor.observe(&self.model, sts);
@@ -175,6 +254,10 @@ impl MonitorSession {
             stft: self.stft.state(),
             monitor: self.monitor.clone(),
             sample_rate_hz: self.sample_rate_hz,
+            denoise: self.denoise.as_ref().map(|d| DenoiseSnapshot {
+                config: d.denoiser().config().clone(),
+                state: d.state(),
+            }),
         }
     }
 
@@ -197,6 +280,7 @@ impl MonitorSession {
             stft,
             monitor,
             sample_rate_hz,
+            denoise,
         } = snapshot;
         if model.regions.is_empty() {
             return Err(Error::new(
@@ -205,7 +289,11 @@ impl MonitorSession {
                 "trained model has no regions",
             ));
         }
-        if stft.windows != monitor.windows_observed() {
+        // Denoising buffers windows between the STFT and the monitor,
+        // so those in flight are counted by the STFT but not yet
+        // observed.
+        let buffered = denoise.as_ref().map_or(0, |d| d.state.buffered.len());
+        if stft.windows != monitor.windows_observed() + buffered {
             return Err(Error::new(
                 ErrorKind::CorruptSnapshot,
                 "eddie-stream",
@@ -213,9 +301,30 @@ impl MonitorSession {
             ));
         }
         let stft = StreamingStft::from_state(stft_config(&model, sample_rate_hz), stft)?;
+        let denoise = denoise
+            .map(|d| {
+                let denoiser = SvdDenoiser::new(d.config).map_err(|e| {
+                    Error::with_source(
+                        ErrorKind::InvalidConfig,
+                        "eddie-stream",
+                        "invalid denoiser configuration in snapshot",
+                        e,
+                    )
+                })?;
+                StreamingDenoiser::from_state(denoiser, d.state).map_err(|e| {
+                    Error::with_source(
+                        ErrorKind::CorruptSnapshot,
+                        "eddie-stream",
+                        "denoiser state is inconsistent",
+                        e,
+                    )
+                })
+            })
+            .transpose()?;
         Ok(MonitorSession {
             model,
             stft,
+            denoise,
             monitor,
             sample_rate_hz,
         })
@@ -319,5 +428,101 @@ mod tests {
         assert!(session.push(&[]).is_empty());
         assert_eq!(session.windows_observed(), 0);
         assert_eq!(session.samples_seen(), 0);
+    }
+
+    #[test]
+    fn with_denoiser_rejects_bad_config() {
+        let m = Arc::new(tiny_model());
+        let cfg = SvdDenoiserConfig::new().with_block_windows(0);
+        let err = MonitorSession::with_denoiser(m, 1000.0, cfg)
+            .err()
+            .expect("must fail");
+        assert_eq!(err.kind(), ErrorKind::InvalidConfig);
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn finish_without_denoiser_emits_nothing() {
+        let m = Arc::new(tiny_model());
+        let mut session = MonitorSession::new(m, 1000.0).unwrap();
+        assert!(session.finish().is_empty());
+    }
+
+    #[test]
+    fn denoised_snapshot_roundtrips_mid_block() {
+        let m = Arc::new(tiny_model());
+        let cfg = SvdDenoiserConfig::new().with_block_windows(4).with_rank(1);
+        let hop = m.config.hop;
+        let window_len = m.config.window_len;
+        // Enough samples for 6 windows: one complete block plus two
+        // buffered windows.
+        let samples: Vec<f32> = (0..window_len + 5 * hop)
+            .map(|i| ((i * 37) % 17) as f32 / 17.0)
+            .collect();
+
+        let mut straight = MonitorSession::with_denoiser(m.clone(), 1000.0, cfg.clone()).unwrap();
+        let events = straight.push(&samples);
+
+        let mut first = MonitorSession::with_denoiser(m.clone(), 1000.0, cfg).unwrap();
+        let half = samples.len() / 2;
+        let mut early = first.push(&samples[..half]);
+        let snap = first.snapshot();
+        assert!(snap.denoise.is_some());
+        let json = snap.to_json().unwrap();
+        let snap = SessionSnapshot::from_json(&json).unwrap();
+        let mut resumed = MonitorSession::restore(m.clone(), snap).unwrap();
+        early.extend(resumed.push(&samples[half..]));
+        assert_eq!(early, events, "resumed events match uninterrupted run");
+
+        assert_eq!(
+            straight.finish(),
+            resumed.finish(),
+            "finish drains the same buffered windows"
+        );
+        assert_eq!(straight.windows_observed(), resumed.windows_observed());
+        assert!(straight.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn restore_rejects_denoiser_buffering_full_block() {
+        let m = Arc::new(tiny_model());
+        let cfg = SvdDenoiserConfig::new().with_block_windows(2).with_rank(1);
+        let session = MonitorSession::with_denoiser(m.clone(), 1000.0, cfg).unwrap();
+        let mut snap = session.snapshot();
+        let d = snap.denoise.as_mut().unwrap();
+        d.state.buffered = (0..2)
+            .map(|w| eddie_dsp::Spectrum {
+                power: vec![1.0; 4],
+                bin_hz: 4.0,
+                start_sample: w * 16,
+            })
+            .collect();
+        // Keep the cross-component window counters consistent so the
+        // denoiser-state check itself is exercised.
+        snap.stft.windows += 2;
+        snap.stft.base = snap.stft.windows * m.config.hop;
+        let err = MonitorSession::restore(m, snap).err().expect("must fail");
+        assert_eq!(err.kind(), ErrorKind::CorruptSnapshot);
+        assert!(err.message().contains("denoiser state"));
+    }
+
+    #[test]
+    fn restore_counts_buffered_windows_in_consistency_check() {
+        let m = Arc::new(tiny_model());
+        let cfg = SvdDenoiserConfig::new().with_block_windows(8).with_rank(1);
+        let hop = m.config.hop;
+        let window_len = m.config.window_len;
+        let samples: Vec<f32> = (0..window_len + 2 * hop)
+            .map(|i| ((i * 13) % 11) as f32 / 11.0)
+            .collect();
+        let mut session = MonitorSession::with_denoiser(m.clone(), 1000.0, cfg).unwrap();
+        session.push(&samples);
+        // Three windows produced, all buffered in the denoiser: the
+        // monitor has observed none, yet the snapshot must restore.
+        assert_eq!(session.windows_observed(), 0);
+        let snap = session.snapshot();
+        assert_eq!(snap.denoise.as_ref().unwrap().state.buffered.len(), 3);
+        let restored = MonitorSession::restore(m, snap).unwrap();
+        assert_eq!(restored.windows_observed(), 0);
     }
 }

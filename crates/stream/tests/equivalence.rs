@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use eddie_core::{EddieConfig, MonitorOutcome, Pipeline, SignalSource, TrainedModel};
+use eddie_dsp::SvdDenoiserConfig;
 use eddie_exec::with_threads;
 use eddie_inject::{LoopInjector, OpPattern};
 use eddie_sim::{InjectionHook, SimConfig, SimResult};
@@ -26,7 +27,26 @@ fn quick_sim() -> SimConfig {
 }
 
 fn power_pipeline() -> Pipeline {
-    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .source(SignalSource::Power)
+        .build()
+        .expect("valid pipeline")
+}
+
+fn denoise_config() -> SvdDenoiserConfig {
+    SvdDenoiserConfig::new().with_block_windows(8).with_rank(2)
+}
+
+fn denoised_pipeline() -> Pipeline {
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .source(SignalSource::Power)
+        .denoise(denoise_config())
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {
@@ -322,6 +342,92 @@ fn full_shed_path_counts_and_preserves_accepted_prefix() {
     let stats = fleet.stats();
     assert_eq!(stats.queued_chunks, 0);
     assert_eq!(stats.shed_chunks, shed_chunks);
+}
+
+#[test]
+fn denoised_session_matches_batch_at_1_and_4_threads() {
+    // Same contract as the vanilla suite, but with the SVD denoising
+    // stage in the path on both sides: a session created with
+    // `with_denoiser` must emit — for any chunking, plus one `finish`
+    // at end-of-stream — exactly the events of a batch pipeline built
+    // with `PipelineBuilder::denoise`, at every worker-pool width.
+    let pipeline = denoised_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let runs = monitored_runs(&pipeline, &w);
+
+    let run_streams = || {
+        runs.iter()
+            .enumerate()
+            .map(|(k, result)| {
+                let batch = pipeline.monitor_result(&model, result, 0);
+                let signal = &result.power.samples;
+                let rate = result.power.sample_rate_hz();
+                for (seed, max_chunk) in [(7, 1usize), (11, 97), (13, signal.len().max(1))] {
+                    let mut session =
+                        MonitorSession::with_denoiser(model.clone(), rate, denoise_config())
+                            .unwrap();
+                    let mut streamed = Vec::new();
+                    for chunk in chunks(signal, seed, max_chunk) {
+                        streamed.extend(session.push(&chunk));
+                    }
+                    // Without the final flush the stream is a strict
+                    // prefix of the batch events.
+                    assert!(streamed.len() <= batch.events.len(), "run {k}");
+                    streamed.extend(session.finish());
+                    assert_eq!(session.samples_seen(), signal.len());
+                    assert_stream_matches_batch(&streamed, &batch);
+                }
+                (batch.events, batch.alarms, batch.tracked)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let serial = with_threads(1, run_streams);
+    let parallel = with_threads(4, run_streams);
+    // The batch outcomes themselves must also be thread-invariant.
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "thread count must be unobservable in denoised outcomes"
+    );
+}
+
+#[test]
+fn denoised_snapshot_restore_mid_block_continues_identically() {
+    // Snapshot/restore with windows buffered inside the denoiser: the
+    // buffered tail must survive the JSON round trip for the resumed
+    // session to stay event-identical.
+    let pipeline = denoised_pipeline();
+    let w = workload();
+    let model = Arc::new(train(&pipeline, &w));
+    let result = pipeline.simulate(w.program(), |m| w.prepare(m, 1001), hook_for(&w, 1));
+    let batch = pipeline.monitor_result(&model, &result, 0);
+    let signal = &result.power.samples;
+    let rate = result.power.sample_rate_hz();
+
+    let mut session = MonitorSession::with_denoiser(model.clone(), rate, denoise_config()).unwrap();
+    let mut streamed = Vec::new();
+    let mut saw_buffered_snapshot = false;
+    for (i, chunk) in chunks(signal, 29, 701).into_iter().enumerate() {
+        if i % 3 == 2 {
+            let snap = session.snapshot();
+            saw_buffered_snapshot |= snap
+                .denoise
+                .as_ref()
+                .is_some_and(|d| !d.state.buffered.is_empty());
+            let json = snap.to_json().unwrap();
+            let snap = eddie_stream::SessionSnapshot::from_json(&json).unwrap();
+            session = MonitorSession::restore(model.clone(), snap).unwrap();
+        }
+        streamed.extend(session.push(&chunk));
+    }
+    streamed.extend(session.finish());
+    assert!(
+        saw_buffered_snapshot,
+        "test must exercise a snapshot with a buffered partial block"
+    );
+    assert_stream_matches_batch(&streamed, &batch);
 }
 
 #[test]

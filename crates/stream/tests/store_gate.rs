@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use eddie_core::{with_kernel_mode, EddieConfig, KernelMode, Pipeline, SignalSource, TrainedModel};
+use eddie_core::{with_kernel_mode, EddieConfig, KernelMode, Pipeline, TrainedModel};
 use eddie_sim::SimConfig;
 use eddie_store::{SessionStore, StoreConfig};
 use eddie_stream::{Fleet, FleetConfig, MonitorSession, PushResult, StreamEvent};
@@ -30,7 +30,12 @@ fn quick_sim() -> SimConfig {
 }
 
 fn power_pipeline() -> Pipeline {
-    Pipeline::new(quick_sim(), EddieConfig::quick(), SignalSource::Power)
+    Pipeline::builder()
+        .sim(quick_sim())
+        .eddie(EddieConfig::quick())
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 fn workload() -> Workload {

@@ -12,7 +12,7 @@
 //! cargo run --release --example architecture_sweep
 //! ```
 
-use eddie::core::{EddieConfig, Pipeline, SignalSource};
+use eddie::core::{EddieConfig, Pipeline};
 use eddie::inject::{LoopInjector, OpPattern};
 use eddie::sim::{CoreConfig, CoreKind, SimConfig};
 use eddie::stats::anova::{anova, Observation};
@@ -25,7 +25,12 @@ fn measure(core: CoreConfig) -> (f64, f64) {
     let mut cfg = EddieConfig::default();
     cfg.window_len = 512;
     cfg.hop = 256;
-    let pipeline = Pipeline::new(sim, cfg, SignalSource::Power);
+    let pipeline = Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline");
 
     let w = Benchmark::Bitcount.workload(&WorkloadParams { scale: 4 });
     let model = pipeline

@@ -12,7 +12,7 @@
 //! cargo run --release --example iot_em_monitoring
 //! ```
 
-use eddie::core::{EddieConfig, Pipeline, SignalSource};
+use eddie::core::{EddieConfig, Pipeline};
 use eddie::em::EmChannelConfig;
 use eddie::inject::{BurstInjector, OpPattern};
 use eddie::isa::RegionId;
@@ -29,11 +29,12 @@ fn main() {
     let mut cfg = EddieConfig::default();
     cfg.window_len = 512;
     cfg.hop = 256;
-    let pipeline = Pipeline::new(
-        sim,
-        cfg,
-        SignalSource::Em(EmChannelConfig::oscilloscope(2024)),
-    );
+    let pipeline = Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .em(EmChannelConfig::oscilloscope(2024))
+        .build()
+        .expect("valid pipeline");
 
     // The victim application: bitcount, with its four loop nests
     // instrumented for training.

@@ -8,7 +8,7 @@
 //! cargo run --release --example model_persistence
 //! ```
 
-use eddie::core::{EddieConfig, Pipeline, SignalSource, TrainedModel};
+use eddie::core::{EddieConfig, Pipeline, TrainedModel};
 use eddie::sim::SimConfig;
 use eddie::workloads::{Benchmark, WorkloadParams};
 
@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = EddieConfig::default();
     cfg.window_len = 512;
     cfg.hop = 256;
-    let pipeline = Pipeline::new(sim, cfg, SignalSource::Power);
+    let pipeline = Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline");
 
     let w = Benchmark::Sha.workload(&WorkloadParams { scale: 4 });
     println!("training EDDIE on {}...", w.name());

@@ -7,7 +7,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use eddie::core::{EddieConfig, MonitorEvent, Pipeline, SignalSource};
+use eddie::core::{EddieConfig, MonitorEvent, Pipeline};
 use eddie::inject::{LoopInjector, OpPattern};
 use eddie::sim::SimConfig;
 use eddie::workloads::{loop_shapes, prepare_shapes, LoopShape};
@@ -25,7 +25,12 @@ fn main() {
     let mut cfg = EddieConfig::default();
     cfg.window_len = 512;
     cfg.hop = 256;
-    let pipeline = Pipeline::new(sim, cfg, SignalSource::Power);
+    let pipeline = Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline");
 
     // 3. The monitored program: three instrumented loops (one sharp,
     //    one multi-peak, one diffuse — the classes from the paper's

@@ -13,7 +13,7 @@
 //! cargo run --release --example stealthy_attacker
 //! ```
 
-use eddie::core::{EddieConfig, Pipeline, SignalSource};
+use eddie::core::{EddieConfig, Pipeline};
 use eddie::inject::{LoopInjector, OpPattern};
 use eddie::sim::SimConfig;
 use eddie::workloads::{Benchmark, WorkloadParams};
@@ -24,7 +24,12 @@ fn main() {
     let mut cfg = EddieConfig::default();
     cfg.window_len = 512;
     cfg.hop = 256;
-    let pipeline = Pipeline::new(sim, cfg, SignalSource::Power);
+    let pipeline = Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline");
 
     let workload = Benchmark::Bitcount.workload(&WorkloadParams { scale: 8 });
     println!("victim: {}", workload.name());

@@ -70,9 +70,11 @@ pub use eddie_workloads as workloads;
 pub mod prelude {
     pub use eddie_chaos::{ChaosProxy, FaultPlan, FaultPlanBuilder, ServerFaults};
     pub use eddie_core::{
-        EddieConfig, Error, ErrorKind, Monitor, MonitorEvent, MonitorOutcome, Pipeline,
-        SignalSource, TrainedModel,
+        EddieConfig, Error, ErrorKind, Instrumented, Monitor, MonitorEvent, MonitorOutcome,
+        Pipeline, PipelineBuilder, SignalSource, Synthetic, SyntheticTrainConfig, TrainedModel,
+        TrainingSource,
     };
+    pub use eddie_dsp::{DspStage, SvdDenoiser, SvdDenoiserConfig};
     pub use eddie_serve::{
         ClientConfig, ClientConfigBuilder, ModelRegistry, ReplayClient, ResilientClient,
         ResilientOutcome, Server, ServerConfig, ServerConfigBuilder, ServerHandle,

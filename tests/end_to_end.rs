@@ -15,7 +15,12 @@ fn pipeline(source: SignalSource) -> Pipeline {
     cfg.window_len = 512;
     cfg.hop = 256;
     cfg.candidate_group_sizes = vec![8, 12, 16, 24, 32];
-    Pipeline::new(sim, cfg, source)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .source(source)
+        .build()
+        .expect("valid pipeline")
 }
 
 const SCALE: u32 = 8;

@@ -2,7 +2,7 @@
 //! benchmark kernels (beyond the synthetic shapes of `end_to_end.rs`).
 
 use eddie::cfg::RegionGraph;
-use eddie::core::{EddieConfig, Pipeline, SignalSource};
+use eddie::core::{EddieConfig, Pipeline};
 use eddie::inject::{BurstInjector, LoopInjector, OpPattern};
 use eddie::sim::{SimConfig, Simulator};
 use eddie::workloads::{Benchmark, WorkloadParams};
@@ -14,7 +14,12 @@ fn pipeline() -> Pipeline {
     cfg.window_len = 512;
     cfg.hop = 256;
     cfg.candidate_group_sizes = vec![8, 12, 16, 24, 32];
-    Pipeline::new(sim, cfg, SignalSource::Power)
+    Pipeline::builder()
+        .sim(sim)
+        .eddie(cfg)
+        .power()
+        .build()
+        .expect("valid pipeline")
 }
 
 #[test]
